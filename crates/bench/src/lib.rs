@@ -1,0 +1,18 @@
+//! `vega-bench`: shared fixtures for the Criterion benches.
+//!
+//! The actual benches live in `benches/paper_artifacts.rs` (one group per
+//! paper table/figure, run at reduced scale so `cargo bench` terminates in
+//! minutes) and `benches/substrates.rs` (alignment, NN and compiler
+//! throughput).
+
+#![forbid(unsafe_code)]
+
+use vega::{Vega, VegaConfig};
+
+/// A tiny trained VEGA shared by the artifact benches (training happens once
+/// per bench binary, not per iteration).
+pub fn trained_tiny_vega() -> Vega {
+    let mut cfg = VegaConfig::tiny();
+    cfg.train.finetune_epochs = 1;
+    Vega::train(cfg)
+}

@@ -1,0 +1,886 @@
+//! Stage 1b — Feature Selection (paper §3.2.2, Algorithm 1).
+//!
+//! Properties characterize template statements. A property has an
+//! *identified site* (its declaration in `LLVMDIRs`) and, per target, an
+//! *update site* (where the target defines/overrides it in `TGTDIRs`) plus a
+//! value. Target-independent properties are booleans over the template's
+//! common code; target-dependent properties are strings bound to placeholder
+//! slots, discovered through enum membership, TableGen `def` records,
+//! assignment matching and partial string matching — exactly the three-case
+//! search of Algorithm 1.
+
+use crate::template::{FunctionTemplate, PatTok};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use vega_corpus::{VirtualFs, LLVM_DIRS};
+use vega_cpplite::{lex_lossy, Token};
+
+/// How a target-dependent property's candidate values are found in a new
+/// target's description files (the update-site recipe learned in Stage 1 and
+/// replayed in Stage 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueSource {
+    /// Members of the target enum correlated with the named LLVM type
+    /// (e.g. `Fixups` ↔ `MCFixupKind`, target `VariantKind` ↔ LLVM
+    /// `VariantKind`, `ELF_RELOC` entries ↔ `ELF`).
+    TgtEnum {
+        /// The LLVM-side type name (identified site).
+        llvm_name: String,
+    },
+    /// Names of TableGen `def` records of the given class (e.g. every
+    /// `def X : Instruction`).
+    DefNames {
+        /// The TableGen class.
+        class: String,
+    },
+    /// RHS values of `field = …` assignments (e.g. `Mnemonic`, `Latency`,
+    /// `Name`, `StackPointer`).
+    Field {
+        /// The assigned global/field name.
+        field: String,
+    },
+    /// Constructed register names `RegPrefix + index`.
+    RegNames,
+}
+
+/// One property of a function template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Property {
+    /// Property name (a `PropList` entry).
+    pub name: String,
+    /// `true` for target-independent boolean properties.
+    pub is_bool: bool,
+    /// Identified site in `LLVMDIRs`.
+    pub identified_site: String,
+    /// Candidate-value recipe (target-dependent properties only).
+    pub source: Option<ValueSource>,
+    /// The common-code token that discovered this boolean property (used to
+    /// re-evaluate it for a new target in Stage 3).
+    pub probe_token: Option<String>,
+}
+
+/// One `PropList` entry harvested from `LLVMDIRs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropEntry {
+    /// Class, enum or global name.
+    pub name: String,
+    /// The file declaring it (identified site).
+    pub file: String,
+}
+
+/// The `PropList` plus LLVM enum-member reverse index.
+#[derive(Debug, Clone, Default)]
+pub struct PropCatalog {
+    /// Name → entry.
+    pub entries: HashMap<String, PropEntry>,
+    /// LLVM enum member → owning enum name (`FirstTargetFixupKind` →
+    /// `MCFixupKind`).
+    pub enum_members: HashMap<String, String>,
+}
+
+/// Builds the `PropList` from the LLVM-provided files (Algorithm 1, line 5).
+pub fn prop_catalog(llvm: &VirtualFs) -> PropCatalog {
+    let mut cat = PropCatalog::default();
+    for (path, content) in llvm.iter() {
+        if !LLVM_DIRS.iter().any(|d| path.starts_with(d)) {
+            continue;
+        }
+        let toks = lex_lossy(content);
+        let mut i = 0;
+        let mut enum_depth: i32 = -1; // brace depth of the current enum body
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                Token::Punct("{") => {
+                    depth += 1;
+                    i += 1;
+                    continue;
+                }
+                Token::Punct("}") => {
+                    depth -= 1;
+                    if enum_depth >= 0 && depth <= enum_depth {
+                        enum_depth = -1;
+                    }
+                    i += 1;
+                    continue;
+                }
+                Token::Ident(kw) if kw == "class" || kw == "enum" => {
+                    if let Some(Token::Ident(name)) = toks.get(i + 1) {
+                        cat.entries.entry(name.clone()).or_insert(PropEntry {
+                            name: name.clone(),
+                            file: path.to_string(),
+                        });
+                        if kw == "enum" {
+                            enum_depth = depth;
+                            // Record members up to the closing brace.
+                            let mut j = i + 2;
+                            let mut depth = 0;
+                            while j < toks.len() {
+                                match &toks[j] {
+                                    Token::Punct("{") => depth += 1,
+                                    Token::Punct("}") => break,
+                                    Token::Ident(m) if depth == 1 => {
+                                        // Skip RHS identifiers of `M = X`.
+                                        let prev_is_eq =
+                                            j > 0 && toks[j - 1].is_punct("=");
+                                        if !prev_is_eq {
+                                            cat.enum_members
+                                                .entry(m.clone())
+                                                .or_insert(name.clone());
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                        }
+                    }
+                    i += 2;
+                }
+                // Globals: `X = <literal>` inside TableGen class bodies —
+                // but enum members with explicit values are not globals.
+                Token::Ident(name) => {
+                    if enum_depth < 0
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct("="))
+                        && matches!(toks.get(i + 2), Some(Token::Str(_) | Token::Int(_)))
+                    {
+                        cat.entries.entry(name.clone()).or_insert(PropEntry {
+                            name: name.clone(),
+                            file: path.to_string(),
+                        });
+                        i += 3;
+                        continue;
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    cat
+}
+
+/// An assignment `lhs = rhs` found in target description files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgtAssign {
+    /// LHS (field/global name).
+    pub lhs: String,
+    /// RHS literal, as a string (`"ARM"` → `ARM`, `12` → `12`).
+    pub rhs: String,
+    /// File (update site).
+    pub file: String,
+    /// The `def` record the assignment belongs to, if any.
+    pub def_name: Option<String>,
+}
+
+/// A TableGen `def NAME : CLASS { … }` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgtDef {
+    /// Record name (e.g. `ADDrr`).
+    pub name: String,
+    /// Class (e.g. `Instruction`).
+    pub class: String,
+    /// File.
+    pub file: String,
+}
+
+/// An enum found in target description files (including the pseudo-enum of
+/// `ELF_RELOC` entries, reported under the name `ELF`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TgtEnum {
+    /// Enum name.
+    pub name: String,
+    /// Members in declaration order.
+    pub members: Vec<String>,
+    /// Identifiers referenced on member RHSs (`= FirstTargetFixupKind`).
+    pub rhs_refs: Vec<String>,
+    /// File.
+    pub file: String,
+}
+
+/// Token-level index over one target's description files (`TGTDIRs`).
+#[derive(Debug, Clone, Default)]
+pub struct TgtIndex {
+    /// All identifier spellings → first file containing them.
+    pub idents: HashMap<String, String>,
+    /// All assignments.
+    pub assigns: Vec<TgtAssign>,
+    /// All `def` records.
+    pub defs: Vec<TgtDef>,
+    /// All enums (plus the `ELF` relocation pseudo-enum).
+    pub enums: Vec<TgtEnum>,
+}
+
+impl TgtIndex {
+    /// Builds the index from a target's description file system.
+    pub fn build(fs: &VirtualFs) -> Self {
+        let mut ix = TgtIndex::default();
+        for (path, content) in fs.iter() {
+            let toks = lex_lossy(content);
+            let mut cur_def: Option<String> = None;
+            let mut i = 0;
+            while i < toks.len() {
+                if let Token::Ident(id) = &toks[i] {
+                    ix.idents.entry(id.clone()).or_insert_with(|| path.to_string());
+                }
+                match &toks[i] {
+                    Token::Ident(kw) if kw == "def" => {
+                        if let (Some(Token::Ident(name)), Some(colon), Some(Token::Ident(class))) =
+                            (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+                        {
+                            if colon.is_punct(":") {
+                                ix.defs.push(TgtDef {
+                                    name: name.clone(),
+                                    class: class.clone(),
+                                    file: path.to_string(),
+                                });
+                                cur_def = Some(name.clone());
+                            }
+                        }
+                        i += 1;
+                    }
+                    Token::Ident(kw) if kw == "enum" => {
+                        if let Some(Token::Ident(name)) = toks.get(i + 1) {
+                            let mut members = Vec::new();
+                            let mut rhs_refs = Vec::new();
+                            let mut j = i + 2;
+                            while j < toks.len() && !toks[j].is_punct("}") {
+                                if let Token::Ident(m) = &toks[j] {
+                                    if j > 0 && toks[j - 1].is_punct("=") {
+                                        rhs_refs.push(m.clone());
+                                    } else {
+                                        members.push(m.clone());
+                                    }
+                                }
+                                j += 1;
+                            }
+                            ix.enums.push(TgtEnum {
+                                name: name.clone(),
+                                members,
+                                rhs_refs,
+                                file: path.to_string(),
+                            });
+                            i = j;
+                        }
+                        i += 1;
+                    }
+                    Token::Ident(kw) if kw == "ELF_RELOC" => {
+                        // ELF_RELOC(NAME, N) — accumulate into the `ELF`
+                        // pseudo-enum for this file.
+                        if let (Some(p), Some(Token::Ident(name))) =
+                            (toks.get(i + 1), toks.get(i + 2))
+                        {
+                            if p.is_punct("(") {
+                                match ix.enums.iter_mut().find(|e| e.name == "ELF") {
+                                    Some(e) => e.members.push(name.clone()),
+                                    None => ix.enums.push(TgtEnum {
+                                        name: "ELF".to_string(),
+                                        members: vec![name.clone()],
+                                        rhs_refs: Vec::new(),
+                                        file: path.to_string(),
+                                    }),
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                    Token::Ident(lhs)
+                        if toks.get(i + 1).is_some_and(|t| t.is_punct("=")) =>
+                    {
+                        let rhs = match toks.get(i + 2) {
+                            Some(Token::Str(s)) => Some(s.clone()),
+                            Some(Token::Int(v)) => Some(v.to_string()),
+                            _ => None,
+                        };
+                        if let Some(rhs) = rhs {
+                            ix.assigns.push(TgtAssign {
+                                lhs: lhs.clone(),
+                                rhs,
+                                file: path.to_string(),
+                                def_name: cur_def.clone(),
+                            });
+                        }
+                        i += 3;
+                        continue;
+                    }
+                    Token::Punct("}") => {
+                        cur_def = None;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        ix
+    }
+
+    /// Candidate values produced by a [`ValueSource`] for this target.
+    pub fn candidates(&self, source: &ValueSource) -> Vec<String> {
+        match source {
+            ValueSource::TgtEnum { llvm_name } => self
+                .correlated_enum(llvm_name)
+                .map(|e| {
+                    e.members
+                        .iter()
+                        // Skip count sentinels like `NumTargetFixupKinds`.
+                        .filter(|m| !m.starts_with("Num"))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default(),
+            ValueSource::DefNames { class } => self
+                .defs
+                .iter()
+                .filter(|d| &d.class == class)
+                .map(|d| d.name.clone())
+                .collect(),
+            ValueSource::Field { field } => self
+                .assigns
+                .iter()
+                .filter(|a| &a.lhs == field)
+                .map(|a| a.rhs.clone())
+                .collect(),
+            ValueSource::RegNames => {
+                let mut out = Vec::new();
+                for d in self.defs.iter().filter(|d| d.class == "RegisterClass") {
+                    let prefix = self
+                        .assigns
+                        .iter()
+                        .find(|a| a.def_name.as_deref() == Some(&d.name) && a.lhs == "RegPrefix")
+                        .map(|a| a.rhs.clone());
+                    let count = self
+                        .assigns
+                        .iter()
+                        .find(|a| a.def_name.as_deref() == Some(&d.name) && a.lhs == "NumRegs")
+                        .and_then(|a| a.rhs.parse::<u32>().ok());
+                    if let (Some(p), Some(c)) = (prefix, count) {
+                        for i in 0..c {
+                            out.push(format!("{p}{i}"));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Finds this target's enum correlated with an LLVM type name: same name,
+    /// or a member RHS referencing a member of that LLVM type, or the `ELF`
+    /// pseudo-enum.
+    pub fn correlated_enum(&self, llvm_name: &str) -> Option<&TgtEnum> {
+        if let Some(e) = self.enums.iter().find(|e| e.name == llvm_name) {
+            return Some(e);
+        }
+        // `Fixups` whose first member `= FirstTargetFixupKind`: the caller
+        // passes the LLVM enum (`MCFixupKind`); accept any enum whose RHS
+        // refs include a member of it. The catalog owns the member map, so we
+        // take a conservative spelling-based shortcut: `FirstTargetFixupKind`
+        // belongs to `MCFixupKind` in the miniature LLVM.
+        if llvm_name == "MCFixupKind" {
+            return self
+                .enums
+                .iter()
+                .find(|e| e.rhs_refs.iter().any(|r| r == "FirstTargetFixupKind"));
+        }
+        None
+    }
+}
+
+/// Lowercased alphanumeric normalization for partial matching.
+fn normalized(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Longest common substring length of two normalized strings.
+fn lcs_substring(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<u8>, Vec<u8>) = (a.bytes().collect(), b.bytes().collect());
+    let mut best = 0usize;
+    let mut prev = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        let mut cur = vec![0usize; b.len() + 1];
+        for j in 1..=b.len() {
+            if a[i - 1] == b[j - 1] {
+                cur[j] = prev[j - 1] + 1;
+                best = best.max(cur[j]);
+            }
+        }
+        prev = cur;
+    }
+    best
+}
+
+/// Returns `true` if `tok` partially matches `rhs` (shared normalized
+/// substring of length ≥ 5, the `IsPCRel` ↔ `OPERAND_PCREL` rule).
+pub fn partial_match(tok: &str, rhs: &str) -> bool {
+    let (a, b) = (normalized(tok), normalized(rhs));
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    if a == b {
+        return true;
+    }
+    // Containment only counts for substantial fragments — `r` ⊂ `srl` must
+    // not bind a register prefix to a mnemonic.
+    (b.len() >= 3 && a.contains(&b)) || (a.len() >= 3 && b.contains(&a)) || lcs_substring(&a, &b) >= 5
+}
+
+/// Re-evaluates a boolean property for a (possibly new) target: the probe
+/// token appears in its description files, the property is assigned/declared
+/// there, or the property lives purely in `LLVMDIRs`.
+pub fn resolve_bool_for_target(prop: &Property, ix: &TgtIndex, catalog: &PropCatalog) -> bool {
+    let probe_hit = prop
+        .probe_token
+        .as_ref()
+        .is_some_and(|t| ix.idents.contains_key(t));
+    probe_hit
+        || ix.assigns.iter().any(|a| a.lhs == prop.name)
+        || ix.enums.iter().any(|e| e.name == prop.name)
+        || catalog.entries.contains_key(&prop.name)
+}
+
+/// The discovered features of one function template: the ordered property
+/// list plus, per statement and per target, the property values.
+#[derive(Debug, Clone)]
+pub struct TemplateFeatures {
+    /// Ordered properties (booleans first, then target-dependent strings).
+    pub props: Vec<Property>,
+    /// Boolean property values per target: `bool_values[target][prop_idx]`.
+    pub bool_values: BTreeMap<String, Vec<bool>>,
+    /// Per statement-template node id → per slot index → property index into
+    /// `props` (if discovered).
+    pub slot_props: HashMap<(usize, usize), usize>,
+}
+
+/// Maximum boolean properties kept per template.
+const MAX_BOOL_PROPS: usize = 6;
+/// Maximum target-dependent properties kept per template.
+const MAX_DEP_PROPS: usize = 6;
+
+/// Keywords and obvious locals never treated as property tokens.
+fn is_stop_token(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else" | "switch" | "case" | "default" | "return" | "break" | "while" | "for"
+            | "unsigned" | "int" | "bool" | "const" | "true" | "false" | "void" | "StringRef"
+    )
+}
+
+/// Runs feature selection for a template over every target in `tgt_indexes`.
+pub fn select_features(
+    template: &FunctionTemplate,
+    catalog: &PropCatalog,
+    tgt_indexes: &BTreeMap<String, TgtIndex>,
+) -> TemplateFeatures {
+    // ---- Target-independent (boolean) properties over common code --------
+    let mut common_tokens: Vec<String> = Vec::new();
+    let mut seen = HashSet::new();
+    let mut visit_pattern = |pattern: &[PatTok], common_tokens: &mut Vec<String>| {
+        for p in pattern {
+            if let PatTok::Common(Token::Ident(id)) = p {
+                if !is_stop_token(id) && seen.insert(id.clone()) {
+                    common_tokens.push(id.clone());
+                }
+            }
+        }
+    };
+    visit_pattern(&template.signature.pattern, &mut common_tokens);
+    for s in &template.stmts {
+        visit_pattern(&s.pattern, &mut common_tokens);
+    }
+
+    let mut bool_candidates: Vec<(Property, BTreeMap<String, bool>)> = Vec::new();
+    for tok in &common_tokens {
+        // A token names a property if it is in PropList directly, is a member
+        // of an LLVM enum, or partial-matches a target assignment whose LHS
+        // is in PropList.
+        let mut prop_name: Option<String> = None;
+        if catalog.entries.contains_key(tok) {
+            prop_name = Some(tok.clone());
+        } else if let Some(owner) = catalog.enum_members.get(tok) {
+            prop_name = Some(owner.clone());
+        } else {
+            'outer: for ix in tgt_indexes.values() {
+                for a in &ix.assigns {
+                    if catalog.entries.contains_key(&a.lhs) && partial_match(tok, &a.rhs) {
+                        prop_name = Some(a.lhs.clone());
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some(name) = prop_name else { continue };
+        let identified_site = catalog
+            .entries
+            .get(&name)
+            .map(|e| e.file.clone())
+            .unwrap_or_default();
+        if bool_candidates.iter().any(|(p, _)| p.name == name) {
+            continue;
+        }
+        // Per-target truth: the property (or the matched assignment) exists
+        // in the target's description files, or the raw token does.
+        let prop = Property {
+            name: name.clone(),
+            is_bool: true,
+            identified_site,
+            source: None,
+            probe_token: Some(tok.clone()),
+        };
+        let mut per_target = BTreeMap::new();
+        for (target, ix) in tgt_indexes {
+            per_target.insert(target.clone(), resolve_bool_for_target(&prop, ix, catalog));
+        }
+        bool_candidates.push((prop, per_target));
+    }
+    // Varying properties carry the presence signal; constant ones only take
+    // up input budget. Keep varying ones first, cap the total.
+    bool_candidates.sort_by_key(|(_, vals)| {
+        let vary = vals.values().any(|v| *v) && vals.values().any(|v| !*v);
+        u8::from(!vary)
+    });
+    bool_candidates.truncate(MAX_BOOL_PROPS);
+    let mut bool_props: Vec<Property> = Vec::new();
+    let mut bool_values: BTreeMap<String, Vec<bool>> = BTreeMap::new();
+    for (prop, per_target) in bool_candidates {
+        for (target, v) in &per_target {
+            bool_values.entry(target.clone()).or_default().push(*v);
+        }
+        bool_props.push(prop);
+    }
+
+    // ---- Target-dependent (string) properties over slots ------------------
+    let mut dep_props: Vec<Property> = Vec::new();
+    let mut slot_props: HashMap<(usize, usize), usize> = HashMap::new();
+    for (node_id, node) in template.stmts.iter().enumerate() {
+        for (slot_id, slot) in node.slots.iter().enumerate() {
+            // Vote across targets for the property this slot belongs to;
+            // votes are weighted by specificity so a value like `4` binds to
+            // `SpillSize` (few assignments) rather than `Latency` (many).
+            let mut votes: BTreeMap<(String, String), (f64, usize)> = BTreeMap::new();
+            let mut voters = 0usize;
+            for (target, value) in &slot.values {
+                let Some(ix) = tgt_indexes.get(target) else { continue };
+                let value_str = slot_value_string(value);
+                if value_str.is_empty() {
+                    continue;
+                }
+                voters += 1;
+                for (name, source_key, weight) in
+                    discover_slot_property(&value_str, ix, catalog)
+                {
+                    let e = votes.entry((name, source_key)).or_default();
+                    e.0 += weight;
+                    e.1 += 1;
+                }
+            }
+            // A property must be supported by a meaningful share of the
+            // slot's targets — one accidental partial match (`128` inside
+            // `v128`) must not bind the whole slot.
+            let min_support = if voters <= 1 { 1 } else { (voters / 4).max(2) };
+            let Some(((name, source_key), _)) = votes
+                .into_iter()
+                .filter(|(_, (_, support))| *support >= min_support)
+                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            else {
+                continue;
+            };
+            let source = decode_source_key(&source_key);
+            let prop_idx = match dep_props.iter().position(|p| p.name == name) {
+                Some(i) => i + 1_000_000, // marker: existing, fix below
+                None => {
+                    if dep_props.len() >= MAX_DEP_PROPS {
+                        continue;
+                    }
+                    let identified_site = catalog
+                        .entries
+                        .get(&name)
+                        .map(|e| e.file.clone())
+                        .unwrap_or_default();
+                    dep_props.push(Property {
+                        name: name.clone(),
+                        is_bool: false,
+                        identified_site,
+                        source: Some(source),
+                        probe_token: None,
+                    });
+                    dep_props.len() - 1 + 1_000_000
+                }
+            };
+            slot_props.insert((node_id, slot_id), prop_idx - 1_000_000);
+        }
+    }
+
+    // Final property order: booleans then dependents; remap slot_props.
+    let n_bool = bool_props.len();
+    let mut props = bool_props;
+    props.extend(dep_props);
+    let slot_props = slot_props
+        .into_iter()
+        .map(|(k, v)| (k, v + n_bool))
+        .collect();
+    TemplateFeatures { props, bool_values, slot_props }
+}
+
+/// A slot value as a single string (single identifiers and literals; scoped
+/// values use their last identifier, e.g. `ARM::fixup_x` → `fixup_x`).
+pub fn slot_value_string(tokens: &[Token]) -> String {
+    let last_ident = tokens.iter().rev().find_map(|t| match t {
+        Token::Ident(s) => Some(s.clone()),
+        _ => None,
+    });
+    match last_ident {
+        Some(s) => s,
+        None => tokens
+            .iter()
+            .map(|t| match t {
+                Token::Int(v) => v.to_string(),
+                Token::Str(s) => s.clone(),
+                t => t.spelling(),
+            })
+            .collect::<Vec<_>>()
+            .join(""),
+    }
+}
+
+fn encode_source_key(s: &ValueSource) -> String {
+    match s {
+        ValueSource::TgtEnum { llvm_name } => format!("enum:{llvm_name}"),
+        ValueSource::DefNames { class } => format!("def:{class}"),
+        ValueSource::Field { field } => format!("field:{field}"),
+        ValueSource::RegNames => "regnames".to_string(),
+    }
+}
+
+fn decode_source_key(s: &str) -> ValueSource {
+    if let Some(n) = s.strip_prefix("enum:") {
+        ValueSource::TgtEnum { llvm_name: n.to_string() }
+    } else if let Some(c) = s.strip_prefix("def:") {
+        ValueSource::DefNames { class: c.to_string() }
+    } else if let Some(f) = s.strip_prefix("field:") {
+        ValueSource::Field { field: f.to_string() }
+    } else {
+        ValueSource::RegNames
+    }
+}
+
+/// Algorithm 1 lines 25–40: properties a slot value could belong to for one
+/// target, as `(property name, encoded source, vote weight)` triples.
+fn discover_slot_property(
+    value: &str,
+    ix: &TgtIndex,
+    catalog: &PropCatalog,
+) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    // 1. Enum membership (incl. the ELF pseudo-enum).
+    for e in &ix.enums {
+        if e.members.iter().any(|m| m == value) {
+            // Correlate with the LLVM-side property.
+            let llvm_name = if catalog.entries.contains_key(&e.name) {
+                Some(e.name.clone())
+            } else if e.rhs_refs.iter().any(|r| catalog.enum_members.contains_key(r)) {
+                e.rhs_refs
+                    .iter()
+                    .find_map(|r| catalog.enum_members.get(r).cloned())
+            } else {
+                None
+            };
+            if let Some(n) = llvm_name {
+                out.push((
+                    n.clone(),
+                    encode_source_key(&ValueSource::TgtEnum { llvm_name: n }),
+                    1.0,
+                ));
+            }
+        }
+    }
+    // 2. TableGen def-record names.
+    for d in &ix.defs {
+        if d.name == value && catalog.entries.contains_key(&d.class) {
+            out.push((
+                d.class.clone(),
+                encode_source_key(&ValueSource::DefNames { class: d.class.clone() }),
+                1.0,
+            ));
+        }
+    }
+    // 3. Exact assignment RHS match, weighted by the field's specificity: a
+    //    numeric value coinciding with one of many `Latency` assignments is
+    //    weaker evidence than matching the target's single `SpillSize`.
+    for a in &ix.assigns {
+        if a.rhs == value && catalog.entries.contains_key(&a.lhs) {
+            let field_count = ix.assigns.iter().filter(|b| b.lhs == a.lhs).count();
+            out.push((
+                a.lhs.clone(),
+                encode_source_key(&ValueSource::Field { field: a.lhs.clone() }),
+                1.0 / field_count.max(1) as f64,
+            ));
+        }
+    }
+    // 4. Constructed register names.
+    if out.is_empty() && ix.candidates(&ValueSource::RegNames).iter().any(|r| r == value) {
+        out.push((
+            "RegPrefix".to_string(),
+            encode_source_key(&ValueSource::RegNames),
+            1.0,
+        ));
+    }
+    // 5. Partial match against assignment RHS (the `ARM::…` → `Name = "ARM"`
+    //    rule) — weakest, only when nothing better matched.
+    if out.is_empty() {
+        for a in &ix.assigns {
+            if catalog.entries.contains_key(&a.lhs) && partial_match(value, &a.rhs) {
+                out.push((
+                    a.lhs.clone(),
+                    encode_source_key(&ValueSource::Field { field: a.lhs.clone() }),
+                    0.5,
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::FunctionTemplate;
+    use vega_corpus::{llvm_provided, Corpus, CorpusConfig};
+
+    fn fixture() -> (Corpus, PropCatalog) {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let cat = prop_catalog(c.llvm_fs());
+        (c, cat)
+    }
+
+    #[test]
+    fn catalog_contains_motivating_example_props() {
+        let cat = prop_catalog(&llvm_provided());
+        assert!(cat.entries.contains_key("MCSymbolRefExpr"));
+        assert!(cat.entries.contains_key("VariantKind"));
+        assert!(cat.entries.contains_key("MCFixupKind"));
+        assert!(cat.entries.contains_key("OperandType"));
+        assert!(cat.entries.contains_key("Name"));
+        assert_eq!(
+            cat.enum_members.get("FirstTargetFixupKind"),
+            Some(&"MCFixupKind".to_string())
+        );
+    }
+
+    #[test]
+    fn tgt_index_finds_enums_defs_assignments() {
+        let (c, _) = fixture();
+        let arm = c.target("ARM").unwrap();
+        let ix = TgtIndex::build(&arm.descriptions);
+        // Fixups enum correlated with MCFixupKind.
+        let fix = ix.correlated_enum("MCFixupKind").expect("fixups enum");
+        assert!(fix.members.iter().any(|m| m.starts_with("fixup_arm_")));
+        // ELF pseudo-enum.
+        let elf = ix.enums.iter().find(|e| e.name == "ELF").unwrap();
+        assert!(elf.members.iter().any(|m| m == "R_ARM_NONE"));
+        // Instruction defs.
+        assert!(ix.defs.iter().any(|d| d.class == "Instruction"));
+        // Name assignment.
+        assert!(ix.assigns.iter().any(|a| a.lhs == "Name" && a.rhs == "ARM"));
+    }
+
+    #[test]
+    fn partial_match_rules() {
+        assert!(partial_match("IsPCRel", "OPERAND_PCREL"));
+        assert!(partial_match("ARM", "ARM"));
+        assert!(!partial_match("Kind", "OPERAND_PCREL"));
+    }
+
+    #[test]
+    fn reloc_template_features_include_fixup_and_reloc_props() {
+        let (c, cat) = fixture();
+        let groups = c.function_groups(false);
+        let (_, members) = &groups["getRelocType"];
+        let t = FunctionTemplate::build("getRelocType", members);
+        let mut ixs = BTreeMap::new();
+        for target in &t.targets {
+            ixs.insert(target.clone(), TgtIndex::build(&c.target(target).unwrap().descriptions));
+        }
+        let feats = select_features(&t, &cat, &ixs);
+        let names: Vec<&str> = feats.props.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"MCFixupKind"), "{names:?}");
+        assert!(names.contains(&"ELF"), "{names:?}");
+        assert!(!feats.slot_props.is_empty());
+        // Candidate generation replays for a held-out target.
+        let rv_ix = TgtIndex::build(&c.target("RISCV").unwrap().descriptions);
+        let fixup_prop = feats
+            .props
+            .iter()
+            .find(|p| p.name == "MCFixupKind" && !p.is_bool)
+            .unwrap();
+        let cands = rv_ix.candidates(fixup_prop.source.as_ref().unwrap());
+        assert!(cands.iter().all(|f| f.starts_with("fixup_riscv_")));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn latency_template_uses_def_and_field_sources() {
+        let (c, cat) = fixture();
+        let groups = c.function_groups(false);
+        let (_, members) = &groups["getInstrLatency"];
+        let t = FunctionTemplate::build("getInstrLatency", members);
+        let mut ixs = BTreeMap::new();
+        for target in &t.targets {
+            ixs.insert(target.clone(), TgtIndex::build(&c.target(target).unwrap().descriptions));
+        }
+        let feats = select_features(&t, &cat, &ixs);
+        let names: Vec<&str> = feats.props.iter().map(|p| p.name.as_str()).collect();
+        assert!(
+            names.contains(&"Instruction") || names.contains(&"Latency"),
+            "{names:?}"
+        );
+    }
+}
+
+/// Global boolean feature flags appended to every template's feature vector
+/// (the paper's V spans 345 properties shared across all templates; these
+/// are the trait signals presence prediction needs).
+pub const GLOBAL_FLAGS: &[&str] = &[
+    "HasCompressed",
+    "HasHWLoop",
+    "HasSIMD",
+    "HasMAC",
+    "HasThreads",
+    "HasFPU",
+    "HasCMov",
+    "HasForwarding",
+];
+
+/// Global string-valued fields appended likewise.
+pub const GLOBAL_FIELDS: &[&str] = &["Endianness", "WordBits", "ImmBits"];
+
+/// The global signal values of one target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSignals {
+    /// Per [`GLOBAL_FLAGS`] entry: the flag assignment is present and non-zero.
+    pub flags: Vec<bool>,
+    /// Per [`GLOBAL_FIELDS`] entry: the assigned value, if any.
+    pub fields: Vec<Option<String>>,
+}
+
+/// Reads the global signals off a target's description index.
+pub fn global_signals(ix: &TgtIndex) -> GlobalSignals {
+    let flag_value = |name: &str| {
+        ix.assigns
+            .iter()
+            .any(|a| a.lhs == name && a.rhs != "0")
+    };
+    let field_value = |name: &str| {
+        ix.assigns
+            .iter()
+            .find(|a| a.lhs == name)
+            .map(|a| a.rhs.clone())
+    };
+    let mut flags: Vec<bool> = GLOBAL_FLAGS.iter().map(|f| flag_value(f)).collect();
+    // Structural flag: the target declares its own symbol variant kinds
+    // (drives the presence of the `Modifier` statement, the paper's S2).
+    flags.push(ix.enums.iter().any(|e| e.name == "VariantKind"));
+    GlobalSignals { flags, fields: GLOBAL_FIELDS.iter().map(|f| field_value(f)).collect() }
+}

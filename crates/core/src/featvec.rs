@@ -1,0 +1,367 @@
+//! Stage 1c — Feature Representation (paper §3.2.3) and Eq. (1) confidence.
+//!
+//! Each statement template `T_k` of each target-specific implementation maps
+//! to a feature vector `FV_k = ⟨T_k, V_k⟩`, serialized for the model as
+//!
+//! ```text
+//! [CLS] prev-statement ﹍ [SEP] T_k (slots as [SV]) [SEP] v₁ [SEP] v₂ … [E2D]
+//! ```
+//!
+//! with boolean values as `[TRUE]`/`[FALSE]` and absent string values as
+//! `[NULL]`. The preceding statement supplies the *context* the paper argues
+//! statement generation depends on (§2.4). The output sequence is
+//! `[CS_k] tokens(S_k)` — a quantized Eq. (1) confidence score followed by
+//! the statement — or `[CS_0] tokens(T_k)` for absent statements.
+
+use crate::features::{slot_value_string, GlobalSignals, TemplateFeatures};
+use crate::template::{FunctionTemplate, PatTok, StmtTemplate};
+use std::collections::BTreeMap;
+use vega_cpplite::{StmtKind, Token};
+use vega_model::{string_to_pieces, token_to_pieces, Special, TargetNorm, Vocab};
+
+/// Default candidate-set size assumed for slots whose property could not be
+/// discovered (keeps Eq. (1) meaningfully below 1).
+pub const UNDISCOVERED_N: usize = 8;
+
+/// Node id used for the signature pseudo-statement.
+pub const SIG_NODE: usize = usize::MAX;
+
+/// One training/inference sample for a statement template.
+#[derive(Debug, Clone)]
+pub struct StatementSample {
+    /// Function group name.
+    pub group: String,
+    /// Template node id ([`SIG_NODE`] for the signature).
+    pub node: usize,
+    /// Target this sample describes.
+    pub target: String,
+    /// Encoded input sequence.
+    pub input: Vec<usize>,
+    /// Encoded output sequence (score token + statement pieces).
+    pub output: Vec<usize>,
+}
+
+/// Renders a statement template's line pieces with `[SV]` markers.
+pub fn template_line_pieces(node: &StmtTemplate, vocab: &Vocab, out: &mut Vec<usize>) {
+    let (prefix, suffix): (&[&str], &[&str]) = match node.kind {
+        StmtKind::Simple => (&[], &[";"]),
+        StmtKind::Return => (&["return"], &[";"]),
+        StmtKind::If => (&["if", "("], &[")", "{"]),
+        StmtKind::Switch => (&["switch", "("], &[")", "{"]),
+        StmtKind::While => (&["while", "("], &[")", "{"]),
+        StmtKind::For => (&["for", "("], &[")", "{"]),
+        StmtKind::Case => (&["case"], &[":"]),
+        StmtKind::Default => (&["default"], &[":"]),
+        StmtKind::Block => (&["{"], &[]),
+        StmtKind::Break => (&["break"], &[";"]),
+    };
+    for p in prefix {
+        encode_token_pieces(&Token::ident(*p), vocab, out);
+    }
+    for pt in &node.pattern {
+        match pt {
+            PatTok::Common(t) => encode_token_pieces(t, vocab, out),
+            PatTok::Slot(_) => out.push(vocab.special(Special::Slot)),
+        }
+    }
+    for p in suffix {
+        let tok = if p.len() == 1 && !p.chars().next().unwrap().is_alphabetic() {
+            match *p {
+                ";" => Token::Punct(";"),
+                ":" => Token::Punct(":"),
+                "{" => Token::Punct("{"),
+                ")" => Token::Punct(")"),
+                _ => Token::ident(*p),
+            }
+        } else {
+            Token::ident(*p)
+        };
+        encode_token_pieces(&tok, vocab, out);
+    }
+}
+
+fn encode_token_pieces(t: &Token, vocab: &Vocab, out: &mut Vec<usize>) {
+    for p in token_to_pieces(t) {
+        vocab.encode_piece(&p, out);
+    }
+}
+
+/// Encodes a full statement line (structure + head tokens) for a target,
+/// with the target's own name anonymized (see [`TargetNorm`]).
+pub fn statement_line_pieces(
+    node: &StmtTemplate,
+    head: &[Token],
+    vocab: &Vocab,
+    norm: &TargetNorm,
+    out: &mut Vec<usize>,
+) {
+    let stmt = vega_cpplite::Stmt::new(node.kind, head.to_vec(), Vec::new());
+    encode_tokens_anonymized(&stmt.line_tokens(), vocab, norm, out);
+}
+
+/// Encodes a token sequence with piece-aligned target-name anonymization.
+pub fn encode_tokens_anonymized(
+    tokens: &[Token],
+    vocab: &Vocab,
+    norm: &TargetNorm,
+    out: &mut Vec<usize>,
+) {
+    let pieces = norm.anonymize_pieces(&vega_model::tokens_to_pieces(tokens));
+    for p in pieces {
+        vocab.encode_piece(&p, out);
+    }
+}
+
+/// The property values `V_k` of one statement for one target, already
+/// resolved to strings (None = NULL).
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedValues {
+    /// Per property index: boolean (Some(b)) or string (Some string) value.
+    pub values: Vec<ResolvedValue>,
+}
+
+/// One resolved property value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedValue {
+    /// Target-independent boolean.
+    Bool(bool),
+    /// Target-dependent string value.
+    Str(String),
+    /// Value absent for this target/statement.
+    Null,
+}
+
+/// Appends a target's global signals to a resolved value vector.
+pub fn append_global_signals(values: &mut ResolvedValues, signals: &GlobalSignals) {
+    for &b in &signals.flags {
+        values.values.push(ResolvedValue::Bool(b));
+    }
+    for f in &signals.fields {
+        values.values.push(match f {
+            Some(v) => ResolvedValue::Str(v.clone()),
+            None => ResolvedValue::Null,
+        });
+    }
+}
+
+/// Resolves `V_k` for a statement of an *existing* target (training): slot
+/// values come from the implementation itself.
+pub fn training_values(
+    template: &FunctionTemplate,
+    feats: &TemplateFeatures,
+    node_id: usize,
+    target: &str,
+) -> ResolvedValues {
+    let mut values = vec![ResolvedValue::Null; feats.props.len()];
+    if let Some(bools) = feats.bool_values.get(target) {
+        for (i, prop) in feats.props.iter().enumerate() {
+            if prop.is_bool {
+                if let Some(b) = bools.get(i) {
+                    values[i] = ResolvedValue::Bool(*b);
+                }
+            }
+        }
+    }
+    if node_id != SIG_NODE {
+        let node = &template.stmts[node_id];
+        for (slot_id, slot) in node.slots.iter().enumerate() {
+            let Some(&prop_idx) = feats.slot_props.get(&(node_id, slot_id)) else { continue };
+            if let Some(v) = slot.values.get(target) {
+                let s = slot_value_string(v);
+                if !s.is_empty() {
+                    values[prop_idx] = ResolvedValue::Str(s);
+                }
+            }
+        }
+    }
+    ResolvedValues { values }
+}
+
+/// Builds the encoded input sequence from its parts.
+pub fn build_input(
+    vocab: &Vocab,
+    norm: &TargetNorm,
+    prev_line: Option<&[usize]>,
+    template_line: &[usize],
+    values: &ResolvedValues,
+    max_len: usize,
+) -> Vec<usize> {
+    let sep = vocab.special(Special::Sep);
+    let mut out = vec![vocab.special(Special::Cls)];
+    match prev_line {
+        Some(p) => out.extend(p.iter().copied().take(24)),
+        None => out.push(vocab.special(Special::Null)),
+    }
+    out.push(sep);
+    out.extend(template_line.iter().copied().take(40));
+    for v in &values.values {
+        out.push(sep);
+        match v {
+            ResolvedValue::Bool(true) => out.push(vocab.special(Special::True)),
+            ResolvedValue::Bool(false) => out.push(vocab.special(Special::False)),
+            ResolvedValue::Null => out.push(vocab.special(Special::Null)),
+            ResolvedValue::Str(s) => {
+                for p in norm.anonymize_pieces(&string_to_pieces(s)) {
+                    vocab.encode_piece(&p, &mut out);
+                }
+            }
+        }
+    }
+    out.push(vocab.special(Special::E2d));
+    out.truncate(max_len);
+    out
+}
+
+/// Eq. (1): the confidence score of statement `S_k`.
+///
+/// `CS(S_k) = (|T_k^com|/|T_k| + Σ_SV 1/(|T_k|·N(SV))) · has(S_k)`
+pub fn confidence_score(
+    node: &StmtTemplate,
+    slot_candidates: &[usize],
+    has: bool,
+) -> f64 {
+    if !has {
+        return 0.0;
+    }
+    let total = node.total_token_count() as f64;
+    let common = node.common_token_count() as f64;
+    let mut score = common / total;
+    for &n in slot_candidates {
+        score += 1.0 / (total * n.max(1) as f64);
+    }
+    score.clamp(0.0, 1.0)
+}
+
+/// Candidate-set sizes for each slot of a node on one target, given the
+/// per-slot property map and a per-property candidate count lookup.
+pub fn slot_candidate_counts(
+    node_id: usize,
+    node: &StmtTemplate,
+    feats: &TemplateFeatures,
+    prop_candidates: &BTreeMap<usize, usize>,
+) -> Vec<usize> {
+    (0..node.slots.len())
+        .map(|slot_id| {
+            feats
+                .slot_props
+                .get(&(node_id, slot_id))
+                .and_then(|p| prop_candidates.get(p).copied())
+                .unwrap_or(UNDISCOVERED_N)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::SlotData;
+    use vega_cpplite::lex;
+    use vega_model::Vocab;
+
+    fn node_with_slot() -> StmtTemplate {
+        let mut slot = SlotData::default();
+        slot.values
+            .insert("ARM".into(), lex("fixup_arm_movt_hi16").unwrap());
+        slot.values
+            .insert("Mips".into(), lex("fixup_MIPS_HI16").unwrap());
+        StmtTemplate {
+            kind: StmtKind::Case,
+            parent: None,
+            in_else: false,
+            pattern: vec![
+                PatTok::Slot(1),
+                PatTok::Common(Token::Punct("::")),
+                PatTok::Slot(0),
+            ],
+            slots: vec![
+                slot,
+                SlotData {
+                    values: [("ARM".to_string(), lex("ARM").unwrap()),
+                             ("Mips".to_string(), lex("Mips").unwrap())]
+                        .into_iter()
+                        .collect(),
+                },
+            ],
+            present: vec!["ARM".into(), "Mips".into()],
+            children: Vec::new(),
+            else_children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn eq1_matches_paper_shape() {
+        let node = node_with_slot();
+        // |T| = common(2: case/:/:: → structural 2 + 1 common) … compute:
+        let total = node.total_token_count() as f64;
+        let common = node.common_token_count() as f64;
+        // One slot with 66 candidates, one with 1 candidate.
+        let cs = confidence_score(&node, &[66, 1], true);
+        let expected = common / total + 1.0 / (total * 66.0) + 1.0 / total;
+        assert!((cs - expected.clamp(0.0, 1.0)).abs() < 1e-12);
+        // Absent statement scores exactly 0.
+        assert_eq!(confidence_score(&node, &[66, 1], false), 0.0);
+        // No slots → score 1.
+        let simple = StmtTemplate {
+            kind: StmtKind::Return,
+            parent: None,
+            in_else: false,
+            pattern: lex("0").unwrap().into_iter().map(PatTok::Common).collect(),
+            slots: vec![],
+            present: vec!["ARM".into()],
+            children: vec![],
+            else_children: vec![],
+        };
+        assert_eq!(confidence_score(&simple, &[], true), 1.0);
+    }
+
+    #[test]
+    fn input_sequence_layout() {
+        let node = node_with_slot();
+        let vocab = Vocab::build(["\u{2581}fixup", "\u{2581}case"]);
+        let mut tline = Vec::new();
+        template_line_pieces(&node, &vocab, &mut tline);
+        assert!(tline.contains(&vocab.special(Special::Slot)));
+        let values = ResolvedValues {
+            values: vec![
+                ResolvedValue::Bool(true),
+                ResolvedValue::Str("fixup_arm_movt_hi16".into()),
+                ResolvedValue::Null,
+            ],
+        };
+        let norm = TargetNorm::new("DemoTgt");
+        let input = build_input(&vocab, &norm, None, &tline, &values, 128);
+        assert_eq!(input[0], vocab.special(Special::Cls));
+        assert_eq!(input[1], vocab.special(Special::Null)); // no prev line
+        assert!(input.contains(&vocab.special(Special::True)));
+        assert!(input.contains(&vocab.special(Special::E2d)));
+        let seps = input.iter().filter(|&&i| i == vocab.special(Special::Sep)).count();
+        assert_eq!(seps, 1 + 3); // template sep + one per property
+    }
+
+    #[test]
+    fn training_value_resolution_uses_slot_strings() {
+        let node = node_with_slot();
+        let template = FunctionTemplate {
+            name: "f".into(),
+            signature: Default::default(),
+            stmts: vec![node],
+            roots: vec![0],
+            targets: vec!["ARM".into(), "Mips".into()],
+        };
+        let feats = TemplateFeatures {
+            props: vec![crate::features::Property {
+                name: "MCFixupKind".into(),
+                is_bool: false,
+                identified_site: "llvm/MC/MCFixup.h".into(),
+                source: None,
+                probe_token: None,
+            }],
+            bool_values: BTreeMap::new(),
+            slot_props: [((0usize, 0usize), 0usize)].into_iter().collect(),
+        };
+        let vals = training_values(&template, &feats, 0, "ARM");
+        assert_eq!(vals.values[0], ResolvedValue::Str("fixup_arm_movt_hi16".into()));
+        let vals = training_values(&template, &feats, 0, "RISCV");
+        assert_eq!(vals.values[0], ResolvedValue::Null);
+    }
+}

@@ -1,0 +1,11 @@
+//! VEGA core (building up).
+mod features;
+mod featvec;
+mod generate;
+mod pipeline;
+mod template;
+pub use features::*;
+pub use featvec::*;
+pub use generate::*;
+pub use pipeline::*;
+pub use template::*;

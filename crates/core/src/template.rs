@@ -1,0 +1,674 @@
+//! Stage 1a — Templatization (paper §3.2.1).
+//!
+//! A function group (all target-specific implementations of one interface
+//! function) is folded into a *function template*: a tree of statement
+//! templates whose tokens are split into common code and placeholder slots
+//! (`SV`) holding per-target values. Folding is progressive: the richest
+//! implementation seeds the template, every further implementation is
+//! aligned against it with the GumTree matcher, matched statements are merged
+//! token-wise by LCS, and unmatched statements are inserted as new template
+//! nodes.
+
+use std::collections::BTreeMap;
+use vega_cpplite::{Function, Stmt, StmtKind, Token};
+use vega_treediff::{align_stmts, lcs_indices};
+
+/// A token position in a statement template: literal common code or a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatTok {
+    /// Common code shared by all implementations.
+    Common(Token),
+    /// Placeholder `SV_i` — index into [`StmtTemplate::slots`].
+    Slot(usize),
+}
+
+/// One placeholder's per-target values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotData {
+    /// Target → the token run this target has at the slot (possibly empty).
+    pub values: BTreeMap<String, Vec<Token>>,
+}
+
+/// One statement template (a `T_k` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtTemplate {
+    /// Statement kind shared by all implementations of this node.
+    pub kind: StmtKind,
+    /// Parent node index (None = top level of the function body).
+    pub parent: Option<usize>,
+    /// `true` if this node lives in its parent's else-branch.
+    pub in_else: bool,
+    /// Head pattern: common tokens and slots (structural keywords excluded,
+    /// like [`Stmt::head`]).
+    pub pattern: Vec<PatTok>,
+    /// Placeholder data, indexed by [`PatTok::Slot`].
+    pub slots: Vec<SlotData>,
+    /// Targets whose implementation contains this statement.
+    pub present: Vec<String>,
+    /// Child template-node indices (body statements).
+    pub children: Vec<usize>,
+    /// Child template-node indices in the else branch.
+    pub else_children: Vec<usize>,
+}
+
+impl StmtTemplate {
+    /// Number of placeholder slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of common (non-slot) pattern tokens, including the structural
+    /// tokens implied by the kind — the `|T_k^com|` of Eq. (1).
+    pub fn common_token_count(&self) -> usize {
+        let structural = match self.kind {
+            StmtKind::Simple => 1,
+            StmtKind::Return | StmtKind::Case => 2,
+            StmtKind::Default | StmtKind::Break | StmtKind::Block => 2,
+            _ => 4,
+        };
+        structural
+            + self
+                .pattern
+                .iter()
+                .filter(|p| matches!(p, PatTok::Common(_)))
+                .count()
+    }
+
+    /// Total pattern length including structure — the `|T_k|` of Eq. (1).
+    pub fn total_token_count(&self) -> usize {
+        self.common_token_count() + self.slot_count()
+    }
+
+    /// The head tokens a specific target has for this node, with slots
+    /// substituted (`None` if the target lacks the statement).
+    pub fn head_for(&self, target: &str) -> Option<Vec<Token>> {
+        if !self.present.iter().any(|t| t == target) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.pattern.len());
+        for p in &self.pattern {
+            match p {
+                PatTok::Common(t) => out.push(t.clone()),
+                PatTok::Slot(i) => {
+                    if let Some(v) = self.slots[*i].values.get(target) {
+                        out.extend(v.iter().cloned());
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// The head tokens with each slot rendered as a `SV` marker token (the
+    /// template view fed to the model).
+    pub fn pattern_tokens_with_markers(&self, marker: &Token) -> Vec<Token> {
+        self.pattern
+            .iter()
+            .map(|p| match p {
+                PatTok::Common(t) => t.clone(),
+                PatTok::Slot(_) => marker.clone(),
+            })
+            .collect()
+    }
+}
+
+/// The signature template of a function group.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SigTemplate {
+    /// Pattern over the signature token sequence.
+    pub pattern: Vec<PatTok>,
+    /// Slot data for the signature.
+    pub slots: Vec<SlotData>,
+}
+
+/// A function template (`FT_M`): signature plus statement-template tree.
+#[derive(Debug, Clone)]
+pub struct FunctionTemplate {
+    /// Interface function name.
+    pub name: String,
+    /// Signature template.
+    pub signature: SigTemplate,
+    /// All statement templates; tree structure via parent/children indices.
+    pub stmts: Vec<StmtTemplate>,
+    /// Top-level statement-template indices in order.
+    pub roots: Vec<usize>,
+    /// Group members (target names) in merge order.
+    pub targets: Vec<String>,
+}
+
+impl FunctionTemplate {
+    /// Builds the template for a function group.
+    ///
+    /// # Panics
+    /// Panics if the group is empty.
+    pub fn build(name: &str, group: &[(&str, &Function)]) -> Self {
+        assert!(!group.is_empty(), "empty function group");
+        // Seed with the implementation with the most statements.
+        let mut order: Vec<usize> = (0..group.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(group[i].1.stmt_count()));
+        let (seed_target, seed_fn) = group[order[0]];
+
+        let mut t = FunctionTemplate {
+            name: name.to_string(),
+            signature: SigTemplate {
+                pattern: seed_fn
+                    .signature_tokens()
+                    .into_iter()
+                    .map(PatTok::Common)
+                    .collect(),
+                slots: Vec::new(),
+            },
+            stmts: Vec::new(),
+            roots: Vec::new(),
+            targets: vec![seed_target.to_string()],
+        };
+        let roots = t.add_subtree(&seed_fn.body, None, false, seed_target);
+        t.roots = roots;
+
+        for &i in &order[1..] {
+            let (target, f) = group[i];
+            t.merge(target, f);
+        }
+        t
+    }
+
+    fn add_subtree(
+        &mut self,
+        stmts: &[Stmt],
+        parent: Option<usize>,
+        in_else: bool,
+        target: &str,
+    ) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            let id = self.stmts.len();
+            self.stmts.push(StmtTemplate {
+                kind: s.kind,
+                parent,
+                in_else,
+                pattern: s.head.iter().cloned().map(PatTok::Common).collect(),
+                slots: Vec::new(),
+                present: vec![target.to_string()],
+                children: Vec::new(),
+                else_children: Vec::new(),
+            });
+            let kids = self.add_subtree(&s.children, Some(id), false, target);
+            self.stmts[id].children = kids;
+            let ekids = self.add_subtree(&s.else_children, Some(id), true, target);
+            self.stmts[id].else_children = ekids;
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Materializes the template as a pseudo statement forest (representative
+    /// head = pattern with slots filled by the first present target) so the
+    /// GumTree aligner can match an incoming function against it. Returns the
+    /// forest plus, per preorder statement index, the template node id.
+    fn materialize(&self) -> (Vec<Stmt>, Vec<usize>) {
+        let mut index_map = Vec::new();
+        let forest = self.materialize_list(&self.roots, &mut index_map);
+        (forest, index_map)
+    }
+
+    fn materialize_list(&self, ids: &[usize], index_map: &mut Vec<usize>) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let node = &self.stmts[id];
+            let rep_target = node.present.first().cloned().unwrap_or_default();
+            let head = node.head_for(&rep_target).unwrap_or_default();
+            index_map.push(id);
+            let children = self.materialize_list(&node.children, index_map);
+            let else_children = self.materialize_list(&node.else_children, index_map);
+            let mut s = Stmt::new(node.kind, head, children);
+            s.else_children = else_children;
+            out.push(s);
+        }
+        out
+    }
+
+    /// Merges one more target implementation into the template (also the
+    /// entry point of the incremental update mechanism, §6).
+    pub fn merge_target(&mut self, target: &str, f: &Function) {
+        self.merge(target, f);
+    }
+
+    /// Merges one more target implementation into the template.
+    fn merge(&mut self, target: &str, f: &Function) {
+        self.targets.push(target.to_string());
+        self.merge_signature(target, f);
+
+        let (forest, index_map) = self.materialize();
+        let alignment = align_stmts(&forest, &f.body);
+
+        // Collect the incoming statements in preorder with their parents.
+        let mut incoming: Vec<(&Stmt, Option<usize>, bool)> = Vec::new();
+        fn collect<'a>(
+            stmts: &'a [Stmt],
+            parent: Option<usize>,
+            in_else: bool,
+            out: &mut Vec<(&'a Stmt, Option<usize>, bool)>,
+        ) {
+            for s in stmts {
+                let my_index = out.len();
+                out.push((s, parent, in_else));
+                collect(&s.children, Some(my_index), false, out);
+                collect(&s.else_children, Some(my_index), true, out);
+            }
+        }
+        collect(&f.body, None, false, &mut incoming);
+
+        // Map incoming preorder index → template node id (for matched ones).
+        let mut matched_node: Vec<Option<usize>> = vec![None; incoming.len()];
+        for (ti, fi) in &alignment.pairs {
+            // Only merge when kinds agree; a kind clash is a structural
+            // mismatch better handled as insertion.
+            let node = index_map[*ti];
+            if self.stmts[node].kind == incoming[*fi].0.kind {
+                matched_node[*fi] = Some(node);
+            }
+        }
+
+        // 1. Merge matched statements' tokens.
+        for (fi, node) in matched_node.iter().enumerate() {
+            if let Some(node) = node {
+                self.merge_tokens(*node, target, &incoming[fi].0.head);
+                self.stmts[*node].present.push(target.to_string());
+            }
+        }
+
+        // 2. Insert unmatched incoming statements.
+        for fi in 0..incoming.len() {
+            if matched_node[fi].is_some() {
+                continue;
+            }
+            let (stmt, parent_fi, in_else) = incoming[fi];
+            // Parent template node: the node its parent matched/was inserted
+            // to; unmatched parents are processed first (preorder), so look
+            // up the running map.
+            let parent_node = parent_fi.and_then(|p| matched_node[p]);
+            if parent_fi.is_some() && parent_node.is_none() {
+                // The parent failed to land in the template; skip the child —
+                // it will be represented through the parent's subtree when
+                // the parent itself was inserted (handled below via
+                // add_subtree), so nothing to do here.
+                continue;
+            }
+            let id = self.insert_node(stmt, parent_node, in_else, target, fi, &matched_node, &incoming);
+            matched_node[fi] = Some(id);
+            // Children of an inserted node are added as a whole subtree.
+            let kids = self.add_subtree(&stmt.children, Some(id), false, target);
+            self.stmts[id].children = kids;
+            let ekids = self.add_subtree(&stmt.else_children, Some(id), true, target);
+            self.stmts[id].else_children = ekids;
+            // Mark the subtree's incoming indices as handled.
+            mark_subtree_handled(fi, &incoming, &mut matched_node, id);
+        }
+    }
+
+    /// Inserts a new template node for `stmt` after the template position of
+    /// the nearest preceding matched sibling.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_node(
+        &mut self,
+        stmt: &Stmt,
+        parent_node: Option<usize>,
+        in_else: bool,
+        target: &str,
+        fi: usize,
+        matched_node: &[Option<usize>],
+        incoming: &[(&Stmt, Option<usize>, bool)],
+    ) -> usize {
+        let id = self.stmts.len();
+        self.stmts.push(StmtTemplate {
+            kind: stmt.kind,
+            parent: parent_node,
+            in_else,
+            pattern: stmt.head.iter().cloned().map(PatTok::Common).collect(),
+            slots: Vec::new(),
+            present: vec![target.to_string()],
+            children: Vec::new(),
+            else_children: Vec::new(),
+        });
+        // Find the insertion position among siblings: after the last earlier
+        // incoming sibling (same parent/in_else) that landed in the template.
+        let siblings: Vec<usize> = match parent_node {
+            Some(p) => {
+                if in_else {
+                    self.stmts[p].else_children.clone()
+                } else {
+                    self.stmts[p].children.clone()
+                }
+            }
+            None => self.roots.clone(),
+        };
+        let mut insert_at = 0usize;
+        for (j, entry) in incoming.iter().enumerate().take(fi) {
+            let same_parent = entry.1.map(|p| matched_node[p]) == incoming[fi].1.map(|p| matched_node[p])
+                && entry.2 == in_else;
+            if !same_parent {
+                continue;
+            }
+            if let Some(node) = matched_node[j] {
+                if let Some(pos) = siblings.iter().position(|&s| s == node) {
+                    insert_at = insert_at.max(pos + 1);
+                }
+            }
+        }
+        match parent_node {
+            Some(p) => {
+                let list = if in_else {
+                    &mut self.stmts[p].else_children
+                } else {
+                    &mut self.stmts[p].children
+                };
+                let at = insert_at.min(list.len());
+                list.insert(at, id);
+            }
+            None => {
+                let at = insert_at.min(self.roots.len());
+                self.roots.insert(at, id);
+            }
+        }
+        id
+    }
+
+    /// Token-level merge of an incoming head into a node's pattern: common
+    /// tokens stay common, mismatching runs become (or extend) slots.
+    fn merge_tokens(&mut self, node: usize, target: &str, head: &[Token]) {
+        let pattern = std::mem::take(&mut self.stmts[node].pattern);
+        let mut slots = std::mem::take(&mut self.stmts[node].slots);
+        let present = self.stmts[node].present.clone();
+
+        // LCS between pattern (slots never match) and the incoming tokens.
+        let head_pat: Vec<PatTok> = head.iter().cloned().map(PatTok::Common).collect();
+        let matches = lcs_indices(&pattern, &head_pat, |p, t| match (p, t) {
+            (PatTok::Common(pt), PatTok::Common(ht)) => pt == ht,
+            _ => false,
+        });
+
+        let mut new_pattern: Vec<PatTok> = Vec::new();
+        let (mut pi, mut hi) = (0usize, 0usize);
+        let push_gap =
+            |pat_run: &[PatTok], head_run: &[Token], slots: &mut Vec<SlotData>, new_pattern: &mut Vec<PatTok>| {
+                if pat_run.is_empty() && head_run.is_empty() {
+                    return;
+                }
+                // Reuse an existing slot if the pattern gap is exactly one
+                // slot; otherwise build a new slot absorbing the gap.
+                if pat_run.len() == 1 {
+                    if let PatTok::Slot(s) = pat_run[0] {
+                        slots[s].values.insert(target.to_string(), head_run.to_vec());
+                        new_pattern.push(PatTok::Slot(s));
+                        return;
+                    }
+                }
+                let mut slot = SlotData::default();
+                // Previous targets' value for this gap: the common tokens
+                // and slot values that sat in the gap.
+                for t in &present {
+                    let mut v: Vec<Token> = Vec::new();
+                    for p in pat_run {
+                        match p {
+                            PatTok::Common(tok) => v.push(tok.clone()),
+                            PatTok::Slot(s) => {
+                                if let Some(sv) = slots[*s].values.get(t) {
+                                    v.extend(sv.iter().cloned());
+                                }
+                            }
+                        }
+                    }
+                    slot.values.insert(t.clone(), v);
+                }
+                slot.values.insert(target.to_string(), head_run.to_vec());
+                slots.push(slot);
+                new_pattern.push(PatTok::Slot(slots.len() - 1));
+            };
+
+        for (mp, mh) in matches.iter().copied() {
+            push_gap(&pattern[pi..mp], &head[hi..mh], &mut slots, &mut new_pattern);
+            new_pattern.push(pattern[mp].clone());
+            if let PatTok::Slot(s) = pattern[mp] {
+                // Shouldn't happen (slots never match), but keep sane.
+                slots[s].values.insert(target.to_string(), vec![head[mh].clone()]);
+            }
+            pi = mp + 1;
+            hi = mh + 1;
+        }
+        push_gap(&pattern[pi..], &head[hi..], &mut slots, &mut new_pattern);
+
+        self.stmts[node].pattern = new_pattern;
+        self.stmts[node].slots = slots;
+    }
+
+    fn merge_signature(&mut self, target: &str, f: &Function) {
+        let head = f.signature_tokens();
+        let mut sig = std::mem::take(&mut self.signature);
+        // Reuse merge_tokens machinery via a scratch node.
+        let scratch = StmtTemplate {
+            kind: StmtKind::Simple,
+            parent: None,
+            in_else: false,
+            pattern: sig.pattern,
+            slots: sig.slots,
+            present: self.targets[..self.targets.len() - 1].to_vec(),
+            children: Vec::new(),
+            else_children: Vec::new(),
+        };
+        self.stmts.push(scratch);
+        let idx = self.stmts.len() - 1;
+        self.merge_tokens(idx, target, &head);
+        let scratch = self.stmts.pop().unwrap();
+        sig.pattern = scratch.pattern;
+        sig.slots = scratch.slots;
+        self.signature = sig;
+    }
+
+    /// Statement templates in preorder (the `T_1 … T_N` order used for
+    /// feature vectors and generation).
+    pub fn preorder(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.stmts.len());
+        fn walk(t: &FunctionTemplate, ids: &[usize], out: &mut Vec<usize>) {
+            for &id in ids {
+                out.push(id);
+                walk(t, &t.stmts[id].children, out);
+                walk(t, &t.stmts[id].else_children, out);
+            }
+        }
+        walk(self, &self.roots, &mut out);
+        out
+    }
+
+    /// Whether a target's implementation contains statement template `id`.
+    pub fn has(&self, id: usize, target: &str) -> bool {
+        self.stmts[id].present.iter().any(|t| t == target)
+    }
+}
+
+fn mark_subtree_handled(
+    root_fi: usize,
+    incoming: &[(&Stmt, Option<usize>, bool)],
+    matched_node: &mut [Option<usize>],
+    _node: usize,
+) {
+    // Children of `root_fi` occupy the following indices until the preorder
+    // leaves the subtree; mark any descendant still unhandled as handled by
+    // pointing it at its own template node (created in add_subtree). We only
+    // need to prevent re-insertion, so marking with the root id is enough.
+    let span = subtree_span(root_fi, incoming);
+    for slot in matched_node.iter_mut().take(span.1).skip(span.0 + 1) {
+        if slot.is_none() {
+            *slot = Some(usize::MAX); // sentinel: handled, not a merge target
+        }
+    }
+}
+
+/// Preorder span `[start, end)` of the subtree rooted at `fi`.
+fn subtree_span(fi: usize, incoming: &[(&Stmt, Option<usize>, bool)]) -> (usize, usize) {
+    let mut end = fi + 1;
+    while end < incoming.len() {
+        // A node is inside the subtree if its parent chain reaches fi.
+        let mut p = incoming[end].1;
+        let mut inside = false;
+        while let Some(pi) = p {
+            if pi == fi {
+                inside = true;
+                break;
+            }
+            p = incoming[pi].1;
+        }
+        if !inside {
+            break;
+        }
+        end += 1;
+    }
+    (fi, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_cpplite::parse_function;
+
+    fn arm_mips_group() -> (Function, Function) {
+        let arm = parse_function(
+            r#"
+unsigned ARMELFObjectWriter::getRelocType(const MCValue &Target, const MCFixup &Fixup, bool IsPCRel) {
+  unsigned Kind = Fixup.getTargetKind();
+  unsigned Modifier = Target.getAccessVariant();
+  if (IsPCRel) {
+    switch (Kind) {
+    case ARM::fixup_arm_movt_hi16:
+      return ELF::R_ARM_MOVT_PREL;
+    default:
+      return ELF::R_ARM_NONE;
+    }
+  }
+  return ELF::R_ARM_NONE;
+}
+"#,
+        )
+        .unwrap();
+        let mips = parse_function(
+            r#"
+unsigned MipsELFObjectWriter::getRelocType(const MCValue &Target, const MCFixup &Fixup, bool IsPCRel) {
+  unsigned Kind = Fixup.getTargetKind();
+  if (IsPCRel) {
+    switch (Kind) {
+    case Mips::fixup_MIPS_HI16:
+      return ELF::R_MIPS_HI16;
+    default:
+      return ELF::R_MIPS_NONE;
+    }
+  }
+  return ELF::R_MIPS_NONE;
+}
+"#,
+        )
+        .unwrap();
+        (arm, mips)
+    }
+
+    #[test]
+    fn motivating_example_template() {
+        let (arm, mips) = arm_mips_group();
+        let t = FunctionTemplate::build(
+            "getRelocType",
+            &[("ARM", &arm), ("Mips", &mips)],
+        );
+        // The Modifier statement (paper's S2) is ARM-only.
+        let modifier = t
+            .stmts
+            .iter()
+            .find(|s| {
+                s.pattern
+                    .iter()
+                    .any(|p| matches!(p, PatTok::Common(Token::Ident(i)) if i == "Modifier"))
+            })
+            .expect("modifier node");
+        assert_eq!(modifier.present, vec!["ARM".to_string()]);
+
+        // The case label merged into a slotted pattern present on both.
+        let case = t
+            .stmts
+            .iter()
+            .find(|s| s.kind == StmtKind::Case)
+            .expect("case node");
+        assert_eq!(case.present.len(), 2);
+        assert!(!case.slots.is_empty());
+        let slot_vals = &case.slots.last().unwrap().values;
+        assert!(slot_vals.contains_key("ARM") && slot_vals.contains_key("Mips"));
+
+        // Kind decl is fully common.
+        let kind_decl = t
+            .stmts
+            .iter()
+            .find(|s| {
+                s.pattern
+                    .iter()
+                    .any(|p| matches!(p, PatTok::Common(Token::Ident(i)) if i == "getTargetKind"))
+            })
+            .unwrap();
+        assert_eq!(kind_decl.slot_count(), 0);
+        assert_eq!(kind_decl.present.len(), 2);
+    }
+
+    #[test]
+    fn head_for_reconstructs_target_statement() {
+        let (arm, mips) = arm_mips_group();
+        let t = FunctionTemplate::build("getRelocType", &[("ARM", &arm), ("Mips", &mips)]);
+        let case = t.stmts.iter().find(|s| s.kind == StmtKind::Case).unwrap();
+        let arm_head = case.head_for("ARM").unwrap();
+        let text = vega_cpplite::render_tokens(&arm_head);
+        assert_eq!(text, "ARM::fixup_arm_movt_hi16");
+        let mips_head = case.head_for("Mips").unwrap();
+        assert_eq!(vega_cpplite::render_tokens(&mips_head), "Mips::fixup_MIPS_HI16");
+        assert_eq!(case.head_for("RISCV"), None);
+    }
+
+    #[test]
+    fn signature_template_has_qualifier_slot() {
+        let (arm, mips) = arm_mips_group();
+        let t = FunctionTemplate::build("getRelocType", &[("ARM", &arm), ("Mips", &mips)]);
+        assert!(!t.signature.slots.is_empty());
+        // The function name itself is common.
+        assert!(t.signature.pattern.iter().any(
+            |p| matches!(p, PatTok::Common(Token::Ident(i)) if i == "getRelocType")
+        ));
+    }
+
+    #[test]
+    fn preorder_covers_all_nodes_once() {
+        let (arm, mips) = arm_mips_group();
+        let t = FunctionTemplate::build("getRelocType", &[("ARM", &arm), ("Mips", &mips)]);
+        let pre = t.preorder();
+        let mut sorted = pre.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pre.len());
+        assert_eq!(pre.len(), t.stmts.len());
+    }
+
+    #[test]
+    fn three_way_merge_keeps_case_variants() {
+        let a = parse_function(
+            "unsigned f(unsigned K) { switch (K) { case A1: return 1; case A2: return 2; default: break; } return 0; }",
+        )
+        .unwrap();
+        let b = parse_function(
+            "unsigned f(unsigned K) { switch (K) { case B1: return 1; default: break; } return 0; }",
+        )
+        .unwrap();
+        let c = parse_function(
+            "unsigned f(unsigned K) { switch (K) { case C1: return 1; case C2: return 2; case C3: return 9; default: break; } return 0; }",
+        )
+        .unwrap();
+        let t = FunctionTemplate::build("f", &[("A", &a), ("B", &b), ("C", &c)]);
+        let n_cases = t.stmts.iter().filter(|s| s.kind == StmtKind::Case).count();
+        // The seed (C, richest) has 3; A's and B's cases merge into them.
+        assert!(n_cases >= 3, "cases: {n_cases}");
+        for s in t.stmts.iter().filter(|s| s.kind == StmtKind::Case) {
+            assert!(!s.present.is_empty());
+        }
+    }
+}

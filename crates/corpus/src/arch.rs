@@ -1,0 +1,289 @@
+//! Architecture specifications.
+//!
+//! An [`ArchSpec`] is the ground truth for one target: its ISA, registers,
+//! fixups/relocations and feature traits. From a spec the corpus derives both
+//! the target description files (`TGTDIRs`, see [`crate::tdgen`]) and the
+//! reference backend implementation (see [`crate::blueprints`]). VEGA itself
+//! never sees an `ArchSpec` — for a new target it only receives the
+//! description files, exactly as the paper prescribes.
+
+/// Byte order of the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endian {
+    /// Least-significant byte first.
+    Little,
+    /// Most-significant byte first.
+    Big,
+}
+
+impl Endian {
+    /// The spelling used in `.td` files (`Endianness = "little"`).
+    pub fn td_name(self) -> &'static str {
+        match self {
+            Endian::Little => "little",
+            Endian::Big => "big",
+        }
+    }
+}
+
+/// Boolean feature traits that gate optional backend code paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // trait names are self-describing feature flags
+pub struct ArchTraits {
+    pub has_pcrel: bool,
+    pub has_variant_kind: bool,
+    pub has_fpu: bool,
+    pub has_mac: bool,
+    pub has_hwloop: bool,
+    pub has_simd: bool,
+    pub has_compressed: bool,
+    pub has_threads: bool,
+    pub has_disassembler: bool,
+    pub has_cmov: bool,
+    pub has_forwarding: bool,
+}
+
+/// One machine instruction definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrDef {
+    /// Backend-level name, e.g. `ADD` (referenced as `NS::ADD`).
+    pub name: String,
+    /// Assembly mnemonic, e.g. `add`.
+    pub mnemonic: String,
+    /// The generic ISD opcode this instruction selects from, if any.
+    pub isd: Option<String>,
+    /// Scheduling latency in cycles.
+    pub latency: u32,
+    /// Number of decoded micro-ops.
+    pub micro_ops: u32,
+    /// Encoding format tag (`"R"`, `"I"`, `"B"`, `"M"`, `"C"`).
+    pub format: String,
+    /// Primary opcode field value in the encoding.
+    pub opcode: u32,
+    /// True for control-flow instructions.
+    pub is_branch: bool,
+    /// True for memory loads.
+    pub is_load: bool,
+    /// True for memory stores.
+    pub is_store: bool,
+    /// For compressed instructions: the wide instruction to relax into.
+    pub relaxed_to: Option<String>,
+}
+
+impl InstrDef {
+    /// Creates a plain ALU instruction selecting from `isd`.
+    pub fn alu(name: &str, mnemonic: &str, isd: &str, latency: u32, opcode: u32) -> Self {
+        InstrDef {
+            name: name.to_string(),
+            mnemonic: mnemonic.to_string(),
+            isd: Some(isd.to_string()),
+            latency,
+            micro_ops: 1,
+            format: "R".to_string(),
+            opcode,
+            is_branch: false,
+            is_load: false,
+            is_store: false,
+            relaxed_to: None,
+        }
+    }
+}
+
+/// One register class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegClass {
+    /// Class name, e.g. `GPR`.
+    pub name: String,
+    /// Register name prefix, e.g. `X` yields `X0`, `X1`, ….
+    pub prefix: String,
+    /// Number of registers in the class.
+    pub count: u32,
+    /// Spill slot size in bytes.
+    pub spill_size: u32,
+    /// The value type the class carries (`i32`, `i64`, `f32`, `f64`, `v128`).
+    pub vt: String,
+}
+
+/// One fixup kind with its relocation mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixupDef {
+    /// Fixup name, e.g. `fixup_arm_movt_hi16`.
+    pub name: String,
+    /// Absolute relocation emitted for this fixup, e.g. `R_ARM_MOVT_ABS`.
+    pub reloc_abs: String,
+    /// PC-relative relocation, if the fixup supports PC-relative uses.
+    pub reloc_pcrel: Option<String>,
+    /// Width of the patched field in bits.
+    pub bits: u32,
+    /// Bit offset of the patched field.
+    pub offset: u32,
+}
+
+/// Complete specification of one target architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchSpec {
+    /// Namespace / target name, e.g. `ARM`, `RISCV` (used as `NS::` in code
+    /// and as `{NS}` in description file paths).
+    pub name: String,
+    /// Byte order.
+    pub endian: Endian,
+    /// Machine word width in bits.
+    pub word_bits: u32,
+    /// Immediate field width for ALU-immediate instructions.
+    pub imm_bits: u32,
+    /// Feature traits.
+    pub traits: ArchTraits,
+    /// Instruction set.
+    pub instrs: Vec<InstrDef>,
+    /// Register classes.
+    pub regs: Vec<RegClass>,
+    /// Fixups and their relocation mappings.
+    pub fixups: Vec<FixupDef>,
+    /// Symbol-reference variant kinds (e.g. `VK_ARM_GOT`); empty unless
+    /// `traits.has_variant_kind`.
+    pub variant_kinds: Vec<String>,
+    /// Stack pointer register name.
+    pub sp_reg: String,
+    /// Frame pointer register name.
+    pub fp_reg: String,
+    /// Return address register name (empty if the target pushes to stack).
+    pub ra_reg: String,
+    /// Assembly comment leader, e.g. `#`.
+    pub comment: String,
+}
+
+impl ArchSpec {
+    /// Looks up an instruction by name.
+    pub fn instr(&self, name: &str) -> Option<&InstrDef> {
+        self.instrs.iter().find(|i| i.name == name)
+    }
+
+    /// The instruction selected for a generic ISD opcode, if any.
+    pub fn instr_for_isd(&self, isd: &str) -> Option<&InstrDef> {
+        self.instrs.iter().find(|i| i.isd.as_deref() == Some(isd))
+    }
+
+    /// Looks up a fixup by name.
+    pub fn fixup(&self, name: &str) -> Option<&FixupDef> {
+        self.fixups.iter().find(|f| f.name == name)
+    }
+
+    /// Index of a register within the flat register file (class-major), or
+    /// `None` if unknown. Register names are `prefix + index`.
+    pub fn reg_number(&self, reg: &str) -> Option<u32> {
+        let mut base = 0u32;
+        for rc in &self.regs {
+            if let Some(idx) = reg.strip_prefix(rc.prefix.as_str()) {
+                if let Ok(i) = idx.parse::<u32>() {
+                    if i < rc.count {
+                        return Some(base + i);
+                    }
+                }
+            }
+            base += rc.count;
+        }
+        None
+    }
+
+    /// All relocation names, `R_<NS>_NONE` first, in `.def` order.
+    pub fn reloc_names(&self) -> Vec<String> {
+        let mut v = vec![format!("R_{}_NONE", self.name.to_uppercase())];
+        for f in &self.fixups {
+            if !v.contains(&f.reloc_abs) {
+                v.push(f.reloc_abs.clone());
+            }
+            if let Some(p) = &f.reloc_pcrel {
+                if !v.contains(p) {
+                    v.push(p.clone());
+                }
+            }
+        }
+        v
+    }
+
+    /// The numeric value of a relocation name per the `.def` ordering.
+    pub fn reloc_value(&self, name: &str) -> Option<i64> {
+        self.reloc_names()
+            .iter()
+            .position(|r| r == name)
+            .map(|i| i as i64)
+    }
+
+    /// The numeric value of a target fixup (`FirstTargetFixupKind + index`).
+    pub fn fixup_value(&self, name: &str) -> Option<i64> {
+        self.fixups
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FIRST_TARGET_FIXUP_KIND + i as i64)
+    }
+}
+
+/// Value of LLVM's `FirstTargetFixupKind` in the miniature `MCFixup.h`.
+pub const FIRST_TARGET_FIXUP_KIND: i64 = 64;
+
+/// The generic ISD opcodes shared by all targets (miniature `ISDOpcodes.h`).
+pub const ISD_OPCODES: &[&str] = &[
+    "ADD", "SUB", "MUL", "SDIV", "AND", "OR", "XOR", "SHL", "SRL", "SRA", "LOAD", "STORE", "BR",
+    "BRCOND", "SELECT", "SETCC", "RET", "CALL", "FADD", "FMUL",
+];
+
+/// Numeric value of an ISD opcode (its index + 1; 0 is `DELETED_NODE`).
+pub fn isd_value(name: &str) -> Option<i64> {
+    ISD_OPCODES.iter().position(|o| *o == name).map(|i| i as i64 + 1)
+}
+
+/// Generic MC fixup kinds available to all targets (miniature `MCFixup.h`).
+pub const GENERIC_FIXUPS: &[&str] = &["FK_NONE", "FK_Data_1", "FK_Data_2", "FK_Data_4", "FK_Data_8"];
+
+/// Value types used by register classes (miniature `MachineValueType.h`).
+pub const VALUE_TYPES: &[&str] = &["i32", "i64", "f32", "f64", "v128"];
+
+/// Numeric id of a value type.
+pub fn vt_value(name: &str) -> Option<i64> {
+    VALUE_TYPES.iter().position(|v| *v == name).map(|i| i as i64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::builtin_targets;
+
+    #[test]
+    fn reloc_numbering_starts_at_none() {
+        let arm = builtin_targets(0)
+            .into_iter()
+            .find(|t| t.name == "ARM")
+            .unwrap();
+        assert_eq!(arm.reloc_value(&format!("R_ARM_NONE")), Some(0));
+        let some = &arm.fixups[0].reloc_abs;
+        assert!(arm.reloc_value(some).unwrap() > 0);
+    }
+
+    #[test]
+    fn fixup_values_offset_by_first_target_kind() {
+        let arm = builtin_targets(0)
+            .into_iter()
+            .find(|t| t.name == "ARM")
+            .unwrap();
+        let first = &arm.fixups[0].name;
+        assert_eq!(arm.fixup_value(first), Some(FIRST_TARGET_FIXUP_KIND));
+    }
+
+    #[test]
+    fn reg_numbering_is_class_major() {
+        let arm = builtin_targets(0)
+            .into_iter()
+            .find(|t| t.name == "ARM")
+            .unwrap();
+        let rc0 = &arm.regs[0];
+        assert_eq!(arm.reg_number(&format!("{}0", rc0.prefix)), Some(0));
+        assert_eq!(arm.reg_number("NOPE7"), None);
+    }
+
+    #[test]
+    fn isd_values_are_stable() {
+        assert_eq!(isd_value("ADD"), Some(1));
+        assert_eq!(isd_value("CALL"), Some(18));
+        assert_eq!(isd_value("NOSUCH"), None);
+    }
+}

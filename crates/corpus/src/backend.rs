@@ -1,0 +1,146 @@
+//! Backend containers: the seven function modules of Fig. 1 and the set of
+//! interface functions a target implements.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use vega_cpplite::Function;
+
+/// The seven backend function modules of the paper's Fig. 1/Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Module {
+    /// Instruction Selection.
+    Sel,
+    /// Register Allocation.
+    Reg,
+    /// Code Optimization.
+    Opt,
+    /// Instruction Scheduling.
+    Sch,
+    /// Code Emission.
+    Emi,
+    /// Assembly Parsing.
+    Ass,
+    /// Disassembler.
+    Dis,
+}
+
+impl Module {
+    /// All modules in the paper's presentation order.
+    pub const ALL: [Module; 7] = [
+        Module::Sel,
+        Module::Reg,
+        Module::Opt,
+        Module::Sch,
+        Module::Emi,
+        Module::Ass,
+        Module::Dis,
+    ];
+
+    /// The three-letter code used in the paper's figures.
+    pub fn code(self) -> &'static str {
+        match self {
+            Module::Sel => "SEL",
+            Module::Reg => "REG",
+            Module::Opt => "OPT",
+            Module::Sch => "SCH",
+            Module::Emi => "EMI",
+            Module::Ass => "ASS",
+            Module::Dis => "DIS",
+        }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One target's backend: its interface function implementations, keyed by
+/// interface name, plus the module each belongs to.
+#[derive(Debug, Clone, Default)]
+pub struct Backend {
+    /// Target namespace, e.g. `RISCV`.
+    pub target: String,
+    functions: BTreeMap<String, (Module, Function)>,
+}
+
+impl Backend {
+    /// Creates an empty backend for `target`.
+    pub fn new(target: impl Into<String>) -> Self {
+        Backend { target: target.into(), functions: BTreeMap::new() }
+    }
+
+    /// Inserts an interface function implementation.
+    pub fn insert(&mut self, module: Module, f: Function) {
+        self.functions.insert(f.name.clone(), (module, f));
+    }
+
+    /// Looks up a function by interface name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.get(name).map(|(_, f)| f)
+    }
+
+    /// Replaces an existing function's implementation (pass@1 substitution).
+    /// Returns `false` if the interface is not part of this backend.
+    pub fn replace(&mut self, name: &str, f: Function) -> bool {
+        match self.functions.get_mut(name) {
+            Some(slot) => {
+                slot.1 = f;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The module an interface function belongs to.
+    pub fn module_of(&self, name: &str) -> Option<Module> {
+        self.functions.get(name).map(|(m, _)| *m)
+    }
+
+    /// Iterates `(name, module, function)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Module, &Function)> {
+        self.functions
+            .iter()
+            .map(|(n, (m, f))| (n.as_str(), *m, f))
+    }
+
+    /// Number of interface functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Returns `true` if the backend has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Total statement count across all functions.
+    pub fn stmt_count(&self) -> usize {
+        self.functions.values().map(|(_, f)| f.stmt_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_cpplite::parse_function;
+
+    #[test]
+    fn insert_lookup_replace() {
+        let mut b = Backend::new("ARM");
+        let f = parse_function("int getX() { return 1; }").unwrap();
+        b.insert(Module::Emi, f);
+        assert_eq!(b.module_of("getX"), Some(Module::Emi));
+        let g = parse_function("int getX() { return 2; }").unwrap();
+        assert!(b.replace("getX", g));
+        assert_eq!(b.function("getX").unwrap().body[0].head_line(), "return 2;");
+        assert!(!b.replace("nosuch", parse_function("int nosuch() { return 0; }").unwrap()));
+    }
+
+    #[test]
+    fn module_codes_match_paper() {
+        let codes: Vec<&str> = Module::ALL.iter().map(|m| m.code()).collect();
+        assert_eq!(codes, ["SEL", "REG", "OPT", "SCH", "EMI", "ASS", "DIS"]);
+    }
+}

@@ -1,0 +1,95 @@
+//! ASS blueprints — assembly parsing.
+
+use super::util::imm_range;
+use super::{module_qualifier, Rendered};
+use crate::arch::ArchSpec;
+use crate::backend::Module;
+use crate::rng::Mix64;
+use std::fmt::Write as _;
+
+/// `parseRegister`: well-known register spellings → register numbers.
+pub fn parse_register(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Ass);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::parseRegister(StringRef Name) {{");
+    let _ = writeln!(b, "  if (Name == \"sp\") {{");
+    let _ = writeln!(b, "    return {ns}::{};", spec.sp_reg);
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  if (Name == \"fp\") {{");
+    let _ = writeln!(b, "    return {ns}::{};", spec.fp_reg);
+    let _ = writeln!(b, "  }}");
+    if spec.word_bits > 16 {
+        // Idiosyncrasy: the link register's assembly alias varies ("ra"/"lr").
+        let alias = if rng.chance(0.4) { "lr" } else { "ra" };
+        let _ = writeln!(b, "  if (Name == \"{alias}\") {{");
+        let _ = writeln!(b, "    return {ns}::{};", spec.ra_reg);
+        let _ = writeln!(b, "  }}");
+    }
+    let prefix = spec.regs[0].prefix.to_lowercase();
+    for i in 0..2u32 {
+        let _ = writeln!(b, "  if (Name == \"{prefix}{i}\") {{");
+        let _ = writeln!(b, "    return {ns}::{}{i};", spec.regs[0].prefix);
+        let _ = writeln!(b, "  }}");
+    }
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `matchMnemonic`: assembly mnemonic → target opcode.
+pub fn match_mnemonic(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Ass);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::matchMnemonic(StringRef Mnemonic) {{");
+    for i in &spec.instrs {
+        let _ = writeln!(b, "  if (Mnemonic == \"{}\") {{", i.mnemonic);
+        let _ = writeln!(b, "    return {ns}::{};", i.name);
+        let _ = writeln!(b, "  }}");
+    }
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `isValidAsmImmediate`: range-check an immediate for a fixup kind.
+pub fn is_valid_asm_immediate(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Ass);
+    let (lo, hi) = imm_range(spec.imm_bits);
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::isValidAsmImmediate(int Imm, unsigned Kind) {{");
+    let _ = writeln!(b, "  switch (Kind) {{");
+    for f in &spec.fixups {
+        let max = if f.bits >= 63 { i64::MAX } else { (1i64 << f.bits) - 1 };
+        let _ = writeln!(b, "  case {ns}::{}:", f.name);
+        let _ = writeln!(b, "    return Imm >= 0 && Imm <= {max};");
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return Imm >= {lo} && Imm <= {hi};");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getCommentString`: the assembly comment leader (straight from the `.td`).
+pub fn get_comment_string(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Ass);
+    let mut b = String::new();
+    let _ = writeln!(b, "StringRef {qual}::getCommentString() {{");
+    let _ = writeln!(b, "  return \"{}\";", spec.comment);
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getRegisterPrefix`: the lower-case register spelling prefix.
+pub fn get_register_prefix(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Ass);
+    let mut b = String::new();
+    let _ = writeln!(b, "StringRef {qual}::getRegisterPrefix() {{");
+    let _ = writeln!(b, "  return \"{}\";", spec.regs[0].prefix.to_lowercase());
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}

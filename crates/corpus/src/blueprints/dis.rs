@@ -1,0 +1,70 @@
+//! DIS blueprints — the disassembler module.
+//!
+//! Absent on targets without a disassembler (xCORE, matching the paper's
+//! LLVM 3.0 setup where the xCORE disassembler module does not exist).
+
+use super::{module_qualifier, Rendered};
+use crate::arch::ArchSpec;
+use crate::backend::Module;
+use crate::rng::Mix64;
+use std::fmt::Write as _;
+
+/// `decodeInstruction`: primary opcode field → target instruction.
+pub fn decode_instruction(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_disassembler {
+        return None;
+    }
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Dis);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::decodeInstruction(unsigned Insn) {{");
+    let _ = writeln!(b, "  unsigned Field = Insn & 255;");
+    let _ = writeln!(b, "  switch (Field) {{");
+    for i in &spec.instrs {
+        let _ = writeln!(b, "  case {}:", i.opcode);
+        let _ = writeln!(b, "    return {ns}::{};", i.name);
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `decodeGPRRegisterClass`: bounds-check a decoded register number.
+pub fn decode_gpr_register_class(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_disassembler {
+        return None;
+    }
+    let qual = module_qualifier(&spec.name, Module::Dis);
+    let count = spec.regs[0].count;
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::decodeGPRRegisterClass(unsigned RegNo) {{");
+    let _ = writeln!(b, "  if (RegNo >= {count}) {{");
+    let _ = writeln!(b, "    return MCDisassembler::Fail;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return MCDisassembler::Success;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getDecodeSize`: how many bytes the next instruction occupies, from its
+/// first byte (compressed encodings use the low two bits, RISC-V style).
+pub fn get_decode_size(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_disassembler {
+        return None;
+    }
+    let qual = module_qualifier(&spec.name, Module::Dis);
+    let base = if spec.word_bits == 16 { 2 } else { 4 };
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getDecodeSize(unsigned Byte) {{");
+    if spec.traits.has_compressed {
+        let _ = writeln!(b, "  if ((Byte & 3) != 3) {{");
+        let _ = writeln!(b, "    return 2;");
+        let _ = writeln!(b, "  }}");
+    }
+    let _ = writeln!(b, "  return {base};");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}

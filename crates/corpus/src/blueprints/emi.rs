@@ -1,0 +1,243 @@
+//! EMI blueprints — code emission.
+//!
+//! Contains the paper's motivating example, `getRelocType`, including the
+//! optional `GetRelocTypeInner` helper routing (Fig. 2a) and the optional
+//! `VariantKind` statement that is present on some targets and absent on
+//! others (the paper's `S2`).
+
+use super::util::{mask, reg_shifts};
+use super::{module_qualifier, Rendered};
+use crate::arch::{ArchSpec, FixupDef};
+use crate::backend::Module;
+use crate::rng::Mix64;
+use std::fmt::Write as _;
+
+fn none_reloc(spec: &ArchSpec) -> String {
+    format!("R_{}_NONE", spec.name.to_uppercase())
+}
+
+fn fixup_tag_is(f: &FixupDef, tag: &str) -> bool {
+    f.name.to_lowercase().ends_with(&tag.to_lowercase())
+}
+
+/// `getRelocType`: fixup kind (+ PC-relativity, + symbol modifier) → ELF
+/// relocation type. The motivating example of the paper.
+pub fn get_reloc_type(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Emi);
+    let none = none_reloc(spec);
+    let mut body = String::new();
+    let _ = writeln!(body, "  unsigned Kind = Fixup.getTargetKind();");
+    let has_vk = spec.traits.has_variant_kind && !spec.variant_kinds.is_empty();
+    if has_vk {
+        let _ = writeln!(body, "  unsigned Modifier = Target.getAccessVariant();");
+        if let (Some(vk_got), Some(got_fix)) = (
+            spec.variant_kinds.iter().find(|v| v.ends_with("_GOT")),
+            spec.fixups.iter().find(|f| fixup_tag_is(f, "got")),
+        ) {
+            let _ = writeln!(body, "  if (Modifier == {ns}::{vk_got}) {{");
+            let _ = writeln!(body, "    return ELF::{};", got_fix.reloc_abs);
+            let _ = writeln!(body, "  }}");
+        }
+    }
+    // PC-relative branch.
+    if spec.traits.has_pcrel {
+        let _ = writeln!(body, "  if (IsPCRel) {{");
+        let _ = writeln!(body, "    switch (Kind) {{");
+        if let Some(f32_pcrel) = spec
+            .fixups
+            .iter()
+            .find(|f| fixup_tag_is(f, "32"))
+            .and_then(|f| f.reloc_pcrel.clone())
+        {
+            let _ = writeln!(body, "    case FK_Data_4:");
+            let _ = writeln!(body, "      return ELF::{f32_pcrel};");
+        }
+        for f in &spec.fixups {
+            if let Some(pcrel) = &f.reloc_pcrel {
+                let _ = writeln!(body, "    case {ns}::{}:", f.name);
+                let _ = writeln!(body, "      return ELF::{pcrel};");
+            }
+        }
+        let _ = writeln!(body, "    default:");
+        let _ = writeln!(body, "      return ELF::{none};");
+        let _ = writeln!(body, "    }}");
+        let _ = writeln!(body, "  }}");
+    } else {
+        let _ = writeln!(body, "  if (IsPCRel) {{");
+        let _ = writeln!(body, "    return ELF::{none};");
+        let _ = writeln!(body, "  }}");
+    }
+    // Absolute branch.
+    let _ = writeln!(body, "  switch (Kind) {{");
+    if let Some(f32abs) = spec.fixups.iter().find(|f| fixup_tag_is(f, "32")) {
+        let _ = writeln!(body, "  case FK_Data_4:");
+        let _ = writeln!(body, "    return ELF::{};", f32abs.reloc_abs);
+    }
+    for f in &spec.fixups {
+        let _ = writeln!(body, "  case {ns}::{}:", f.name);
+        let _ = writeln!(body, "    return ELF::{};", f.reloc_abs);
+    }
+    let _ = writeln!(body, "  default:");
+    let _ = writeln!(body, "    return ELF::{none};");
+    let _ = writeln!(body, "  }}");
+
+    let sig_params = "const MCValue &Target, const MCFixup &Fixup, bool IsPCRel";
+    if rng.chance(0.3) {
+        // Style variant: route through a static helper, like ARM does.
+        let main = format!(
+            "unsigned {qual}::getRelocType({sig_params}) {{\n  return GetRelocTypeInner(Target, Fixup, IsPCRel);\n}}\n"
+        );
+        let helper = format!("unsigned GetRelocTypeInner({sig_params}) {{\n{body}}}\n");
+        Some(Rendered { main, helpers: vec![helper] })
+    } else {
+        let main = format!("unsigned {qual}::getRelocType({sig_params}) {{\n{body}}}\n");
+        Some(Rendered::main_only(main))
+    }
+}
+
+/// `applyFixup`: extract and place the patched field bits for a fixup.
+pub fn apply_fixup(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Emi);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::applyFixup(unsigned Kind, int Value) {{");
+    let _ = writeln!(b, "  switch (Kind) {{");
+    let _ = writeln!(b, "  case FK_Data_4:");
+    let _ = writeln!(b, "    return Value & {};", mask(32));
+    for f in &spec.fixups {
+        let _ = writeln!(b, "  case {ns}::{}:", f.name);
+        let m = mask(f.bits);
+        if f.offset > 0 {
+            let _ = writeln!(b, "    return (Value >> {}) & {m};", f.offset);
+        } else if f.bits == 24 || f.bits == 26 {
+            // Branch targets are word-aligned; the field stores Value >> 2.
+            let _ = writeln!(b, "    return (Value >> 2) & {m};");
+        } else {
+            let _ = writeln!(b, "    return Value & {m};");
+        }
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    return Value;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getFixupKindInfo`: packed `(offset << 8) | bits` geometry plus a
+/// PC-relative flag bit.
+pub fn get_fixup_kind_info(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Emi);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getFixupKindInfo(unsigned Kind) {{");
+    let _ = writeln!(b, "  switch (Kind) {{");
+    for f in &spec.fixups {
+        let _ = writeln!(b, "  case {ns}::{}:", f.name);
+        if f.reloc_pcrel.is_some() {
+            let _ = writeln!(b, "    return ({} << 8) | {} | 65536;", f.offset, f.bits);
+        } else {
+            let _ = writeln!(b, "    return ({} << 8) | {};", f.offset, f.bits);
+        }
+    }
+    let _ = writeln!(b, "  case FK_Data_4:");
+    let _ = writeln!(b, "    return 32;");
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `encodeInstruction`: assemble the binary word — opcode field plus register
+/// and immediate fields at word-width-dependent shifts.
+pub fn encode_instruction(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Emi);
+    let (s0, s1) = reg_shifts(spec.word_bits);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::encodeInstruction(const MCInst &MI) {{");
+    let _ = writeln!(b, "  unsigned Opcode = MI.getOpcode();");
+    let _ = writeln!(b, "  unsigned Binary = 0;");
+    let _ = writeln!(b, "  switch (Opcode) {{");
+    for i in &spec.instrs {
+        let _ = writeln!(b, "  case {ns}::{}:", i.name);
+        let _ = writeln!(b, "    Binary = {};", i.opcode);
+        let _ = writeln!(b, "    break;");
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    Binary = 0;");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  Binary = Binary | (MI.getReg(0) << {s0});");
+    let _ = writeln!(b, "  Binary = Binary | (MI.getReg(1) << {s1});");
+    let _ = writeln!(b, "  Binary = Binary | ((MI.getImm() & {}) << 8);", mask(spec.imm_bits.min(8)));
+    let _ = writeln!(b, "  return Binary;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getRelaxedOpcode`: compressed → full-width instruction mapping; only
+/// targets with a compressed extension implement it.
+pub fn get_relaxed_opcode(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_compressed {
+        return None;
+    }
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Emi);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getRelaxedOpcode(unsigned Opcode) {{");
+    for i in &spec.instrs {
+        if let Some(wide) = &i.relaxed_to {
+            let _ = writeln!(b, "  if (Opcode == {ns}::{}) {{", i.name);
+            let _ = writeln!(b, "    return {ns}::{wide};");
+            let _ = writeln!(b, "  }}");
+        }
+    }
+    let _ = writeln!(b, "  return Opcode;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `mayNeedRelaxation`: is this a compressed instruction that may widen?
+pub fn may_need_relaxation(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_compressed {
+        return None;
+    }
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Emi);
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::mayNeedRelaxation(unsigned Opcode) {{");
+    for i in &spec.instrs {
+        if i.relaxed_to.is_some() {
+            let _ = writeln!(b, "  if (Opcode == {ns}::{}) {{", i.name);
+            let _ = writeln!(b, "    return true;");
+            let _ = writeln!(b, "  }}");
+        }
+    }
+    let _ = writeln!(b, "  return false;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getInstSizeInBytes`: instruction size, accounting for compression.
+pub fn get_inst_size_in_bytes(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Emi);
+    let base = if spec.word_bits == 16 { 2 } else { 4 };
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getInstSizeInBytes(unsigned Opcode) {{");
+    if spec.traits.has_compressed {
+        for i in &spec.instrs {
+            if i.format == "C" {
+                let _ = writeln!(b, "  if (Opcode == {ns}::{}) {{", i.name);
+                let _ = writeln!(b, "    return 2;");
+                let _ = writeln!(b, "  }}");
+            }
+        }
+    }
+    let _ = writeln!(b, "  return {base};");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}

@@ -1,0 +1,129 @@
+//! OPT blueprints — machine-dependent optimization.
+//!
+//! Profitability thresholds encode microarchitectural judgment calls that the
+//! description files do not record, so this module has a high idiosyncrasy
+//! rate (the paper reports OPT as needing the most manual effort after SEL).
+
+use super::util::{imm_range, isd_instr};
+use super::{module_qualifier, Rendered};
+use crate::arch::ArchSpec;
+use crate::backend::Module;
+use crate::rng::Mix64;
+use std::fmt::Write as _;
+
+/// `foldImmediate`: fold a register ALU op into its immediate form.
+pub fn fold_immediate(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Opt);
+    let add = isd_instr(spec, "ADD")?;
+    let addi = spec
+        .instrs
+        .iter()
+        .find(|i| i.mnemonic == "addi")
+        .map(|i| i.name.clone())?;
+    let (lo, hi) = imm_range(spec.imm_bits);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::foldImmediate(unsigned Opcode, int Imm) {{");
+    let _ = writeln!(b, "  if (Imm < {lo} || Imm > {hi}) {{");
+    let _ = writeln!(b, "    return 0;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  if (Opcode == {ns}::{add}) {{");
+    let _ = writeln!(b, "    return {ns}::{addi};");
+    let _ = writeln!(b, "  }}");
+    // Idiosyncrasy: some targets also fold SUB by negating the immediate.
+    if rng.chance(0.25) {
+        if let Some(sub) = isd_instr(spec, "SUB") {
+            let _ = writeln!(b, "  if (Opcode == {ns}::{sub}) {{");
+            let _ = writeln!(b, "    return {ns}::{addi};");
+            let _ = writeln!(b, "  }}");
+        }
+    }
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `combineMulAdd`: fuse multiply+add into a MAC; only MAC-capable targets
+/// implement this interface.
+pub fn combine_mul_add(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_mac || spec.instr("MAC").is_none() {
+        return None;
+    }
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Opt);
+    let mul = isd_instr(spec, "MUL")?;
+    let add = isd_instr(spec, "ADD")?;
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::combineMulAdd(unsigned MulOpcode, unsigned AddOpcode) {{");
+    let _ = writeln!(b, "  if (MulOpcode != {ns}::{mul}) {{");
+    let _ = writeln!(b, "    return 0;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  if (AddOpcode != {ns}::{add}) {{");
+    let _ = writeln!(b, "    return 0;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return {ns}::MAC;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `isHardwareLoopProfitable`: hardware-loop legality/profit check; only
+/// targets with zero-overhead loop hardware implement it.
+pub fn is_hardware_loop_profitable(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_hwloop {
+        return None;
+    }
+    let qual = module_qualifier(&spec.name, Module::Opt);
+    // Loop-buffer capacity differs per implementation and is undocumented.
+    let max_body = *rng.pick(&[32i64, 64]);
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::isHardwareLoopProfitable(int TripCount, int NumInstrs) {{");
+    let _ = writeln!(b, "  if (TripCount < 2) {{");
+    let _ = writeln!(b, "    return false;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  if (NumInstrs > {max_body}) {{");
+    let _ = writeln!(b, "    return false;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return true;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `isProfitableToHoist`: loop-invariant hoisting heuristic.
+pub fn is_profitable_to_hoist(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Opt);
+    let depth_cap = *rng.pick(&[2i64, 3]);
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::isProfitableToHoist(unsigned Opcode, int Depth) {{");
+    let _ = writeln!(b, "  if (Depth > {depth_cap}) {{");
+    let _ = writeln!(b, "    return false;");
+    let _ = writeln!(b, "  }}");
+    if let Some(div) = isd_instr(spec, "SDIV") {
+        let _ = writeln!(b, "  if (Opcode == {ns}::{div}) {{");
+        let _ = writeln!(b, "    return false;");
+        let _ = writeln!(b, "  }}");
+    }
+    // Idiosyncrasy: some memory systems make hoisted loads a loss.
+    if rng.chance(0.2) {
+        if let Some(ld) = isd_instr(spec, "LOAD") {
+            let _ = writeln!(b, "  if (Opcode == {ns}::{ld}) {{");
+            let _ = writeln!(b, "    return false;");
+            let _ = writeln!(b, "  }}");
+        }
+    }
+    let _ = writeln!(b, "  return true;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `isProfitableToDupForIfCvt`: if-conversion duplication threshold.
+pub fn is_profitable_to_dup(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Opt);
+    let base = if spec.traits.has_cmov { 4 } else { 2 };
+    let cap = base + if rng.chance(0.3) { 1 } else { 0 };
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::isProfitableToDupForIfCvt(int NumInstrs) {{");
+    let _ = writeln!(b, "  return NumInstrs <= {cap};");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}

@@ -1,0 +1,119 @@
+//! REG blueprints — register allocation support.
+//!
+//! REG is the paper's most accurate module (small functions whose values come
+//! straight from the register description files).
+
+use super::{module_qualifier, Rendered};
+use crate::arch::ArchSpec;
+use crate::backend::Module;
+use crate::rng::Mix64;
+use std::fmt::Write as _;
+
+/// `getRegClassFor`: register class id for a value type.
+pub fn get_reg_class_for(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Reg);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getRegClassFor(unsigned VT) {{");
+    let _ = writeln!(b, "  switch (VT) {{");
+    let _ = writeln!(b, "  case MVT::i32:");
+    let _ = writeln!(b, "    return 0;");
+    if spec.word_bits == 64 {
+        let _ = writeln!(b, "  case MVT::i64:");
+        let _ = writeln!(b, "    return 0;");
+    }
+    if let Some(fpr) = spec.regs.iter().position(|r| r.name == "FPR") {
+        let _ = writeln!(b, "  case MVT::f32:");
+        let _ = writeln!(b, "    return {fpr};");
+        let _ = writeln!(b, "  case MVT::f64:");
+        let _ = writeln!(b, "    return {fpr};");
+    }
+    if let Some(vr) = spec.regs.iter().position(|r| r.name == "VR") {
+        let _ = writeln!(b, "  case MVT::v128:");
+        let _ = writeln!(b, "    return {vr};");
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getSpillSize`: spill slot size in bytes per register class id.
+pub fn get_spill_size(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Reg);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getSpillSize(unsigned RC) {{");
+    let _ = writeln!(b, "  switch (RC) {{");
+    for (i, rc) in spec.regs.iter().enumerate() {
+        let _ = writeln!(b, "  case {i}:");
+        let _ = writeln!(b, "    return {};", rc.spill_size);
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return {};", spec.word_bits / 8);
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getFrameRegister`: FP when the function has a frame, SP otherwise.
+pub fn get_frame_register(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Reg);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getFrameRegister(const MachineFunction &MF) {{");
+    let _ = writeln!(b, "  if (MF.hasFP()) {{");
+    let _ = writeln!(b, "    return {ns}::{};", spec.fp_reg);
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return {ns}::{};", spec.sp_reg);
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getReservedRegs`: bitmask of registers the allocator must not touch.
+pub fn get_reserved_regs(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Reg);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getReservedRegs() {{");
+    let _ = writeln!(b, "  unsigned Reserved = 0;");
+    let _ = writeln!(b, "  Reserved = Reserved | (1 << {ns}::{});", spec.sp_reg);
+    let _ = writeln!(b, "  Reserved = Reserved | (1 << {ns}::{});", spec.fp_reg);
+    // 16-bit microcontrollers push the return address to the stack; wider
+    // targets keep it in a reserved link register (visible via WordBits).
+    if spec.word_bits > 16 {
+        let _ = writeln!(b, "  Reserved = Reserved | (1 << {ns}::{});", spec.ra_reg);
+    }
+    let _ = writeln!(b, "  return Reserved;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `isCalleeSavedReg`: the callee-saved register window.
+pub fn is_callee_saved_reg(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Reg);
+    let count = spec.regs[0].count as i64;
+    // ABI choice: roughly the upper half minus the special registers, with a
+    // per-target idiosyncratic lower bound (the ABI is not in the .td files).
+    let lo = count / 2 + if rng.chance(0.3) { 1 } else { 0 };
+    let hi = count - 4;
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::isCalleeSavedReg(unsigned Reg) {{");
+    let _ = writeln!(b, "  if (Reg >= {lo} && Reg <= {hi}) {{");
+    let _ = writeln!(b, "    return true;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return false;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getPointerRegClass`: pointers live in the GPR class for every target.
+pub fn get_pointer_reg_class(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Reg);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getPointerRegClass() {{");
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}

@@ -1,0 +1,185 @@
+//! SEL blueprints — instruction selection.
+//!
+//! SEL is the paper's largest and least accurate module: selection choices
+//! (custom lowering vs. expansion, which ops get native patterns) encode
+//! design decisions that are not visible in the description files, so this
+//! module carries the highest idiosyncrasy rates.
+
+use super::util::{imm_range, isd_instr};
+use super::{module_qualifier, Rendered};
+use crate::arch::{ArchSpec, ISD_OPCODES};
+use crate::backend::Module;
+use crate::rng::Mix64;
+use std::fmt::Write as _;
+
+/// `selectOpcode`: map a generic ISD opcode to the target instruction.
+pub fn select_opcode(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Sel);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::selectOpcode(unsigned Opcode) {{");
+    let _ = writeln!(b, "  switch (Opcode) {{");
+    for isd in ISD_OPCODES {
+        let Some(instr) = isd_instr(spec, isd) else { continue };
+        // Idiosyncrasy: some targets route MUL/SDIV through a libcall even
+        // though the instruction exists (not inferable from the .td files).
+        if matches!(*isd, "MUL" | "SDIV") && rng.chance(0.12) {
+            continue;
+        }
+        let _ = writeln!(b, "  case ISD::{isd}:");
+        let _ = writeln!(b, "    return {ns}::{instr};");
+    }
+    if spec.traits.has_simd {
+        for (visd, iname) in [("VEC_ADD", "VADD"), ("VEC_MUL", "VMUL")] {
+            if spec.instr(iname).is_some() {
+                let _ = writeln!(b, "  case ISD::{visd}:");
+                let _ = writeln!(b, "    return {ns}::{iname};");
+            }
+        }
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getOperationAction`: Legal (0) / Expand (1) / Custom (2) per ISD opcode.
+pub fn get_operation_action(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Sel);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getOperationAction(unsigned Opcode) {{");
+    let _ = writeln!(b, "  switch (Opcode) {{");
+    for isd in ISD_OPCODES {
+        let action = if isd_instr(spec, isd).is_some() {
+            // Idiosyncrasy: occasionally a target custom-lowers a legal op.
+            if rng.chance(0.08) {
+                2
+            } else {
+                0
+            }
+        } else if matches!(*isd, "SELECT" | "SETCC") && rng.chance(0.5) {
+            2
+        } else {
+            1
+        };
+        if action == 0 {
+            continue; // Legal is the default; only non-legal ops get cases.
+        }
+        let _ = writeln!(b, "  case ISD::{isd}:");
+        let _ = writeln!(b, "    return {action};");
+    }
+    let _ = writeln!(b, "  default:");
+    let _ = writeln!(b, "    break;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return 0;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `isLegalImmediate`: does the value fit the ALU immediate field?
+pub fn is_legal_immediate(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Sel);
+    let (lo, hi) = imm_range(spec.imm_bits);
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::isLegalImmediate(int Imm) {{");
+    if rng.chance(0.4) {
+        // Style variant: single compound return.
+        let _ = writeln!(b, "  return Imm >= {lo} && Imm <= {hi};");
+    } else {
+        let _ = writeln!(b, "  if (Imm < {lo}) {{");
+        let _ = writeln!(b, "    return false;");
+        let _ = writeln!(b, "  }}");
+        let _ = writeln!(b, "  if (Imm > {hi}) {{");
+        let _ = writeln!(b, "    return false;");
+        let _ = writeln!(b, "  }}");
+        let _ = writeln!(b, "  return true;");
+    }
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getAddrMode`: classify the addressing mode of a memory/branch operand.
+pub fn get_addr_mode(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Sel);
+    let ld = isd_instr(spec, "LOAD")?;
+    let st = isd_instr(spec, "STORE")?;
+    let (lo, hi) = imm_range(spec.imm_bits);
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getAddrMode(unsigned Opcode, int Offset) {{");
+    let _ = writeln!(b, "  if (Opcode == {ns}::{ld} || Opcode == {ns}::{st}) {{");
+    let _ = writeln!(b, "    if (Offset >= {lo} && Offset <= {hi}) {{");
+    let _ = writeln!(b, "      return TargetLowering::AM_BaseImm;");
+    let _ = writeln!(b, "    }}");
+    let _ = writeln!(b, "    return TargetLowering::AM_BaseReg;");
+    let _ = writeln!(b, "  }}");
+    if spec.traits.has_pcrel {
+        if let Some(call) = isd_instr(spec, "CALL") {
+            let _ = writeln!(b, "  if (Opcode == {ns}::{call}) {{");
+            let _ = writeln!(b, "    return TargetLowering::AM_PCRel;");
+            let _ = writeln!(b, "  }}");
+        }
+    }
+    let _ = writeln!(b, "  return TargetLowering::AM_Base;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getSelectOpcode`: conditional-move selection; only targets with a native
+/// conditional move implement this interface.
+pub fn get_select_opcode(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    if !spec.traits.has_cmov {
+        return None;
+    }
+    let ns = &spec.name;
+    let qual = module_qualifier(ns, Module::Sel);
+    let cmov = isd_instr(spec, "SELECT")?;
+    let mut b = String::new();
+    let _ = writeln!(b, "unsigned {qual}::getSelectOpcode(unsigned Opcode) {{");
+    let _ = writeln!(b, "  if (Opcode != ISD::SELECT) {{");
+    let _ = writeln!(b, "    return 0;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return {ns}::{cmov};");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `isTruncateFree`: 64-bit targets truncate i64→i32 for free.
+pub fn is_truncate_free(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Sel);
+    let mut b = String::new();
+    let _ = writeln!(b, "bool {qual}::isTruncateFree(unsigned SrcVT, unsigned DstVT) {{");
+    if spec.word_bits == 64 {
+        let _ = writeln!(b, "  if (SrcVT == MVT::i64 && DstVT == MVT::i32) {{");
+        let _ = writeln!(b, "    return true;");
+        let _ = writeln!(b, "  }}");
+    }
+    let _ = writeln!(b, "  return false;");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}
+
+/// `getImmCost`: extra instructions needed to materialize an immediate.
+pub fn get_imm_cost(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
+    let qual = module_qualifier(&spec.name, Module::Sel);
+    let (lo, hi) = imm_range(spec.imm_bits);
+    // Idiosyncratic materialization cost: depends on the target's sequence
+    // (lui+addi vs movw/movt vs constant pool) — not in the .td files.
+    let cost = if spec.imm_bits >= 20 {
+        1
+    } else if rng.chance(0.25) {
+        1
+    } else {
+        2
+    };
+    let mut b = String::new();
+    let _ = writeln!(b, "int {qual}::getImmCost(int Imm) {{");
+    let _ = writeln!(b, "  if (Imm >= {lo} && Imm <= {hi}) {{");
+    let _ = writeln!(b, "    return 0;");
+    let _ = writeln!(b, "  }}");
+    let _ = writeln!(b, "  return {cost};");
+    let _ = writeln!(b, "}}");
+    Some(Rendered::main_only(b))
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for blueprint rendering.
+
+use crate::arch::ArchSpec;
+
+/// Signed immediate range for an `imm_bits`-wide field.
+pub fn imm_range(bits: u32) -> (i64, i64) {
+    let half = 1i64 << (bits - 1);
+    (-half, half - 1)
+}
+
+/// The instruction name selected for `isd`, if the target has one.
+pub fn isd_instr(spec: &ArchSpec, isd: &str) -> Option<String> {
+    spec.instr_for_isd(isd).map(|i| i.name.clone())
+}
+
+/// Mask literal for a `bits`-wide field.
+pub fn mask(bits: u32) -> i64 {
+    if bits >= 63 {
+        i64::MAX
+    } else {
+        (1i64 << bits) - 1
+    }
+}
+
+/// Register-field shift amounts used by the encoder, derived from the word
+/// width (and therefore learnable from `WordBits` in the `.td` file).
+pub fn reg_shifts(word_bits: u32) -> (u32, u32) {
+    match word_bits {
+        16 => (8, 4),
+        32 => (21, 16),
+        _ => (32, 24),
+    }
+}

@@ -1,0 +1,232 @@
+//! Corpus assembly: targets, description files, reference backends and the
+//! function-group view the VEGA pipeline consumes.
+
+use crate::arch::ArchSpec;
+use crate::backend::{Backend, Module};
+use crate::blueprints::{all_blueprints, Blueprint};
+use crate::llvmdirs::llvm_provided;
+use crate::rng::Mix64;
+use crate::targets::{builtin_targets, eval_targets, synthetic_target};
+use crate::tdgen::describe_target;
+use crate::vfs::VirtualFs;
+use std::collections::BTreeMap;
+use vega_cpplite::{inline_function, normalize_stmts, parse_function, Function, ParseError};
+
+/// Corpus construction parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Master seed; everything derived is deterministic in it.
+    pub seed: u64,
+    /// Number of procedurally generated `SynNN` training targets.
+    pub synthetic_targets: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { seed: 0, synthetic_targets: 4 }
+    }
+}
+
+impl CorpusConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        CorpusConfig { seed: 0, synthetic_targets: 4 }
+    }
+}
+
+/// Everything the corpus knows about one target.
+#[derive(Debug, Clone)]
+pub struct TargetData {
+    /// The ground-truth architecture (never shown to VEGA for new targets).
+    pub spec: ArchSpec,
+    /// The target description files — `TGTDIRs` content for this target.
+    pub descriptions: VirtualFs,
+    /// The preprocessed reference backend (helpers inlined, selection chains
+    /// normalized, per §3.1).
+    pub backend: Backend,
+}
+
+/// The full corpus: LLVM-provided code plus per-target data. Evaluation
+/// targets (RISC-V, RI5CY, xCORE) are stored alongside training targets; the
+/// pipeline excludes them from training by name, as the paper does (§4.1.2).
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    llvm: VirtualFs,
+    targets: Vec<TargetData>,
+}
+
+/// Names of the three held-out evaluation targets.
+pub const EVAL_TARGET_NAMES: [&str; 3] = ["RISCV", "RI5CY", "XCore"];
+
+impl Corpus {
+    /// Builds the corpus: 12 hand-modelled training targets, the configured
+    /// number of synthetic targets, and the 3 evaluation targets.
+    ///
+    /// # Panics
+    /// Panics if a blueprint renders unparseable code — a corpus bug, caught
+    /// by the blueprint test suite.
+    pub fn build(config: &CorpusConfig) -> Self {
+        let mut specs = builtin_targets(config.seed);
+        for i in 0..config.synthetic_targets {
+            specs.push(synthetic_target(config.seed, i));
+        }
+        specs.extend(eval_targets());
+        let blueprints = all_blueprints();
+        let targets = specs
+            .into_iter()
+            .map(|spec| build_target(spec, &blueprints, config.seed).expect("corpus blueprint must parse"))
+            .collect();
+        Corpus { llvm: llvm_provided(), targets }
+    }
+
+    /// The LLVM-provided file system (`LLVMDIRs`).
+    pub fn llvm_fs(&self) -> &VirtualFs {
+        &self.llvm
+    }
+
+    /// All targets, training and evaluation.
+    pub fn targets(&self) -> &[TargetData] {
+        &self.targets
+    }
+
+    /// Looks up a target by namespace name.
+    pub fn target(&self, name: &str) -> Option<&TargetData> {
+        self.targets.iter().find(|t| t.spec.name == name)
+    }
+
+    /// Training targets only (evaluation targets excluded).
+    pub fn training_targets(&self) -> impl Iterator<Item = &TargetData> {
+        self.targets
+            .iter()
+            .filter(|t| !EVAL_TARGET_NAMES.contains(&t.spec.name.as_str()))
+    }
+
+    /// The function groups over the given targets: interface name →
+    /// `(module, [(target, function)])`, keyed in name order.
+    pub fn function_groups<'a>(
+        &'a self,
+        include_eval: bool,
+    ) -> BTreeMap<String, (Module, Vec<(&'a str, &'a Function)>)> {
+        let mut out: BTreeMap<String, (Module, Vec<(&str, &Function)>)> = BTreeMap::new();
+        for t in &self.targets {
+            if !include_eval && EVAL_TARGET_NAMES.contains(&t.spec.name.as_str()) {
+                continue;
+            }
+            for (name, module, f) in t.backend.iter() {
+                out.entry(name.to_string())
+                    .or_insert_with(|| (module, Vec::new()))
+                    .1
+                    .push((t.spec.name.as_str(), f));
+            }
+        }
+        out
+    }
+
+    /// A combined description-file system spanning the given target plus the
+    /// shared `ELFRelocs` directory — the `TGTDIRs` view for one target.
+    pub fn tgt_fs(&self, target: &str) -> Option<&VirtualFs> {
+        self.target(target).map(|t| &t.descriptions)
+    }
+}
+
+fn build_target(
+    spec: ArchSpec,
+    blueprints: &[Blueprint],
+    seed: u64,
+) -> Result<TargetData, ParseError> {
+    let descriptions = describe_target(&spec);
+    let mut backend = Backend::new(spec.name.clone());
+    for bp in blueprints {
+        let mut rng = Mix64::keyed(seed, &format!("{}/{}", spec.name, bp.name));
+        let Some(rendered) = (bp.render)(&spec, &mut rng) else { continue };
+        let mut main = parse_function(&rendered.main)?;
+        let helpers: Vec<Function> = rendered
+            .helpers
+            .iter()
+            .map(|h| parse_function(h))
+            .collect::<Result<_, _>>()?;
+        // Preprocessing per §3.1: recursively inline same-target helpers,
+        // then normalize selection chains into switches.
+        if !helpers.is_empty() {
+            main = inline_function(&main, &|name| helpers.iter().find(|h| h.name == name));
+        }
+        normalize_stmts(&mut main.body);
+        backend.insert(bp.module, main);
+    }
+    Ok(TargetData { spec, descriptions, backend })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_builds_and_groups() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        // 12 builtin + 4 synthetic + 3 eval.
+        assert_eq!(c.targets().len(), 19);
+        let groups = c.function_groups(false);
+        assert!(groups.len() >= 30, "expected ≥30 groups, got {}", groups.len());
+        // getRelocType exists for every training target.
+        let (module, members) = &groups["getRelocType"];
+        assert_eq!(*module, Module::Emi);
+        assert_eq!(members.len(), 16);
+        // Trait-gated groups cover only the targets with the trait.
+        let (_, mac) = &groups["combineMulAdd"];
+        assert!(!mac.is_empty() && mac.len() < 16);
+        // DIS exists for XCore in no view (eval included or not).
+        let with_eval = c.function_groups(true);
+        assert!(with_eval["decodeInstruction"].1.iter().all(|(t, _)| *t != "XCore"));
+    }
+
+    #[test]
+    fn eval_targets_present_but_excluded_from_training() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        assert!(c.target("RISCV").is_some());
+        assert!(c.training_targets().all(|t| t.spec.name != "RISCV"));
+        let with_eval = c.function_groups(true);
+        let without = c.function_groups(false);
+        assert!(with_eval["getRelocType"].1.len() > without["getRelocType"].1.len());
+    }
+
+    #[test]
+    fn helpers_are_inlined_in_reference_backends() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        for t in c.targets() {
+            if let Some(f) = t.backend.function("getRelocType") {
+                let text = vega_cpplite::render_function(f);
+                assert!(
+                    !text.contains("GetRelocTypeInner"),
+                    "helper not inlined for {}",
+                    t.spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::build(&CorpusConfig::tiny());
+        let b = Corpus::build(&CorpusConfig::tiny());
+        for (ta, tb) in a.targets().iter().zip(b.targets()) {
+            assert_eq!(ta.spec, tb.spec);
+            for (name, _, f) in ta.backend.iter() {
+                assert_eq!(Some(f), tb.backend.function(name), "{name} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn backends_have_realistic_sizes() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        for t in c.targets() {
+            assert!(t.backend.len() >= 25, "{} too few functions", t.spec.name);
+            assert!(
+                t.backend.stmt_count() >= 150,
+                "{} too few statements: {}",
+                t.spec.name,
+                t.backend.stmt_count()
+            );
+        }
+    }
+}

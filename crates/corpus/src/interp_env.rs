@@ -1,0 +1,257 @@
+//! The interpreter environment that lets backend functions execute.
+//!
+//! Backend code references target enums (`RISCV::fixup_riscv_hi16`,
+//! `ELF::R_RISCV_HI16`), LLVM enums (`ISD::ADD`, `MCDisassembler::Success`)
+//! and opaque parameter objects (`Fixup.getTargetKind()`). [`ArchEnv`]
+//! resolves all of these against one [`ArchSpec`]. Generated code that names
+//! things the target does not have (a classic Err-V symptom) fails cleanly
+//! with an [`EvalError`], which regression testing counts as a miscompile.
+
+use crate::arch::{
+    isd_value, vt_value, ArchSpec, FIRST_TARGET_FIXUP_KIND, GENERIC_FIXUPS,
+};
+use std::collections::HashMap;
+use vega_cpplite::{Env, EvalError, Value};
+
+/// Base value of instruction enum members (`NS::ADD`), chosen to be disjoint
+/// from fixup kinds, relocation numbers and register numbers.
+pub const INSTR_VALUE_BASE: i64 = 1000;
+
+/// Opaque objects referenced via [`Value::Handle`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjData {
+    /// An `MCFixup`: kind + offset.
+    Fixup {
+        /// Fixup kind value (generic or `FirstTargetFixupKind + i`).
+        kind: i64,
+        /// Byte offset of the fixup.
+        offset: i64,
+    },
+    /// An `MCValue` with a symbol modifier (variant kind value).
+    McValue {
+        /// Access variant value; 0 is `VK_None`.
+        modifier: i64,
+    },
+    /// A machine instruction with a target opcode value.
+    Inst {
+        /// The target opcode (`INSTR_VALUE_BASE + index`).
+        opcode: i64,
+        /// Operand register numbers.
+        regs: Vec<i64>,
+        /// Immediate operand, if any.
+        imm: i64,
+    },
+    /// A `MachineFunction` context.
+    MachineFunction {
+        /// Whether the function needs a frame pointer.
+        has_fp: bool,
+    },
+}
+
+/// Interpreter environment bound to one architecture.
+#[derive(Debug)]
+pub struct ArchEnv<'a> {
+    spec: &'a ArchSpec,
+    objects: HashMap<u64, ObjData>,
+    next_handle: u64,
+}
+
+impl<'a> ArchEnv<'a> {
+    /// Creates an environment over `spec`.
+    pub fn new(spec: &'a ArchSpec) -> Self {
+        ArchEnv { spec, objects: HashMap::new(), next_handle: 1 }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &ArchSpec {
+        self.spec
+    }
+
+    /// Allocates an opaque object, returning its handle value.
+    pub fn alloc(&mut self, data: ObjData) -> Value {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.objects.insert(h, data);
+        Value::Handle(h)
+    }
+
+    /// The value of an instruction enum member (`NS::<name>`).
+    pub fn instr_value(&self, name: &str) -> Option<i64> {
+        self.spec
+            .instrs
+            .iter()
+            .position(|i| i.name == name)
+            .map(|i| INSTR_VALUE_BASE + i as i64)
+    }
+
+    /// The value of a variant-kind enum member.
+    pub fn variant_kind_value(&self, name: &str) -> Option<i64> {
+        self.spec
+            .variant_kinds
+            .iter()
+            .position(|v| v == name)
+            .map(|i| i as i64 + 1)
+    }
+
+    fn resolve_in_namespace(&self, member: &str) -> Option<i64> {
+        self.spec
+            .fixup_value(member)
+            .or_else(|| self.instr_value(member))
+            .or_else(|| self.variant_kind_value(member))
+            .or_else(|| self.spec.reg_number(member).map(i64::from))
+    }
+}
+
+impl Env for ArchEnv<'_> {
+    fn lookup_path(&self, parts: &[String]) -> Result<Value, EvalError> {
+        let unknown = || EvalError::new(format!("unknown path `{}`", parts.join("::")));
+        let v = match parts {
+            [single] => match single.as_str() {
+                "FirstTargetFixupKind" => Some(FIRST_TARGET_FIXUP_KIND),
+                s => GENERIC_FIXUPS.iter().position(|f| *f == s).map(|i| i as i64),
+            },
+            [ns, member] => match ns.as_str() {
+                "ISD" => isd_value(member).or(match member.as_str() {
+                    "VEC_ADD" => Some(101),
+                    "VEC_MUL" => Some(103),
+                    "DELETED_NODE" => Some(0),
+                    _ => None,
+                }),
+                "MVT" => vt_value(member),
+                "ELF" => self.spec.reloc_value(member),
+                "MCDisassembler" => match member.as_str() {
+                    "Fail" => Some(0),
+                    "SoftFail" => Some(1),
+                    "Success" => Some(3),
+                    _ => None,
+                },
+                "MCSymbolRefExpr" => (member == "VK_None").then_some(0),
+                "TargetLowering" => match member.as_str() {
+                    "AM_Base" => Some(0),
+                    "AM_BaseImm" => Some(1),
+                    "AM_BaseReg" => Some(2),
+                    "AM_PCRel" => Some(3),
+                    _ => None,
+                },
+                ns if ns == self.spec.name => self.resolve_in_namespace(member),
+                _ => None,
+            },
+            _ => None,
+        };
+        v.map(Value::Int).ok_or_else(unknown)
+    }
+
+    fn call(&mut self, name: &str, _args: &[Value]) -> Result<Value, EvalError> {
+        match name {
+            // Diagnostics in backend code abort compilation; the regression
+            // harness treats that as a failed test, like a real crash would.
+            "llvm_unreachable" | "report_fatal_error" => {
+                Err(EvalError::new(format!("`{name}` reached")))
+            }
+            _ => Err(EvalError::new(format!("unknown function `{name}`"))),
+        }
+    }
+
+    fn method(&mut self, obj: &Value, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let Value::Handle(h) = obj else {
+            return Err(EvalError::new(format!("method `{name}` on non-object")));
+        };
+        let data = self
+            .objects
+            .get(h)
+            .ok_or_else(|| EvalError::new("dangling handle"))?
+            .clone();
+        match (&data, name) {
+            (ObjData::Fixup { kind, .. }, "getTargetKind" | "getKind") => Ok(Value::Int(*kind)),
+            (ObjData::Fixup { offset, .. }, "getOffset") => Ok(Value::Int(*offset)),
+            (ObjData::McValue { modifier }, "getAccessVariant" | "getModifier") => {
+                Ok(Value::Int(*modifier))
+            }
+            (ObjData::Inst { opcode, .. }, "getOpcode") => Ok(Value::Int(*opcode)),
+            (ObjData::Inst { regs, .. }, "getReg") => {
+                let i = args
+                    .first()
+                    .ok_or_else(|| EvalError::new("getReg needs an index"))?
+                    .as_int()? as usize;
+                regs.get(i)
+                    .copied()
+                    .map(Value::Int)
+                    .ok_or_else(|| EvalError::new("operand index out of range"))
+            }
+            (ObjData::Inst { imm, .. }, "getImm") => Ok(Value::Int(*imm)),
+            (ObjData::MachineFunction { has_fp }, "hasFP") => {
+                Ok(Value::Int(i64::from(*has_fp)))
+            }
+            _ => Err(EvalError::new(format!("unknown method `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::eval_targets;
+    use vega_cpplite::{parse_function, Interp};
+
+    #[test]
+    fn resolves_target_and_llvm_paths() {
+        let rv = &eval_targets()[0];
+        let env = ArchEnv::new(rv);
+        let fix = &rv.fixups[0].name;
+        assert_eq!(
+            env.lookup_path(&["RISCV".into(), fix.clone()]).unwrap(),
+            Value::Int(FIRST_TARGET_FIXUP_KIND)
+        );
+        assert_eq!(
+            env.lookup_path(&["ELF".into(), "R_RISCV_NONE".into()]).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(env.lookup_path(&["ISD".into(), "ADD".into()]).unwrap(), Value::Int(1));
+        assert_eq!(env.lookup_path(&["FK_Data_4".into()]).unwrap(), Value::Int(3));
+        assert!(env.lookup_path(&["ARM".into(), "fixup_arm_hi16".into()]).is_err());
+    }
+
+    #[test]
+    fn executes_reloc_function_with_objects() {
+        let rv = &eval_targets()[0];
+        let fix = rv.fixups[0].clone();
+        let src = format!(
+            "unsigned getRelocType(const MCFixup &Fixup, bool IsPCRel) {{\n\
+             unsigned Kind = Fixup.getTargetKind();\n\
+             if (IsPCRel) {{ if (Kind == RISCV::{}) {{ return ELF::{}; }} }}\n\
+             return ELF::R_RISCV_NONE;\n}}",
+            fix.name,
+            fix.reloc_pcrel.clone().unwrap()
+        );
+        let f = parse_function(&src).unwrap();
+        let mut env = ArchEnv::new(rv);
+        let kind = rv.fixup_value(&fix.name).unwrap();
+        let fixup = env.alloc(ObjData::Fixup { kind, offset: 0 });
+        let mut it = Interp::new(&mut env);
+        let out = it.run_function(&f, &[fixup, Value::Int(1)]).unwrap();
+        let expected = rv.reloc_value(fix.reloc_pcrel.as_ref().unwrap()).unwrap();
+        assert_eq!(out, Value::Int(expected));
+    }
+
+    #[test]
+    fn register_and_instr_values() {
+        let rv = &eval_targets()[0];
+        let env = ArchEnv::new(rv);
+        assert_eq!(
+            env.lookup_path(&["RISCV".into(), "X0".into()]).unwrap(),
+            Value::Int(0)
+        );
+        let first_instr = rv.instrs[0].name.clone();
+        assert_eq!(
+            env.lookup_path(&["RISCV".into(), first_instr]).unwrap(),
+            Value::Int(INSTR_VALUE_BASE)
+        );
+    }
+
+    #[test]
+    fn unreachable_is_an_error() {
+        let rv = &eval_targets()[0];
+        let mut env = ArchEnv::new(rv);
+        assert!(env.call("llvm_unreachable", &[]).is_err());
+    }
+}

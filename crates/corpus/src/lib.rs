@@ -1,0 +1,53 @@
+//! `vega-corpus`: the miniature LLVM backend corpus.
+//!
+//! The paper trains on 101 GitHub LLVM backends and generates new backends
+//! from target description files. This crate is that world in miniature:
+//!
+//! * [`llvm_provided`] — the LLVM-provided code (`LLVMDIRs`) with the base
+//!   classes, enums and TableGen globals that feature selection harvests;
+//! * [`ArchSpec`] / [`targets`] — ground-truth architecture specifications
+//!   for 12 hand-modelled targets, procedural `SynNN` targets, and the three
+//!   evaluation targets RISC-V, RI5CY and xCORE;
+//! * [`describe_target`] — renders a spec's description files (`TGTDIRs`):
+//!   `{NS}.td`, `{NS}InstrInfo.td`, `{NS}FixupKinds.h`, `ELFRelocs/{NS}.def`…;
+//! * [`blueprints`] — renders each target's reference implementations of the
+//!   ~38 interface-function groups across the seven backend modules, with
+//!   deterministic style variants and idiosyncrasies;
+//! * [`Corpus`] — ties it together and exposes the function-group view;
+//! * [`ArchEnv`] — the interpreter environment that lets backend functions
+//!   (reference or generated) execute during regression testing.
+//!
+//! # Examples
+//! ```
+//! use vega_corpus::{Corpus, CorpusConfig};
+//! let corpus = Corpus::build(&CorpusConfig::tiny());
+//! let riscv = corpus.target("RISCV").unwrap();
+//! assert!(riscv.backend.function("getRelocType").is_some());
+//! assert!(riscv.descriptions.read("lib/Target/RISCV/RISCVFixupKinds.h").is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod arch;
+mod backend;
+pub mod blueprints;
+mod corpus;
+mod interp_env;
+mod llvmdirs;
+mod rng;
+pub mod targets;
+mod tdgen;
+mod vfs;
+
+pub use arch::{
+    isd_value, vt_value, ArchSpec, ArchTraits, Endian, FixupDef, InstrDef, RegClass,
+    FIRST_TARGET_FIXUP_KIND, GENERIC_FIXUPS, ISD_OPCODES, VALUE_TYPES,
+};
+pub use backend::{Backend, Module};
+pub use corpus::{Corpus, CorpusConfig, TargetData, EVAL_TARGET_NAMES};
+pub use interp_env::{ArchEnv, ObjData, INSTR_VALUE_BASE};
+pub use llvmdirs::{llvm_provided, tgt_dirs, LLVM_DIRS};
+pub use rng::Mix64;
+pub use tdgen::describe_target;
+pub use vfs::VirtualFs;

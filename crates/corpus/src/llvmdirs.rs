@@ -1,0 +1,206 @@
+//! The miniature LLVM-provided code base (`LLVMDIRs`).
+//!
+//! These files play the role of the gray boxes in the paper's Fig. 1: the
+//! target-independent code generator and TableGen base classes. Feature
+//! selection (Algorithm 1) harvests its `PropList` — class names, enum names
+//! and global variables — from exactly these files, and every property's
+//! *identified site* must live here.
+
+use crate::arch::{GENERIC_FIXUPS, ISD_OPCODES, VALUE_TYPES};
+use crate::vfs::VirtualFs;
+
+/// Directory prefixes of the LLVM-provided code, as in the paper.
+pub const LLVM_DIRS: &[&str] = &["llvm/CodeGen", "llvm/MC", "llvm/BinaryFormat", "llvm/Target"];
+
+/// Directory prefixes of target description files for target `ns`.
+pub fn tgt_dirs(ns: &str) -> Vec<String> {
+    vec![
+        format!("lib/Target/{ns}"),
+        "llvm/BinaryFormat/ELFRelocs".to_string(),
+    ]
+}
+
+/// Builds the LLVM-provided virtual file system (shared by all targets).
+pub fn llvm_provided() -> VirtualFs {
+    let mut fs = VirtualFs::new();
+
+    // --- llvm/MC -----------------------------------------------------------
+    let mut fixup_h = String::from(
+        "// Generic fixup kinds and the MCFixup record.\nclass MCFixup {\n  unsigned Kind;\n  unsigned Offset;\n};\nenum MCFixupKind {\n",
+    );
+    for (i, f) in GENERIC_FIXUPS.iter().enumerate() {
+        fixup_h.push_str(&format!("  {f} = {i},\n"));
+    }
+    fixup_h.push_str("  FirstTargetFixupKind = 64,\n};\n");
+    fixup_h.push_str("class MCFixupKindInfo {\n  unsigned TargetOffset;\n  unsigned TargetSize;\n  unsigned Flags;\n};\n");
+    fs.write("llvm/MC/MCFixup.h", fixup_h);
+
+    fs.write(
+        "llvm/MC/MCExpr.h",
+        "// Symbol reference expressions.\nclass MCExpr {\n};\nclass MCSymbolRefExpr {\n  enum VariantKind {\n    VK_None = 0,\n  };\n};\n",
+    );
+    fs.write(
+        "llvm/MC/MCValue.h",
+        "class MCValue {\n  unsigned Modifier;\n};\n",
+    );
+    fs.write(
+        "llvm/MC/MCContext.h",
+        "class MCContext {\n};\n",
+    );
+    fs.write(
+        "llvm/MC/MCInst.h",
+        "class MCInst {\n  unsigned Opcode;\n};\nclass MCOperand {\n  unsigned Reg;\n  unsigned Imm;\n};\n",
+    );
+    fs.write(
+        "llvm/MC/MCDisassembler.h",
+        "class MCDisassembler {\n  enum DecodeStatus {\n    Fail = 0,\n    SoftFail = 1,\n    Success = 3,\n  };\n};\n",
+    );
+    fs.write(
+        "llvm/MC/MCSchedule.h",
+        "class MCSchedModel {\n  unsigned IssueWidth;\n  unsigned LoadLatency;\n};\n",
+    );
+    fs.write(
+        "llvm/MC/MCAsmBackend.h",
+        "class MCAsmBackend {\n  unsigned NumFixupKinds;\n};\n",
+    );
+    fs.write(
+        "llvm/MC/MCELFObjectWriter.h",
+        "class MCELFObjectTargetWriter {\n  unsigned OSABI;\n};\n",
+    );
+
+    // --- llvm/CodeGen ------------------------------------------------------
+    let mut isd = String::from("// Generic selection DAG opcodes.\nenum ISD {\n  DELETED_NODE = 0,\n");
+    for (i, op) in ISD_OPCODES.iter().enumerate() {
+        isd.push_str(&format!("  {op} = {},\n", i + 1));
+    }
+    // Vector forms mirror the scalar ones at +100.
+    isd.push_str("  VEC_ADD = 101,\n  VEC_MUL = 103,\n};\n");
+    fs.write("llvm/CodeGen/ISDOpcodes.h", isd);
+
+    let mut mvt = String::from("enum MVT {\n");
+    for (i, v) in VALUE_TYPES.iter().enumerate() {
+        mvt.push_str(&format!("  {v} = {},\n", i + 1));
+    }
+    mvt.push_str("};\n");
+    fs.write("llvm/CodeGen/MachineValueType.h", mvt);
+
+    fs.write(
+        "llvm/CodeGen/MachineInstr.h",
+        "class MachineInstr {\n  unsigned Opcode;\n};\nclass MachineFunction {\n};\nclass MachineOperand {\n  unsigned Reg;\n};\n",
+    );
+    fs.write(
+        "llvm/CodeGen/TargetInstrInfo.h",
+        "class TargetInstrInfo {\n  unsigned CallFrameSetupOpcode;\n};\n",
+    );
+    fs.write(
+        "llvm/CodeGen/TargetRegisterInfo.h",
+        "class TargetRegisterInfo {\n  unsigned NumRegs;\n};\nclass TargetRegisterClass {\n  unsigned ID;\n};\n",
+    );
+    fs.write(
+        "llvm/CodeGen/SelectionDAG.h",
+        "class SelectionDAG {\n};\nclass SDNode {\n  unsigned Opcode;\n};\nclass SDValue {\n};\n",
+    );
+    fs.write(
+        "llvm/CodeGen/TargetLowering.h",
+        "class TargetLowering {\n  enum AddrMode {\n    AM_Base = 0,\n    AM_BaseImm = 1,\n    AM_BaseReg = 2,\n    AM_PCRel = 3,\n  };\n};\n",
+    );
+
+    // --- llvm/Target -------------------------------------------------------
+    // The TableGen base classes; every global assigned in target .td files is
+    // declared here. This is where partial-match feature selection finds the
+    // `identified site` of properties like OperandType and Name.
+    fs.write(
+        "llvm/Target/Target.td",
+        r#"// TableGen target-description base classes.
+class Target {
+  Name = ""
+  Endianness = ""
+  WordBits = 0
+  CommentString = ""
+}
+class Instruction {
+  Mnemonic = ""
+  OperandType = ""
+  Format = ""
+  Latency = 0
+  MicroOps = 0
+  Opcode = 0
+  IsBranch = 0
+  IsLoad = 0
+  IsStore = 0
+  RelaxedTo = ""
+  SelectFrom = ""
+}
+class RegisterClass {
+  RegPrefix = ""
+  NumRegs = 0
+  SpillSize = 0
+  ValueType = ""
+}
+class SpecialRegs {
+  StackPointer = ""
+  FramePointer = ""
+  ReturnAddress = ""
+}
+class ImmOperand {
+  ImmBits = 0
+}
+class ProcessorFeatures {
+  HasHWLoop = 0
+  HasSIMD = 0
+  HasMAC = 0
+  HasCompressed = 0
+  HasThreads = 0
+  HasForwarding = 0
+  HasCMov = 0
+  HasFPU = 0
+}
+"#,
+    );
+
+    // --- llvm/BinaryFormat -------------------------------------------------
+    fs.write(
+        "llvm/BinaryFormat/ELF.h",
+        "// ELF relocation enums are generated from ELFRelocs/<Target>.def.\nenum ELF {\n  EM_NONE = 0,\n};\nclass ELFObjectFile {\n};\n",
+    );
+
+    fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_files_under_llvm_dirs() {
+        let fs = llvm_provided();
+        for (path, _) in fs.iter() {
+            assert!(
+                LLVM_DIRS.iter().any(|d| path.starts_with(d)),
+                "{path} outside LLVMDIRs"
+            );
+        }
+        assert!(fs.len() >= 15);
+    }
+
+    #[test]
+    fn key_motivating_example_sites_exist() {
+        let fs = llvm_provided();
+        let mcexpr = fs.read("llvm/MC/MCExpr.h").unwrap();
+        assert!(mcexpr.contains("MCSymbolRefExpr"));
+        assert!(mcexpr.contains("VariantKind"));
+        let target_td = fs.read("llvm/Target/Target.td").unwrap();
+        assert!(target_td.contains("OperandType"));
+        assert!(target_td.contains("Name = \"\""));
+        let fixup = fs.read("llvm/MC/MCFixup.h").unwrap();
+        assert!(fixup.contains("MCFixupKind"));
+        assert!(fixup.contains("FirstTargetFixupKind = 64"));
+    }
+
+    #[test]
+    fn tgt_dirs_are_per_target() {
+        let d = tgt_dirs("RISCV");
+        assert_eq!(d[0], "lib/Target/RISCV");
+        assert_eq!(d[1], "llvm/BinaryFormat/ELFRelocs");
+    }
+}

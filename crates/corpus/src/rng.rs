@@ -1,0 +1,135 @@
+//! A tiny deterministic RNG (splitmix64) used for corpus synthesis.
+//!
+//! The corpus must be bit-for-bit reproducible across platforms and crate
+//! versions, so we avoid external RNG crates here.
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct Mix64 {
+    state: u64,
+}
+
+impl Mix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Mix64 { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Derives an independent generator from a string key (stable hashing).
+    ///
+    /// # Examples
+    /// ```
+    /// use vega_corpus::Mix64;
+    /// let a = Mix64::keyed(7, "ARM/getRelocType").next_u64();
+    /// let b = Mix64::keyed(7, "ARM/getRelocType").next_u64();
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn keyed(seed: u64, key: &str) -> Self {
+        let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Mix64::new(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Chooses `k` distinct indices out of `n` (order preserved).
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates.
+        for i in 0..k {
+            let j = i + self.below((n - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        let mut sel = idx[..k].to_vec();
+        sel.sort_unstable();
+        sel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Mix64::new(42);
+        let mut b = Mix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn keyed_streams_differ() {
+        assert_ne!(
+            Mix64::keyed(1, "x").next_u64(),
+            Mix64::keyed(1, "y").next_u64()
+        );
+        assert_ne!(Mix64::keyed(1, "x").next_u64(), Mix64::keyed(2, "x").next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = Mix64::new(7);
+        for _ in 0..1000 {
+            let v = r.range(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_indices_distinct_sorted() {
+        let mut r = Mix64::new(9);
+        let sel = r.choose_indices(10, 4);
+        assert_eq!(sel.len(), 4);
+        let mut dedup = sel.clone();
+        dedup.dedup();
+        assert_eq!(dedup, sel);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Mix64::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.1));
+    }
+}

@@ -1,0 +1,818 @@
+//! Built-in and procedurally generated target architectures.
+//!
+//! The paper trains on ~100 GitHub backends and evaluates on RISC-V, RI5CY
+//! and xCORE. We model a dozen well-known targets by hand (with their real
+//! naming idiosyncrasies: `fixup_arm_*` vs `fixup_MIPS_*`, big vs little
+//! endian, hardware loops on Hexagon, …), add procedurally generated
+//! `SynNN` targets for training diversity, and hand-model the three
+//! evaluation targets:
+//!
+//! * **RISCV** — general-purpose, compressed instructions, `pcrel_hi/lo`;
+//! * **RI5CY** — RISC-V with ultra-low-power extensions (hardware loops,
+//!   SIMD, MAC), mirroring the PULP core;
+//! * **XCORE** — an IoT target with thread scheduling instructions, no
+//!   disassembler, and deliberately unconventional naming (it is the weakest
+//!   target in the paper, partly because it resembles nothing else).
+
+use crate::arch::{ArchSpec, ArchTraits, Endian, FixupDef, InstrDef, RegClass};
+use crate::rng::Mix64;
+
+/// Casing convention for fixup/relocation names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FixCase {
+    /// `fixup_arm_movt_hi16`
+    Lower,
+    /// `fixup_MIPS_HI16`
+    Upper,
+}
+
+/// A semantic fixup kind from which target-specific fixups are instantiated.
+struct FixKind {
+    tag: &'static str,
+    bits: u32,
+    offset: u32,
+    pcrel: bool,
+}
+
+const FIX_KINDS: &[FixKind] = &[
+    FixKind { tag: "hi16", bits: 16, offset: 16, pcrel: true },
+    FixKind { tag: "lo16", bits: 16, offset: 0, pcrel: true },
+    FixKind { tag: "16", bits: 16, offset: 0, pcrel: false },
+    FixKind { tag: "32", bits: 32, offset: 0, pcrel: true },
+    FixKind { tag: "branch", bits: 24, offset: 0, pcrel: true },
+    FixKind { tag: "call", bits: 26, offset: 0, pcrel: true },
+    FixKind { tag: "got", bits: 16, offset: 0, pcrel: false },
+    FixKind { tag: "jump", bits: 26, offset: 0, pcrel: false },
+    FixKind { tag: "abs8", bits: 8, offset: 0, pcrel: false },
+    FixKind { tag: "tprel", bits: 16, offset: 0, pcrel: false },
+];
+
+fn make_fixup(ns: &str, case: FixCase, k: &FixKind) -> FixupDef {
+    let upper_ns = ns.to_uppercase();
+    let name = match case {
+        FixCase::Lower => format!("fixup_{}_{}", ns.to_lowercase(), k.tag),
+        FixCase::Upper => format!("fixup_{}_{}", upper_ns, k.tag.to_uppercase()),
+    };
+    FixupDef {
+        name,
+        reloc_abs: format!("R_{}_{}", upper_ns, k.tag.to_uppercase()),
+        reloc_pcrel: k
+            .pcrel
+            .then(|| format!("R_{}_{}_PCREL", upper_ns, k.tag.to_uppercase())),
+        bits: k.bits,
+        offset: k.offset,
+    }
+}
+
+/// The core integer ISA every target implements; (isd, base mnemonic,
+/// base latency).
+const CORE_ISA: &[(&str, &str, u32)] = &[
+    ("ADD", "add", 1),
+    ("SUB", "sub", 1),
+    ("AND", "and", 1),
+    ("OR", "or", 1),
+    ("XOR", "xor", 1),
+    ("SHL", "sll", 1),
+    ("SRL", "srl", 1),
+    ("LOAD", "ld", 2),
+    ("STORE", "st", 1),
+    ("BR", "b", 1),
+    ("BRCOND", "bcc", 1),
+    ("RET", "ret", 1),
+    ("CALL", "call", 1),
+];
+
+/// Optional ISA parts keyed by trait; (isd, mnemonic, latency).
+const MUL_ISA: &[(&str, &str, u32)] = &[("MUL", "mul", 3), ("SDIV", "div", 12)];
+const FPU_ISA: &[(&str, &str, u32)] = &[("FADD", "fadd", 3), ("FMUL", "fmul", 4)];
+const CMOV_ISA: &[(&str, &str, u32)] = &[("SELECT", "cmov", 1), ("SETCC", "setcc", 1)];
+
+struct SpecParams<'a> {
+    name: &'a str,
+    endian: Endian,
+    word_bits: u32,
+    imm_bits: u32,
+    traits: ArchTraits,
+    fix_case: FixCase,
+    fix_tags: &'a [&'a str],
+    reg_prefix: &'a str,
+    reg_count: u32,
+    instr_style: InstrStyle,
+    comment: &'a str,
+    has_mul: bool,
+    variant_kinds: &'a [&'a str],
+    /// Jitters latencies/opcodes so targets disagree numerically.
+    seed: u64,
+}
+
+/// How instruction names are derived from the base mnemonic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstrStyle {
+    /// `ADD`
+    Plain,
+    /// `ADDrr` (ARM-like register-register forms)
+    SuffixRR,
+    /// `ADDu` (MIPS-like unsigned forms)
+    SuffixU,
+    /// `ADD32rr` (X86-like width forms)
+    Width32,
+    /// `LSS_ADD` (xCORE-like: unusual, resembles nothing else)
+    XPrefix,
+}
+
+fn instr_name(style: InstrStyle, mnemonic: &str) -> String {
+    let up = mnemonic.to_uppercase();
+    match style {
+        InstrStyle::Plain => up,
+        InstrStyle::SuffixRR => format!("{up}rr"),
+        InstrStyle::SuffixU => format!("{up}u"),
+        InstrStyle::Width32 => format!("{up}32rr"),
+        InstrStyle::XPrefix => format!("LSS_{up}"),
+    }
+}
+
+fn build_spec(p: SpecParams<'_>) -> ArchSpec {
+    let mut rng = Mix64::keyed(p.seed, p.name);
+    let mut instrs: Vec<InstrDef> = Vec::new();
+    let mut opcode = 1 + (rng.below(16) as u32) * 4;
+    let mut push = |set: &[(&str, &str, u32)], instrs: &mut Vec<InstrDef>, rng: &mut Mix64| {
+        for (isd, mn, lat) in set {
+            let lat = (*lat + rng.below(2) as u32).max(1);
+            let mut i = InstrDef::alu(&instr_name(p.instr_style, mn), mn, isd, lat, opcode);
+            i.is_branch = matches!(*isd, "BR" | "BRCOND" | "RET" | "CALL");
+            i.is_load = *isd == "LOAD";
+            i.is_store = *isd == "STORE";
+            i.micro_ops = if *isd == "SDIV" { 2 } else { 1 };
+            i.format = match *isd {
+                "LOAD" | "STORE" => "M".to_string(),
+                "BR" | "BRCOND" | "CALL" | "RET" => "B".to_string(),
+                _ => "R".to_string(),
+            };
+            instrs.push(i);
+            opcode += 1;
+        }
+    };
+    push(CORE_ISA, &mut instrs, &mut rng);
+    if p.has_mul {
+        push(MUL_ISA, &mut instrs, &mut rng);
+    }
+    if p.traits.has_fpu {
+        push(FPU_ISA, &mut instrs, &mut rng);
+    }
+    if p.traits.has_cmov {
+        push(CMOV_ISA, &mut instrs, &mut rng);
+    }
+    // Immediate ALU form + NOP, common to all targets.
+    instrs.push(InstrDef {
+        name: instr_name(p.instr_style, "addi"),
+        mnemonic: "addi".to_string(),
+        isd: None,
+        latency: 1,
+        micro_ops: 1,
+        format: "I".to_string(),
+        opcode,
+        is_branch: false,
+        is_load: false,
+        is_store: false,
+        relaxed_to: None,
+    });
+    opcode += 1;
+    instrs.push(InstrDef {
+        name: instr_name(p.instr_style, "nop"),
+        mnemonic: "nop".to_string(),
+        isd: None,
+        latency: 1,
+        micro_ops: 1,
+        format: "R".to_string(),
+        opcode,
+        is_branch: false,
+        is_load: false,
+        is_store: false,
+        relaxed_to: None,
+    });
+    opcode += 1;
+    // Trait-specific extensions.
+    if p.traits.has_hwloop {
+        for (n, mn) in [("LOOP0", "lp.start"), ("ENDLOOP0", "lp.end")] {
+            instrs.push(InstrDef {
+                name: n.to_string(),
+                mnemonic: mn.to_string(),
+                isd: None,
+                latency: 1,
+                micro_ops: 1,
+                format: "B".to_string(),
+                opcode,
+                is_branch: true,
+                is_load: false,
+                is_store: false,
+                relaxed_to: None,
+            });
+            opcode += 1;
+        }
+    }
+    if p.traits.has_simd {
+        for (n, mn, isd) in [("VADD", "vadd", "ADD"), ("VMUL", "vmul", "MUL")] {
+            instrs.push(InstrDef {
+                name: n.to_string(),
+                mnemonic: mn.to_string(),
+                isd: Some(format!("VEC_{isd}")),
+                latency: 2,
+                micro_ops: 1,
+                format: "R".to_string(),
+                opcode,
+                is_branch: false,
+                is_load: false,
+                is_store: false,
+                relaxed_to: None,
+            });
+            opcode += 1;
+        }
+    }
+    if p.traits.has_mac {
+        instrs.push(InstrDef {
+            name: "MAC".to_string(),
+            mnemonic: "p.mac".to_string(),
+            isd: None,
+            latency: 2,
+            micro_ops: 1,
+            format: "R".to_string(),
+            opcode,
+            is_branch: false,
+            is_load: false,
+            is_store: false,
+            relaxed_to: None,
+        });
+        opcode += 1;
+    }
+    if p.traits.has_compressed {
+        let wide = instrs[0].name.clone(); // the ADD form
+        instrs.push(InstrDef {
+            name: "C_ADD".to_string(),
+            mnemonic: "c.add".to_string(),
+            isd: None,
+            latency: 1,
+            micro_ops: 1,
+            format: "C".to_string(),
+            opcode,
+            is_branch: false,
+            is_load: false,
+            is_store: false,
+            relaxed_to: Some(wide),
+        });
+        opcode += 1;
+    }
+    if p.traits.has_threads {
+        for (n, mn) in [("TSTART", "tstart"), ("TSYNC", "tsync"), ("TJOIN", "tjoin")] {
+            instrs.push(InstrDef {
+                name: n.to_string(),
+                mnemonic: mn.to_string(),
+                isd: None,
+                latency: 4,
+                micro_ops: 2,
+                format: "B".to_string(),
+                opcode,
+                is_branch: true,
+                is_load: false,
+                is_store: false,
+                relaxed_to: None,
+            });
+            opcode += 1;
+        }
+    }
+
+    let mut regs = vec![RegClass {
+        name: "GPR".to_string(),
+        prefix: p.reg_prefix.to_string(),
+        count: p.reg_count,
+        spill_size: p.word_bits / 8,
+        vt: if p.word_bits == 64 { "i64".to_string() } else { "i32".to_string() },
+    }];
+    if p.traits.has_fpu {
+        regs.push(RegClass {
+            name: "FPR".to_string(),
+            prefix: "F".to_string(),
+            count: p.reg_count.min(32),
+            spill_size: 8,
+            vt: "f64".to_string(),
+        });
+    }
+    if p.traits.has_simd {
+        regs.push(RegClass {
+            name: "VR".to_string(),
+            prefix: "V".to_string(),
+            count: 16,
+            spill_size: 16,
+            vt: "v128".to_string(),
+        });
+    }
+
+    let fixups: Vec<FixupDef> = p
+        .fix_tags
+        .iter()
+        .map(|tag| {
+            let k = FIX_KINDS
+                .iter()
+                .find(|k| k.tag == *tag)
+                .unwrap_or_else(|| panic!("unknown fixup tag {tag}"));
+            make_fixup(p.name, p.fix_case, k)
+        })
+        .collect();
+
+    let sp = format!("{}{}", p.reg_prefix, p.reg_count - 1);
+    let fp = format!("{}{}", p.reg_prefix, p.reg_count - 2);
+    let ra = format!("{}{}", p.reg_prefix, p.reg_count - 3);
+    ArchSpec {
+        name: p.name.to_string(),
+        endian: p.endian,
+        word_bits: p.word_bits,
+        imm_bits: p.imm_bits,
+        traits: p.traits,
+        instrs,
+        regs,
+        fixups,
+        variant_kinds: p
+            .variant_kinds
+            .iter()
+            .map(|v| format!("VK_{}_{}", p.name.to_uppercase(), v))
+            .collect(),
+        sp_reg: sp,
+        fp_reg: fp,
+        ra_reg: ra,
+        comment: p.comment.to_string(),
+    }
+}
+
+/// The three evaluation targets of the paper, in order: RISC-V, RI5CY, xCORE.
+pub fn eval_targets() -> Vec<ArchSpec> {
+    vec![riscv(), ri5cy(), xcore()]
+}
+
+fn riscv() -> ArchSpec {
+    build_spec(SpecParams {
+        name: "RISCV",
+        endian: Endian::Little,
+        word_bits: 32,
+        imm_bits: 12,
+        traits: ArchTraits {
+            has_pcrel: true,
+            has_variant_kind: true,
+            has_fpu: true,
+            has_mac: false,
+            has_hwloop: false,
+            has_simd: false,
+            has_compressed: true,
+            has_threads: false,
+            has_disassembler: true,
+            has_cmov: false,
+            has_forwarding: true,
+        },
+        fix_case: FixCase::Lower,
+        fix_tags: &["hi16", "lo16", "branch", "call", "32", "got"],
+        reg_prefix: "X",
+        reg_count: 32,
+        instr_style: InstrStyle::Plain,
+        comment: "#",
+        has_mul: true,
+        variant_kinds: &["LO", "HI", "PCREL_LO", "PCREL_HI"],
+        seed: 1001,
+    })
+}
+
+fn ri5cy() -> ArchSpec {
+    let mut s = build_spec(SpecParams {
+        name: "RI5CY",
+        endian: Endian::Little,
+        word_bits: 32,
+        imm_bits: 12,
+        traits: ArchTraits {
+            has_pcrel: true,
+            has_variant_kind: true,
+            has_fpu: false,
+            has_mac: true,
+            has_hwloop: true,
+            has_simd: true,
+            has_compressed: true,
+            has_threads: false,
+            has_disassembler: true,
+            has_cmov: false,
+            has_forwarding: true,
+        },
+        fix_case: FixCase::Lower,
+        fix_tags: &["hi16", "lo16", "branch", "call", "32"],
+        reg_prefix: "X",
+        reg_count: 32,
+        instr_style: InstrStyle::Plain,
+        comment: "#",
+        has_mul: true,
+        variant_kinds: &["LO", "HI"],
+        seed: 1002,
+    });
+    // RI5CY shares the RISC-V base latencies (it *is* a RISC-V core).
+    let rv = riscv();
+    for i in &mut s.instrs {
+        if let Some(base) = rv.instrs.iter().find(|b| b.mnemonic == i.mnemonic) {
+            i.latency = base.latency;
+        }
+    }
+    s
+}
+
+fn xcore() -> ArchSpec {
+    build_spec(SpecParams {
+        name: "XCore",
+        endian: Endian::Little,
+        word_bits: 32,
+        imm_bits: 16,
+        traits: ArchTraits {
+            has_pcrel: true,
+            has_variant_kind: false,
+            has_fpu: false,
+            has_mac: false,
+            has_hwloop: false,
+            has_simd: false,
+            has_compressed: false,
+            has_threads: true,
+            // The paper's LLVM 3.0 xCORE has no disassembler module.
+            has_disassembler: false,
+            has_cmov: false,
+            has_forwarding: false,
+        },
+        fix_case: FixCase::Lower,
+        // Unusual set: thread-local + small absolutes, little overlap with
+        // the mainstream targets.
+        fix_tags: &["tprel", "abs8", "32", "jump"],
+        reg_prefix: "R",
+        reg_count: 12,
+        instr_style: InstrStyle::XPrefix,
+        comment: "//",
+        has_mul: true,
+        variant_kinds: &[],
+        seed: 1003,
+    })
+}
+
+/// The hand-modelled training targets (the "existing backends" pool).
+///
+/// `seed` jitters latencies/opcodes; the default corpus uses seed 0.
+pub fn builtin_targets(seed: u64) -> Vec<ArchSpec> {
+    let t = |has: fn(&mut ArchTraits)| {
+        let mut tr = ArchTraits {
+            has_pcrel: true,
+            has_disassembler: true,
+            ..ArchTraits::default()
+        };
+        has(&mut tr);
+        tr
+    };
+    vec![
+        build_spec(SpecParams {
+            name: "ARM",
+            endian: Endian::Little,
+            word_bits: 32,
+            imm_bits: 12,
+            traits: t(|tr| {
+                tr.has_variant_kind = true;
+                tr.has_fpu = true;
+                tr.has_cmov = true;
+                tr.has_forwarding = true;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["hi16", "lo16", "branch", "call", "32", "got"],
+            reg_prefix: "R",
+            reg_count: 16,
+            instr_style: InstrStyle::SuffixRR,
+            comment: "@",
+            has_mul: true,
+            variant_kinds: &["GOT", "TLSGD", "LO", "HI"],
+            seed: seed ^ 1,
+        }),
+        build_spec(SpecParams {
+            name: "Mips",
+            endian: Endian::Big,
+            word_bits: 32,
+            imm_bits: 16,
+            traits: t(|tr| {
+                tr.has_variant_kind = true;
+                tr.has_fpu = true;
+                tr.has_forwarding = true;
+            }),
+            fix_case: FixCase::Upper,
+            fix_tags: &["hi16", "lo16", "branch", "call", "32", "got", "jump"],
+            reg_prefix: "R",
+            reg_count: 32,
+            instr_style: InstrStyle::SuffixU,
+            comment: "#",
+            has_mul: true,
+            variant_kinds: &["GOT", "LO", "HI", "GPREL"],
+            seed: seed ^ 2,
+        }),
+        build_spec(SpecParams {
+            name: "X86",
+            endian: Endian::Little,
+            word_bits: 64,
+            imm_bits: 32,
+            traits: t(|tr| {
+                tr.has_fpu = true;
+                tr.has_cmov = true;
+                tr.has_simd = true;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["32", "16", "got", "tprel"],
+            reg_prefix: "R",
+            reg_count: 16,
+            instr_style: InstrStyle::Width32,
+            comment: "#",
+            has_mul: true,
+            variant_kinds: &["GOT", "PLT", "TPOFF"],
+            seed: seed ^ 3,
+        }),
+        build_spec(SpecParams {
+            name: "PPC",
+            endian: Endian::Big,
+            word_bits: 64,
+            imm_bits: 16,
+            traits: t(|tr| {
+                tr.has_variant_kind = true;
+                tr.has_fpu = true;
+                tr.has_cmov = true;
+                tr.has_forwarding = true;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["hi16", "lo16", "branch", "call", "32", "tprel"],
+            reg_prefix: "R",
+            reg_count: 32,
+            instr_style: InstrStyle::Plain,
+            comment: "#",
+            has_mul: true,
+            variant_kinds: &["LO", "HA", "TOC"],
+            seed: seed ^ 4,
+        }),
+        build_spec(SpecParams {
+            name: "AMDGPU",
+            endian: Endian::Little,
+            word_bits: 64,
+            imm_bits: 16,
+            traits: t(|tr| {
+                tr.has_fpu = true;
+                tr.has_simd = true;
+                tr.has_cmov = true;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["32", "got", "call"],
+            reg_prefix: "VGPR",
+            reg_count: 32,
+            instr_style: InstrStyle::Plain,
+            comment: ";",
+            has_mul: true,
+            variant_kinds: &["GOTPCREL"],
+            seed: seed ^ 5,
+        }),
+        build_spec(SpecParams {
+            name: "Hexagon",
+            endian: Endian::Little,
+            word_bits: 32,
+            imm_bits: 16,
+            traits: t(|tr| {
+                tr.has_hwloop = true;
+                tr.has_simd = true;
+                tr.has_mac = true;
+                tr.has_forwarding = true;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["hi16", "lo16", "branch", "call", "32", "got"],
+            reg_prefix: "R",
+            reg_count: 32,
+            instr_style: InstrStyle::Plain,
+            comment: "//",
+            has_mul: true,
+            variant_kinds: &[],
+            seed: seed ^ 6,
+        }),
+        build_spec(SpecParams {
+            name: "Sparc",
+            endian: Endian::Big,
+            word_bits: 32,
+            imm_bits: 13,
+            traits: t(|tr| {
+                tr.has_variant_kind = true;
+                tr.has_fpu = true;
+            }),
+            fix_case: FixCase::Upper,
+            fix_tags: &["hi16", "lo16", "branch", "call", "32"],
+            reg_prefix: "G",
+            reg_count: 32,
+            instr_style: InstrStyle::Plain,
+            comment: "!",
+            has_mul: true,
+            variant_kinds: &["LO", "HI", "TLS_GD"],
+            seed: seed ^ 7,
+        }),
+        build_spec(SpecParams {
+            name: "AVR",
+            endian: Endian::Little,
+            word_bits: 16,
+            imm_bits: 8,
+            traits: t(|tr| {
+                tr.has_pcrel = false;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["lo16", "hi16", "abs8", "call"],
+            reg_prefix: "R",
+            reg_count: 32,
+            instr_style: InstrStyle::Plain,
+            comment: ";",
+            has_mul: false,
+            variant_kinds: &[],
+            seed: seed ^ 8,
+        }),
+        build_spec(SpecParams {
+            name: "MSP430",
+            endian: Endian::Little,
+            word_bits: 16,
+            imm_bits: 16,
+            traits: t(|tr| {
+                tr.has_pcrel = false;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["16", "32", "abs8"],
+            reg_prefix: "R",
+            reg_count: 16,
+            instr_style: InstrStyle::Plain,
+            comment: ";",
+            has_mul: false,
+            variant_kinds: &[],
+            seed: seed ^ 9,
+        }),
+        build_spec(SpecParams {
+            name: "Lanai",
+            endian: Endian::Big,
+            word_bits: 32,
+            imm_bits: 16,
+            traits: t(|tr| {
+                tr.has_forwarding = true;
+            }),
+            fix_case: FixCase::Upper,
+            fix_tags: &["hi16", "lo16", "branch", "32"],
+            reg_prefix: "R",
+            reg_count: 32,
+            instr_style: InstrStyle::Plain,
+            comment: "!",
+            has_mul: true,
+            variant_kinds: &[],
+            seed: seed ^ 10,
+        }),
+        build_spec(SpecParams {
+            name: "SystemZ",
+            endian: Endian::Big,
+            word_bits: 64,
+            imm_bits: 20,
+            traits: t(|tr| {
+                tr.has_fpu = true;
+                tr.has_cmov = true;
+                tr.has_variant_kind = true;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["hi16", "lo16", "32", "got", "tprel"],
+            reg_prefix: "R",
+            reg_count: 16,
+            instr_style: InstrStyle::Plain,
+            comment: "#",
+            has_mul: true,
+            variant_kinds: &["GOT", "PLT"],
+            seed: seed ^ 11,
+        }),
+        build_spec(SpecParams {
+            name: "VE",
+            endian: Endian::Little,
+            word_bits: 64,
+            imm_bits: 32,
+            traits: t(|tr| {
+                tr.has_fpu = true;
+                tr.has_simd = true;
+                tr.has_variant_kind = true;
+            }),
+            fix_case: FixCase::Lower,
+            fix_tags: &["hi16", "lo16", "call", "32", "got"],
+            reg_prefix: "SX",
+            reg_count: 64,
+            instr_style: InstrStyle::Plain,
+            comment: "#",
+            has_mul: true,
+            variant_kinds: &["LO32", "HI32"],
+            seed: seed ^ 12,
+        }),
+    ]
+}
+
+/// Generates one procedural training target `Syn<idx>`.
+pub fn synthetic_target(seed: u64, idx: usize) -> ArchSpec {
+    let name = format!("Syn{idx:02}");
+    let mut rng = Mix64::keyed(seed, &name);
+    let endian = if rng.chance(0.4) { Endian::Big } else { Endian::Little };
+    let word_bits = *rng.pick(&[16u32, 32, 32, 32, 64]);
+    let mut traits = ArchTraits {
+        has_pcrel: rng.chance(0.8),
+        has_variant_kind: rng.chance(0.5),
+        has_fpu: rng.chance(0.6),
+        has_mac: rng.chance(0.3),
+        has_hwloop: rng.chance(0.2),
+        has_simd: rng.chance(0.35),
+        has_compressed: rng.chance(0.25),
+        has_threads: rng.chance(0.08),
+        has_disassembler: rng.chance(0.9),
+        has_cmov: rng.chance(0.5),
+        has_forwarding: rng.chance(0.5),
+    };
+    if word_bits == 16 {
+        traits.has_fpu = false;
+        traits.has_simd = false;
+    }
+    let all_tags: Vec<&str> = FIX_KINDS.iter().map(|k| k.tag).collect();
+    let n_tags = rng.range(3, 7) as usize;
+    let tag_sel = rng.choose_indices(all_tags.len(), n_tags);
+    let tags: Vec<&str> = tag_sel.into_iter().map(|i| all_tags[i]).collect();
+    let styles = [
+        InstrStyle::Plain,
+        InstrStyle::SuffixRR,
+        InstrStyle::SuffixU,
+        InstrStyle::Width32,
+    ];
+    let vk_pool = ["GOT", "PLT", "LO", "HI", "TLSGD", "GPREL"];
+    let n_vk = if traits.has_variant_kind { rng.range(2, 4) as usize } else { 0 };
+    let vk_sel = rng.choose_indices(vk_pool.len(), n_vk);
+    let vks: Vec<&str> = vk_sel.into_iter().map(|i| vk_pool[i]).collect();
+    build_spec(SpecParams {
+        name: &name,
+        endian,
+        word_bits,
+        imm_bits: *rng.pick(&[8u32, 12, 13, 16, 16, 20]),
+        traits,
+        fix_case: if rng.chance(0.3) { FixCase::Upper } else { FixCase::Lower },
+        fix_tags: &tags,
+        reg_prefix: *rng.pick(&["R", "X", "G", "W", "A"]),
+        reg_count: *rng.pick(&[8u32, 16, 16, 32, 32]),
+        instr_style: *rng.pick(&styles),
+        comment: *rng.pick(&["#", ";", "//", "!"]),
+        has_mul: rng.chance(0.8),
+        variant_kinds: &vks,
+        seed: seed ^ (idx as u64).wrapping_mul(0x9E37),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_are_unique() {
+        let ts = builtin_targets(0);
+        let mut names: Vec<_> = ts.iter().map(|t| t.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ts.len());
+        assert_eq!(ts.len(), 12);
+    }
+
+    #[test]
+    fn eval_targets_match_paper_traits() {
+        let [rv, ri, xc]: [ArchSpec; 3] = eval_targets().try_into().unwrap();
+        assert!(rv.traits.has_compressed && rv.traits.has_disassembler);
+        assert!(ri.traits.has_hwloop && ri.traits.has_simd && ri.traits.has_mac);
+        assert!(xc.traits.has_threads && !xc.traits.has_disassembler);
+        // RI5CY shares RISC-V base latencies for common mnemonics.
+        let add_rv = rv.instrs.iter().find(|i| i.mnemonic == "add").unwrap();
+        let add_ri = ri.instrs.iter().find(|i| i.mnemonic == "add").unwrap();
+        assert_eq!(add_rv.latency, add_ri.latency);
+    }
+
+    #[test]
+    fn synthetic_targets_are_deterministic_and_distinct() {
+        let a = synthetic_target(7, 3);
+        let b = synthetic_target(7, 3);
+        assert_eq!(a, b);
+        let c = synthetic_target(7, 4);
+        assert_ne!(a.name, c.name);
+    }
+
+    #[test]
+    fn fixup_naming_follows_case_style() {
+        let ts = builtin_targets(0);
+        let mips = ts.iter().find(|t| t.name == "Mips").unwrap();
+        assert!(mips.fixups.iter().all(|f| f.name.starts_with("fixup_MIPS_")));
+        let arm = ts.iter().find(|t| t.name == "ARM").unwrap();
+        assert!(arm.fixups.iter().all(|f| f.name.starts_with("fixup_arm_")));
+    }
+
+    #[test]
+    fn every_builtin_covers_core_isa() {
+        for t in builtin_targets(0) {
+            for isd in ["ADD", "SUB", "LOAD", "STORE", "BR", "RET"] {
+                assert!(
+                    t.instr_for_isd(isd).is_some(),
+                    "{} missing {isd}",
+                    t.name
+                );
+            }
+        }
+    }
+}

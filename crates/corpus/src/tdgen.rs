@@ -1,0 +1,192 @@
+//! Target description file generation (`TGTDIRs`).
+//!
+//! From an [`ArchSpec`] this module renders the `.td`, `.h` and `.def` files
+//! a developer would write for a new LLVM target. These files are the *only*
+//! input VEGA receives about a new target (paper §3.4); the backend code
+//! itself is derived ground truth used for training and evaluation.
+//!
+//! File naming follows LLVM's conventions so feature selection can locate a
+//! new target's files by pattern: `lib/Target/{NS}/{NS}.td`,
+//! `{NS}InstrInfo.td`, `{NS}RegisterInfo.td`, `{NS}FixupKinds.h`,
+//! `{NS}MCExpr.h` and `llvm/BinaryFormat/ELFRelocs/{NS}.def`.
+
+use crate::arch::ArchSpec;
+use crate::vfs::VirtualFs;
+use std::fmt::Write as _;
+
+/// Renders all description files of `spec` into a fresh virtual FS.
+pub fn describe_target(spec: &ArchSpec) -> VirtualFs {
+    let mut fs = VirtualFs::new();
+    let ns = &spec.name;
+    let dir = format!("lib/Target/{ns}");
+
+    // --- {NS}.td ------------------------------------------------------------
+    let mut td = String::new();
+    let _ = writeln!(td, "// Target definition for {ns}.");
+    let _ = writeln!(td, "def {ns} : Target {{");
+    let _ = writeln!(td, "  Name = \"{ns}\"");
+    let _ = writeln!(td, "  Endianness = \"{}\"", spec.endian.td_name());
+    let _ = writeln!(td, "  WordBits = {}", spec.word_bits);
+    let _ = writeln!(td, "  CommentString = \"{}\"", spec.comment);
+    let _ = writeln!(td, "}}");
+    let t = &spec.traits;
+    let _ = writeln!(td, "def {ns}Features : ProcessorFeatures {{");
+    let _ = writeln!(td, "  HasHWLoop = {}", u8::from(t.has_hwloop));
+    let _ = writeln!(td, "  HasSIMD = {}", u8::from(t.has_simd));
+    let _ = writeln!(td, "  HasMAC = {}", u8::from(t.has_mac));
+    let _ = writeln!(td, "  HasCompressed = {}", u8::from(t.has_compressed));
+    let _ = writeln!(td, "  HasThreads = {}", u8::from(t.has_threads));
+    let _ = writeln!(td, "  HasForwarding = {}", u8::from(t.has_forwarding));
+    let _ = writeln!(td, "  HasCMov = {}", u8::from(t.has_cmov));
+    let _ = writeln!(td, "  HasFPU = {}", u8::from(t.has_fpu));
+    let _ = writeln!(td, "}}");
+    fs.write(format!("{dir}/{ns}.td"), td);
+
+    // --- {NS}InstrInfo.td ----------------------------------------------------
+    let mut ii = String::new();
+    let _ = writeln!(ii, "// Instruction definitions for {ns}.");
+    for i in &spec.instrs {
+        let _ = writeln!(ii, "def {} : Instruction {{", i.name);
+        let _ = writeln!(ii, "  Mnemonic = \"{}\"", i.mnemonic);
+        let _ = writeln!(ii, "  Format = \"{}\"", i.format);
+        let _ = writeln!(ii, "  Opcode = {}", i.opcode);
+        let _ = writeln!(ii, "  Latency = {}", i.latency);
+        let _ = writeln!(ii, "  MicroOps = {}", i.micro_ops);
+        if let Some(isd) = &i.isd {
+            let _ = writeln!(ii, "  SelectFrom = \"{isd}\"");
+        }
+        if i.is_branch {
+            let _ = writeln!(ii, "  IsBranch = 1");
+        }
+        if i.is_load {
+            let _ = writeln!(ii, "  IsLoad = 1");
+        }
+        if i.is_store {
+            let _ = writeln!(ii, "  IsStore = 1");
+        }
+        if let Some(rt) = &i.relaxed_to {
+            let _ = writeln!(ii, "  RelaxedTo = \"{rt}\"");
+        }
+        let _ = writeln!(ii, "}}");
+    }
+    if spec.traits.has_pcrel {
+        // The motivating example's partial-match anchor: IsPCRel ↔
+        // OperandType = "OPERAND_PCREL".
+        let _ = writeln!(ii, "def {ns}PCRelOperand : Instruction {{");
+        let _ = writeln!(ii, "  OperandType = \"OPERAND_PCREL\"");
+        let _ = writeln!(ii, "}}");
+    }
+    let _ = writeln!(ii, "def {ns}Imm : ImmOperand {{");
+    let _ = writeln!(ii, "  ImmBits = {}", spec.imm_bits);
+    let _ = writeln!(ii, "}}");
+    fs.write(format!("{dir}/{ns}InstrInfo.td"), ii);
+
+    // --- {NS}RegisterInfo.td -------------------------------------------------
+    let mut ri = String::new();
+    let _ = writeln!(ri, "// Register definitions for {ns}.");
+    for rc in &spec.regs {
+        let _ = writeln!(ri, "def {} : RegisterClass {{", rc.name);
+        let _ = writeln!(ri, "  RegPrefix = \"{}\"", rc.prefix);
+        let _ = writeln!(ri, "  NumRegs = {}", rc.count);
+        let _ = writeln!(ri, "  SpillSize = {}", rc.spill_size);
+        let _ = writeln!(ri, "  ValueType = \"{}\"", rc.vt);
+        let _ = writeln!(ri, "}}");
+    }
+    let _ = writeln!(ri, "def {ns}Special : SpecialRegs {{");
+    let _ = writeln!(ri, "  StackPointer = \"{}\"", spec.sp_reg);
+    let _ = writeln!(ri, "  FramePointer = \"{}\"", spec.fp_reg);
+    let _ = writeln!(ri, "  ReturnAddress = \"{}\"", spec.ra_reg);
+    let _ = writeln!(ri, "}}");
+    fs.write(format!("{dir}/{ns}RegisterInfo.td"), ri);
+
+    // --- {NS}FixupKinds.h ------------------------------------------------------
+    let mut fk = String::new();
+    let _ = writeln!(fk, "// Target fixup kinds for {ns}.");
+    let _ = writeln!(fk, "enum Fixups {{");
+    for (i, f) in spec.fixups.iter().enumerate() {
+        if i == 0 {
+            let _ = writeln!(fk, "  {} = FirstTargetFixupKind,", f.name);
+        } else {
+            let _ = writeln!(fk, "  {},", f.name);
+        }
+    }
+    let _ = writeln!(fk, "  NumTargetFixupKinds,");
+    let _ = writeln!(fk, "}};");
+    for f in &spec.fixups {
+        // Field geometry, consumed by applyFixup/getFixupKindInfo.
+        let _ = writeln!(
+            fk,
+            "// {}: bits={} offset={}",
+            f.name, f.bits, f.offset
+        );
+    }
+    fs.write(format!("{dir}/{ns}FixupKinds.h"), fk);
+
+    // --- {NS}MCExpr.h (variant kinds) ----------------------------------------
+    if !spec.variant_kinds.is_empty() {
+        let mut vk = String::new();
+        let _ = writeln!(vk, "// Target-specific symbol variant kinds for {ns}.");
+        let _ = writeln!(vk, "enum VariantKind {{");
+        for (i, v) in spec.variant_kinds.iter().enumerate() {
+            let _ = writeln!(vk, "  {v} = {},", i + 1);
+        }
+        let _ = writeln!(vk, "}};");
+        fs.write(format!("{dir}/{ns}MCExpr.h"), vk);
+    }
+
+    // --- ELFRelocs/{NS}.def -----------------------------------------------------
+    let mut def = String::new();
+    let _ = writeln!(def, "// ELF relocations for {ns}.");
+    for (i, r) in spec.reloc_names().iter().enumerate() {
+        let _ = writeln!(def, "ELF_RELOC({r}, {i})");
+    }
+    fs.write(format!("llvm/BinaryFormat/ELFRelocs/{ns}.def"), def);
+
+    fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::eval_targets;
+
+    #[test]
+    fn file_naming_follows_llvm_convention() {
+        let rv = &eval_targets()[0];
+        let fs = describe_target(rv);
+        assert!(fs.read("lib/Target/RISCV/RISCV.td").is_some());
+        assert!(fs.read("lib/Target/RISCV/RISCVInstrInfo.td").is_some());
+        assert!(fs.read("lib/Target/RISCV/RISCVFixupKinds.h").is_some());
+        assert!(fs.read("llvm/BinaryFormat/ELFRelocs/RISCV.def").is_some());
+    }
+
+    #[test]
+    fn motivating_example_anchors_present() {
+        let rv = &eval_targets()[0];
+        let fs = describe_target(rv);
+        let td = fs.read("lib/Target/RISCV/RISCV.td").unwrap();
+        assert!(td.contains("Name = \"RISCV\""));
+        let ii = fs.read("lib/Target/RISCV/RISCVInstrInfo.td").unwrap();
+        assert!(ii.contains("OperandType = \"OPERAND_PCREL\""));
+        let fk = fs.read("lib/Target/RISCV/RISCVFixupKinds.h").unwrap();
+        assert!(fk.contains("= FirstTargetFixupKind,"));
+    }
+
+    #[test]
+    fn xcore_has_no_variant_kind_file() {
+        let xc = &eval_targets()[2];
+        let fs = describe_target(xc);
+        assert!(fs.read("lib/Target/XCore/XCoreMCExpr.h").is_none());
+    }
+
+    #[test]
+    fn reloc_def_numbering_matches_spec() {
+        let rv = &eval_targets()[0];
+        let fs = describe_target(rv);
+        let def = fs.read("llvm/BinaryFormat/ELFRelocs/RISCV.def").unwrap();
+        assert!(def.contains("ELF_RELOC(R_RISCV_NONE, 0)"));
+        for r in rv.reloc_names() {
+            assert!(def.contains(&format!("ELF_RELOC({r},")));
+        }
+    }
+}

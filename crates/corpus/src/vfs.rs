@@ -1,0 +1,107 @@
+//! An in-memory virtual file system.
+//!
+//! The paper's feature selection walks two directory families: `LLVMDIRs`
+//! (LLVM-provided code) and `TGTDIRs` (target description files). The corpus
+//! materializes both as virtual file systems so Algorithm 1 can be
+//! implemented verbatim without touching the host disk.
+
+use std::collections::BTreeMap;
+
+/// An immutable-after-build, path-keyed store of text files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirtualFs {
+    files: BTreeMap<String, String>,
+}
+
+impl VirtualFs {
+    /// Creates an empty file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (or overwrites) a file.
+    ///
+    /// # Examples
+    /// ```
+    /// use vega_corpus::VirtualFs;
+    /// let mut fs = VirtualFs::new();
+    /// fs.write("lib/Target/ARM/ARM.td", "def ARM : Target { Name = \"ARM\" }");
+    /// assert!(fs.read("lib/Target/ARM/ARM.td").is_some());
+    /// ```
+    pub fn write(&mut self, path: impl Into<String>, content: impl Into<String>) {
+        self.files.insert(path.into(), content.into());
+    }
+
+    /// Reads a file's content.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// Iterates over `(path, content)` pairs under a directory prefix, in
+    /// path order.
+    pub fn files_under<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a str)> + 'a {
+        self.files
+            .range(prefix.to_string()..)
+            .take_while(move |(p, _)| p.starts_with(prefix))
+            .map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+
+    /// Iterates over all `(path, content)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Returns `true` if there are no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Merges all files from `other`, overwriting on conflicts.
+    pub fn extend_from(&mut self, other: &VirtualFs) {
+        for (p, c) in other.iter() {
+            self.files.insert(p.to_string(), c.to_string());
+        }
+    }
+}
+
+impl FromIterator<(String, String)> for VirtualFs {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        VirtualFs { files: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_query_is_exact() {
+        let mut fs = VirtualFs::new();
+        fs.write("lib/Target/ARM/ARM.td", "a");
+        fs.write("lib/Target/ARM64/ARM64.td", "b");
+        fs.write("lib/Target/Mips/Mips.td", "c");
+        let arm: Vec<_> = fs.files_under("lib/Target/ARM/").collect();
+        assert_eq!(arm, vec![("lib/Target/ARM/ARM.td", "a")]);
+        assert_eq!(fs.files_under("lib/Target/").count(), 3);
+    }
+
+    #[test]
+    fn overwrite_and_merge() {
+        let mut a = VirtualFs::new();
+        a.write("x", "1");
+        let mut b = VirtualFs::new();
+        b.write("x", "2");
+        b.write("y", "3");
+        a.extend_from(&b);
+        assert_eq!(a.read("x"), Some("2"));
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! Statement-level AST.
+//!
+//! Following the paper (§3.1), a *statement* is a source line ending in `;`,
+//! `{`, `}` or `:`. The AST is therefore a tree of [`Stmt`] nodes, each
+//! carrying its head token sequence (the line's tokens minus the terminator)
+//! and its nested child statements. Alignment, templatization, feature
+//! selection and the model all operate on this uniform shape; the miniature
+//! compiler interprets it via [`crate::expr`].
+
+use crate::token::{render_tokens, Token};
+use std::fmt;
+
+/// The syntactic role of a statement node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StmtKind {
+    /// An expression or declaration statement: `unsigned Kind = ...;`
+    Simple,
+    /// `return <expr>;` — head holds the expression tokens.
+    Return,
+    /// `if (<cond>) { ... }` — head holds the condition tokens; an attached
+    /// else branch is stored in the node's `else_children`.
+    If,
+    /// `switch (<expr>) { ... }` — children are `Case`/`Default` nodes.
+    Switch,
+    /// `case <expr>:` — head holds the label tokens; children are the body
+    /// statements up to the next label.
+    Case,
+    /// `default:` — head is empty.
+    Default,
+    /// `while (<cond>) { ... }`.
+    While,
+    /// `for (<header>) { ... }` — head holds the raw header tokens.
+    For,
+    /// A bare `{ ... }` block.
+    Block,
+    /// `break;`
+    Break,
+}
+
+/// One statement node: head tokens plus nested statements.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Stmt {
+    /// Statement role.
+    pub kind: StmtKind,
+    /// The head token sequence (condition for `If`, expression for `Return`,
+    /// full line for `Simple`, label for `Case`, empty for `Default`/`Block`).
+    pub head: Vec<Token>,
+    /// Nested statements (then-branch for `If`, body for loops/cases, labels
+    /// for `Switch`).
+    pub children: Vec<Stmt>,
+    /// The else-branch statements; only ever non-empty for `If`.
+    pub else_children: Vec<Stmt>,
+}
+
+impl Stmt {
+    /// Creates a simple (non-compound) statement from head tokens.
+    pub fn simple(head: Vec<Token>) -> Self {
+        Stmt { kind: StmtKind::Simple, head, children: Vec::new(), else_children: Vec::new() }
+    }
+
+    /// Creates a node of the given kind with head tokens and children.
+    pub fn new(kind: StmtKind, head: Vec<Token>, children: Vec<Stmt>) -> Self {
+        Stmt { kind, head, children, else_children: Vec::new() }
+    }
+
+    /// Total number of statement nodes in this subtree (including `self` and
+    /// any else-branch).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .chain(self.else_children.iter())
+            .map(Stmt::node_count)
+            .sum::<usize>()
+    }
+
+    /// Height of the subtree (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .chain(self.else_children.iter())
+            .map(Stmt::height)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all nodes in the subtree, depth-first preorder.
+    pub fn iter(&self) -> StmtIter<'_> {
+        StmtIter { stack: vec![self] }
+    }
+
+    /// The one-line source rendering of just this node's head (no children),
+    /// e.g. `if (IsPCRel) {` or `return ELF::R_ARM_NONE;`.
+    pub fn head_line(&self) -> String {
+        match self.kind {
+            StmtKind::Simple => format!("{};", render_tokens(&self.head)),
+            StmtKind::Return => {
+                if self.head.is_empty() {
+                    "return;".to_string()
+                } else {
+                    format!("return {};", render_tokens(&self.head))
+                }
+            }
+            StmtKind::If => format!("if ({}) {{", render_tokens(&self.head)),
+            StmtKind::Switch => format!("switch ({}) {{", render_tokens(&self.head)),
+            StmtKind::Case => format!("case {}:", render_tokens(&self.head)),
+            StmtKind::Default => "default:".to_string(),
+            StmtKind::While => format!("while ({}) {{", render_tokens(&self.head)),
+            StmtKind::For => format!("for ({}) {{", render_tokens(&self.head)),
+            StmtKind::Block => "{".to_string(),
+            StmtKind::Break => "break;".to_string(),
+        }
+    }
+
+    /// The token sequence the paper feeds to templatization for this
+    /// statement: structural keywords plus the head tokens.
+    ///
+    /// # Examples
+    /// ```
+    /// use vega_cpplite::{parse_stmts, Token};
+    /// let s = &parse_stmts("if (IsPCRel) { return 1; }").unwrap()[0];
+    /// let line = s.line_tokens();
+    /// assert_eq!(line[0], Token::ident("if"));
+    /// ```
+    pub fn line_tokens(&self) -> Vec<Token> {
+        let mut v = Vec::with_capacity(self.head.len() + 3);
+        match self.kind {
+            StmtKind::Simple => {
+                v.extend(self.head.iter().cloned());
+                v.push(Token::Punct(";"));
+            }
+            StmtKind::Return => {
+                v.push(Token::ident("return"));
+                v.extend(self.head.iter().cloned());
+                v.push(Token::Punct(";"));
+            }
+            StmtKind::If | StmtKind::Switch | StmtKind::While | StmtKind::For => {
+                v.push(Token::ident(match self.kind {
+                    StmtKind::If => "if",
+                    StmtKind::Switch => "switch",
+                    StmtKind::While => "while",
+                    _ => "for",
+                }));
+                v.push(Token::Punct("("));
+                v.extend(self.head.iter().cloned());
+                v.push(Token::Punct(")"));
+                v.push(Token::Punct("{"));
+            }
+            StmtKind::Case => {
+                v.push(Token::ident("case"));
+                v.extend(self.head.iter().cloned());
+                v.push(Token::Punct(":"));
+            }
+            StmtKind::Default => {
+                v.push(Token::ident("default"));
+                v.push(Token::Punct(":"));
+            }
+            StmtKind::Block => v.push(Token::Punct("{")),
+            StmtKind::Break => {
+                v.push(Token::ident("break"));
+                v.push(Token::Punct(";"));
+            }
+        }
+        v
+    }
+}
+
+/// Depth-first preorder iterator over a statement subtree.
+#[derive(Debug)]
+pub struct StmtIter<'a> {
+    stack: Vec<&'a Stmt>,
+}
+
+impl<'a> Iterator for StmtIter<'a> {
+    type Item = &'a Stmt;
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        for c in node.else_children.iter().rev() {
+            self.stack.push(c);
+        }
+        for c in node.children.iter().rev() {
+            self.stack.push(c);
+        }
+        Some(node)
+    }
+}
+
+/// A function parameter: type tokens plus name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Param {
+    /// Type tokens, e.g. `const MCFixup &`.
+    pub ty: Vec<Token>,
+    /// Parameter name.
+    pub name: String,
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", render_tokens(&self.ty), self.name)
+    }
+}
+
+/// A parsed function: signature plus statement body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Function {
+    /// Return type tokens.
+    pub ret: Vec<Token>,
+    /// Unqualified function name (e.g. `getRelocType`).
+    pub name: String,
+    /// Qualifier tokens preceding the name (e.g. `ARMELFObjectWriter`), empty
+    /// for free functions.
+    pub qualifier: Vec<String>,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// The signature line as the paper's "function definition statement",
+    /// which carries the whole-function confidence score.
+    pub fn signature_line(&self) -> String {
+        let params: Vec<String> = self.params.iter().map(Param::to_string).collect();
+        let qual = if self.qualifier.is_empty() {
+            String::new()
+        } else {
+            format!("{}::", self.qualifier.join("::"))
+        };
+        format!(
+            "{} {}{}({}) {{",
+            render_tokens(&self.ret),
+            qual,
+            self.name,
+            params.join(", ")
+        )
+    }
+
+    /// Signature tokens used as the template's first statement.
+    pub fn signature_tokens(&self) -> Vec<Token> {
+        let mut v = self.ret.clone();
+        for q in &self.qualifier {
+            v.push(Token::ident(q.clone()));
+            v.push(Token::Punct("::"));
+        }
+        v.push(Token::ident(self.name.clone()));
+        v.push(Token::Punct("("));
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                v.push(Token::Punct(","));
+            }
+            v.extend(p.ty.iter().cloned());
+            v.push(Token::ident(p.name.clone()));
+        }
+        v.push(Token::Punct(")"));
+        v.push(Token::Punct("{"));
+        v
+    }
+
+    /// Total number of statements (all nested nodes, excluding the signature).
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(Stmt::node_count).sum()
+    }
+
+    /// Iterates over every statement in the body, preorder.
+    pub fn iter_stmts(&self) -> impl Iterator<Item = &Stmt> {
+        self.body.iter().flat_map(Stmt::iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    const SRC: &str = r#"
+unsigned getRelocType(MCContext &Ctx, const MCValue &Target, const MCFixup &Fixup, bool IsPCRel) {
+  unsigned Kind = Fixup.getTargetKind();
+  if (IsPCRel) {
+    switch (Kind) {
+    case ARM::fixup_arm_movt_hi16:
+      return ELF::R_ARM_MOVT_PREL;
+    default:
+      break;
+    }
+  } else {
+    return ELF::R_ARM_NONE;
+  }
+  return 0;
+}
+"#;
+
+    #[test]
+    fn counts_and_iteration() {
+        let f = parse_function(SRC).unwrap();
+        assert_eq!(f.name, "getRelocType");
+        assert_eq!(f.params.len(), 4);
+        // Statements: Kind decl, if, switch, case, return, default, break,
+        // return (else), return 0.
+        assert_eq!(f.stmt_count(), 9);
+        let heads: Vec<String> = f.iter_stmts().map(|s| s.head_line()).collect();
+        assert!(heads.iter().any(|h| h == "case ARM::fixup_arm_movt_hi16:"));
+        assert!(heads.iter().any(|h| h == "return ELF::R_ARM_NONE;"));
+    }
+
+    #[test]
+    fn signature_line_roundtrip() {
+        let f = parse_function(SRC).unwrap();
+        assert!(f.signature_line().starts_with("unsigned getRelocType("));
+        assert!(f.signature_line().ends_with(") {"));
+    }
+
+    #[test]
+    fn height_and_node_count() {
+        let f = parse_function(SRC).unwrap();
+        let if_stmt = &f.body[1];
+        assert_eq!(if_stmt.kind, StmtKind::If);
+        assert_eq!(if_stmt.height(), 4); // if > switch > case > return
+        assert!(if_stmt.node_count() >= 6);
+    }
+}

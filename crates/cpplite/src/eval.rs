@@ -1,0 +1,586 @@
+//! A small interpreter for statement ASTs.
+//!
+//! The miniature compiler backend executes (possibly machine-generated)
+//! interface functions by interpreting their ASTs. The host supplies an
+//! [`Env`] that resolves scoped enum values (`ARM::fixup_arm_movt_hi16`),
+//! free/builtin calls and method calls on opaque handles (`Fixup.getKind()`).
+//!
+//! Execution is defensive: generated code may be arbitrarily wrong, so
+//! unknown names, bad operand types and runaway loops all surface as
+//! [`EvalError`] rather than panicking — a failing evaluation simply makes
+//! the regression test fail, exactly as a miscompiled function would.
+
+use crate::ast::{Function, Stmt, StmtKind};
+use crate::expr::{parse_expr_tokens, parse_head_expr, BinOp, Expr, UnOp};
+use crate::token::Token;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Integer (also used for booleans: 0 = false).
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Opaque host object, interpreted by the [`Env`].
+    Handle(u64),
+    /// No value (void call result).
+    Unit,
+}
+
+impl Value {
+    /// Truthiness for conditions.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Handle(_) => true,
+            Value::Unit => false,
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] if the value is not an integer.
+    pub fn as_int(&self) -> Result<i64, EvalError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(EvalError::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Handle(h) => write!(f, "<handle {h}>"),
+            Value::Unit => write!(f, "<unit>"),
+        }
+    }
+}
+
+/// Error raised during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl EvalError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        EvalError { message: message.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eval error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Host environment resolving names the interpreter cannot.
+pub trait Env {
+    /// Resolves a scoped path such as `ELF::R_ARM_MOVT_PREL`.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] if the path is unknown.
+    fn lookup_path(&self, parts: &[String]) -> Result<Value, EvalError>;
+
+    /// Calls a free function, e.g. `report_fatal_error("...")`.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] if the function is unknown or misused.
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError>;
+
+    /// Calls a method on a handle, e.g. `Fixup.getTargetKind()`.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] if the method is unknown or misused.
+    fn method(&mut self, obj: &Value, name: &str, args: &[Value]) -> Result<Value, EvalError>;
+
+    /// Reads a member field on a handle, e.g. `MI->Opcode`.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] if the member is unknown.
+    fn member(&mut self, obj: &Value, name: &str) -> Result<Value, EvalError> {
+        self.method(obj, name, &[])
+    }
+}
+
+/// An [`Env`] with no host names at all; only literals and locals resolve.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyEnv;
+
+impl Env for EmptyEnv {
+    fn lookup_path(&self, parts: &[String]) -> Result<Value, EvalError> {
+        Err(EvalError::new(format!("unknown path `{}`", parts.join("::"))))
+    }
+    fn call(&mut self, name: &str, _args: &[Value]) -> Result<Value, EvalError> {
+        Err(EvalError::new(format!("unknown function `{name}`")))
+    }
+    fn method(&mut self, _obj: &Value, name: &str, _args: &[Value]) -> Result<Value, EvalError> {
+        Err(EvalError::new(format!("unknown method `{name}`")))
+    }
+}
+
+/// Maximum loop iterations before execution is aborted; generated code can be
+/// arbitrarily wrong, including non-terminating.
+pub const LOOP_FUEL: usize = 100_000;
+
+enum Flow {
+    Normal,
+    Break,
+    Return(Value),
+}
+
+/// Interpreter state: local variables plus the host environment.
+pub struct Interp<'e, E: Env> {
+    vars: HashMap<String, Value>,
+    env: &'e mut E,
+    fuel: usize,
+}
+
+impl<'e, E: Env> Interp<'e, E> {
+    /// Creates an interpreter over `env`.
+    pub fn new(env: &'e mut E) -> Self {
+        Interp { vars: HashMap::new(), env, fuel: LOOP_FUEL }
+    }
+
+    /// Runs `f` with the given argument values bound to its parameters.
+    ///
+    /// Returns the function's return value, or [`Value::Unit`] if control
+    /// falls off the end.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] on arity mismatch, unknown names, type errors or
+    /// loop-fuel exhaustion.
+    pub fn run_function(&mut self, f: &Function, args: &[Value]) -> Result<Value, EvalError> {
+        if args.len() != f.params.len() {
+            return Err(EvalError::new(format!(
+                "function `{}` expects {} arguments, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            )));
+        }
+        for (p, a) in f.params.iter().zip(args) {
+            self.vars.insert(p.name.clone(), a.clone());
+        }
+        match self.exec_block(&f.body)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(Value::Unit),
+        }
+    }
+
+    /// Executes a statement list outside any function (for tests/tools).
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] as for [`Interp::run_function`].
+    pub fn run_stmts(&mut self, stmts: &[Stmt]) -> Result<Option<Value>, EvalError> {
+        match self.exec_block(stmts)? {
+            Flow::Return(v) => Ok(Some(v)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Reads a local variable (for assertions in tests).
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, EvalError> {
+        for s in stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, EvalError> {
+        match s.kind {
+            StmtKind::Simple => {
+                if !s.head.is_empty() {
+                    let e = parse_head_expr(&s.head)
+                        .map_err(|e| EvalError::new(e.message))?;
+                    self.eval(&e)?;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return => {
+                if s.head.is_empty() {
+                    return Ok(Flow::Return(Value::Unit));
+                }
+                let e =
+                    parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+                let v = self.eval(&e)?;
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Block => self.exec_block(&s.children),
+            StmtKind::If => {
+                let cond =
+                    parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+                if self.eval(&cond)?.truthy() {
+                    self.exec_block(&s.children)
+                } else {
+                    self.exec_block(&s.else_children)
+                }
+            }
+            StmtKind::While => {
+                let cond =
+                    parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+                loop {
+                    self.burn_fuel()?;
+                    if !self.eval(&cond)?.truthy() {
+                        break;
+                    }
+                    match self.exec_block(&s.children)? {
+                        Flow::Normal => {}
+                        Flow::Break => break,
+                        ret => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For => self.exec_for(s),
+            StmtKind::Switch => self.exec_switch(s),
+            StmtKind::Case | StmtKind::Default => {
+                Err(EvalError::new("case label outside switch"))
+            }
+        }
+    }
+
+    fn exec_for(&mut self, s: &Stmt) -> Result<Flow, EvalError> {
+        let sections = split_toplevel(&s.head, ";");
+        if sections.len() != 3 {
+            return Err(EvalError::new("for header must have three sections"));
+        }
+        if !sections[0].is_empty() {
+            let init =
+                parse_head_expr(&sections[0]).map_err(|e| EvalError::new(e.message))?;
+            self.eval(&init)?;
+        }
+        loop {
+            self.burn_fuel()?;
+            if !sections[1].is_empty() {
+                let cond =
+                    parse_expr_tokens(&sections[1]).map_err(|e| EvalError::new(e.message))?;
+                if !self.eval(&cond)?.truthy() {
+                    break;
+                }
+            }
+            match self.exec_block(&s.children)? {
+                Flow::Normal => {}
+                Flow::Break => break,
+                ret => return Ok(ret),
+            }
+            if !sections[2].is_empty() {
+                let step =
+                    parse_head_expr(&sections[2]).map_err(|e| EvalError::new(e.message))?;
+                self.eval(&step)?;
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_switch(&mut self, s: &Stmt) -> Result<Flow, EvalError> {
+        let scrut =
+            parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+        let v = self.eval(&scrut)?;
+        // Find the first matching label (or `default`), then execute with
+        // fallthrough semantics until `break`, `return` or the end.
+        let mut start = None;
+        for (i, case) in s.children.iter().enumerate() {
+            if case.kind == StmtKind::Case {
+                let label =
+                    parse_expr_tokens(&case.head).map_err(|e| EvalError::new(e.message))?;
+                if self.eval(&label)? == v {
+                    start = Some(i);
+                    break;
+                }
+            }
+        }
+        if start.is_none() {
+            start = s.children.iter().position(|c| c.kind == StmtKind::Default);
+        }
+        let Some(start) = start else { return Ok(Flow::Normal) };
+        for case in &s.children[start..] {
+            match self.exec_block(&case.children)? {
+                Flow::Normal => {}
+                Flow::Break => return Ok(Flow::Normal),
+                ret => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn burn_fuel(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::new("loop fuel exhausted (non-terminating code?)"));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value, EvalError> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Ident(name) => match self.vars.get(name) {
+                Some(v) => Ok(v.clone()),
+                None => self.env.lookup_path(std::slice::from_ref(name)),
+            },
+            Expr::Scoped(parts) => self.env.lookup_path(parts),
+            Expr::Assign { name, value } => {
+                let v = self.eval(value)?;
+                self.vars.insert(name.clone(), v.clone());
+                Ok(v)
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr)?;
+                let i = v.as_int()?;
+                Ok(Value::Int(match op {
+                    UnOp::Not => i64::from(i == 0),
+                    UnOp::Neg => i.wrapping_neg(),
+                    UnOp::BitNot => !i,
+                }))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Short-circuit logicals.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(lhs)?;
+                        if !l.truthy() {
+                            return Ok(Value::Int(0));
+                        }
+                        return Ok(Value::Int(i64::from(self.eval(rhs)?.truthy())));
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(lhs)?;
+                        if l.truthy() {
+                            return Ok(Value::Int(1));
+                        }
+                        return Ok(Value::Int(i64::from(self.eval(rhs)?.truthy())));
+                    }
+                    _ => {}
+                }
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                // Equality works on any value kind; arithmetic needs ints.
+                match op {
+                    BinOp::Eq => return Ok(Value::Int(i64::from(l == r))),
+                    BinOp::Ne => return Ok(Value::Int(i64::from(l != r))),
+                    _ => {}
+                }
+                let (a, b) = (l.as_int()?, r.as_int()?);
+                let v = match op {
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Le => i64::from(a <= b),
+                    BinOp::Gt => i64::from(a > b),
+                    BinOp::Ge => i64::from(a >= b),
+                    BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+                    BinOp::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(EvalError::new("division by zero"));
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(EvalError::new("remainder by zero"));
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    BinOp::BitAnd => a & b,
+                    BinOp::BitOr => a | b,
+                    BinOp::BitXor => a ^ b,
+                    BinOp::And | BinOp::Or | BinOp::Eq | BinOp::Ne => unreachable!(),
+                };
+                Ok(Value::Int(v))
+            }
+            Expr::Ternary { cond, then_, else_ } => {
+                if self.eval(cond)?.truthy() {
+                    self.eval(then_)
+                } else {
+                    self.eval(else_)
+                }
+            }
+            Expr::Call { callee, args } => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                match &**callee {
+                    Expr::Ident(name) => self.env.call(name, &vals),
+                    Expr::Scoped(parts) => self.env.call(&parts.join("::"), &vals),
+                    other => Err(EvalError::new(format!("uncallable expression {other:?}"))),
+                }
+            }
+            Expr::MethodCall { obj, name, args } => {
+                let o = self.eval(obj)?;
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.env.method(&o, name, &vals)
+            }
+            Expr::Member { obj, name } => {
+                let o = self.eval(obj)?;
+                self.env.member(&o, name)
+            }
+        }
+    }
+}
+
+/// Splits a token sequence on top-level occurrences of `sep`.
+pub fn split_toplevel(toks: &[Token], sep: &str) -> Vec<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in toks {
+        match t {
+            Token::Punct("(") | Token::Punct("[") | Token::Punct("{") => depth += 1,
+            Token::Punct(")") | Token::Punct("]") | Token::Punct("}") => depth -= 1,
+            _ => {}
+        }
+        if depth == 0 && t.is_punct(sep) {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(t.clone());
+        }
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_function, parse_stmts};
+
+    struct TestEnv;
+    impl Env for TestEnv {
+        fn lookup_path(&self, parts: &[String]) -> Result<Value, EvalError> {
+            match parts.join("::").as_str() {
+                "ARM::fixup_arm_movt_hi16" => Ok(Value::Int(100)),
+                "ELF::R_ARM_MOVT_PREL" => Ok(Value::Int(46)),
+                "ELF::R_ARM_NONE" => Ok(Value::Int(0)),
+                p => Err(EvalError::new(format!("unknown {p}"))),
+            }
+        }
+        fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+            match name {
+                "twice" => Ok(Value::Int(args[0].as_int()? * 2)),
+                _ => Err(EvalError::new("no such fn")),
+            }
+        }
+        fn method(&mut self, obj: &Value, name: &str, _args: &[Value]) -> Result<Value, EvalError> {
+            match (obj, name) {
+                (Value::Handle(h), "getTargetKind") => Ok(Value::Int(*h as i64)),
+                _ => Err(EvalError::new("no such method")),
+            }
+        }
+    }
+
+    #[test]
+    fn runs_getreloctype_like_function() {
+        let f = parse_function(
+            r#"
+unsigned getRelocType(const MCFixup &Fixup, bool IsPCRel) {
+  unsigned Kind = Fixup.getTargetKind();
+  if (IsPCRel) {
+    switch (Kind) {
+    case ARM::fixup_arm_movt_hi16:
+      return ELF::R_ARM_MOVT_PREL;
+    default:
+      break;
+    }
+  }
+  return ELF::R_ARM_NONE;
+}
+"#,
+        )
+        .unwrap();
+        let mut env = TestEnv;
+        let mut it = Interp::new(&mut env);
+        let v = it
+            .run_function(&f, &[Value::Handle(100), Value::Int(1)])
+            .unwrap();
+        assert_eq!(v, Value::Int(46));
+        let mut it = Interp::new(&mut env);
+        let v = it
+            .run_function(&f, &[Value::Handle(100), Value::Int(0)])
+            .unwrap();
+        assert_eq!(v, Value::Int(0));
+        let mut it = Interp::new(&mut env);
+        let v = it
+            .run_function(&f, &[Value::Handle(7), Value::Int(1)])
+            .unwrap();
+        assert_eq!(v, Value::Int(0));
+    }
+
+    #[test]
+    fn switch_fallthrough() {
+        let stmts = parse_stmts(
+            "x = 0; switch (k) { case 1: x = x + 10; case 2: x = x + 1; break; default: x = 99; } return x;",
+        )
+        .unwrap();
+        let mut env = TestEnv;
+        let mut it = Interp::new(&mut env);
+        it.vars.insert("k".into(), Value::Int(1));
+        assert_eq!(it.run_stmts(&stmts).unwrap(), Some(Value::Int(11)));
+        let mut it = Interp::new(&mut env);
+        it.vars.insert("k".into(), Value::Int(2));
+        assert_eq!(it.run_stmts(&stmts).unwrap(), Some(Value::Int(1)));
+        let mut it = Interp::new(&mut env);
+        it.vars.insert("k".into(), Value::Int(5));
+        assert_eq!(it.run_stmts(&stmts).unwrap(), Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn loops_and_fuel() {
+        let stmts =
+            parse_stmts("total = 0; for (i = 0; i < 5; i = i + 1) { total = total + i; } return total;")
+                .unwrap();
+        let mut env = TestEnv;
+        let mut it = Interp::new(&mut env);
+        assert_eq!(it.run_stmts(&stmts).unwrap(), Some(Value::Int(10)));
+
+        let inf = parse_stmts("while (1) { x = 1; }").unwrap();
+        let mut it = Interp::new(&mut env);
+        assert!(it.run_stmts(&inf).is_err());
+    }
+
+    #[test]
+    fn free_calls_and_errors() {
+        let stmts = parse_stmts("return twice(21);").unwrap();
+        let mut env = TestEnv;
+        let mut it = Interp::new(&mut env);
+        assert_eq!(it.run_stmts(&stmts).unwrap(), Some(Value::Int(42)));
+
+        let bad = parse_stmts("return nosuch(1);").unwrap();
+        let mut it = Interp::new(&mut env);
+        assert!(it.run_stmts(&bad).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let f = parse_function("int f(int a) { return a; }").unwrap();
+        let mut env = TestEnv;
+        let mut it = Interp::new(&mut env);
+        assert!(it.run_function(&f, &[]).is_err());
+    }
+}

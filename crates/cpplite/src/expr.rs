@@ -1,0 +1,518 @@
+//! Expression parsing (Pratt) for statement heads.
+//!
+//! The statement AST stores heads as raw token sequences — that is what
+//! alignment and the model consume. The miniature compiler, however, must
+//! *execute* interface functions (pass@1 substitutes a generated function into
+//! the backend and runs regression tests), so heads are parsed on demand into
+//! this expression tree and evaluated by [`crate::eval`].
+
+use crate::token::Token;
+use std::fmt;
+
+/// Binary operators in precedence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the operators' own names
+pub enum BinOp {
+    Or,
+    And,
+    BitOr,
+    BitXor,
+    BitAnd,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+impl BinOp {
+    fn precedence(self) -> u8 {
+        use BinOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            BitOr => 3,
+            BitXor => 4,
+            BitAnd => 5,
+            Eq | Ne => 6,
+            Lt | Le | Gt | Ge => 7,
+            Shl | Shr => 8,
+            Add | Sub => 9,
+            Mul | Div | Rem => 10,
+        }
+    }
+
+    fn from_punct(p: &str) -> Option<Self> {
+        use BinOp::*;
+        Some(match p {
+            "||" => Or,
+            "&&" => And,
+            "|" => BitOr,
+            "^" => BitXor,
+            "&" => BitAnd,
+            "==" => Eq,
+            "!=" => Ne,
+            "<" => Lt,
+            "<=" => Le,
+            ">" => Gt,
+            ">=" => Ge,
+            "<<" => Shl,
+            ">>" => Shr,
+            "+" => Add,
+            "-" => Sub,
+            "*" => Mul,
+            "/" => Div,
+            "%" => Rem,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use BinOp::*;
+        let s = match self {
+            Or => "||",
+            And => "&&",
+            BitOr => "|",
+            BitXor => "^",
+            BitAnd => "&",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Shl => "<<",
+            Shr => ">>",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `!e`
+    Not,
+    /// `-e`
+    Neg,
+    /// `~e`
+    BitNot,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An identifier reference, e.g. `Kind`.
+    Ident(String),
+    /// A `::`-scoped path, e.g. `ARM::fixup_arm_movt_hi16`.
+    Scoped(Vec<String>),
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Function call `callee(args)` where callee is an identifier or path.
+    Call {
+        /// Callee expression (identifier or scoped path).
+        callee: Box<Expr>,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Member access `obj.name` or `obj->name`.
+    Member {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Member name.
+        name: String,
+    },
+    /// Method call `obj.name(args)` or `obj->name(args)`.
+    MethodCall {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Ternary conditional `c ? t : e`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        then_: Box<Expr>,
+        /// Else value.
+        else_: Box<Expr>,
+    },
+    /// Assignment `lhs = rhs` (also a declaration initializer once the type
+    /// prefix has been stripped).
+    Assign {
+        /// Target name.
+        name: String,
+        /// Value.
+        value: Box<Expr>,
+    },
+}
+
+/// Error produced for token sequences outside the expression subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+struct P<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, m: &str) -> ExprError {
+        ExprError { message: format!("{m} at token {}", self.pos) }
+    }
+
+    fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, ExprError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let Some(Token::Punct(p)) = self.peek() else { break };
+            if *p == "?" && min_prec == 0 {
+                self.bump();
+                let then_ = self.parse_expr(0)?;
+                match self.bump() {
+                    Some(t) if t.is_punct(":") => {}
+                    _ => return Err(self.err("expected `:` in ternary")),
+                }
+                let else_ = self.parse_expr(0)?;
+                lhs = Expr::Ternary {
+                    cond: Box::new(lhs),
+                    then_: Box::new(then_),
+                    else_: Box::new(else_),
+                };
+                continue;
+            }
+            let Some(op) = BinOp::from_punct(p) else { break };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_expr(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ExprError> {
+        if let Some(Token::Punct(p)) = self.peek() {
+            let op = match *p {
+                "!" => Some(UnOp::Not),
+                "-" => Some(UnOp::Neg),
+                "~" => Some(UnOp::BitNot),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.bump();
+                let e = self.parse_unary()?;
+                return Ok(Expr::Unary { op, expr: Box::new(e) });
+            }
+            // C-style cast like `(unsigned)x` or parenthesized expression.
+            if *p == "(" {
+                self.bump();
+                // Cast: single identifier followed by `)` then a primary.
+                if let (Some(Token::Ident(ty)), Some(t2)) =
+                    (self.peek(), self.toks.get(self.pos + 1))
+                {
+                    let is_cast_ty = matches!(
+                        ty.as_str(),
+                        "unsigned" | "int" | "uint8_t" | "uint16_t" | "uint32_t" | "uint64_t"
+                    );
+                    if is_cast_ty && t2.is_punct(")") {
+                        self.bump();
+                        self.bump();
+                        // The cast is a no-op in our value model.
+                        return self.parse_unary();
+                    }
+                }
+                let e = self.parse_expr(0)?;
+                match self.bump() {
+                    Some(t) if t.is_punct(")") => {}
+                    _ => return Err(self.err("expected `)`")),
+                }
+                return self.parse_postfix(e);
+            }
+        }
+        let prim = self.parse_primary()?;
+        self.parse_postfix(prim)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ExprError> {
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(Expr::Int(*v)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s.clone())),
+            Some(Token::Ident(s)) => {
+                match s.as_str() {
+                    "true" => return Ok(Expr::Int(1)),
+                    "false" => return Ok(Expr::Int(0)),
+                    "nullptr" => return Ok(Expr::Int(0)),
+                    _ => {}
+                }
+                // Scoped path?
+                let mut parts = vec![s.clone()];
+                while self.peek().is_some_and(|t| t.is_punct("::")) {
+                    self.bump();
+                    match self.bump() {
+                        Some(Token::Ident(n)) => parts.push(n.clone()),
+                        _ => return Err(self.err("expected identifier after `::`")),
+                    }
+                }
+                if parts.len() > 1 {
+                    Ok(Expr::Scoped(parts))
+                } else {
+                    Ok(Expr::Ident(parts.pop().unwrap()))
+                }
+            }
+            other => Err(self.err(&format!(
+                "unexpected token `{}`",
+                other.map(|t| t.spelling()).unwrap_or_else(|| "<eof>".into())
+            ))),
+        }
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expr>, ExprError> {
+        let mut args = Vec::new();
+        if self.peek().is_some_and(|t| t.is_punct(")")) {
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_expr(0)?);
+            match self.bump() {
+                Some(t) if t.is_punct(",") => continue,
+                Some(t) if t.is_punct(")") => break,
+                _ => return Err(self.err("expected `,` or `)` in arguments")),
+            }
+        }
+        Ok(args)
+    }
+
+    fn parse_postfix(&mut self, mut e: Expr) -> Result<Expr, ExprError> {
+        loop {
+            match self.peek() {
+                Some(t) if t.is_punct("(") => {
+                    self.bump();
+                    let args = self.parse_args()?;
+                    e = Expr::Call { callee: Box::new(e), args };
+                }
+                Some(t) if t.is_punct(".") || t.is_punct("->") => {
+                    self.bump();
+                    let name = match self.bump() {
+                        Some(Token::Ident(n)) => n.clone(),
+                        _ => return Err(self.err("expected member name")),
+                    };
+                    if self.peek().is_some_and(|t| t.is_punct("(")) {
+                        self.bump();
+                        let args = self.parse_args()?;
+                        e = Expr::MethodCall { obj: Box::new(e), name, args };
+                    } else {
+                        e = Expr::Member { obj: Box::new(e), name };
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+}
+
+/// Strips a leading type prefix (`unsigned`, `int`, `bool`, `uint32_t`,
+/// `const X &`, …) from a declaration statement, returning the remaining
+/// tokens starting at the declared name.
+fn strip_decl_type(toks: &[Token]) -> &[Token] {
+    // A declaration looks like `ty-tokens name = expr` or `ty-tokens name`.
+    // Heuristic: if the sequence starts with ≥1 identifiers followed by
+    // another identifier that is immediately followed by `=` or end, the
+    // leading identifiers (plus `&`/`*`/`const`) are a type prefix.
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            Token::Ident(_) => {
+                // Look ahead: is the *next* wordy token the declared name?
+                let mut j = i + 1;
+                while j < toks.len() && (toks[j].is_punct("&") || toks[j].is_punct("*")) {
+                    j += 1;
+                }
+                if j < toks.len()
+                    && matches!(toks[j], Token::Ident(_))
+                    && (j + 1 == toks.len() || toks[j + 1].is_punct("="))
+                {
+                    return &toks[j..];
+                }
+                i += 1;
+            }
+            t if t.is_punct("&") || t.is_punct("*") => i += 1,
+            _ => break,
+        }
+    }
+    toks
+}
+
+/// Parses a statement-head token sequence into an expression.
+///
+/// Handles plain expressions, assignments (`x = e`), and declarations with
+/// initializers (`unsigned Kind = e`, parsed as an assignment to `Kind`).
+///
+/// # Errors
+/// Returns [`ExprError`] for sequences outside the subset.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::{lex, parse_head_expr, Expr};
+/// let toks = lex("unsigned Kind = Fixup.getTargetKind()").unwrap();
+/// let e = parse_head_expr(&toks)?;
+/// assert!(matches!(e, Expr::Assign { .. }));
+/// # Ok::<(), vega_cpplite::ExprError>(())
+/// ```
+pub fn parse_head_expr(toks: &[Token]) -> Result<Expr, ExprError> {
+    let toks = strip_decl_type(toks);
+    // Assignment: `name = expr` (single-identifier LHS only).
+    if toks.len() >= 3 {
+        if let (Token::Ident(name), t) = (&toks[0], &toks[1]) {
+            if t.is_punct("=") {
+                let mut p = P { toks: &toks[2..], pos: 0 };
+                let value = p.parse_expr(0)?;
+                if p.pos != toks.len() - 2 {
+                    return Err(p.err("trailing tokens in assignment"));
+                }
+                return Ok(Expr::Assign { name: name.clone(), value: Box::new(value) });
+            }
+        }
+    }
+    let mut p = P { toks, pos: 0 };
+    let e = p.parse_expr(0)?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing tokens in expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a bare expression token sequence (no declaration handling).
+///
+/// # Errors
+/// Returns [`ExprError`] for sequences outside the subset.
+pub fn parse_expr_tokens(toks: &[Token]) -> Result<Expr, ExprError> {
+    let mut p = P { toks, pos: 0 };
+    let e = p.parse_expr(0)?;
+    if p.pos != toks.len() {
+        return Err(p.err("trailing tokens in expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn e(src: &str) -> Expr {
+        parse_head_expr(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn precedence() {
+        let x = e("1 + 2 * 3 == 7 && 1");
+        assert!(matches!(x, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn scoped_and_method() {
+        let x = e("Fixup.getTargetKind() == ARM::fixup_arm_movt_hi16");
+        match x {
+            Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
+                assert!(matches!(*lhs, Expr::MethodCall { .. }));
+                assert!(matches!(*rhs, Expr::Scoped(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declaration_becomes_assignment() {
+        let x = e("unsigned Kind = Fixup.getTargetKind()");
+        match x {
+            Expr::Assign { name, .. } => assert_eq!(name, "Kind"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_is_transparent() {
+        let x = e("(unsigned)Kind + 1");
+        assert!(matches!(x, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn ternary() {
+        let x = e("IsPCRel ? 1 : 0");
+        assert!(matches!(x, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn unary_chain() {
+        let x = e("!~-Kind");
+        assert!(matches!(x, Expr::Unary { op: UnOp::Not, .. }));
+    }
+
+    #[test]
+    fn rejects_trailing() {
+        assert!(parse_head_expr(&lex("1 2").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Recursive callee inlining (paper §3.1).
+//!
+//! To improve syntactic resemblance across targets, each backend function has
+//! its same-target helper callees recursively inlined before alignment (the
+//! paper's example inlines `GetRelocTypeInner` into `getRelocType`). Calls to
+//! functions outside the provided resolver (LLVM builtins, other interface
+//! functions) are left intact.
+
+use crate::ast::{Function, Stmt, StmtKind};
+use crate::eval::split_toplevel;
+use crate::token::Token;
+use std::collections::HashSet;
+
+/// Maximum inlining depth; deeper chains are left as calls.
+pub const MAX_INLINE_DEPTH: usize = 4;
+
+/// Inlines helper calls in `f`, resolving callee names through `resolve`.
+///
+/// Only two statement shapes are rewritten, matching how backend helpers are
+/// used in practice:
+/// * `return Helper(args);` — replaced by the helper body, with the helper's
+///   `return`s becoming the caller's returns;
+/// * `Helper(args);` — replaced by the helper body (any `return` value is
+///   discarded by construction since such helpers are `void`).
+///
+/// Formal parameters are substituted token-wise by the actual argument token
+/// sequences. Recursive helpers are never inlined.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::{inline_function, parse_function};
+/// let helper = parse_function("unsigned inner(unsigned K) { return K + 1; }")?;
+/// let outer = parse_function("unsigned outer(unsigned Kind) { return inner(Kind); }")?;
+/// let inlined = inline_function(&outer, &|n| (n == "inner").then_some(&helper));
+/// assert_eq!(inlined.body[0].head_line(), "return Kind + 1;");
+/// # Ok::<(), vega_cpplite::ParseError>(())
+/// ```
+pub fn inline_function<'a>(
+    f: &Function,
+    resolve: &dyn Fn(&str) -> Option<&'a Function>,
+) -> Function {
+    let mut out = f.clone();
+    let mut active: HashSet<String> = HashSet::new();
+    active.insert(f.name.clone());
+    out.body = inline_block(&out.body, resolve, &mut active, 0);
+    out
+}
+
+fn inline_block<'a>(
+    stmts: &[Stmt],
+    resolve: &dyn Fn(&str) -> Option<&'a Function>,
+    active: &mut HashSet<String>,
+    depth: usize,
+) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match try_inline_stmt(s, resolve, active, depth) {
+            Some(replacement) => out.extend(replacement),
+            None => {
+                let mut s2 = s.clone();
+                s2.children = inline_block(&s.children, resolve, active, depth);
+                s2.else_children = inline_block(&s.else_children, resolve, active, depth);
+                out.push(s2);
+            }
+        }
+    }
+    out
+}
+
+/// Parses `Name ( args )` out of a head token sequence, returning the callee
+/// name and the top-level-comma-separated argument token sequences.
+fn as_direct_call(head: &[Token]) -> Option<(String, Vec<Vec<Token>>)> {
+    if head.len() < 3 {
+        return None;
+    }
+    let name = head[0].as_ident()?.to_string();
+    if !head[1].is_punct("(") || !head.last()?.is_punct(")") {
+        return None;
+    }
+    // Verify the trailing `)` matches the `(` at position 1.
+    let mut depth = 0i32;
+    for (i, t) in head.iter().enumerate().skip(1) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                if i != head.len() - 1 {
+                    return None;
+                }
+                break;
+            }
+        }
+    }
+    let inner = &head[2..head.len() - 1];
+    let args = if inner.is_empty() {
+        Vec::new()
+    } else {
+        split_toplevel(inner, ",")
+    };
+    Some((name, args))
+}
+
+fn try_inline_stmt<'a>(
+    s: &Stmt,
+    resolve: &dyn Fn(&str) -> Option<&'a Function>,
+    active: &mut HashSet<String>,
+    depth: usize,
+) -> Option<Vec<Stmt>> {
+    if depth >= MAX_INLINE_DEPTH {
+        return None;
+    }
+    if !matches!(s.kind, StmtKind::Return | StmtKind::Simple) {
+        return None;
+    }
+    let (name, args) = as_direct_call(&s.head)?;
+    if active.contains(&name) {
+        return None;
+    }
+    let callee = resolve(&name)?;
+    if callee.params.len() != args.len() {
+        return None;
+    }
+    active.insert(name.clone());
+    // Substitute formals by actuals throughout the callee body.
+    let formals: Vec<(&str, &[Token])> = callee
+        .params
+        .iter()
+        .zip(&args)
+        .map(|(p, a)| (p.name.as_str(), a.as_slice()))
+        .collect();
+    let substituted: Vec<Stmt> = callee
+        .body
+        .iter()
+        .map(|st| substitute_stmt(st, &formals))
+        .collect();
+    // Recursively inline within the substituted body.
+    let body = inline_block(&substituted, resolve, active, depth + 1);
+    active.remove(&name);
+    Some(body)
+}
+
+fn substitute_stmt(s: &Stmt, formals: &[(&str, &[Token])]) -> Stmt {
+    let mut out = s.clone();
+    out.head = substitute_tokens(&s.head, formals);
+    out.children = s.children.iter().map(|c| substitute_stmt(c, formals)).collect();
+    out.else_children = s
+        .else_children
+        .iter()
+        .map(|c| substitute_stmt(c, formals))
+        .collect();
+    out
+}
+
+fn substitute_tokens(toks: &[Token], formals: &[(&str, &[Token])]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(toks.len());
+    for (i, t) in toks.iter().enumerate() {
+        // Do not substitute member names (`obj.K`) or scoped tails (`A::K`).
+        let after_member = i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->") || toks[i - 1].is_punct("::"));
+        if let (Token::Ident(name), false) = (t, after_member) {
+            if let Some((_, actual)) = formals.iter().find(|(f, _)| f == name) {
+                // Parenthesize actuals containing loose operators to preserve
+                // precedence; pure postfix chains (`a.b()`, `A::B`) need none.
+                let needs_parens = actual.iter().any(|t| {
+                    matches!(t, Token::Punct(p)
+                        if !["::", ".", "->", "(", ")", "[", "]", ","].contains(p))
+                });
+                if needs_parens {
+                    out.push(Token::Punct("("));
+                    out.extend(actual.iter().cloned());
+                    out.push(Token::Punct(")"));
+                } else {
+                    out.extend(actual.iter().cloned());
+                }
+                continue;
+            }
+        }
+        out.push(t.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+    use crate::printer::render_function;
+
+    #[test]
+    fn inlines_return_call_with_substitution() {
+        let inner = parse_function(
+            "unsigned GetRelocTypeInner(unsigned Kind, bool IsPCRel) { if (IsPCRel) { return Kind + 1; } return Kind; }",
+        )
+        .unwrap();
+        let outer = parse_function(
+            "unsigned getRelocType(const MCFixup &Fixup, bool PCRel) { return GetRelocTypeInner(Fixup.getKind(), PCRel); }",
+        )
+        .unwrap();
+        let inlined = inline_function(&outer, &|n| (n == "GetRelocTypeInner").then_some(&inner));
+        let text = render_function(&inlined);
+        assert!(text.contains("if (PCRel) {"), "{text}");
+        assert!(text.contains("return Fixup.getKind() + 1;"), "{text}");
+        assert!(!text.contains("GetRelocTypeInner"), "{text}");
+    }
+
+    #[test]
+    fn leaves_unknown_calls() {
+        let outer =
+            parse_function("void f() { report_fatal_error(\"bad\"); }").unwrap();
+        let inlined = inline_function(&outer, &|_| None);
+        assert_eq!(inlined, outer);
+    }
+
+    #[test]
+    fn refuses_recursion() {
+        let rec =
+            parse_function("unsigned f(unsigned x) { return f(x); }").unwrap();
+        let inlined = inline_function(&rec, &|n| (n == "f").then_some(&rec));
+        assert_eq!(inlined, rec);
+    }
+
+    #[test]
+    fn multi_token_args_are_parenthesized() {
+        let inner = parse_function("int inner(int k) { return k * 2; }").unwrap();
+        let outer = parse_function("int outer(int a, int b) { return inner(a + b); }").unwrap();
+        let inlined = inline_function(&outer, &|n| (n == "inner").then_some(&inner));
+        assert_eq!(inlined.body[0].head_line(), "return (a + b) * 2;");
+    }
+
+    #[test]
+    fn inlines_inside_nested_blocks() {
+        let inner = parse_function("int inner() { return 3; }").unwrap();
+        let outer =
+            parse_function("int outer(bool c) { if (c) { return inner(); } return 0; }").unwrap();
+        let inlined = inline_function(&outer, &|n| (n == "inner").then_some(&inner));
+        assert_eq!(inlined.body[0].children[0].head_line(), "return 3;");
+    }
+}

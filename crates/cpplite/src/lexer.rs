@@ -1,0 +1,280 @@
+//! A small hand-written lexer for the C++-like subset.
+//!
+//! The lexer is shared by every stage that looks at source text: parsing
+//! backend functions, scanning `.td`/`.h`/`.def` description files during
+//! feature selection (Algorithm 1, lines 8 and 25), and building model inputs.
+
+use crate::token::Token;
+use std::fmt;
+
+/// Error produced when the input contains a character sequence outside the
+/// supported subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "#", "{", "}", "(", ")", "[", "]", ";",
+    ",", ":", "?", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", ".", "@",
+];
+
+/// Tokenizes `src`, skipping whitespace, `//` and `/* */` comments, and
+/// preprocessor line continuations.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on an unterminated string/comment or a character
+/// outside the subset.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::{lex, Token};
+/// let toks = lex("case ARM::fixup_arm_movt_hi16: // upper half")?;
+/// assert_eq!(toks.len(), 5);
+/// assert_eq!(toks[0], Token::ident("case"));
+/// # Ok::<(), vega_cpplite::LexError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Vec::new();
+    let err = |i: usize, line: usize, m: &str| LexError {
+        offset: i,
+        line,
+        message: m.to_string(),
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(i, start_line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Line continuation inside preprocessor-ish text.
+        if c == '\\' && i + 1 < bytes.len() && bytes[i + 1] == b'\n' {
+            i += 2;
+            line += 1;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            let mut s = String::new();
+            loop {
+                if j >= bytes.len() {
+                    return Err(err(i, line, "unterminated string literal"));
+                }
+                match bytes[j] {
+                    b'"' => break,
+                    b'\\' if j + 1 < bytes.len() => {
+                        s.push(bytes[j + 1] as char);
+                        j += 2;
+                    }
+                    b'\n' => return Err(err(j, line, "newline in string literal")),
+                    b => {
+                        s.push(b as char);
+                        j += 1;
+                    }
+                }
+            }
+            out.push(Token::Str(s));
+            i = j + 1;
+            continue;
+        }
+        // Character literal: lexed as an Int of its codepoint.
+        if c == '\'' {
+            let mut j = i + 1;
+            let v: i64;
+            if j < bytes.len() && bytes[j] == b'\\' {
+                let esc = bytes.get(j + 1).copied().unwrap_or(b'?') as char;
+                v = match esc {
+                    'n' => 10,
+                    't' => 9,
+                    '0' => 0,
+                    o => o as i64,
+                };
+                j += 2;
+            } else if j < bytes.len() {
+                v = bytes[j] as i64;
+                j += 1;
+            } else {
+                return Err(err(i, line, "unterminated char literal"));
+            }
+            if j >= bytes.len() || bytes[j] != b'\'' {
+                return Err(err(i, line, "unterminated char literal"));
+            }
+            out.push(Token::Int(v));
+            i = j + 1;
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = &src[start + 2..i];
+                let v = i64::from_str_radix(text, 16)
+                    .map_err(|_| err(start, line, "invalid hex literal"))?;
+                out.push(Token::Int(v));
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                // Skip integer suffixes (u, l, ul, ull ...).
+                let digits_end = i;
+                while i < bytes.len() && matches!(bytes[i] | 0x20, b'u' | b'l') {
+                    i += 1;
+                }
+                let v: i64 = src[start..digits_end]
+                    .parse()
+                    .map_err(|_| err(start, line, "invalid integer literal"))?;
+                out.push(Token::Int(v));
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Token::Ident(src[start..i].to_string()));
+            continue;
+        }
+        // Punctuation (maximal munch).
+        let rest = &src[i..];
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            out.push(Token::Punct(p));
+            i += p.len();
+            continue;
+        }
+        return Err(err(i, line, &format!("unexpected character {c:?}")));
+    }
+    Ok(out)
+}
+
+/// Tokenizes `src`, dropping anything that fails to lex line-by-line.
+///
+/// Description files occasionally contain constructs outside the strict
+/// subset; feature selection only needs the identifier/assignment structure,
+/// so unlexable lines are skipped rather than failing the whole file. This is
+/// the `Tokenizer` of Algorithm 1.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::lex_lossy;
+/// let toks = lex_lossy("Name = \"ARM\"\n$bad$ line\nOperandType = \"OPERAND_PCREL\"");
+/// assert!(toks.iter().any(|t| t.as_str_lit() == Some("ARM")));
+/// ```
+pub fn lex_lossy(src: &str) -> Vec<Token> {
+    match lex(src) {
+        Ok(t) => t,
+        Err(_) => src.lines().flat_map(|l| lex(l).unwrap_or_default()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_scoped_names_and_calls() {
+        let toks = lex("unsigned Kind = Fixup.getTargetKind();").unwrap();
+        let spell: Vec<String> = toks.iter().map(|t| t.spelling()).collect();
+        assert_eq!(
+            spell,
+            ["unsigned", "Kind", "=", "Fixup", ".", "getTargetKind", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixed_ints() {
+        let toks = lex("0xff 42u 7ull").unwrap();
+        assert_eq!(toks, vec![Token::Int(255), Token::Int(42), Token::Int(7)]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = lex("a // trailing\n/* b */ c").unwrap();
+        assert_eq!(toks, vec![Token::ident("a"), Token::ident("c")]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#""OPERAND\"_PCREL""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("OPERAND\"_PCREL".into())]);
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn maximal_munch_punct() {
+        let toks = lex("a<<=b:: c->d").unwrap();
+        let spell: Vec<String> = toks.iter().map(|t| t.spelling()).collect();
+        assert_eq!(spell, ["a", "<<=", "b", "::", "c", "->", "d"]);
+    }
+
+    #[test]
+    fn lossy_recovers_per_line() {
+        let toks = lex_lossy("good = 1\n$$$\nName = \"X\"");
+        assert!(toks.contains(&Token::Str("X".into())));
+        assert!(toks.contains(&Token::ident("good")));
+    }
+}

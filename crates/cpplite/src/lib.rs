@@ -1,0 +1,52 @@
+//! `vega-cpplite`: a C++-like subset used throughout the VEGA reproduction.
+//!
+//! Miniature LLVM backends — the corpus VEGA learns from and the code it
+//! generates — are written in a small, statement-oriented C++ subset. This
+//! crate provides everything the rest of the system needs to work with that
+//! subset:
+//!
+//! * [`lex`] / [`lex_lossy`] — the shared tokenizer (also used on `.td`/`.h`
+//!   description files during feature selection),
+//! * [`parse_function`] / [`parse_stmts`] — statement-level parsing into the
+//!   [`Stmt`] tree, where a *statement* is a line ending in `;`, `{`, `}` or
+//!   `:` exactly as the paper defines it (§3.1),
+//! * [`render_function`] / [`render_tokens`] — pretty-printing,
+//! * [`normalize_stmts`] — `if`/`else if` → `switch` normalization (§3.1),
+//! * [`inline_function`] — recursive helper inlining (§3.1),
+//! * [`Interp`] — a defensive interpreter so the miniature compiler can
+//!   *execute* generated interface functions during pass@1 regression tests.
+//!
+//! # Examples
+//! ```
+//! use vega_cpplite::{parse_function, render_function};
+//! let f = parse_function(
+//!     "unsigned getRelocType(bool IsPCRel) { if (IsPCRel) { return 1; } return 0; }",
+//! )?;
+//! assert_eq!(f.name, "getRelocType");
+//! assert_eq!(f.stmt_count(), 3);
+//! println!("{}", render_function(&f));
+//! # Ok::<(), vega_cpplite::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod eval;
+mod expr;
+mod inline;
+mod lexer;
+mod normalize;
+mod parser;
+mod printer;
+mod token;
+
+pub use ast::{Function, Param, Stmt, StmtIter, StmtKind};
+pub use eval::{split_toplevel, EmptyEnv, Env, EvalError, Interp, Value, LOOP_FUEL};
+pub use expr::{parse_expr_tokens, parse_head_expr, BinOp, Expr, ExprError, UnOp};
+pub use inline::{inline_function, MAX_INLINE_DEPTH};
+pub use lexer::{lex, lex_lossy, LexError};
+pub use normalize::normalize_stmts;
+pub use parser::{parse_function, parse_functions, parse_stmts, ParseError};
+pub use printer::{render_function, render_stmts};
+pub use token::{render_tokens, Token};

@@ -1,0 +1,460 @@
+//! Recursive-descent parser from tokens to the statement AST.
+
+use crate::ast::{Function, Param, Stmt, StmtKind};
+use crate::lexer::{lex, LexError};
+use crate::token::Token;
+use std::fmt;
+
+/// Error produced when the token stream does not form valid subset syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index of the offending token.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { at: e.offset, message: format!("lex: {}", e.message) }
+    }
+}
+
+struct Cursor<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{p}`")))
+        }
+    }
+
+    fn error(&self, msg: &str) -> ParseError {
+        let found = self
+            .peek()
+            .map(|t| t.spelling())
+            .unwrap_or_else(|| "<eof>".to_string());
+        ParseError { at: self.pos, message: format!("{msg}, found `{found}`") }
+    }
+
+    /// Collects tokens until the matching close of `open` (which has already
+    /// been consumed), respecting nested brackets of all kinds.
+    fn until_balanced(&mut self, open: &str, close: &str) -> Result<Vec<Token>, ParseError> {
+        let mut depth = 0usize;
+        let mut out = Vec::new();
+        loop {
+            let t = self
+                .bump()
+                .ok_or_else(|| self.error(&format!("unterminated `{open}`")))?;
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                if depth == 0 {
+                    return Ok(out);
+                }
+                depth -= 1;
+            }
+            out.push(t.clone());
+        }
+    }
+
+    /// Collects tokens until a top-level occurrence of `stop` (consumed but
+    /// not included), respecting `()`, `[]` and `{}` nesting.
+    fn until_toplevel(&mut self, stop: &str) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        let mut paren = 0i32;
+        let mut brack = 0i32;
+        let mut brace = 0i32;
+        loop {
+            let t = self
+                .bump()
+                .ok_or_else(|| self.error(&format!("expected `{stop}`")))?;
+            if paren == 0 && brack == 0 && brace == 0 && t.is_punct(stop) {
+                return Ok(out);
+            }
+            match t {
+                Token::Punct("(") => paren += 1,
+                Token::Punct(")") => paren -= 1,
+                Token::Punct("[") => brack += 1,
+                Token::Punct("]") => brack -= 1,
+                Token::Punct("{") => brace += 1,
+                Token::Punct("}") => brace -= 1,
+                _ => {}
+            }
+            out.push(t.clone());
+        }
+    }
+}
+
+/// Parses one statement. `case`/`default` labels are not valid here; they are
+/// handled inside `parse_switch_body`.
+fn parse_stmt(c: &mut Cursor<'_>) -> Result<Stmt, ParseError> {
+    let t = c.peek().ok_or_else(|| c.error("expected statement"))?;
+    match t {
+        Token::Punct("{") => {
+            c.bump();
+            let body = parse_stmt_list(c)?;
+            c.expect_punct("}")?;
+            Ok(Stmt::new(StmtKind::Block, Vec::new(), body))
+        }
+        Token::Ident(s) if s == "if" => parse_if(c),
+        Token::Ident(s) if s == "switch" => parse_switch(c),
+        Token::Ident(s) if s == "while" => {
+            c.bump();
+            c.expect_punct("(")?;
+            let cond = c.until_balanced("(", ")")?;
+            let body = parse_braced_or_single(c)?;
+            Ok(Stmt::new(StmtKind::While, cond, body))
+        }
+        Token::Ident(s) if s == "for" => {
+            c.bump();
+            c.expect_punct("(")?;
+            let header = c.until_balanced("(", ")")?;
+            let body = parse_braced_or_single(c)?;
+            Ok(Stmt::new(StmtKind::For, header, body))
+        }
+        Token::Ident(s) if s == "return" => {
+            c.bump();
+            let expr = c.until_toplevel(";")?;
+            Ok(Stmt::new(StmtKind::Return, expr, Vec::new()))
+        }
+        Token::Ident(s) if s == "break" => {
+            c.bump();
+            c.expect_punct(";")?;
+            Ok(Stmt::new(StmtKind::Break, Vec::new(), Vec::new()))
+        }
+        _ => {
+            let toks = c.until_toplevel(";")?;
+            if toks.is_empty() {
+                // A stray `;` is an empty statement; keep it as Simple.
+                return Ok(Stmt::simple(Vec::new()));
+            }
+            Ok(Stmt::simple(toks))
+        }
+    }
+}
+
+fn parse_braced_or_single(c: &mut Cursor<'_>) -> Result<Vec<Stmt>, ParseError> {
+    if c.eat_punct("{") {
+        let body = parse_stmt_list(c)?;
+        c.expect_punct("}")?;
+        Ok(body)
+    } else {
+        Ok(vec![parse_stmt(c)?])
+    }
+}
+
+fn parse_if(c: &mut Cursor<'_>) -> Result<Stmt, ParseError> {
+    c.bump(); // `if`
+    c.expect_punct("(")?;
+    let cond = c.until_balanced("(", ")")?;
+    let then_ = parse_braced_or_single(c)?;
+    let mut node = Stmt::new(StmtKind::If, cond, then_);
+    if c.peek().is_some_and(|t| t.is_ident("else")) {
+        c.bump();
+        if c.peek().is_some_and(|t| t.is_ident("if")) {
+            node.else_children = vec![parse_if(c)?];
+        } else {
+            node.else_children = parse_braced_or_single(c)?;
+        }
+    }
+    Ok(node)
+}
+
+fn parse_switch(c: &mut Cursor<'_>) -> Result<Stmt, ParseError> {
+    c.bump(); // `switch`
+    c.expect_punct("(")?;
+    let scrutinee = c.until_balanced("(", ")")?;
+    c.expect_punct("{")?;
+    let mut cases: Vec<Stmt> = Vec::new();
+    loop {
+        let t = c.peek().ok_or_else(|| c.error("unterminated switch"))?;
+        if t.is_punct("}") {
+            c.bump();
+            break;
+        }
+        if t.is_ident("case") {
+            c.bump();
+            let label = c.until_toplevel(":")?;
+            cases.push(Stmt::new(StmtKind::Case, label, Vec::new()));
+        } else if t.is_ident("default") {
+            c.bump();
+            c.expect_punct(":")?;
+            cases.push(Stmt::new(StmtKind::Default, Vec::new(), Vec::new()));
+        } else {
+            let stmt = parse_stmt(c)?;
+            match cases.last_mut() {
+                Some(case) => case.children.push(stmt),
+                None => return Err(c.error("statement before first case label")),
+            }
+        }
+    }
+    Ok(Stmt::new(StmtKind::Switch, scrutinee, cases))
+}
+
+fn parse_stmt_list(c: &mut Cursor<'_>) -> Result<Vec<Stmt>, ParseError> {
+    let mut out = Vec::new();
+    while let Some(t) = c.peek() {
+        if t.is_punct("}") {
+            break;
+        }
+        out.push(parse_stmt(c)?);
+    }
+    Ok(out)
+}
+
+/// Parses a sequence of statements from source text (no enclosing function).
+///
+/// # Errors
+/// Returns [`ParseError`] if lexing fails or the statements are malformed.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::parse_stmts;
+/// let stmts = parse_stmts("unsigned Kind = Fixup.getTargetKind(); return Kind;")?;
+/// assert_eq!(stmts.len(), 2);
+/// # Ok::<(), vega_cpplite::ParseError>(())
+/// ```
+pub fn parse_stmts(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let toks = lex(src)?;
+    let mut c = Cursor { toks: &toks, pos: 0 };
+    let out = parse_stmt_list(&mut c)?;
+    if c.pos != toks.len() {
+        return Err(c.error("trailing tokens after statements"));
+    }
+    Ok(out)
+}
+
+/// Splits a parameter-list token sequence on top-level commas.
+fn split_params(toks: &[Token]) -> Vec<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in toks {
+        match t {
+            Token::Punct("(") | Token::Punct("<") | Token::Punct("[") => depth += 1,
+            Token::Punct(")") | Token::Punct(">") | Token::Punct("]") => depth -= 1,
+            Token::Punct(",") if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses one function definition from source text.
+///
+/// Accepts both free functions and qualified member definitions
+/// (`unsigned ARMELFObjectWriter::getRelocType(...) { ... }`).
+///
+/// # Errors
+/// Returns [`ParseError`] on lex failure or malformed syntax.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::parse_function;
+/// let f = parse_function("unsigned f(bool IsPCRel) { return 0; }")?;
+/// assert_eq!(f.name, "f");
+/// assert_eq!(f.params[0].name, "IsPCRel");
+/// # Ok::<(), vega_cpplite::ParseError>(())
+/// ```
+pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    let toks = lex(src)?;
+    let mut c = Cursor { toks: &toks, pos: 0 };
+    let f = parse_function_at(&mut c)?;
+    if c.pos != toks.len() {
+        return Err(c.error("trailing tokens after function"));
+    }
+    Ok(f)
+}
+
+/// Parses all function definitions in a source file.
+///
+/// # Errors
+/// Returns [`ParseError`] on the first malformed definition.
+pub fn parse_functions(src: &str) -> Result<Vec<Function>, ParseError> {
+    let toks = lex(src)?;
+    let mut c = Cursor { toks: &toks, pos: 0 };
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        out.push(parse_function_at(&mut c)?);
+    }
+    Ok(out)
+}
+
+fn parse_function_at(c: &mut Cursor<'_>) -> Result<Function, ParseError> {
+    // Collect header tokens up to the parameter list's `(` at top level.
+    let mut header: Vec<Token> = Vec::new();
+    loop {
+        let t = c.peek().ok_or_else(|| c.error("expected function header"))?;
+        if t.is_punct("(") {
+            break;
+        }
+        header.push(c.bump().unwrap().clone());
+    }
+    if header.is_empty() {
+        return Err(c.error("missing function header"));
+    }
+    // The name is the last identifier in the header; any `A::B::` chain
+    // immediately before it is the qualifier; the rest is the return type.
+    let name = match header.last() {
+        Some(Token::Ident(s)) => s.clone(),
+        _ => return Err(c.error("function name must be an identifier")),
+    };
+    header.pop();
+    let mut qualifier_rev: Vec<String> = Vec::new();
+    while header.len() >= 2
+        && header.last().is_some_and(|t| t.is_punct("::"))
+        && matches!(header[header.len() - 2], Token::Ident(_))
+    {
+        header.pop(); // `::`
+        if let Some(Token::Ident(q)) = header.pop() {
+            qualifier_rev.push(q);
+        }
+    }
+    qualifier_rev.reverse();
+    let ret = header;
+
+    c.expect_punct("(")?;
+    let param_toks = c.until_balanced("(", ")")?;
+    let mut params = Vec::new();
+    for ptoks in split_params(&param_toks) {
+        // Name = last identifier; type = everything before it.
+        let name_idx = ptoks
+            .iter()
+            .rposition(|t| matches!(t, Token::Ident(_)))
+            .ok_or_else(|| c.error("parameter missing a name"))?;
+        let name = ptoks[name_idx].as_ident().unwrap().to_string();
+        let mut ty: Vec<Token> = ptoks[..name_idx].to_vec();
+        ty.extend(ptoks[name_idx + 1..].iter().cloned());
+        params.push(Param { ty, name });
+    }
+    // Skip trailing cv-qualifiers / `override` before the body.
+    while c
+        .peek()
+        .is_some_and(|t| t.is_ident("const") || t.is_ident("override") || t.is_ident("noexcept"))
+    {
+        c.bump();
+    }
+    c.expect_punct("{")?;
+    let body = parse_stmt_list(c)?;
+    c.expect_punct("}")?;
+    Ok(Function { ret, name, qualifier: qualifier_rev, params, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_if_else_chain() {
+        let stmts = parse_stmts(
+            "if (a == 1) { x = 1; } else if (a == 2) { x = 2; } else { x = 3; }",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 1);
+        let s = &stmts[0];
+        assert_eq!(s.kind, StmtKind::If);
+        assert_eq!(s.else_children.len(), 1);
+        assert_eq!(s.else_children[0].kind, StmtKind::If);
+        assert_eq!(s.else_children[0].else_children.len(), 1);
+    }
+
+    #[test]
+    fn parses_switch_with_fallthrough_labels() {
+        let stmts = parse_stmts(
+            "switch (Kind) { case A: case B: return 1; default: break; }",
+        )
+        .unwrap();
+        let sw = &stmts[0];
+        assert_eq!(sw.kind, StmtKind::Switch);
+        assert_eq!(sw.children.len(), 3);
+        assert_eq!(sw.children[0].kind, StmtKind::Case);
+        assert!(sw.children[0].children.is_empty()); // falls through
+        assert_eq!(sw.children[1].children.len(), 1);
+        assert_eq!(sw.children[2].kind, StmtKind::Default);
+    }
+
+    #[test]
+    fn parses_unbraced_if_body() {
+        let stmts = parse_stmts("if (x) return 1; return 2;").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].children.len(), 1);
+        assert_eq!(stmts[0].children[0].kind, StmtKind::Return);
+    }
+
+    #[test]
+    fn parses_member_function_with_qualifier() {
+        let f = parse_function(
+            "unsigned ARMELFObjectWriter::getRelocType(const MCFixup &Fixup, bool IsPCRel) const { return 0; }",
+        )
+        .unwrap();
+        assert_eq!(f.qualifier, vec!["ARMELFObjectWriter".to_string()]);
+        assert_eq!(f.name, "getRelocType");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "Fixup");
+    }
+
+    #[test]
+    fn parses_multiple_functions() {
+        let fs = parse_functions("int a() { return 1; } int b() { return 2; }").unwrap();
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[1].name, "b");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_function("int f( { }").is_err());
+        assert!(parse_stmts("if (x { }").is_err());
+    }
+
+    #[test]
+    fn for_loop_and_while() {
+        let stmts =
+            parse_stmts("for (unsigned i = 0; i < N; i = i + 1) { total = total + i; } while (x) { x = x - 1; }")
+                .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].kind, StmtKind::For);
+        assert_eq!(stmts[1].kind, StmtKind::While);
+    }
+}

@@ -1,0 +1,166 @@
+//! Pretty-printer: renders the statement AST back to indented source text.
+
+use crate::ast::{Function, Stmt, StmtKind};
+use std::fmt::Write as _;
+
+/// Renders a list of statements with the given starting indent level.
+pub fn render_stmts(stmts: &[Stmt], indent: usize) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        render_stmt(s, indent, &mut out);
+    }
+    out
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_stmt(s: &Stmt, indent: usize, out: &mut String) {
+    match s.kind {
+        StmtKind::Simple | StmtKind::Return | StmtKind::Break => {
+            pad(indent, out);
+            let _ = writeln!(out, "{}", s.head_line());
+        }
+        StmtKind::If => {
+            pad(indent, out);
+            let _ = writeln!(out, "{}", s.head_line());
+            for c in &s.children {
+                render_stmt(c, indent + 1, out);
+            }
+            if s.else_children.is_empty() {
+                pad(indent, out);
+                out.push_str("}\n");
+            } else if s.else_children.len() == 1 && s.else_children[0].kind == StmtKind::If {
+                pad(indent, out);
+                out.push_str("} else ");
+                // Render the else-if inline: reuse the child's rendering minus
+                // its leading indent.
+                let mut tmp = String::new();
+                render_stmt(&s.else_children[0], indent, &mut tmp);
+                out.push_str(tmp.trim_start_matches(' '));
+            } else {
+                pad(indent, out);
+                out.push_str("} else {\n");
+                for c in &s.else_children {
+                    render_stmt(c, indent + 1, out);
+                }
+                pad(indent, out);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::Switch => {
+            pad(indent, out);
+            let _ = writeln!(out, "{}", s.head_line());
+            for c in &s.children {
+                render_stmt(c, indent, out);
+            }
+            pad(indent, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Case | StmtKind::Default => {
+            pad(indent, out);
+            let _ = writeln!(out, "{}", s.head_line());
+            for c in &s.children {
+                render_stmt(c, indent + 1, out);
+            }
+        }
+        StmtKind::While | StmtKind::For | StmtKind::Block => {
+            pad(indent, out);
+            let _ = writeln!(out, "{}", s.head_line());
+            for c in &s.children {
+                render_stmt(c, indent + 1, out);
+            }
+            pad(indent, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Renders a whole function definition.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::{parse_function, render_function};
+/// let f = parse_function("int f(int x) { if (x) { return 1; } return 0; }")?;
+/// let text = render_function(&f);
+/// let f2 = parse_function(&text)?; // round-trips
+/// assert_eq!(f, f2);
+/// # Ok::<(), vega_cpplite::ParseError>(())
+/// ```
+pub fn render_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", f.signature_line());
+    out.push_str(&render_stmts(&f.body, 1));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_function, parse_stmts};
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = r#"
+unsigned getRelocType(const MCFixup &Fixup, bool IsPCRel) {
+  unsigned Kind = Fixup.getTargetKind();
+  if (IsPCRel) {
+    switch (Kind) {
+    case ARM::fixup_arm_movt_hi16:
+      return ELF::R_ARM_MOVT_PREL;
+    default:
+      break;
+    }
+  } else if (Kind == 3) {
+    return 7;
+  } else {
+    return ELF::R_ARM_NONE;
+  }
+  return 0;
+}
+"#;
+        let f = parse_function(src).unwrap();
+        let printed = render_function(&f);
+        let f2 = parse_function(&printed).unwrap();
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn roundtrip_loops_and_blocks() {
+        let src = "for (i = 0; i < 4; i = i + 1) { { x = x + i; } } while (x) { x = x - 1; }";
+        let stmts = parse_stmts(src).unwrap();
+        let printed = render_stmts(&stmts, 0);
+        let stmts2 = parse_stmts(&printed).unwrap();
+        assert_eq!(stmts, stmts2);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use crate::parser::parse_stmts;
+    use crate::printer::render_stmts;
+
+    #[test]
+    fn deep_nesting_roundtrip() {
+        let mut src = String::from("x = 0;");
+        for i in 0..12 {
+            src = format!("if (c{i}) {{ {src} }} else {{ y = {i}; }}");
+        }
+        let stmts = parse_stmts(&src).unwrap();
+        let printed = render_stmts(&stmts, 0);
+        assert_eq!(parse_stmts(&printed).unwrap(), stmts);
+    }
+
+    #[test]
+    fn empty_bodies_roundtrip() {
+        for src in ["if (a) { }", "switch (k) { default: }", "while (x) { }"] {
+            let stmts = parse_stmts(src).unwrap();
+            let printed = render_stmts(&stmts, 0);
+            assert_eq!(parse_stmts(&printed).unwrap(), stmts, "{src}");
+        }
+    }
+}

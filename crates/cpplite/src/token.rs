@@ -1,0 +1,175 @@
+//! Lexical tokens for the C++-like subset used by miniature LLVM backends.
+//!
+//! The corpus (backend functions, `.td` target description files, `.h`
+//! headers, `.def` files) is tokenized with one shared lexer, mirroring the
+//! paper's use of the Clang lexer for both feature selection and model input
+//! construction.
+
+use std::fmt;
+
+/// A single lexical token.
+///
+/// Keywords are not distinguished from identifiers: the templatization and
+/// feature-selection stages treat `if` and `Kind` uniformly as tokens, and the
+/// parser matches keywords by spelling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Token {
+    /// An identifier or keyword, e.g. `fixup_arm_movt_hi16`, `switch`.
+    Ident(String),
+    /// An integer literal (decimal or hexadecimal source form), e.g. `0xff`.
+    Int(i64),
+    /// A string literal, stored without the surrounding quotes.
+    Str(String),
+    /// An operator or punctuation token, e.g. `::`, `==`, `{`.
+    Punct(&'static str),
+}
+
+impl Token {
+    /// Creates an identifier token.
+    ///
+    /// # Examples
+    /// ```
+    /// use vega_cpplite::Token;
+    /// let t = Token::ident("Kind");
+    /// assert_eq!(t.as_ident(), Some("Kind"));
+    /// ```
+    pub fn ident(s: impl Into<String>) -> Self {
+        Token::Ident(s.into())
+    }
+
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the string-literal contents if this token is a string literal.
+    pub fn as_str_lit(&self) -> Option<&str> {
+        match self {
+            Token::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this token is the given punctuation.
+    ///
+    /// # Examples
+    /// ```
+    /// use vega_cpplite::Token;
+    /// assert!(Token::Punct("::").is_punct("::"));
+    /// ```
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Token::Punct(q) if *q == p)
+    }
+
+    /// Returns `true` if this token is the identifier `kw` (used for keyword
+    /// matching in the parser).
+    pub fn is_ident(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+
+    /// The canonical source spelling of the token.
+    pub fn spelling(&self) -> String {
+        match self {
+            Token::Ident(s) => s.clone(),
+            Token::Int(v) => v.to_string(),
+            Token::Str(s) => format!("\"{s}\""),
+            Token::Punct(p) => (*p).to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spelling())
+    }
+}
+
+/// Renders a token slice as compact single-line source text.
+///
+/// Spacing is minimal but unambiguous: identifiers and literals are separated
+/// by single spaces, and common punctuation binds tightly (`A::B`, `f(x)`).
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::{lex, render_tokens};
+/// let toks = lex("return ELF::R_ARM_MOVT_ABS;").unwrap();
+/// assert_eq!(render_tokens(&toks), "return ELF::R_ARM_MOVT_ABS;");
+/// ```
+pub fn render_tokens(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if i > 0 && needs_space(&tokens[i - 1], tok) {
+            out.push(' ');
+        }
+        out.push_str(&tok.spelling());
+    }
+    out
+}
+
+fn is_wordy(t: &Token) -> bool {
+    matches!(t, Token::Ident(_) | Token::Int(_) | Token::Str(_))
+}
+
+fn needs_space(prev: &Token, next: &Token) -> bool {
+    // Tight binders never need surrounding space.
+    const TIGHT: &[&str] = &["::", ".", "->", "(", "[", "++", "--"];
+    const TIGHT_BEFORE: &[&str] = &["::", ".", "->", "(", ")", "[", "]", ";", ",", ":", "++", "--"];
+    if let Token::Punct(p) = prev {
+        if TIGHT.contains(p) {
+            return false;
+        }
+    }
+    if let Token::Punct(p) = next {
+        if TIGHT_BEFORE.contains(p) {
+            return false;
+        }
+    }
+    if is_wordy(prev) && is_wordy(next) {
+        return true;
+    }
+    // Default: separate operators from operands with spaces, except after
+    // opening brackets.
+    match (prev, next) {
+        (Token::Punct(_), _) | (_, Token::Punct(_)) => true,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_predicates() {
+        assert!(Token::ident("if").is_ident("if"));
+        assert!(!Token::ident("if").is_ident("else"));
+        assert!(Token::Punct("{").is_punct("{"));
+        assert_eq!(Token::Int(42).spelling(), "42");
+        assert_eq!(Token::Str("ARM".into()).spelling(), "\"ARM\"");
+    }
+
+    #[test]
+    fn render_scoped_name_tightly() {
+        let toks = vec![
+            Token::ident("ARM"),
+            Token::Punct("::"),
+            Token::ident("fixup_arm_movt_hi16"),
+        ];
+        assert_eq!(render_tokens(&toks), "ARM::fixup_arm_movt_hi16");
+    }
+
+    #[test]
+    fn render_call_tightly() {
+        let toks = vec![
+            Token::ident("Fixup"),
+            Token::Punct("."),
+            Token::ident("getTargetKind"),
+            Token::Punct("("),
+            Token::Punct(")"),
+        ];
+        assert_eq!(render_tokens(&toks), "Fixup.getTargetKind()");
+    }
+}

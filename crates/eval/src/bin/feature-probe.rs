@@ -1,0 +1,47 @@
+//! Developer diagnostics: dump a template's discovered properties and each
+//! slot's candidates for a target, without training anything.
+
+use std::collections::BTreeMap;
+use vega::{prop_catalog, select_features, FunctionTemplate, TgtIndex};
+use vega_corpus::{Corpus, CorpusConfig};
+
+fn main() {
+    let group = std::env::args().nth(1).unwrap_or_else(|| "isLegalImmediate".into());
+    let target = std::env::args().nth(2).unwrap_or_else(|| "RISCV".into());
+    let corpus = Corpus::build(&CorpusConfig::tiny());
+    let catalog = prop_catalog(corpus.llvm_fs());
+    let groups = corpus.function_groups(false);
+    let (_, members) = &groups[&group];
+    let template = FunctionTemplate::build(&group, members);
+    let mut ixs = BTreeMap::new();
+    for t in &template.targets {
+        ixs.insert(t.clone(), TgtIndex::build(&corpus.target(t).unwrap().descriptions));
+    }
+    let feats = select_features(&template, &catalog, &ixs);
+    println!("properties:");
+    for (i, p) in feats.props.iter().enumerate() {
+        println!("  [{i}] {} bool={} source={:?}", p.name, p.is_bool, p.source);
+    }
+    let tix = TgtIndex::build(&corpus.target(&target).unwrap().descriptions);
+    for (node_id, node) in template.stmts.iter().enumerate() {
+        for (slot_id, slot) in node.slots.iter().enumerate() {
+            let prop = feats.slot_props.get(&(node_id, slot_id));
+            let vals: Vec<String> = slot
+                .values
+                .iter()
+                .map(|(t, v)| format!("{t}={}", vega_cpplite::render_tokens(v)))
+                .collect();
+            let cands = prop
+                .and_then(|p| feats.props[*p].source.as_ref())
+                .map(|s| tix.candidates(s))
+                .unwrap_or_default();
+            println!(
+                "node {node_id} ({:?}) slot {slot_id}: prop={:?} train={:?} cands({target})={:?}",
+                node.kind,
+                prop.map(|p| feats.props[*p].name.clone()),
+                vals,
+                cands
+            );
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Experiment drivers: one function per paper table/figure.
+//!
+//! A [`Workbench`] holds one trained VEGA plus the generated and evaluated
+//! backends for the three evaluation targets; each `fig*`/`table*` function
+//! renders the corresponding artifact as a text table whose rows mirror the
+//! paper's.
+
+use crate::effort::DeveloperProfile;
+use crate::metrics::{corrected_backend, eval_generated_backend, eval_plain_backend, BackendEval};
+use crate::report::{pct, TextTable};
+use std::fmt::Write as _;
+use vega::{GeneratedBackend, Vega, VegaConfig};
+use vega_corpus::{Module, EVAL_TARGET_NAMES};
+use vega_forkflow::forkflow_backend;
+use vega_minicc::{benchmark_suite, run_kernel, BackendVm, OptLevel};
+
+/// One trained VEGA with everything the per-figure drivers need.
+pub struct Workbench {
+    /// The trained system.
+    pub vega: Vega,
+    /// Generated backends for RISC-V, RI5CY, xCORE.
+    pub backends: Vec<GeneratedBackend>,
+    /// pass@1 evaluations of the generated backends.
+    pub evals: Vec<BackendEval>,
+    /// ForkFlow (forked from MIPS) evaluations for the same targets.
+    pub ff_evals: Vec<BackendEval>,
+}
+
+impl Workbench {
+    /// Trains VEGA and generates + evaluates all three target backends.
+    pub fn run(config: VegaConfig) -> Self {
+        let mut vega = Vega::train(config);
+        let mut backends = Vec::new();
+        let mut evals = Vec::new();
+        let mut ff_evals = Vec::new();
+        for target in EVAL_TARGET_NAMES {
+            let gen = vega.generate_backend(target);
+            evals.push(eval_generated_backend(&vega.corpus, &gen));
+            backends.push(gen);
+            let ff = forkflow_backend(&vega.corpus, "Mips", target);
+            ff_evals.push(eval_plain_backend(&vega.corpus, &ff, target));
+        }
+        Workbench { vega, backends, evals, ff_evals }
+    }
+}
+
+/// Fig. 6 — targets, ISAs and function modules.
+pub fn fig6(wb: &Workbench) -> String {
+    let mut t = TextTable::new(["Target", "Class", "WordBits", "Endian", "Key traits", "Modules"]);
+    for name in EVAL_TARGET_NAMES {
+        let spec = &wb.vega.corpus.target(name).unwrap().spec;
+        let tr = &spec.traits;
+        let mut traits = Vec::new();
+        for (flag, label) in [
+            (tr.has_compressed, "compressed"),
+            (tr.has_hwloop, "hwloop"),
+            (tr.has_simd, "simd"),
+            (tr.has_mac, "mac"),
+            (tr.has_threads, "threads"),
+            (tr.has_fpu, "fpu"),
+        ] {
+            if flag {
+                traits.push(label);
+            }
+        }
+        let class = match name {
+            "RISCV" => "GPP",
+            "RI5CY" => "ULP",
+            _ => "IoT",
+        };
+        let modules: Vec<&str> = Module::ALL
+            .iter()
+            .filter(|m| **m != Module::Dis || tr.has_disassembler)
+            .map(|m| m.code())
+            .collect();
+        t.row([
+            name.to_string(),
+            class.to_string(),
+            spec.word_bits.to_string(),
+            format!("{:?}", spec.endian),
+            traits.join("+"),
+            modules.join(","),
+        ]);
+    }
+    format!("Fig. 6 — evaluation targets and their function modules\n{}", t.render())
+}
+
+/// Fig. 7 — inference time per module per target.
+pub fn fig7(wb: &Workbench) -> String {
+    let mut t = TextTable::new(["Target", "SEL", "REG", "OPT", "SCH", "EMI", "ASS", "DIS", "Total"]);
+    for b in &wb.backends {
+        let mut row = vec![b.target.clone()];
+        for m in Module::ALL {
+            let d = b.module_times.get(&m).copied().unwrap_or_default();
+            row.push(format!("{:.1}s", d.as_secs_f64()));
+        }
+        row.push(format!("{:.1}s", b.total_time.as_secs_f64()));
+        t.row(row);
+    }
+    format!("Fig. 7 — backend generation (inference) time per module\n{}", t.render())
+}
+
+/// Fig. 8 — function-level pass@1 accuracy per module, with the confidence
+/// split and the multi-target share.
+pub fn fig8(wb: &Workbench) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 8 — pass@1 function accuracy per module");
+    for ev in &wb.evals {
+        let mut t = TextTable::new([
+            "Module", "Funcs", "Accurate", "Acc%", "CS≈1.00", "CS<1.00", "MultiTarget",
+        ]);
+        for m in Module::ALL {
+            let fs: Vec<_> = ev.functions.iter().filter(|f| f.module == m).collect();
+            if fs.is_empty() {
+                continue;
+            }
+            let acc: Vec<_> = fs.iter().filter(|f| f.accurate).collect();
+            let cs1 = acc.iter().filter(|f| f.confidence > 0.99).count();
+            let multi = acc.iter().filter(|f| f.multi_source).count();
+            t.row([
+                m.code().to_string(),
+                fs.len().to_string(),
+                acc.len().to_string(),
+                pct(acc.len() as f64 / fs.len() as f64),
+                cs1.to_string(),
+                (acc.len() - cs1).to_string(),
+                multi.to_string(),
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "\n[{}] overall function accuracy: {}\n{}",
+            ev.target,
+            pct(ev.function_accuracy()),
+            t.render()
+        );
+    }
+    out
+}
+
+/// Table 2 — sources of inaccurate statements.
+pub fn table2(wb: &Workbench) -> String {
+    let mut t = TextTable::new(["Error type", "RISC-V", "RI5CY", "xCORE"]);
+    let rates: Vec<(f64, f64, f64)> = wb.evals.iter().map(BackendEval::error_rates).collect();
+    t.row([
+        "1. Err-V".to_string(),
+        pct(rates[0].0),
+        pct(rates[1].0),
+        pct(rates[2].0),
+    ]);
+    t.row([
+        "2. Err-CS".to_string(),
+        pct(rates[0].1),
+        pct(rates[1].1),
+        pct(rates[2].1),
+    ]);
+    t.row([
+        "3. Err-Def".to_string(),
+        pct(rates[0].2),
+        pct(rates[1].2),
+        pct(rates[2].2),
+    ]);
+    format!("Table 2 — sources of inaccurate statements (share of functions)\n{}", t.render())
+}
+
+/// Fig. 9 — statement-level accuracy, VEGA vs ForkFlow, per module.
+pub fn fig9(wb: &Workbench) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 9 — statement-level accuracy, VEGA vs ForkFlow");
+    for (ev, ff) in wb.evals.iter().zip(&wb.ff_evals) {
+        let mut t = TextTable::new(["Module", "VEGA acc", "VEGA manual", "VEGA%", "Fork acc", "Fork manual", "Fork%"]);
+        let vm = ev.module_stmt_counts();
+        let fm = ff.module_stmt_counts();
+        for m in Module::ALL {
+            let (va, vman) = vm.get(&m).copied().unwrap_or((0, 0));
+            let (fa, fman) = fm.get(&m).copied().unwrap_or((0, 0));
+            if va + vman + fa + fman == 0 {
+                continue;
+            }
+            let p = |a: usize, man: usize| {
+                if a + man == 0 {
+                    "-".to_string()
+                } else {
+                    pct(a as f64 / (a + man) as f64)
+                }
+            };
+            t.row([
+                m.code().to_string(),
+                va.to_string(),
+                vman.to_string(),
+                p(va, vman),
+                fa.to_string(),
+                fman.to_string(),
+                p(fa, fman),
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "\n[{}] VEGA stmt accuracy {} vs ForkFlow {}\n{}",
+            ev.target,
+            pct(ev.stmt_accuracy()),
+            pct(ff.stmt_accuracy()),
+            t.render()
+        );
+    }
+    out
+}
+
+/// Table 3 — accurate vs manual-effort statement counts.
+pub fn table3(wb: &Workbench) -> String {
+    let mut t = TextTable::new([
+        "Module", "RISCV acc", "RISCV man", "RI5CY acc", "RI5CY man", "XCore acc", "XCore man",
+    ]);
+    let per: Vec<_> = wb.evals.iter().map(BackendEval::module_stmt_counts).collect();
+    let mut totals = vec![(0usize, 0usize); 3];
+    for m in Module::ALL {
+        let mut row = vec![m.code().to_string()];
+        let mut any = false;
+        for (i, p) in per.iter().enumerate() {
+            match p.get(&m) {
+                Some((a, man)) => {
+                    row.push(a.to_string());
+                    row.push(man.to_string());
+                    totals[i].0 += a;
+                    totals[i].1 += man;
+                    any = true;
+                }
+                None => {
+                    row.push("-".into());
+                    row.push("-".into());
+                }
+            }
+        }
+        if any {
+            t.row(row);
+        }
+    }
+    let mut row = vec!["ALL".to_string()];
+    for (a, man) in &totals {
+        row.push(a.to_string());
+        row.push(man.to_string());
+    }
+    t.row(row);
+    format!("Table 3 — statements accurate vs needing manual effort\n{}", t.render())
+}
+
+/// Table 4 — modelled manual correction hours for the RISC-V backend.
+pub fn table4(wb: &Workbench) -> String {
+    let ev = &wb.evals[0]; // RISC-V
+    let manual: std::collections::BTreeMap<Module, usize> = ev
+        .module_stmt_counts()
+        .into_iter()
+        .map(|(m, (_, man))| (m, man))
+        .collect();
+    let deva = DeveloperProfile::developer_a();
+    let devb = DeveloperProfile::developer_b();
+    let (pa, ta) = deva.estimate(&manual);
+    let (pb, tb) = devb.estimate(&manual);
+    let mut t = TextTable::new(["Module", "Manual stmts", "Developer A (h)", "Developer B (h)"]);
+    for m in Module::ALL {
+        let n = manual.get(&m).copied().unwrap_or(0);
+        t.row([
+            m.code().to_string(),
+            n.to_string(),
+            format!("{:.2}", pa.get(&m).copied().unwrap_or(0.0)),
+            format!("{:.2}", pb.get(&m).copied().unwrap_or(0.0)),
+        ]);
+    }
+    t.row([
+        "ALL".to_string(),
+        manual.values().sum::<usize>().to_string(),
+        format!("{ta:.2}"),
+        format!("{tb:.2}"),
+    ]);
+    format!(
+        "Table 4 — modelled manual correction effort for the RISC-V backend\n\
+         (minutes/statement calibrated from the paper's developers)\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 10 — backend performance: -O3 speedup over -O0, corrected VEGA
+/// compiler vs base compiler, per benchmark kernel.
+pub fn fig10(wb: &Workbench) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 10 — -O3 speedup over -O0, VEGA^target vs base compiler");
+    for (ev, gen) in wb.evals.iter().zip(&wb.backends) {
+        let t = wb.vega.corpus.target(&ev.target).unwrap();
+        let corrected = corrected_backend(&wb.vega.corpus, ev, gen);
+        let base_vm = BackendVm::new(&t.spec, &t.backend);
+        let vega_vm = BackendVm::new(&t.spec, &corrected);
+        let mut table = TextTable::new(["Kernel", "Base speedup", "VEGA speedup", "Results match"]);
+        for kernel in benchmark_suite() {
+            let speedup = |vm: &BackendVm<'_>| -> Option<(f64, i64)> {
+                let o0 = run_kernel(&kernel, vm, OptLevel::O0).ok()?;
+                let o3 = run_kernel(&kernel, vm, OptLevel::O3).ok()?;
+                Some((o0.cycles / o3.cycles.max(1e-9), o3.result))
+            };
+            match (speedup(&base_vm), speedup(&vega_vm)) {
+                (Some((sb, rb)), Some((sv, rv))) => {
+                    table.row([
+                        kernel.name.clone(),
+                        format!("{sb:.2}x"),
+                        format!("{sv:.2}x"),
+                        if rb == rv { "yes".into() } else { "NO".to_string() },
+                    ]);
+                }
+                _ => {
+                    table.row([kernel.name.clone(), "-".into(), "-".into(), "build failed".into()]);
+                }
+            }
+        }
+        let _ = writeln!(out, "\n[{}]\n{}", ev.target, table.render());
+    }
+    out
+}
+
+/// §4.3 robustness — corrected compilers pass the full regression suite.
+pub fn robustness(wb: &Workbench) -> String {
+    let mut t = TextTable::new(["Target", "Functions", "Regression pass", "Pass rate"]);
+    for (ev, gen) in wb.evals.iter().zip(&wb.backends) {
+        let target = wb.vega.corpus.target(&ev.target).unwrap();
+        let corrected = corrected_backend(&wb.vega.corpus, ev, gen);
+        let mut pass = 0usize;
+        let mut total = 0usize;
+        for (name, _, reference) in target.backend.iter() {
+            let Some(f) = corrected.function(name) else { continue };
+            total += 1;
+            if vega_minicc::regression_test(name, f, reference, &target.spec).passed() {
+                pass += 1;
+            }
+        }
+        t.row([
+            ev.target.clone(),
+            total.to_string(),
+            pass.to_string(),
+            pct(pass as f64 / total.max(1) as f64),
+        ]);
+    }
+    format!("§4.3 robustness — corrected VEGA compilers vs regression tests\n{}", t.render())
+}
+
+/// §4.1.2 verification — exact match on the held-out 25% split.
+pub fn verification(wb: &mut Workbench) -> String {
+    let em = wb.vega.verification_exact_match();
+    format!(
+        "§4.1.2 verification set — exact match: {} over {} samples (paper: 99.03%)\n",
+        pct(em),
+        wb.vega.verify_samples.len()
+    )
+}
+
+/// §6 extension — the software update mechanism: after developers correct
+/// the RISC-V backend, VEGA incorporates it and regenerates RI5CY (which
+/// shares the RISC-V base), measuring the accuracy change.
+pub fn update_mechanism(wb: &mut Workbench) -> String {
+    let before = wb.evals[1].function_accuracy(); // RI5CY
+    let (backend, desc) = {
+        let rv = wb.vega.corpus.target("RISCV").unwrap();
+        // The corrected backend: generated-and-accurate functions plus
+        // reference replacements — what developers would upstream.
+        let corrected = corrected_backend(&wb.vega.corpus, &wb.evals[0], &wb.backends[0]);
+        let _ = &rv.backend;
+        (corrected, rv.descriptions.clone())
+    };
+    wb.vega.learn_target("RISCV", &backend, &desc, 2);
+    let gen = wb.vega.generate_backend("RI5CY");
+    let after = eval_generated_backend(&wb.vega.corpus, &gen).function_accuracy();
+    let mut t = TextTable::new(["RI5CY pass@1", "value"]);
+    t.row(["before incorporating corrected RISC-V".to_string(), pct(before)]);
+    t.row(["after incorporating corrected RISC-V".to_string(), pct(after)]);
+    format!(
+        "§6 extension — software update mechanism (learn corrected RISC-V, regenerate RI5CY)\n{}",
+        t.render()
+    )
+}
+
+/// Summary line used by several experiments: per-target function accuracy
+/// for VEGA and ForkFlow (the headline 71.5/73.2/62.2 vs <8%).
+pub fn headline(wb: &Workbench) -> String {
+    let mut t = TextTable::new(["Target", "VEGA pass@1", "ForkFlow pass@1"]);
+    for (ev, ff) in wb.evals.iter().zip(&wb.ff_evals) {
+        t.row([
+            ev.target.clone(),
+            pct(ev.function_accuracy()),
+            pct(ff.function_accuracy()),
+        ]);
+    }
+    format!("Headline — function-level accuracy (paper: 71.5/73.2/62.2% vs <8%)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_runs_tiny_and_reports_render() {
+        let mut wb = Workbench::run(VegaConfig::tiny());
+        assert_eq!(wb.backends.len(), 3);
+        assert_eq!(wb.evals.len(), 3);
+        for text in [
+            fig6(&wb),
+            fig7(&wb),
+            fig8(&wb),
+            table2(&wb),
+            fig9(&wb),
+            table3(&wb),
+            table4(&wb),
+            headline(&wb),
+            robustness(&wb),
+        ] {
+            assert!(text.len() > 50, "report too short:\n{text}");
+            assert!(text.contains('|'), "no table rendered:\n{text}");
+        }
+        let v = verification(&mut wb);
+        assert!(v.contains("exact match"));
+        // Fig10 is slower (kernel runs) but must render too.
+        let f10 = fig10(&wb);
+        assert!(f10.contains("speedup"));
+        // Robustness: the corrected compiler always passes everything.
+        let rb = robustness(&wb);
+        assert!(rb.contains("100.0%"), "{rb}");
+    }
+}

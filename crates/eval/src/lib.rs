@@ -1,0 +1,27 @@
+//! `vega-eval`: evaluation metrics and the paper's experiments.
+//!
+//! * [`metrics`] — pass@1 function accuracy, statement-level accuracy and
+//!   the Err-V/Err-CS/Err-Def taxonomy, for VEGA output and plain baselines;
+//! * [`effort`] — the Table 4 manual-effort model, calibrated on the paper's
+//!   two developers;
+//! * [`exp`] — one driver per table/figure ([`exp::fig7`] … [`exp::fig10`]),
+//!   all running off a single trained [`exp::Workbench`];
+//! * [`report`] — plain-text table rendering.
+//!
+//! The `vega-experiments` binary regenerates every artifact.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod effort;
+pub mod exp;
+pub mod metrics;
+pub mod report;
+
+pub use effort::DeveloperProfile;
+pub use exp::Workbench;
+pub use metrics::{
+    corrected_backend, eval_function, eval_generated_backend, eval_plain_backend, BackendEval,
+    FunctionEval,
+};
+pub use report::{pct, TextTable};

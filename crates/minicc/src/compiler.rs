@@ -1,0 +1,506 @@
+//! The miniature compiler: optimization pipeline + backend-driven lowering +
+//! cycle simulation.
+//!
+//! Lowering consults the backend's *interface functions* — interpreted
+//! cpplite ASTs, which may be reference implementations or VEGA-generated
+//! ones — exactly where LLVM would: instruction selection (`selectOpcode`),
+//! immediate legality/cost (`isLegalImmediate`, `getImmCost`), peephole
+//! fusion (`foldImmediate`, `combineMulAdd`), latencies (`getInstrLatency`)
+//! and issue width (`getIssueWidth`). The simulator then executes the kernel
+//! and charges each instruction its compiled cost, giving the cycle counts
+//! behind Fig. 10.
+
+use crate::ir::{Inst, IrFunction, IrOp};
+use std::collections::HashMap;
+use vega_corpus::{isd_value, ArchEnv, ArchSpec, Backend};
+use vega_cpplite::{EvalError, Interp, Value};
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Direct translation.
+    O0,
+    /// Constant folding, DCE, strength reduction, immediate folding, MAC
+    /// fusion.
+    O3,
+}
+
+/// Error during compilation (missing/broken interface functions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Calls backend interface functions through the interpreter.
+pub struct BackendVm<'a> {
+    spec: &'a ArchSpec,
+    backend: &'a Backend,
+}
+
+impl<'a> BackendVm<'a> {
+    /// Creates a VM over a backend.
+    pub fn new(spec: &'a ArchSpec, backend: &'a Backend) -> Self {
+        BackendVm { spec, backend }
+    }
+
+    /// Calls `name(args)`, erroring if the backend lacks the function.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let f = self
+            .backend
+            .function(name)
+            .ok_or_else(|| EvalError::new(format!("backend lacks `{name}`")))?;
+        let mut env = ArchEnv::new(self.spec);
+        let mut interp = Interp::new(&mut env);
+        interp.run_function(f, args)
+    }
+
+    /// Calls an optional hook; `None` when the backend lacks it.
+    pub fn call_opt(&self, name: &str, args: &[Value]) -> Option<Result<Value, EvalError>> {
+        self.backend.function(name)?;
+        Some(self.call(name, args))
+    }
+
+    fn int(&self, name: &str, args: &[Value]) -> Result<i64, CompileError> {
+        self.call(name, args)
+            .and_then(|v| v.as_int())
+            .map_err(|e| CompileError { message: format!("{name}: {}", e.message) })
+    }
+}
+
+/// A compiled kernel: the (possibly optimized) IR plus per-instruction costs.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// IR after optimization.
+    pub ir: IrFunction,
+    /// Cycle cost charged per instruction index.
+    pub cost: Vec<f64>,
+    /// Static machine-instruction count.
+    pub machine_insts: usize,
+}
+
+/// Compiles a kernel for a backend at an optimization level.
+///
+/// # Errors
+/// Returns [`CompileError`] when a required interface function is missing or
+/// crashes during lowering — a miscompiled backend fails to build programs,
+/// which the robustness experiment counts as a regression failure.
+pub fn compile(
+    kernel: &IrFunction,
+    vm: &BackendVm<'_>,
+    level: OptLevel,
+) -> Result<CompiledKernel, CompileError> {
+    let mut ir = kernel.clone();
+    if level == OptLevel::O3 {
+        constant_fold(&mut ir);
+        dead_code_elim(&mut ir);
+    }
+    lower(&ir, vm, level)
+}
+
+/// The constant value of each single-def `Const` register.
+fn const_regs(ir: &IrFunction) -> HashMap<u32, i64> {
+    let defs = ir.def_counts();
+    ir.insts
+        .iter()
+        .filter_map(|i| match i {
+            Inst::Const { dst, value } if defs.get(dst) == Some(&1) => Some((*dst, *value)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Folds `Bin` over two known constants into `Const` (iterated to a fixed
+/// point so chains collapse).
+fn constant_fold(ir: &mut IrFunction) {
+    loop {
+        let consts = const_regs(ir);
+        let defs = ir.def_counts();
+        let mut changed = false;
+        for inst in ir.insts.iter_mut() {
+            if let Inst::Bin { op, dst, a, b } = inst {
+                if defs.get(dst) == Some(&1) {
+                    if let (Some(&va), Some(&vb)) = (consts.get(a), consts.get(b)) {
+                        if let Some(v) = op.eval(va, vb) {
+                            *inst = Inst::Const { dst: *dst, value: v };
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Removes side-effect-free definitions of registers that are never read.
+fn dead_code_elim(ir: &mut IrFunction) {
+    loop {
+        let mut used: HashMap<u32, usize> = HashMap::new();
+        for inst in &ir.insts {
+            for u in inst.uses() {
+                *used.entry(u).or_insert(0) += 1;
+            }
+        }
+        let before = ir.insts.len();
+        ir.insts.retain(|inst| {
+            inst.has_side_effect()
+                || inst
+                    .def()
+                    .map(|d| used.get(&d).copied().unwrap_or(0) > 0)
+                    .unwrap_or(true)
+        });
+        if ir.insts.len() == before {
+            break;
+        }
+    }
+}
+
+/// Cycle penalty for expanding an unselected operation (libcall/loop).
+const EXPANSION_COST: f64 = 18.0;
+
+/// Lowers IR to machine instructions (as costs) using the backend hooks.
+fn lower(
+    ir: &IrFunction,
+    vm: &BackendVm<'_>,
+    level: OptLevel,
+) -> Result<CompiledKernel, CompileError> {
+    let consts = const_regs(ir);
+    let mut cost = Vec::with_capacity(ir.insts.len());
+    let mut machine_insts = 0usize;
+
+    let opcode_for = |isd: &str| -> Result<i64, CompileError> {
+        let v = isd_value(isd).unwrap_or(0);
+        vm.int("selectOpcode", &[Value::Int(v)])
+    };
+    let latency_of = |opcode: i64| -> Result<f64, CompileError> {
+        if opcode == 0 {
+            return Ok(EXPANSION_COST);
+        }
+        Ok(vm.int("getInstrLatency", &[Value::Int(opcode)])? as f64)
+    };
+    let addi_opcode: Option<i64> = vm
+        .spec
+        .instrs
+        .iter()
+        .find(|i| i.mnemonic == "addi")
+        .and_then(|i| ArchEnv::new(vm.spec).instr_value(&i.name));
+
+    for (idx, inst) in ir.insts.iter().enumerate() {
+        let mut c = 0.0f64;
+        match inst {
+            Inst::Const { value, .. } => {
+                // Materialization: one ALU-immediate op if legal, plus the
+                // target-specific extra cost otherwise.
+                let legal = vm.int("isLegalImmediate", &[Value::Int(*value)])? != 0;
+                c += 1.0;
+                machine_insts += 1;
+                if !legal {
+                    let extra = vm.int("getImmCost", &[Value::Int(*value)])?.max(0);
+                    c += extra as f64;
+                    machine_insts += extra as usize;
+                }
+            }
+            Inst::Bin { op, a, b, .. } => {
+                let mut handled = false;
+                if level == OptLevel::O3 {
+                    // Strength reduction: multiply by a power-of-two constant
+                    // becomes a shift.
+                    if *op == IrOp::Mul {
+                        let pow2 = consts
+                            .get(b)
+                            .or_else(|| consts.get(a))
+                            .is_some_and(|v| *v > 0 && v.count_ones() == 1);
+                        if pow2 {
+                            let shl = opcode_for("SHL")?;
+                            if shl != 0 {
+                                c += latency_of(shl)?;
+                                machine_insts += 1;
+                                handled = true;
+                            }
+                        }
+                    }
+                    // Immediate folding: ALU with a small constant operand
+                    // uses the immediate form and skips materialization.
+                    if !handled {
+                        if let Some(&imm) = consts.get(b) {
+                            let opc = opcode_for(op.isd())?;
+                            if opc != 0 {
+                                let folded = vm
+                                    .call_opt(
+                                        "foldImmediate",
+                                        &[Value::Int(opc), Value::Int(imm)],
+                                    )
+                                    .transpose()
+                                    .map_err(|e| CompileError { message: e.message })?
+                                    .map(|v| v.as_int().unwrap_or(0))
+                                    .unwrap_or(0);
+                                if folded != 0 || addi_opcode == Some(opc) {
+                                    let target = if folded != 0 { folded } else { opc };
+                                    c += latency_of(target)?;
+                                    machine_insts += 1;
+                                    handled = true;
+                                }
+                            }
+                        }
+                    }
+                    // MAC fusion: `t = a*b; d = t + x` charged as one MAC on
+                    // targets that have it (the add sees the mul's cost drop).
+                    if !handled && *op == IrOp::Add {
+                        if let Some(Inst::Bin { op: IrOp::Mul, dst: mdst, .. }) =
+                            idx.checked_sub(1).map(|p| &ir.insts[p])
+                        {
+                            if inst.uses().contains(mdst) {
+                                let mul_opc = opcode_for("MUL")?;
+                                let add_opc = opcode_for("ADD")?;
+                                let mac = vm
+                                    .call_opt(
+                                        "combineMulAdd",
+                                        &[Value::Int(mul_opc), Value::Int(add_opc)],
+                                    )
+                                    .transpose()
+                                    .map_err(|e| CompileError { message: e.message })?
+                                    .map(|v| v.as_int().unwrap_or(0))
+                                    .unwrap_or(0);
+                                if mac != 0 {
+                                    // The pair costs one MAC; the add itself
+                                    // becomes free (mul already charged).
+                                    c += 0.0;
+                                    handled = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !handled {
+                    let opc = opcode_for(op.isd())?;
+                    c += latency_of(opc)?;
+                    machine_insts += 1;
+                }
+            }
+            Inst::Load { .. } => {
+                let opc = opcode_for("LOAD")?;
+                c += latency_of(opc)?;
+                machine_insts += 1;
+            }
+            Inst::Store { .. } => {
+                let opc = opcode_for("STORE")?;
+                c += latency_of(opc)?;
+                machine_insts += 1;
+            }
+            Inst::Jump { .. } => {
+                let opc = opcode_for("BR")?;
+                c += latency_of(opc)?;
+                machine_insts += 1;
+            }
+            Inst::Branch { .. } => {
+                let opc = opcode_for("BRCOND")?;
+                c += latency_of(opc)?;
+                machine_insts += 1;
+            }
+            Inst::Ret { .. } => {
+                let opc = opcode_for("RET")?;
+                c += latency_of(opc)?;
+                machine_insts += 1;
+            }
+            Inst::LabelMark { .. } => {}
+        }
+        cost.push(c);
+    }
+    Ok(CompiledKernel { ir: ir.clone(), cost, machine_insts })
+}
+
+/// Result of simulating a compiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The kernel's return value.
+    pub result: i64,
+    /// Total cycles charged (scaled by issue width).
+    pub cycles: f64,
+    /// Dynamic instruction count.
+    pub executed: usize,
+}
+
+/// Simulation memory size (words).
+const MEM_WORDS: usize = 4096;
+/// Execution step cap.
+const MAX_STEPS: usize = 2_000_000;
+
+/// Executes a compiled kernel, charging each instruction its compiled cost.
+///
+/// # Errors
+/// Returns [`CompileError`] on out-of-bounds memory, missing labels, or
+/// non-termination.
+pub fn simulate(kernel: &CompiledKernel, vm: &BackendVm<'_>) -> Result<SimResult, CompileError> {
+    let labels = kernel.ir.label_map();
+    let mut regs: HashMap<u32, i64> = HashMap::new();
+    let mut mem = vec![0i64; MEM_WORDS];
+    let mut pc = 0usize;
+    let mut cycles = 0.0f64;
+    let mut executed = 0usize;
+    let issue_width = vm
+        .call_opt("getIssueWidth", &[])
+        .transpose()
+        .map_err(|e| CompileError { message: e.message })?
+        .and_then(|v| v.as_int().ok())
+        .unwrap_or(1)
+        .max(1) as f64;
+
+    let read = |regs: &HashMap<u32, i64>, r: u32| regs.get(&r).copied().unwrap_or(0);
+    for _ in 0..MAX_STEPS {
+        let Some(inst) = kernel.ir.insts.get(pc) else {
+            return Err(CompileError { message: "fell off the end".into() });
+        };
+        cycles += kernel.cost[pc];
+        executed += 1;
+        match inst {
+            Inst::Const { dst, value } => {
+                regs.insert(*dst, *value);
+            }
+            Inst::Bin { op, dst, a, b } => {
+                let v = op
+                    .eval(read(&regs, *a), read(&regs, *b))
+                    .ok_or_else(|| CompileError { message: "division by zero".into() })?;
+                regs.insert(*dst, v);
+            }
+            Inst::Load { dst, base, offset } => {
+                let addr = (read(&regs, *base) + offset) as usize;
+                let v = *mem
+                    .get(addr)
+                    .ok_or_else(|| CompileError { message: "load out of bounds".into() })?;
+                regs.insert(*dst, v);
+            }
+            Inst::Store { src, base, offset } => {
+                let addr = (read(&regs, *base) + offset) as usize;
+                let slot = mem
+                    .get_mut(addr)
+                    .ok_or_else(|| CompileError { message: "store out of bounds".into() })?;
+                *slot = read(&regs, *src);
+            }
+            Inst::LabelMark { .. } => {}
+            Inst::Jump { target } => {
+                pc = *labels
+                    .get(target)
+                    .ok_or_else(|| CompileError { message: "missing label".into() })?;
+                continue;
+            }
+            Inst::Branch { cond, a, b, target } => {
+                if cond.eval(read(&regs, *a), read(&regs, *b)) {
+                    pc = *labels
+                        .get(target)
+                        .ok_or_else(|| CompileError { message: "missing label".into() })?;
+                    continue;
+                }
+            }
+            Inst::Ret { src } => {
+                return Ok(SimResult {
+                    result: read(&regs, *src),
+                    cycles: cycles / issue_width,
+                    executed,
+                });
+            }
+        }
+        pc += 1;
+    }
+    Err(CompileError { message: "step limit exceeded".into() })
+}
+
+/// Compiles and runs a kernel, returning the simulation result.
+///
+/// # Errors
+/// Propagates compile and simulation failures.
+pub fn run_kernel(
+    kernel: &IrFunction,
+    vm: &BackendVm<'_>,
+    level: OptLevel,
+) -> Result<SimResult, CompileError> {
+    let compiled = compile(kernel, vm, level)?;
+    simulate(&compiled, vm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::benchmark_suite;
+    use vega_corpus::{Corpus, CorpusConfig};
+
+    fn rv_vm(c: &Corpus) -> (&ArchSpec, &Backend) {
+        let t = c.target("RISCV").unwrap();
+        (&t.spec, &t.backend)
+    }
+
+    #[test]
+    fn o3_is_correct_and_not_slower() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let (spec, backend) = rv_vm(&c);
+        let vm = BackendVm::new(spec, backend);
+        for kernel in benchmark_suite() {
+            let r0 = run_kernel(&kernel, &vm, OptLevel::O0).unwrap();
+            let r3 = run_kernel(&kernel, &vm, OptLevel::O3).unwrap();
+            assert_eq!(r0.result, r3.result, "{} result changed", kernel.name);
+            assert!(
+                r3.cycles <= r0.cycles + 1e-9,
+                "{}: O3 slower ({} vs {})",
+                kernel.name,
+                r3.cycles,
+                r0.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn o3_actually_speeds_up_some_kernel() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let (spec, backend) = rv_vm(&c);
+        let vm = BackendVm::new(spec, backend);
+        let mut any_speedup = false;
+        for kernel in benchmark_suite() {
+            let r0 = run_kernel(&kernel, &vm, OptLevel::O0).unwrap();
+            let r3 = run_kernel(&kernel, &vm, OptLevel::O3).unwrap();
+            if r3.cycles < r0.cycles * 0.95 {
+                any_speedup = true;
+            }
+        }
+        assert!(any_speedup, "O3 never speeds anything up");
+    }
+
+    #[test]
+    fn missing_interface_function_fails_compilation() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let t = c.target("RISCV").unwrap();
+        let mut broken = t.backend.clone();
+        let stub = vega_cpplite::parse_function(
+            "unsigned selectOpcode(unsigned Opcode) { return nosuchthing(Opcode); }",
+        )
+        .unwrap();
+        broken.replace("selectOpcode", stub);
+        let vm = BackendVm::new(&t.spec, &broken);
+        let kernel = &benchmark_suite()[0];
+        assert!(run_kernel(kernel, &vm, OptLevel::O0).is_err());
+    }
+
+    #[test]
+    fn hexagon_mac_fusion_beats_no_mac_on_mac_kernel() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let hex = c.target("Hexagon").unwrap();
+        let vm = BackendVm::new(&hex.spec, &hex.backend);
+        let kernel = benchmark_suite()
+            .into_iter()
+            .find(|k| k.name == "dotprod")
+            .unwrap();
+        let r0 = run_kernel(&kernel, &vm, OptLevel::O0).unwrap();
+        let r3 = run_kernel(&kernel, &vm, OptLevel::O3).unwrap();
+        assert!(r3.cycles < r0.cycles, "MAC fusion gave no win");
+        assert_eq!(r0.result, r3.result);
+    }
+}

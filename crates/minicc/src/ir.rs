@@ -1,0 +1,335 @@
+//! The miniature compiler's intermediate representation.
+//!
+//! A small register-based linear IR with labels — just enough to express the
+//! benchmark kernels and give the optimization pipeline (-O0 vs -O3) real
+//! work to do.
+
+use std::collections::HashMap;
+
+/// Virtual register id.
+pub type Reg = u32;
+/// Branch label id.
+pub type Label = u32;
+
+/// Binary ALU operations (each maps to a generic ISD opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operator names
+pub enum IrOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl IrOp {
+    /// The ISD opcode name this op selects through.
+    pub fn isd(self) -> &'static str {
+        match self {
+            IrOp::Add => "ADD",
+            IrOp::Sub => "SUB",
+            IrOp::Mul => "MUL",
+            IrOp::Div => "SDIV",
+            IrOp::And => "AND",
+            IrOp::Or => "OR",
+            IrOp::Xor => "XOR",
+            IrOp::Shl => "SHL",
+            IrOp::Shr => "SRL",
+        }
+    }
+
+    /// Constant evaluation.
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            IrOp::Add => a.wrapping_add(b),
+            IrOp::Sub => a.wrapping_sub(b),
+            IrOp::Mul => a.wrapping_mul(b),
+            IrOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            IrOp::And => a & b,
+            IrOp::Or => a | b,
+            IrOp::Xor => a ^ b,
+            IrOp::Shl => a.wrapping_shl(b as u32 & 63),
+            IrOp::Shr => ((a as u64) >> (b as u32 & 63)) as i64,
+        })
+    }
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = value`
+    Const {
+        /// Destination.
+        dst: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = a ⊕ b`
+    Bin {
+        /// Operation.
+        op: IrOp,
+        /// Destination.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = mem[base + offset]`
+    Load {
+        /// Destination.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Constant byte offset (word-indexed in the simulator).
+        offset: i64,
+    },
+    /// `mem[base + offset] = src`
+    Store {
+        /// Source.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Constant offset.
+        offset: i64,
+    },
+    /// A branch target marker.
+    LabelMark {
+        /// Label id.
+        label: Label,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target label.
+        target: Label,
+    },
+    /// `if (a ? b) goto target` (fallthrough otherwise).
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Target label.
+        target: Label,
+    },
+    /// Return a register's value.
+    Ret {
+        /// Returned register.
+        src: Reg,
+    },
+}
+
+impl Inst {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::Const { dst, .. } | Inst::Bin { dst, .. } | Inst::Load { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Registers this instruction reads.
+    pub fn uses(&self) -> Vec<Reg> {
+        match self {
+            Inst::Const { .. } | Inst::LabelMark { .. } | Inst::Jump { .. } => Vec::new(),
+            Inst::Bin { a, b, .. } | Inst::Branch { a, b, .. } => vec![*a, *b],
+            Inst::Load { base, .. } => vec![*base],
+            Inst::Store { src, base, .. } => vec![*src, *base],
+            Inst::Ret { src } => vec![*src],
+        }
+    }
+
+    /// True for instructions with effects beyond their `def`.
+    pub fn has_side_effect(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::Jump { .. }
+                | Inst::Branch { .. }
+                | Inst::Ret { .. }
+                | Inst::LabelMark { .. }
+        )
+    }
+}
+
+/// An IR function (one benchmark kernel).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IrFunction {
+    /// Kernel name.
+    pub name: String,
+    /// Instructions in layout order.
+    pub insts: Vec<Inst>,
+}
+
+impl IrFunction {
+    /// Resolves label → instruction index.
+    pub fn label_map(&self) -> HashMap<Label, usize> {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| match inst {
+                Inst::LabelMark { label } => Some((*label, i)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of times each register is defined (for conservative passes).
+    pub fn def_counts(&self) -> HashMap<Reg, usize> {
+        let mut m = HashMap::new();
+        for inst in &self.insts {
+            if let Some(d) = inst.def() {
+                *m.entry(d).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+}
+
+/// A convenience builder for writing kernels by hand.
+#[derive(Debug, Default)]
+pub struct IrBuilder {
+    f: IrFunction,
+    next_reg: Reg,
+    next_label: Label,
+}
+
+impl IrBuilder {
+    /// Starts a kernel named `name`.
+    pub fn new(name: &str) -> Self {
+        IrBuilder {
+            f: IrFunction { name: name.to_string(), insts: Vec::new() },
+            next_reg: 0,
+            next_label: 0,
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        self.next_reg += 1;
+        self.next_reg - 1
+    }
+
+    /// Allocates a fresh label.
+    pub fn label(&mut self) -> Label {
+        self.next_label += 1;
+        self.next_label - 1
+    }
+
+    /// `dst = value`
+    pub fn constant(&mut self, value: i64) -> Reg {
+        let dst = self.reg();
+        self.f.insts.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// `dst = a ⊕ b`
+    pub fn bin(&mut self, op: IrOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.reg();
+        self.f.insts.push(Inst::Bin { op, dst, a, b });
+        dst
+    }
+
+    /// Reassigns `dst = a ⊕ b` into an existing register (loop carried).
+    pub fn bin_into(&mut self, dst: Reg, op: IrOp, a: Reg, b: Reg) {
+        self.f.insts.push(Inst::Bin { op, dst, a, b });
+    }
+
+    /// `dst = mem[base+offset]`
+    pub fn load(&mut self, base: Reg, offset: i64) -> Reg {
+        let dst = self.reg();
+        self.f.insts.push(Inst::Load { dst, base, offset });
+        dst
+    }
+
+    /// `mem[base+offset] = src`
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.f.insts.push(Inst::Store { src, base, offset });
+    }
+
+    /// Emits a label marker.
+    pub fn mark(&mut self, label: Label) {
+        self.f.insts.push(Inst::LabelMark { label });
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: Label) {
+        self.f.insts.push(Inst::Jump { target });
+    }
+
+    /// Conditional branch.
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: Reg, target: Label) {
+        self.f.insts.push(Inst::Branch { cond, a, b, target });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, src: Reg) {
+        self.f.insts.push(Inst::Ret { src });
+    }
+
+    /// Finishes the kernel.
+    pub fn finish(self) -> IrFunction {
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_labels_and_regs() {
+        let mut b = IrBuilder::new("t");
+        let l = b.label();
+        let x = b.constant(1);
+        b.mark(l);
+        let y = b.bin(IrOp::Add, x, x);
+        b.branch(Cond::Lt, y, x, l);
+        b.ret(y);
+        let f = b.finish();
+        assert_eq!(f.label_map()[&l], 1);
+        assert_eq!(f.insts.len(), 5);
+        assert_eq!(f.def_counts()[&y], 1);
+    }
+
+    #[test]
+    fn op_eval_and_isd() {
+        assert_eq!(IrOp::Mul.eval(6, 7), Some(42));
+        assert_eq!(IrOp::Div.eval(1, 0), None);
+        assert_eq!(IrOp::Shr.eval(-1, 60), Some(15));
+        assert_eq!(IrOp::Add.isd(), "ADD");
+    }
+}

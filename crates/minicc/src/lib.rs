@@ -1,0 +1,44 @@
+//! `vega-minicc`: the miniature compiler and evaluation substrate.
+//!
+//! Stands in for the paper's LLVM build + regression tests + simulators:
+//!
+//! * [`regression_test`] — pass@1: a generated function is substituted into
+//!   the backend and must agree with the reference on the group's regression
+//!   suite ([`vectors_for`]), differential-testing style;
+//! * [`IrFunction`]/[`IrBuilder`] — a small register IR, with
+//!   [`benchmark_suite`] providing Embench-style kernels;
+//! * [`compile`]/[`simulate`]/[`run_kernel`] — the backend-driven compiler
+//!   (-O0/-O3) and cycle simulator behind Fig. 10: instruction selection,
+//!   immediate folding, strength reduction and MAC fusion all route through
+//!   the backend's (interpreted) interface functions.
+//!
+//! # Examples
+//! ```
+//! use vega_corpus::{Corpus, CorpusConfig};
+//! use vega_minicc::{benchmark_suite, run_kernel, BackendVm, OptLevel};
+//! let corpus = Corpus::build(&CorpusConfig::tiny());
+//! let rv = corpus.target("RISCV").unwrap();
+//! let vm = BackendVm::new(&rv.spec, &rv.backend);
+//! let kernel = &benchmark_suite()[0];
+//! let o0 = run_kernel(kernel, &vm, OptLevel::O0).unwrap();
+//! let o3 = run_kernel(kernel, &vm, OptLevel::O3).unwrap();
+//! assert_eq!(o0.result, o3.result);
+//! assert!(o3.cycles <= o0.cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compiler;
+mod ir;
+mod regression;
+mod suite;
+mod vectors;
+
+pub use compiler::{
+    compile, run_kernel, simulate, BackendVm, CompileError, CompiledKernel, OptLevel, SimResult,
+};
+pub use ir::{Cond, Inst, IrBuilder, IrFunction, IrOp, Label, Reg};
+pub use regression::{reference_self_check, regression_test, RegressionOutcome};
+pub use suite::{benchmark_suite, bubble, crc_mix, dotprod, fib, memset_stride, poly_eval, shifty, vecsum};
+pub use vectors::{vectors_for, ArgSpec};

@@ -1,0 +1,173 @@
+//! pass@1 regression testing: substitute a function, run the suite,
+//! compare against the base compiler (paper §4.1.4).
+
+use crate::vectors::{vectors_for, ArgSpec};
+use vega_corpus::{ArchEnv, ArchSpec};
+use vega_cpplite::{Function, Interp, Value};
+
+/// Outcome of one regression run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionOutcome {
+    /// Every vector agreed with the reference — the function is *accurate*.
+    Pass,
+    /// Some vector disagreed or crashed; carries the first counterexample.
+    Fail {
+        /// Index of the failing vector.
+        vector: usize,
+        /// What the reference produced.
+        expected: String,
+        /// What the candidate produced (value or error).
+        got: String,
+    },
+    /// The interface has no regression suite.
+    NoSuite,
+}
+
+impl RegressionOutcome {
+    /// True for [`RegressionOutcome::Pass`].
+    pub fn passed(&self) -> bool {
+        matches!(self, RegressionOutcome::Pass)
+    }
+}
+
+/// Runs one function on one vector with a fresh environment.
+fn run_one(
+    f: &Function,
+    args: &[ArgSpec],
+    spec: &ArchSpec,
+) -> Result<Value, vega_cpplite::EvalError> {
+    let mut env = ArchEnv::new(spec);
+    let vals: Vec<Value> = args.iter().map(|a| a.realize(&mut env)).collect();
+    let mut interp = Interp::new(&mut env);
+    interp.run_function(f, &vals)
+}
+
+/// Differential pass@1: `candidate` must agree with `reference` on every
+/// vector where the reference succeeds.
+pub fn regression_test(
+    group: &str,
+    candidate: &Function,
+    reference: &Function,
+    spec: &ArchSpec,
+) -> RegressionOutcome {
+    let Some(suite) = vectors_for(group, spec) else {
+        return RegressionOutcome::NoSuite;
+    };
+    for (i, args) in suite.iter().enumerate() {
+        let expected = match run_one(reference, args, spec) {
+            Ok(v) => v,
+            // Vectors the base compiler itself rejects are not part of the
+            // observable contract.
+            Err(_) => continue,
+        };
+        match run_one(candidate, args, spec) {
+            Ok(got) if got == expected => {}
+            Ok(got) => {
+                return RegressionOutcome::Fail {
+                    vector: i,
+                    expected: expected.to_string(),
+                    got: got.to_string(),
+                }
+            }
+            Err(e) => {
+                return RegressionOutcome::Fail {
+                    vector: i,
+                    expected: expected.to_string(),
+                    got: format!("<error: {}>", e.message),
+                }
+            }
+        }
+    }
+    RegressionOutcome::Pass
+}
+
+/// Convenience: the reference always passes against itself.
+pub fn reference_self_check(group: &str, reference: &Function, spec: &ArchSpec) -> bool {
+    regression_test(group, reference, reference, spec).passed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_corpus::{Corpus, CorpusConfig};
+    use vega_cpplite::parse_function;
+
+    #[test]
+    fn every_reference_backend_function_passes_its_own_suite() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        for t in c.targets() {
+            for (name, _, f) in t.backend.iter() {
+                let out = regression_test(name, f, f, &t.spec);
+                assert!(
+                    out.passed(),
+                    "{}::{name} self-check failed: {out:?}",
+                    t.spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_functions_actually_execute() {
+        // Guard against suites that "pass" because the reference errors on
+        // every vector: each suite must have at least one vector where the
+        // reference succeeds.
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let rv = c.target("RISCV").unwrap();
+        for (name, _, f) in rv.backend.iter() {
+            let suite = vectors_for(name, &rv.spec).unwrap();
+            let ok = suite
+                .iter()
+                .any(|args| run_one(f, args, &rv.spec).is_ok());
+            assert!(ok, "{name}: no vector executes successfully");
+        }
+    }
+
+    #[test]
+    fn wrong_value_fails_regression() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let rv = c.target("RISCV").unwrap();
+        let reference = rv.backend.function("getInstSizeInBytes").unwrap();
+        let wrong = parse_function(
+            "unsigned getInstSizeInBytes(unsigned Opcode) { return 8; }",
+        )
+        .unwrap();
+        let out = regression_test("getInstSizeInBytes", &wrong, reference, &rv.spec);
+        assert!(!out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn semantically_equal_variant_passes() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let rv = c.target("RISCV").unwrap();
+        let reference = rv.backend.function("isProfitableToDupForIfCvt").unwrap();
+        // Different shape, same semantics.
+        let head = reference.body.last().unwrap().head_line();
+        // reference body is `return NumInstrs <= K;` — rebuild as if/else.
+        let k: i64 = head
+            .split("<= ")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches(';').parse().ok())
+            .expect("threshold");
+        let variant = parse_function(&format!(
+            "bool isProfitableToDupForIfCvt(int NumInstrs) {{ if (NumInstrs > {k}) {{ return false; }} return true; }}"
+        ))
+        .unwrap();
+        let out = regression_test("isProfitableToDupForIfCvt", &variant, reference, &rv.spec);
+        assert!(out.passed(), "{out:?}");
+    }
+
+    #[test]
+    fn crashing_candidate_fails() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        let rv = c.target("RISCV").unwrap();
+        let reference = rv.backend.function("getRelocType").unwrap();
+        let crasher = parse_function(
+            "unsigned getRelocType(const MCValue &Target, const MCFixup &Fixup, bool IsPCRel) { return ELF::R_ARM_NONE; }",
+        )
+        .unwrap();
+        // References another target's reloc → unknown path → error → fail.
+        let out = regression_test("getRelocType", &crasher, reference, &rv.spec);
+        assert!(!out.passed());
+    }
+}

@@ -1,0 +1,298 @@
+//! Regression test vectors, one suite per interface-function group.
+//!
+//! pass@1 substitutes a generated function into the backend and runs the
+//! regression tests (paper §4.1.4). Here a regression test is differential:
+//! the generated function must agree with the reference implementation on
+//! every vector in the suite. Vectors are derived from the target's spec so
+//! they cover all fixups, opcodes, value types, boundary immediates, etc.
+
+use vega_corpus::{isd_value, ArchEnv, ArchSpec, ObjData, GENERIC_FIXUPS, ISD_OPCODES};
+use vega_cpplite::Value;
+
+/// A symbolic argument that is realized against a fresh [`ArchEnv`] per run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgSpec {
+    /// Plain integer.
+    Int(i64),
+    /// String (assembly names).
+    Str(String),
+    /// An `MCFixup` with the given kind value.
+    Fixup {
+        /// Fixup kind value.
+        kind: i64,
+    },
+    /// An `MCValue` with the given access-variant value.
+    McValue {
+        /// Modifier value (0 = `VK_None`).
+        modifier: i64,
+    },
+    /// A machine instruction.
+    Inst {
+        /// Target opcode value.
+        opcode: i64,
+        /// Operand registers.
+        regs: Vec<i64>,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// A `MachineFunction` context.
+    Mf {
+        /// Frame-pointer requirement.
+        has_fp: bool,
+    },
+}
+
+impl ArgSpec {
+    /// Realizes the argument in `env`.
+    pub fn realize(&self, env: &mut ArchEnv<'_>) -> Value {
+        match self {
+            ArgSpec::Int(v) => Value::Int(*v),
+            ArgSpec::Str(s) => Value::Str(s.clone()),
+            ArgSpec::Fixup { kind } => env.alloc(ObjData::Fixup { kind: *kind, offset: 0 }),
+            ArgSpec::McValue { modifier } => {
+                env.alloc(ObjData::McValue { modifier: *modifier })
+            }
+            ArgSpec::Inst { opcode, regs, imm } => env.alloc(ObjData::Inst {
+                opcode: *opcode,
+                regs: regs.clone(),
+                imm: *imm,
+            }),
+            ArgSpec::Mf { has_fp } => {
+                env.alloc(ObjData::MachineFunction { has_fp: *has_fp })
+            }
+        }
+    }
+}
+
+/// Interesting signed immediates spanning every field width in the corpus.
+fn imm_probe_set() -> Vec<i64> {
+    let mut v = vec![0, 1, -1, 7, -8, 100];
+    for bits in [8u32, 12, 13, 16, 20, 32] {
+        let half = 1i64 << (bits - 1);
+        v.extend([half - 1, half, -half, -half - 1]);
+    }
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// All target opcode values (plus 0 and an unknown value).
+fn opcode_values(env: &ArchEnv<'_>, spec: &ArchSpec) -> Vec<i64> {
+    let mut v: Vec<i64> = spec
+        .instrs
+        .iter()
+        .filter_map(|i| env.instr_value(&i.name))
+        .collect();
+    v.push(0);
+    v.push(9_999);
+    v
+}
+
+/// All fixup kind values: generic + target.
+fn fixup_values(spec: &ArchSpec) -> Vec<i64> {
+    let mut v: Vec<i64> = (0..GENERIC_FIXUPS.len() as i64).collect();
+    v.extend(spec.fixups.iter().filter_map(|f| spec.fixup_value(&f.name)));
+    v.push(200); // unknown kind
+    v
+}
+
+/// The regression suite for one interface function, or `None` for unknown
+/// interfaces.
+pub fn vectors_for(group: &str, spec: &ArchSpec) -> Option<Vec<Vec<ArgSpec>>> {
+    let env = ArchEnv::new(spec);
+    let isds: Vec<i64> = ISD_OPCODES
+        .iter()
+        .filter_map(|o| isd_value(o))
+        .chain([0, 101, 103, 55])
+        .collect();
+    let opcodes = opcode_values(&env, spec);
+    let imms = imm_probe_set();
+    let fixups = fixup_values(spec);
+
+    let suite: Vec<Vec<ArgSpec>> = match group {
+        "selectOpcode" | "getOperationAction" | "getSelectOpcode" => {
+            isds.iter().map(|&o| vec![ArgSpec::Int(o)]).collect()
+        }
+        "isLegalImmediate" | "getImmCost" => {
+            imms.iter().map(|&v| vec![ArgSpec::Int(v)]).collect()
+        }
+        "getAddrMode" => {
+            let mut v = Vec::new();
+            for &o in &opcodes {
+                for &i in &[0i64, 4, 2047, 2048, -2048, 40000, -40000] {
+                    v.push(vec![ArgSpec::Int(o), ArgSpec::Int(i)]);
+                }
+            }
+            v
+        }
+        "isTruncateFree" => {
+            let mut v = Vec::new();
+            for a in 0..=5i64 {
+                for b in 0..=5i64 {
+                    v.push(vec![ArgSpec::Int(a), ArgSpec::Int(b)]);
+                }
+            }
+            v
+        }
+        "getRegClassFor" => (0..=6i64).map(|v| vec![ArgSpec::Int(v)]).collect(),
+        "getSpillSize" => (0..=4i64).map(|v| vec![ArgSpec::Int(v)]).collect(),
+        "getPointerRegClass" | "getReservedRegs" | "getIssueWidth" | "getCommentString"
+        | "getRegisterPrefix" => vec![vec![]],
+        "getFrameRegister" => vec![
+            vec![ArgSpec::Mf { has_fp: false }],
+            vec![ArgSpec::Mf { has_fp: true }],
+        ],
+        "isCalleeSavedReg" => (0..72i64).map(|r| vec![ArgSpec::Int(r)]).collect(),
+        "foldImmediate" => {
+            let mut v = Vec::new();
+            for &o in &opcodes {
+                for &i in &[0i64, 100, 5000, -5000, 70000] {
+                    v.push(vec![ArgSpec::Int(o), ArgSpec::Int(i)]);
+                }
+            }
+            v
+        }
+        "combineMulAdd" | "getOperandLatency" => {
+            let mut v = Vec::new();
+            for &a in &opcodes {
+                for &b in opcodes.iter().take(6) {
+                    v.push(vec![ArgSpec::Int(a), ArgSpec::Int(b)]);
+                }
+            }
+            v
+        }
+        "isHardwareLoopProfitable" => {
+            let mut v = Vec::new();
+            for &t in &[0i64, 1, 2, 10, 1000] {
+                for &n in &[1i64, 16, 32, 33, 64, 65] {
+                    v.push(vec![ArgSpec::Int(t), ArgSpec::Int(n)]);
+                }
+            }
+            v
+        }
+        "isProfitableToHoist" => {
+            let mut v = Vec::new();
+            for &o in &opcodes {
+                for d in 0..5i64 {
+                    v.push(vec![ArgSpec::Int(o), ArgSpec::Int(d)]);
+                }
+            }
+            v
+        }
+        "isProfitableToDupForIfCvt" => (0..9i64).map(|n| vec![ArgSpec::Int(n)]).collect(),
+        "getInstrLatency" | "getNumMicroOps" | "isSchedulingBoundary" | "getRelaxedOpcode"
+        | "mayNeedRelaxation" | "getInstSizeInBytes" => {
+            opcodes.iter().map(|&o| vec![ArgSpec::Int(o)]).collect()
+        }
+        "getRelocType" => {
+            let mut v = Vec::new();
+            let mut modifiers = vec![0i64];
+            modifiers.extend(1..=spec.variant_kinds.len() as i64);
+            for &k in &fixups {
+                for &pcrel in &[0i64, 1] {
+                    for &m in &modifiers {
+                        v.push(vec![
+                            ArgSpec::McValue { modifier: m },
+                            ArgSpec::Fixup { kind: k },
+                            ArgSpec::Int(pcrel),
+                        ]);
+                    }
+                }
+            }
+            v
+        }
+        "applyFixup" => {
+            let mut v = Vec::new();
+            for &k in &fixups {
+                for &val in &[0i64, 0x1234_5678, -4, 0xffff, 1 << 20] {
+                    v.push(vec![ArgSpec::Int(k), ArgSpec::Int(val)]);
+                }
+            }
+            v
+        }
+        "getFixupKindInfo" => fixups.iter().map(|&k| vec![ArgSpec::Int(k)]).collect(),
+        "encodeInstruction" => opcodes
+            .iter()
+            .map(|&o| {
+                vec![ArgSpec::Inst { opcode: o, regs: vec![1, 2], imm: 5 }]
+            })
+            .collect(),
+        "parseRegister" => {
+            let mut names: Vec<String> = ["sp", "fp", "ra", "lr", "zz"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let p = spec.regs[0].prefix.to_lowercase();
+            names.push(format!("{p}0"));
+            names.push(format!("{p}1"));
+            names.into_iter().map(|n| vec![ArgSpec::Str(n)]).collect()
+        }
+        "matchMnemonic" => {
+            let mut m: Vec<String> = spec.instrs.iter().map(|i| i.mnemonic.clone()).collect();
+            m.push("bogus".to_string());
+            m.into_iter().map(|n| vec![ArgSpec::Str(n)]).collect()
+        }
+        "isValidAsmImmediate" => {
+            let mut v = Vec::new();
+            for &i in imms.iter().take(12) {
+                for &k in &fixups {
+                    v.push(vec![ArgSpec::Int(i), ArgSpec::Int(k)]);
+                }
+            }
+            v
+        }
+        "decodeInstruction" => {
+            let mut v: Vec<Vec<ArgSpec>> = spec
+                .instrs
+                .iter()
+                .map(|i| vec![ArgSpec::Int(i64::from(i.opcode) | (7 << 8))])
+                .collect();
+            v.push(vec![ArgSpec::Int(255)]);
+            v
+        }
+        "decodeGPRRegisterClass" => (0..40i64).map(|r| vec![ArgSpec::Int(r)]).collect(),
+        "getDecodeSize" => (0..8i64)
+            .chain([0x73, 0xff])
+            .map(|b| vec![ArgSpec::Int(b)])
+            .collect(),
+        _ => return None,
+    };
+    Some(suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_corpus::targets::eval_targets;
+
+    #[test]
+    fn all_known_groups_have_vectors() {
+        let spec = &eval_targets()[0];
+        for bp in vega_corpus::blueprints::all_blueprints() {
+            assert!(
+                vectors_for(bp.name, spec).is_some(),
+                "{} has no regression vectors",
+                bp.name
+            );
+        }
+        assert!(vectors_for("noSuchInterface", spec).is_none());
+    }
+
+    #[test]
+    fn reloc_vectors_cover_all_fixups_and_modes() {
+        let spec = &eval_targets()[0];
+        let v = vectors_for("getRelocType", spec).unwrap();
+        // fixups × pcrel × modifiers.
+        let fixup_count = GENERIC_FIXUPS.len() + spec.fixups.len() + 1;
+        assert_eq!(v.len(), fixup_count * 2 * (1 + spec.variant_kinds.len()));
+    }
+
+    #[test]
+    fn args_realize_against_env() {
+        let spec = &eval_targets()[0];
+        let mut env = ArchEnv::new(spec);
+        let v = ArgSpec::Fixup { kind: 64 }.realize(&mut env);
+        assert!(matches!(v, Value::Handle(_)));
+        assert_eq!(ArgSpec::Int(7).realize(&mut env), Value::Int(7));
+    }
+}

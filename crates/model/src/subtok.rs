@@ -1,0 +1,453 @@
+//! Subword tokenization of source tokens.
+//!
+//! UniXcoder sees code through a BPE vocabulary, which is what lets VEGA emit
+//! identifiers it has never seen whole — `fixup_riscv_pcrel_hi20` decomposes
+//! into known pieces (`fixup`, `_`, `riscv`, …). We reproduce that property
+//! with a deterministic, reversible subword scheme:
+//!
+//! * identifiers split at `_`, lower↔upper camel-case boundaries and
+//!   letter/digit boundaries; digit runs split into single digits;
+//! * each *source token* starts with a piece carrying the `\u{2581}` (▁)
+//!   word-start marker, sentencepiece-style, so a piece stream maps back to a
+//!   source-token stream unambiguously;
+//! * unknown pieces fall back to single characters, which are always in the
+//!   vocabulary.
+
+use vega_cpplite::Token;
+
+/// The word-start marker prefix.
+pub const WORD_START: char = '\u{2581}';
+
+/// Splits an identifier-ish string into subword pieces (no markers).
+///
+/// # Examples
+/// ```
+/// use vega_model::split_ident;
+/// assert_eq!(split_ident("fixup_arm_movt_hi16"),
+///            vec!["fixup", "_", "arm", "_", "movt", "_", "hi", "1", "6"]);
+/// assert_eq!(split_ident("getTargetKind"), vec!["get", "Target", "Kind"]);
+/// assert_eq!(split_ident("R_ARM_MOVT"), vec!["R", "_", "ARM", "_", "MOVT"]);
+/// ```
+pub fn split_ident(s: &str) -> Vec<String> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Class {
+        Lower,
+        Upper,
+        Digit,
+        Other,
+    }
+    fn classify(c: char) -> Class {
+        if c.is_ascii_lowercase() {
+            Class::Lower
+        } else if c.is_ascii_uppercase() {
+            Class::Upper
+        } else if c.is_ascii_digit() {
+            Class::Digit
+        } else {
+            Class::Other
+        }
+    }
+    let mut pieces: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_class: Option<Class> = None;
+    for c in s.chars() {
+        let cl = classify(c);
+        let boundary = match (cur_class, cl) {
+            (None, _) => false,
+            // Camel case: an Upper following Lower starts a new piece;
+            // Upper→Lower continues (e.g. "Target" = 'T' then "arget").
+            (Some(Class::Lower), Class::Upper) => true,
+            (Some(Class::Upper), Class::Lower) => {
+                // "ABCdef" → "AB" + "Cdef": split before the last upper.
+                if cur.len() > 1 {
+                    let last = cur.pop().unwrap();
+                    pieces.push(std::mem::take(&mut cur));
+                    cur.push(last);
+                }
+                false
+            }
+            (Some(a), b) => a != b,
+        };
+        if boundary || (cl == Class::Digit && cur_class == Some(Class::Digit)) {
+            pieces.push(std::mem::take(&mut cur));
+        }
+        // `_` and other symbols are single-char pieces.
+        if cl == Class::Other && !cur.is_empty() {
+            pieces.push(std::mem::take(&mut cur));
+        }
+        cur.push(c);
+        if cl == Class::Other {
+            pieces.push(std::mem::take(&mut cur));
+            cur_class = None;
+            continue;
+        }
+        cur_class = Some(cl);
+    }
+    if !cur.is_empty() {
+        pieces.push(cur);
+    }
+    pieces
+}
+
+/// Converts one source token into marked subword pieces.
+pub fn token_to_pieces(tok: &Token) -> Vec<String> {
+    let raw: Vec<String> = match tok {
+        Token::Ident(s) => split_ident(s),
+        // Integers are one piece: masks/latencies/opcodes copy atomically
+        // (unknown numbers still fall back to per-character encoding).
+        Token::Int(v) => vec![v.to_string()],
+        Token::Str(s) => {
+            let mut p = vec!["\"".to_string()];
+            p.extend(split_ident(s));
+            p.push("\"".to_string());
+            p
+        }
+        Token::Punct(p) => vec![(*p).to_string()],
+    };
+    mark_first(raw)
+}
+
+fn mark_first(mut pieces: Vec<String>) -> Vec<String> {
+    if let Some(first) = pieces.first_mut() {
+        *first = format!("{WORD_START}{first}");
+    }
+    pieces
+}
+
+/// Converts a token slice into a flat marked piece stream.
+pub fn tokens_to_pieces(tokens: &[Token]) -> Vec<String> {
+    tokens.iter().flat_map(|t| token_to_pieces(t)).collect()
+}
+
+/// Converts a plain string (a property value such as `fixup_riscv_hi16` or
+/// `OPERAND_PCREL`) into marked pieces, as one source token. All-digit
+/// values stay a single piece, matching the integer-literal encoding.
+pub fn string_to_pieces(s: &str) -> Vec<String> {
+    if !s.is_empty() && s.chars().all(|c| c.is_ascii_digit() || c == '-') {
+        return mark_first(vec![s.to_string()]);
+    }
+    mark_first(split_ident(s))
+}
+
+/// Reassembles a piece stream into source-token spellings: a new spelling
+/// starts at every ▁-marked piece.
+///
+/// # Examples
+/// ```
+/// use vega_model::{pieces_to_spellings, tokens_to_pieces};
+/// use vega_cpplite::lex;
+/// let toks = lex("case ARM::fixup_arm_movt_hi16:").unwrap();
+/// let pieces = tokens_to_pieces(&toks);
+/// let spellings = pieces_to_spellings(&pieces);
+/// assert_eq!(spellings, vec!["case", "ARM", "::", "fixup_arm_movt_hi16", ":"]);
+/// ```
+pub fn pieces_to_spellings(pieces: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for p in pieces {
+        if let Some(rest) = p.strip_prefix(WORD_START) {
+            out.push(rest.to_string());
+        } else if let Some(last) = out.last_mut() {
+            last.push_str(p);
+        } else {
+            out.push(p.clone());
+        }
+    }
+    out
+}
+
+/// Joins spellings back into lexable source text with spaces.
+pub fn spellings_to_source(spellings: &[String]) -> String {
+    spellings.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_cpplite::lex;
+
+    #[test]
+    fn roundtrip_statement() {
+        let src = "return (Value >> 16) & 65535;";
+        let toks = lex(src).unwrap();
+        let pieces = tokens_to_pieces(&toks);
+        let spell = pieces_to_spellings(&pieces);
+        let rejoined = spellings_to_source(&spell);
+        let toks2 = lex(&rejoined).unwrap();
+        assert_eq!(toks, toks2);
+    }
+
+    #[test]
+    fn string_literals_roundtrip() {
+        let toks = lex("Name = \"OPERAND_PCREL\"").unwrap();
+        let pieces = tokens_to_pieces(&toks);
+        let spell = pieces_to_spellings(&pieces);
+        let toks2 = lex(&spellings_to_source(&spell)).unwrap();
+        assert_eq!(toks, toks2);
+    }
+
+    #[test]
+    fn unseen_identifier_decomposes_into_known_pieces() {
+        let a = split_ident("fixup_riscv_pcrel_hi20");
+        // All alpha pieces are short and reusable.
+        assert!(a.contains(&"fixup".to_string()));
+        assert!(a.contains(&"riscv".to_string()));
+        assert!(a.contains(&"pcrel".to_string()));
+        assert!(a.contains(&"2".to_string()) && a.contains(&"0".to_string()));
+    }
+
+    #[test]
+    fn upper_runs_split_before_camel_tail() {
+        assert_eq!(split_ident("MCFixupKind"), vec!["MC", "Fixup", "Kind"]);
+        assert_eq!(split_ident("getRelocType"), vec!["get", "Reloc", "Type"]);
+    }
+
+    #[test]
+    fn digits_are_single() {
+        assert_eq!(split_ident("hi20"), vec!["hi", "2", "0"]);
+        // …but literal integers and numeric value strings are one piece.
+        assert_eq!(token_to_pieces(&vega_cpplite::Token::Int(65535)), vec!["\u{2581}65535"]);
+        assert_eq!(string_to_pieces("65535"), vec!["\u{2581}65535"]);
+    }
+
+}
+
+/// Sentinel characters standing for the target's own name inside training
+/// and generation sequences (canonical / lowercase / uppercase spellings).
+///
+/// The paper's UniXcoder has an open BPE vocabulary, so `riscv` is a known
+/// subword even though no training backend mentions it. Our corpus-built
+/// vocabulary does not, so CodeBE could neither condition on nor emit a new
+/// target's name. [`TargetNorm`] restores that capability: every occurrence
+/// of the target's name (in any of its three casings) is replaced by a
+/// sentinel before tokenization and substituted back after decoding — the
+/// model learns *target-agnostic* statement patterns.
+pub const TGT_SENTINELS: [char; 3] = ['\u{E000}', '\u{E001}', '\u{E002}'];
+
+/// Bidirectional target-name anonymization.
+#[derive(Debug, Clone)]
+pub struct TargetNorm {
+    /// Deduplicated forms used for replacement (longest first).
+    anon_forms: Vec<(String, char)>,
+    /// All three sentinel→form mappings used for restoration (a sentinel
+    /// produced under another target must still restore here).
+    restore_forms: [(char, String); 3],
+}
+
+impl TargetNorm {
+    /// Creates a normalizer for a target namespace (e.g. `Mips`).
+    pub fn new(ns: &str) -> Self {
+        let restore_forms = [
+            (TGT_SENTINELS[0], ns.to_string()),
+            (TGT_SENTINELS[1], ns.to_lowercase()),
+            (TGT_SENTINELS[2], ns.to_uppercase()),
+        ];
+        let mut anon_forms = vec![
+            (ns.to_string(), TGT_SENTINELS[0]),
+            (ns.to_lowercase(), TGT_SENTINELS[1]),
+            (ns.to_uppercase(), TGT_SENTINELS[2]),
+        ];
+        // Longest-first, and skip duplicates (e.g. `ARM` == `ARM`.upper()).
+        anon_forms.sort_by_key(|(f, _)| std::cmp::Reverse(f.len()));
+        let mut seen = std::collections::HashSet::new();
+        anon_forms.retain(|(f, _)| seen.insert(f.clone()));
+        TargetNorm { anon_forms, restore_forms }
+    }
+
+    /// Replaces name occurrences with sentinels.
+    ///
+    /// # Examples
+    /// ```
+    /// use vega_model::TargetNorm;
+    /// let n = TargetNorm::new("Mips");
+    /// let a = n.anonymize("fixup_MIPS_HI16");
+    /// assert!(!a.contains("MIPS"));
+    /// assert_eq!(n.restore(&a), "fixup_MIPS_HI16");
+    /// ```
+    pub fn anonymize(&self, s: &str) -> String {
+        let mut out = s.to_string();
+        for (form, sentinel) in &self.anon_forms {
+            out = out.replace(form, &sentinel.to_string());
+        }
+        out
+    }
+
+    /// Substitutes sentinels with this normalizer's name forms.
+    pub fn restore(&self, s: &str) -> String {
+        let mut out = s.to_string();
+        for (sentinel, form) in &self.restore_forms {
+            out = out.replace(*sentinel, form);
+        }
+        out
+    }
+
+    /// Anonymizes a token (identifiers and string literals only).
+    pub fn anonymize_token(&self, t: &Token) -> Token {
+        match t {
+            Token::Ident(s) => Token::Ident(self.anonymize(s)),
+            Token::Str(s) => Token::Str(self.anonymize(s)),
+            other => other.clone(),
+        }
+    }
+
+    /// Piece-aligned anonymization of a marked piece stream.
+    ///
+    /// Plain string replacement would corrupt look-alikes (`VEC_ADD` contains
+    /// target `VE`), so names are replaced only where they align with piece
+    /// boundaries: a run of consecutive pieces spelling a name form
+    /// (`RI`,`5`,`CY`), or a piece with a name prefix/suffix fused in
+    /// (`ARMELF` = `ARM`+`ELF`).
+    pub fn anonymize_pieces(&self, pieces: &[String]) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let stripped: Vec<(&str, bool)> = pieces
+            .iter()
+            .map(|p| match p.strip_prefix(WORD_START) {
+                Some(rest) => (rest, true),
+                None => (p.as_str(), false),
+            })
+            .collect();
+        let mut i = 0;
+        'outer: while i < pieces.len() {
+            let (body, marked) = stripped[i];
+            let push = |out: &mut Vec<String>, marked: bool, s: &str| {
+                if marked {
+                    out.push(format!("{WORD_START}{s}"));
+                } else {
+                    out.push(s.to_string());
+                }
+            };
+            for (form, sentinel) in &self.anon_forms {
+                // Run of pieces spelling the form exactly.
+                let mut acc = String::new();
+                let mut j = i;
+                while j < pieces.len() && acc.len() < form.len() {
+                    if j > i && stripped[j].1 {
+                        break; // runs never cross source-token boundaries
+                    }
+                    acc.push_str(stripped[j].0);
+                    j += 1;
+                }
+                if acc == *form {
+                    push(&mut out, marked, &sentinel.to_string());
+                    i = j;
+                    continue 'outer;
+                }
+                // Fused prefix: `ARMELF` → sentinel + rest pieces. Requires
+                // a substantial form and remainder so look-alike pieces
+                // (`VEC` vs target `VE`) are left alone.
+                if let Some(rest) = body.strip_prefix(form.as_str()) {
+                    if form.len() >= 3 && rest.len() >= 2 {
+                        push(&mut out, marked, &sentinel.to_string());
+                        for r in split_ident(rest) {
+                            out.push(r);
+                        }
+                        i += 1;
+                        continue 'outer;
+                    }
+                }
+                // Fused suffix: `ELFARM` → rest pieces + sentinel.
+                if let Some(rest) = body.strip_suffix(form.as_str()) {
+                    if form.len() >= 3 && rest.len() >= 2 {
+                        let mut first = true;
+                        for r in split_ident(rest) {
+                            if first {
+                                push(&mut out, marked, &r);
+                                first = false;
+                            } else {
+                                out.push(r);
+                            }
+                        }
+                        out.push(sentinel.to_string());
+                        i += 1;
+                        continue 'outer;
+                    }
+                }
+            }
+            out.push(pieces[i].clone());
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod norm_tests {
+    use super::*;
+
+    #[test]
+    fn anonymize_roundtrips_all_casings() {
+        let n = TargetNorm::new("XCore");
+        for s in ["XCoreAsmParser", "fixup_xcore_tprel", "R_XCORE_32", "LSS_ADD"] {
+            let a = n.anonymize(s);
+            assert_eq!(n.restore(&a), s);
+        }
+        assert!(!n.anonymize("R_XCORE_32").contains("XCORE"));
+    }
+
+    #[test]
+    fn sentinels_become_single_pieces() {
+        let n = TargetNorm::new("Mips");
+        let a = n.anonymize("fixup_MIPS_HI16");
+        let pieces = split_ident(&a);
+        assert!(pieces.iter().any(|p| p == &TGT_SENTINELS[2].to_string()), "{pieces:?}");
+    }
+
+    #[test]
+    fn cross_target_restore_transfers_names() {
+        // Anonymize under Mips, restore under RISCV — the transfer VEGA
+        // needs at generation time.
+        let m = TargetNorm::new("Mips");
+        let r = TargetNorm::new("RISCV");
+        let a = m.anonymize("fixup_MIPS_HI16");
+        assert_eq!(r.restore(&a), "fixup_RISCV_HI16");
+    }
+}
+
+#[cfg(test)]
+mod anon_piece_tests {
+    use super::*;
+    use vega_cpplite::lex;
+
+    fn pieces_of(norm: &TargetNorm, src: &str) -> Vec<String> {
+        let toks = lex(src).unwrap();
+        norm.anonymize_pieces(&tokens_to_pieces(&toks))
+    }
+
+    #[test]
+    fn lookalikes_survive() {
+        let n = TargetNorm::new("VE");
+        let p = pieces_of(&n, "case ISD::VEC_ADD: return VE::VADD;");
+        let joined = pieces_to_spellings(&p).join(" ");
+        assert!(joined.contains("VEC_ADD"), "{joined}");
+        assert!(joined.contains(TGT_SENTINELS[0]), "{joined}");
+        assert!(!joined.contains("VE ::"), "{joined}");
+    }
+
+    #[test]
+    fn fused_qualifier_is_split() {
+        let n = TargetNorm::new("ARM");
+        let p = pieces_of(&n, "ARMELFObjectWriter");
+        let joined = pieces_to_spellings(&p).join("");
+        assert_eq!(n.restore(&joined), "ARMELFObjectWriter");
+        assert!(joined.contains(TGT_SENTINELS[0]));
+    }
+
+    #[test]
+    fn multi_piece_names_collapse() {
+        let n = TargetNorm::new("RI5CY");
+        let p = pieces_of(&n, "RI5CY::fixup_ri5cy_hi16");
+        let joined = pieces_to_spellings(&p).join(" ");
+        assert!(!joined.contains("RI5CY"), "{joined}");
+        assert!(!joined.contains("ri5cy"), "{joined}");
+        assert_eq!(n.restore(&joined).replace(' ', ""), "RI5CY::fixup_ri5cy_hi16");
+    }
+
+    #[test]
+    fn restore_under_other_target() {
+        let arm = TargetNorm::new("ARM");
+        let rv = TargetNorm::new("RISCV");
+        let p = pieces_of(&arm, "case ARM::fixup_arm_movt_hi16:");
+        let line = pieces_to_spellings(&p).join(" ");
+        let restored = rv.restore(&line);
+        assert_eq!(restored, "case RISCV :: fixup_riscv_movt_hi16 :");
+    }
+}

@@ -1,0 +1,269 @@
+//! A GRU encoder–decoder baseline (no attention).
+//!
+//! The paper reports that the UniXcoder-based VEGA beats an RNN-based
+//! variant by 35–78% in function accuracy; this model is the "RNN-based
+//! VEGA" side of that ablation.
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{Init, ParamId, ParamStore};
+use crate::seq2seq::Seq2Seq;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// GRU hyperparameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GruConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Maximum sequence length processed.
+    pub max_len: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl GruConfig {
+    /// Configuration matched in width to [`crate::TransformerConfig::small`].
+    pub fn small(vocab: usize) -> Self {
+        GruConfig { vocab, d_model: 64, max_len: 96, seed: 0x6B0 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(vocab: usize) -> Self {
+        GruConfig { vocab, d_model: 16, max_len: 24, seed: 5 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct GruCell {
+    wz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    bh: ParamId,
+}
+
+/// GRU encoder–decoder with trainable parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruSeq2Seq {
+    /// Hyperparameters.
+    pub cfg: GruConfig,
+    store: ParamStore,
+    emb: ParamId,
+    enc: GruCell,
+    dec: GruCell,
+    w_out: ParamId,
+    b_out: ParamId,
+}
+
+fn make_cell(store: &mut ParamStore, init: &mut Init, name: &str, d: usize) -> GruCell {
+    GruCell {
+        wz: store.add(format!("{name}.wz"), init.xavier(2 * d, d)),
+        bz: store.add(format!("{name}.bz"), init.zeros(1, d)),
+        wr: store.add(format!("{name}.wr"), init.xavier(2 * d, d)),
+        br: store.add(format!("{name}.br"), init.zeros(1, d)),
+        wh: store.add(format!("{name}.wh"), init.xavier(2 * d, d)),
+        bh: store.add(format!("{name}.bh"), init.zeros(1, d)),
+    }
+}
+
+fn cell_step(g: &mut Graph<'_>, cell: &GruCell, x: NodeId, h: NodeId) -> NodeId {
+    let xin = g.concat_cols(x, h);
+    let wz = g.param(cell.wz);
+    let bz = g.param(cell.bz);
+    let zlin = g.matmul(xin, wz, false);
+    let zlin = g.add_row_broadcast(zlin, bz);
+    let z = g.sigmoid(zlin);
+    let wr = g.param(cell.wr);
+    let br = g.param(cell.br);
+    let rlin = g.matmul(xin, wr, false);
+    let rlin = g.add_row_broadcast(rlin, br);
+    let r = g.sigmoid(rlin);
+    let rh = g.hadamard(r, h);
+    let xrh = g.concat_cols(x, rh);
+    let wh = g.param(cell.wh);
+    let bh = g.param(cell.bh);
+    let hlin = g.matmul(xrh, wh, false);
+    let hlin = g.add_row_broadcast(hlin, bh);
+    let hcand = g.tanh(hlin);
+    // h' = (1 - z) ⊙ h + z ⊙ ĥ
+    let negz = g.scale(z, -1.0);
+    let one_minus_z = g.add_scalar(negz, 1.0);
+    let keep = g.hadamard(one_minus_z, h);
+    let new = g.hadamard(z, hcand);
+    g.add(keep, new)
+}
+
+impl GruSeq2Seq {
+    /// Initializes a GRU seq2seq model.
+    pub fn new(cfg: GruConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut init = Init::new(cfg.seed);
+        let d = cfg.d_model;
+        let emb = store.add("emb", init.xavier(cfg.vocab, d));
+        let enc = make_cell(&mut store, &mut init, "enc", d);
+        let dec = make_cell(&mut store, &mut init, "dec", d);
+        let w_out = store.add("w_out", init.xavier(d, cfg.vocab));
+        let b_out = store.add("b_out", init.zeros(1, cfg.vocab));
+        GruSeq2Seq { cfg, store, emb, enc, dec, w_out, b_out }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Restores a model saved with [`Seq2Seq::save_json`].
+    ///
+    /// # Errors
+    /// Returns an error if the JSON does not describe a GRU model.
+    pub fn load_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    fn encode(cell: &GruCell, emb: ParamId, g: &mut Graph<'_>, src: &[usize], d: usize) -> NodeId {
+        let table = g.param(emb);
+        let mut h = g.constant(Tensor::zeros(1, d));
+        for &id in src {
+            let x = g.embed(table, &[id]);
+            h = cell_step(g, cell, x, h);
+        }
+        h
+    }
+
+}
+
+impl Seq2Seq for GruSeq2Seq {
+    fn train_pair(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32 {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
+        let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
+        let me = self.clone_descriptors();
+        let mut g = Graph::new(&mut self.store);
+        let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
+        let logits = me.3.decode_logits_ref(&mut g, h, tgt_in);
+        g.cross_entropy_backward(logits, tgt_out)
+    }
+
+    fn step(&mut self, lr: f32) {
+        self.store.adam_step(lr);
+    }
+
+    fn greedy(&mut self, src: &[usize], bos: usize, eos: usize, max_len: usize) -> Vec<usize> {
+        let src = src[..src.len().min(self.cfg.max_len)].to_vec();
+        let me = self.clone_descriptors();
+        let cap = max_len.min(self.cfg.max_len);
+        let mut out = vec![bos];
+        while out.len() < cap {
+            let mut g = Graph::new(&mut self.store);
+            let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
+            let logits = me.3.decode_logits_ref(&mut g, h, &out);
+            let v = g.value(logits);
+            let last = v.row(v.rows - 1);
+            let next = last
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(eos);
+            if next == eos {
+                break;
+            }
+            out.push(next);
+            if crate::seq2seq::looks_degenerate(&out) {
+                break;
+            }
+        }
+        out.remove(0);
+        out
+    }
+
+    fn save_json(&self) -> String {
+        serde_json::to_string(self).expect("gru serialization")
+    }
+
+    fn forced_logprob(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32 {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
+        let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
+        let me = self.clone_descriptors();
+        let mut g = Graph::new(&mut self.store);
+        let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
+        let logits = me.3.decode_logits_ref(&mut g, h, tgt_in);
+        let probs = g.probs(logits);
+        let mut lp = 0.0f32;
+        for (r, &t) in tgt_out.iter().enumerate() {
+            lp += probs.at(r, t).max(1e-12).ln();
+        }
+        lp
+    }
+}
+
+/// Detached descriptors mirroring [`GruSeq2Seq`] minus the store.
+struct GruRef {
+    emb: ParamId,
+    dec: GruCell,
+    w_out: ParamId,
+    b_out: ParamId,
+}
+
+impl GruRef {
+    fn decode_logits_ref(&self, g: &mut Graph<'_>, mut h: NodeId, tgt_in: &[usize]) -> NodeId {
+        let table = g.param(self.emb);
+        let w_out = g.param(self.w_out);
+        let b_out = g.param(self.b_out);
+        let mut rows = Vec::with_capacity(tgt_in.len());
+        for &id in tgt_in {
+            let x = g.embed(table, &[id]);
+            h = cell_step(g, &self.dec, x, h);
+            let logit = g.matmul(h, w_out, false);
+            rows.push(g.add_row_broadcast(logit, b_out));
+        }
+        g.concat_rows(&rows)
+    }
+}
+
+impl GruSeq2Seq {
+    fn clone_descriptors(&self) -> (GruCell, ParamId, usize, GruRef) {
+        (
+            self.enc.clone(),
+            self.emb,
+            self.cfg.d_model,
+            GruRef {
+                emb: self.emb,
+                dec: self.dec.clone(),
+                w_out: self.w_out,
+                b_out: self.b_out,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq2seq::train_until;
+
+    #[test]
+    fn learns_a_tiny_mapping() {
+        let mut m = GruSeq2Seq::new(GruConfig::tiny(8));
+        let pairs = vec![
+            (vec![2usize, 3], vec![3usize]),
+            (vec![4, 5], vec![5]),
+        ];
+        let loss = train_until(&mut m, &pairs, 0, 1, 400, 5e-3, 0.05);
+        assert!(loss < 0.3, "gru did not converge: {loss}");
+        assert_eq!(m.greedy(&[2, 3], 0, 1, 4), vec![3]);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut m = GruSeq2Seq::new(GruConfig::tiny(8));
+        let json = m.save_json();
+        let mut m2 = GruSeq2Seq::load_json(&json).unwrap();
+        assert_eq!(m.greedy(&[2], 0, 1, 4), m2.greedy(&[2], 0, 1, 4));
+        assert_eq!(m.num_params(), m2.num_params());
+    }
+}

@@ -1,0 +1,39 @@
+//! `vega-nn`: the neural substrate for CodeBE.
+//!
+//! A self-contained, dependency-light deep-learning stack sized for one CPU
+//! core: dense [`Tensor`]s, a reverse-mode autograd tape ([`Graph`]) whose
+//! backward rules are verified against finite differences, Adam
+//! ([`ParamStore::adam_step`]), an encoder–decoder [`Transformer`] (the
+//! architecture behind the paper's UniXcoder-based CodeBE), and a
+//! [`GruSeq2Seq`] baseline for the RNN ablation. Both models implement
+//! [`Seq2Seq`] and serialize to JSON.
+//!
+//! # Examples
+//! ```
+//! use vega_nn::{Seq2Seq, Transformer, TransformerConfig};
+//! let mut model = Transformer::new(TransformerConfig::tiny(10));
+//! // Teach the model to echo [2, 3].
+//! for _ in 0..30 {
+//!     model.train_example(&[2, 3], &[2, 3], 0, 1);
+//!     model.step(3e-3);
+//! }
+//! let out = model.greedy(&[2, 3], 0, 1, 8);
+//! assert!(out.len() <= 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod graph;
+mod gru;
+mod params;
+mod seq2seq;
+mod tensor;
+mod transformer;
+
+pub use graph::{Graph, NodeId};
+pub use gru::{GruConfig, GruSeq2Seq};
+pub use params::{Init, ParamId, ParamStore};
+pub use seq2seq::{looks_degenerate, train_until, Seq2Seq};
+pub use tensor::Tensor;
+pub use transformer::{Transformer, TransformerConfig};

@@ -1,0 +1,229 @@
+//! Parameter storage and the Adam optimizer.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Handle to one parameter tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+/// A named collection of trainable tensors with gradients and Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamStore {
+    names: Vec<String>,
+    tensors: Vec<Tensor>,
+    #[serde(skip)]
+    grads: Vec<Tensor>,
+    #[serde(skip)]
+    m: Vec<Tensor>,
+    #[serde(skip)]
+    v: Vec<Tensor>,
+    step_count: u64,
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ParamStore {
+            names: Vec::new(),
+            tensors: Vec::new(),
+            grads: Vec::new(),
+            m: Vec::new(),
+            v: Vec::new(),
+            step_count: 0,
+        }
+    }
+
+    /// Registers a parameter tensor under `name`.
+    pub fn add(&mut self, name: impl Into<String>, t: Tensor) -> ParamId {
+        let id = ParamId(self.tensors.len());
+        self.names.push(name.into());
+        self.grads.push(Tensor::zeros(t.rows, t.cols));
+        self.m.push(Tensor::zeros(t.rows, t.cols));
+        self.v.push(Tensor::zeros(t.rows, t.cols));
+        self.tensors.push(t);
+        id
+    }
+
+    /// Reads a parameter's current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access (tests, manual surgery).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Accumulates `grad` into the parameter's gradient buffer.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: &Tensor) {
+        let g = &mut self.grads[id.0];
+        assert_eq!((g.rows, g.cols), (grad.rows, grad.cols), "grad shape");
+        for (a, b) in g.data.iter_mut().zip(&grad.data) {
+            *a += b;
+        }
+    }
+
+    /// Reads the accumulated gradient (tests).
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Clears all gradient buffers.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grads {
+            g.data.fill(0.0);
+        }
+    }
+
+    /// One Adam step (β₁=0.9, β₂=0.999, ε=1e-8) with gradient clipping at
+    /// global norm 5, then clears gradients.
+    pub fn adam_step(&mut self, lr: f32) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        // Global-norm clip.
+        let total: f32 = self.grads.iter().map(Tensor::norm_sq).sum();
+        let norm = total.sqrt();
+        let clip = if norm > 5.0 { 5.0 / norm } else { 1.0 };
+        for i in 0..self.tensors.len() {
+            let g = &self.grads[i];
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let p = &mut self.tensors[i];
+            for j in 0..g.data.len() {
+                let gj = g.data[j] * clip;
+                m.data[j] = b1 * m.data[j] + (1.0 - b1) * gj;
+                v.data[j] = b2 * v.data[j] + (1.0 - b2) * gj * gj;
+                let mhat = m.data[j] / (1.0 - b1.powf(t));
+                let vhat = v.data[j] / (1.0 - b2.powf(t));
+                p.data[j] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+        self.zero_grad();
+    }
+
+    /// Number of parameters (scalar count across all tensors).
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(|t| t.data.len()).sum()
+    }
+
+    /// Serializes the parameter values to JSON.
+    ///
+    /// # Errors
+    /// Returns a serialization error (practically impossible for plain data).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a store from [`ParamStore::to_json`] output; optimizer state
+    /// is reset.
+    ///
+    /// # Errors
+    /// Returns an error if the JSON does not describe a `ParamStore`.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let mut store: ParamStore = serde_json::from_str(s)?;
+        store.grads = store
+            .tensors
+            .iter()
+            .map(|t| Tensor::zeros(t.rows, t.cols))
+            .collect();
+        store.m = store.grads.clone();
+        store.v = store.grads.clone();
+        Ok(store)
+    }
+}
+
+/// A deterministic uniform initializer (Xavier/Glorot range) based on
+/// splitmix64, so weights are identical across platforms.
+#[derive(Debug, Clone)]
+pub struct Init {
+    state: u64,
+}
+
+impl Init {
+    /// Creates an initializer from a seed.
+    pub fn new(seed: u64) -> Self {
+        Init { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Uniform in [0, 1).
+        (z >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Xavier-uniform tensor of the given shape.
+    pub fn xavier(&mut self, rows: usize, cols: usize) -> Tensor {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| (self.next_f32() * 2.0 - 1.0) * bound)
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Zeros (for biases).
+    pub fn zeros(&mut self, rows: usize, cols: usize) -> Tensor {
+        Tensor::zeros(rows, cols)
+    }
+
+    /// Ones (for layer-norm gains).
+    pub fn ones(&mut self, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_vec(rows, cols, vec![1.0; rows * cols])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        // Minimize f(w) = (w - 3)^2 elementwise.
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(1, 4));
+        for _ in 0..400 {
+            let w = store.value(id).clone();
+            let grad = Tensor::from_vec(1, 4, w.data.iter().map(|v| 2.0 * (v - 3.0)).collect());
+            store.accumulate_grad(id, &grad);
+            store.adam_step(0.05);
+        }
+        for v in &store.value(id).data {
+            assert!((v - 3.0).abs() < 0.05, "w = {v}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_values() {
+        let mut store = ParamStore::new();
+        let mut init = Init::new(9);
+        let id = store.add("w", init.xavier(3, 5));
+        let json = store.to_json().unwrap();
+        let restored = ParamStore::from_json(&json).unwrap();
+        assert_eq!(restored.value(id), store.value(id));
+        assert_eq!(restored.num_scalars(), 15);
+    }
+
+    #[test]
+    fn init_is_deterministic_and_bounded() {
+        let a = Init::new(1).xavier(4, 4);
+        let b = Init::new(1).xavier(4, 4);
+        assert_eq!(a, b);
+        let bound = (6.0 / 8.0f32).sqrt();
+        assert!(a.data.iter().all(|v| v.abs() <= bound));
+        assert!(a.data.iter().any(|v| v.abs() > 1e-4));
+    }
+}

@@ -1,0 +1,106 @@
+//! The common interface of the sequence-to-sequence models (transformer and
+//! the RNN ablation baseline) plus a small training driver.
+
+/// A trainable sequence-to-sequence model.
+pub trait Seq2Seq {
+    /// Teacher-forced loss on one `(source, shifted-target-in, target-out)`
+    /// pair; gradients are accumulated (call [`Seq2Seq::step`] to apply).
+    fn train_pair(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32;
+
+    /// Applies one optimizer step with learning rate `lr` and clears grads.
+    fn step(&mut self, lr: f32);
+
+    /// Greedy decoding: starts from `bos`, stops at `eos` or `max_len`.
+    /// Returns the generated ids (without `bos`/`eos`).
+    fn greedy(&mut self, src: &[usize], bos: usize, eos: usize, max_len: usize) -> Vec<usize>;
+
+    /// Serializes the model (architecture + weights) to JSON.
+    fn save_json(&self) -> String;
+
+    /// Teacher-forced log-probability of `tgt_out` given `src` and the
+    /// shifted decoder input `tgt_in` (no gradients). Used for constrained
+    /// decoding: scoring candidate realizations of a template.
+    fn forced_logprob(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32;
+
+    /// Log-probability of emitting `tgt` (with BOS/EOS handling) given `src`.
+    fn sequence_logprob(&mut self, src: &[usize], tgt: &[usize], bos: usize, eos: usize) -> f32 {
+        let mut tgt_in = Vec::with_capacity(tgt.len() + 1);
+        tgt_in.push(bos);
+        tgt_in.extend_from_slice(tgt);
+        let mut tgt_out = tgt.to_vec();
+        tgt_out.push(eos);
+        self.forced_logprob(src, &tgt_in, &tgt_out)
+    }
+
+    /// Teacher-forced training loss for `(src, tgt)` with BOS prepended.
+    fn train_example(&mut self, src: &[usize], tgt: &[usize], bos: usize, eos: usize) -> f32 {
+        let mut tgt_in = Vec::with_capacity(tgt.len() + 1);
+        tgt_in.push(bos);
+        tgt_in.extend_from_slice(tgt);
+        let mut tgt_out = tgt.to_vec();
+        tgt_out.push(eos);
+        self.train_pair(src, &tgt_in, &tgt_out)
+    }
+}
+
+/// Detects degenerate greedy decodes: the tail repeats a short cycle
+/// (period 1–4) at least three times. Decoders break out early when this
+/// fires instead of filling the budget with the loop.
+pub fn looks_degenerate(out: &[usize]) -> bool {
+    for period in 1..=4usize {
+        let need = period * 3;
+        if out.len() < need + 1 {
+            continue;
+        }
+        let tail = &out[out.len() - need..];
+        if (0..period * 2).all(|i| tail[i] == tail[i + period]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Trains on `(src, tgt)` pairs (one optimizer step per pair) for at most
+/// `max_steps` passes over single pairs, returning the final running loss.
+/// Stops early when the running loss drops below `target_loss`.
+pub fn train_until<M: Seq2Seq>(
+    model: &mut M,
+    pairs: &[(Vec<usize>, Vec<usize>)],
+    bos: usize,
+    eos: usize,
+    max_steps: usize,
+    lr: f32,
+    target_loss: f32,
+) -> f32 {
+    let mut running = f32::INFINITY;
+    for step in 0..max_steps {
+        let (src, tgt) = &pairs[step % pairs.len()];
+        let loss = model.train_example(src, tgt, bos, eos);
+        model.step(lr);
+        running = if running.is_finite() { 0.9 * running + 0.1 * loss } else { loss };
+        if step >= pairs.len() && running < target_loss {
+            break;
+        }
+    }
+    running
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_detects_short_cycles() {
+        assert!(looks_degenerate(&[9, 1, 1, 1, 1]));
+        assert!(looks_degenerate(&[5, 6, 1, 2, 1, 2, 1, 2]));
+        assert!(looks_degenerate(&[0, 1, 2, 3, 1, 2, 3, 1, 2, 3]));
+    }
+
+    #[test]
+    fn degenerate_ignores_normal_sequences() {
+        assert!(!looks_degenerate(&[1, 2, 3, 4, 5, 6, 7]));
+        assert!(!looks_degenerate(&[1, 2, 1, 3, 1, 4, 1, 5]));
+        assert!(!looks_degenerate(&[1, 1])); // too short to call
+        assert!(!looks_degenerate(&[]));
+    }
+}

@@ -1,0 +1,224 @@
+//! Dense 2-D tensors (row-major `f32`) with the handful of kernels the
+//! sequence models need.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major 2-D tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data; `len == rows * cols`.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a tensor from data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other` (optionally with `other` transposed).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor, transpose_other: bool) -> Tensor {
+        if transpose_other {
+            assert_eq!(self.cols, other.cols, "matmul(T) inner dim");
+            let mut out = Tensor::zeros(self.rows, other.rows);
+            for i in 0..self.rows {
+                let a = self.row(i);
+                for j in 0..other.rows {
+                    let b = other.row(j);
+                    let mut s = 0.0f32;
+                    for k in 0..self.cols {
+                        s += a[k] * b[k];
+                    }
+                    out.data[i * other.rows + j] = s;
+                }
+            }
+            out
+        } else {
+            assert_eq!(self.cols, other.rows, "matmul inner dim");
+            let mut out = Tensor::zeros(self.rows, other.cols);
+            for i in 0..self.rows {
+                let a = self.row(i);
+                let orow = i * other.cols;
+                for (k, &av) in a.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let b = other.row(k);
+                    let out_row = &mut out.data[orow..orow + other.cols];
+                    for (o, &bv) in out_row.iter_mut().zip(b.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// `self + other`, elementwise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Adds `row` (a 1×cols tensor) to every row.
+    ///
+    /// # Panics
+    /// Panics if `row` is not `1 × self.cols`.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows, 1, "broadcast row must be 1 x cols");
+        assert_eq!(row.cols, self.cols, "broadcast width");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Frobenius-norm squared (for tests/regularization diagnostics).
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_by_hand() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b, false);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transposed_agrees_with_explicit_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1., -2., 3., 0.5, 5., -6.]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.3).collect());
+        let direct = a.matmul(&b, true);
+        let explicit = a.matmul(&b.transposed(), false);
+        for (x, y) in direct.data.iter().zip(&explicit.data) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_normalize() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s.at(0, 2) > s.at(0, 1));
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let t = Tensor::zeros(2, 2);
+        let row = Tensor::from_vec(1, 2, vec![1., 2.]);
+        let out = t.add_row_broadcast(&row);
+        assert_eq!(out.data, vec![1., 2., 1., 2.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dim")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 2);
+        let _ = a.matmul(&b, false);
+    }
+}

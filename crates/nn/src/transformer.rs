@@ -1,0 +1,457 @@
+//! A from-scratch encoder–decoder transformer (pre-LN, multi-head attention,
+//! learned positional embeddings), sized for CPU training.
+//!
+//! This is the architecture behind CodeBE: the paper fine-tunes UniXcoder in
+//! encoder-decoder mode; we train the same *shape* of model from scratch (or
+//! from a denoising pre-training pass, see `vega-model`), scaled down to run
+//! on one core.
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{Init, ParamId, ParamStore};
+use crate::seq2seq::Seq2Seq;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Transformer hyperparameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Number of attention heads (`d_model % n_heads == 0`).
+    pub n_heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Encoder depth.
+    pub n_enc_layers: usize,
+    /// Decoder depth.
+    pub n_dec_layers: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_len: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl TransformerConfig {
+    /// A small configuration suitable for the full experiments on one core.
+    pub fn small(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model: 40,
+            n_heads: 2,
+            d_ff: 80,
+            n_enc_layers: 1,
+            n_dec_layers: 2,
+            max_len: 96,
+            seed: 0xC0DE,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model: 16,
+            n_heads: 2,
+            d_ff: 32,
+            n_enc_layers: 1,
+            n_dec_layers: 1,
+            max_len: 24,
+            seed: 7,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AttnParams {
+    wq: Vec<ParamId>,
+    wk: Vec<ParamId>,
+    wv: Vec<ParamId>,
+    wo: ParamId,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LnParams {
+    gain: ParamId,
+    bias: ParamId,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FfParams {
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EncLayer {
+    ln1: LnParams,
+    attn: AttnParams,
+    ln2: LnParams,
+    ff: FfParams,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DecLayer {
+    ln1: LnParams,
+    self_attn: AttnParams,
+    ln2: LnParams,
+    cross_attn: AttnParams,
+    ln3: LnParams,
+    ff: FfParams,
+}
+
+/// An encoder–decoder transformer with trainable parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transformer {
+    /// Hyperparameters.
+    pub cfg: TransformerConfig,
+    store: ParamStore,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    enc_layers: Vec<EncLayer>,
+    dec_layers: Vec<DecLayer>,
+    final_ln: LnParams,
+    w_out: ParamId,
+    b_out: ParamId,
+}
+
+impl Transformer {
+    /// Initializes a transformer with Xavier-uniform weights.
+    ///
+    /// # Panics
+    /// Panics if `d_model` is not divisible by `n_heads`.
+    pub fn new(cfg: TransformerConfig) -> Self {
+        assert_eq!(cfg.d_model % cfg.n_heads, 0, "d_model % n_heads");
+        let mut store = ParamStore::new();
+        let mut init = Init::new(cfg.seed);
+        let d = cfg.d_model;
+        let dh = d / cfg.n_heads;
+        let ln = |store: &mut ParamStore, init: &mut Init, name: &str| LnParams {
+            gain: store.add(format!("{name}.g"), init.ones(1, d)),
+            bias: store.add(format!("{name}.b"), init.zeros(1, d)),
+        };
+        let attn = |store: &mut ParamStore, init: &mut Init, name: &str| AttnParams {
+            wq: (0..cfg.n_heads)
+                .map(|h| store.add(format!("{name}.wq{h}"), init.xavier(d, dh)))
+                .collect(),
+            wk: (0..cfg.n_heads)
+                .map(|h| store.add(format!("{name}.wk{h}"), init.xavier(d, dh)))
+                .collect(),
+            wv: (0..cfg.n_heads)
+                .map(|h| store.add(format!("{name}.wv{h}"), init.xavier(d, dh)))
+                .collect(),
+            wo: store.add(format!("{name}.wo"), init.xavier(d, d)),
+        };
+        let ff = |store: &mut ParamStore, init: &mut Init, name: &str| FfParams {
+            w1: store.add(format!("{name}.w1"), init.xavier(d, cfg.d_ff)),
+            b1: store.add(format!("{name}.b1"), init.zeros(1, cfg.d_ff)),
+            w2: store.add(format!("{name}.w2"), init.xavier(cfg.d_ff, d)),
+            b2: store.add(format!("{name}.b2"), init.zeros(1, d)),
+        };
+        let tok_emb = store.add("tok_emb", init.xavier(cfg.vocab, d));
+        let pos_emb = store.add("pos_emb", init.xavier(cfg.max_len, d));
+        let enc_layers = (0..cfg.n_enc_layers)
+            .map(|l| EncLayer {
+                ln1: ln(&mut store, &mut init, &format!("enc{l}.ln1")),
+                attn: attn(&mut store, &mut init, &format!("enc{l}.attn")),
+                ln2: ln(&mut store, &mut init, &format!("enc{l}.ln2")),
+                ff: ff(&mut store, &mut init, &format!("enc{l}.ff")),
+            })
+            .collect();
+        let dec_layers = (0..cfg.n_dec_layers)
+            .map(|l| DecLayer {
+                ln1: ln(&mut store, &mut init, &format!("dec{l}.ln1")),
+                self_attn: attn(&mut store, &mut init, &format!("dec{l}.self")),
+                ln2: ln(&mut store, &mut init, &format!("dec{l}.ln2")),
+                cross_attn: attn(&mut store, &mut init, &format!("dec{l}.cross")),
+                ln3: ln(&mut store, &mut init, &format!("dec{l}.ln3")),
+                ff: ff(&mut store, &mut init, &format!("dec{l}.ff")),
+            })
+            .collect();
+        let final_ln = ln(&mut store, &mut init, "final_ln");
+        let w_out = store.add("w_out", init.xavier(d, cfg.vocab));
+        let b_out = store.add("b_out", init.zeros(1, cfg.vocab));
+        Transformer {
+            cfg,
+            store,
+            tok_emb,
+            pos_emb,
+            enc_layers,
+            dec_layers,
+            final_ln,
+            w_out,
+            b_out,
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    fn clamp_len<'a>(&self, ids: &'a [usize]) -> &'a [usize] {
+        &ids[..ids.len().min(self.cfg.max_len)]
+    }
+}
+
+impl Seq2Seq for Transformer {
+    fn train_pair(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32 {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
+        let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
+        // Detach the tiny layer descriptors so `store` can be lent mutably.
+        let me = self.clone_shallow();
+        let mut g = Graph::new(&mut self.store);
+        let enc = me.encode(&mut g, src);
+        let logits = me.decode(&mut g, tgt_in, enc);
+        g.cross_entropy_backward(logits, tgt_out)
+    }
+
+    fn step(&mut self, lr: f32) {
+        self.store.adam_step(lr);
+    }
+
+    fn greedy(&mut self, src: &[usize], bos: usize, eos: usize, max_len: usize) -> Vec<usize> {
+        let src = self.clamp_len(src).to_vec();
+        let me = self.clone_shallow();
+        let mut out: Vec<usize> = vec![bos];
+        let cap = max_len.min(self.cfg.max_len);
+        // Encode once; reuse the encoder output tensor as a constant.
+        let enc_value = {
+            let mut g = Graph::new(&mut self.store);
+            let enc = me.encode(&mut g, &src);
+            g.value(enc).clone()
+        };
+        while out.len() < cap {
+            let mut g = Graph::new(&mut self.store);
+            let enc = g.constant(enc_value.clone());
+            let logits = me.decode(&mut g, &out, enc);
+            let v = g.value(logits);
+            let last = v.row(v.rows - 1);
+            let next = last
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(eos);
+            if next == eos {
+                break;
+            }
+            out.push(next);
+            if crate::seq2seq::looks_degenerate(&out) {
+                break;
+            }
+        }
+        out.remove(0);
+        out
+    }
+
+    fn save_json(&self) -> String {
+        serde_json::to_string(self).expect("transformer serialization")
+    }
+
+    fn forced_logprob(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32 {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
+        let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
+        let me = self.clone_shallow();
+        let mut g = Graph::new(&mut self.store);
+        let enc = me.encode(&mut g, src);
+        let logits = me.decode(&mut g, tgt_in, enc);
+        let probs = g.probs(logits);
+        let mut lp = 0.0f32;
+        for (r, &t) in tgt_out.iter().enumerate() {
+            lp += probs.at(r, t).max(1e-12).ln();
+        }
+        lp
+    }
+}
+
+impl Transformer {
+    /// A parameter-id-only copy used to borrow layer descriptors while the
+    /// store is mutably lent to a [`Graph`]. Weights are shared through the
+    /// store, not this copy.
+    fn clone_shallow(&self) -> ShallowRef {
+        ShallowRef {
+            cfg: self.cfg.clone(),
+            tok_emb: self.tok_emb,
+            pos_emb: self.pos_emb,
+            enc_layers: self.enc_layers.clone(),
+            dec_layers: self.dec_layers.clone(),
+            final_ln: self.final_ln.clone(),
+            w_out: self.w_out,
+            b_out: self.b_out,
+        }
+    }
+
+    /// Restores a transformer saved with [`Seq2Seq::save_json`].
+    ///
+    /// # Errors
+    /// Returns an error if the JSON does not describe a transformer.
+    pub fn load_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Layer descriptors detached from the parameter store (see
+/// [`Transformer::clone_shallow`]).
+struct ShallowRef {
+    cfg: TransformerConfig,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    enc_layers: Vec<EncLayer>,
+    dec_layers: Vec<DecLayer>,
+    final_ln: LnParams,
+    w_out: ParamId,
+    b_out: ParamId,
+}
+
+impl ShallowRef {
+    fn embed_with_pos(&self, g: &mut Graph<'_>, ids: &[usize]) -> NodeId {
+        let tok = g.param(self.tok_emb);
+        let pos = g.param(self.pos_emb);
+        let te = g.embed(tok, ids);
+        let positions: Vec<usize> = (0..ids.len()).map(|i| i.min(self.cfg.max_len - 1)).collect();
+        let pe = g.embed(pos, &positions);
+        g.add(te, pe)
+    }
+
+    fn ln(&self, g: &mut Graph<'_>, x: NodeId, p: &LnParams) -> NodeId {
+        let gain = g.param(p.gain);
+        let bias = g.param(p.bias);
+        g.layer_norm(x, gain, bias)
+    }
+
+    fn attention(
+        &self,
+        g: &mut Graph<'_>,
+        q_input: NodeId,
+        kv_input: NodeId,
+        p: &AttnParams,
+        mask: Option<&Tensor>,
+    ) -> NodeId {
+        let dh = self.cfg.d_model / self.cfg.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut head_outs: Vec<NodeId> = Vec::with_capacity(self.cfg.n_heads);
+        for h in 0..self.cfg.n_heads {
+            let wq = g.param(p.wq[h]);
+            let wk = g.param(p.wk[h]);
+            let wv = g.param(p.wv[h]);
+            let q = g.matmul(q_input, wq, false);
+            let k = g.matmul(kv_input, wk, false);
+            let v = g.matmul(kv_input, wv, false);
+            let scores = g.matmul(q, k, true);
+            let scores = g.scale(scores, scale);
+            let scores = match mask {
+                Some(m) => g.add_const(scores, m),
+                None => scores,
+            };
+            let a = g.softmax_rows(scores);
+            head_outs.push(g.matmul(a, v, false));
+        }
+        let mut concat = head_outs[0];
+        for h in &head_outs[1..] {
+            concat = g.concat_cols(concat, *h);
+        }
+        let wo = g.param(p.wo);
+        g.matmul(concat, wo, false)
+    }
+
+    fn feed_forward(&self, g: &mut Graph<'_>, x: NodeId, p: &FfParams) -> NodeId {
+        let w1 = g.param(p.w1);
+        let b1 = g.param(p.b1);
+        let w2 = g.param(p.w2);
+        let b2 = g.param(p.b2);
+        let h = g.matmul(x, w1, false);
+        let h = g.add_row_broadcast(h, b1);
+        let h = g.relu(h);
+        let h = g.matmul(h, w2, false);
+        g.add_row_broadcast(h, b2)
+    }
+
+    fn encode(&self, g: &mut Graph<'_>, src: &[usize]) -> NodeId {
+        let mut x = self.embed_with_pos(g, src);
+        for layer in &self.enc_layers {
+            let xn = self.ln(g, x, &layer.ln1);
+            let att = self.attention(g, xn, xn, &layer.attn, None);
+            x = g.add(x, att);
+            let xn = self.ln(g, x, &layer.ln2);
+            let ffo = self.feed_forward(g, xn, &layer.ff);
+            x = g.add(x, ffo);
+        }
+        x
+    }
+
+    fn decode(&self, g: &mut Graph<'_>, tgt_in: &[usize], enc: NodeId) -> NodeId {
+        let l = tgt_in.len();
+        let mut mask = Tensor::zeros(l, l);
+        for r in 0..l {
+            for c in (r + 1)..l {
+                mask.data[r * l + c] = -1e9;
+            }
+        }
+        let mut x = self.embed_with_pos(g, tgt_in);
+        for layer in &self.dec_layers {
+            let xn = self.ln(g, x, &layer.ln1);
+            let att = self.attention(g, xn, xn, &layer.self_attn, Some(&mask));
+            x = g.add(x, att);
+            let xn = self.ln(g, x, &layer.ln2);
+            let cross = self.attention(g, xn, enc, &layer.cross_attn, None);
+            x = g.add(x, cross);
+            let xn = self.ln(g, x, &layer.ln3);
+            let ffo = self.feed_forward(g, xn, &layer.ff);
+            x = g.add(x, ffo);
+        }
+        let xn = self.ln(g, x, &self.final_ln);
+        let w = g.param(self.w_out);
+        let b = g.param(self.b_out);
+        let logits = g.matmul(xn, w, false);
+        g.add_row_broadcast(logits, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq2seq::train_until;
+
+    #[test]
+    fn learns_to_copy_short_sequences() {
+        // Task: echo the source sequence. BOS=0, EOS=1, tokens 2..8.
+        let mut t = Transformer::new(TransformerConfig::tiny(10));
+        let pairs: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            (vec![2, 3, 4], vec![2, 3, 4]),
+            (vec![5, 6], vec![5, 6]),
+            (vec![7, 8, 2], vec![7, 8, 2]),
+            (vec![4, 4, 5], vec![4, 4, 5]),
+        ];
+        let loss = train_until(&mut t, &pairs, 0, 1, 300, 3e-3, 0.05);
+        assert!(loss < 0.3, "did not converge: {loss}");
+        let out = t.greedy(&[5, 6], 0, 1, 10);
+        assert_eq!(out, vec![5, 6]);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_decoding() {
+        let mut t = Transformer::new(TransformerConfig::tiny(12));
+        let pairs = vec![(vec![3usize, 4], vec![4usize, 3])];
+        let _ = train_until(&mut t, &pairs, 0, 1, 150, 3e-3, 0.05);
+        let json = t.save_json();
+        let mut t2 = Transformer::load_json(&json).unwrap();
+        assert_eq!(
+            t.greedy(&[3, 4], 0, 1, 8),
+            t2.greedy(&[3, 4], 0, 1, 8)
+        );
+    }
+
+    #[test]
+    fn param_count_scales_with_config() {
+        let small = Transformer::new(TransformerConfig::tiny(10));
+        let big = Transformer::new(TransformerConfig::small(10));
+        assert!(big.num_params() > small.num_params());
+        assert!(small.num_params() > 1000);
+    }
+}

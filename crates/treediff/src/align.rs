@@ -1,0 +1,135 @@
+//! Statement-level alignment built on the GumTree matcher.
+//!
+//! Consumers (templatization, statement-accuracy metrics) think in terms of
+//! *statement preorder indices* within a function body, not arena node ids;
+//! this module converts between the two.
+
+use crate::gumtree::{gumtree_match, Mapping};
+use crate::tree::{Label, Tree};
+use vega_cpplite::{Function, Stmt};
+
+/// Result of aligning two statement forests: pairs of statement preorder
+/// indices (0-based, counting every nested statement in document order, the
+/// same order as [`vega_cpplite::Function::iter_stmts`]).
+#[derive(Debug, Clone, Default)]
+pub struct StmtAlignment {
+    /// Matched statement index pairs `(left, right)`, in left preorder.
+    pub pairs: Vec<(usize, usize)>,
+    /// Number of statements on the left.
+    pub left_len: usize,
+    /// Number of statements on the right.
+    pub right_len: usize,
+}
+
+impl StmtAlignment {
+    /// The right-side index aligned with left statement `i`, if any.
+    pub fn right_of(&self, i: usize) -> Option<usize> {
+        self.pairs.iter().find(|(l, _)| *l == i).map(|(_, r)| *r)
+    }
+
+    /// The left-side index aligned with right statement `j`, if any.
+    pub fn left_of(&self, j: usize) -> Option<usize> {
+        self.pairs.iter().find(|(_, r)| *r == j).map(|(l, _)| *l)
+    }
+}
+
+/// Maps arena node ids to statement preorder indices (virtual nodes → None).
+fn stmt_indices(t: &Tree) -> Vec<Option<usize>> {
+    let mut out = vec![None; t.len()];
+    let mut next = 0usize;
+    for (id, n) in t.iter() {
+        if matches!(n.label, Label::Stmt(_)) {
+            out[id] = Some(next);
+            next += 1;
+        }
+    }
+    out
+}
+
+fn to_stmt_alignment(t1: &Tree, t2: &Tree, m: &Mapping) -> StmtAlignment {
+    let ix1 = stmt_indices(t1);
+    let ix2 = stmt_indices(t2);
+    let mut pairs = Vec::new();
+    for (a, b) in m.pairs() {
+        if let (Some(i), Some(j)) = (ix1[a], ix2[b]) {
+            pairs.push((i, j));
+        }
+    }
+    pairs.sort_unstable();
+    StmtAlignment {
+        pairs,
+        left_len: ix1.iter().flatten().count(),
+        right_len: ix2.iter().flatten().count(),
+    }
+}
+
+/// Aligns two statement forests.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::parse_stmts;
+/// use vega_treediff::align_stmts;
+/// let a = parse_stmts("x = 1; y = 2; return x;")?;
+/// let b = parse_stmts("x = 1; return x;")?;
+/// let al = align_stmts(&a, &b);
+/// assert_eq!(al.pairs, vec![(0, 0), (2, 1)]);
+/// # Ok::<(), vega_cpplite::ParseError>(())
+/// ```
+pub fn align_stmts(a: &[Stmt], b: &[Stmt]) -> StmtAlignment {
+    let t1 = Tree::build(a);
+    let t2 = Tree::build(b);
+    let m = gumtree_match(&t1, &t2);
+    to_stmt_alignment(&t1, &t2, &m)
+}
+
+/// Aligns the bodies of two functions (statement index 0 is each body's first
+/// statement; signatures are not part of the alignment).
+pub fn align_functions(a: &Function, b: &Function) -> StmtAlignment {
+    align_stmts(&a.body, &b.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_cpplite::{parse_function, parse_stmts};
+
+    #[test]
+    fn alignment_indices_follow_preorder() {
+        let a = parse_stmts(
+            "k = f(); if (p) { switch (k) { case A: return 1; default: break; } } return 0;",
+        )
+        .unwrap();
+        let b = parse_stmts(
+            "k = f(); if (p) { switch (k) { case B: return 2; default: break; } } return 0;",
+        )
+        .unwrap();
+        let al = align_stmts(&a, &b);
+        // k=f(), if, switch, case, return 1, default, break, return 0.
+        assert_eq!(al.left_len, 8);
+        assert_eq!(al.right_len, 8);
+        // Perfect structural alignment.
+        assert_eq!(al.pairs, (0..8).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn extra_statement_on_left() {
+        let a = parse_stmts("a = 1; extra = 9; return a;").unwrap();
+        let b = parse_stmts("a = 1; return a;").unwrap();
+        let al = align_stmts(&a, &b);
+        assert_eq!(al.right_of(0), Some(0));
+        assert_eq!(al.right_of(1), None);
+        assert_eq!(al.right_of(2), Some(1));
+        assert_eq!(al.left_of(1), Some(2));
+    }
+
+    #[test]
+    fn function_alignment_ignores_signature() {
+        let f1 = parse_function("int f(int x) { return x; }").unwrap();
+        let f2 = parse_function("int g(int y) { return y; }").unwrap();
+        let al = align_functions(&f1, &f2);
+        // `return x` vs `return y` still aligns (same kind, low token sim but
+        // recovery floor applies at the same child slot).
+        assert_eq!(al.left_len, 1);
+        assert_eq!(al.pairs.len(), 1);
+    }
+}

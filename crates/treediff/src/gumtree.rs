@@ -1,0 +1,316 @@
+//! GumTree-style tree matching (Falleri et al., ASE 2014), as used by the
+//! paper to align statements across target-specific implementations of the
+//! same interface function.
+//!
+//! The implementation follows the published two-phase structure:
+//! a greedy *top-down* phase matching isomorphic subtrees (largest first),
+//! then a *bottom-up* phase matching containers by the dice coefficient of
+//! their matched descendants, followed by an LCS-based recovery pass over the
+//! children of matched containers.
+
+use crate::lcs::{align_sequences, lcs_similarity};
+use crate::tree::Tree;
+use std::collections::HashMap;
+
+/// A one-to-one mapping between the nodes of two trees.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    s2d: Vec<Option<usize>>,
+    d2s: Vec<Option<usize>>,
+}
+
+impl Mapping {
+    fn new(n1: usize, n2: usize) -> Self {
+        Mapping { s2d: vec![None; n1], d2s: vec![None; n2] }
+    }
+
+    fn link(&mut self, a: usize, b: usize) {
+        if self.s2d[a].is_none() && self.d2s[b].is_none() {
+            self.s2d[a] = Some(b);
+            self.d2s[b] = Some(a);
+        }
+    }
+
+    /// The destination node matched to source node `a`, if any.
+    pub fn dst_of(&self, a: usize) -> Option<usize> {
+        self.s2d.get(a).copied().flatten()
+    }
+
+    /// The source node matched to destination node `b`, if any.
+    pub fn src_of(&self, b: usize) -> Option<usize> {
+        self.d2s.get(b).copied().flatten()
+    }
+
+    /// All matched pairs `(src, dst)` in source preorder.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.s2d
+            .iter()
+            .enumerate()
+            .filter_map(|(a, b)| b.map(|b| (a, b)))
+            .collect()
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.s2d.iter().filter(|x| x.is_some()).count()
+    }
+
+    /// Returns `true` if no nodes are matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Dice-coefficient threshold for the bottom-up phase.
+const DICE_THRESHOLD: f64 = 0.2;
+/// Similarity threshold for the recovery pass over container children.
+const RECOVERY_THRESHOLD: f64 = 0.35;
+
+/// Matches two trees, returning the node mapping.
+///
+/// # Examples
+/// ```
+/// use vega_cpplite::parse_stmts;
+/// use vega_treediff::{gumtree_match, Tree};
+/// let a = Tree::build(&parse_stmts("x = 1; return x;")?);
+/// let b = Tree::build(&parse_stmts("x = 1; return x;")?);
+/// let m = gumtree_match(&a, &b);
+/// assert_eq!(m.len(), a.len()); // fully isomorphic
+/// # Ok::<(), vega_cpplite::ParseError>(())
+/// ```
+pub fn gumtree_match(t1: &Tree, t2: &Tree) -> Mapping {
+    let mut m = Mapping::new(t1.len(), t2.len());
+    m.link(0, 0);
+    top_down(t1, t2, &mut m);
+    bottom_up(t1, t2, &mut m);
+    recovery(t1, t2, &mut m);
+    m
+}
+
+/// Greedily matches isomorphic subtrees, tallest first. Among equal-hash
+/// candidates, the one whose parent is already matched to our parent wins;
+/// ties fall back to preorder.
+fn top_down(t1: &Tree, t2: &Tree, m: &mut Mapping) {
+    // Index t2 subtrees by hash.
+    let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (id, n) in t2.iter().skip(1) {
+        by_hash.entry(n.hash).or_default().push(id);
+    }
+    // Process t1 nodes in height-descending order (stable on preorder).
+    let mut order: Vec<usize> = (1..t1.len()).collect();
+    order.sort_by_key(|&id| std::cmp::Reverse(t1.node(id).height));
+    for a in order {
+        if m.dst_of(a).is_some() {
+            continue;
+        }
+        let Some(cands) = by_hash.get(&t1.node(a).hash) else { continue };
+        let parent_a = t1.node(a).parent;
+        let want_parent = m.dst_of(parent_a);
+        let pick = cands
+            .iter()
+            .copied()
+            .filter(|&b| m.src_of(b).is_none() && t1.isomorphic(a, t2, b))
+            .max_by_key(|&b| {
+                i32::from(want_parent == Some(t2.node(b).parent))
+            });
+        if let Some(b) = pick {
+            link_subtrees(t1, a, t2, b, m);
+        }
+    }
+}
+
+/// Links two isomorphic subtrees node-by-node (same shape by construction).
+fn link_subtrees(t1: &Tree, a: usize, t2: &Tree, b: usize, m: &mut Mapping) {
+    m.link(a, b);
+    let ca = &t1.node(a).children;
+    let cb = &t2.node(b).children;
+    debug_assert_eq!(ca.len(), cb.len());
+    for (&x, &y) in ca.iter().zip(cb.iter()) {
+        link_subtrees(t1, x, t2, y, m);
+    }
+}
+
+fn dice(t1: &Tree, a: usize, t2: &Tree, b: usize, m: &Mapping) -> f64 {
+    let d1 = t1.descendants(a);
+    let d2: std::collections::HashSet<usize> = t2.descendants(b).into_iter().collect();
+    if d1.is_empty() && d2.is_empty() {
+        return 0.0;
+    }
+    let common = d1
+        .iter()
+        .filter(|&&x| m.dst_of(x).is_some_and(|y| d2.contains(&y)))
+        .count();
+    2.0 * common as f64 / (d1.len() + d2.len()) as f64
+}
+
+/// Matches unmatched containers whose descendants largely correspond.
+fn bottom_up(t1: &Tree, t2: &Tree, m: &mut Mapping) {
+    // Postorder ≈ increasing height then preorder; good enough for arenas.
+    let mut order: Vec<usize> = (1..t1.len()).collect();
+    order.sort_by_key(|&id| t1.node(id).height);
+    let unmatched2: Vec<usize> = (1..t2.len()).collect();
+    for a in order {
+        if m.dst_of(a).is_some() || t1.node(a).children.is_empty() {
+            continue;
+        }
+        let label = t1.node(a).label;
+        let best = unmatched2
+            .iter()
+            .copied()
+            .filter(|&b| m.src_of(b).is_none() && t2.node(b).label == label)
+            .map(|b| (b, dice(t1, a, t2, b, m)))
+            .filter(|&(_, d)| d >= DICE_THRESHOLD)
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap());
+        if let Some((b, _)) = best {
+            m.link(a, b);
+        }
+    }
+}
+
+/// Similarity between two nodes for the recovery pass: same label required,
+/// then token-sequence LCS similarity (with a floor so empty-token pairs of
+/// equal label still align).
+fn node_sim(t1: &Tree, a: usize, t2: &Tree, b: usize) -> f64 {
+    let (n1, n2) = (t1.node(a), t2.node(b));
+    if n1.label != n2.label {
+        return 0.0;
+    }
+    0.4 + 0.6 * lcs_similarity(&n1.tokens, &n2.tokens, |x, y| x == y)
+}
+
+/// For every matched pair, aligns unmatched children by similarity and links
+/// them; repeats until a fixed point (new links can enable deeper ones).
+fn recovery(t1: &Tree, t2: &Tree, m: &mut Mapping) {
+    for _ in 0..t1.node(0).height + 1 {
+        let mut progressed = false;
+        for (a, b) in m.pairs() {
+            let ua: Vec<usize> = t1.node(a).children.iter().copied().filter(|&c| m.dst_of(c).is_none()).collect();
+            let ub: Vec<usize> = t2.node(b).children.iter().copied().filter(|&c| m.src_of(c).is_none()).collect();
+            if ua.is_empty() || ub.is_empty() {
+                continue;
+            }
+            let pairs = align_sequences(
+                &ua,
+                &ub,
+                |&x, &y| node_sim(t1, x, t2, y),
+                RECOVERY_THRESHOLD,
+            );
+            for (i, j) in pairs {
+                m.link(ua[i], ub[j]);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_cpplite::parse_stmts;
+
+    fn trees(a: &str, b: &str) -> (Tree, Tree) {
+        (
+            Tree::build(&parse_stmts(a).unwrap()),
+            Tree::build(&parse_stmts(b).unwrap()),
+        )
+    }
+
+    #[test]
+    fn identical_trees_fully_match() {
+        let src = "unsigned Kind = F.getKind(); if (P) { switch (Kind) { case A: return 1; default: break; } } return 0;";
+        let (a, b) = trees(src, src);
+        let m = gumtree_match(&a, &b);
+        assert_eq!(m.len(), a.len());
+    }
+
+    #[test]
+    fn value_changes_still_align() {
+        // Same structure, one case label differs (ARM vs MIPS flavor).
+        let (a, b) = trees(
+            "k = F.getKind(); switch (k) { case ARM::fixup_arm_movt_hi16: return ELF::R_ARM_MOVT_PREL; default: break; }",
+            "k = F.getKind(); switch (k) { case Mips::fixup_MIPS_HI16: return ELF::R_MIPS_HI16; default: break; }",
+        );
+        let m = gumtree_match(&a, &b);
+        // Everything aligns: root, k=..., switch, case, return, default, break.
+        assert_eq!(m.len(), a.len());
+    }
+
+    #[test]
+    fn missing_statement_leaves_gap() {
+        let (a, b) = trees(
+            "a = 1; b = 2; return a;",
+            "a = 1; return a;",
+        );
+        let m = gumtree_match(&a, &b);
+        assert_eq!(m.len(), 3); // root, a=1, return a
+        // `b = 2;` (node 2 in a) has no match.
+        assert!(m.dst_of(2).is_none());
+    }
+
+    #[test]
+    fn reordered_identical_leaves_match_uniquely() {
+        let (a, b) = trees("x = 1; y = 2;", "y = 2; x = 1;");
+        let m = gumtree_match(&a, &b);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn nested_if_else_alignment() {
+        let (a, b) = trees(
+            "if (P) { switch (K) { case A: return 1; } } else { return Z; }",
+            "if (P) { switch (K) { case B: return 2; } } else { return W; }",
+        );
+        let m = gumtree_match(&a, &b);
+        // All nodes align pairwise despite differing leaves.
+        assert_eq!(m.len(), a.len());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn mapping_is_one_to_one() {
+        let (a, b) = trees("x = 1; x = 1; x = 1;", "x = 1;");
+        let m = gumtree_match(&a, &b);
+        let mut seen = std::collections::HashSet::new();
+        for (_, d) in m.pairs() {
+            assert!(seen.insert(d), "destination matched twice");
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use vega_cpplite::parse_stmts;
+
+    /// A statement inserted mid-switch must not derail the case alignment.
+    #[test]
+    fn insertion_in_switch_preserves_other_cases() {
+        let a = Tree::build(
+            &parse_stmts(
+                "switch (k) { case A: return 1; case B: return 2; case C: return 3; }",
+            )
+            .unwrap(),
+        );
+        let b = Tree::build(
+            &parse_stmts(
+                "switch (k) { case A: return 1; case X: return 9; case B: return 2; case C: return 3; }",
+            )
+            .unwrap(),
+        );
+        let m = gumtree_match(&a, &b);
+        // All of a's nodes match (b has two extra).
+        assert_eq!(m.len(), a.len());
+    }
+
+    /// Matching is symmetric in size: |M| ≤ min(|T1|, |T2|).
+    #[test]
+    fn mapping_size_bound() {
+        let a = Tree::build(&parse_stmts("x = 1; y = 2; z = 3;").unwrap());
+        let b = Tree::build(&parse_stmts("x = 1;").unwrap());
+        let m = gumtree_match(&a, &b);
+        assert!(m.len() <= a.len().min(b.len()));
+    }
+}

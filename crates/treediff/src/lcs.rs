@@ -1,0 +1,177 @@
+//! Longest-common-subsequence utilities.
+//!
+//! Used in three places: token-level LCS to split common code from
+//! placeholders during templatization (§3.2.1), sequence alignment of sibling
+//! statements during template merging, and the GumTree recovery phase.
+
+/// Returns index pairs `(i, j)` of one longest common subsequence of `a` and
+/// `b` under `eq`, in increasing order.
+///
+/// # Examples
+/// ```
+/// use vega_treediff::lcs_indices;
+/// let a = ["case", "SV", ":"];
+/// let b = ["case", "X", ":"];
+/// let m = lcs_indices(&a, &b, |x, y| x == y);
+/// assert_eq!(m, vec![(0, 0), (2, 2)]);
+/// ```
+pub fn lcs_indices<T, F>(a: &[T], b: &[T], eq: F) -> Vec<(usize, usize)>
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let (n, m) = (a.len(), b.len());
+    // dp[i][j] = LCS length of a[i..], b[j..]
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if eq(&a[i], &b[j]) {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if eq(&a[i], &b[j]) && dp[i][j] == dp[i + 1][j + 1] + 1 {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// LCS-based similarity in `[0, 1]`: `2·|LCS| / (|a| + |b|)`.
+///
+/// Empty-vs-empty is defined as 1.
+///
+/// # Examples
+/// ```
+/// use vega_treediff::lcs_similarity;
+/// assert_eq!(lcs_similarity(&[1, 2, 3], &[1, 2, 3], |a, b| a == b), 1.0);
+/// assert_eq!(lcs_similarity::<i32, _>(&[], &[], |a, b| a == b), 1.0);
+/// ```
+pub fn lcs_similarity<T, F>(a: &[T], b: &[T], eq: F) -> f64
+where
+    F: Fn(&T, &T) -> bool,
+{
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let l = lcs_indices(a, b, eq).len();
+    2.0 * l as f64 / (a.len() + b.len()) as f64
+}
+
+/// Weighted global sequence alignment (Needleman–Wunsch without mismatch
+/// substitutions): returns matched index pairs maximizing the total
+/// similarity, where pairs scoring below `threshold` are never matched.
+///
+/// Unlike plain LCS this supports graded similarity — two statements that
+/// differ only in one target-specific value still align.
+///
+/// # Examples
+/// ```
+/// use vega_treediff::align_sequences;
+/// let a = ["ret 1", "ret 2"];
+/// let b = ["ret 9", "ret 2"];
+/// let sim = |x: &&str, y: &&str| if x == y { 1.0 } else if x[..3] == y[..3] { 0.6 } else { 0.0 };
+/// let m = align_sequences(&a, &b, sim, 0.5);
+/// assert_eq!(m, vec![(0, 0), (1, 1)]);
+/// ```
+pub fn align_sequences<T, F>(a: &[T], b: &[T], sim: F, threshold: f64) -> Vec<(usize, usize)>
+where
+    F: Fn(&T, &T) -> f64,
+{
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0f64; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            let mut best = dp[i + 1][j].max(dp[i][j + 1]);
+            let s = sim(&a[i], &b[j]);
+            if s >= threshold {
+                best = best.max(dp[i + 1][j + 1] + s);
+            }
+            dp[i][j] = best;
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        let s = sim(&a[i], &b[j]);
+        if s >= threshold && (dp[i][j] - (dp[i + 1][j + 1] + s)).abs() < 1e-9 {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_basic() {
+        let a = [1, 3, 5, 7];
+        let b = [0, 3, 7, 9];
+        assert_eq!(lcs_indices(&a, &b, |x, y| x == y), vec![(1, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn lcs_empty() {
+        let a: [i32; 0] = [];
+        assert!(lcs_indices(&a, &[1, 2], |x, y| x == y).is_empty());
+    }
+
+    #[test]
+    fn similarity_partial() {
+        let s = lcs_similarity(&[1, 2, 3, 4], &[1, 9, 3, 8], |a, b| a == b);
+        assert!((s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alignment_prefers_high_similarity() {
+        // a[0] weakly matches b[0] but strongly matches b[1]; the aligner
+        // should pick the strong pairing even though it skips b[0].
+        let a = [10];
+        let b = [11, 10];
+        let sim = |x: &i32, y: &i32| {
+            if x == y {
+                1.0
+            } else if (x - y).abs() == 1 {
+                0.4
+            } else {
+                0.0
+            }
+        };
+        assert_eq!(align_sequences(&a, &b, sim, 0.3), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn alignment_respects_threshold() {
+        let a = [1];
+        let b = [2];
+        let sim = |x: &i32, y: &i32| if x == y { 1.0 } else { 0.2 };
+        assert!(align_sequences(&a, &b, sim, 0.5).is_empty());
+    }
+
+    #[test]
+    fn alignment_is_monotone() {
+        let a = [1, 2, 3];
+        let b = [3, 2, 1];
+        let m = align_sequences(&a, &b, |x, y| f64::from(u8::from(x == y)), 0.5);
+        // Only one pair can be kept while preserving order.
+        assert_eq!(m.len(), 1);
+    }
+}

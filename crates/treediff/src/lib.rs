@@ -1,0 +1,38 @@
+//! `vega-treediff`: GumTree-style tree matching and statement alignment.
+//!
+//! The paper aligns statements across the target-specific implementations of
+//! an interface function using GumTree (Falleri et al., ASE 2014) and
+//! distinguishes common code from variant code with an LCS over matched
+//! statements (§3.1, §3.2.1). This crate provides those algorithms over the
+//! [`vega_cpplite::Stmt`] AST:
+//!
+//! * [`Tree`] — arena form with subtree hashes/heights/sizes,
+//! * [`gumtree_match`] — two-phase matcher (top-down isomorphic, bottom-up
+//!   dice, LCS recovery) returning a [`Mapping`],
+//! * [`align_stmts`] / [`align_functions`] — statement-index alignment,
+//! * [`lcs_indices`] / [`lcs_similarity`] / [`align_sequences`] — sequence
+//!   utilities reused by templatization.
+//!
+//! # Examples
+//! ```
+//! use vega_cpplite::parse_stmts;
+//! use vega_treediff::align_stmts;
+//! let arm = parse_stmts("k = F.getKind(); switch (k) { case ARM::movt: return 1; }")?;
+//! let mips = parse_stmts("k = F.getKind(); switch (k) { case Mips::hi16: return 2; }")?;
+//! let al = align_stmts(&arm, &mips);
+//! assert_eq!(al.pairs.len(), 4); // every statement aligns despite value differences
+//! # Ok::<(), vega_cpplite::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod align;
+mod gumtree;
+mod lcs;
+mod tree;
+
+pub use align::{align_functions, align_stmts, StmtAlignment};
+pub use gumtree::{gumtree_match, Mapping};
+pub use lcs::{align_sequences, lcs_indices, lcs_similarity};
+pub use tree::{Label, Node, Tree};

@@ -1,0 +1,219 @@
+//! Arena representation of statement trees for matching.
+//!
+//! GumTree-style algorithms want cheap indexed access to parents, heights,
+//! subtree hashes and descendant counts; this module flattens a
+//! [`vega_cpplite::Stmt`] forest into such an arena. `else` branches become
+//! virtual `Else` nodes so that branch structure participates in matching.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use vega_cpplite::{Stmt, StmtKind, Token};
+
+/// Node label: the statement kind, or one of two virtual labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The virtual root that holds a statement forest.
+    Root,
+    /// A real statement of the given kind.
+    Stmt(StmtKind),
+    /// The virtual node holding an `if` statement's else-branch.
+    Else,
+}
+
+/// One arena node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node label.
+    pub label: Label,
+    /// Head tokens of the statement (empty for virtual nodes).
+    pub tokens: Vec<Token>,
+    /// Children node ids, in order.
+    pub children: Vec<usize>,
+    /// Parent node id (`usize::MAX` for the root).
+    pub parent: usize,
+    /// Height of the subtree rooted here (leaf = 1).
+    pub height: usize,
+    /// Structural hash of the subtree (label + tokens + child hashes).
+    pub hash: u64,
+    /// Number of nodes in the subtree including this one.
+    pub size: usize,
+}
+
+/// An arena-allocated statement tree.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Builds a tree from a statement forest. Node 0 is the virtual root.
+    ///
+    /// # Examples
+    /// ```
+    /// use vega_cpplite::parse_stmts;
+    /// use vega_treediff::Tree;
+    /// let stmts = parse_stmts("if (a) { return 1; } return 0;")?;
+    /// let t = Tree::build(&stmts);
+    /// assert_eq!(t.len(), 4); // root + if + return + return
+    /// # Ok::<(), vega_cpplite::ParseError>(())
+    /// ```
+    pub fn build(stmts: &[Stmt]) -> Self {
+        let mut tree = Tree {
+            nodes: vec![Node {
+                label: Label::Root,
+                tokens: Vec::new(),
+                children: Vec::new(),
+                parent: usize::MAX,
+                height: 0,
+                hash: 0,
+                size: 0,
+            }],
+        };
+        for s in stmts {
+            let id = tree.add(s, 0);
+            tree.nodes[0].children.push(id);
+        }
+        tree.finish(0);
+        tree
+    }
+
+    fn add(&mut self, s: &Stmt, parent: usize) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            label: Label::Stmt(s.kind),
+            tokens: s.head.clone(),
+            children: Vec::new(),
+            parent,
+            height: 0,
+            hash: 0,
+            size: 0,
+        });
+        for c in &s.children {
+            let cid = self.add(c, id);
+            self.nodes[id].children.push(cid);
+        }
+        if !s.else_children.is_empty() {
+            let eid = self.nodes.len();
+            self.nodes.push(Node {
+                label: Label::Else,
+                tokens: Vec::new(),
+                children: Vec::new(),
+                parent: id,
+                height: 0,
+                hash: 0,
+                size: 0,
+            });
+            for c in &s.else_children {
+                let cid = self.add(c, eid);
+                self.nodes[eid].children.push(cid);
+            }
+            self.nodes[id].children.push(eid);
+        }
+        id
+    }
+
+    /// Computes height/hash/size bottom-up.
+    fn finish(&mut self, id: usize) {
+        let children = self.nodes[id].children.clone();
+        let mut h = DefaultHasher::new();
+        self.nodes[id].label.hash(&mut h);
+        for t in &self.nodes[id].tokens {
+            t.hash(&mut h);
+        }
+        let mut height = 0;
+        let mut size = 1;
+        for c in children {
+            self.finish(c);
+            self.nodes[c].hash.hash(&mut h);
+            height = height.max(self.nodes[c].height);
+            size += self.nodes[c].size;
+        }
+        self.nodes[id].height = height + 1;
+        self.nodes[id].hash = h.finish();
+        self.nodes[id].size = size;
+    }
+
+    /// Number of nodes, including the virtual root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the tree holds only the virtual root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Access a node by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Iterates over `(id, node)` pairs in creation (preorder-ish) order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Node)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Ids of all descendants of `id` (excluding `id`), preorder.
+    pub fn descendants(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack: Vec<usize> = self.nodes[id].children.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for c in self.nodes[n].children.iter().rev() {
+                stack.push(*c);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the two subtrees are isomorphic (same hash; hash
+    /// collisions are acceptable for matching heuristics).
+    pub fn isomorphic(&self, a: usize, other: &Tree, b: usize) -> bool {
+        self.nodes[a].hash == other.nodes[b].hash
+            && self.nodes[a].size == other.nodes[b].size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vega_cpplite::parse_stmts;
+
+    #[test]
+    fn builds_with_else_virtual_node() {
+        let stmts = parse_stmts("if (a) { x = 1; } else { x = 2; }").unwrap();
+        let t = Tree::build(&stmts);
+        // root, if, x=1, Else, x=2
+        assert_eq!(t.len(), 5);
+        let else_id = t
+            .iter()
+            .find(|(_, n)| n.label == Label::Else)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(t.node(else_id).children.len(), 1);
+    }
+
+    #[test]
+    fn hashes_distinguish_tokens() {
+        let a = Tree::build(&parse_stmts("return 1;").unwrap());
+        let b = Tree::build(&parse_stmts("return 2;").unwrap());
+        let c = Tree::build(&parse_stmts("return 1;").unwrap());
+        assert!(!a.isomorphic(1, &b, 1));
+        assert!(a.isomorphic(1, &c, 1));
+    }
+
+    #[test]
+    fn sizes_and_heights() {
+        let t = Tree::build(
+            &parse_stmts("switch (k) { case 1: return 1; default: break; }").unwrap(),
+        );
+        let root = t.node(0);
+        assert_eq!(root.size, t.len());
+        let sw = t.node(root.children[0]);
+        assert_eq!(sw.height, 3);
+        assert_eq!(t.descendants(root.children[0]).len(), sw.size - 1);
+    }
+}

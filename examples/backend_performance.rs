@@ -1,0 +1,38 @@
+//! Run the benchmark suite through the miniature compiler at -O0 and -O3
+//! for every built-in target — the substrate behind Fig. 10. No model
+//! training involved, so this runs in milliseconds.
+//!
+//! ```sh
+//! cargo run --release --example backend_performance
+//! ```
+
+use vega_corpus::{Corpus, CorpusConfig};
+use vega_minicc::{benchmark_suite, run_kernel, BackendVm, OptLevel};
+
+fn main() {
+    let corpus = Corpus::build(&CorpusConfig::tiny());
+    let kernels = benchmark_suite();
+
+    print!("{:<14}", "target");
+    for k in &kernels {
+        print!("{:>14}", k.name);
+    }
+    println!("{:>10}", "geomean");
+
+    for t in corpus.targets() {
+        let vm = BackendVm::new(&t.spec, &t.backend);
+        let mut speedups = Vec::new();
+        print!("{:<14}", t.spec.name);
+        for kernel in &kernels {
+            let o0 = run_kernel(kernel, &vm, OptLevel::O0).expect("O0 build");
+            let o3 = run_kernel(kernel, &vm, OptLevel::O3).expect("O3 build");
+            assert_eq!(o0.result, o3.result, "miscompile on {}", kernel.name);
+            let s = o0.cycles / o3.cycles.max(1e-9);
+            speedups.push(s);
+            print!("{:>13.2}x", s);
+        }
+        let geo = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+        println!("{:>9.2}x", geo.exp());
+    }
+    println!("\n(speedup = -O0 cycles / -O3 cycles; results verified equal)");
+}

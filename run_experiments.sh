@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every artifact of the paper's evaluation section and the
+# workspace's test/bench evidence, with tee'd logs at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+
+echo "== experiments (all tables/figures + ablations) =="
+cargo run --release -p vega-eval --bin vega-experiments -- all \
+  2>&1 | tee experiments_output.txt
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt

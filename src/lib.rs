@@ -1,0 +1,18 @@
+//! Workspace root crate for the VEGA reproduction.
+//!
+//! This crate only re-exports the member crates so that the repository-level
+//! `examples/` and `tests/` directories can exercise the whole system through
+//! one dependency. The real public API lives in the [`vega`] crate; the
+//! substrates are [`vega_corpus`], [`vega_cpplite`], [`vega_treediff`],
+//! [`vega_nn`], [`vega_model`], [`vega_minicc`], [`vega_forkflow`] and
+//! [`vega_eval`].
+
+pub use vega;
+pub use vega_corpus;
+pub use vega_cpplite;
+pub use vega_eval;
+pub use vega_forkflow;
+pub use vega_minicc;
+pub use vega_model;
+pub use vega_nn;
+pub use vega_treediff;

@@ -1,0 +1,136 @@
+//! Cross-crate invariants over the corpus: description-file conventions,
+//! template construction for every group, and feature discovery coverage.
+
+use std::collections::BTreeMap;
+use vega::{prop_catalog, select_features, FunctionTemplate, TgtIndex};
+use vega_corpus::{Corpus, CorpusConfig, Module, EVAL_TARGET_NAMES};
+
+fn corpus() -> Corpus {
+    Corpus::build(&CorpusConfig::tiny())
+}
+
+#[test]
+fn every_target_has_conventional_description_files() {
+    let c = corpus();
+    for t in c.targets() {
+        let ns = &t.spec.name;
+        for file in [
+            format!("lib/Target/{ns}/{ns}.td"),
+            format!("lib/Target/{ns}/{ns}InstrInfo.td"),
+            format!("lib/Target/{ns}/{ns}RegisterInfo.td"),
+            format!("lib/Target/{ns}/{ns}FixupKinds.h"),
+            format!("llvm/BinaryFormat/ELFRelocs/{ns}.def"),
+        ] {
+            assert!(t.descriptions.read(&file).is_some(), "{ns} missing {file}");
+        }
+        // The Name anchor the motivating example depends on.
+        let td = t.descriptions.read(&format!("lib/Target/{ns}/{ns}.td")).unwrap();
+        assert!(td.contains(&format!("Name = \"{ns}\"")), "{ns}: Name anchor");
+    }
+}
+
+#[test]
+fn every_function_group_folds_into_a_template() {
+    let c = corpus();
+    let catalog = prop_catalog(c.llvm_fs());
+    let mut ixs: BTreeMap<String, TgtIndex> = BTreeMap::new();
+    for t in c.training_targets() {
+        ixs.insert(t.spec.name.clone(), TgtIndex::build(&t.descriptions));
+    }
+    for (name, (_, members)) in c.function_groups(false) {
+        let template = FunctionTemplate::build(&name, &members);
+        // Every member is represented and its statements reconstructible.
+        assert_eq!(template.targets.len(), members.len(), "{name}");
+        for (target, f) in &members {
+            let present = template
+                .preorder()
+                .into_iter()
+                .filter(|&id| template.has(id, target))
+                .count();
+            assert_eq!(
+                present,
+                f.stmt_count(),
+                "{name}/{target}: template loses statements"
+            );
+            // head_for reproduces each original statement (as a multiset —
+            // template sibling order is a merge artifact, not per-target
+            // source order).
+            let mut from_template: Vec<String> = template
+                .preorder()
+                .into_iter()
+                .filter(|&id| template.has(id, target))
+                .map(|id| {
+                    let head = template.stmts[id].head_for(target).unwrap();
+                    format!("{:?}:{}", template.stmts[id].kind, vega_cpplite::render_tokens(&head))
+                })
+                .collect();
+            let mut from_source: Vec<String> = f
+                .iter_stmts()
+                .map(|s| format!("{:?}:{}", s.kind, vega_cpplite::render_tokens(&s.head)))
+                .collect();
+            from_template.sort();
+            from_source.sort();
+            assert_eq!(from_template, from_source, "{name}/{target}: statement mismatch");
+        }
+        // Features select without panicking and stay within caps.
+        let member_ix: BTreeMap<String, TgtIndex> = template
+            .targets
+            .iter()
+            .filter_map(|t| ixs.get(t).map(|ix| (t.clone(), ix.clone())))
+            .collect();
+        let feats = select_features(&template, &catalog, &member_ix);
+        assert!(feats.props.len() <= 12, "{name}: too many properties");
+    }
+}
+
+#[test]
+fn group_membership_follows_traits() {
+    let c = corpus();
+    let groups = c.function_groups(true);
+    // Hardware-loop interfaces exist exactly for hwloop targets.
+    let (_, hw) = &groups["isHardwareLoopProfitable"];
+    for t in c.targets() {
+        let has = hw.iter().any(|(n, _)| *n == t.spec.name);
+        assert_eq!(has, t.spec.traits.has_hwloop, "{}", t.spec.name);
+    }
+    // Relaxation interfaces exist exactly for compressed targets.
+    let (_, rx) = &groups["getRelaxedOpcode"];
+    for t in c.targets() {
+        let has = rx.iter().any(|(n, _)| *n == t.spec.name);
+        assert_eq!(has, t.spec.traits.has_compressed, "{}", t.spec.name);
+    }
+}
+
+#[test]
+fn module_inventory_matches_paper_shape() {
+    let c = corpus();
+    let groups = c.function_groups(false);
+    let mut per_module: BTreeMap<Module, usize> = BTreeMap::new();
+    for (_, (m, _)) in &groups {
+        *per_module.entry(*m).or_default() += 1;
+    }
+    // All seven modules are populated.
+    for m in Module::ALL {
+        assert!(per_module.get(&m).copied().unwrap_or(0) >= 3, "{m} too thin");
+    }
+}
+
+#[test]
+fn eval_targets_only_expose_description_files_to_generation() {
+    let c = corpus();
+    for name in EVAL_TARGET_NAMES {
+        let t = c.target(name).unwrap();
+        // The description FS must never contain backend C++ code.
+        for (path, content) in t.descriptions.iter() {
+            assert!(
+                !content.contains("getRelocType("),
+                "{name}: implementation leaked into {path}"
+            );
+            assert!(
+                path.starts_with(&format!("lib/Target/{name}"))
+                    || path.starts_with("llvm/BinaryFormat/ELFRelocs"),
+                "{name}: unexpected description path {path}"
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the substrates, spanning crates.
+
+use proptest::prelude::*;
+use vega_cpplite::{lex, parse_stmts, render_stmts, Token};
+use vega_model::{pieces_to_spellings, spellings_to_source, tokens_to_pieces};
+use vega_treediff::{align_sequences, align_stmts, lcs_indices, lcs_similarity};
+
+/// A strategy over small identifier names.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,12}".prop_filter("keywords excluded", |s| {
+        !matches!(
+            s.as_str(),
+            "if" | "else" | "switch" | "case" | "default" | "return" | "break" | "while" | "for"
+                | "true" | "false" | "nullptr" | "const"
+        )
+    })
+}
+
+/// A strategy over simple statements.
+fn simple_stmt() -> impl Strategy<Value = String> {
+    (ident(), ident(), 0i64..10000).prop_map(|(a, b, n)| format!("{a} = {b} + {n};"))
+}
+
+/// A strategy over small statement forests (with nesting).
+fn stmt_block(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        simple_stmt().boxed()
+    } else {
+        prop_oneof![
+            simple_stmt(),
+            (ident(), stmt_block(depth - 1)).prop_map(|(c, b)| format!("if ({c}) {{ {b} }}")),
+            (ident(), 0i64..50, stmt_block(depth - 1), stmt_block(depth - 1)).prop_map(
+                |(s, k, a, b)| format!(
+                    "switch ({s}) {{ case {k}: {a} break; default: {b} break; }}"
+                )
+            ),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// parse → render → parse is the identity on the statement AST.
+    #[test]
+    fn parse_render_roundtrip(blocks in prop::collection::vec(stmt_block(2), 1..4)) {
+        let src = blocks.join(" ");
+        let stmts = parse_stmts(&src).expect("generated source parses");
+        let printed = render_stmts(&stmts, 0);
+        let reparsed = parse_stmts(&printed).expect("printed source parses");
+        prop_assert_eq!(stmts, reparsed);
+    }
+
+    /// Subword pieces reassemble to the exact token spellings.
+    #[test]
+    fn subtok_roundtrip(blocks in prop::collection::vec(simple_stmt(), 1..4)) {
+        let src = blocks.join(" ");
+        let toks = lex(&src).unwrap();
+        let pieces = tokens_to_pieces(&toks);
+        let spell = pieces_to_spellings(&pieces);
+        let rejoined = spellings_to_source(&spell);
+        prop_assert_eq!(lex(&rejoined).unwrap(), toks);
+    }
+
+    /// LCS length is symmetric, bounded, and its pairs are strictly monotone.
+    #[test]
+    fn lcs_is_sane(a in prop::collection::vec(0u8..6, 0..24),
+                   b in prop::collection::vec(0u8..6, 0..24)) {
+        let ab = lcs_indices(&a, &b, |x, y| x == y);
+        let ba = lcs_indices(&b, &a, |x, y| x == y);
+        prop_assert_eq!(ab.len(), ba.len());
+        prop_assert!(ab.len() <= a.len().min(b.len()));
+        for w in ab.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+        for (i, j) in &ab {
+            prop_assert_eq!(a[*i], b[*j]);
+        }
+        let sim = lcs_similarity(&a, &b, |x, y| x == y);
+        prop_assert!((0.0..=1.0).contains(&sim));
+        let self_sim = lcs_similarity(&a, &a, |x, y| x == y);
+        prop_assert!((self_sim - 1.0).abs() < 1e-12);
+    }
+
+    /// Weighted alignment never pairs below the threshold and is monotone.
+    #[test]
+    fn alignment_respects_threshold(a in prop::collection::vec(0i32..8, 0..16),
+                                    b in prop::collection::vec(0i32..8, 0..16)) {
+        let sim = |x: &i32, y: &i32| 1.0 - (x - y).abs() as f64 / 8.0;
+        let pairs = align_sequences(&a, &b, sim, 0.8);
+        for (i, j) in &pairs {
+            prop_assert!(sim(&a[*i], &b[*j]) >= 0.8);
+        }
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+    }
+
+    /// Aligning a forest with itself matches every statement.
+    #[test]
+    fn self_alignment_is_total(blocks in prop::collection::vec(stmt_block(2), 1..4)) {
+        let src = blocks.join(" ");
+        let stmts = parse_stmts(&src).unwrap();
+        let al = align_stmts(&stmts, &stmts);
+        prop_assert_eq!(al.pairs.len(), al.left_len);
+        prop_assert!(al.pairs.iter().all(|(l, r)| l == r));
+    }
+
+    /// The lexer never loses integer values.
+    #[test]
+    fn lexer_preserves_ints(v in 0i64..1_000_000_000) {
+        let toks = lex(&format!("x = {v};")).unwrap();
+        prop_assert!(toks.contains(&Token::Int(v)));
+    }
+}
