@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, a release build, and the full test suite.
+# No step touches the network (the workspace has no external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")"
+export CARGO_NET_OFFLINE=true
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "ci: all checks passed"

@@ -1,79 +1,80 @@
 //! Throughput benches for the substrates: alignment, the NN stack, the
 //! interpreter and the corpus builder.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use vega_bench::Bench;
 use vega_corpus::{Corpus, CorpusConfig};
 use vega_cpplite::{lex, parse_function};
 use vega_model::{tokens_to_pieces, Vocab};
 use vega_nn::{Seq2Seq, Transformer, TransformerConfig};
 use vega_treediff::{align_functions, gumtree_match, Tree};
 
-fn quick(c: &mut Criterion, name: &str) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group(name);
-    g.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500));
-    g
-}
-
-fn bench_treediff(c: &mut Criterion) {
+fn bench_treediff() {
     let corpus = Corpus::build(&CorpusConfig::tiny());
-    let arm = corpus.target("ARM").unwrap().backend.function("getRelocType").unwrap();
-    let mips = corpus.target("Mips").unwrap().backend.function("getRelocType").unwrap();
-    let mut g = quick(c, "substrate_treediff");
-    g.bench_function("gumtree_match(getRelocType ARM vs Mips)", |b| {
-        let t1 = Tree::build(&arm.body);
-        let t2 = Tree::build(&mips.body);
-        b.iter(|| std::hint::black_box(gumtree_match(&t1, &t2).len()))
+    let arm = corpus
+        .target("ARM")
+        .unwrap()
+        .backend
+        .function("getRelocType")
+        .unwrap();
+    let mips = corpus
+        .target("Mips")
+        .unwrap()
+        .backend
+        .function("getRelocType")
+        .unwrap();
+    let t1 = Tree::build(&arm.body);
+    let t2 = Tree::build(&mips.body);
+    let mut g = Bench::group("substrate_treediff");
+    g.bench_function("gumtree_match(getRelocType ARM vs Mips)", || {
+        gumtree_match(&t1, &t2).len()
     });
-    g.bench_function("align_functions", |b| {
-        b.iter(|| std::hint::black_box(align_functions(arm, mips).pairs.len()))
-    });
+    g.bench_function("align_functions", || align_functions(arm, mips).pairs.len());
     g.finish();
 }
 
-fn bench_parser_interp(c: &mut Criterion) {
+fn bench_parser_interp() {
     let corpus = Corpus::build(&CorpusConfig::tiny());
     let rv = corpus.target("RISCV").unwrap();
-    let src = vega_cpplite::render_function(rv.backend.function("getRelocType").unwrap());
-    let mut g = quick(c, "substrate_cpplite");
-    g.bench_function("lex+parse getRelocType", |b| {
-        b.iter(|| std::hint::black_box(parse_function(&src).unwrap().stmt_count()))
+    let f = rv.backend.function("getRelocType").unwrap();
+    let src = vega_cpplite::render_function(f);
+    let mut g = Bench::group("substrate_cpplite");
+    g.bench_function("lex+parse getRelocType", || {
+        parse_function(&src).unwrap().stmt_count()
     });
-    g.bench_function("regression_suite(getRelocType)", |b| {
-        let f = rv.backend.function("getRelocType").unwrap();
-        b.iter(|| {
-            std::hint::black_box(vega_minicc::regression_test("getRelocType", f, f, &rv.spec).passed())
-        })
+    g.bench_function("regression_suite(getRelocType)", || {
+        vega_minicc::regression_test("getRelocType", f, f, &rv.spec).passed()
     });
     g.finish();
 }
 
-fn bench_nn(c: &mut Criterion) {
+fn bench_nn() {
     let toks = lex("case ARM::fixup_arm_movt_hi16: return ELF::R_ARM_MOVT_PREL;").unwrap();
     let vocab = Vocab::build(tokens_to_pieces(&toks).iter().map(String::as_str));
     let seq = vocab.encode_pieces(&tokens_to_pieces(&toks));
     let mut model = Transformer::new(TransformerConfig::tiny(vocab.len()));
-    let mut g = quick(c, "substrate_nn");
-    g.bench_function("transformer_train_step", |b| {
-        b.iter(|| {
-            let loss = model.train_example(&seq, &seq, 1, 2);
-            model.step(1e-3);
-            std::hint::black_box(loss)
-        })
+    let mut g = Bench::group("substrate_nn");
+    g.bench_function("transformer_train_step", || {
+        let loss = model.train_example(&seq, &seq, 1, 2);
+        model.step(1e-3);
+        loss
     });
-    g.bench_function("transformer_greedy_decode", |b| {
-        b.iter(|| std::hint::black_box(model.greedy(&seq, 1, 2, 24).len()))
+    g.bench_function("transformer_greedy_decode", || {
+        model.greedy(&seq, 1, 2, 24).len()
     });
     g.finish();
 }
 
-fn bench_corpus_build(c: &mut Criterion) {
-    let mut g = quick(c, "substrate_corpus");
-    g.bench_function("Corpus::build(tiny)", |b| {
-        b.iter(|| std::hint::black_box(Corpus::build(&CorpusConfig::tiny()).targets().len()))
+fn bench_corpus_build() {
+    let mut g = Bench::group("substrate_corpus");
+    g.bench_function("Corpus::build(tiny)", || {
+        Corpus::build(&CorpusConfig::tiny()).targets().len()
     });
     g.finish();
 }
 
-criterion_group!(substrates, bench_treediff, bench_parser_interp, bench_nn, bench_corpus_build);
-criterion_main!(substrates);
+fn main() {
+    bench_treediff();
+    bench_parser_interp();
+    bench_nn();
+    bench_corpus_build();
+}

@@ -1,12 +1,15 @@
-//! `vega-bench`: shared fixtures for the Criterion benches.
+//! `vega-bench`: shared fixtures and a dependency-free mini-harness for the
+//! benches.
 //!
 //! The actual benches live in `benches/paper_artifacts.rs` (one group per
 //! paper table/figure, run at reduced scale so `cargo bench` terminates in
 //! minutes) and `benches/substrates.rs` (alignment, NN and compiler
-//! throughput).
+//! throughput). They are plain `fn main()` binaries (`harness = false`)
+//! driven by [`Bench`], so no external benchmarking crate is required.
 
 #![forbid(unsafe_code)]
 
+use std::time::{Duration, Instant};
 use vega::{Vega, VegaConfig};
 
 /// A tiny trained VEGA shared by the artifact benches (training happens once
@@ -15,4 +18,99 @@ pub fn trained_tiny_vega() -> Vega {
     let mut cfg = VegaConfig::tiny();
     cfg.train.finetune_epochs = 1;
     Vega::train(cfg)
+}
+
+/// Minimal wall-clock bench runner: a short warm-up, then timed iterations
+/// within a per-bench budget, reported as one table row per bench.
+pub struct Bench {
+    group: String,
+    table: vega_eval::TextTable,
+    warm_up: Duration,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bench {
+    /// A new group with the default budget (10 samples or 4 s, whichever
+    /// comes first, after 0.5 s of warm-up — the same budget the old
+    /// Criterion configuration used).
+    pub fn group(name: &str) -> Self {
+        Bench {
+            group: name.to_string(),
+            table: vega_eval::TextTable::new(["bench", "samples", "mean", "p50", "min", "max"]),
+            warm_up: Duration::from_millis(500),
+            budget: Duration::from_secs(4),
+            max_samples: 10,
+        }
+    }
+
+    /// Times `f`, recording one sample per call.
+    pub fn bench_function<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Self {
+        let warm_until = Instant::now() + self.warm_up;
+        loop {
+            std::hint::black_box(f());
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let mut samples: Vec<f64> = Vec::new();
+        let run_until = Instant::now() + self.budget;
+        while samples.len() < self.max_samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed().as_secs_f64());
+            if Instant::now() >= run_until {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let p50 = samples[samples.len() / 2];
+        self.table.row([
+            name.to_string(),
+            samples.len().to_string(),
+            fmt_secs(mean),
+            fmt_secs(p50),
+            fmt_secs(samples[0]),
+            fmt_secs(samples[samples.len() - 1]),
+        ]);
+        self
+    }
+
+    /// Prints the group's table.
+    pub fn finish(&self) {
+        println!("== {} ==\n{}", self.group, self.table.render());
+    }
+}
+
+/// Renders a duration in seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_secs_picks_units() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.0025), "2.50 ms");
+        assert_eq!(fmt_secs(0.0000025), "2.50 us");
+    }
+
+    #[test]
+    fn bench_records_one_row_per_function() {
+        let mut g = Bench::group("test");
+        g.warm_up = Duration::from_millis(1);
+        g.budget = Duration::from_millis(10);
+        g.bench_function("noop", || 1 + 1);
+        assert!(g.table.render().contains("noop"));
+    }
 }

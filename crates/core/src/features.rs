@@ -120,8 +120,7 @@ pub fn prop_catalog(llvm: &VirtualFs) -> PropCatalog {
                                     Token::Punct("}") => break,
                                     Token::Ident(m) if depth == 1 => {
                                         // Skip RHS identifiers of `M = X`.
-                                        let prev_is_eq =
-                                            j > 0 && toks[j - 1].is_punct("=");
+                                        let prev_is_eq = j > 0 && toks[j - 1].is_punct("=");
                                         if !prev_is_eq {
                                             cat.enum_members
                                                 .entry(m.clone())
@@ -220,7 +219,9 @@ impl TgtIndex {
             let mut i = 0;
             while i < toks.len() {
                 if let Token::Ident(id) = &toks[i] {
-                    ix.idents.entry(id.clone()).or_insert_with(|| path.to_string());
+                    ix.idents
+                        .entry(id.clone())
+                        .or_insert_with(|| path.to_string());
                 }
                 match &toks[i] {
                     Token::Ident(kw) if kw == "def" => {
@@ -283,9 +284,7 @@ impl TgtIndex {
                         }
                         i += 1;
                     }
-                    Token::Ident(lhs)
-                        if toks.get(i + 1).is_some_and(|t| t.is_punct("=")) =>
-                    {
+                    Token::Ident(lhs) if toks.get(i + 1).is_some_and(|t| t.is_punct("=")) => {
                         let rhs = match toks.get(i + 2) {
                             Some(Token::Str(s)) => Some(s.clone()),
                             Some(Token::Int(v)) => Some(v.to_string()),
@@ -423,7 +422,9 @@ pub fn partial_match(tok: &str, rhs: &str) -> bool {
     }
     // Containment only counts for substantial fragments — `r` ⊂ `srl` must
     // not bind a register prefix to a mnemonic.
-    (b.len() >= 3 && a.contains(&b)) || (a.len() >= 3 && b.contains(&a)) || lcs_substring(&a, &b) >= 5
+    (b.len() >= 3 && a.contains(&b))
+        || (a.len() >= 3 && b.contains(&a))
+        || lcs_substring(&a, &b) >= 5
 }
 
 /// Re-evaluates a boolean property for a (possibly new) target: the probe
@@ -462,8 +463,22 @@ const MAX_DEP_PROPS: usize = 6;
 fn is_stop_token(s: &str) -> bool {
     matches!(
         s,
-        "if" | "else" | "switch" | "case" | "default" | "return" | "break" | "while" | "for"
-            | "unsigned" | "int" | "bool" | "const" | "true" | "false" | "void" | "StringRef"
+        "if" | "else"
+            | "switch"
+            | "case"
+            | "default"
+            | "return"
+            | "break"
+            | "while"
+            | "for"
+            | "unsigned"
+            | "int"
+            | "bool"
+            | "const"
+            | "true"
+            | "false"
+            | "void"
+            | "StringRef"
     )
 }
 
@@ -561,15 +576,15 @@ pub fn select_features(
             let mut votes: BTreeMap<(String, String), (f64, usize)> = BTreeMap::new();
             let mut voters = 0usize;
             for (target, value) in &slot.values {
-                let Some(ix) = tgt_indexes.get(target) else { continue };
+                let Some(ix) = tgt_indexes.get(target) else {
+                    continue;
+                };
                 let value_str = slot_value_string(value);
                 if value_str.is_empty() {
                     continue;
                 }
                 voters += 1;
-                for (name, source_key, weight) in
-                    discover_slot_property(&value_str, ix, catalog)
-                {
+                for (name, source_key, weight) in discover_slot_property(&value_str, ix, catalog) {
                     let e = votes.entry((name, source_key)).or_default();
                     e.0 += weight;
                     e.1 += 1;
@@ -620,7 +635,11 @@ pub fn select_features(
         .into_iter()
         .map(|(k, v)| (k, v + n_bool))
         .collect();
-    TemplateFeatures { props, bool_values, slot_props }
+    TemplateFeatures {
+        props,
+        bool_values,
+        slot_props,
+    }
 }
 
 /// A slot value as a single string (single identifiers and literals; scoped
@@ -655,11 +674,17 @@ fn encode_source_key(s: &ValueSource) -> String {
 
 fn decode_source_key(s: &str) -> ValueSource {
     if let Some(n) = s.strip_prefix("enum:") {
-        ValueSource::TgtEnum { llvm_name: n.to_string() }
+        ValueSource::TgtEnum {
+            llvm_name: n.to_string(),
+        }
     } else if let Some(c) = s.strip_prefix("def:") {
-        ValueSource::DefNames { class: c.to_string() }
+        ValueSource::DefNames {
+            class: c.to_string(),
+        }
     } else if let Some(f) = s.strip_prefix("field:") {
-        ValueSource::Field { field: f.to_string() }
+        ValueSource::Field {
+            field: f.to_string(),
+        }
     } else {
         ValueSource::RegNames
     }
@@ -679,7 +704,11 @@ fn discover_slot_property(
             // Correlate with the LLVM-side property.
             let llvm_name = if catalog.entries.contains_key(&e.name) {
                 Some(e.name.clone())
-            } else if e.rhs_refs.iter().any(|r| catalog.enum_members.contains_key(r)) {
+            } else if e
+                .rhs_refs
+                .iter()
+                .any(|r| catalog.enum_members.contains_key(r))
+            {
                 e.rhs_refs
                     .iter()
                     .find_map(|r| catalog.enum_members.get(r).cloned())
@@ -700,7 +729,9 @@ fn discover_slot_property(
         if d.name == value && catalog.entries.contains_key(&d.class) {
             out.push((
                 d.class.clone(),
-                encode_source_key(&ValueSource::DefNames { class: d.class.clone() }),
+                encode_source_key(&ValueSource::DefNames {
+                    class: d.class.clone(),
+                }),
                 1.0,
             ));
         }
@@ -713,13 +744,20 @@ fn discover_slot_property(
             let field_count = ix.assigns.iter().filter(|b| b.lhs == a.lhs).count();
             out.push((
                 a.lhs.clone(),
-                encode_source_key(&ValueSource::Field { field: a.lhs.clone() }),
+                encode_source_key(&ValueSource::Field {
+                    field: a.lhs.clone(),
+                }),
                 1.0 / field_count.max(1) as f64,
             ));
         }
     }
     // 4. Constructed register names.
-    if out.is_empty() && ix.candidates(&ValueSource::RegNames).iter().any(|r| r == value) {
+    if out.is_empty()
+        && ix
+            .candidates(&ValueSource::RegNames)
+            .iter()
+            .any(|r| r == value)
+    {
         out.push((
             "RegPrefix".to_string(),
             encode_source_key(&ValueSource::RegNames),
@@ -733,7 +771,9 @@ fn discover_slot_property(
             if catalog.entries.contains_key(&a.lhs) && partial_match(value, &a.rhs) {
                 out.push((
                     a.lhs.clone(),
-                    encode_source_key(&ValueSource::Field { field: a.lhs.clone() }),
+                    encode_source_key(&ValueSource::Field {
+                        field: a.lhs.clone(),
+                    }),
                     0.5,
                 ));
                 break;
@@ -801,7 +841,10 @@ mod tests {
         let t = FunctionTemplate::build("getRelocType", members);
         let mut ixs = BTreeMap::new();
         for target in &t.targets {
-            ixs.insert(target.clone(), TgtIndex::build(&c.target(target).unwrap().descriptions));
+            ixs.insert(
+                target.clone(),
+                TgtIndex::build(&c.target(target).unwrap().descriptions),
+            );
         }
         let feats = select_features(&t, &cat, &ixs);
         let names: Vec<&str> = feats.props.iter().map(|p| p.name.as_str()).collect();
@@ -828,7 +871,10 @@ mod tests {
         let t = FunctionTemplate::build("getInstrLatency", members);
         let mut ixs = BTreeMap::new();
         for target in &t.targets {
-            ixs.insert(target.clone(), TgtIndex::build(&c.target(target).unwrap().descriptions));
+            ixs.insert(
+                target.clone(),
+                TgtIndex::build(&c.target(target).unwrap().descriptions),
+            );
         }
         let feats = select_features(&t, &cat, &ixs);
         let names: Vec<&str> = feats.props.iter().map(|p| p.name.as_str()).collect();
@@ -867,11 +913,7 @@ pub struct GlobalSignals {
 
 /// Reads the global signals off a target's description index.
 pub fn global_signals(ix: &TgtIndex) -> GlobalSignals {
-    let flag_value = |name: &str| {
-        ix.assigns
-            .iter()
-            .any(|a| a.lhs == name && a.rhs != "0")
-    };
+    let flag_value = |name: &str| ix.assigns.iter().any(|a| a.lhs == name && a.rhs != "0");
     let field_value = |name: &str| {
         ix.assigns
             .iter()
@@ -882,5 +924,8 @@ pub fn global_signals(ix: &TgtIndex) -> GlobalSignals {
     // Structural flag: the target declares its own symbol variant kinds
     // (drives the presence of the `Modifier` statement, the paper's S2).
     flags.push(ix.enums.iter().any(|e| e.name == "VariantKind"));
-    GlobalSignals { flags, fields: GLOBAL_FIELDS.iter().map(|f| field_value(f)).collect() }
+    GlobalSignals {
+        flags,
+        fields: GLOBAL_FIELDS.iter().map(|f| field_value(f)).collect(),
+    }
 }

@@ -165,7 +165,9 @@ pub fn training_values(
     if node_id != SIG_NODE {
         let node = &template.stmts[node_id];
         for (slot_id, slot) in node.slots.iter().enumerate() {
-            let Some(&prop_idx) = feats.slot_props.get(&(node_id, slot_id)) else { continue };
+            let Some(&prop_idx) = feats.slot_props.get(&(node_id, slot_id)) else {
+                continue;
+            };
             if let Some(v) = slot.values.get(target) {
                 let s = slot_value_string(v);
                 if !s.is_empty() {
@@ -215,11 +217,7 @@ pub fn build_input(
 /// Eq. (1): the confidence score of statement `S_k`.
 ///
 /// `CS(S_k) = (|T_k^com|/|T_k| + Σ_SV 1/(|T_k|·N(SV))) · has(S_k)`
-pub fn confidence_score(
-    node: &StmtTemplate,
-    slot_candidates: &[usize],
-    has: bool,
-) -> f64 {
+pub fn confidence_score(node: &StmtTemplate, slot_candidates: &[usize], has: bool) -> f64 {
     if !has {
         return 0.0;
     }
@@ -276,10 +274,12 @@ mod tests {
             slots: vec![
                 slot,
                 SlotData {
-                    values: [("ARM".to_string(), lex("ARM").unwrap()),
-                             ("Mips".to_string(), lex("Mips").unwrap())]
-                        .into_iter()
-                        .collect(),
+                    values: [
+                        ("ARM".to_string(), lex("ARM").unwrap()),
+                        ("Mips".to_string(), lex("Mips").unwrap()),
+                    ]
+                    .into_iter()
+                    .collect(),
                 },
             ],
             present: vec!["ARM".into(), "Mips".into()],
@@ -334,7 +334,10 @@ mod tests {
         assert_eq!(input[1], vocab.special(Special::Null)); // no prev line
         assert!(input.contains(&vocab.special(Special::True)));
         assert!(input.contains(&vocab.special(Special::E2d)));
-        let seps = input.iter().filter(|&&i| i == vocab.special(Special::Sep)).count();
+        let seps = input
+            .iter()
+            .filter(|&&i| i == vocab.special(Special::Sep))
+            .count();
         assert_eq!(seps, 1 + 3); // template sep + one per property
     }
 
@@ -360,7 +363,10 @@ mod tests {
             slot_props: [((0usize, 0usize), 0usize)].into_iter().collect(),
         };
         let vals = training_values(&template, &feats, 0, "ARM");
-        assert_eq!(vals.values[0], ResolvedValue::Str("fixup_arm_movt_hi16".into()));
+        assert_eq!(
+            vals.values[0],
+            ResolvedValue::Str("fixup_arm_movt_hi16".into())
+        );
         let vals = training_values(&template, &feats, 0, "RISCV");
         assert_eq!(vals.values[0], ResolvedValue::Null);
     }

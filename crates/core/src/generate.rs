@@ -223,8 +223,12 @@ fn generation_values(
     if node_id != SIG_NODE {
         let node = &template.stmts[node_id];
         for (slot_id, slot) in node.slots.iter().enumerate() {
-            let Some(&prop_idx) = feats.slot_props.get(&(node_id, slot_id)) else { continue };
-            let Some(source) = feats.props[prop_idx].source.as_ref() else { continue };
+            let Some(&prop_idx) = feats.slot_props.get(&(node_id, slot_id)) else {
+                continue;
+            };
+            let Some(source) = feats.props[prop_idx].source.as_ref() else {
+                continue;
+            };
             let train_values: Vec<String> = slot
                 .values
                 .values()
@@ -250,6 +254,9 @@ pub fn generate_function(
     catalog: &PropCatalog,
     max_input_len: usize,
 ) -> GeneratedFunction {
+    let obs = vega_obs::global();
+    let t_fn = std::time::Instant::now();
+    let conf_buckets = vega_obs::Buckets::linear(0.0, 1.0, 20);
     let mut state = GenState::new(target_ns);
     let norm = TargetNorm::new(target_ns);
     let signals = global_signals(ix);
@@ -262,9 +269,17 @@ pub fn generate_function(
     crate::featvec::append_global_signals(&mut sig_values, &signals);
     let mut sig_tline = Vec::new();
     template_line_pieces(&sig_node, &model.vocab, &mut sig_tline);
-    let input = build_input(&model.vocab, &norm, None, &sig_tline, &sig_values, max_input_len);
+    let input = build_input(
+        &model.vocab,
+        &norm,
+        None,
+        &sig_tline,
+        &sig_values,
+        max_input_len,
+    );
     let out = model.generate(&input, DECODE_LEN);
     let (sig_score, sig_line) = split_output(model, &norm, &out);
+    obs.observe_with("generate.confidence", &conf_buckets, sig_score);
     let sig_kept = sig_score >= 0.5;
     stmts.push(GeneratedStmt {
         node: SIG_NODE,
@@ -314,6 +329,7 @@ pub fn generate_function(
             .first()
             .and_then(|&id| model.vocab.score_of(id))
             .unwrap_or(0.0);
+        obs.observe_with("generate.confidence", &conf_buckets, score);
         let kept = score >= 0.5;
         if !kept {
             // Record the prior-best realization so Err-CS (dropped but
@@ -324,7 +340,12 @@ pub fn generate_function(
                 chosen.insert(slot_id, runs.first().cloned().unwrap_or_default());
             }
             let line = Stmt::new(node.kind, fill_pattern(node, &chosen), Vec::new()).head_line();
-            stmts.push(GeneratedStmt { node: node_id, score, line, kept: false });
+            stmts.push(GeneratedStmt {
+                node: node_id,
+                score,
+                line,
+                kept: false,
+            });
             continue;
         }
         // 2. Template-guided realization: the statement is the template with
@@ -342,7 +363,12 @@ pub fn generate_function(
             kept_heads.insert(node_id, head);
             prev_line_ids = Some(out_ids);
         }
-        stmts.push(GeneratedStmt { node: node_id, score, line, kept: true });
+        stmts.push(GeneratedStmt {
+            node: node_id,
+            score,
+            line,
+            kept: true,
+        });
     }
 
     // --- Assembly -------------------------------------------------------------
@@ -350,6 +376,8 @@ pub fn generate_function(
     let function = assemble_function(template, target_ns, &stmts[0], body);
 
     let multi_source = compute_multi_source(template, &kept_heads);
+    obs.observe("generate.function_seconds", t_fn.elapsed().as_secs_f64());
+    obs.counter_add("generate.functions", 1);
     GeneratedFunction {
         name: template.name.clone(),
         function,
@@ -408,9 +436,7 @@ fn slot_candidate_runs(
         let renamed: Vec<Token> = v
             .iter()
             .map(|t| match t {
-                Token::Ident(id) => {
-                    Token::Ident(state.new_norm.restore(&src_norm.anonymize(id)))
-                }
+                Token::Ident(id) => Token::Ident(state.new_norm.restore(&src_norm.anonymize(id))),
                 Token::Str(st) => Token::Str(state.new_norm.restore(&src_norm.anonymize(st))),
                 other => other.clone(),
             })
@@ -448,7 +474,10 @@ fn realize_statement(
         .collect();
     let mut options: BTreeMap<usize, (Option<usize>, Vec<Vec<Token>>)> = BTreeMap::new();
     for &sid in &slot_ids {
-        options.insert(sid, slot_candidate_runs(node_id, sid, node, feats, ix, state));
+        options.insert(
+            sid,
+            slot_candidate_runs(node_id, sid, node, feats, ix, state),
+        );
     }
     // Current assignment: prior-best everywhere.
     let mut chosen: BTreeMap<usize, Vec<Token>> = BTreeMap::new();
@@ -480,8 +509,11 @@ fn realize_statement(
     // candidates whose realization stays parseable are eligible.
     let line_ok = |chosen: &BTreeMap<usize, Vec<Token>>| -> bool {
         let head = fill_pattern(node, chosen);
-        parse_generated_head(node.kind, &Stmt::new(node.kind, head, Vec::new()).head_line())
-            .is_some()
+        parse_generated_head(
+            node.kind,
+            &Stmt::new(node.kind, head, Vec::new()).head_line(),
+        )
+        .is_some()
     };
     for &sid in &slot_ids {
         let (_, runs) = &options[&sid];
@@ -562,7 +594,10 @@ pub fn signature_node_for(template: &FunctionTemplate) -> StmtTemplate {
 }
 
 fn score_offset(out: &[usize], model: &CodeBe) -> usize {
-    usize::from(out.first().is_some_and(|&id| model.vocab.score_of(id).is_some()))
+    usize::from(
+        out.first()
+            .is_some_and(|&id| model.vocab.score_of(id).is_some()),
+    )
 }
 
 /// Splits a decoded output into (score, statement text), restoring the
@@ -593,9 +628,7 @@ pub fn parse_generated_head(kind: StmtKind, line: &str) -> Option<Vec<Token>> {
         }
         let mut end = toks.len();
         for t in trail.iter().rev() {
-            if end > start
-                && (toks[end - 1].is_ident(t) || toks[end - 1].is_punct(t))
-            {
+            if end > start && (toks[end - 1].is_ident(t) || toks[end - 1].is_punct(t)) {
                 end -= 1;
             }
         }
@@ -641,10 +674,13 @@ pub fn parse_generated_head(kind: StmtKind, line: &str) -> Option<Vec<Token>> {
     // on the next parse and break AST round-tripping.
     match reparsed.as_slice() {
         [one] if one.kind == kind => Some(head),
-        [vega_cpplite::Stmt { kind: StmtKind::Switch, children, .. }]
-            if matches!(kind, StmtKind::Case | StmtKind::Default)
-                && children.len() == 1
-                && children[0].kind == kind =>
+        [vega_cpplite::Stmt {
+            kind: StmtKind::Switch,
+            children,
+            ..
+        }] if matches!(kind, StmtKind::Case | StmtKind::Default)
+            && children.len() == 1
+            && children[0].kind == kind =>
         {
             Some(head)
         }
@@ -661,8 +697,14 @@ fn assemble(
     let mut out = Vec::new();
     for &id in ids {
         let node = &template.stmts[id];
-        let Some(head) = kept_heads.get(&id) else { continue };
-        let mut s = Stmt::new(node.kind, head.clone(), assemble(template, &node.children, kept_heads));
+        let Some(head) = kept_heads.get(&id) else {
+            continue;
+        };
+        let mut s = Stmt::new(
+            node.kind,
+            head.clone(),
+            assemble(template, &node.children, kept_heads),
+        );
         s.else_children = assemble(template, &node.else_children, kept_heads);
         out.push(s);
     }
@@ -694,7 +736,8 @@ fn assemble_function(
         let text = new_norm.restore(&seed_norm.anonymize(&vega_cpplite::render_tokens(&toks)));
         try_parse(&text)?
     };
-    let mut f = if sig.kept { try_parse(&sig.line) } else { None }.unwrap_or_else(|| template_sig.clone());
+    let mut f =
+        if sig.kept { try_parse(&sig.line) } else { None }.unwrap_or_else(|| template_sig.clone());
     f.ret = template_sig.ret;
     f.params = template_sig.params;
     f.name = template.name.clone();
@@ -751,7 +794,11 @@ pub fn training_confidence(
     tgt_candidates: &BTreeMap<usize, usize>,
 ) -> f64 {
     if node_id == SIG_NODE {
-        return if template.targets.iter().any(|t| t == target) { 1.0 } else { 0.0 };
+        return if template.targets.iter().any(|t| t == target) {
+            1.0
+        } else {
+            0.0
+        };
     }
     let node = &template.stmts[node_id];
     let has = template.has(node_id, target);
@@ -765,9 +812,12 @@ mod tests {
 
     #[test]
     fn parse_generated_head_strips_structure() {
-        let head = parse_generated_head(StmtKind::Case, "case RISCV :: fixup_riscv_hi16 :")
-            .unwrap();
-        assert_eq!(vega_cpplite::render_tokens(&head), "RISCV::fixup_riscv_hi16");
+        let head =
+            parse_generated_head(StmtKind::Case, "case RISCV :: fixup_riscv_hi16 :").unwrap();
+        assert_eq!(
+            vega_cpplite::render_tokens(&head),
+            "RISCV::fixup_riscv_hi16"
+        );
         let head = parse_generated_head(StmtKind::If, "if ( IsPCRel ) {").unwrap();
         assert_eq!(vega_cpplite::render_tokens(&head), "IsPCRel");
         let head = parse_generated_head(StmtKind::Return, "return ELF :: R_X_NONE ;").unwrap();
@@ -779,7 +829,10 @@ mod tests {
 
     #[test]
     fn candidate_similarity_prefers_matching_kind() {
-        let train = vec!["fixup_arm_movt_hi16".to_string(), "fixup_MIPS_HI16".to_string()];
+        let train = vec![
+            "fixup_arm_movt_hi16".to_string(),
+            "fixup_MIPS_HI16".to_string(),
+        ];
         let hi = name_similarity("fixup_riscv_hi16", &train);
         let lo = name_similarity("fixup_riscv_call", &train);
         assert!(hi > lo, "hi {hi} lo {lo}");

@@ -13,12 +13,10 @@ use crate::featvec::{
 use crate::generate::{generate_function, training_confidence, GeneratedFunction};
 use crate::template::FunctionTemplate;
 use std::collections::{BTreeMap, HashSet};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use vega_corpus::{Corpus, CorpusConfig, Mix64, Module, VirtualFs};
 use vega_cpplite::Token;
-use vega_model::{
-    token_to_pieces, CodeBe, ModelChoice, TargetNorm, TrainConfig, Vocab,
-};
+use vega_model::{token_to_pieces, CodeBe, ModelChoice, TargetNorm, TrainConfig, Vocab};
 use vega_nn::{GruConfig, TransformerConfig};
 
 /// How the training/verification split is drawn (paper §4.1.2 and the split
@@ -79,7 +77,12 @@ impl VegaConfig {
         VegaConfig {
             corpus: CorpusConfig::tiny(),
             scale: Scale::Tiny,
-            train: TrainConfig { pretrain_steps: 0, finetune_epochs: 1, lr: 3e-3, seed: 1 },
+            train: TrainConfig {
+                pretrain_steps: 0,
+                finetune_epochs: 1,
+                lr: 3e-3,
+                seed: 1,
+            },
             model: ModelChoice::Transformer,
             split: Split::FunctionGroup,
             seed: 0,
@@ -172,7 +175,7 @@ impl Vega {
 
     /// As [`Vega::train`] but over a pre-built corpus.
     pub fn train_on(config: VegaConfig, corpus: Corpus) -> Self {
-        let t0 = Instant::now();
+        let stage1 = vega_obs::global().span("pipeline.stage1.feature_mapping");
         let catalog = prop_catalog(corpus.llvm_fs());
 
         // Choose the training backends (Backend split drops 25% entirely).
@@ -221,7 +224,11 @@ impl Vega {
             let features = select_features(&template, &catalog, &member_ix);
             templates.insert(
                 name.clone(),
-                TemplateBundle { module: *module, template, features },
+                TemplateBundle {
+                    module: *module,
+                    template,
+                    features,
+                },
             );
         }
 
@@ -234,12 +241,18 @@ impl Vega {
             Scale::Tiny => 48,
             Scale::Small => 128,
         };
-        let (train_samples, verify_samples) =
-            build_samples(&templates, &tgt_ix, &vocab, config.seed, config.split, max_input_len);
-        let code_feature_mapping = t0.elapsed();
+        let (train_samples, verify_samples) = build_samples(
+            &templates,
+            &tgt_ix,
+            &vocab,
+            config.seed,
+            config.split,
+            max_input_len,
+        );
+        let code_feature_mapping = stage1.finish();
 
         // Stage 2: model creation.
-        let t1 = Instant::now();
+        let stage2 = vega_obs::global().span("pipeline.stage2.model_creation");
         let mut model = match (config.model, config.scale) {
             (ModelChoice::Transformer, Scale::Tiny) => {
                 CodeBe::transformer(vocab, |v| TransformerConfig {
@@ -264,7 +277,12 @@ impl Vega {
         };
         if config.train.pretrain_steps > 0 {
             let sequences = pretrain_sequences(&corpus, &training_targets, &model.vocab);
-            model.pretrain(&sequences, config.train.pretrain_steps, config.train.lr, config.seed);
+            model.pretrain(
+                &sequences,
+                config.train.pretrain_steps,
+                config.train.lr,
+                config.seed,
+            );
         }
         let mut dedup: HashSet<(Vec<usize>, Vec<usize>)> = HashSet::new();
         let mut pairs: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
@@ -284,7 +302,7 @@ impl Vega {
             pairs.extend(sig_pairs.iter().cloned());
         }
         model.finetune(&pairs, &config.train);
-        let model_creation = t1.elapsed();
+        let model_creation = stage2.finish();
 
         Vega {
             config,
@@ -293,7 +311,10 @@ impl Vega {
             templates,
             train_samples,
             verify_samples,
-            timings: StageTimings { code_feature_mapping, model_creation },
+            timings: StageTimings {
+                code_feature_mapping,
+                model_creation,
+            },
             model,
             max_input_len,
             tgt_ix,
@@ -368,7 +389,9 @@ impl Vega {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, p)| {
-                    p.source.as_ref().map(|s| (i, ix.candidates(s).len().max(1)))
+                    p.source
+                        .as_ref()
+                        .map(|s| (i, ix.candidates(s).len().max(1)))
                 })
                 .collect();
             new_samples.extend(samples_for_target(
@@ -414,11 +437,7 @@ impl Vega {
     /// Stage 3: generates a complete backend for a target from its
     /// description files alone.
     pub fn generate_backend(&mut self, target: &str) -> GeneratedBackend {
-        let descriptions: VirtualFs = self
-            .corpus
-            .tgt_fs(target)
-            .cloned()
-            .unwrap_or_default();
+        let descriptions: VirtualFs = self.corpus.tgt_fs(target).cloned().unwrap_or_default();
         self.generate_backend_from(target, &descriptions)
     }
 
@@ -432,9 +451,11 @@ impl Vega {
         let ix = TgtIndex::build(descriptions);
         let mut functions = Vec::new();
         let mut module_times: BTreeMap<Module, Duration> = BTreeMap::new();
-        let t0 = Instant::now();
+        let stage3 = vega_obs::global().span("pipeline.stage3.generate");
         for bundle in self.templates.values() {
-            let t = Instant::now();
+            // Child spans aggregate per module ("pipeline.stage3.generate.SEL"
+            // etc.) while `module_times` keeps the public per-module map.
+            let mspan = vega_obs::global().span(bundle.module.code());
             let f = generate_function(
                 &mut self.model,
                 target,
@@ -444,14 +465,14 @@ impl Vega {
                 &self.catalog,
                 self.max_input_len,
             );
-            *module_times.entry(bundle.module).or_default() += t.elapsed();
+            *module_times.entry(bundle.module).or_default() += mspan.finish();
             functions.push((bundle.module, f));
         }
         GeneratedBackend {
             target: target.to_string(),
             functions,
             module_times,
-            total_time: t0.elapsed(),
+            total_time: stage3.finish(),
         }
     }
 
@@ -470,17 +491,23 @@ fn build_vocab(corpus: &Corpus, training_targets: &[String]) -> Vocab {
         }
         let norm = TargetNorm::new(&t.spec.name);
         for (_, _, f) in t.backend.iter() {
-            pieces.extend(norm.anonymize_pieces(&f
-                .signature_tokens()
-                .iter()
-                .flat_map(token_to_pieces)
-                .collect::<Vec<_>>()));
+            pieces.extend(
+                norm.anonymize_pieces(
+                    &f.signature_tokens()
+                        .iter()
+                        .flat_map(token_to_pieces)
+                        .collect::<Vec<_>>(),
+                ),
+            );
             for s in f.iter_stmts() {
-                pieces.extend(norm.anonymize_pieces(&s
-                    .line_tokens()
-                    .iter()
-                    .flat_map(token_to_pieces)
-                    .collect::<Vec<_>>()));
+                pieces.extend(
+                    norm.anonymize_pieces(
+                        &s.line_tokens()
+                            .iter()
+                            .flat_map(token_to_pieces)
+                            .collect::<Vec<_>>(),
+                    ),
+                );
             }
         }
         for (_, content) in t.descriptions.iter() {
@@ -547,13 +574,17 @@ fn build_samples(
             Split::Backend => members.len(),
         };
         for (mi, target) in members.iter().enumerate() {
-            let Some(ix) = tgt_ix.get(target) else { continue };
+            let Some(ix) = tgt_ix.get(target) else {
+                continue;
+            };
             let prop_candidates: BTreeMap<usize, usize> = feats
                 .props
                 .iter()
                 .enumerate()
                 .filter_map(|(i, p)| {
-                    p.source.as_ref().map(|s| (i, ix.candidates(s).len().max(1)))
+                    p.source
+                        .as_ref()
+                        .map(|s| (i, ix.candidates(s).len().max(1)))
                 })
                 .collect();
             let samples = samples_for_target(
@@ -618,7 +649,14 @@ fn samples_for_target(
         template_line_pieces(node, vocab, &mut tline);
         let mut values = training_values(template, feats, node_id, target);
         crate::featvec::append_global_signals(&mut values, signals);
-        let input = build_input(vocab, &norm, prev_line.as_deref(), &tline, &values, max_input_len);
+        let input = build_input(
+            vocab,
+            &norm,
+            prev_line.as_deref(),
+            &tline,
+            &values,
+            max_input_len,
+        );
         let score = training_confidence(template, feats, node_id, target, prop_candidates);
         let mut output = vec![vocab.score_token(score)];
         match node.head_for(target) {
@@ -718,8 +756,16 @@ mod tests {
         cfg_be.split = Split::Backend;
         let vega_fg = Vega::train(cfg_fg);
         let vega_be = Vega::train(cfg_be);
-        let fg_members: usize = vega_fg.templates.values().map(|b| b.template.targets.len()).sum();
-        let be_members: usize = vega_be.templates.values().map(|b| b.template.targets.len()).sum();
+        let fg_members: usize = vega_fg
+            .templates
+            .values()
+            .map(|b| b.template.targets.len())
+            .sum();
+        let be_members: usize = vega_be
+            .templates
+            .values()
+            .map(|b| b.template.targets.len())
+            .sum();
         assert!(be_members < fg_members);
         // Backend split trains on everything it kept; verification is empty.
         assert!(vega_be.verify_samples.is_empty());

@@ -294,7 +294,15 @@ impl FunctionTemplate {
                 // add_subtree), so nothing to do here.
                 continue;
             }
-            let id = self.insert_node(stmt, parent_node, in_else, target, fi, &matched_node, &incoming);
+            let id = self.insert_node(
+                stmt,
+                parent_node,
+                in_else,
+                target,
+                fi,
+                &matched_node,
+                &incoming,
+            );
             matched_node[fi] = Some(id);
             // Children of an inserted node are added as a whole subtree.
             let kids = self.add_subtree(&stmt.children, Some(id), false, target);
@@ -344,7 +352,8 @@ impl FunctionTemplate {
         };
         let mut insert_at = 0usize;
         for (j, entry) in incoming.iter().enumerate().take(fi) {
-            let same_parent = entry.1.map(|p| matched_node[p]) == incoming[fi].1.map(|p| matched_node[p])
+            let same_parent = entry.1.map(|p| matched_node[p])
+                == incoming[fi].1.map(|p| matched_node[p])
                 && entry.2 == in_else;
             if !same_parent {
                 continue;
@@ -389,48 +398,59 @@ impl FunctionTemplate {
 
         let mut new_pattern: Vec<PatTok> = Vec::new();
         let (mut pi, mut hi) = (0usize, 0usize);
-        let push_gap =
-            |pat_run: &[PatTok], head_run: &[Token], slots: &mut Vec<SlotData>, new_pattern: &mut Vec<PatTok>| {
-                if pat_run.is_empty() && head_run.is_empty() {
+        let push_gap = |pat_run: &[PatTok],
+                        head_run: &[Token],
+                        slots: &mut Vec<SlotData>,
+                        new_pattern: &mut Vec<PatTok>| {
+            if pat_run.is_empty() && head_run.is_empty() {
+                return;
+            }
+            // Reuse an existing slot if the pattern gap is exactly one
+            // slot; otherwise build a new slot absorbing the gap.
+            if pat_run.len() == 1 {
+                if let PatTok::Slot(s) = pat_run[0] {
+                    slots[s]
+                        .values
+                        .insert(target.to_string(), head_run.to_vec());
+                    new_pattern.push(PatTok::Slot(s));
                     return;
                 }
-                // Reuse an existing slot if the pattern gap is exactly one
-                // slot; otherwise build a new slot absorbing the gap.
-                if pat_run.len() == 1 {
-                    if let PatTok::Slot(s) = pat_run[0] {
-                        slots[s].values.insert(target.to_string(), head_run.to_vec());
-                        new_pattern.push(PatTok::Slot(s));
-                        return;
-                    }
-                }
-                let mut slot = SlotData::default();
-                // Previous targets' value for this gap: the common tokens
-                // and slot values that sat in the gap.
-                for t in &present {
-                    let mut v: Vec<Token> = Vec::new();
-                    for p in pat_run {
-                        match p {
-                            PatTok::Common(tok) => v.push(tok.clone()),
-                            PatTok::Slot(s) => {
-                                if let Some(sv) = slots[*s].values.get(t) {
-                                    v.extend(sv.iter().cloned());
-                                }
+            }
+            let mut slot = SlotData::default();
+            // Previous targets' value for this gap: the common tokens
+            // and slot values that sat in the gap.
+            for t in &present {
+                let mut v: Vec<Token> = Vec::new();
+                for p in pat_run {
+                    match p {
+                        PatTok::Common(tok) => v.push(tok.clone()),
+                        PatTok::Slot(s) => {
+                            if let Some(sv) = slots[*s].values.get(t) {
+                                v.extend(sv.iter().cloned());
                             }
                         }
                     }
-                    slot.values.insert(t.clone(), v);
                 }
-                slot.values.insert(target.to_string(), head_run.to_vec());
-                slots.push(slot);
-                new_pattern.push(PatTok::Slot(slots.len() - 1));
-            };
+                slot.values.insert(t.clone(), v);
+            }
+            slot.values.insert(target.to_string(), head_run.to_vec());
+            slots.push(slot);
+            new_pattern.push(PatTok::Slot(slots.len() - 1));
+        };
 
         for (mp, mh) in matches.iter().copied() {
-            push_gap(&pattern[pi..mp], &head[hi..mh], &mut slots, &mut new_pattern);
+            push_gap(
+                &pattern[pi..mp],
+                &head[hi..mh],
+                &mut slots,
+                &mut new_pattern,
+            );
             new_pattern.push(pattern[mp].clone());
             if let PatTok::Slot(s) = pattern[mp] {
                 // Shouldn't happen (slots never match), but keep sane.
-                slots[s].values.insert(target.to_string(), vec![head[mh].clone()]);
+                slots[s]
+                    .values
+                    .insert(target.to_string(), vec![head[mh].clone()]);
             }
             pi = mp + 1;
             hi = mh + 1;
@@ -572,10 +592,7 @@ unsigned MipsELFObjectWriter::getRelocType(const MCValue &Target, const MCFixup 
     #[test]
     fn motivating_example_template() {
         let (arm, mips) = arm_mips_group();
-        let t = FunctionTemplate::build(
-            "getRelocType",
-            &[("ARM", &arm), ("Mips", &mips)],
-        );
+        let t = FunctionTemplate::build("getRelocType", &[("ARM", &arm), ("Mips", &mips)]);
         // The Modifier statement (paper's S2) is ARM-only.
         let modifier = t
             .stmts
@@ -622,7 +639,10 @@ unsigned MipsELFObjectWriter::getRelocType(const MCValue &Target, const MCFixup 
         let text = vega_cpplite::render_tokens(&arm_head);
         assert_eq!(text, "ARM::fixup_arm_movt_hi16");
         let mips_head = case.head_for("Mips").unwrap();
-        assert_eq!(vega_cpplite::render_tokens(&mips_head), "Mips::fixup_MIPS_HI16");
+        assert_eq!(
+            vega_cpplite::render_tokens(&mips_head),
+            "Mips::fixup_MIPS_HI16"
+        );
         assert_eq!(case.head_for("RISCV"), None);
     }
 
@@ -632,9 +652,11 @@ unsigned MipsELFObjectWriter::getRelocType(const MCValue &Target, const MCFixup 
         let t = FunctionTemplate::build("getRelocType", &[("ARM", &arm), ("Mips", &mips)]);
         assert!(!t.signature.slots.is_empty());
         // The function name itself is common.
-        assert!(t.signature.pattern.iter().any(
-            |p| matches!(p, PatTok::Common(Token::Ident(i)) if i == "getRelocType")
-        ));
+        assert!(t
+            .signature
+            .pattern
+            .iter()
+            .any(|p| matches!(p, PatTok::Common(Token::Ident(i)) if i == "getRelocType")));
     }
 
     #[test]

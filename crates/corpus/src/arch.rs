@@ -229,18 +229,30 @@ pub const ISD_OPCODES: &[&str] = &[
 
 /// Numeric value of an ISD opcode (its index + 1; 0 is `DELETED_NODE`).
 pub fn isd_value(name: &str) -> Option<i64> {
-    ISD_OPCODES.iter().position(|o| *o == name).map(|i| i as i64 + 1)
+    ISD_OPCODES
+        .iter()
+        .position(|o| *o == name)
+        .map(|i| i as i64 + 1)
 }
 
 /// Generic MC fixup kinds available to all targets (miniature `MCFixup.h`).
-pub const GENERIC_FIXUPS: &[&str] = &["FK_NONE", "FK_Data_1", "FK_Data_2", "FK_Data_4", "FK_Data_8"];
+pub const GENERIC_FIXUPS: &[&str] = &[
+    "FK_NONE",
+    "FK_Data_1",
+    "FK_Data_2",
+    "FK_Data_4",
+    "FK_Data_8",
+];
 
 /// Value types used by register classes (miniature `MachineValueType.h`).
 pub const VALUE_TYPES: &[&str] = &["i32", "i64", "f32", "f64", "v128"];
 
 /// Numeric id of a value type.
 pub fn vt_value(name: &str) -> Option<i64> {
-    VALUE_TYPES.iter().position(|v| *v == name).map(|i| i as i64 + 1)
+    VALUE_TYPES
+        .iter()
+        .position(|v| *v == name)
+        .map(|i| i as i64 + 1)
 }
 
 #[cfg(test)]

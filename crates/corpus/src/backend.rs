@@ -68,7 +68,10 @@ pub struct Backend {
 impl Backend {
     /// Creates an empty backend for `target`.
     pub fn new(target: impl Into<String>) -> Self {
-        Backend { target: target.into(), functions: BTreeMap::new() }
+        Backend {
+            target: target.into(),
+            functions: BTreeMap::new(),
+        }
     }
 
     /// Inserts an interface function implementation.
@@ -100,9 +103,7 @@ impl Backend {
 
     /// Iterates `(name, module, function)` in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, Module, &Function)> {
-        self.functions
-            .iter()
-            .map(|(n, (m, f))| (n.as_str(), *m, f))
+        self.functions.iter().map(|(n, (m, f))| (n.as_str(), *m, f))
     }
 
     /// Number of interface functions.
@@ -135,7 +136,10 @@ mod tests {
         let g = parse_function("int getX() { return 2; }").unwrap();
         assert!(b.replace("getX", g));
         assert_eq!(b.function("getX").unwrap().body[0].head_line(), "return 2;");
-        assert!(!b.replace("nosuch", parse_function("int nosuch() { return 0; }").unwrap()));
+        assert!(!b.replace(
+            "nosuch",
+            parse_function("int nosuch() { return 0; }").unwrap()
+        ));
     }
 
     #[test]

@@ -59,10 +59,17 @@ pub fn is_valid_asm_immediate(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rende
     let qual = module_qualifier(ns, Module::Ass);
     let (lo, hi) = imm_range(spec.imm_bits);
     let mut b = String::new();
-    let _ = writeln!(b, "bool {qual}::isValidAsmImmediate(int Imm, unsigned Kind) {{");
+    let _ = writeln!(
+        b,
+        "bool {qual}::isValidAsmImmediate(int Imm, unsigned Kind) {{"
+    );
     let _ = writeln!(b, "  switch (Kind) {{");
     for f in &spec.fixups {
-        let max = if f.bits >= 63 { i64::MAX } else { (1i64 << f.bits) - 1 };
+        let max = if f.bits >= 63 {
+            i64::MAX
+        } else {
+            (1i64 << f.bits) - 1
+        };
         let _ = writeln!(b, "  case {ns}::{}:", f.name);
         let _ = writeln!(b, "    return Imm >= 0 && Imm <= {max};");
     }

@@ -40,7 +40,10 @@ pub fn decode_gpr_register_class(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Re
     let qual = module_qualifier(&spec.name, Module::Dis);
     let count = spec.regs[0].count;
     let mut b = String::new();
-    let _ = writeln!(b, "unsigned {qual}::decodeGPRRegisterClass(unsigned RegNo) {{");
+    let _ = writeln!(
+        b,
+        "unsigned {qual}::decodeGPRRegisterClass(unsigned RegNo) {{"
+    );
     let _ = writeln!(b, "  if (RegNo >= {count}) {{");
     let _ = writeln!(b, "    return MCDisassembler::Fail;");
     let _ = writeln!(b, "  }}");

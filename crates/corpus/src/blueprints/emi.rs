@@ -89,7 +89,10 @@ pub fn get_reloc_type(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
             "unsigned {qual}::getRelocType({sig_params}) {{\n  return GetRelocTypeInner(Target, Fixup, IsPCRel);\n}}\n"
         );
         let helper = format!("unsigned GetRelocTypeInner({sig_params}) {{\n{body}}}\n");
-        Some(Rendered { main, helpers: vec![helper] })
+        Some(Rendered {
+            main,
+            helpers: vec![helper],
+        })
     } else {
         let main = format!("unsigned {qual}::getRelocType({sig_params}) {{\n{body}}}\n");
         Some(Rendered::main_only(main))
@@ -101,7 +104,10 @@ pub fn apply_fixup(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
     let ns = &spec.name;
     let qual = module_qualifier(ns, Module::Emi);
     let mut b = String::new();
-    let _ = writeln!(b, "unsigned {qual}::applyFixup(unsigned Kind, int Value) {{");
+    let _ = writeln!(
+        b,
+        "unsigned {qual}::applyFixup(unsigned Kind, int Value) {{"
+    );
     let _ = writeln!(b, "  switch (Kind) {{");
     let _ = writeln!(b, "  case FK_Data_4:");
     let _ = writeln!(b, "    return Value & {};", mask(32));
@@ -172,7 +178,11 @@ pub fn encode_instruction(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered>
     let _ = writeln!(b, "  }}");
     let _ = writeln!(b, "  Binary = Binary | (MI.getReg(0) << {s0});");
     let _ = writeln!(b, "  Binary = Binary | (MI.getReg(1) << {s1});");
-    let _ = writeln!(b, "  Binary = Binary | ((MI.getImm() & {}) << 8);", mask(spec.imm_bits.min(8)));
+    let _ = writeln!(
+        b,
+        "  Binary = Binary | ((MI.getImm() & {}) << 8);",
+        mask(spec.imm_bits.min(8))
+    );
     let _ = writeln!(b, "  return Binary;");
     let _ = writeln!(b, "}}");
     Some(Rendered::main_only(b))

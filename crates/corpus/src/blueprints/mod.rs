@@ -18,13 +18,13 @@
 //! Both are keyed deterministically on `(corpus seed, target, group)`.
 
 mod ass;
-mod util;
 mod dis;
 mod emi;
 mod opt;
 mod reg;
 mod sch;
 mod sel;
+mod util;
 
 use crate::arch::ArchSpec;
 use crate::backend::Module;
@@ -44,7 +44,10 @@ pub struct Rendered {
 impl Rendered {
     /// A rendering with no helpers.
     pub fn main_only(main: String) -> Self {
-        Rendered { main, helpers: Vec::new() }
+        Rendered {
+            main,
+            helpers: Vec::new(),
+        }
     }
 }
 
@@ -65,50 +68,202 @@ pub struct Blueprint {
 pub fn all_blueprints() -> Vec<Blueprint> {
     let mut v = vec![
         // SEL — Instruction Selection
-        Blueprint { name: "selectOpcode", module: Module::Sel, render: sel::select_opcode },
-        Blueprint { name: "getOperationAction", module: Module::Sel, render: sel::get_operation_action },
-        Blueprint { name: "isLegalImmediate", module: Module::Sel, render: sel::is_legal_immediate },
-        Blueprint { name: "getAddrMode", module: Module::Sel, render: sel::get_addr_mode },
-        Blueprint { name: "getSelectOpcode", module: Module::Sel, render: sel::get_select_opcode },
-        Blueprint { name: "isTruncateFree", module: Module::Sel, render: sel::is_truncate_free },
-        Blueprint { name: "getImmCost", module: Module::Sel, render: sel::get_imm_cost },
+        Blueprint {
+            name: "selectOpcode",
+            module: Module::Sel,
+            render: sel::select_opcode,
+        },
+        Blueprint {
+            name: "getOperationAction",
+            module: Module::Sel,
+            render: sel::get_operation_action,
+        },
+        Blueprint {
+            name: "isLegalImmediate",
+            module: Module::Sel,
+            render: sel::is_legal_immediate,
+        },
+        Blueprint {
+            name: "getAddrMode",
+            module: Module::Sel,
+            render: sel::get_addr_mode,
+        },
+        Blueprint {
+            name: "getSelectOpcode",
+            module: Module::Sel,
+            render: sel::get_select_opcode,
+        },
+        Blueprint {
+            name: "isTruncateFree",
+            module: Module::Sel,
+            render: sel::is_truncate_free,
+        },
+        Blueprint {
+            name: "getImmCost",
+            module: Module::Sel,
+            render: sel::get_imm_cost,
+        },
         // REG — Register Allocation
-        Blueprint { name: "getRegClassFor", module: Module::Reg, render: reg::get_reg_class_for },
-        Blueprint { name: "getSpillSize", module: Module::Reg, render: reg::get_spill_size },
-        Blueprint { name: "getFrameRegister", module: Module::Reg, render: reg::get_frame_register },
-        Blueprint { name: "getReservedRegs", module: Module::Reg, render: reg::get_reserved_regs },
-        Blueprint { name: "isCalleeSavedReg", module: Module::Reg, render: reg::is_callee_saved_reg },
-        Blueprint { name: "getPointerRegClass", module: Module::Reg, render: reg::get_pointer_reg_class },
+        Blueprint {
+            name: "getRegClassFor",
+            module: Module::Reg,
+            render: reg::get_reg_class_for,
+        },
+        Blueprint {
+            name: "getSpillSize",
+            module: Module::Reg,
+            render: reg::get_spill_size,
+        },
+        Blueprint {
+            name: "getFrameRegister",
+            module: Module::Reg,
+            render: reg::get_frame_register,
+        },
+        Blueprint {
+            name: "getReservedRegs",
+            module: Module::Reg,
+            render: reg::get_reserved_regs,
+        },
+        Blueprint {
+            name: "isCalleeSavedReg",
+            module: Module::Reg,
+            render: reg::is_callee_saved_reg,
+        },
+        Blueprint {
+            name: "getPointerRegClass",
+            module: Module::Reg,
+            render: reg::get_pointer_reg_class,
+        },
         // OPT — Code Optimization
-        Blueprint { name: "foldImmediate", module: Module::Opt, render: opt::fold_immediate },
-        Blueprint { name: "combineMulAdd", module: Module::Opt, render: opt::combine_mul_add },
-        Blueprint { name: "isHardwareLoopProfitable", module: Module::Opt, render: opt::is_hardware_loop_profitable },
-        Blueprint { name: "isProfitableToHoist", module: Module::Opt, render: opt::is_profitable_to_hoist },
-        Blueprint { name: "isProfitableToDupForIfCvt", module: Module::Opt, render: opt::is_profitable_to_dup },
+        Blueprint {
+            name: "foldImmediate",
+            module: Module::Opt,
+            render: opt::fold_immediate,
+        },
+        Blueprint {
+            name: "combineMulAdd",
+            module: Module::Opt,
+            render: opt::combine_mul_add,
+        },
+        Blueprint {
+            name: "isHardwareLoopProfitable",
+            module: Module::Opt,
+            render: opt::is_hardware_loop_profitable,
+        },
+        Blueprint {
+            name: "isProfitableToHoist",
+            module: Module::Opt,
+            render: opt::is_profitable_to_hoist,
+        },
+        Blueprint {
+            name: "isProfitableToDupForIfCvt",
+            module: Module::Opt,
+            render: opt::is_profitable_to_dup,
+        },
         // SCH — Instruction Scheduling
-        Blueprint { name: "getInstrLatency", module: Module::Sch, render: sch::get_instr_latency },
-        Blueprint { name: "getNumMicroOps", module: Module::Sch, render: sch::get_num_micro_ops },
-        Blueprint { name: "isSchedulingBoundary", module: Module::Sch, render: sch::is_scheduling_boundary },
-        Blueprint { name: "getOperandLatency", module: Module::Sch, render: sch::get_operand_latency },
-        Blueprint { name: "getIssueWidth", module: Module::Sch, render: sch::get_issue_width },
+        Blueprint {
+            name: "getInstrLatency",
+            module: Module::Sch,
+            render: sch::get_instr_latency,
+        },
+        Blueprint {
+            name: "getNumMicroOps",
+            module: Module::Sch,
+            render: sch::get_num_micro_ops,
+        },
+        Blueprint {
+            name: "isSchedulingBoundary",
+            module: Module::Sch,
+            render: sch::is_scheduling_boundary,
+        },
+        Blueprint {
+            name: "getOperandLatency",
+            module: Module::Sch,
+            render: sch::get_operand_latency,
+        },
+        Blueprint {
+            name: "getIssueWidth",
+            module: Module::Sch,
+            render: sch::get_issue_width,
+        },
         // EMI — Code Emission
-        Blueprint { name: "getRelocType", module: Module::Emi, render: emi::get_reloc_type },
-        Blueprint { name: "applyFixup", module: Module::Emi, render: emi::apply_fixup },
-        Blueprint { name: "getFixupKindInfo", module: Module::Emi, render: emi::get_fixup_kind_info },
-        Blueprint { name: "encodeInstruction", module: Module::Emi, render: emi::encode_instruction },
-        Blueprint { name: "getRelaxedOpcode", module: Module::Emi, render: emi::get_relaxed_opcode },
-        Blueprint { name: "mayNeedRelaxation", module: Module::Emi, render: emi::may_need_relaxation },
-        Blueprint { name: "getInstSizeInBytes", module: Module::Emi, render: emi::get_inst_size_in_bytes },
+        Blueprint {
+            name: "getRelocType",
+            module: Module::Emi,
+            render: emi::get_reloc_type,
+        },
+        Blueprint {
+            name: "applyFixup",
+            module: Module::Emi,
+            render: emi::apply_fixup,
+        },
+        Blueprint {
+            name: "getFixupKindInfo",
+            module: Module::Emi,
+            render: emi::get_fixup_kind_info,
+        },
+        Blueprint {
+            name: "encodeInstruction",
+            module: Module::Emi,
+            render: emi::encode_instruction,
+        },
+        Blueprint {
+            name: "getRelaxedOpcode",
+            module: Module::Emi,
+            render: emi::get_relaxed_opcode,
+        },
+        Blueprint {
+            name: "mayNeedRelaxation",
+            module: Module::Emi,
+            render: emi::may_need_relaxation,
+        },
+        Blueprint {
+            name: "getInstSizeInBytes",
+            module: Module::Emi,
+            render: emi::get_inst_size_in_bytes,
+        },
         // ASS — Assembly Parsing
-        Blueprint { name: "parseRegister", module: Module::Ass, render: ass::parse_register },
-        Blueprint { name: "matchMnemonic", module: Module::Ass, render: ass::match_mnemonic },
-        Blueprint { name: "isValidAsmImmediate", module: Module::Ass, render: ass::is_valid_asm_immediate },
-        Blueprint { name: "getCommentString", module: Module::Ass, render: ass::get_comment_string },
-        Blueprint { name: "getRegisterPrefix", module: Module::Ass, render: ass::get_register_prefix },
+        Blueprint {
+            name: "parseRegister",
+            module: Module::Ass,
+            render: ass::parse_register,
+        },
+        Blueprint {
+            name: "matchMnemonic",
+            module: Module::Ass,
+            render: ass::match_mnemonic,
+        },
+        Blueprint {
+            name: "isValidAsmImmediate",
+            module: Module::Ass,
+            render: ass::is_valid_asm_immediate,
+        },
+        Blueprint {
+            name: "getCommentString",
+            module: Module::Ass,
+            render: ass::get_comment_string,
+        },
+        Blueprint {
+            name: "getRegisterPrefix",
+            module: Module::Ass,
+            render: ass::get_register_prefix,
+        },
         // DIS — Disassembler
-        Blueprint { name: "decodeInstruction", module: Module::Dis, render: dis::decode_instruction },
-        Blueprint { name: "decodeGPRRegisterClass", module: Module::Dis, render: dis::decode_gpr_register_class },
-        Blueprint { name: "getDecodeSize", module: Module::Dis, render: dis::get_decode_size },
+        Blueprint {
+            name: "decodeInstruction",
+            module: Module::Dis,
+            render: dis::decode_instruction,
+        },
+        Blueprint {
+            name: "decodeGPRRegisterClass",
+            module: Module::Dis,
+            render: dis::decode_gpr_register_class,
+        },
+        Blueprint {
+            name: "getDecodeSize",
+            module: Module::Dis,
+            render: dis::get_decode_size,
+        },
     ];
     v.sort_by_key(|b| (b.module, b.name));
     v
@@ -174,7 +329,11 @@ mod tests {
         let xc = &eval_targets()[2];
         for bp in all_blueprints().iter().filter(|b| b.module == Module::Dis) {
             let mut rng = Mix64::keyed(0, "x");
-            assert!((bp.render)(xc, &mut rng).is_none(), "{} present on xCORE", bp.name);
+            assert!(
+                (bp.render)(xc, &mut rng).is_none(),
+                "{} present on xCORE",
+                bp.name
+            );
         }
     }
 

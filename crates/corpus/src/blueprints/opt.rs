@@ -23,7 +23,10 @@ pub fn fold_immediate(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
         .map(|i| i.name.clone())?;
     let (lo, hi) = imm_range(spec.imm_bits);
     let mut b = String::new();
-    let _ = writeln!(b, "unsigned {qual}::foldImmediate(unsigned Opcode, int Imm) {{");
+    let _ = writeln!(
+        b,
+        "unsigned {qual}::foldImmediate(unsigned Opcode, int Imm) {{"
+    );
     let _ = writeln!(b, "  if (Imm < {lo} || Imm > {hi}) {{");
     let _ = writeln!(b, "    return 0;");
     let _ = writeln!(b, "  }}");
@@ -54,7 +57,10 @@ pub fn combine_mul_add(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
     let mul = isd_instr(spec, "MUL")?;
     let add = isd_instr(spec, "ADD")?;
     let mut b = String::new();
-    let _ = writeln!(b, "unsigned {qual}::combineMulAdd(unsigned MulOpcode, unsigned AddOpcode) {{");
+    let _ = writeln!(
+        b,
+        "unsigned {qual}::combineMulAdd(unsigned MulOpcode, unsigned AddOpcode) {{"
+    );
     let _ = writeln!(b, "  if (MulOpcode != {ns}::{mul}) {{");
     let _ = writeln!(b, "    return 0;");
     let _ = writeln!(b, "  }}");
@@ -76,7 +82,10 @@ pub fn is_hardware_loop_profitable(spec: &ArchSpec, rng: &mut Mix64) -> Option<R
     // Loop-buffer capacity differs per implementation and is undocumented.
     let max_body = *rng.pick(&[32i64, 64]);
     let mut b = String::new();
-    let _ = writeln!(b, "bool {qual}::isHardwareLoopProfitable(int TripCount, int NumInstrs) {{");
+    let _ = writeln!(
+        b,
+        "bool {qual}::isHardwareLoopProfitable(int TripCount, int NumInstrs) {{"
+    );
     let _ = writeln!(b, "  if (TripCount < 2) {{");
     let _ = writeln!(b, "    return false;");
     let _ = writeln!(b, "  }}");
@@ -94,7 +103,10 @@ pub fn is_profitable_to_hoist(spec: &ArchSpec, rng: &mut Mix64) -> Option<Render
     let qual = module_qualifier(ns, Module::Opt);
     let depth_cap = *rng.pick(&[2i64, 3]);
     let mut b = String::new();
-    let _ = writeln!(b, "bool {qual}::isProfitableToHoist(unsigned Opcode, int Depth) {{");
+    let _ = writeln!(
+        b,
+        "bool {qual}::isProfitableToHoist(unsigned Opcode, int Depth) {{"
+    );
     let _ = writeln!(b, "  if (Depth > {depth_cap}) {{");
     let _ = writeln!(b, "    return false;");
     let _ = writeln!(b, "  }}");
@@ -122,7 +134,10 @@ pub fn is_profitable_to_dup(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered
     let base = if spec.traits.has_cmov { 4 } else { 2 };
     let cap = base + if rng.chance(0.3) { 1 } else { 0 };
     let mut b = String::new();
-    let _ = writeln!(b, "bool {qual}::isProfitableToDupForIfCvt(int NumInstrs) {{");
+    let _ = writeln!(
+        b,
+        "bool {qual}::isProfitableToDupForIfCvt(int NumInstrs) {{"
+    );
     let _ = writeln!(b, "  return NumInstrs <= {cap};");
     let _ = writeln!(b, "}}");
     Some(Rendered::main_only(b))

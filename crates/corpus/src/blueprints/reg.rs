@@ -62,7 +62,10 @@ pub fn get_frame_register(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered>
     let ns = &spec.name;
     let qual = module_qualifier(ns, Module::Reg);
     let mut b = String::new();
-    let _ = writeln!(b, "unsigned {qual}::getFrameRegister(const MachineFunction &MF) {{");
+    let _ = writeln!(
+        b,
+        "unsigned {qual}::getFrameRegister(const MachineFunction &MF) {{"
+    );
     let _ = writeln!(b, "  if (MF.hasFP()) {{");
     let _ = writeln!(b, "    return {ns}::{};", spec.fp_reg);
     let _ = writeln!(b, "  }}");

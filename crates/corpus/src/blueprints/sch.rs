@@ -136,7 +136,11 @@ pub fn get_operand_latency(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered
 /// `getIssueWidth`: instructions issued per cycle.
 pub fn get_issue_width(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
     let qual = module_qualifier(&spec.name, Module::Sch);
-    let width = if spec.traits.has_simd || spec.word_bits == 64 { 2 } else { 1 };
+    let width = if spec.traits.has_simd || spec.word_bits == 64 {
+        2
+    } else {
+        1
+    };
     let mut b = String::new();
     let _ = writeln!(b, "unsigned {qual}::getIssueWidth() {{");
     let _ = writeln!(b, "  return {width};");

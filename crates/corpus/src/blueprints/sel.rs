@@ -20,7 +20,9 @@ pub fn select_opcode(spec: &ArchSpec, rng: &mut Mix64) -> Option<Rendered> {
     let _ = writeln!(b, "unsigned {qual}::selectOpcode(unsigned Opcode) {{");
     let _ = writeln!(b, "  switch (Opcode) {{");
     for isd in ISD_OPCODES {
-        let Some(instr) = isd_instr(spec, isd) else { continue };
+        let Some(instr) = isd_instr(spec, isd) else {
+            continue;
+        };
         // Idiosyncrasy: some targets route MUL/SDIV through a libcall even
         // though the instruction exists (not inferable from the .td files).
         if matches!(*isd, "MUL" | "SDIV") && rng.chance(0.12) {
@@ -108,7 +110,10 @@ pub fn get_addr_mode(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
     let st = isd_instr(spec, "STORE")?;
     let (lo, hi) = imm_range(spec.imm_bits);
     let mut b = String::new();
-    let _ = writeln!(b, "unsigned {qual}::getAddrMode(unsigned Opcode, int Offset) {{");
+    let _ = writeln!(
+        b,
+        "unsigned {qual}::getAddrMode(unsigned Opcode, int Offset) {{"
+    );
     let _ = writeln!(b, "  if (Opcode == {ns}::{ld} || Opcode == {ns}::{st}) {{");
     let _ = writeln!(b, "    if (Offset >= {lo} && Offset <= {hi}) {{");
     let _ = writeln!(b, "      return TargetLowering::AM_BaseImm;");
@@ -150,7 +155,10 @@ pub fn get_select_opcode(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> 
 pub fn is_truncate_free(spec: &ArchSpec, _rng: &mut Mix64) -> Option<Rendered> {
     let qual = module_qualifier(&spec.name, Module::Sel);
     let mut b = String::new();
-    let _ = writeln!(b, "bool {qual}::isTruncateFree(unsigned SrcVT, unsigned DstVT) {{");
+    let _ = writeln!(
+        b,
+        "bool {qual}::isTruncateFree(unsigned SrcVT, unsigned DstVT) {{"
+    );
     if spec.word_bits == 64 {
         let _ = writeln!(b, "  if (SrcVT == MVT::i64 && DstVT == MVT::i32) {{");
         let _ = writeln!(b, "    return true;");

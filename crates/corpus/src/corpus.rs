@@ -23,14 +23,20 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { seed: 0, synthetic_targets: 4 }
+        CorpusConfig {
+            seed: 0,
+            synthetic_targets: 4,
+        }
     }
 }
 
 impl CorpusConfig {
     /// A tiny configuration for fast unit tests.
     pub fn tiny() -> Self {
-        CorpusConfig { seed: 0, synthetic_targets: 4 }
+        CorpusConfig {
+            seed: 0,
+            synthetic_targets: 4,
+        }
     }
 }
 
@@ -66,17 +72,31 @@ impl Corpus {
     /// Panics if a blueprint renders unparseable code — a corpus bug, caught
     /// by the blueprint test suite.
     pub fn build(config: &CorpusConfig) -> Self {
+        let obs = vega_obs::global();
+        let build_span = obs.span("corpus.build");
         let mut specs = builtin_targets(config.seed);
         for i in 0..config.synthetic_targets {
             specs.push(synthetic_target(config.seed, i));
         }
         specs.extend(eval_targets());
         let blueprints = all_blueprints();
-        let targets = specs
+        let targets: Vec<TargetData> = specs
             .into_iter()
-            .map(|spec| build_target(spec, &blueprints, config.seed).expect("corpus blueprint must parse"))
+            .map(|spec| {
+                let tspan = obs.span(&spec.name);
+                let t = build_target(spec, &blueprints, config.seed)
+                    .expect("corpus blueprint must parse");
+                let _ = tspan.finish();
+                obs.counter_add("corpus.targets", 1);
+                obs.counter_add("corpus.functions", t.backend.iter().count() as u64);
+                t
+            })
             .collect();
-        Corpus { llvm: llvm_provided(), targets }
+        let _ = build_span.finish();
+        Corpus {
+            llvm: llvm_provided(),
+            targets,
+        }
     }
 
     /// The LLVM-provided file system (`LLVMDIRs`).
@@ -138,7 +158,9 @@ fn build_target(
     let mut backend = Backend::new(spec.name.clone());
     for bp in blueprints {
         let mut rng = Mix64::keyed(seed, &format!("{}/{}", spec.name, bp.name));
-        let Some(rendered) = (bp.render)(&spec, &mut rng) else { continue };
+        let Some(rendered) = (bp.render)(&spec, &mut rng) else {
+            continue;
+        };
         let mut main = parse_function(&rendered.main)?;
         let helpers: Vec<Function> = rendered
             .helpers
@@ -153,7 +175,11 @@ fn build_target(
         normalize_stmts(&mut main.body);
         backend.insert(bp.module, main);
     }
-    Ok(TargetData { spec, descriptions, backend })
+    Ok(TargetData {
+        spec,
+        descriptions,
+        backend,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +192,11 @@ mod tests {
         // 12 builtin + 4 synthetic + 3 eval.
         assert_eq!(c.targets().len(), 19);
         let groups = c.function_groups(false);
-        assert!(groups.len() >= 30, "expected ≥30 groups, got {}", groups.len());
+        assert!(
+            groups.len() >= 30,
+            "expected ≥30 groups, got {}",
+            groups.len()
+        );
         // getRelocType exists for every training target.
         let (module, members) = &groups["getRelocType"];
         assert_eq!(*module, Module::Emi);
@@ -176,7 +206,10 @@ mod tests {
         assert!(!mac.is_empty() && mac.len() < 16);
         // DIS exists for XCore in no view (eval included or not).
         let with_eval = c.function_groups(true);
-        assert!(with_eval["decodeInstruction"].1.iter().all(|(t, _)| *t != "XCore"));
+        assert!(with_eval["decodeInstruction"]
+            .1
+            .iter()
+            .all(|(t, _)| *t != "XCore"));
     }
 
     #[test]

@@ -7,9 +7,7 @@
 //! things the target does not have (a classic Err-V symptom) fails cleanly
 //! with an [`EvalError`], which regression testing counts as a miscompile.
 
-use crate::arch::{
-    isd_value, vt_value, ArchSpec, FIRST_TARGET_FIXUP_KIND, GENERIC_FIXUPS,
-};
+use crate::arch::{isd_value, vt_value, ArchSpec, FIRST_TARGET_FIXUP_KIND, GENERIC_FIXUPS};
 use std::collections::HashMap;
 use vega_cpplite::{Env, EvalError, Value};
 
@@ -59,7 +57,11 @@ pub struct ArchEnv<'a> {
 impl<'a> ArchEnv<'a> {
     /// Creates an environment over `spec`.
     pub fn new(spec: &'a ArchSpec) -> Self {
-        ArchEnv { spec, objects: HashMap::new(), next_handle: 1 }
+        ArchEnv {
+            spec,
+            objects: HashMap::new(),
+            next_handle: 1,
+        }
     }
 
     /// The underlying spec.
@@ -108,7 +110,10 @@ impl Env for ArchEnv<'_> {
         let v = match parts {
             [single] => match single.as_str() {
                 "FirstTargetFixupKind" => Some(FIRST_TARGET_FIXUP_KIND),
-                s => GENERIC_FIXUPS.iter().position(|f| *f == s).map(|i| i as i64),
+                s => GENERIC_FIXUPS
+                    .iter()
+                    .position(|f| *f == s)
+                    .map(|i| i as i64),
             },
             [ns, member] => match ns.as_str() {
                 "ISD" => isd_value(member).or(match member.as_str() {
@@ -179,9 +184,7 @@ impl Env for ArchEnv<'_> {
                     .ok_or_else(|| EvalError::new("operand index out of range"))
             }
             (ObjData::Inst { imm, .. }, "getImm") => Ok(Value::Int(*imm)),
-            (ObjData::MachineFunction { has_fp }, "hasFP") => {
-                Ok(Value::Int(i64::from(*has_fp)))
-            }
+            (ObjData::MachineFunction { has_fp }, "hasFP") => Ok(Value::Int(i64::from(*has_fp))),
             _ => Err(EvalError::new(format!("unknown method `{name}`"))),
         }
     }
@@ -203,12 +206,21 @@ mod tests {
             Value::Int(FIRST_TARGET_FIXUP_KIND)
         );
         assert_eq!(
-            env.lookup_path(&["ELF".into(), "R_RISCV_NONE".into()]).unwrap(),
+            env.lookup_path(&["ELF".into(), "R_RISCV_NONE".into()])
+                .unwrap(),
             Value::Int(0)
         );
-        assert_eq!(env.lookup_path(&["ISD".into(), "ADD".into()]).unwrap(), Value::Int(1));
-        assert_eq!(env.lookup_path(&["FK_Data_4".into()]).unwrap(), Value::Int(3));
-        assert!(env.lookup_path(&["ARM".into(), "fixup_arm_hi16".into()]).is_err());
+        assert_eq!(
+            env.lookup_path(&["ISD".into(), "ADD".into()]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            env.lookup_path(&["FK_Data_4".into()]).unwrap(),
+            Value::Int(3)
+        );
+        assert!(env
+            .lookup_path(&["ARM".into(), "fixup_arm_hi16".into()])
+            .is_err());
     }
 
     #[test]

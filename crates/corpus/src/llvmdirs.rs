@@ -10,7 +10,12 @@ use crate::arch::{GENERIC_FIXUPS, ISD_OPCODES, VALUE_TYPES};
 use crate::vfs::VirtualFs;
 
 /// Directory prefixes of the LLVM-provided code, as in the paper.
-pub const LLVM_DIRS: &[&str] = &["llvm/CodeGen", "llvm/MC", "llvm/BinaryFormat", "llvm/Target"];
+pub const LLVM_DIRS: &[&str] = &[
+    "llvm/CodeGen",
+    "llvm/MC",
+    "llvm/BinaryFormat",
+    "llvm/Target",
+];
 
 /// Directory prefixes of target description files for target `ns`.
 pub fn tgt_dirs(ns: &str) -> Vec<String> {
@@ -43,10 +48,7 @@ pub fn llvm_provided() -> VirtualFs {
         "llvm/MC/MCValue.h",
         "class MCValue {\n  unsigned Modifier;\n};\n",
     );
-    fs.write(
-        "llvm/MC/MCContext.h",
-        "class MCContext {\n};\n",
-    );
+    fs.write("llvm/MC/MCContext.h", "class MCContext {\n};\n");
     fs.write(
         "llvm/MC/MCInst.h",
         "class MCInst {\n  unsigned Opcode;\n};\nclass MCOperand {\n  unsigned Reg;\n  unsigned Imm;\n};\n",
@@ -69,7 +71,8 @@ pub fn llvm_provided() -> VirtualFs {
     );
 
     // --- llvm/CodeGen ------------------------------------------------------
-    let mut isd = String::from("// Generic selection DAG opcodes.\nenum ISD {\n  DELETED_NODE = 0,\n");
+    let mut isd =
+        String::from("// Generic selection DAG opcodes.\nenum ISD {\n  DELETED_NODE = 0,\n");
     for (i, op) in ISD_OPCODES.iter().enumerate() {
         isd.push_str(&format!("  {op} = {},\n", i + 1));
     }

@@ -12,7 +12,9 @@ pub struct Mix64 {
 impl Mix64 {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Mix64 { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        Mix64 {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Derives an independent generator from a string key (stable hashing).
@@ -103,7 +105,10 @@ mod tests {
             Mix64::keyed(1, "x").next_u64(),
             Mix64::keyed(1, "y").next_u64()
         );
-        assert_ne!(Mix64::keyed(1, "x").next_u64(), Mix64::keyed(2, "x").next_u64());
+        assert_ne!(
+            Mix64::keyed(1, "x").next_u64(),
+            Mix64::keyed(2, "x").next_u64()
+        );
     }
 
     #[test]

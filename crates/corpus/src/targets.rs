@@ -35,16 +35,66 @@ struct FixKind {
 }
 
 const FIX_KINDS: &[FixKind] = &[
-    FixKind { tag: "hi16", bits: 16, offset: 16, pcrel: true },
-    FixKind { tag: "lo16", bits: 16, offset: 0, pcrel: true },
-    FixKind { tag: "16", bits: 16, offset: 0, pcrel: false },
-    FixKind { tag: "32", bits: 32, offset: 0, pcrel: true },
-    FixKind { tag: "branch", bits: 24, offset: 0, pcrel: true },
-    FixKind { tag: "call", bits: 26, offset: 0, pcrel: true },
-    FixKind { tag: "got", bits: 16, offset: 0, pcrel: false },
-    FixKind { tag: "jump", bits: 26, offset: 0, pcrel: false },
-    FixKind { tag: "abs8", bits: 8, offset: 0, pcrel: false },
-    FixKind { tag: "tprel", bits: 16, offset: 0, pcrel: false },
+    FixKind {
+        tag: "hi16",
+        bits: 16,
+        offset: 16,
+        pcrel: true,
+    },
+    FixKind {
+        tag: "lo16",
+        bits: 16,
+        offset: 0,
+        pcrel: true,
+    },
+    FixKind {
+        tag: "16",
+        bits: 16,
+        offset: 0,
+        pcrel: false,
+    },
+    FixKind {
+        tag: "32",
+        bits: 32,
+        offset: 0,
+        pcrel: true,
+    },
+    FixKind {
+        tag: "branch",
+        bits: 24,
+        offset: 0,
+        pcrel: true,
+    },
+    FixKind {
+        tag: "call",
+        bits: 26,
+        offset: 0,
+        pcrel: true,
+    },
+    FixKind {
+        tag: "got",
+        bits: 16,
+        offset: 0,
+        pcrel: false,
+    },
+    FixKind {
+        tag: "jump",
+        bits: 26,
+        offset: 0,
+        pcrel: false,
+    },
+    FixKind {
+        tag: "abs8",
+        bits: 8,
+        offset: 0,
+        pcrel: false,
+    },
+    FixKind {
+        tag: "tprel",
+        bits: 16,
+        offset: 0,
+        pcrel: false,
+    },
 ];
 
 fn make_fixup(ns: &str, case: FixCase, k: &FixKind) -> FixupDef {
@@ -285,7 +335,11 @@ fn build_spec(p: SpecParams<'_>) -> ArchSpec {
         prefix: p.reg_prefix.to_string(),
         count: p.reg_count,
         spill_size: p.word_bits / 8,
-        vt: if p.word_bits == 64 { "i64".to_string() } else { "i32".to_string() },
+        vt: if p.word_bits == 64 {
+            "i64".to_string()
+        } else {
+            "i32".to_string()
+        },
     }];
     if p.traits.has_fpu {
         regs.push(RegClass {
@@ -708,7 +762,11 @@ pub fn builtin_targets(seed: u64) -> Vec<ArchSpec> {
 pub fn synthetic_target(seed: u64, idx: usize) -> ArchSpec {
     let name = format!("Syn{idx:02}");
     let mut rng = Mix64::keyed(seed, &name);
-    let endian = if rng.chance(0.4) { Endian::Big } else { Endian::Little };
+    let endian = if rng.chance(0.4) {
+        Endian::Big
+    } else {
+        Endian::Little
+    };
     let word_bits = *rng.pick(&[16u32, 32, 32, 32, 64]);
     let mut traits = ArchTraits {
         has_pcrel: rng.chance(0.8),
@@ -738,7 +796,11 @@ pub fn synthetic_target(seed: u64, idx: usize) -> ArchSpec {
         InstrStyle::Width32,
     ];
     let vk_pool = ["GOT", "PLT", "LO", "HI", "TLSGD", "GPREL"];
-    let n_vk = if traits.has_variant_kind { rng.range(2, 4) as usize } else { 0 };
+    let n_vk = if traits.has_variant_kind {
+        rng.range(2, 4) as usize
+    } else {
+        0
+    };
     let vk_sel = rng.choose_indices(vk_pool.len(), n_vk);
     let vks: Vec<&str> = vk_sel.into_iter().map(|i| vk_pool[i]).collect();
     build_spec(SpecParams {
@@ -747,7 +809,11 @@ pub fn synthetic_target(seed: u64, idx: usize) -> ArchSpec {
         word_bits,
         imm_bits: *rng.pick(&[8u32, 12, 13, 16, 16, 20]),
         traits,
-        fix_case: if rng.chance(0.3) { FixCase::Upper } else { FixCase::Lower },
+        fix_case: if rng.chance(0.3) {
+            FixCase::Upper
+        } else {
+            FixCase::Lower
+        },
         fix_tags: &tags,
         reg_prefix: *rng.pick(&["R", "X", "G", "W", "A"]),
         reg_count: *rng.pick(&[8u32, 16, 16, 32, 32]),
@@ -798,7 +864,10 @@ mod tests {
     fn fixup_naming_follows_case_style() {
         let ts = builtin_targets(0);
         let mips = ts.iter().find(|t| t.name == "Mips").unwrap();
-        assert!(mips.fixups.iter().all(|f| f.name.starts_with("fixup_MIPS_")));
+        assert!(mips
+            .fixups
+            .iter()
+            .all(|f| f.name.starts_with("fixup_MIPS_")));
         let arm = ts.iter().find(|t| t.name == "ARM").unwrap();
         assert!(arm.fixups.iter().all(|f| f.name.starts_with("fixup_arm_")));
     }
@@ -807,11 +876,7 @@ mod tests {
     fn every_builtin_covers_core_isa() {
         for t in builtin_targets(0) {
             for isd in ["ADD", "SUB", "LOAD", "STORE", "BR", "RET"] {
-                assert!(
-                    t.instr_for_isd(isd).is_some(),
-                    "{} missing {isd}",
-                    t.name
-                );
+                assert!(t.instr_for_isd(isd).is_some(), "{} missing {isd}", t.name);
             }
         }
     }

@@ -114,11 +114,7 @@ pub fn describe_target(spec: &ArchSpec) -> VirtualFs {
     let _ = writeln!(fk, "}};");
     for f in &spec.fixups {
         // Field geometry, consumed by applyFixup/getFixupKindInfo.
-        let _ = writeln!(
-            fk,
-            "// {}: bits={} offset={}",
-            f.name, f.bits, f.offset
-        );
+        let _ = writeln!(fk, "// {}: bits={} offset={}", f.name, f.bits, f.offset);
     }
     fs.write(format!("{dir}/{ns}FixupKinds.h"), fk);
 

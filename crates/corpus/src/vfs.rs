@@ -74,7 +74,9 @@ impl VirtualFs {
 
 impl FromIterator<(String, String)> for VirtualFs {
     fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
-        VirtualFs { files: iter.into_iter().collect() }
+        VirtualFs {
+            files: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -55,12 +55,22 @@ pub struct Stmt {
 impl Stmt {
     /// Creates a simple (non-compound) statement from head tokens.
     pub fn simple(head: Vec<Token>) -> Self {
-        Stmt { kind: StmtKind::Simple, head, children: Vec::new(), else_children: Vec::new() }
+        Stmt {
+            kind: StmtKind::Simple,
+            head,
+            children: Vec::new(),
+            else_children: Vec::new(),
+        }
     }
 
     /// Creates a node of the given kind with head tokens and children.
     pub fn new(kind: StmtKind, head: Vec<Token>, children: Vec<Stmt>) -> Self {
-        Stmt { kind, head, children, else_children: Vec::new() }
+        Stmt {
+            kind,
+            head,
+            children,
+            else_children: Vec::new(),
+        }
     }
 
     /// Total number of statement nodes in this subtree (including `self` and

@@ -73,7 +73,9 @@ pub struct EvalError {
 impl EvalError {
     /// Creates an error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 }
 
@@ -120,7 +122,10 @@ pub struct EmptyEnv;
 
 impl Env for EmptyEnv {
     fn lookup_path(&self, parts: &[String]) -> Result<Value, EvalError> {
-        Err(EvalError::new(format!("unknown path `{}`", parts.join("::"))))
+        Err(EvalError::new(format!(
+            "unknown path `{}`",
+            parts.join("::")
+        )))
     }
     fn call(&mut self, name: &str, _args: &[Value]) -> Result<Value, EvalError> {
         Err(EvalError::new(format!("unknown function `{name}`")))
@@ -150,7 +155,11 @@ pub struct Interp<'e, E: Env> {
 impl<'e, E: Env> Interp<'e, E> {
     /// Creates an interpreter over `env`.
     pub fn new(env: &'e mut E) -> Self {
-        Interp { vars: HashMap::new(), env, fuel: LOOP_FUEL }
+        Interp {
+            vars: HashMap::new(),
+            env,
+            fuel: LOOP_FUEL,
+        }
     }
 
     /// Runs `f` with the given argument values bound to its parameters.
@@ -209,8 +218,7 @@ impl<'e, E: Env> Interp<'e, E> {
         match s.kind {
             StmtKind::Simple => {
                 if !s.head.is_empty() {
-                    let e = parse_head_expr(&s.head)
-                        .map_err(|e| EvalError::new(e.message))?;
+                    let e = parse_head_expr(&s.head).map_err(|e| EvalError::new(e.message))?;
                     self.eval(&e)?;
                 }
                 Ok(Flow::Normal)
@@ -219,16 +227,14 @@ impl<'e, E: Env> Interp<'e, E> {
                 if s.head.is_empty() {
                     return Ok(Flow::Return(Value::Unit));
                 }
-                let e =
-                    parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+                let e = parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
                 let v = self.eval(&e)?;
                 Ok(Flow::Return(v))
             }
             StmtKind::Break => Ok(Flow::Break),
             StmtKind::Block => self.exec_block(&s.children),
             StmtKind::If => {
-                let cond =
-                    parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+                let cond = parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
                 if self.eval(&cond)?.truthy() {
                     self.exec_block(&s.children)
                 } else {
@@ -236,8 +242,7 @@ impl<'e, E: Env> Interp<'e, E> {
                 }
             }
             StmtKind::While => {
-                let cond =
-                    parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+                let cond = parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
                 loop {
                     self.burn_fuel()?;
                     if !self.eval(&cond)?.truthy() {
@@ -253,9 +258,7 @@ impl<'e, E: Env> Interp<'e, E> {
             }
             StmtKind::For => self.exec_for(s),
             StmtKind::Switch => self.exec_switch(s),
-            StmtKind::Case | StmtKind::Default => {
-                Err(EvalError::new("case label outside switch"))
-            }
+            StmtKind::Case | StmtKind::Default => Err(EvalError::new("case label outside switch")),
         }
     }
 
@@ -265,8 +268,7 @@ impl<'e, E: Env> Interp<'e, E> {
             return Err(EvalError::new("for header must have three sections"));
         }
         if !sections[0].is_empty() {
-            let init =
-                parse_head_expr(&sections[0]).map_err(|e| EvalError::new(e.message))?;
+            let init = parse_head_expr(&sections[0]).map_err(|e| EvalError::new(e.message))?;
             self.eval(&init)?;
         }
         loop {
@@ -284,8 +286,7 @@ impl<'e, E: Env> Interp<'e, E> {
                 ret => return Ok(ret),
             }
             if !sections[2].is_empty() {
-                let step =
-                    parse_head_expr(&sections[2]).map_err(|e| EvalError::new(e.message))?;
+                let step = parse_head_expr(&sections[2]).map_err(|e| EvalError::new(e.message))?;
                 self.eval(&step)?;
             }
         }
@@ -293,16 +294,14 @@ impl<'e, E: Env> Interp<'e, E> {
     }
 
     fn exec_switch(&mut self, s: &Stmt) -> Result<Flow, EvalError> {
-        let scrut =
-            parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
+        let scrut = parse_expr_tokens(&s.head).map_err(|e| EvalError::new(e.message))?;
         let v = self.eval(&scrut)?;
         // Find the first matching label (or `default`), then execute with
         // fallthrough semantics until `break`, `return` or the end.
         let mut start = None;
         for (i, case) in s.children.iter().enumerate() {
             if case.kind == StmtKind::Case {
-                let label =
-                    parse_expr_tokens(&case.head).map_err(|e| EvalError::new(e.message))?;
+                let label = parse_expr_tokens(&case.head).map_err(|e| EvalError::new(e.message))?;
                 if self.eval(&label)? == v {
                     start = Some(i);
                     break;
@@ -312,7 +311,9 @@ impl<'e, E: Env> Interp<'e, E> {
         if start.is_none() {
             start = s.children.iter().position(|c| c.kind == StmtKind::Default);
         }
-        let Some(start) = start else { return Ok(Flow::Normal) };
+        let Some(start) = start else {
+            return Ok(Flow::Normal);
+        };
         for case in &s.children[start..] {
             match self.exec_block(&case.children)? {
                 Flow::Normal => {}
@@ -325,7 +326,9 @@ impl<'e, E: Env> Interp<'e, E> {
 
     fn burn_fuel(&mut self) -> Result<(), EvalError> {
         if self.fuel == 0 {
-            return Err(EvalError::new("loop fuel exhausted (non-terminating code?)"));
+            return Err(EvalError::new(
+                "loop fuel exhausted (non-terminating code?)",
+            ));
         }
         self.fuel -= 1;
         Ok(())
@@ -552,9 +555,10 @@ unsigned getRelocType(const MCFixup &Fixup, bool IsPCRel) {
 
     #[test]
     fn loops_and_fuel() {
-        let stmts =
-            parse_stmts("total = 0; for (i = 0; i < 5; i = i + 1) { total = total + i; } return total;")
-                .unwrap();
+        let stmts = parse_stmts(
+            "total = 0; for (i = 0; i < 5; i = i + 1) { total = total + i; } return total;",
+        )
+        .unwrap();
         let mut env = TestEnv;
         let mut it = Interp::new(&mut env);
         assert_eq!(it.run_stmts(&stmts).unwrap(), Some(Value::Int(10)));

@@ -217,13 +217,17 @@ impl<'a> P<'a> {
     }
 
     fn err(&self, m: &str) -> ExprError {
-        ExprError { message: format!("{m} at token {}", self.pos) }
+        ExprError {
+            message: format!("{m} at token {}", self.pos),
+        }
     }
 
     fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, ExprError> {
         let mut lhs = self.parse_unary()?;
         loop {
-            let Some(Token::Punct(p)) = self.peek() else { break };
+            let Some(Token::Punct(p)) = self.peek() else {
+                break;
+            };
             if *p == "?" && min_prec == 0 {
                 self.bump();
                 let then_ = self.parse_expr(0)?;
@@ -239,14 +243,20 @@ impl<'a> P<'a> {
                 };
                 continue;
             }
-            let Some(op) = BinOp::from_punct(p) else { break };
+            let Some(op) = BinOp::from_punct(p) else {
+                break;
+            };
             let prec = op.precedence();
             if prec < min_prec {
                 break;
             }
             self.bump();
             let rhs = self.parse_expr(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -262,7 +272,10 @@ impl<'a> P<'a> {
             if let Some(op) = op {
                 self.bump();
                 let e = self.parse_unary()?;
-                return Ok(Expr::Unary { op, expr: Box::new(e) });
+                return Ok(Expr::Unary {
+                    op,
+                    expr: Box::new(e),
+                });
             }
             // C-style cast like `(unsigned)x` or parenthesized expression.
             if *p == "(" {
@@ -322,7 +335,9 @@ impl<'a> P<'a> {
             }
             other => Err(self.err(&format!(
                 "unexpected token `{}`",
-                other.map(|t| t.spelling()).unwrap_or_else(|| "<eof>".into())
+                other
+                    .map(|t| t.spelling())
+                    .unwrap_or_else(|| "<eof>".into())
             ))),
         }
     }
@@ -350,7 +365,10 @@ impl<'a> P<'a> {
                 Some(t) if t.is_punct("(") => {
                     self.bump();
                     let args = self.parse_args()?;
-                    e = Expr::Call { callee: Box::new(e), args };
+                    e = Expr::Call {
+                        callee: Box::new(e),
+                        args,
+                    };
                 }
                 Some(t) if t.is_punct(".") || t.is_punct("->") => {
                     self.bump();
@@ -361,9 +379,16 @@ impl<'a> P<'a> {
                     if self.peek().is_some_and(|t| t.is_punct("(")) {
                         self.bump();
                         let args = self.parse_args()?;
-                        e = Expr::MethodCall { obj: Box::new(e), name, args };
+                        e = Expr::MethodCall {
+                            obj: Box::new(e),
+                            name,
+                            args,
+                        };
                     } else {
-                        e = Expr::Member { obj: Box::new(e), name };
+                        e = Expr::Member {
+                            obj: Box::new(e),
+                            name,
+                        };
                     }
                 }
                 _ => break,
@@ -427,12 +452,18 @@ pub fn parse_head_expr(toks: &[Token]) -> Result<Expr, ExprError> {
     if toks.len() >= 3 {
         if let (Token::Ident(name), t) = (&toks[0], &toks[1]) {
             if t.is_punct("=") {
-                let mut p = P { toks: &toks[2..], pos: 0 };
+                let mut p = P {
+                    toks: &toks[2..],
+                    pos: 0,
+                };
                 let value = p.parse_expr(0)?;
                 if p.pos != toks.len() - 2 {
                     return Err(p.err("trailing tokens in assignment"));
                 }
-                return Ok(Expr::Assign { name: name.clone(), value: Box::new(value) });
+                return Ok(Expr::Assign {
+                    name: name.clone(),
+                    value: Box::new(value),
+                });
             }
         }
     }
@@ -476,7 +507,11 @@ mod tests {
     fn scoped_and_method() {
         let x = e("Fixup.getTargetKind() == ARM::fixup_arm_movt_hi16");
         match x {
-            Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            } => {
                 assert!(matches!(*lhs, Expr::MethodCall { .. }));
                 assert!(matches!(*rhs, Expr::Scoped(_)));
             }

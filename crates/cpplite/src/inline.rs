@@ -143,7 +143,11 @@ fn try_inline_stmt<'a>(
 fn substitute_stmt(s: &Stmt, formals: &[(&str, &[Token])]) -> Stmt {
     let mut out = s.clone();
     out.head = substitute_tokens(&s.head, formals);
-    out.children = s.children.iter().map(|c| substitute_stmt(c, formals)).collect();
+    out.children = s
+        .children
+        .iter()
+        .map(|c| substitute_stmt(c, formals))
+        .collect();
     out.else_children = s
         .else_children
         .iter()
@@ -156,7 +160,10 @@ fn substitute_tokens(toks: &[Token], formals: &[(&str, &[Token])]) -> Vec<Token>
     let mut out = Vec::with_capacity(toks.len());
     for (i, t) in toks.iter().enumerate() {
         // Do not substitute member names (`obj.K`) or scoped tails (`A::K`).
-        let after_member = i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->") || toks[i - 1].is_punct("::"));
+        let after_member = i > 0
+            && (toks[i - 1].is_punct(".")
+                || toks[i - 1].is_punct("->")
+                || toks[i - 1].is_punct("::"));
         if let (Token::Ident(name), false) = (t, after_member) {
             if let Some((_, actual)) = formals.iter().find(|(f, _)| f == name) {
                 // Parenthesize actuals containing loose operators to preserve
@@ -205,16 +212,14 @@ mod tests {
 
     #[test]
     fn leaves_unknown_calls() {
-        let outer =
-            parse_function("void f() { report_fatal_error(\"bad\"); }").unwrap();
+        let outer = parse_function("void f() { report_fatal_error(\"bad\"); }").unwrap();
         let inlined = inline_function(&outer, &|_| None);
         assert_eq!(inlined, outer);
     }
 
     #[test]
     fn refuses_recursion() {
-        let rec =
-            parse_function("unsigned f(unsigned x) { return f(x); }").unwrap();
+        let rec = parse_function("unsigned f(unsigned x) { return f(x); }").unwrap();
         let inlined = inline_function(&rec, &|n| (n == "f").then_some(&rec));
         assert_eq!(inlined, rec);
     }

@@ -223,7 +223,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
 pub fn lex_lossy(src: &str) -> Vec<Token> {
     match lex(src) {
         Ok(t) => t,
-        Err(_) => src.lines().flat_map(|l| lex(l).unwrap_or_default()).collect(),
+        Err(_) => src
+            .lines()
+            .flat_map(|l| lex(l).unwrap_or_default())
+            .collect(),
     }
 }
 
@@ -237,7 +240,17 @@ mod tests {
         let spell: Vec<String> = toks.iter().map(|t| t.spelling()).collect();
         assert_eq!(
             spell,
-            ["unsigned", "Kind", "=", "Fixup", ".", "getTargetKind", "(", ")", ";"]
+            [
+                "unsigned",
+                "Kind",
+                "=",
+                "Fixup",
+                ".",
+                "getTargetKind",
+                "(",
+                ")",
+                ";"
+            ]
         );
     }
 

@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(sw.kind, StmtKind::Switch);
         assert_eq!(sw.children.len(), 3);
         // Non-terminated case bodies gained a break.
-        assert_eq!(sw.children[0].children.last().unwrap().kind, StmtKind::Break);
+        assert_eq!(
+            sw.children[0].children.last().unwrap().kind,
+            StmtKind::Break
+        );
         // Terminated ones did not.
         assert_eq!(sw.children[1].children.len(), 1);
     }
@@ -130,17 +133,16 @@ mod tests {
 
     #[test]
     fn leaves_mixed_scrutinee_alone() {
-        let mut stmts = parse_stmts(
-            "if (a == 1) { return 1; } else if (b == 2) { return 2; }",
-        )
-        .unwrap();
+        let mut stmts =
+            parse_stmts("if (a == 1) { return 1; } else if (b == 2) { return 2; }").unwrap();
         normalize_stmts(&mut stmts);
         assert_eq!(stmts[0].kind, StmtKind::If);
     }
 
     #[test]
     fn normalization_preserves_semantics() {
-        let src = "if (Kind == 1) { x = 10; } else if (Kind == 2) { x = 20; } else { x = 0; } return x;";
+        let src =
+            "if (Kind == 1) { x = 10; } else if (Kind == 2) { x = 20; } else { x = 0; } return x;";
         for k in [1i64, 2, 3] {
             let stmts = parse_stmts(src).unwrap();
             let mut normed = stmts.clone();
@@ -158,10 +160,9 @@ mod tests {
 
     #[test]
     fn normalizes_nested_chains() {
-        let mut stmts = parse_stmts(
-            "if (outer) { if (k == 1) { return 1; } else if (k == 2) { return 2; } }",
-        )
-        .unwrap();
+        let mut stmts =
+            parse_stmts("if (outer) { if (k == 1) { return 1; } else if (k == 2) { return 2; } }")
+                .unwrap();
         normalize_stmts(&mut stmts);
         assert_eq!(stmts[0].kind, StmtKind::If);
         assert_eq!(stmts[0].children[0].kind, StmtKind::Switch);

@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { at: e.offset, message: format!("lex: {}", e.message) }
+        ParseError {
+            at: e.offset,
+            message: format!("lex: {}", e.message),
+        }
     }
 }
 
@@ -68,7 +71,10 @@ impl<'a> Cursor<'a> {
             .peek()
             .map(|t| t.spelling())
             .unwrap_or_else(|| "<eof>".to_string());
-        ParseError { at: self.pos, message: format!("{msg}, found `{found}`") }
+        ParseError {
+            at: self.pos,
+            message: format!("{msg}, found `{found}`"),
+        }
     }
 
     /// Collects tokens until the matching close of `open` (which has already
@@ -251,7 +257,10 @@ fn parse_stmt_list(c: &mut Cursor<'_>) -> Result<Vec<Stmt>, ParseError> {
 /// ```
 pub fn parse_stmts(src: &str) -> Result<Vec<Stmt>, ParseError> {
     let toks = lex(src)?;
-    let mut c = Cursor { toks: &toks, pos: 0 };
+    let mut c = Cursor {
+        toks: &toks,
+        pos: 0,
+    };
     let out = parse_stmt_list(&mut c)?;
     if c.pos != toks.len() {
         return Err(c.error("trailing tokens after statements"));
@@ -300,7 +309,10 @@ fn split_params(toks: &[Token]) -> Vec<Vec<Token>> {
 /// ```
 pub fn parse_function(src: &str) -> Result<Function, ParseError> {
     let toks = lex(src)?;
-    let mut c = Cursor { toks: &toks, pos: 0 };
+    let mut c = Cursor {
+        toks: &toks,
+        pos: 0,
+    };
     let f = parse_function_at(&mut c)?;
     if c.pos != toks.len() {
         return Err(c.error("trailing tokens after function"));
@@ -314,7 +326,10 @@ pub fn parse_function(src: &str) -> Result<Function, ParseError> {
 /// Returns [`ParseError`] on the first malformed definition.
 pub fn parse_functions(src: &str) -> Result<Vec<Function>, ParseError> {
     let toks = lex(src)?;
-    let mut c = Cursor { toks: &toks, pos: 0 };
+    let mut c = Cursor {
+        toks: &toks,
+        pos: 0,
+    };
     let mut out = Vec::new();
     while c.peek().is_some() {
         out.push(parse_function_at(&mut c)?);
@@ -326,7 +341,9 @@ fn parse_function_at(c: &mut Cursor<'_>) -> Result<Function, ParseError> {
     // Collect header tokens up to the parameter list's `(` at top level.
     let mut header: Vec<Token> = Vec::new();
     loop {
-        let t = c.peek().ok_or_else(|| c.error("expected function header"))?;
+        let t = c
+            .peek()
+            .ok_or_else(|| c.error("expected function header"))?;
         if t.is_punct("(") {
             break;
         }
@@ -379,7 +396,13 @@ fn parse_function_at(c: &mut Cursor<'_>) -> Result<Function, ParseError> {
     c.expect_punct("{")?;
     let body = parse_stmt_list(c)?;
     c.expect_punct("}")?;
-    Ok(Function { ret, name, qualifier: qualifier_rev, params, body })
+    Ok(Function {
+        ret,
+        name,
+        qualifier: qualifier_rev,
+        params,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -388,10 +411,9 @@ mod tests {
 
     #[test]
     fn parses_if_else_chain() {
-        let stmts = parse_stmts(
-            "if (a == 1) { x = 1; } else if (a == 2) { x = 2; } else { x = 3; }",
-        )
-        .unwrap();
+        let stmts =
+            parse_stmts("if (a == 1) { x = 1; } else if (a == 2) { x = 2; } else { x = 3; }")
+                .unwrap();
         assert_eq!(stmts.len(), 1);
         let s = &stmts[0];
         assert_eq!(s.kind, StmtKind::If);
@@ -402,10 +424,8 @@ mod tests {
 
     #[test]
     fn parses_switch_with_fallthrough_labels() {
-        let stmts = parse_stmts(
-            "switch (Kind) { case A: case B: return 1; default: break; }",
-        )
-        .unwrap();
+        let stmts =
+            parse_stmts("switch (Kind) { case A: case B: return 1; default: break; }").unwrap();
         let sw = &stmts[0];
         assert_eq!(sw.kind, StmtKind::Switch);
         assert_eq!(sw.children.len(), 3);

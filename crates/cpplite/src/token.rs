@@ -116,7 +116,9 @@ fn is_wordy(t: &Token) -> bool {
 fn needs_space(prev: &Token, next: &Token) -> bool {
     // Tight binders never need surrounding space.
     const TIGHT: &[&str] = &["::", ".", "->", "(", "[", "++", "--"];
-    const TIGHT_BEFORE: &[&str] = &["::", ".", "->", "(", ")", "[", "]", ";", ",", ":", "++", "--"];
+    const TIGHT_BEFORE: &[&str] = &[
+        "::", ".", "->", "(", ")", "[", "]", ";", ",", ":", "++", "--",
+    ];
     if let Token::Punct(p) = prev {
         if TIGHT.contains(p) {
             return false;

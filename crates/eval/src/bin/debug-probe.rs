@@ -5,19 +5,35 @@ use vega::{Scale, Vega, VegaConfig};
 use vega_model::TrainConfig;
 
 fn main() {
-    let group = std::env::args().nth(1).unwrap_or_else(|| "getRelocType".into());
-    let epochs: usize = std::env::var("EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
-    let pretrain: usize = std::env::var("PRETRAIN").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
-    let synthetic: usize = std::env::var("SYN").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let group = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "getRelocType".into());
+    let epochs: usize = std::env::var("EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let pretrain: usize = std::env::var("PRETRAIN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let synthetic: usize = std::env::var("SYN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let mut cfg = VegaConfig {
         scale: Scale::Small,
         ..VegaConfig::tiny()
     };
     cfg.corpus.synthetic_targets = synthetic;
-    cfg.train = TrainConfig { pretrain_steps: pretrain, finetune_epochs: epochs, lr: 2e-3, seed: 1 };
+    cfg.train = TrainConfig {
+        pretrain_steps: pretrain,
+        finetune_epochs: epochs,
+        lr: 2e-3,
+        seed: 1,
+    };
 
     let mut vega = Vega::train(cfg);
-    eprintln!(
+    vega_obs::info!(
         "templates={} train={} verify={} stage2={:.0}s",
         vega.templates.len(),
         vega.train_samples.len(),
@@ -32,7 +48,7 @@ fn main() {
         in_len = in_len.max(s.input.len());
         out_len = out_len.max(s.output.len());
     }
-    eprintln!("max input len {in_len}, max output len {out_len}");
+    vega_obs::info!("max input len {in_len}, max output len {out_len}");
 
     // Verification exact match on a subsample.
     let sub: Vec<(Vec<usize>, Vec<usize>)> = vega
@@ -42,14 +58,24 @@ fn main() {
         .map(|s| (s.input.clone(), s.output.clone()))
         .collect();
     let em = vega.model_mut().exact_match(&sub, 72);
-    eprintln!("verification exact match (first {} samples): {:.1}%", sub.len(), 100.0 * em);
+    vega_obs::info!(
+        "verification exact match (first {} samples): {:.1}%",
+        sub.len(),
+        100.0 * em
+    );
 
     // A couple of verify samples: expected vs generated.
-    for s in vega.verify_samples.iter().take(6).cloned().collect::<Vec<_>>() {
+    for s in vega
+        .verify_samples
+        .iter()
+        .take(6)
+        .cloned()
+        .collect::<Vec<_>>()
+    {
         let gen = vega.model_mut().generate(&s.input, 72);
         let vocab = &vega.model_mut().vocab;
-        eprintln!(
-            "\n[{}::{}::{}]\n  expect: {:?} {}\n  gen:    {:?} {}",
+        vega_obs::debug!(
+            "[{}::{}::{}]\n  expect: {:?} {}\n  gen:    {:?} {}",
             s.group,
             s.target,
             s.node,
@@ -63,19 +89,33 @@ fn main() {
     // Full generation transcript for one group on RISC-V.
     let backend = vega.generate_backend("RISCV");
     let gf = backend.function(&group).expect("group generated");
-    println!("\n=== generated {group} (confidence {:.2}) ===", gf.confidence);
+    println!(
+        "\n=== generated {group} (confidence {:.2}) ===",
+        gf.confidence
+    );
     for s in &gf.stmts {
-        println!("[{:.2}]{} {}", s.score, if s.kept { ' ' } else { 'x' }, s.line);
+        println!(
+            "[{:.2}]{} {}",
+            s.score,
+            if s.kept { ' ' } else { 'x' },
+            s.line
+        );
     }
     // Whole-backend verdicts with first counterexamples.
     let reference = vega.corpus.target("RISCV").unwrap();
     println!("\n=== per-function verdicts (RISCV) ===");
     for (module, gf) in &backend.functions {
-        let Some(rf) = reference.backend.function(&gf.name) else { continue };
+        let Some(rf) = reference.backend.function(&gf.name) else {
+            continue;
+        };
         let verdict = match &gf.function {
             Some(f) => match vega_minicc::regression_test(&gf.name, f, rf, &reference.spec) {
                 vega_minicc::RegressionOutcome::Pass => "PASS".to_string(),
-                vega_minicc::RegressionOutcome::Fail { vector, expected, got } => {
+                vega_minicc::RegressionOutcome::Fail {
+                    vector,
+                    expected,
+                    got,
+                } => {
                     format!("fail v{vector}: want {expected} got {got}")
                 }
                 vega_minicc::RegressionOutcome::NoSuite => "nosuite".to_string(),

@@ -6,7 +6,9 @@ use vega::{prop_catalog, select_features, FunctionTemplate, TgtIndex};
 use vega_corpus::{Corpus, CorpusConfig};
 
 fn main() {
-    let group = std::env::args().nth(1).unwrap_or_else(|| "isLegalImmediate".into());
+    let group = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "isLegalImmediate".into());
     let target = std::env::args().nth(2).unwrap_or_else(|| "RISCV".into());
     let corpus = Corpus::build(&CorpusConfig::tiny());
     let catalog = prop_catalog(corpus.llvm_fs());
@@ -15,12 +17,18 @@ fn main() {
     let template = FunctionTemplate::build(&group, members);
     let mut ixs = BTreeMap::new();
     for t in &template.targets {
-        ixs.insert(t.clone(), TgtIndex::build(&corpus.target(t).unwrap().descriptions));
+        ixs.insert(
+            t.clone(),
+            TgtIndex::build(&corpus.target(t).unwrap().descriptions),
+        );
     }
     let feats = select_features(&template, &catalog, &ixs);
     println!("properties:");
     for (i, p) in feats.props.iter().enumerate() {
-        println!("  [{i}] {} bool={} source={:?}", p.name, p.is_bool, p.source);
+        println!(
+            "  [{i}] {} bool={} source={:?}",
+            p.name, p.is_bool, p.source
+        );
     }
     let tix = TgtIndex::build(&corpus.target(&target).unwrap().descriptions);
     for (node_id, node) in template.stmts.iter().enumerate() {

@@ -4,17 +4,18 @@
 //! vega-experiments [all|headline|fig6|fig7|fig8|table2|fig9|table3|table4|
 //!                   fig10|verify|robustness|ablation-split|ablation-model]
 //!                  [--scale tiny|small] [--synthetic N] [--epochs E]
-//!                  [--pretrain STEPS] [--seed S]
+//!                  [--pretrain STEPS] [--seed S] [--trace-out PATH]
 //! ```
 //!
 //! `all` trains once and renders every artifact off the same model; the
-//! ablations train additional models.
+//! ablations train additional models. Progress messages go through the
+//! `vega-obs` event log (set `VEGA_LOG=info` to see them); `--trace-out`
+//! writes the full span/metric/curve trace as JSON lines.
 
+use std::path::PathBuf;
 use std::time::Instant;
 use vega::{Scale, Split, Vega, VegaConfig};
-use vega_eval::exp::{
-    self, Workbench,
-};
+use vega_eval::exp::{self, Workbench};
 use vega_eval::pct;
 use vega_model::ModelChoice;
 
@@ -25,6 +26,7 @@ struct Args {
     epochs: Option<usize>,
     pretrain: Option<usize>,
     seed: u64,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +37,7 @@ fn parse_args() -> Args {
         epochs: None,
         pretrain: None,
         seed: 0,
+        trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,8 +66,12 @@ fn parse_args() -> Args {
                 i += 1;
                 args.seed = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or(0);
             }
+            "--trace-out" => {
+                i += 1;
+                args.trace_out = argv.get(i).map(PathBuf::from);
+            }
             cmd if !cmd.starts_with("--") => args.command = cmd.to_string(),
-            other => eprintln!("ignoring unknown flag {other}"),
+            other => vega_obs::warn!("ignoring unknown flag {other}"),
         }
         i += 1;
     }
@@ -108,7 +115,8 @@ fn ablation_split(base: &VegaConfig) -> String {
     };
     let fg = acc(Split::FunctionGroup);
     let be = acc(Split::Backend);
-    let mut t = vega_eval::TextTable::new(["Target", "FunctionGroup split", "Backend split", "Drop"]);
+    let mut t =
+        vega_eval::TextTable::new(["Target", "FunctionGroup split", "Backend split", "Drop"]);
     for ((name, a), (_, b)) in fg.iter().zip(&be) {
         t.row([
             name.clone(),
@@ -139,7 +147,11 @@ fn ablation_model(base: &VegaConfig) -> String {
         (label.to_string(), accs)
     };
     let arms = vec![
-        run("Transformer + pretraining (CodeBE)", ModelChoice::Transformer, base.train.pretrain_steps.max(1)),
+        run(
+            "Transformer + pretraining (CodeBE)",
+            ModelChoice::Transformer,
+            base.train.pretrain_steps.max(1),
+        ),
         run("Transformer, no pretraining", ModelChoice::Transformer, 0),
         run("GRU seq2seq (RNN-based VEGA)", ModelChoice::Gru, 0),
     ];
@@ -154,23 +166,33 @@ fn ablation_model(base: &VegaConfig) -> String {
 fn main() {
     let args = parse_args();
     let cfg = config_from(&args);
+    run(&args, &cfg);
+    if let Some(path) = &args.trace_out {
+        match vega_obs::global().write_trace(path) {
+            Ok(()) => vega_obs::info!("trace written to {}", path.display()),
+            Err(e) => vega_obs::error!("failed to write trace {}: {e}", path.display()),
+        }
+    }
+}
+
+fn run(args: &Args, cfg: &VegaConfig) {
     let t0 = Instant::now();
 
     match args.command.as_str() {
         "ablation-split" => {
-            println!("{}", ablation_split(&cfg));
+            println!("{}", ablation_split(cfg));
             return;
         }
         "ablation-model" => {
-            println!("{}", ablation_model(&cfg));
+            println!("{}", ablation_model(cfg));
             return;
         }
         _ => {}
     }
 
-    eprintln!("[vega-experiments] training (scale {:?}) …", cfg.scale);
+    vega_obs::info!("[vega-experiments] training (scale {:?}) …", cfg.scale);
     let mut wb = Workbench::run(cfg.clone());
-    eprintln!(
+    vega_obs::info!(
         "[vega-experiments] trained in {:.1}s (stage1 {:.1}s, stage2 {:.1}s); {} templates, {} train samples",
         t0.elapsed().as_secs_f64(),
         wb.vega.timings.code_feature_mapping.as_secs_f64(),
@@ -199,18 +221,31 @@ fn main() {
 
     if args.command == "all" {
         for cmd in [
-            "headline", "fig6", "fig7", "fig8", "table2", "fig9", "table3", "table4", "fig10",
-            "robustness", "verify", "update",
+            "headline",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+            "fig9",
+            "table3",
+            "table4",
+            "fig10",
+            "robustness",
+            "verify",
+            "update",
         ] {
             println!("{}", run_one(&mut wb, cmd).unwrap());
         }
-        println!("{}", ablation_split(&cfg));
-        println!("{}", ablation_model(&cfg));
+        println!("{}", ablation_split(cfg));
+        println!("{}", ablation_model(cfg));
     } else {
         match run_one(&mut wb, &args.command) {
             Some(text) => println!("{text}"),
-            None => eprintln!("unknown command `{}`", args.command),
+            None => vega_obs::error!("unknown command `{}`", args.command),
         }
     }
-    eprintln!("[vega-experiments] done in {:.1}s", t0.elapsed().as_secs_f64());
+    vega_obs::info!(
+        "[vega-experiments] done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -40,13 +40,25 @@ impl Workbench {
             let ff = forkflow_backend(&vega.corpus, "Mips", target);
             ff_evals.push(eval_plain_backend(&vega.corpus, &ff, target));
         }
-        Workbench { vega, backends, evals, ff_evals }
+        Workbench {
+            vega,
+            backends,
+            evals,
+            ff_evals,
+        }
     }
 }
 
 /// Fig. 6 — targets, ISAs and function modules.
 pub fn fig6(wb: &Workbench) -> String {
-    let mut t = TextTable::new(["Target", "Class", "WordBits", "Endian", "Key traits", "Modules"]);
+    let mut t = TextTable::new([
+        "Target",
+        "Class",
+        "WordBits",
+        "Endian",
+        "Key traits",
+        "Modules",
+    ]);
     for name in EVAL_TARGET_NAMES {
         let spec = &wb.vega.corpus.target(name).unwrap().spec;
         let tr = &spec.traits;
@@ -82,12 +94,17 @@ pub fn fig6(wb: &Workbench) -> String {
             modules.join(","),
         ]);
     }
-    format!("Fig. 6 — evaluation targets and their function modules\n{}", t.render())
+    format!(
+        "Fig. 6 — evaluation targets and their function modules\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 7 — inference time per module per target.
 pub fn fig7(wb: &Workbench) -> String {
-    let mut t = TextTable::new(["Target", "SEL", "REG", "OPT", "SCH", "EMI", "ASS", "DIS", "Total"]);
+    let mut t = TextTable::new([
+        "Target", "SEL", "REG", "OPT", "SCH", "EMI", "ASS", "DIS", "Total",
+    ]);
     for b in &wb.backends {
         let mut row = vec![b.target.clone()];
         for m in Module::ALL {
@@ -97,7 +114,10 @@ pub fn fig7(wb: &Workbench) -> String {
         row.push(format!("{:.1}s", b.total_time.as_secs_f64()));
         t.row(row);
     }
-    format!("Fig. 7 — backend generation (inference) time per module\n{}", t.render())
+    format!(
+        "Fig. 7 — backend generation (inference) time per module\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 8 — function-level pass@1 accuracy per module, with the confidence
@@ -107,7 +127,13 @@ pub fn fig8(wb: &Workbench) -> String {
     let _ = writeln!(out, "Fig. 8 — pass@1 function accuracy per module");
     for ev in &wb.evals {
         let mut t = TextTable::new([
-            "Module", "Funcs", "Accurate", "Acc%", "CS≈1.00", "CS<1.00", "MultiTarget",
+            "Module",
+            "Funcs",
+            "Accurate",
+            "Acc%",
+            "CS≈1.00",
+            "CS<1.00",
+            "MultiTarget",
         ]);
         for m in Module::ALL {
             let fs: Vec<_> = ev.functions.iter().filter(|f| f.module == m).collect();
@@ -160,7 +186,10 @@ pub fn table2(wb: &Workbench) -> String {
         pct(rates[1].2),
         pct(rates[2].2),
     ]);
-    format!("Table 2 — sources of inaccurate statements (share of functions)\n{}", t.render())
+    format!(
+        "Table 2 — sources of inaccurate statements (share of functions)\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 9 — statement-level accuracy, VEGA vs ForkFlow, per module.
@@ -168,7 +197,15 @@ pub fn fig9(wb: &Workbench) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 9 — statement-level accuracy, VEGA vs ForkFlow");
     for (ev, ff) in wb.evals.iter().zip(&wb.ff_evals) {
-        let mut t = TextTable::new(["Module", "VEGA acc", "VEGA manual", "VEGA%", "Fork acc", "Fork manual", "Fork%"]);
+        let mut t = TextTable::new([
+            "Module",
+            "VEGA acc",
+            "VEGA manual",
+            "VEGA%",
+            "Fork acc",
+            "Fork manual",
+            "Fork%",
+        ]);
         let vm = ev.module_stmt_counts();
         let fm = ff.module_stmt_counts();
         for m in Module::ALL {
@@ -209,9 +246,19 @@ pub fn fig9(wb: &Workbench) -> String {
 /// Table 3 — accurate vs manual-effort statement counts.
 pub fn table3(wb: &Workbench) -> String {
     let mut t = TextTable::new([
-        "Module", "RISCV acc", "RISCV man", "RI5CY acc", "RI5CY man", "XCore acc", "XCore man",
+        "Module",
+        "RISCV acc",
+        "RISCV man",
+        "RI5CY acc",
+        "RI5CY man",
+        "XCore acc",
+        "XCore man",
     ]);
-    let per: Vec<_> = wb.evals.iter().map(BackendEval::module_stmt_counts).collect();
+    let per: Vec<_> = wb
+        .evals
+        .iter()
+        .map(BackendEval::module_stmt_counts)
+        .collect();
     let mut totals = vec![(0usize, 0usize); 3];
     for m in Module::ALL {
         let mut row = vec![m.code().to_string()];
@@ -241,7 +288,10 @@ pub fn table3(wb: &Workbench) -> String {
         row.push(man.to_string());
     }
     t.row(row);
-    format!("Table 3 — statements accurate vs needing manual effort\n{}", t.render())
+    format!(
+        "Table 3 — statements accurate vs needing manual effort\n{}",
+        t.render()
+    )
 }
 
 /// Table 4 — modelled manual correction hours for the RISC-V backend.
@@ -256,7 +306,12 @@ pub fn table4(wb: &Workbench) -> String {
     let devb = DeveloperProfile::developer_b();
     let (pa, ta) = deva.estimate(&manual);
     let (pb, tb) = devb.estimate(&manual);
-    let mut t = TextTable::new(["Module", "Manual stmts", "Developer A (h)", "Developer B (h)"]);
+    let mut t = TextTable::new([
+        "Module",
+        "Manual stmts",
+        "Developer A (h)",
+        "Developer B (h)",
+    ]);
     for m in Module::ALL {
         let n = manual.get(&m).copied().unwrap_or(0);
         t.row([
@@ -283,7 +338,10 @@ pub fn table4(wb: &Workbench) -> String {
 /// compiler vs base compiler, per benchmark kernel.
 pub fn fig10(wb: &Workbench) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 10 — -O3 speedup over -O0, VEGA^target vs base compiler");
+    let _ = writeln!(
+        out,
+        "Fig. 10 — -O3 speedup over -O0, VEGA^target vs base compiler"
+    );
     for (ev, gen) in wb.evals.iter().zip(&wb.backends) {
         let t = wb.vega.corpus.target(&ev.target).unwrap();
         let corrected = corrected_backend(&wb.vega.corpus, ev, gen);
@@ -302,11 +360,20 @@ pub fn fig10(wb: &Workbench) -> String {
                         kernel.name.clone(),
                         format!("{sb:.2}x"),
                         format!("{sv:.2}x"),
-                        if rb == rv { "yes".into() } else { "NO".to_string() },
+                        if rb == rv {
+                            "yes".into()
+                        } else {
+                            "NO".to_string()
+                        },
                     ]);
                 }
                 _ => {
-                    table.row([kernel.name.clone(), "-".into(), "-".into(), "build failed".into()]);
+                    table.row([
+                        kernel.name.clone(),
+                        "-".into(),
+                        "-".into(),
+                        "build failed".into(),
+                    ]);
                 }
             }
         }
@@ -324,7 +391,9 @@ pub fn robustness(wb: &Workbench) -> String {
         let mut pass = 0usize;
         let mut total = 0usize;
         for (name, _, reference) in target.backend.iter() {
-            let Some(f) = corrected.function(name) else { continue };
+            let Some(f) = corrected.function(name) else {
+                continue;
+            };
             total += 1;
             if vega_minicc::regression_test(name, f, reference, &target.spec).passed() {
                 pass += 1;
@@ -337,7 +406,10 @@ pub fn robustness(wb: &Workbench) -> String {
             pct(pass as f64 / total.max(1) as f64),
         ]);
     }
-    format!("§4.3 robustness — corrected VEGA compilers vs regression tests\n{}", t.render())
+    format!(
+        "§4.3 robustness — corrected VEGA compilers vs regression tests\n{}",
+        t.render()
+    )
 }
 
 /// §4.1.2 verification — exact match on the held-out 25% split.
@@ -367,8 +439,14 @@ pub fn update_mechanism(wb: &mut Workbench) -> String {
     let gen = wb.vega.generate_backend("RI5CY");
     let after = eval_generated_backend(&wb.vega.corpus, &gen).function_accuracy();
     let mut t = TextTable::new(["RI5CY pass@1", "value"]);
-    t.row(["before incorporating corrected RISC-V".to_string(), pct(before)]);
-    t.row(["after incorporating corrected RISC-V".to_string(), pct(after)]);
+    t.row([
+        "before incorporating corrected RISC-V".to_string(),
+        pct(before),
+    ]);
+    t.row([
+        "after incorporating corrected RISC-V".to_string(),
+        pct(after),
+    ]);
     format!(
         "§6 extension — software update mechanism (learn corrected RISC-V, regenerate RI5CY)\n{}",
         t.render()
@@ -386,7 +464,10 @@ pub fn headline(wb: &Workbench) -> String {
             pct(ff.function_accuracy()),
         ]);
     }
-    format!("Headline — function-level accuracy (paper: 71.5/73.2/62.2% vs <8%)\n{}", t.render())
+    format!(
+        "Headline — function-level accuracy (paper: 71.5/73.2/62.2% vs <8%)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

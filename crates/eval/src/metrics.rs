@@ -178,7 +178,12 @@ pub fn eval_function(
         (stmt_total, 0, false, false)
     } else {
         match &diff {
-            Some(d) => (d.accurate, d.manual, d.value_mismatch, d.missing_or_spurious),
+            Some(d) => (
+                d.accurate,
+                d.manual,
+                d.value_mismatch,
+                d.missing_or_spurious,
+            ),
             None => (0, stmt_total, false, true),
         }
     };
@@ -188,8 +193,10 @@ pub fn eval_function(
     // asserts incorrectness (< 0.5, dropped) for a statement the reference
     // does contain. Plain value mistakes at middling confidence are Err-V
     // territory, not calibration failures.
-    let ref_lines: std::collections::HashSet<String> =
-        flatten(&reference.body).iter().map(|s| s.head_line()).collect();
+    let ref_lines: std::collections::HashSet<String> = flatten(&reference.body)
+        .iter()
+        .map(|s| s.head_line())
+        .collect();
     let mut err_cs = false;
     for s in gf.stmts.iter().filter(|s| s.node != usize::MAX) {
         let line_matches = canonical_line(&s.line)
@@ -233,10 +240,15 @@ pub fn eval_generated_backend(corpus: &Corpus, gen: &GeneratedBackend) -> Backen
     for (module, gf) in &gen.functions {
         // The base compiler must implement the interface for pass@1 to be
         // defined (e.g. DIS does not exist for xCORE).
-        let Some(reference) = t.backend.function(&gf.name) else { continue };
+        let Some(reference) = t.backend.function(&gf.name) else {
+            continue;
+        };
         functions.push(eval_function(gf, *module, reference, &t.spec));
     }
-    BackendEval { target: gen.target.clone(), functions }
+    BackendEval {
+        target: gen.target.clone(),
+        functions,
+    }
 }
 
 /// Evaluates a plain (score-less) candidate backend, e.g. ForkFlow output.
@@ -264,7 +276,11 @@ pub fn eval_plain_backend(corpus: &Corpus, candidate: &Backend, target: &str) ->
         let accurate = regression_test(name, f, reference, &t.spec).passed();
         let stmt_total = reference.stmt_count();
         let d = diff_stmts(f, reference);
-        let (sa, sm) = if accurate { (stmt_total, 0) } else { (d.accurate, d.manual) };
+        let (sa, sm) = if accurate {
+            (stmt_total, 0)
+        } else {
+            (d.accurate, d.manual)
+        };
         functions.push(FunctionEval {
             name: name.to_string(),
             module,
@@ -280,7 +296,10 @@ pub fn eval_plain_backend(corpus: &Corpus, candidate: &Backend, target: &str) ->
             err_def: !accurate && d.missing_or_spurious,
         });
     }
-    BackendEval { target: target.to_string(), functions }
+    BackendEval {
+        target: target.to_string(),
+        functions,
+    }
 }
 
 /// The corrected compiler of §4.3: generated-and-accurate functions kept,
@@ -370,7 +389,11 @@ mod tests {
         let mut cand = rv.backend.clone();
         cand.replace("getFrameRegister", wrong);
         let eval = eval_plain_backend(&corpus, &cand, "RISCV");
-        let f = eval.functions.iter().find(|f| f.name == "getFrameRegister").unwrap();
+        let f = eval
+            .functions
+            .iter()
+            .find(|f| f.name == "getFrameRegister")
+            .unwrap();
         assert!(!f.accurate);
         assert!(f.err_v, "value mismatch must be Err-V");
         assert!(f.stmt_accurate > 0, "aligned-equal statements still count");

@@ -53,7 +53,10 @@ impl ForkFlow {
                 source_cats.insert(p.clone(), Category::Reloc);
             }
         }
-        source_cats.insert(format!("R_{}_NONE", source.name.to_uppercase()), Category::Reloc);
+        source_cats.insert(
+            format!("R_{}_NONE", source.name.to_uppercase()),
+            Category::Reloc,
+        );
         for i in &source.instrs {
             source_cats.insert(i.name.clone(), Category::Instr);
         }
@@ -70,25 +73,37 @@ impl ForkFlow {
         let mut target_values = HashMap::new();
         target_values.insert(
             Category::Fixup,
-            target_desc.candidates(&ValueSource::TgtEnum { llvm_name: "MCFixupKind".into() }),
+            target_desc.candidates(&ValueSource::TgtEnum {
+                llvm_name: "MCFixupKind".into(),
+            }),
         );
         target_values.insert(
             Category::Reloc,
-            target_desc.candidates(&ValueSource::TgtEnum { llvm_name: "ELF".into() }),
+            target_desc.candidates(&ValueSource::TgtEnum {
+                llvm_name: "ELF".into(),
+            }),
         );
         target_values.insert(
             Category::Instr,
-            target_desc.candidates(&ValueSource::DefNames { class: "Instruction".into() }),
+            target_desc.candidates(&ValueSource::DefNames {
+                class: "Instruction".into(),
+            }),
         );
-        target_values.insert(Category::Reg, target_desc.candidates(&ValueSource::RegNames));
+        target_values.insert(
+            Category::Reg,
+            target_desc.candidates(&ValueSource::RegNames),
+        );
         target_values.insert(
             Category::VariantKind,
-            target_desc.candidates(&ValueSource::TgtEnum { llvm_name: "VariantKind".into() }),
+            target_desc.candidates(&ValueSource::TgtEnum {
+                llvm_name: "VariantKind".into(),
+            }),
         );
 
         // Mnemonic strings: source mnemonic → most similar target mnemonic.
-        let target_mnemonics =
-            target_desc.candidates(&ValueSource::Field { field: "Mnemonic".into() });
+        let target_mnemonics = target_desc.candidates(&ValueSource::Field {
+            field: "Mnemonic".into(),
+        });
         let mut mnemonic_map = HashMap::new();
         for i in &source.instrs {
             if let Some(best) = best_match(&i.mnemonic, &target_mnemonics) {
@@ -126,7 +141,11 @@ impl ForkFlow {
         let mut out = s.clone();
         out.head = self.rewrite_tokens(&s.head);
         out.children = s.children.iter().map(|c| self.rewrite_stmt(c)).collect();
-        out.else_children = s.else_children.iter().map(|c| self.rewrite_stmt(c)).collect();
+        out.else_children = s
+            .else_children
+            .iter()
+            .map(|c| self.rewrite_stmt(c))
+            .collect();
         out
     }
 
@@ -136,7 +155,10 @@ impl ForkFlow {
                 Token::Ident(id) => Token::Ident(self.rename(id)),
                 Token::Str(s) if *s == self.source_ns => Token::Str(self.target_ns.clone()),
                 Token::Str(s) => Token::Str(
-                    self.mnemonic_map.get(s).cloned().unwrap_or_else(|| s.clone()),
+                    self.mnemonic_map
+                        .get(s)
+                        .cloned()
+                        .unwrap_or_else(|| s.clone()),
                 ),
                 other => other.clone(),
             })
@@ -221,7 +243,9 @@ mod tests {
         let mut pass = 0usize;
         let mut total = 0usize;
         for (name, _, reference) in rv.backend.iter() {
-            let Some(cand) = forked.function(name) else { continue };
+            let Some(cand) = forked.function(name) else {
+                continue;
+            };
             total += 1;
             if regression_test(name, cand, reference, &rv.spec).passed() {
                 pass += 1;

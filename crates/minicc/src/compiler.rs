@@ -72,7 +72,9 @@ impl<'a> BackendVm<'a> {
     fn int(&self, name: &str, args: &[Value]) -> Result<i64, CompileError> {
         self.call(name, args)
             .and_then(|v| v.as_int())
-            .map_err(|e| CompileError { message: format!("{name}: {}", e.message) })
+            .map_err(|e| CompileError {
+                message: format!("{name}: {}", e.message),
+            })
     }
 }
 
@@ -130,7 +132,10 @@ fn constant_fold(ir: &mut IrFunction) {
                 if defs.get(dst) == Some(&1) {
                     if let (Some(&va), Some(&vb)) = (consts.get(a), consts.get(b)) {
                         if let Some(v) = op.eval(va, vb) {
-                            *inst = Inst::Const { dst: *dst, value: v };
+                            *inst = Inst::Const {
+                                dst: *dst,
+                                value: v,
+                            };
                             changed = true;
                         }
                     }
@@ -237,10 +242,7 @@ fn lower(
                             let opc = opcode_for(op.isd())?;
                             if opc != 0 {
                                 let folded = vm
-                                    .call_opt(
-                                        "foldImmediate",
-                                        &[Value::Int(opc), Value::Int(imm)],
-                                    )
+                                    .call_opt("foldImmediate", &[Value::Int(opc), Value::Int(imm)])
                                     .transpose()
                                     .map_err(|e| CompileError { message: e.message })?
                                     .map(|v| v.as_int().unwrap_or(0))
@@ -257,8 +259,11 @@ fn lower(
                     // MAC fusion: `t = a*b; d = t + x` charged as one MAC on
                     // targets that have it (the add sees the mul's cost drop).
                     if !handled && *op == IrOp::Add {
-                        if let Some(Inst::Bin { op: IrOp::Mul, dst: mdst, .. }) =
-                            idx.checked_sub(1).map(|p| &ir.insts[p])
+                        if let Some(Inst::Bin {
+                            op: IrOp::Mul,
+                            dst: mdst,
+                            ..
+                        }) = idx.checked_sub(1).map(|p| &ir.insts[p])
                         {
                             if inst.uses().contains(mdst) {
                                 let mul_opc = opcode_for("MUL")?;
@@ -317,7 +322,11 @@ fn lower(
         }
         cost.push(c);
     }
-    Ok(CompiledKernel { ir: ir.clone(), cost, machine_insts })
+    Ok(CompiledKernel {
+        ir: ir.clone(),
+        cost,
+        machine_insts,
+    })
 }
 
 /// Result of simulating a compiled kernel.
@@ -359,7 +368,9 @@ pub fn simulate(kernel: &CompiledKernel, vm: &BackendVm<'_>) -> Result<SimResult
     let read = |regs: &HashMap<u32, i64>, r: u32| regs.get(&r).copied().unwrap_or(0);
     for _ in 0..MAX_STEPS {
         let Some(inst) = kernel.ir.insts.get(pc) else {
-            return Err(CompileError { message: "fell off the end".into() });
+            return Err(CompileError {
+                message: "fell off the end".into(),
+            });
         };
         cycles += kernel.cost[pc];
         executed += 1;
@@ -370,35 +381,37 @@ pub fn simulate(kernel: &CompiledKernel, vm: &BackendVm<'_>) -> Result<SimResult
             Inst::Bin { op, dst, a, b } => {
                 let v = op
                     .eval(read(&regs, *a), read(&regs, *b))
-                    .ok_or_else(|| CompileError { message: "division by zero".into() })?;
+                    .ok_or_else(|| CompileError {
+                        message: "division by zero".into(),
+                    })?;
                 regs.insert(*dst, v);
             }
             Inst::Load { dst, base, offset } => {
                 let addr = (read(&regs, *base) + offset) as usize;
-                let v = *mem
-                    .get(addr)
-                    .ok_or_else(|| CompileError { message: "load out of bounds".into() })?;
+                let v = *mem.get(addr).ok_or_else(|| CompileError {
+                    message: "load out of bounds".into(),
+                })?;
                 regs.insert(*dst, v);
             }
             Inst::Store { src, base, offset } => {
                 let addr = (read(&regs, *base) + offset) as usize;
-                let slot = mem
-                    .get_mut(addr)
-                    .ok_or_else(|| CompileError { message: "store out of bounds".into() })?;
+                let slot = mem.get_mut(addr).ok_or_else(|| CompileError {
+                    message: "store out of bounds".into(),
+                })?;
                 *slot = read(&regs, *src);
             }
             Inst::LabelMark { .. } => {}
             Inst::Jump { target } => {
-                pc = *labels
-                    .get(target)
-                    .ok_or_else(|| CompileError { message: "missing label".into() })?;
+                pc = *labels.get(target).ok_or_else(|| CompileError {
+                    message: "missing label".into(),
+                })?;
                 continue;
             }
             Inst::Branch { cond, a, b, target } => {
                 if cond.eval(read(&regs, *a), read(&regs, *b)) {
-                    pc = *labels
-                        .get(target)
-                        .ok_or_else(|| CompileError { message: "missing label".into() })?;
+                    pc = *labels.get(target).ok_or_else(|| CompileError {
+                        message: "missing label".into(),
+                    })?;
                     continue;
                 }
             }
@@ -412,7 +425,9 @@ pub fn simulate(kernel: &CompiledKernel, vm: &BackendVm<'_>) -> Result<SimResult
         }
         pc += 1;
     }
-    Err(CompileError { message: "step limit exceeded".into() })
+    Err(CompileError {
+        message: "step limit exceeded".into(),
+    })
 }
 
 /// Compiles and runs a kernel, returning the simulation result.

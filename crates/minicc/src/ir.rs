@@ -231,7 +231,10 @@ impl IrBuilder {
     /// Starts a kernel named `name`.
     pub fn new(name: &str) -> Self {
         IrBuilder {
-            f: IrFunction { name: name.to_string(), insts: Vec::new() },
+            f: IrFunction {
+                name: name.to_string(),
+                insts: Vec::new(),
+            },
             next_reg: 0,
             next_label: 0,
         }

@@ -40,5 +40,7 @@ pub use compiler::{
 };
 pub use ir::{Cond, Inst, IrBuilder, IrFunction, IrOp, Label, Reg};
 pub use regression::{reference_self_check, regression_test, RegressionOutcome};
-pub use suite::{benchmark_suite, bubble, crc_mix, dotprod, fib, memset_stride, poly_eval, shifty, vecsum};
+pub use suite::{
+    benchmark_suite, bubble, crc_mix, dotprod, fib, memset_stride, poly_eval, shifty, vecsum,
+};
 pub use vectors::{vectors_for, ArgSpec};

@@ -116,9 +116,7 @@ mod tests {
         let rv = c.target("RISCV").unwrap();
         for (name, _, f) in rv.backend.iter() {
             let suite = vectors_for(name, &rv.spec).unwrap();
-            let ok = suite
-                .iter()
-                .any(|args| run_one(f, args, &rv.spec).is_ok());
+            let ok = suite.iter().any(|args| run_one(f, args, &rv.spec).is_ok());
             assert!(ok, "{name}: no vector executes successfully");
         }
     }
@@ -128,10 +126,8 @@ mod tests {
         let c = Corpus::build(&CorpusConfig::tiny());
         let rv = c.target("RISCV").unwrap();
         let reference = rv.backend.function("getInstSizeInBytes").unwrap();
-        let wrong = parse_function(
-            "unsigned getInstSizeInBytes(unsigned Opcode) { return 8; }",
-        )
-        .unwrap();
+        let wrong =
+            parse_function("unsigned getInstSizeInBytes(unsigned Opcode) { return 8; }").unwrap();
         let out = regression_test("getInstSizeInBytes", &wrong, reference, &rv.spec);
         assert!(!out.passed(), "{out:?}");
     }

@@ -301,8 +301,7 @@ mod tests {
             let labels = k.label_map();
             for inst in &k.insts {
                 match inst {
-                    crate::ir::Inst::Jump { target }
-                    | crate::ir::Inst::Branch { target, .. } => {
+                    crate::ir::Inst::Jump { target } | crate::ir::Inst::Branch { target, .. } => {
                         assert!(labels.contains_key(target), "{}: missing label", k.name);
                     }
                     _ => {}

@@ -48,18 +48,19 @@ impl ArgSpec {
         match self {
             ArgSpec::Int(v) => Value::Int(*v),
             ArgSpec::Str(s) => Value::Str(s.clone()),
-            ArgSpec::Fixup { kind } => env.alloc(ObjData::Fixup { kind: *kind, offset: 0 }),
-            ArgSpec::McValue { modifier } => {
-                env.alloc(ObjData::McValue { modifier: *modifier })
-            }
+            ArgSpec::Fixup { kind } => env.alloc(ObjData::Fixup {
+                kind: *kind,
+                offset: 0,
+            }),
+            ArgSpec::McValue { modifier } => env.alloc(ObjData::McValue {
+                modifier: *modifier,
+            }),
             ArgSpec::Inst { opcode, regs, imm } => env.alloc(ObjData::Inst {
                 opcode: *opcode,
                 regs: regs.clone(),
                 imm: *imm,
             }),
-            ArgSpec::Mf { has_fp } => {
-                env.alloc(ObjData::MachineFunction { has_fp: *has_fp })
-            }
+            ArgSpec::Mf { has_fp } => env.alloc(ObjData::MachineFunction { has_fp: *has_fp }),
         }
     }
 }
@@ -113,9 +114,7 @@ pub fn vectors_for(group: &str, spec: &ArchSpec) -> Option<Vec<Vec<ArgSpec>>> {
         "selectOpcode" | "getOperationAction" | "getSelectOpcode" => {
             isds.iter().map(|&o| vec![ArgSpec::Int(o)]).collect()
         }
-        "isLegalImmediate" | "getImmCost" => {
-            imms.iter().map(|&v| vec![ArgSpec::Int(v)]).collect()
-        }
+        "isLegalImmediate" | "getImmCost" => imms.iter().map(|&v| vec![ArgSpec::Int(v)]).collect(),
         "getAddrMode" => {
             let mut v = Vec::new();
             for &o in &opcodes {
@@ -180,10 +179,12 @@ pub fn vectors_for(group: &str, spec: &ArchSpec) -> Option<Vec<Vec<ArgSpec>>> {
             v
         }
         "isProfitableToDupForIfCvt" => (0..9i64).map(|n| vec![ArgSpec::Int(n)]).collect(),
-        "getInstrLatency" | "getNumMicroOps" | "isSchedulingBoundary" | "getRelaxedOpcode"
-        | "mayNeedRelaxation" | "getInstSizeInBytes" => {
-            opcodes.iter().map(|&o| vec![ArgSpec::Int(o)]).collect()
-        }
+        "getInstrLatency"
+        | "getNumMicroOps"
+        | "isSchedulingBoundary"
+        | "getRelaxedOpcode"
+        | "mayNeedRelaxation"
+        | "getInstSizeInBytes" => opcodes.iter().map(|&o| vec![ArgSpec::Int(o)]).collect(),
         "getRelocType" => {
             let mut v = Vec::new();
             let mut modifiers = vec![0i64];
@@ -214,7 +215,11 @@ pub fn vectors_for(group: &str, spec: &ArchSpec) -> Option<Vec<Vec<ArgSpec>>> {
         "encodeInstruction" => opcodes
             .iter()
             .map(|&o| {
-                vec![ArgSpec::Inst { opcode: o, regs: vec![1, 2], imm: 5 }]
+                vec![ArgSpec::Inst {
+                    opcode: o,
+                    regs: vec![1, 2],
+                    imm: 5,
+                }]
             })
             .collect(),
         "parseRegister" => {

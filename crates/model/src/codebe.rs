@@ -7,11 +7,12 @@
 //! variant support the paper's model ablation.
 
 use crate::vocab::{Special, Vocab};
-use serde::{Deserialize, Serialize};
 use vega_nn::{GruConfig, GruSeq2Seq, Seq2Seq, Transformer, TransformerConfig};
+use vega_obs::json::{Json, JsonError};
+use vega_obs::{CurvePoint, TrainingCurve};
 
 /// Which architecture backs CodeBE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelChoice {
     /// Encoder–decoder transformer (the CodeBE default).
     Transformer,
@@ -19,7 +20,7 @@ pub enum ModelChoice {
     Gru,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum ModelKind {
     Transformer(Transformer),
     Gru(GruSeq2Seq),
@@ -35,7 +36,7 @@ impl ModelKind {
 }
 
 /// Training hyperparameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrainConfig {
     /// Denoising pre-training steps (0 = no pre-training, the ablation arm).
     pub pretrain_steps: usize,
@@ -50,23 +51,36 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { pretrain_steps: 600, finetune_epochs: 36, lr: 2e-3, seed: 1 }
+        TrainConfig {
+            pretrain_steps: 600,
+            finetune_epochs: 36,
+            lr: 2e-3,
+            seed: 1,
+        }
     }
 }
 
 impl TrainConfig {
     /// Tiny settings for unit tests.
     pub fn tiny() -> Self {
-        TrainConfig { pretrain_steps: 0, finetune_epochs: 20, lr: 3e-3, seed: 1 }
+        TrainConfig {
+            pretrain_steps: 0,
+            finetune_epochs: 20,
+            lr: 3e-3,
+            seed: 1,
+        }
     }
 }
 
 /// The CodeBE model: vocabulary plus sequence model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CodeBe {
     /// The shared subword vocabulary.
     pub vocab: Vocab,
     model: ModelKind,
+    /// Per-epoch telemetry from the most recent [`CodeBe::finetune`] call
+    /// (not serialized).
+    curve: TrainingCurve,
 }
 
 /// Deterministic shuffling/masking RNG (splitmix64, private copy).
@@ -91,15 +105,32 @@ impl Rng {
 
 impl CodeBe {
     /// Creates a transformer-backed CodeBE with the given width scale.
-    pub fn transformer(vocab: Vocab, cfg_for_vocab: impl FnOnce(usize) -> TransformerConfig) -> Self {
+    pub fn transformer(
+        vocab: Vocab,
+        cfg_for_vocab: impl FnOnce(usize) -> TransformerConfig,
+    ) -> Self {
         let cfg = cfg_for_vocab(vocab.len());
-        CodeBe { vocab, model: ModelKind::Transformer(Transformer::new(cfg)) }
+        CodeBe {
+            vocab,
+            model: ModelKind::Transformer(Transformer::new(cfg)),
+            curve: TrainingCurve::new(),
+        }
     }
 
     /// Creates a GRU-backed CodeBE (ablation).
     pub fn gru(vocab: Vocab, cfg_for_vocab: impl FnOnce(usize) -> GruConfig) -> Self {
         let cfg = cfg_for_vocab(vocab.len());
-        CodeBe { vocab, model: ModelKind::Gru(GruSeq2Seq::new(cfg)) }
+        CodeBe {
+            vocab,
+            model: ModelKind::Gru(GruSeq2Seq::new(cfg)),
+            curve: TrainingCurve::new(),
+        }
+    }
+
+    /// Per-epoch loss/lr/throughput telemetry recorded by the most recent
+    /// [`CodeBe::finetune`] call (empty before the first call).
+    pub fn training_curve(&self) -> &TrainingCurve {
+        &self.curve
     }
 
     /// Denoising pre-training: mask ~30% of pieces, reconstruct the original.
@@ -108,12 +139,17 @@ impl CodeBe {
         if sequences.is_empty() || steps == 0 {
             return 0.0;
         }
+        let span = vega_obs::global().span("pretrain");
         let mask_id = self.vocab.special(Special::Mask);
         let bos = self.vocab.special(Special::Bos);
         let eos = self.vocab.special(Special::Eos);
         let mut rng = Rng(seed ^ 0xDEC0DE);
         let mut running = f32::NAN;
-        for _ in 0..steps {
+        // Sample the running loss every CURVE_EVERY steps as pseudo-epochs.
+        const CURVE_EVERY: usize = 20;
+        let t0 = std::time::Instant::now();
+        let mut last_sample = 0.0f64;
+        for step in 0..steps {
             let seq = &sequences[rng.below(sequences.len())];
             if seq.is_empty() {
                 continue;
@@ -122,10 +158,32 @@ impl CodeBe {
                 .iter()
                 .map(|&id| if rng.chance(0.3) { mask_id } else { id })
                 .collect();
-            let loss = self.model.as_seq2seq().train_example(&corrupted, seq, bos, eos);
+            let loss = self
+                .model
+                .as_seq2seq()
+                .train_example(&corrupted, seq, bos, eos);
             self.model.as_seq2seq().step(lr);
-            running = if running.is_nan() { loss } else { 0.95 * running + 0.05 * loss };
+            running = if running.is_nan() {
+                loss
+            } else {
+                0.95 * running + 0.05 * loss
+            };
+            if (step + 1) % CURVE_EVERY == 0 {
+                let now = t0.elapsed().as_secs_f64();
+                vega_obs::global().curve_point(
+                    "pretrain",
+                    CurvePoint {
+                        epoch: step / CURVE_EVERY,
+                        loss: running,
+                        lr,
+                        examples: CURVE_EVERY,
+                        seconds: now - last_sample,
+                    },
+                );
+                last_sample = now;
+            }
         }
+        let _ = span.finish();
         running
     }
 
@@ -136,13 +194,16 @@ impl CodeBe {
         if pairs.is_empty() {
             return 0.0;
         }
+        let span = vega_obs::global().span("finetune");
         let bos = self.vocab.special(Special::Bos);
         let eos = self.vocab.special(Special::Eos);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         let mut rng = Rng(cfg.seed ^ 0xF17E);
         let mut last_epoch_loss = 0.0;
+        self.curve = TrainingCurve::new();
         const MICRO_BATCH: usize = 8;
         for epoch in 0..cfg.finetune_epochs {
+            let epoch_start = std::time::Instant::now();
             // Inverse-decay schedule smooths late epochs.
             let lr = cfg.lr / (1.0 + 0.04 * epoch as f32);
             // Fisher-Yates shuffle.
@@ -160,7 +221,17 @@ impl CodeBe {
                 }
             }
             last_epoch_loss = sum / pairs.len() as f32;
+            let point = CurvePoint {
+                epoch,
+                loss: last_epoch_loss,
+                lr,
+                examples: pairs.len(),
+                seconds: epoch_start.elapsed().as_secs_f64(),
+            };
+            self.curve.push(point);
+            vega_obs::global().curve_point("finetune", point);
         }
+        let _ = span.finish();
         last_epoch_loss
     }
 
@@ -176,7 +247,9 @@ impl CodeBe {
     pub fn sequence_logprob(&mut self, input: &[usize], output: &[usize]) -> f32 {
         let bos = self.vocab.special(Special::Bos);
         let eos = self.vocab.special(Special::Eos);
-        self.model.as_seq2seq().sequence_logprob(input, output, bos, eos)
+        self.model
+            .as_seq2seq()
+            .sequence_logprob(input, output, bos, eos)
     }
 
     /// Exact-match rate over a verification set (the paper reports 99.03%).
@@ -191,19 +264,38 @@ impl CodeBe {
         hits as f64 / pairs.len() as f64
     }
 
-    /// Serializes vocabulary and weights to JSON.
+    /// Serializes vocabulary and weights to JSON. The model is externally
+    /// tagged by architecture: `{"vocab":{...},"model":{"Transformer":{...}}}`.
     pub fn save_json(&self) -> String {
-        serde_json::to_string(self).expect("codebe serialization")
+        let model = match &self.model {
+            ModelKind::Transformer(t) => Json::obj([("Transformer", t.to_json_value())]),
+            ModelKind::Gru(g) => Json::obj([("Gru", g.to_json_value())]),
+        };
+        Json::obj([("vocab", self.vocab.to_json_value()), ("model", model)]).render()
     }
 
     /// Restores a model saved with [`CodeBe::save_json`].
     ///
     /// # Errors
     /// Returns an error if the JSON does not describe a CodeBE model.
-    pub fn load_json(s: &str) -> Result<Self, serde_json::Error> {
-        let mut me: CodeBe = serde_json::from_str(s)?;
-        me.vocab.rebuild_index();
-        Ok(me)
+    pub fn load_json(s: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(s)?;
+        let vocab = Vocab::from_json_value(v.field("vocab")?)?;
+        let m = v.field("model")?;
+        let model = if let Ok(t) = m.field("Transformer") {
+            ModelKind::Transformer(Transformer::from_json_value(t)?)
+        } else if let Ok(g) = m.field("Gru") {
+            ModelKind::Gru(GruSeq2Seq::from_json_value(g)?)
+        } else {
+            return Err(JsonError {
+                msg: "unknown model kind".into(),
+            });
+        };
+        Ok(CodeBe {
+            vocab,
+            model,
+            curve: TrainingCurve::new(),
+        })
     }
 }
 
@@ -248,6 +340,26 @@ mod tests {
     }
 
     #[test]
+    fn finetune_records_one_curve_point_per_epoch() {
+        let (mut m, seqs) = tiny_codebe(&["x = 1;", "return x;"]);
+        let pairs = vec![(seqs[0].clone(), seqs[1].clone())];
+        let mut cfg = TrainConfig::tiny();
+        cfg.finetune_epochs = 5;
+        assert!(m.training_curve().is_empty());
+        let loss = m.finetune(&pairs, &cfg);
+        let curve = m.training_curve();
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve.final_loss(), Some(loss));
+        for (i, p) in curve.points.iter().enumerate() {
+            assert_eq!(p.epoch, i);
+            assert_eq!(p.examples, pairs.len());
+            assert!(p.lr > 0.0 && p.lr <= cfg.lr);
+        }
+        // The inverse-decay schedule makes lr strictly decreasing.
+        assert!(curve.points.windows(2).all(|w| w[1].lr < w[0].lr));
+    }
+
+    #[test]
     fn pretrain_runs_and_reduces_loss() {
         let (mut m, seqs) = tiny_codebe(&["return Value & 255;", "return Value;"]);
         let final_loss = m.pretrain(&seqs, 120, 3e-3, 9);
@@ -266,9 +378,7 @@ mod tests {
     #[test]
     fn gru_variant_trains() {
         let toks = lex("a = 1; b = 2;").unwrap();
-        let vocab = Vocab::build(
-            tokens_to_pieces(&toks).iter().map(String::as_str),
-        );
+        let vocab = Vocab::build(tokens_to_pieces(&toks).iter().map(String::as_str));
         let seq = vocab.encode_pieces(&tokens_to_pieces(&lex("a = 1;").unwrap()));
         let mut m = CodeBe::gru(vocab, GruConfig::tiny);
         let pairs = vec![(seq.clone(), seq.clone())];

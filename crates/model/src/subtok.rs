@@ -205,10 +205,12 @@ mod tests {
     fn digits_are_single() {
         assert_eq!(split_ident("hi20"), vec!["hi", "2", "0"]);
         // …but literal integers and numeric value strings are one piece.
-        assert_eq!(token_to_pieces(&vega_cpplite::Token::Int(65535)), vec!["\u{2581}65535"]);
+        assert_eq!(
+            token_to_pieces(&vega_cpplite::Token::Int(65535)),
+            vec!["\u{2581}65535"]
+        );
         assert_eq!(string_to_pieces("65535"), vec!["\u{2581}65535"]);
     }
-
 }
 
 /// Sentinel characters standing for the target's own name inside training
@@ -250,7 +252,10 @@ impl TargetNorm {
         anon_forms.sort_by_key(|(f, _)| std::cmp::Reverse(f.len()));
         let mut seen = std::collections::HashSet::new();
         anon_forms.retain(|(f, _)| seen.insert(f.clone()));
-        TargetNorm { anon_forms, restore_forms }
+        TargetNorm {
+            anon_forms,
+            restore_forms,
+        }
     }
 
     /// Replaces name occurrences with sentinels.
@@ -376,7 +381,12 @@ mod norm_tests {
     #[test]
     fn anonymize_roundtrips_all_casings() {
         let n = TargetNorm::new("XCore");
-        for s in ["XCoreAsmParser", "fixup_xcore_tprel", "R_XCORE_32", "LSS_ADD"] {
+        for s in [
+            "XCoreAsmParser",
+            "fixup_xcore_tprel",
+            "R_XCORE_32",
+            "LSS_ADD",
+        ] {
             let a = n.anonymize(s);
             assert_eq!(n.restore(&a), s);
         }
@@ -388,7 +398,10 @@ mod norm_tests {
         let n = TargetNorm::new("Mips");
         let a = n.anonymize("fixup_MIPS_HI16");
         let pieces = split_ident(&a);
-        assert!(pieces.iter().any(|p| p == &TGT_SENTINELS[2].to_string()), "{pieces:?}");
+        assert!(
+            pieces.iter().any(|p| p == &TGT_SENTINELS[2].to_string()),
+            "{pieces:?}"
+        );
     }
 
     #[test]
@@ -438,7 +451,10 @@ mod anon_piece_tests {
         let joined = pieces_to_spellings(&p).join(" ");
         assert!(!joined.contains("RI5CY"), "{joined}");
         assert!(!joined.contains("ri5cy"), "{joined}");
-        assert_eq!(n.restore(&joined).replace(' ', ""), "RI5CY::fixup_ri5cy_hi16");
+        assert_eq!(
+            n.restore(&joined).replace(' ', ""),
+            "RI5CY::fixup_ri5cy_hi16"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The CodeBE vocabulary: special tokens, subword pieces, char fallback.
 
 use crate::subtok::{pieces_to_spellings, WORD_START};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use vega_obs::json::{Json, JsonError};
 
 /// Number of quantized confidence-score tokens (`[CS_0]`=0.00 … `[CS_20]`=1.00).
 pub const NUM_SCORE_TOKENS: usize = 21;
@@ -48,11 +48,11 @@ const SPECIAL_NAMES: &[(&str, Special)] = &[
     ("[SV]", Special::Slot),
 ];
 
-/// A frozen subword vocabulary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// A frozen subword vocabulary. Only the piece list is serialized; the
+/// lookup map is rebuilt on load.
+#[derive(Debug, Clone)]
 pub struct Vocab {
     pieces: Vec<String>,
-    #[serde(skip)]
     ids: HashMap<String, usize>,
 }
 
@@ -99,6 +99,33 @@ impl Vocab {
             .map(|(i, p)| (p.clone(), i))
             .collect();
         Vocab { pieces, ids }
+    }
+
+    /// Serializes to a JSON value (`{"pieces":[...]}`).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([(
+            "pieces",
+            Json::Arr(self.pieces.iter().map(Json::str).collect()),
+        )])
+    }
+
+    /// Restores from [`Vocab::to_json_value`] output, rebuilding the index.
+    ///
+    /// # Errors
+    /// Returns an error if the value does not describe a vocabulary.
+    pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let pieces = v
+            .field("pieces")?
+            .as_array()?
+            .iter()
+            .map(|p| Ok(p.as_str()?.to_string()))
+            .collect::<Result<Vec<String>, JsonError>>()?;
+        let mut vocab = Vocab {
+            pieces,
+            ids: HashMap::new(),
+        };
+        vocab.rebuild_index();
+        Ok(vocab)
     }
 
     /// Rebuilds the lookup map after deserialization.
@@ -260,11 +287,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_with_reindex() {
+    fn json_roundtrip_with_reindex() {
         let v = sample_vocab();
-        let json = serde_json::to_string(&v).unwrap();
-        let mut v2: Vocab = serde_json::from_str(&json).unwrap();
-        v2.rebuild_index();
+        let json = v.to_json_value().render();
+        let v2 = Vocab::from_json_value(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(v.len(), v2.len());
         assert_eq!(v.special(Special::Sep), v2.special(Special::Sep));
     }

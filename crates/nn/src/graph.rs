@@ -16,22 +16,65 @@ pub struct NodeId(usize);
 #[derive(Debug, Clone)]
 enum Op {
     Leaf,
-    Matmul { a: usize, b: usize, transpose_b: bool },
-    Add { a: usize, b: usize },
-    AddRowBroadcast { a: usize, row: usize },
-    Hadamard { a: usize, b: usize },
-    Scale { a: usize, s: f32 },
-    AddScalar { a: usize },
-    Relu { a: usize },
-    Tanh { a: usize },
-    Sigmoid { a: usize },
-    SoftmaxRows { a: usize },
-    AddConst { a: usize },
-    LayerNorm { a: usize, gain: usize, bias: usize, cache: Vec<(f32, f32)> },
-    Embed { table: usize, ids: Vec<usize> },
-    ConcatCols { a: usize, b: usize },
-    ConcatRows { parts: Vec<usize> },
-    MeanRows { a: usize },
+    Matmul {
+        a: usize,
+        b: usize,
+        transpose_b: bool,
+    },
+    Add {
+        a: usize,
+        b: usize,
+    },
+    AddRowBroadcast {
+        a: usize,
+        row: usize,
+    },
+    Hadamard {
+        a: usize,
+        b: usize,
+    },
+    Scale {
+        a: usize,
+        s: f32,
+    },
+    AddScalar {
+        a: usize,
+    },
+    Relu {
+        a: usize,
+    },
+    Tanh {
+        a: usize,
+    },
+    Sigmoid {
+        a: usize,
+    },
+    SoftmaxRows {
+        a: usize,
+    },
+    AddConst {
+        a: usize,
+    },
+    LayerNorm {
+        a: usize,
+        gain: usize,
+        bias: usize,
+        cache: Vec<(f32, f32)>,
+    },
+    Embed {
+        table: usize,
+        ids: Vec<usize>,
+    },
+    ConcatCols {
+        a: usize,
+        b: usize,
+    },
+    ConcatRows {
+        parts: Vec<usize>,
+    },
+    MeanRows {
+        a: usize,
+    },
 }
 
 struct Node {
@@ -49,11 +92,19 @@ pub struct Graph<'p> {
 impl<'p> Graph<'p> {
     /// Starts a fresh tape over `store`.
     pub fn new(store: &'p mut ParamStore) -> Self {
-        Graph { store, nodes: Vec::new() }
+        vega_obs::global().counter_add("nn.forward_passes", 1);
+        Graph {
+            store,
+            nodes: Vec::new(),
+        }
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> NodeId {
-        self.nodes.push(Node { op, value, param: None });
+        self.nodes.push(Node {
+            op,
+            value,
+            param: None,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -65,7 +116,11 @@ impl<'p> Graph<'p> {
     /// Loads a parameter onto the tape (gradients flow back to the store).
     pub fn param(&mut self, id: ParamId) -> NodeId {
         let value = self.store.value(id).clone();
-        self.nodes.push(Node { op: Op::Leaf, value, param: Some(id) });
+        self.nodes.push(Node {
+            op: Op::Leaf,
+            value,
+            param: Some(id),
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -76,8 +131,17 @@ impl<'p> Graph<'p> {
 
     /// `a · b`, optionally with `b` transposed.
     pub fn matmul(&mut self, a: NodeId, b: NodeId, transpose_b: bool) -> NodeId {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value, transpose_b);
-        self.push(Op::Matmul { a: a.0, b: b.0, transpose_b }, v)
+        let v = self.nodes[a.0]
+            .value
+            .matmul(&self.nodes[b.0].value, transpose_b);
+        self.push(
+            Op::Matmul {
+                a: a.0,
+                b: b.0,
+                transpose_b,
+            },
+            v,
+        )
     }
 
     /// `a + b` elementwise.
@@ -88,7 +152,9 @@ impl<'p> Graph<'p> {
 
     /// `a + row` with `row` broadcast over rows (bias add).
     pub fn add_row_broadcast(&mut self, a: NodeId, row: NodeId) -> NodeId {
-        let v = self.nodes[a.0].value.add_row_broadcast(&self.nodes[row.0].value);
+        let v = self.nodes[a.0]
+            .value
+            .add_row_broadcast(&self.nodes[row.0].value);
         self.push(Op::AddRowBroadcast { a: a.0, row: row.0 }, v)
     }
 
@@ -183,7 +249,15 @@ impl<'p> Graph<'p> {
                 out.data[r * x.cols + c] = (row[c] - mean) / std * g.data[c] + b.data[c];
             }
         }
-        self.push(Op::LayerNorm { a: a.0, gain: gain.0, bias: bias.0, cache }, out)
+        self.push(
+            Op::LayerNorm {
+                a: a.0,
+                gain: gain.0,
+                bias: bias.0,
+                cache,
+            },
+            out,
+        )
     }
 
     /// Gathers embedding rows for `ids` from `table`.
@@ -193,7 +267,13 @@ impl<'p> Graph<'p> {
         for (r, &id) in ids.iter().enumerate() {
             out.row_mut(r).copy_from_slice(t.row(id));
         }
-        self.push(Op::Embed { table: table.0, ids: ids.to_vec() }, out)
+        self.push(
+            Op::Embed {
+                table: table.0,
+                ids: ids.to_vec(),
+            },
+            out,
+        )
     }
 
     /// Concatenates two equal-row tensors along columns (GRU gate input).
@@ -230,7 +310,12 @@ impl<'p> Graph<'p> {
                 r += 1;
             }
         }
-        self.push(Op::ConcatRows { parts: parts.iter().map(|p| p.0).collect() }, out)
+        self.push(
+            Op::ConcatRows {
+                parts: parts.iter().map(|p| p.0).collect(),
+            },
+            out,
+        )
     }
 
     /// Mean over rows, yielding a 1×cols tensor (sequence pooling).
@@ -308,7 +393,10 @@ impl<'p> Graph<'p> {
                         (gy.matmul(vb, false), gy.transposed().matmul(va, false))
                     } else {
                         // C = A·B: dA = dC·Bᵀ ; dB = Aᵀ·dC
-                        (gy.matmul(&vb.transposed(), false), va.transposed().matmul(&gy, false))
+                        (
+                            gy.matmul(&vb.transposed(), false),
+                            va.transposed().matmul(&gy, false),
+                        )
                     };
                     acc(&mut grads[a], da);
                     acc(&mut grads[b], db);
@@ -384,7 +472,12 @@ impl<'p> Graph<'p> {
                     }
                     acc(&mut grads[a], dx);
                 }
-                Op::LayerNorm { a, gain, bias, cache } => {
+                Op::LayerNorm {
+                    a,
+                    gain,
+                    bias,
+                    cache,
+                } => {
                     let (a, gain, bias) = (*a, *gain, *bias);
                     let cache = cache.clone();
                     let x = &self.nodes[a].value;
@@ -528,7 +621,11 @@ mod tests {
     #[test]
     fn grad_check_linear_softmax() {
         grad_check((4, 5), |g, w| {
-            let x = g.constant(Tensor::from_vec(3, 4, (0..12).map(|i| (i as f32) * 0.1 - 0.5).collect()));
+            let x = g.constant(Tensor::from_vec(
+                3,
+                4,
+                (0..12).map(|i| (i as f32) * 0.1 - 0.5).collect(),
+            ));
             let logits = g.matmul(x, w, false);
             (logits, vec![1, 4, 2])
         });
@@ -537,7 +634,11 @@ mod tests {
     #[test]
     fn grad_check_through_relu_layernorm_softmaxrows() {
         grad_check((6, 6), |g, w| {
-            let x = g.constant(Tensor::from_vec(4, 6, (0..24).map(|i| ((i * 7 % 11) as f32) * 0.1 - 0.4).collect()));
+            let x = g.constant(Tensor::from_vec(
+                4,
+                6,
+                (0..24).map(|i| ((i * 7 % 11) as f32) * 0.1 - 0.4).collect(),
+            ));
             let h = g.matmul(x, w, false);
             let h = g.relu(h);
             let gain = g.constant(Tensor::from_vec(1, 6, vec![1.0; 6]));
@@ -573,13 +674,21 @@ mod tests {
     #[test]
     fn grad_check_concat_and_mean() {
         grad_check((4, 3), |g, w| {
-            let x = g.constant(Tensor::from_vec(2, 4, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.2, 0.0]));
+            let x = g.constant(Tensor::from_vec(
+                2,
+                4,
+                vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.2, 0.0],
+            ));
             let h = g.matmul(x, w, false);
             let hc = g.concat_cols(h, h);
             let m = g.mean_rows(hc);
             // Project 1x6 back through w twice (3+3): split via matmul with
             // constant to get logits 1x4.
-            let proj = g.constant(Tensor::from_vec(6, 4, (0..24).map(|i| (i as f32) * 0.05 - 0.3).collect()));
+            let proj = g.constant(Tensor::from_vec(
+                6,
+                4,
+                (0..24).map(|i| (i as f32) * 0.05 - 0.3).collect(),
+            ));
             let logits = g.matmul(m, proj, false);
             (logits, vec![3])
         });

@@ -8,10 +8,10 @@ use crate::graph::{Graph, NodeId};
 use crate::params::{Init, ParamId, ParamStore};
 use crate::seq2seq::Seq2Seq;
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use vega_obs::json::{Json, JsonError};
 
 /// GRU hyperparameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GruConfig {
     /// Vocabulary size.
     pub vocab: usize,
@@ -26,16 +26,26 @@ pub struct GruConfig {
 impl GruConfig {
     /// Configuration matched in width to [`crate::TransformerConfig::small`].
     pub fn small(vocab: usize) -> Self {
-        GruConfig { vocab, d_model: 64, max_len: 96, seed: 0x6B0 }
+        GruConfig {
+            vocab,
+            d_model: 64,
+            max_len: 96,
+            seed: 0x6B0,
+        }
     }
 
     /// A tiny configuration for unit tests.
     pub fn tiny(vocab: usize) -> Self {
-        GruConfig { vocab, d_model: 16, max_len: 24, seed: 5 }
+        GruConfig {
+            vocab,
+            d_model: 16,
+            max_len: 24,
+            seed: 5,
+        }
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct GruCell {
     wz: ParamId,
     bz: ParamId,
@@ -45,8 +55,40 @@ struct GruCell {
     bh: ParamId,
 }
 
+fn pid_json(p: ParamId) -> Json {
+    Json::num_usize(p.0)
+}
+
+fn pid_from(v: &Json) -> Result<ParamId, JsonError> {
+    Ok(ParamId(v.as_usize()?))
+}
+
+impl GruCell {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("wz", pid_json(self.wz)),
+            ("bz", pid_json(self.bz)),
+            ("wr", pid_json(self.wr)),
+            ("br", pid_json(self.br)),
+            ("wh", pid_json(self.wh)),
+            ("bh", pid_json(self.bh)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(GruCell {
+            wz: pid_from(v.field("wz")?)?,
+            bz: pid_from(v.field("bz")?)?,
+            wr: pid_from(v.field("wr")?)?,
+            br: pid_from(v.field("br")?)?,
+            wh: pid_from(v.field("wh")?)?,
+            bh: pid_from(v.field("bh")?)?,
+        })
+    }
+}
+
 /// GRU encoder–decoder with trainable parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GruSeq2Seq {
     /// Hyperparameters.
     pub cfg: GruConfig,
@@ -107,7 +149,15 @@ impl GruSeq2Seq {
         let dec = make_cell(&mut store, &mut init, "dec", d);
         let w_out = store.add("w_out", init.xavier(d, cfg.vocab));
         let b_out = store.add("b_out", init.zeros(1, cfg.vocab));
-        GruSeq2Seq { cfg, store, emb, enc, dec, w_out, b_out }
+        GruSeq2Seq {
+            cfg,
+            store,
+            emb,
+            enc,
+            dec,
+            w_out,
+            b_out,
+        }
     }
 
     /// Number of trainable scalars.
@@ -119,8 +169,50 @@ impl GruSeq2Seq {
     ///
     /// # Errors
     /// Returns an error if the JSON does not describe a GRU model.
-    pub fn load_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn load_json(s: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Json::parse(s)?)
+    }
+
+    /// Serializes to a JSON value for embedding in a larger document.
+    pub fn to_json_value(&self) -> Json {
+        let cfg = Json::obj([
+            ("vocab", Json::num_usize(self.cfg.vocab)),
+            ("d_model", Json::num_usize(self.cfg.d_model)),
+            ("max_len", Json::num_usize(self.cfg.max_len)),
+            ("seed", Json::num_u64(self.cfg.seed)),
+        ]);
+        Json::obj([
+            ("cfg", cfg),
+            ("store", self.store.to_json_value()),
+            ("emb", pid_json(self.emb)),
+            ("enc", self.enc.to_json_value()),
+            ("dec", self.dec.to_json_value()),
+            ("w_out", pid_json(self.w_out)),
+            ("b_out", pid_json(self.b_out)),
+        ])
+    }
+
+    /// Restores from [`GruSeq2Seq::to_json_value`] output.
+    ///
+    /// # Errors
+    /// Returns an error if the value does not describe a GRU model.
+    pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let c = v.field("cfg")?;
+        let cfg = GruConfig {
+            vocab: c.field("vocab")?.as_usize()?,
+            d_model: c.field("d_model")?.as_usize()?,
+            max_len: c.field("max_len")?.as_usize()?,
+            seed: c.field("seed")?.as_u64()?,
+        };
+        Ok(GruSeq2Seq {
+            cfg,
+            store: ParamStore::from_json_value(v.field("store")?)?,
+            emb: pid_from(v.field("emb")?)?,
+            enc: GruCell::from_json_value(v.field("enc")?)?,
+            dec: GruCell::from_json_value(v.field("dec")?)?,
+            w_out: pid_from(v.field("w_out")?)?,
+            b_out: pid_from(v.field("b_out")?)?,
+        })
     }
 
     fn encode(cell: &GruCell, emb: ParamId, g: &mut Graph<'_>, src: &[usize], d: usize) -> NodeId {
@@ -132,7 +224,6 @@ impl GruSeq2Seq {
         }
         h
     }
-
 }
 
 impl Seq2Seq for GruSeq2Seq {
@@ -181,7 +272,7 @@ impl Seq2Seq for GruSeq2Seq {
     }
 
     fn save_json(&self) -> String {
-        serde_json::to_string(self).expect("gru serialization")
+        self.to_json_value().render()
     }
 
     fn forced_logprob(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32 {
@@ -249,10 +340,7 @@ mod tests {
     #[test]
     fn learns_a_tiny_mapping() {
         let mut m = GruSeq2Seq::new(GruConfig::tiny(8));
-        let pairs = vec![
-            (vec![2usize, 3], vec![3usize]),
-            (vec![4, 5], vec![5]),
-        ];
+        let pairs = vec![(vec![2usize, 3], vec![3usize]), (vec![4, 5], vec![5])];
         let loss = train_until(&mut m, &pairs, 0, 1, 400, 5e-3, 0.05);
         assert!(loss < 0.3, "gru did not converge: {loss}");
         assert_eq!(m.greedy(&[2, 3], 0, 1, 4), vec![3]);

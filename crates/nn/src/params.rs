@@ -1,22 +1,21 @@
 //! Parameter storage and the Adam optimizer.
 
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use vega_obs::json::{Json, JsonError};
 
 /// Handle to one parameter tensor inside a [`ParamStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
 /// A named collection of trainable tensors with gradients and Adam state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Serialization keeps names, values, and the step count; gradient and Adam
+/// buffers are transient and reset to zero on load.
+#[derive(Debug, Clone)]
 pub struct ParamStore {
     names: Vec<String>,
     tensors: Vec<Tensor>,
-    #[serde(skip)]
     grads: Vec<Tensor>,
-    #[serde(skip)]
     m: Vec<Tensor>,
-    #[serde(skip)]
     v: Vec<Tensor>,
     step_count: u64,
 }
@@ -88,6 +87,7 @@ impl ParamStore {
     /// One Adam step (β₁=0.9, β₂=0.999, ε=1e-8) with gradient clipping at
     /// global norm 5, then clears gradients.
     pub fn adam_step(&mut self, lr: f32) {
+        vega_obs::global().counter_add("nn.train_steps", 1);
         self.step_count += 1;
         let t = self.step_count as f32;
         let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
@@ -118,11 +118,23 @@ impl ParamStore {
     }
 
     /// Serializes the parameter values to JSON.
-    ///
-    /// # Errors
-    /// Returns a serialization error (practically impossible for plain data).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Serializes to a JSON value for embedding in a larger document.
+    pub(crate) fn to_json_value(&self) -> Json {
+        Json::obj([
+            (
+                "names",
+                Json::Arr(self.names.iter().map(Json::str).collect()),
+            ),
+            (
+                "tensors",
+                Json::Arr(self.tensors.iter().map(Tensor::to_json_value).collect()),
+            ),
+            ("step_count", Json::num_u64(self.step_count)),
+        ])
     }
 
     /// Restores a store from [`ParamStore::to_json`] output; optimizer state
@@ -130,16 +142,42 @@ impl ParamStore {
     ///
     /// # Errors
     /// Returns an error if the JSON does not describe a `ParamStore`.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        let mut store: ParamStore = serde_json::from_str(s)?;
-        store.grads = store
-            .tensors
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Json::parse(s)?)
+    }
+
+    /// Restores a store from [`ParamStore::to_json_value`] output.
+    pub(crate) fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let names = v
+            .field("names")?
+            .as_array()?
+            .iter()
+            .map(|n| Ok(n.as_str()?.to_string()))
+            .collect::<Result<Vec<String>, JsonError>>()?;
+        let tensors = v
+            .field("tensors")?
+            .as_array()?
+            .iter()
+            .map(Tensor::from_json_value)
+            .collect::<Result<Vec<Tensor>, JsonError>>()?;
+        if names.len() != tensors.len() {
+            return Err(JsonError {
+                msg: "names/tensors length mismatch".into(),
+            });
+        }
+        let step_count = v.field("step_count")?.as_u64()?;
+        let grads: Vec<Tensor> = tensors
             .iter()
             .map(|t| Tensor::zeros(t.rows, t.cols))
             .collect();
-        store.m = store.grads.clone();
-        store.v = store.grads.clone();
-        Ok(store)
+        Ok(ParamStore {
+            names,
+            m: grads.clone(),
+            v: grads.clone(),
+            grads,
+            tensors,
+            step_count,
+        })
     }
 }
 
@@ -153,7 +191,9 @@ pub struct Init {
 impl Init {
     /// Creates an initializer from a seed.
     pub fn new(seed: u64) -> Self {
-        Init { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        Init {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     fn next_f32(&mut self) -> f32 {
@@ -211,7 +251,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mut init = Init::new(9);
         let id = store.add("w", init.xavier(3, 5));
-        let json = store.to_json().unwrap();
+        let json = store.to_json();
         let restored = ParamStore::from_json(&json).unwrap();
         assert_eq!(restored.value(id), store.value(id));
         assert_eq!(restored.num_scalars(), 15);

@@ -77,7 +77,11 @@ pub fn train_until<M: Seq2Seq>(
         let (src, tgt) = &pairs[step % pairs.len()];
         let loss = model.train_example(src, tgt, bos, eos);
         model.step(lr);
-        running = if running.is_finite() { 0.9 * running + 0.1 * loss } else { loss };
+        running = if running.is_finite() {
+            0.9 * running + 0.1 * loss
+        } else {
+            loss
+        };
         if step >= pairs.len() && running < target_loss {
             break;
         }

@@ -1,10 +1,10 @@
 //! Dense 2-D tensors (row-major `f32`) with the handful of kernels the
 //! sequence models need.
 
-use serde::{Deserialize, Serialize};
+use vega_obs::json::{Json, JsonError};
 
 /// A row-major 2-D tensor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     /// Number of rows.
     pub rows: usize,
@@ -17,7 +17,11 @@ pub struct Tensor {
 impl Tensor {
     /// A zero tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a tensor from data.
@@ -27,6 +31,36 @@ impl Tensor {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
         Tensor { rows, cols, data }
+    }
+
+    /// Serializes to a JSON value (`{"rows":r,"cols":c,"data":[...]}`).
+    pub(crate) fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("rows", Json::num_usize(self.rows)),
+            ("cols", Json::num_usize(self.cols)),
+            (
+                "data",
+                Json::Arr(self.data.iter().map(|&x| Json::num_f32(x)).collect()),
+            ),
+        ])
+    }
+
+    /// Restores from [`Tensor::to_json_value`] output.
+    pub(crate) fn from_json_value(v: &Json) -> Result<Tensor, JsonError> {
+        let rows = v.field("rows")?.as_usize()?;
+        let cols = v.field("cols")?.as_usize()?;
+        let data = v
+            .field("data")?
+            .as_array()?
+            .iter()
+            .map(Json::as_f32)
+            .collect::<Result<Vec<f32>, JsonError>>()?;
+        if data.len() != rows * cols {
+            return Err(JsonError {
+                msg: format!("tensor shape {rows}x{cols} != {}", data.len()),
+            });
+        }
+        Ok(Tensor { rows, cols, data })
     }
 
     /// Element accessor.
@@ -97,9 +131,22 @@ impl Tensor {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Adds `row` (a 1×cols tensor) to every row.
@@ -123,9 +170,22 @@ impl Tensor {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn hadamard(&self, other: &Tensor) -> Tensor {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "hadamard shape");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple.

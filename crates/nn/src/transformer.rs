@@ -10,10 +10,10 @@ use crate::graph::{Graph, NodeId};
 use crate::params::{Init, ParamId, ParamStore};
 use crate::seq2seq::Seq2Seq;
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
+use vega_obs::json::{Json, JsonError};
 
 /// Transformer hyperparameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformerConfig {
     /// Vocabulary size.
     pub vocab: usize,
@@ -63,7 +63,23 @@ impl TransformerConfig {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+fn pid_json(p: ParamId) -> Json {
+    Json::num_usize(p.0)
+}
+
+fn pid_from(v: &Json) -> Result<ParamId, JsonError> {
+    Ok(ParamId(v.as_usize()?))
+}
+
+fn pids_json(ps: &[ParamId]) -> Json {
+    Json::Arr(ps.iter().map(|&p| pid_json(p)).collect())
+}
+
+fn pids_from(v: &Json) -> Result<Vec<ParamId>, JsonError> {
+    v.as_array()?.iter().map(pid_from).collect()
+}
+
+#[derive(Debug, Clone)]
 struct AttnParams {
     wq: Vec<ParamId>,
     wk: Vec<ParamId>,
@@ -71,13 +87,46 @@ struct AttnParams {
     wo: ParamId,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+impl AttnParams {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("wq", pids_json(&self.wq)),
+            ("wk", pids_json(&self.wk)),
+            ("wv", pids_json(&self.wv)),
+            ("wo", pid_json(self.wo)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(AttnParams {
+            wq: pids_from(v.field("wq")?)?,
+            wk: pids_from(v.field("wk")?)?,
+            wv: pids_from(v.field("wv")?)?,
+            wo: pid_from(v.field("wo")?)?,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
 struct LnParams {
     gain: ParamId,
     bias: ParamId,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+impl LnParams {
+    fn to_json_value(&self) -> Json {
+        Json::obj([("gain", pid_json(self.gain)), ("bias", pid_json(self.bias))])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(LnParams {
+            gain: pid_from(v.field("gain")?)?,
+            bias: pid_from(v.field("bias")?)?,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
 struct FfParams {
     w1: ParamId,
     b1: ParamId,
@@ -85,7 +134,27 @@ struct FfParams {
     b2: ParamId,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+impl FfParams {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("w1", pid_json(self.w1)),
+            ("b1", pid_json(self.b1)),
+            ("w2", pid_json(self.w2)),
+            ("b2", pid_json(self.b2)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(FfParams {
+            w1: pid_from(v.field("w1")?)?,
+            b1: pid_from(v.field("b1")?)?,
+            w2: pid_from(v.field("w2")?)?,
+            b2: pid_from(v.field("b2")?)?,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
 struct EncLayer {
     ln1: LnParams,
     attn: AttnParams,
@@ -93,7 +162,27 @@ struct EncLayer {
     ff: FfParams,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+impl EncLayer {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("ln1", self.ln1.to_json_value()),
+            ("attn", self.attn.to_json_value()),
+            ("ln2", self.ln2.to_json_value()),
+            ("ff", self.ff.to_json_value()),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(EncLayer {
+            ln1: LnParams::from_json_value(v.field("ln1")?)?,
+            attn: AttnParams::from_json_value(v.field("attn")?)?,
+            ln2: LnParams::from_json_value(v.field("ln2")?)?,
+            ff: FfParams::from_json_value(v.field("ff")?)?,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
 struct DecLayer {
     ln1: LnParams,
     self_attn: AttnParams,
@@ -103,8 +192,32 @@ struct DecLayer {
     ff: FfParams,
 }
 
+impl DecLayer {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("ln1", self.ln1.to_json_value()),
+            ("self_attn", self.self_attn.to_json_value()),
+            ("ln2", self.ln2.to_json_value()),
+            ("cross_attn", self.cross_attn.to_json_value()),
+            ("ln3", self.ln3.to_json_value()),
+            ("ff", self.ff.to_json_value()),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(DecLayer {
+            ln1: LnParams::from_json_value(v.field("ln1")?)?,
+            self_attn: AttnParams::from_json_value(v.field("self_attn")?)?,
+            ln2: LnParams::from_json_value(v.field("ln2")?)?,
+            cross_attn: AttnParams::from_json_value(v.field("cross_attn")?)?,
+            ln3: LnParams::from_json_value(v.field("ln3")?)?,
+            ff: FfParams::from_json_value(v.field("ff")?)?,
+        })
+    }
+}
+
 /// An encoder–decoder transformer with trainable parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Transformer {
     /// Hyperparameters.
     pub cfg: TransformerConfig,
@@ -250,7 +363,7 @@ impl Seq2Seq for Transformer {
     }
 
     fn save_json(&self) -> String {
-        serde_json::to_string(self).expect("transformer serialization")
+        self.to_json_value().render()
     }
 
     fn forced_logprob(&mut self, src: &[usize], tgt_in: &[usize], tgt_out: &[usize]) -> f32 {
@@ -291,8 +404,88 @@ impl Transformer {
     ///
     /// # Errors
     /// Returns an error if the JSON does not describe a transformer.
-    pub fn load_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn load_json(s: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Json::parse(s)?)
+    }
+
+    /// Serializes to a JSON value for embedding in a larger document.
+    pub fn to_json_value(&self) -> Json {
+        let cfg = Json::obj([
+            ("vocab", Json::num_usize(self.cfg.vocab)),
+            ("d_model", Json::num_usize(self.cfg.d_model)),
+            ("n_heads", Json::num_usize(self.cfg.n_heads)),
+            ("d_ff", Json::num_usize(self.cfg.d_ff)),
+            ("n_enc_layers", Json::num_usize(self.cfg.n_enc_layers)),
+            ("n_dec_layers", Json::num_usize(self.cfg.n_dec_layers)),
+            ("max_len", Json::num_usize(self.cfg.max_len)),
+            ("seed", Json::num_u64(self.cfg.seed)),
+        ]);
+        Json::obj([
+            ("cfg", cfg),
+            ("store", self.store.to_json_value()),
+            ("tok_emb", pid_json(self.tok_emb)),
+            ("pos_emb", pid_json(self.pos_emb)),
+            (
+                "enc_layers",
+                Json::Arr(
+                    self.enc_layers
+                        .iter()
+                        .map(EncLayer::to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "dec_layers",
+                Json::Arr(
+                    self.dec_layers
+                        .iter()
+                        .map(DecLayer::to_json_value)
+                        .collect(),
+                ),
+            ),
+            ("final_ln", self.final_ln.to_json_value()),
+            ("w_out", pid_json(self.w_out)),
+            ("b_out", pid_json(self.b_out)),
+        ])
+    }
+
+    /// Restores from [`Transformer::to_json_value`] output.
+    ///
+    /// # Errors
+    /// Returns an error if the value does not describe a transformer.
+    pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let c = v.field("cfg")?;
+        let cfg = TransformerConfig {
+            vocab: c.field("vocab")?.as_usize()?,
+            d_model: c.field("d_model")?.as_usize()?,
+            n_heads: c.field("n_heads")?.as_usize()?,
+            d_ff: c.field("d_ff")?.as_usize()?,
+            n_enc_layers: c.field("n_enc_layers")?.as_usize()?,
+            n_dec_layers: c.field("n_dec_layers")?.as_usize()?,
+            max_len: c.field("max_len")?.as_usize()?,
+            seed: c.field("seed")?.as_u64()?,
+        };
+        Ok(Transformer {
+            cfg,
+            store: ParamStore::from_json_value(v.field("store")?)?,
+            tok_emb: pid_from(v.field("tok_emb")?)?,
+            pos_emb: pid_from(v.field("pos_emb")?)?,
+            enc_layers: v
+                .field("enc_layers")?
+                .as_array()?
+                .iter()
+                .map(EncLayer::from_json_value)
+                .collect::<Result<Vec<EncLayer>, JsonError>>()?,
+            dec_layers: v
+                .field("dec_layers")?
+                .as_array()?
+                .iter()
+                .map(DecLayer::from_json_value)
+                .collect::<Result<Vec<DecLayer>, JsonError>>()?,
+            final_ln: LnParams::from_json_value(v.field("final_ln")?)?,
+            w_out: pid_from(v.field("w_out")?)?,
+            b_out: pid_from(v.field("b_out")?)?,
+        })
     }
 }
 
@@ -314,7 +507,9 @@ impl ShallowRef {
         let tok = g.param(self.tok_emb);
         let pos = g.param(self.pos_emb);
         let te = g.embed(tok, ids);
-        let positions: Vec<usize> = (0..ids.len()).map(|i| i.min(self.cfg.max_len - 1)).collect();
+        let positions: Vec<usize> = (0..ids.len())
+            .map(|i| i.min(self.cfg.max_len - 1))
+            .collect();
         let pe = g.embed(pos, &positions);
         g.add(te, pe)
     }
@@ -441,10 +636,7 @@ mod tests {
         let _ = train_until(&mut t, &pairs, 0, 1, 150, 3e-3, 0.05);
         let json = t.save_json();
         let mut t2 = Transformer::load_json(&json).unwrap();
-        assert_eq!(
-            t.greedy(&[3, 4], 0, 1, 8),
-            t2.greedy(&[3, 4], 0, 1, 8)
-        );
+        assert_eq!(t.greedy(&[3, 4], 0, 1, 8), t2.greedy(&[3, 4], 0, 1, 8));
     }
 
     #[test]

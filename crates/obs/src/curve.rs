@@ -1,0 +1,112 @@
+//! Training telemetry: per-epoch loss/learning-rate/throughput curves.
+
+/// One sample point on a [`TrainingCurve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Epoch (or pseudo-epoch) index, starting at 0.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+    /// Learning rate used for the epoch.
+    pub lr: f32,
+    /// Number of training examples processed in the epoch.
+    pub examples: usize,
+    /// Wall-clock seconds spent in the epoch.
+    pub seconds: f64,
+}
+
+impl CurvePoint {
+    /// Training throughput in examples per second (0 when instantaneous).
+    pub fn examples_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.examples as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named sequence of training measurements, one per epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingCurve {
+    /// The recorded points, in epoch order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl TrainingCurve {
+    /// An empty curve.
+    pub fn new() -> TrainingCurve {
+        TrainingCurve::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, point: CurvePoint) {
+        self.points.push(point);
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded loss, if any.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.points.last().map(|p| p.loss)
+    }
+
+    /// True when loss never increases by more than `tolerance` between
+    /// consecutive points — a loose "training is converging" check.
+    pub fn is_monotonic_within(&self, tolerance: f32) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].loss <= w[0].loss + tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(epoch: usize, loss: f32) -> CurvePoint {
+        CurvePoint {
+            epoch,
+            loss,
+            lr: 0.1,
+            examples: 10,
+            seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn tracks_points_and_final_loss() {
+        let mut c = TrainingCurve::new();
+        assert!(c.is_empty());
+        c.push(pt(0, 2.0));
+        c.push(pt(1, 1.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.final_loss(), Some(1.0));
+        assert!(c.is_monotonic_within(0.0));
+        c.push(pt(2, 1.5));
+        assert!(!c.is_monotonic_within(0.1));
+        assert!(c.is_monotonic_within(0.6));
+    }
+
+    #[test]
+    fn throughput_is_examples_over_seconds() {
+        let p = CurvePoint {
+            epoch: 0,
+            loss: 1.0,
+            lr: 0.1,
+            examples: 100,
+            seconds: 2.0,
+        };
+        assert_eq!(p.examples_per_sec(), 50.0);
+        let z = CurvePoint { seconds: 0.0, ..p };
+        assert_eq!(z.examples_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,586 @@
+//! `vega-obs` — zero-dependency tracing, metrics, and training telemetry
+//! for the VEGA reproduction.
+//!
+//! The crate provides one [`Obs`] handle bundling four facilities:
+//!
+//! * **hierarchical spans** — RAII guards created with [`Obs::span`] (or the
+//!   [`span!`] macro against the global handle). Spans nest per thread, so a
+//!   span opened while another is active becomes its child; wall-clock time
+//!   is aggregated per dotted path (`stage.substage.detail`).
+//! * **metrics** — monotonic counters, gauges, and fixed-bucket histograms
+//!   with p50/p90/p99 quantile estimates ([`Obs::counter_add`],
+//!   [`Obs::gauge_set`], [`Obs::observe`]).
+//! * **structured events** — leveled log records replacing ad-hoc
+//!   `eprintln!`; verbosity is controlled by the `VEGA_LOG` env var
+//!   (`error|warn|info|debug|trace|off`, default `info`).
+//! * **exporters** — a flamegraph-style plain-text tree report
+//!   ([`Obs::text_report`]) and a JSON-lines trace file
+//!   ([`Obs::trace_jsonl`], [`Obs::write_trace`]) written without serde.
+//!
+//! Library code uses the process-wide handle via [`global()`]; tests that
+//! need isolation construct their own `Obs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+
+mod curve;
+mod report;
+mod trace;
+
+pub use curve::{CurvePoint, TrainingCurve};
+pub use metrics::{Buckets, Histogram};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error,
+    /// Suspicious conditions the run survives.
+    Warn,
+    /// High-level progress (default verbosity).
+    Info,
+    /// Detailed diagnostics.
+    Debug,
+    /// Very chatty tracing.
+    Trace,
+}
+
+impl Level {
+    /// Short lowercase name (`"info"` etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a `VEGA_LOG` value. `off`/`none`/`0` yield `None` (silence);
+    /// unknown values fall back to `Info`.
+    pub fn from_env_str(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => None,
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => Some(Level::Info),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SpanStat {
+    pub(crate) count: u64,
+    pub(crate) total: Duration,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SpanRecord {
+    pub(crate) path: String,
+    pub(crate) start_us: u64,
+    pub(crate) dur_us: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct EventRecord {
+    pub(crate) t_us: u64,
+    pub(crate) level: Level,
+    pub(crate) msg: String,
+}
+
+#[derive(Default)]
+pub(crate) struct State {
+    pub(crate) spans: BTreeMap<String, SpanStat>,
+    pub(crate) span_records: Vec<SpanRecord>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    pub(crate) hists: BTreeMap<String, Histogram>,
+    pub(crate) events: Vec<EventRecord>,
+    pub(crate) curves: BTreeMap<String, TrainingCurve>,
+}
+
+struct Inner {
+    t0: Instant,
+    /// Minimum severity printed/buffered; `None` silences events entirely.
+    level: Option<Level>,
+    state: Mutex<State>,
+}
+
+/// An observability handle: the hub all spans, metrics, and events flow
+/// through. Cheap to clone (shared state behind an `Arc`).
+#[derive(Clone)]
+pub struct Obs {
+    /// Distinguishes handles on the per-thread span stack so independent
+    /// `Obs` instances (e.g. in tests) never nest into each other.
+    id: usize,
+    inner: Arc<Inner>,
+}
+
+static NEXT_OBS_ID: AtomicUsize = AtomicUsize::new(1);
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+thread_local! {
+    /// Stack of `(obs id, span path)` for the spans currently open on this
+    /// thread — the tail entry with a matching id is the parent of the next
+    /// span opened on that handle.
+    static SPAN_STACK: RefCell<Vec<(usize, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-wide [`Obs`] handle. Its event verbosity comes from the
+/// `VEGA_LOG` env var, read once on first use.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(|| {
+        let level = match std::env::var("VEGA_LOG") {
+            Ok(v) => Level::from_env_str(&v),
+            Err(_) => Some(Level::Info),
+        };
+        Obs::with_level(level)
+    })
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// A fresh handle with the default `Info` verbosity.
+    pub fn new() -> Obs {
+        Obs::with_level(Some(Level::Info))
+    }
+
+    /// A fresh handle with an explicit verbosity (`None` = silent).
+    pub fn with_level(level: Option<Level>) -> Obs {
+        Obs {
+            id: NEXT_OBS_ID.fetch_add(1, Ordering::Relaxed),
+            inner: Arc::new(Inner {
+                t0: Instant::now(),
+                level,
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // A poisoned lock only means another thread panicked mid-update;
+        // telemetry should still drain on the way out.
+        self.inner.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn now_us(&self) -> u64 {
+        self.inner.t0.elapsed().as_micros() as u64
+    }
+
+    // ---- spans ----------------------------------------------------------
+
+    /// Opens a span named `name`, nested under the span currently open on
+    /// this thread (if any). Drop the guard — or call
+    /// [`SpanGuard::finish`] — to record its wall-clock duration.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.iter().rev().find(|(id, _)| *id == self.id);
+            let path = match parent {
+                Some((_, p)) => format!("{p}.{name}"),
+                None => name.to_string(),
+            };
+            stack.push((self.id, path.clone()));
+            path
+        });
+        SpanGuard {
+            obs: self.clone(),
+            path,
+            start: Instant::now(),
+            start_us: self.now_us(),
+            done: false,
+        }
+    }
+
+    fn record_span(&self, path: &str, start_us: u64, dur: Duration) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(i) = stack
+                .iter()
+                .rposition(|(id, p)| *id == self.id && p == path)
+            {
+                stack.remove(i);
+            }
+        });
+        let mut st = self.lock();
+        let stat = st.spans.entry(path.to_string()).or_insert(SpanStat {
+            count: 0,
+            total: Duration::ZERO,
+        });
+        stat.count += 1;
+        stat.total += dur;
+        st.span_records.push(SpanRecord {
+            path: path.to_string(),
+            start_us,
+            dur_us: dur.as_micros() as u64,
+        });
+    }
+
+    /// Total recorded wall-clock time for a span path, if any.
+    pub fn span_total(&self, path: &str) -> Option<Duration> {
+        self.lock().spans.get(path).map(|s| s.total)
+    }
+
+    /// Number of times a span path completed.
+    pub fn span_count(&self, path: &str) -> u64 {
+        self.lock().spans.get(path).map_or(0, |s| s.count)
+    }
+
+    // ---- counters & gauges ----------------------------------------------
+
+    /// Adds `n` to a monotonic counter (creating it at zero).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an instantaneous value.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    // ---- histograms -----------------------------------------------------
+
+    /// Records an observation in a histogram, creating it with
+    /// [`Buckets::default`] (an exponential latency scale) if new.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.lock()
+            .hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(Buckets::default()))
+            .observe(v);
+    }
+
+    /// Records an observation, creating the histogram with the given
+    /// buckets if new (existing buckets are kept).
+    pub fn observe_with(&self, name: &str, buckets: &Buckets, v: f64) {
+        self.lock()
+            .hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(buckets.clone()))
+            .observe(v);
+    }
+
+    /// A snapshot of a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().hists.get(name).cloned()
+    }
+
+    // ---- events ---------------------------------------------------------
+
+    /// True when events at `level` are recorded under the current
+    /// verbosity.
+    pub fn enabled(&self, level: Level) -> bool {
+        match self.inner.level {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+
+    /// Records a structured event. Enabled events are buffered for the
+    /// trace and echoed to stderr as `[level] message`.
+    pub fn event(&self, level: Level, msg: impl Into<String>) {
+        if !self.enabled(level) {
+            return;
+        }
+        let msg = msg.into();
+        eprintln!("[{}] {}", level.name(), msg);
+        self.lock().events.push(EventRecord {
+            t_us: self.now_us(),
+            level,
+            msg,
+        });
+    }
+
+    /// Number of buffered events.
+    pub fn event_count(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    // ---- training curves ------------------------------------------------
+
+    /// Appends a point to a named training curve.
+    pub fn curve_point(&self, name: &str, point: CurvePoint) {
+        self.lock()
+            .curves
+            .entry(name.to_string())
+            .or_default()
+            .push(point);
+    }
+
+    /// A snapshot of a named training curve, if recorded.
+    pub fn curve(&self, name: &str) -> Option<TrainingCurve> {
+        self.lock().curves.get(name).cloned()
+    }
+
+    // ---- exporters & lifecycle ------------------------------------------
+
+    /// Renders the flamegraph-style text report (span tree + metrics).
+    pub fn text_report(&self) -> String {
+        report::render(&self.lock())
+    }
+
+    /// Renders the whole recorded state as JSON-lines (one object per
+    /// line; pure ASCII, no embedded newlines).
+    pub fn trace_jsonl(&self) -> String {
+        trace::render(&self.lock())
+    }
+
+    /// Writes [`Obs::trace_jsonl`] to a file.
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.trace_jsonl())
+    }
+
+    /// Discards all recorded spans, metrics, events, and curves (the
+    /// verbosity and epoch are kept). Intended for tests.
+    pub fn reset(&self) {
+        *self.lock() = State::default();
+    }
+}
+
+/// RAII guard for an open span; records wall-clock time on drop.
+pub struct SpanGuard {
+    obs: Obs,
+    path: String,
+    start: Instant,
+    start_us: u64,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// The full dotted path of this span (parents included).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Closes the span now and returns its measured duration.
+    pub fn finish(mut self) -> Duration {
+        let dur = self.start.elapsed();
+        self.done = true;
+        self.obs.record_span(&self.path, self.start_us, dur);
+        dur
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            let dur = self.start.elapsed();
+            self.obs.record_span(&self.path, self.start_us, dur);
+        }
+    }
+}
+
+/// Opens a span on the [`global()`] handle; accepts `format!` arguments.
+#[macro_export]
+macro_rules! span {
+    ($($arg:tt)*) => {
+        $crate::global().span(&format!($($arg)*))
+    };
+}
+
+/// Records an `error` event on the [`global()`] handle.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::global().event($crate::Level::Error, format!($($arg)*))
+    };
+}
+
+/// Records a `warn` event on the [`global()`] handle.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::global().event($crate::Level::Warn, format!($($arg)*))
+    };
+}
+
+/// Records an `info` event on the [`global()`] handle.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::global().event($crate::Level::Info, format!($($arg)*))
+    };
+}
+
+/// Records a `debug` event on the [`global()`] handle.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::global().event($crate::Level::Debug, format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn spans_nest_and_aggregate_by_path() {
+        let obs = Obs::with_level(None);
+        {
+            let _outer = obs.span("stage1");
+            {
+                let inner = obs.span("tokenize");
+                assert_eq!(inner.path(), "stage1.tokenize");
+                let _ = inner.finish();
+            }
+            let again = obs.span("tokenize");
+            drop(again);
+        }
+        assert_eq!(obs.span_count("stage1"), 1);
+        assert_eq!(obs.span_count("stage1.tokenize"), 2);
+        assert!(obs.span_total("stage1").unwrap() >= obs.span_total("stage1.tokenize").unwrap());
+        // After all guards closed, a new root span is top-level again.
+        let root = obs.span("stage2");
+        assert_eq!(root.path(), "stage2");
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest_after_finish() {
+        let obs = Obs::with_level(None);
+        let a = obs.span("a");
+        let _ = a.finish();
+        let b = obs.span("b");
+        assert_eq!(b.path(), "b");
+    }
+
+    #[test]
+    fn independent_handles_do_not_nest_into_each_other() {
+        let a = Obs::with_level(None);
+        let b = Obs::with_level(None);
+        let _ga = a.span("outer");
+        let gb = b.span("solo");
+        assert_eq!(gb.path(), "solo");
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_multiple_threads() {
+        let obs = Obs::with_level(None);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let obs = obs.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        obs.counter_add("hits", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(obs.counter("hits"), 8000);
+    }
+
+    #[test]
+    fn spans_on_other_threads_are_roots() {
+        let obs = Obs::with_level(None);
+        let _outer = obs.span("outer");
+        let obs2 = obs.clone();
+        let path = thread::spawn(move || {
+            let g = obs2.span("worker");
+            g.path().to_string()
+        })
+        .join()
+        .unwrap();
+        // The span stack is per-thread, so the worker span is not a child
+        // of `outer`.
+        assert_eq!(path, "worker");
+    }
+
+    #[test]
+    fn disabled_levels_record_nothing() {
+        let obs = Obs::with_level(Some(Level::Warn));
+        obs.event(Level::Info, "ignored");
+        obs.event(Level::Warn, "kept");
+        assert_eq!(obs.event_count(), 1);
+        let silent = Obs::with_level(None);
+        silent.event(Level::Error, "dropped");
+        assert_eq!(silent.event_count(), 0);
+    }
+
+    #[test]
+    fn level_parsing_matches_vega_log_values() {
+        assert_eq!(Level::from_env_str("off"), None);
+        assert_eq!(Level::from_env_str("0"), None);
+        assert_eq!(Level::from_env_str("ERROR"), Some(Level::Error));
+        assert_eq!(Level::from_env_str("warn"), Some(Level::Warn));
+        assert_eq!(Level::from_env_str("trace"), Some(Level::Trace));
+        assert_eq!(Level::from_env_str("bogus"), Some(Level::Info));
+    }
+
+    #[test]
+    fn gauges_and_histograms_snapshot() {
+        let obs = Obs::with_level(None);
+        obs.gauge_set("temp", 3.5);
+        assert_eq!(obs.gauge("temp"), Some(3.5));
+        let buckets = Buckets::linear(0.0, 1.0, 10);
+        for i in 0..10 {
+            obs.observe_with("conf", &buckets, i as f64 / 10.0);
+        }
+        let h = obs.histogram("conf").unwrap();
+        assert_eq!(h.count(), 10);
+        assert!(h.quantile(0.5) > 0.2 && h.quantile(0.5) < 0.7);
+    }
+
+    #[test]
+    fn curves_accumulate_points() {
+        let obs = Obs::with_level(None);
+        for epoch in 0..3 {
+            obs.curve_point(
+                "finetune",
+                CurvePoint {
+                    epoch,
+                    loss: 1.0 / (epoch + 1) as f32,
+                    lr: 0.1,
+                    examples: 4,
+                    seconds: 0.01,
+                },
+            );
+        }
+        let c = obs.curve("finetune").unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.is_monotonic_within(0.0));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let obs = Obs::with_level(None);
+        obs.counter_add("x", 1);
+        let _ = obs.span("s").finish();
+        obs.reset();
+        assert_eq!(obs.counter("x"), 0);
+        assert_eq!(obs.span_count("s"), 0);
+    }
+}

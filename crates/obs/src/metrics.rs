@@ -1,0 +1,260 @@
+//! Counters, gauges, and fixed-bucket histograms.
+//!
+//! Histograms use a fixed set of upper bucket bounds chosen at creation
+//! time; quantiles (p50/p90/p99) are estimated by walking the cumulative
+//! counts and linearly interpolating inside the bucket that crosses the
+//! rank. The estimate is exact for the min/max and accurate to a bucket
+//! width otherwise, which is plenty for latency and confidence-score
+//! distributions.
+
+/// Upper bucket bounds for a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets {
+    bounds: Vec<f64>,
+}
+
+impl Buckets {
+    /// `n` evenly spaced bucket bounds covering `(lo, hi]`.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Buckets {
+        assert!(n > 0 && hi > lo, "bad linear bucket spec");
+        let step = (hi - lo) / n as f64;
+        Buckets {
+            bounds: (1..=n).map(|i| lo + step * i as f64).collect(),
+        }
+    }
+
+    /// `n` bucket bounds starting at `start`, each `factor`× the previous.
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Buckets {
+        assert!(
+            n > 0 && start > 0.0 && factor > 1.0,
+            "bad exponential bucket spec"
+        );
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Buckets { bounds }
+    }
+
+    /// The upper bounds, ascending.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+impl Default for Buckets {
+    /// A general-purpose latency scale: 20 exponential buckets from 100µs
+    /// up to ~52s (in seconds).
+    fn default() -> Buckets {
+        Buckets::exponential(1e-4, 2.0, 20)
+    }
+}
+
+/// A fixed-bucket histogram with quantile estimation.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Buckets,
+    /// One count per bound, plus a final overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bucket bounds.
+    pub fn new(buckets: Buckets) -> Histogram {
+        let n = buckets.bounds.len();
+        Histogram {
+            buckets,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self
+            .buckets
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.buckets.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// The bucket bounds.
+    pub fn buckets(&self) -> &Buckets {
+        &self.buckets
+    }
+
+    /// Per-bucket counts (one per bound, plus the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// inside the bucket containing the rank. Returns NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                // Interpolate within bucket i. The bucket spans
+                // (lower, upper], clamped to the observed min/max so the
+                // estimate never leaves the data range.
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.buckets.bounds[i - 1].max(self.min)
+                };
+                let upper = if i < self.buckets.bounds.len() {
+                    self.buckets.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let within = (rank - cum as f64) / c as f64;
+                return lower + (upper - lower) * within.clamp(0.0, 1.0);
+            }
+            cum = next;
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_cover_range() {
+        let b = Buckets::linear(0.0, 1.0, 4);
+        assert_eq!(b.bounds(), &[0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        // 1..=1000 uniformly: p50 ≈ 500, p90 ≈ 900, p99 ≈ 990.
+        let mut h = Histogram::new(Buckets::linear(0.0, 1000.0, 100));
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!(
+            (h.quantile(0.5) - 500.0).abs() < 15.0,
+            "p50 = {}",
+            h.quantile(0.5)
+        );
+        assert!(
+            (h.quantile(0.9) - 900.0).abs() < 15.0,
+            "p90 = {}",
+            h.quantile(0.9)
+        );
+        assert!(
+            (h.quantile(0.99) - 990.0).abs() < 15.0,
+            "p99 = {}",
+            h.quantile(0.99)
+        );
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        // 90 observations at ~1.0 and 10 at ~100.0: p50 stays near the low
+        // mode, p99 lands in the high mode.
+        let mut h = Histogram::new(Buckets::exponential(0.5, 2.0, 12));
+        for _ in 0..90 {
+            h.observe(1.0);
+        }
+        for _ in 0..10 {
+            h.observe(100.0);
+        }
+        assert!(h.quantile(0.5) <= 2.0, "p50 = {}", h.quantile(0.5));
+        assert!(h.quantile(0.99) > 50.0, "p99 = {}", h.quantile(0.99));
+    }
+
+    #[test]
+    fn overflow_bucket_catches_large_values() {
+        let mut h = Histogram::new(Buckets::linear(0.0, 1.0, 2));
+        h.observe(5.0);
+        h.observe(7.0);
+        assert_eq!(h.counts(), &[0, 0, 2]);
+        assert_eq!(h.max(), 7.0);
+        assert_eq!(h.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let h = Histogram::new(Buckets::default());
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.min().is_nan());
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut h = Histogram::new(Buckets::default());
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+}

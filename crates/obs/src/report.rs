@@ -1,0 +1,256 @@
+//! Plain-text report: a flamegraph-style span tree plus metric tables.
+//!
+//! Rendering mirrors the aligned `| cell |` tables used by `vega-eval`'s
+//! report module (reimplemented locally — `vega-obs` sits below every other
+//! crate in the dependency graph and cannot import them).
+
+use crate::State;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A tiny aligned-column table, matching the eval-report idiom.
+struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<w$} |", cell, w = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Node {
+    count: u64,
+    total: Duration,
+    recorded: bool,
+    children: BTreeMap<String, Node>,
+}
+
+fn insert(root: &mut Node, path: &str, count: u64, total: Duration) {
+    let mut node = root;
+    for seg in path.split('.') {
+        node = node.children.entry(seg.to_string()).or_default();
+    }
+    node.count += count;
+    node.total += total;
+    node.recorded = true;
+}
+
+/// Fills in totals for synthesized intermediate nodes (a parent that was
+/// never itself recorded shows the sum of its children).
+fn fill_totals(node: &mut Node) -> Duration {
+    let child_sum: Duration = node.children.values_mut().map(fill_totals).sum();
+    if !node.recorded {
+        node.total = child_sum;
+    }
+    node.total
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn render_node(
+    name: &str,
+    node: &Node,
+    parent_total: Duration,
+    depth: usize,
+    table: &mut TextTable,
+) {
+    let label = format!("{}{}", "  ".repeat(depth), name);
+    let pct = if parent_total > Duration::ZERO {
+        format!(
+            "{:.1}%",
+            100.0 * node.total.as_secs_f64() / parent_total.as_secs_f64()
+        )
+    } else {
+        "-".to_string()
+    };
+    let (count, mean) = if node.recorded && node.count > 0 {
+        (node.count.to_string(), ms(node.total / node.count as u32))
+    } else {
+        ("-".to_string(), "-".to_string())
+    };
+    table.row(vec![label, count, ms(node.total), mean, pct]);
+    for (child_name, child) in &node.children {
+        render_node(child_name, child, node.total, depth + 1, table);
+    }
+}
+
+pub(crate) fn render(state: &State) -> String {
+    let mut out = String::new();
+
+    out.push_str("== span tree ==\n");
+    if state.spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        let mut root = Node::default();
+        for (path, stat) in &state.spans {
+            insert(&mut root, path, stat.count, stat.total);
+        }
+        let grand_total = fill_totals(&mut root);
+        let mut table = TextTable::new(&["span", "count", "total ms", "mean ms", "of parent"]);
+        for (name, node) in &root.children {
+            render_node(name, node, grand_total, 0, &mut table);
+        }
+        out.push_str(&table.render());
+    }
+
+    if !state.counters.is_empty() {
+        out.push_str("\n== counters ==\n");
+        let mut table = TextTable::new(&["counter", "value"]);
+        for (name, v) in &state.counters {
+            table.row(vec![name.clone(), v.to_string()]);
+        }
+        out.push_str(&table.render());
+    }
+
+    if !state.gauges.is_empty() {
+        out.push_str("\n== gauges ==\n");
+        let mut table = TextTable::new(&["gauge", "value"]);
+        for (name, v) in &state.gauges {
+            table.row(vec![name.clone(), format!("{v:.4}")]);
+        }
+        out.push_str(&table.render());
+    }
+
+    if !state.hists.is_empty() {
+        out.push_str("\n== histograms ==\n");
+        let mut table = TextTable::new(&["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
+        for (name, h) in &state.hists {
+            table.row(vec![
+                name.clone(),
+                h.count().to_string(),
+                format!("{:.4}", h.mean()),
+                format!("{:.4}", h.quantile(0.5)),
+                format!("{:.4}", h.quantile(0.9)),
+                format!("{:.4}", h.quantile(0.99)),
+                format!("{:.4}", h.max()),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+
+    if !state.curves.is_empty() {
+        out.push_str("\n== training curves ==\n");
+        let mut table =
+            TextTable::new(&["curve", "epochs", "first loss", "final loss", "ex/s (last)"]);
+        for (name, c) in &state.curves {
+            let first = c.points.first();
+            let last = c.points.last();
+            table.row(vec![
+                name.clone(),
+                c.len().to_string(),
+                first.map_or("-".into(), |p| format!("{:.4}", p.loss)),
+                last.map_or("-".into(), |p| format!("{:.4}", p.loss)),
+                last.map_or("-".into(), |p| format!("{:.1}", p.examples_per_sec())),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Level, Obs};
+    use std::time::Duration;
+
+    #[test]
+    fn report_shows_nested_spans_with_percentages() {
+        let obs = Obs::with_level(None);
+        {
+            let _outer = obs.span("pipeline");
+            {
+                let _s1 = obs.span("stage1");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _s2 = obs.span("stage2");
+        }
+        let report = obs.text_report();
+        assert!(report.contains("== span tree =="), "{report}");
+        assert!(report.contains("pipeline"), "{report}");
+        assert!(report.contains("  stage1"), "indented child: {report}");
+        assert!(report.contains("  stage2"), "indented child: {report}");
+        assert!(report.contains('%'), "{report}");
+    }
+
+    #[test]
+    fn report_includes_metric_sections_when_populated() {
+        let obs = Obs::with_level(None);
+        obs.counter_add("nn.train_steps", 7);
+        obs.gauge_set("lr", 0.001);
+        obs.observe("latency", 0.01);
+        obs.curve_point(
+            "finetune",
+            crate::CurvePoint {
+                epoch: 0,
+                loss: 2.0,
+                lr: 0.1,
+                examples: 8,
+                seconds: 0.1,
+            },
+        );
+        let report = obs.text_report();
+        for needle in [
+            "== counters ==",
+            "nn.train_steps",
+            "== gauges ==",
+            "== histograms ==",
+            "p99",
+            "== training curves ==",
+            "finetune",
+        ] {
+            assert!(report.contains(needle), "missing {needle} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let obs = Obs::with_level(Some(Level::Info));
+        let report = obs.text_report();
+        assert!(report.contains("(no spans recorded)"));
+    }
+}

@@ -1,0 +1,185 @@
+//! JSON-lines trace exporter: one compact JSON object per line, written
+//! with the hand-rolled [`crate::json`] writer (pure ASCII, so a line can
+//! never contain a raw newline).
+
+use crate::json::Json;
+use crate::State;
+
+fn span_line(path: &str, start_us: u64, dur_us: u64) -> Json {
+    Json::obj([
+        ("type", Json::str("span")),
+        ("path", Json::str(path)),
+        ("start_us", Json::num_u64(start_us)),
+        ("dur_us", Json::num_u64(dur_us)),
+    ])
+}
+
+pub(crate) fn render(state: &State) -> String {
+    let mut lines: Vec<Json> = Vec::new();
+
+    for rec in &state.span_records {
+        lines.push(span_line(&rec.path, rec.start_us, rec.dur_us));
+    }
+
+    for ev in &state.events {
+        lines.push(Json::obj([
+            ("type", Json::str("event")),
+            ("t_us", Json::num_u64(ev.t_us)),
+            ("level", Json::str(ev.level.name())),
+            ("msg", Json::str(&ev.msg)),
+        ]));
+    }
+
+    for (name, v) in &state.counters {
+        lines.push(Json::obj([
+            ("type", Json::str("counter")),
+            ("name", Json::str(name)),
+            ("value", Json::num_u64(*v)),
+        ]));
+    }
+
+    for (name, v) in &state.gauges {
+        lines.push(Json::obj([
+            ("type", Json::str("gauge")),
+            ("name", Json::str(name)),
+            ("value", Json::num_f64(*v)),
+        ]));
+    }
+
+    for (name, h) in &state.hists {
+        lines.push(Json::obj([
+            ("type", Json::str("hist")),
+            ("name", Json::str(name)),
+            ("count", Json::num_u64(h.count())),
+            ("sum", Json::num_f64(h.sum())),
+            ("min", Json::num_f64(h.min())),
+            ("max", Json::num_f64(h.max())),
+            ("p50", Json::num_f64(h.quantile(0.5))),
+            ("p90", Json::num_f64(h.quantile(0.9))),
+            ("p99", Json::num_f64(h.quantile(0.99))),
+            (
+                "bounds",
+                Json::Arr(
+                    h.buckets()
+                        .bounds()
+                        .iter()
+                        .map(|&b| Json::num_f64(b))
+                        .collect(),
+                ),
+            ),
+            (
+                "counts",
+                Json::Arr(h.counts().iter().map(|&c| Json::num_u64(c)).collect()),
+            ),
+        ]));
+    }
+
+    for (name, curve) in &state.curves {
+        lines.push(Json::obj([
+            ("type", Json::str("curve")),
+            ("name", Json::str(name)),
+            (
+                "points",
+                Json::Arr(
+                    curve
+                        .points
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("epoch", Json::num_usize(p.epoch)),
+                                ("loss", Json::num_f32(p.loss)),
+                                ("lr", Json::num_f32(p.lr)),
+                                ("examples", Json::num_usize(p.examples)),
+                                ("seconds", Json::num_f64(p.seconds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::Json;
+    use crate::{CurvePoint, Obs};
+
+    #[test]
+    fn every_line_parses_and_is_ascii() {
+        let obs = Obs::with_level(Some(crate::Level::Trace));
+        let _ = obs.span("pipeline.stage1").finish();
+        obs.event(crate::Level::Info, "unicode: café → done\nsecond line");
+        obs.counter_add("hits", 3);
+        obs.gauge_set("temp", 1.25);
+        obs.observe("lat", 0.5);
+        obs.curve_point(
+            "finetune",
+            CurvePoint {
+                epoch: 0,
+                loss: 1.5,
+                lr: 0.1,
+                examples: 4,
+                seconds: 0.2,
+            },
+        );
+        let trace = obs.trace_jsonl();
+        assert!(trace.is_ascii(), "trace must be pure ASCII");
+        let lines: Vec<&str> = trace.lines().collect();
+        assert!(lines.len() >= 6, "expected one line per record: {trace}");
+        let mut types = Vec::new();
+        for line in &lines {
+            let v = Json::parse(line).expect("valid JSON line");
+            types.push(v.field("type").unwrap().as_str().unwrap().to_string());
+        }
+        for t in ["span", "event", "counter", "gauge", "hist", "curve"] {
+            assert!(types.iter().any(|x| x == t), "missing {t} line in {trace}");
+        }
+    }
+
+    #[test]
+    fn curve_line_has_one_point_per_epoch() {
+        let obs = Obs::with_level(None);
+        for epoch in 0..4 {
+            obs.curve_point(
+                "finetune",
+                CurvePoint {
+                    epoch,
+                    loss: 1.0,
+                    lr: 0.1,
+                    examples: 2,
+                    seconds: 0.1,
+                },
+            );
+        }
+        let trace = obs.trace_jsonl();
+        let curve_line = trace.lines().find(|l| l.contains("\"curve\"")).unwrap();
+        let v = Json::parse(curve_line).unwrap();
+        let pts = v.field("points").unwrap().as_array().unwrap();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[3].field("epoch").unwrap().as_usize().unwrap(), 3);
+    }
+
+    #[test]
+    fn hist_line_reports_buckets_and_quantiles() {
+        let obs = Obs::with_level(None);
+        let buckets = crate::Buckets::linear(0.0, 1.0, 5);
+        for i in 0..50 {
+            obs.observe_with("conf", &buckets, (i % 10) as f64 / 10.0);
+        }
+        let trace = obs.trace_jsonl();
+        let line = trace.lines().find(|l| l.contains("\"hist\"")).unwrap();
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.field("count").unwrap().as_u64().unwrap(), 50);
+        let counts = v.field("counts").unwrap().as_array().unwrap();
+        assert!(counts.iter().any(|c| c.as_u64().unwrap() > 0));
+        assert!(v.field("p50").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -21,7 +21,10 @@ pub struct Mapping {
 
 impl Mapping {
     fn new(n1: usize, n2: usize) -> Self {
-        Mapping { s2d: vec![None; n1], d2s: vec![None; n2] }
+        Mapping {
+            s2d: vec![None; n1],
+            d2s: vec![None; n2],
+        }
     }
 
     fn link(&mut self, a: usize, b: usize) {
@@ -103,16 +106,16 @@ fn top_down(t1: &Tree, t2: &Tree, m: &mut Mapping) {
         if m.dst_of(a).is_some() {
             continue;
         }
-        let Some(cands) = by_hash.get(&t1.node(a).hash) else { continue };
+        let Some(cands) = by_hash.get(&t1.node(a).hash) else {
+            continue;
+        };
         let parent_a = t1.node(a).parent;
         let want_parent = m.dst_of(parent_a);
         let pick = cands
             .iter()
             .copied()
             .filter(|&b| m.src_of(b).is_none() && t1.isomorphic(a, t2, b))
-            .max_by_key(|&b| {
-                i32::from(want_parent == Some(t2.node(b).parent))
-            });
+            .max_by_key(|&b| i32::from(want_parent == Some(t2.node(b).parent)));
         if let Some(b) = pick {
             link_subtrees(t1, a, t2, b, m);
         }
@@ -184,8 +187,20 @@ fn recovery(t1: &Tree, t2: &Tree, m: &mut Mapping) {
     for _ in 0..t1.node(0).height + 1 {
         let mut progressed = false;
         for (a, b) in m.pairs() {
-            let ua: Vec<usize> = t1.node(a).children.iter().copied().filter(|&c| m.dst_of(c).is_none()).collect();
-            let ub: Vec<usize> = t2.node(b).children.iter().copied().filter(|&c| m.src_of(c).is_none()).collect();
+            let ua: Vec<usize> = t1
+                .node(a)
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| m.dst_of(c).is_none())
+                .collect();
+            let ub: Vec<usize> = t2
+                .node(b)
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| m.src_of(c).is_none())
+                .collect();
             if ua.is_empty() || ub.is_empty() {
                 continue;
             }
@@ -240,13 +255,10 @@ mod tests {
 
     #[test]
     fn missing_statement_leaves_gap() {
-        let (a, b) = trees(
-            "a = 1; b = 2; return a;",
-            "a = 1; return a;",
-        );
+        let (a, b) = trees("a = 1; b = 2; return a;", "a = 1; return a;");
         let m = gumtree_match(&a, &b);
         assert_eq!(m.len(), 3); // root, a=1, return a
-        // `b = 2;` (node 2 in a) has no match.
+                                // `b = 2;` (node 2 in a) has no match.
         assert!(m.dst_of(2).is_none());
     }
 
@@ -289,10 +301,8 @@ mod extra_tests {
     #[test]
     fn insertion_in_switch_preserves_other_cases() {
         let a = Tree::build(
-            &parse_stmts(
-                "switch (k) { case A: return 1; case B: return 2; case C: return 3; }",
-            )
-            .unwrap(),
+            &parse_stmts("switch (k) { case A: return 1; case B: return 2; case C: return 3; }")
+                .unwrap(),
         );
         let b = Tree::build(
             &parse_stmts(

@@ -172,8 +172,7 @@ impl Tree {
     /// Returns `true` if the two subtrees are isomorphic (same hash; hash
     /// collisions are acceptable for matching heuristics).
     pub fn isomorphic(&self, a: usize, other: &Tree, b: usize) -> bool {
-        self.nodes[a].hash == other.nodes[b].hash
-            && self.nodes[a].size == other.nodes[b].size
+        self.nodes[a].hash == other.nodes[b].hash && self.nodes[a].size == other.nodes[b].size
     }
 }
 
@@ -207,9 +206,8 @@ mod tests {
 
     #[test]
     fn sizes_and_heights() {
-        let t = Tree::build(
-            &parse_stmts("switch (k) { case 1: return 1; default: break; }").unwrap(),
-        );
+        let t =
+            Tree::build(&parse_stmts("switch (k) { case 1: return 1; default: break; }").unwrap());
         let root = t.node(0);
         assert_eq!(root.size, t.len());
         let sw = t.node(root.children[0]);

@@ -22,14 +22,21 @@ fn main() {
     queue.sort_by(|a, b| a.confidence.partial_cmp(&b.confidence).unwrap());
 
     println!("review queue (lowest confidence first):");
-    println!("{:<28} {:>10} {:>8}   verdict", "function", "confidence", "module");
+    println!(
+        "{:<28} {:>10} {:>8}   verdict",
+        "function", "confidence", "module"
+    );
     for f in queue.iter().take(12) {
         println!(
             "{:<28} {:>10.2} {:>8}   {}",
             f.name,
             f.confidence,
             f.module.code(),
-            if f.accurate { "actually fine" } else { "needs work" }
+            if f.accurate {
+                "actually fine"
+            } else {
+                "needs work"
+            }
         );
     }
 

@@ -10,7 +10,9 @@ use vega_eval::{eval_generated_backend, eval_plain_backend};
 use vega_forkflow::forkflow_backend;
 
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "RI5CY".to_string());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "RI5CY".to_string());
     let mut cfg = VegaConfig::tiny();
     cfg.train.finetune_epochs = 4;
     println!("training VEGA (tiny) and forking from MIPS for {target} …\n");
@@ -38,9 +40,11 @@ fn main() {
         forked.function("getRelocType"),
         reference.backend.function("getRelocType"),
     ) {
-        let outcome =
-            vega_minicc::regression_test("getRelocType", ff, rf, &reference.spec);
+        let outcome = vega_minicc::regression_test("getRelocType", ff, rf, &reference.spec);
         println!("ForkFlow getRelocType regression: {outcome:?}");
-        println!("\nForkFlow's forked getRelocType:\n{}", vega_cpplite::render_function(ff));
+        println!(
+            "\nForkFlow's forked getRelocType:\n{}",
+            vega_cpplite::render_function(ff)
+        );
     }
 }

@@ -48,7 +48,11 @@ fn main() {
             f.name,
             if f.accurate { "PASS" } else { "fail" },
             f.confidence,
-            if f.multi_source { "  [multi-target]" } else { "" }
+            if f.multi_source {
+                "  [multi-target]"
+            } else {
+                ""
+            }
         );
     }
 }

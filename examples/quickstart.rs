@@ -32,15 +32,25 @@ fn main() {
     );
 
     // Show the paper's running example with its statement confidence scores.
-    let f = backend.function("getRelocType").expect("getRelocType generated");
+    let f = backend
+        .function("getRelocType")
+        .expect("getRelocType generated");
     println!("getRelocType — function confidence {:.2}", f.confidence);
     for s in &f.stmts {
         let mark = if s.kept { ' ' } else { 'x' };
         println!("  [{:.2}]{mark} {}", s.score, s.line);
     }
     if let Some(func) = &f.function {
-        println!("\nassembled function:\n{}", vega_cpplite::render_function(func));
+        println!(
+            "\nassembled function:\n{}",
+            vega_cpplite::render_function(func)
+        );
     } else {
         println!("\n(function did not assemble under the tiny model)");
     }
+
+    // Everything above was recorded by vega-obs: the span tree covers corpus
+    // construction and all three pipeline stages, plus counters, the
+    // confidence histogram, and the fine-tune loss curve.
+    println!("\n{}", vega_obs::global().text_report());
 }

@@ -8,6 +8,7 @@ cargo build --release --workspace
 
 echo "== experiments (all tables/figures + ablations) =="
 cargo run --release -p vega-eval --bin vega-experiments -- all \
+  --trace-out trace.jsonl \
   2>&1 | tee experiments_output.txt
 
 echo "== tests =="

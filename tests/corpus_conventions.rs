@@ -24,8 +24,14 @@ fn every_target_has_conventional_description_files() {
             assert!(t.descriptions.read(&file).is_some(), "{ns} missing {file}");
         }
         // The Name anchor the motivating example depends on.
-        let td = t.descriptions.read(&format!("lib/Target/{ns}/{ns}.td")).unwrap();
-        assert!(td.contains(&format!("Name = \"{ns}\"")), "{ns}: Name anchor");
+        let td = t
+            .descriptions
+            .read(&format!("lib/Target/{ns}/{ns}.td"))
+            .unwrap();
+        assert!(
+            td.contains(&format!("Name = \"{ns}\"")),
+            "{ns}: Name anchor"
+        );
     }
 }
 
@@ -61,7 +67,11 @@ fn every_function_group_folds_into_a_template() {
                 .filter(|&id| template.has(id, target))
                 .map(|id| {
                     let head = template.stmts[id].head_for(target).unwrap();
-                    format!("{:?}:{}", template.stmts[id].kind, vega_cpplite::render_tokens(&head))
+                    format!(
+                        "{:?}:{}",
+                        template.stmts[id].kind,
+                        vega_cpplite::render_tokens(&head)
+                    )
                 })
                 .collect();
             let mut from_source: Vec<String> = f
@@ -70,7 +80,10 @@ fn every_function_group_folds_into_a_template() {
                 .collect();
             from_template.sort();
             from_source.sort();
-            assert_eq!(from_template, from_source, "{name}/{target}: statement mismatch");
+            assert_eq!(
+                from_template, from_source,
+                "{name}/{target}: statement mismatch"
+            );
         }
         // Features select without panicking and stay within caps.
         let member_ix: BTreeMap<String, TgtIndex> = template
@@ -111,7 +124,10 @@ fn module_inventory_matches_paper_shape() {
     }
     // All seven modules are populated.
     for m in Module::ALL {
-        assert!(per_module.get(&m).copied().unwrap_or(0) >= 3, "{m} too thin");
+        assert!(
+            per_module.get(&m).copied().unwrap_or(0) >= 3,
+            "{m} too thin"
+        );
     }
 }
 

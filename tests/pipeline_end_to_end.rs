@@ -20,7 +20,12 @@ fn full_pipeline_produces_consistent_artifacts() {
     // Every evaluated function came from a real template and is scored.
     assert!(!eval.functions.is_empty());
     for f in &eval.functions {
-        assert!((0.0..=1.0).contains(&f.confidence), "{}: {}", f.name, f.confidence);
+        assert!(
+            (0.0..=1.0).contains(&f.confidence),
+            "{}: {}",
+            f.name,
+            f.confidence
+        );
         assert!(f.stmt_accurate + f.stmt_manual > 0 || f.stmt_total == 0);
         if f.accurate {
             assert!(f.generated, "{} accurate but not generated", f.name);

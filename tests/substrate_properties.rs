@@ -1,116 +1,169 @@
 //! Property-based tests over the substrates, spanning crates.
+//!
+//! Inputs are drawn from the deterministic [`Mix64`] generator (the same one
+//! the corpus uses), so the 96 cases per property are identical on every run
+//! and no external property-testing crate is needed.
 
-use proptest::prelude::*;
+use vega_corpus::Mix64;
 use vega_cpplite::{lex, parse_stmts, render_stmts, Token};
 use vega_model::{pieces_to_spellings, spellings_to_source, tokens_to_pieces};
 use vega_treediff::{align_sequences, align_stmts, lcs_indices, lcs_similarity};
 
-/// A strategy over small identifier names.
-fn ident() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9_]{0,12}".prop_filter("keywords excluded", |s| {
-        !matches!(
-            s.as_str(),
-            "if" | "else" | "switch" | "case" | "default" | "return" | "break" | "while" | "for"
-                | "true" | "false" | "nullptr" | "const"
-        )
-    })
-}
+const CASES: u64 = 96;
 
-/// A strategy over simple statements.
-fn simple_stmt() -> impl Strategy<Value = String> {
-    (ident(), ident(), 0i64..10000).prop_map(|(a, b, n)| format!("{a} = {b} + {n};"))
-}
+const KEYWORDS: &[&str] = &[
+    "if", "else", "switch", "case", "default", "return", "break", "while", "for", "true", "false",
+    "nullptr", "const",
+];
 
-/// A strategy over small statement forests (with nesting).
-fn stmt_block(depth: u32) -> BoxedStrategy<String> {
-    if depth == 0 {
-        simple_stmt().boxed()
-    } else {
-        prop_oneof![
-            simple_stmt(),
-            (ident(), stmt_block(depth - 1)).prop_map(|(c, b)| format!("if ({c}) {{ {b} }}")),
-            (ident(), 0i64..50, stmt_block(depth - 1), stmt_block(depth - 1)).prop_map(
-                |(s, k, a, b)| format!(
-                    "switch ({s}) {{ case {k}: {a} break; default: {b} break; }}"
-                )
-            ),
-        ]
-        .boxed()
+/// A small identifier, never a keyword.
+fn ident(rng: &mut Mix64) -> String {
+    loop {
+        let len = rng.range(1, 13) as usize;
+        let mut s = String::with_capacity(len);
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+        s.push(*rng.pick(FIRST) as char);
+        for _ in 1..len {
+            s.push(*rng.pick(REST) as char);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// A simple assignment statement.
+fn simple_stmt(rng: &mut Mix64) -> String {
+    format!("{} = {} + {};", ident(rng), ident(rng), rng.below(10000))
+}
 
-    /// parse → render → parse is the identity on the statement AST.
-    #[test]
-    fn parse_render_roundtrip(blocks in prop::collection::vec(stmt_block(2), 1..4)) {
-        let src = blocks.join(" ");
+/// A statement block with nesting up to `depth`.
+fn stmt_block(rng: &mut Mix64, depth: u32) -> String {
+    if depth == 0 {
+        return simple_stmt(rng);
+    }
+    match rng.below(3) {
+        0 => simple_stmt(rng),
+        1 => format!("if ({}) {{ {} }}", ident(rng), stmt_block(rng, depth - 1)),
+        _ => format!(
+            "switch ({}) {{ case {}: {} break; default: {} break; }}",
+            ident(rng),
+            rng.below(50),
+            stmt_block(rng, depth - 1),
+            stmt_block(rng, depth - 1)
+        ),
+    }
+}
+
+/// A source snippet of 1–3 top-level blocks.
+fn source(rng: &mut Mix64) -> String {
+    let n = rng.range(1, 3);
+    (0..n)
+        .map(|_| stmt_block(rng, 2))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn byte_vec(rng: &mut Mix64, max_len: u64, bound: u64) -> Vec<u8> {
+    (0..rng.below(max_len))
+        .map(|_| rng.below(bound) as u8)
+        .collect()
+}
+
+/// parse → render → parse is the identity on the statement AST.
+#[test]
+fn parse_render_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Mix64::keyed(case, "parse_render_roundtrip");
+        let src = source(&mut rng);
         let stmts = parse_stmts(&src).expect("generated source parses");
         let printed = render_stmts(&stmts, 0);
         let reparsed = parse_stmts(&printed).expect("printed source parses");
-        prop_assert_eq!(stmts, reparsed);
+        assert_eq!(stmts, reparsed, "case {case}: {src}");
     }
+}
 
-    /// Subword pieces reassemble to the exact token spellings.
-    #[test]
-    fn subtok_roundtrip(blocks in prop::collection::vec(simple_stmt(), 1..4)) {
-        let src = blocks.join(" ");
+/// Subword pieces reassemble to the exact token spellings.
+#[test]
+fn subtok_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Mix64::keyed(case, "subtok_roundtrip");
+        let n = rng.range(1, 3);
+        let src = (0..n)
+            .map(|_| simple_stmt(&mut rng))
+            .collect::<Vec<_>>()
+            .join(" ");
         let toks = lex(&src).unwrap();
         let pieces = tokens_to_pieces(&toks);
         let spell = pieces_to_spellings(&pieces);
         let rejoined = spellings_to_source(&spell);
-        prop_assert_eq!(lex(&rejoined).unwrap(), toks);
+        assert_eq!(lex(&rejoined).unwrap(), toks, "case {case}: {src}");
     }
+}
 
-    /// LCS length is symmetric, bounded, and its pairs are strictly monotone.
-    #[test]
-    fn lcs_is_sane(a in prop::collection::vec(0u8..6, 0..24),
-                   b in prop::collection::vec(0u8..6, 0..24)) {
+/// LCS length is symmetric, bounded, and its pairs are strictly monotone.
+#[test]
+fn lcs_is_sane() {
+    for case in 0..CASES {
+        let mut rng = Mix64::keyed(case, "lcs_is_sane");
+        let a = byte_vec(&mut rng, 24, 6);
+        let b = byte_vec(&mut rng, 24, 6);
         let ab = lcs_indices(&a, &b, |x, y| x == y);
         let ba = lcs_indices(&b, &a, |x, y| x == y);
-        prop_assert_eq!(ab.len(), ba.len());
-        prop_assert!(ab.len() <= a.len().min(b.len()));
+        assert_eq!(ab.len(), ba.len());
+        assert!(ab.len() <= a.len().min(b.len()));
         for w in ab.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
         }
         for (i, j) in &ab {
-            prop_assert_eq!(a[*i], b[*j]);
+            assert_eq!(a[*i], b[*j]);
         }
         let sim = lcs_similarity(&a, &b, |x, y| x == y);
-        prop_assert!((0.0..=1.0).contains(&sim));
+        assert!((0.0..=1.0).contains(&sim));
         let self_sim = lcs_similarity(&a, &a, |x, y| x == y);
-        prop_assert!((self_sim - 1.0).abs() < 1e-12);
+        assert!((self_sim - 1.0).abs() < 1e-12);
     }
+}
 
-    /// Weighted alignment never pairs below the threshold and is monotone.
-    #[test]
-    fn alignment_respects_threshold(a in prop::collection::vec(0i32..8, 0..16),
-                                    b in prop::collection::vec(0i32..8, 0..16)) {
+/// Weighted alignment never pairs below the threshold and is monotone.
+#[test]
+fn alignment_respects_threshold() {
+    for case in 0..CASES {
+        let mut rng = Mix64::keyed(case, "alignment_respects_threshold");
+        let a: Vec<i32> = (0..rng.below(16)).map(|_| rng.below(8) as i32).collect();
+        let b: Vec<i32> = (0..rng.below(16)).map(|_| rng.below(8) as i32).collect();
         let sim = |x: &i32, y: &i32| 1.0 - (x - y).abs() as f64 / 8.0;
         let pairs = align_sequences(&a, &b, sim, 0.8);
         for (i, j) in &pairs {
-            prop_assert!(sim(&a[*i], &b[*j]) >= 0.8);
+            assert!(sim(&a[*i], &b[*j]) >= 0.8);
         }
         for w in pairs.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+            assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
         }
     }
+}
 
-    /// Aligning a forest with itself matches every statement.
-    #[test]
-    fn self_alignment_is_total(blocks in prop::collection::vec(stmt_block(2), 1..4)) {
-        let src = blocks.join(" ");
+/// Aligning a forest with itself matches every statement.
+#[test]
+fn self_alignment_is_total() {
+    for case in 0..CASES {
+        let mut rng = Mix64::keyed(case, "self_alignment_is_total");
+        let src = source(&mut rng);
         let stmts = parse_stmts(&src).unwrap();
         let al = align_stmts(&stmts, &stmts);
-        prop_assert_eq!(al.pairs.len(), al.left_len);
-        prop_assert!(al.pairs.iter().all(|(l, r)| l == r));
+        assert_eq!(al.pairs.len(), al.left_len, "case {case}: {src}");
+        assert!(al.pairs.iter().all(|(l, r)| l == r));
     }
+}
 
-    /// The lexer never loses integer values.
-    #[test]
-    fn lexer_preserves_ints(v in 0i64..1_000_000_000) {
+/// The lexer never loses integer values.
+#[test]
+fn lexer_preserves_ints() {
+    for case in 0..CASES {
+        let mut rng = Mix64::keyed(case, "lexer_preserves_ints");
+        let v = rng.below(1_000_000_000) as i64;
         let toks = lex(&format!("x = {v};")).unwrap();
-        prop_assert!(toks.contains(&Token::Int(v)));
+        assert!(toks.contains(&Token::Int(v)), "case {case}: {v}");
     }
 }
