@@ -11,7 +11,12 @@ cargo fmt --check
 echo "== build =="
 cargo build --release --workspace
 
-echo "== test =="
-cargo test -q --workspace
+# The suite runs twice so the determinism promise is exercised at both a
+# sequential and a parallel vega-par pool size (outputs must be identical).
+echo "== test (VEGA_THREADS=1) =="
+VEGA_THREADS=1 cargo test -q --workspace
+
+echo "== test (VEGA_THREADS=4) =="
+VEGA_THREADS=4 cargo test -q --workspace
 
 echo "ci: all checks passed"

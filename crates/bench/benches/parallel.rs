@@ -1,0 +1,88 @@
+//! 1-thread vs N-thread wall-clock for the `vega-par`-accelerated hot paths:
+//! the tiled/parallel matmul kernel and one data-parallel fine-tune epoch.
+//! The outputs are bit-identical across rows by construction — only the
+//! wall-clock may differ (on a single-core host the rows should roughly tie).
+
+use vega_bench::Bench;
+use vega_cpplite::lex;
+use vega_model::{tokens_to_pieces, CodeBe, TrainConfig, Vocab};
+use vega_nn::{Tensor, TransformerConfig};
+
+/// Deterministic pseudo-random tensor (splitmix64).
+fn fill(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed;
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn bench_matmul(threads: &[usize]) {
+    let a = fill(256, 256, 1);
+    let b = fill(256, 256, 2);
+    let mut g = Bench::group("matmul 256x256x256");
+    for &t in threads {
+        vega_par::set_threads(t);
+        g.bench_function(&format!("{t} thread(s)"), || a.matmul(&b, false));
+    }
+    vega_par::set_threads(0);
+    g.finish();
+}
+
+fn bench_finetune_epoch(threads: &[usize]) {
+    // A small synthetic mapping task, big enough to fill several
+    // micro-batches so the gradient shards actually fan out.
+    let samples = [
+        "x = 1;",
+        "return x;",
+        "y = x & 255;",
+        "return y;",
+        "z = x + y;",
+        "return z;",
+        "x = z;",
+        "return 0;",
+    ];
+    let mut all_pieces: Vec<String> = Vec::new();
+    for s in &samples {
+        all_pieces.extend(tokens_to_pieces(&lex(s).unwrap()));
+    }
+    let vocab = Vocab::build(all_pieces.iter().map(String::as_str));
+    let seqs: Vec<Vec<usize>> = samples
+        .iter()
+        .map(|s| vocab.encode_pieces(&tokens_to_pieces(&lex(s).unwrap())))
+        .collect();
+    let pairs: Vec<(Vec<usize>, Vec<usize>)> = (0..seqs.len())
+        .map(|i| (seqs[i].clone(), seqs[(i + 1) % seqs.len()].clone()))
+        .collect();
+    let base = CodeBe::transformer(vocab, TransformerConfig::tiny);
+    let cfg = TrainConfig {
+        pretrain_steps: 0,
+        finetune_epochs: 1,
+        lr: 3e-3,
+        seed: 1,
+    };
+    let mut g = Bench::group("finetune epoch (8 pairs, tiny transformer)");
+    for &t in threads {
+        vega_par::set_threads(t);
+        g.bench_function(&format!("{t} thread(s)"), || {
+            let mut m = base.clone();
+            m.finetune(&pairs, &cfg)
+        });
+    }
+    vega_par::set_threads(0);
+    g.finish();
+}
+
+fn main() {
+    let n = vega_par::threads().max(4);
+    let threads = [1, n];
+    bench_matmul(&threads);
+    bench_finetune_epoch(&threads);
+}

@@ -255,7 +255,10 @@ pub fn generate_function(
     max_input_len: usize,
 ) -> GeneratedFunction {
     let obs = vega_obs::global();
-    let t_fn = std::time::Instant::now();
+    // Per-function timing is a span (nested under the caller's module span,
+    // e.g. `pipeline.stage3.generate.SEL.function`), mirrored into the
+    // `generate.function_seconds` histogram for quantiles.
+    let fn_span = obs.span("function");
     let conf_buckets = vega_obs::Buckets::linear(0.0, 1.0, 20);
     let mut state = GenState::new(target_ns);
     let norm = TargetNorm::new(target_ns);
@@ -376,7 +379,7 @@ pub fn generate_function(
     let function = assemble_function(template, target_ns, &stmts[0], body);
 
     let multi_source = compute_multi_source(template, &kept_heads);
-    obs.observe("generate.function_seconds", t_fn.elapsed().as_secs_f64());
+    obs.observe("generate.function_seconds", fn_span.finish().as_secs_f64());
     obs.counter_add("generate.functions", 1);
     GeneratedFunction {
         name: template.name.clone(),

@@ -203,17 +203,19 @@ impl Vega {
             tgt_ix.insert(t.spec.name.clone(), TgtIndex::build(&t.descriptions));
         }
 
-        // Stage 1: templates + features per function group.
+        // Stage 1: templates + features per function group. Groups build
+        // independently on the pool; collecting into a BTreeMap keeps the
+        // template order thread-count independent (it is keyed anyway).
         let groups = corpus.function_groups(false);
-        let mut templates: BTreeMap<String, TemplateBundle> = BTreeMap::new();
-        for (name, (module, members)) in &groups {
+        let group_list: Vec<_> = groups.iter().collect();
+        let built = vega_par::par_map_slice(&group_list, |_, (name, (module, members))| {
             let members: Vec<(&str, &vega_cpplite::Function)> = members
                 .iter()
                 .filter(|(t, _)| training_targets.iter().any(|tt| tt == t))
                 .map(|(t, f)| (*t, *f))
                 .collect();
             if members.is_empty() {
-                continue;
+                return None;
             }
             let template = FunctionTemplate::build(name, &members);
             let member_ix: BTreeMap<String, TgtIndex> = template
@@ -222,15 +224,16 @@ impl Vega {
                 .filter_map(|t| tgt_ix.get(t).map(|ix| (t.clone(), ix.clone())))
                 .collect();
             let features = select_features(&template, &catalog, &member_ix);
-            templates.insert(
-                name.clone(),
+            Some((
+                (*name).clone(),
                 TemplateBundle {
                     module: *module,
                     template,
                     features,
                 },
-            );
-        }
+            ))
+        });
+        let templates: BTreeMap<String, TemplateBundle> = built.into_iter().flatten().collect();
 
         // Vocabulary from all training-backend statements plus description
         // identifiers.
@@ -452,21 +455,34 @@ impl Vega {
         let mut functions = Vec::new();
         let mut module_times: BTreeMap<Module, Duration> = BTreeMap::new();
         let stage3 = vega_obs::global().span("pipeline.stage3.generate");
-        for bundle in self.templates.values() {
+        // Functions generate independently on the pool, each against its own
+        // model replica — generation never mutates weights, so a replica
+        // decodes exactly what the shared sequential model would. Results
+        // come back in template order; Duration sums are exact integers, so
+        // `module_times` is reduction-order independent too.
+        let bundles: Vec<&TemplateBundle> = self.templates.values().collect();
+        let model_ref = &self.model;
+        let catalog = &self.catalog;
+        let max_input_len = self.max_input_len;
+        let generated = vega_par::par_map_slice(&bundles, |_, bundle| {
             // Child spans aggregate per module ("pipeline.stage3.generate.SEL"
             // etc.) while `module_times` keeps the public per-module map.
             let mspan = vega_obs::global().span(bundle.module.code());
+            let mut replica = model_ref.clone();
             let f = generate_function(
-                &mut self.model,
+                &mut replica,
                 target,
                 &bundle.template,
                 &bundle.features,
                 &ix,
-                &self.catalog,
-                self.max_input_len,
+                catalog,
+                max_input_len,
             );
-            *module_times.entry(bundle.module).or_default() += mspan.finish();
-            functions.push((bundle.module, f));
+            (bundle.module, mspan.finish(), f)
+        });
+        for (module, dur, f) in generated {
+            *module_times.entry(module).or_default() += dur;
+            functions.push((module, f));
         }
         GeneratedBackend {
             target: target.to_string(),

@@ -80,18 +80,19 @@ impl Corpus {
         }
         specs.extend(eval_targets());
         let blueprints = all_blueprints();
-        let targets: Vec<TargetData> = specs
-            .into_iter()
-            .map(|spec| {
-                let tspan = obs.span(&spec.name);
-                let t = build_target(spec, &blueprints, config.seed)
-                    .expect("corpus blueprint must parse");
-                let _ = tspan.finish();
-                obs.counter_add("corpus.targets", 1);
-                obs.counter_add("corpus.functions", t.backend.iter().count() as u64);
-                t
-            })
-            .collect();
+        // Each target builds independently on the pool; results come back in
+        // spec order, so the corpus layout is thread-count independent. The
+        // workers adopt the `corpus.build` span, keeping per-target child
+        // spans at `corpus.build.<name>`.
+        let targets: Vec<TargetData> = vega_par::par_map(specs, |_, spec| {
+            let tspan = obs.span(&spec.name);
+            let t =
+                build_target(spec, &blueprints, config.seed).expect("corpus blueprint must parse");
+            let _ = tspan.finish();
+            obs.counter_add("corpus.targets", 1);
+            obs.counter_add("corpus.functions", t.backend.iter().count() as u64);
+            t
+        });
         let _ = build_span.finish();
         Corpus {
             llvm: llvm_provided(),

@@ -4,13 +4,16 @@
 //! vega-experiments [all|headline|fig6|fig7|fig8|table2|fig9|table3|table4|
 //!                   fig10|verify|robustness|ablation-split|ablation-model]
 //!                  [--scale tiny|small] [--synthetic N] [--epochs E]
-//!                  [--pretrain STEPS] [--seed S] [--trace-out PATH]
+//!                  [--pretrain STEPS] [--seed S] [--threads N]
+//!                  [--trace-out PATH]
 //! ```
 //!
 //! `all` trains once and renders every artifact off the same model; the
 //! ablations train additional models. Progress messages go through the
 //! `vega-obs` event log (set `VEGA_LOG=info` to see them); `--trace-out`
-//! writes the full span/metric/curve trace as JSON lines.
+//! writes the full span/metric/curve trace as JSON lines. `--threads`
+//! overrides the `vega-par` pool size (default: `VEGA_THREADS` or the core
+//! count); results are bit-identical for any value.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -26,6 +29,7 @@ struct Args {
     epochs: Option<usize>,
     pretrain: Option<usize>,
     seed: u64,
+    threads: Option<usize>,
     trace_out: Option<PathBuf>,
 }
 
@@ -37,6 +41,7 @@ fn parse_args() -> Args {
         epochs: None,
         pretrain: None,
         seed: 0,
+        threads: None,
         trace_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -65,6 +70,10 @@ fn parse_args() -> Args {
             "--seed" => {
                 i += 1;
                 args.seed = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or(0);
+            }
+            "--threads" => {
+                i += 1;
+                args.threads = argv.get(i).and_then(|v| v.parse().ok());
             }
             "--trace-out" => {
                 i += 1;
@@ -165,6 +174,9 @@ fn ablation_model(base: &VegaConfig) -> String {
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        vega_par::set_threads(n);
+    }
     let cfg = config_from(&args);
     run(&args, &cfg);
     if let Some(path) = &args.trace_out {

@@ -190,6 +190,14 @@ impl CodeBe {
     /// Fine-tunes on `(input, output)` id sequences for the configured number
     /// of epochs, shuffling each epoch. Returns the mean loss of the final
     /// epoch.
+    ///
+    /// Micro-batches are data-parallel: each micro-batch is split into
+    /// gradient shards of a fixed size, every shard trains on a cloned
+    /// replica (possibly on a `vega-par` worker), and the shard gradients
+    /// are merged in shard-index order before the single Adam step. Because
+    /// the shard structure and merge order never depend on the thread count,
+    /// loss curves and final weights are bit-identical for any
+    /// `VEGA_THREADS`, including 1.
     pub fn finetune(&mut self, pairs: &[(Vec<usize>, Vec<usize>)], cfg: &TrainConfig) -> f32 {
         if pairs.is_empty() {
             return 0.0;
@@ -202,6 +210,9 @@ impl CodeBe {
         let mut last_epoch_loss = 0.0;
         self.curve = TrainingCurve::new();
         const MICRO_BATCH: usize = 8;
+        /// Examples per gradient shard — a constant so the f32 reduction
+        /// tree is fixed by the data, not by the machine.
+        const GRAD_SHARD: usize = 2;
         for epoch in 0..cfg.finetune_epochs {
             let epoch_start = std::time::Instant::now();
             // Inverse-decay schedule smooths late epochs.
@@ -212,13 +223,26 @@ impl CodeBe {
                 order.swap(i, j);
             }
             let mut sum = 0.0f32;
-            for (n, &i) in order.iter().enumerate() {
-                let (src, tgt) = &pairs[i];
-                sum += self.model.as_seq2seq().train_example(src, tgt, bos, eos);
-                // Gradient accumulation: one Adam step per micro-batch.
-                if (n + 1) % MICRO_BATCH == 0 || n + 1 == order.len() {
-                    self.model.as_seq2seq().step(lr);
+            for batch in order.chunks(MICRO_BATCH) {
+                let shards: Vec<&[usize]> = batch.chunks(GRAD_SHARD).collect();
+                let model_ref = &self.model;
+                let sharded: Vec<(f32, Vec<vega_nn::Tensor>)> =
+                    vega_par::par_map_slice(&shards, |_, shard| {
+                        let mut replica = model_ref.clone();
+                        let s2s = replica.as_seq2seq();
+                        let mut loss = 0.0f32;
+                        for &i in shard.iter() {
+                            let (src, tgt) = &pairs[i];
+                            loss += s2s.train_example(src, tgt, bos, eos);
+                        }
+                        (loss, s2s.take_grads())
+                    });
+                // Merge in shard order, then one Adam step per micro-batch.
+                for (loss, grads) in &sharded {
+                    sum += loss;
+                    self.model.as_seq2seq().merge_grads(grads);
                 }
+                self.model.as_seq2seq().step(lr);
             }
             last_epoch_loss = sum / pairs.len() as f32;
             let point = CurvePoint {

@@ -77,6 +77,38 @@ impl ParamStore {
         &self.grads[id.0]
     }
 
+    /// Moves the accumulated gradients out, leaving zeroed buffers behind —
+    /// the worker side of data-parallel training: a cloned replica trains on
+    /// its shard, then hands its gradients back for an ordered merge.
+    pub fn take_grads(&mut self) -> Vec<Tensor> {
+        let zeros: Vec<Tensor> = self
+            .grads
+            .iter()
+            .map(|g| Tensor::zeros(g.rows, g.cols))
+            .collect();
+        std::mem::replace(&mut self.grads, zeros)
+    }
+
+    /// Accumulates a full gradient set (as produced by
+    /// [`ParamStore::take_grads`] on a replica) into this store's buffers.
+    /// Callers merge shards in a fixed order so the f32 sum is reproducible.
+    ///
+    /// # Panics
+    /// Panics on tensor count or shape mismatch.
+    pub fn merge_grads(&mut self, grads: &[Tensor]) {
+        assert_eq!(grads.len(), self.grads.len(), "grad tensor count");
+        for (mine, theirs) in self.grads.iter_mut().zip(grads) {
+            assert_eq!(
+                (mine.rows, mine.cols),
+                (theirs.rows, theirs.cols),
+                "grad shape"
+            );
+            for (a, b) in mine.data.iter_mut().zip(&theirs.data) {
+                *a += b;
+            }
+        }
+    }
+
     /// Clears all gradient buffers.
     pub fn zero_grad(&mut self) {
         for g in &mut self.grads {

@@ -10,6 +10,15 @@ pub trait Seq2Seq {
     /// Applies one optimizer step with learning rate `lr` and clears grads.
     fn step(&mut self, lr: f32);
 
+    /// Moves the accumulated parameter gradients out of the model, zeroing
+    /// its buffers — the worker side of data-parallel training (a cloned
+    /// replica trains on its shard, then its gradients are merged back).
+    fn take_grads(&mut self) -> Vec<crate::tensor::Tensor>;
+
+    /// Accumulates a gradient set produced by [`Seq2Seq::take_grads`] on a
+    /// replica. Merge shards in a fixed order for reproducible f32 sums.
+    fn merge_grads(&mut self, grads: &[crate::tensor::Tensor]);
+
     /// Greedy decoding: starts from `bos`, stops at `eos` or `max_len`.
     /// Returns the generated ids (without `bos`/`eos`).
     fn greedy(&mut self, src: &[usize], bos: usize, eos: usize, max_len: usize) -> Vec<usize>;

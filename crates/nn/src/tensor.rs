@@ -3,6 +3,17 @@
 
 use vega_obs::json::{Json, JsonError};
 
+/// `k`-dimension block width for the cache-blocked matmul kernels.
+const TILE_K: usize = 64;
+/// Output rows per parallel work item. A constant (not derived from the
+/// thread count) so the block decomposition never varies — though per-row
+/// results are independent of blocking anyway.
+const ROW_BLOCK: usize = 16;
+/// Multiply-adds below which the scalar kernels win (no blocking overhead).
+const TILED_MIN_WORK: usize = 1 << 15;
+/// Multiply-adds below which even the tiled kernel stays on one thread.
+const PAR_MIN_WORK: usize = 1 << 18;
+
 /// A row-major 2-D tensor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
@@ -87,11 +98,51 @@ impl Tensor {
 
     /// Matrix product `self · other` (optionally with `other` transposed).
     ///
+    /// Small products use the scalar kernels; larger ones use cache-blocked
+    /// kernels, parallelized over row blocks through `vega-par` when big
+    /// enough. Every kernel accumulates each output element one product at a
+    /// time in ascending `k` order, so all paths — any tile size, any thread
+    /// count — produce bit-identical results (the scalar non-transposed
+    /// kernel's zero-skip is exact too: skipped terms are exact no-ops for
+    /// the finite values training produces).
+    ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor, transpose_other: bool) -> Tensor {
-        if transpose_other {
+        let (inner, out_cols) = if transpose_other {
             assert_eq!(self.cols, other.cols, "matmul(T) inner dim");
+            (self.cols, other.rows)
+        } else {
+            assert_eq!(self.cols, other.rows, "matmul inner dim");
+            (self.cols, other.cols)
+        };
+        let work = self.rows * out_cols * inner;
+        if work < TILED_MIN_WORK {
+            return self.matmul_scalar(other, transpose_other);
+        }
+        let mut out = Tensor::zeros(self.rows, out_cols);
+        if work < PAR_MIN_WORK || self.rows <= ROW_BLOCK {
+            let block = self.matmul_block(other, transpose_other, 0, self.rows);
+            out.data = block;
+            return out;
+        }
+        let ranges: Vec<(usize, usize)> = (0..self.rows)
+            .step_by(ROW_BLOCK)
+            .map(|r0| (r0, (r0 + ROW_BLOCK).min(self.rows)))
+            .collect();
+        let blocks = vega_par::par_map(ranges, |_, (r0, r1)| {
+            (r0, self.matmul_block(other, transpose_other, r0, r1))
+        });
+        for (r0, block) in blocks {
+            out.data[r0 * out_cols..r0 * out_cols + block.len()].copy_from_slice(&block);
+        }
+        out
+    }
+
+    /// The original scalar kernels (kept as the small-matrix fast path and
+    /// as the reference the tiled kernels are tested against bit-for-bit).
+    fn matmul_scalar(&self, other: &Tensor, transpose_other: bool) -> Tensor {
+        if transpose_other {
             let mut out = Tensor::zeros(self.rows, other.rows);
             for i in 0..self.rows {
                 let a = self.row(i);
@@ -106,7 +157,6 @@ impl Tensor {
             }
             out
         } else {
-            assert_eq!(self.cols, other.rows, "matmul inner dim");
             let mut out = Tensor::zeros(self.rows, other.cols);
             for i in 0..self.rows {
                 let a = self.row(i);
@@ -124,6 +174,50 @@ impl Tensor {
             }
             out
         }
+    }
+
+    /// Cache-blocked kernel for output rows `r0..r1`; returns the dense
+    /// `(r1-r0) × out_cols` slab. Blocking over `k` only reorders the loop
+    /// traversal — each output element still receives its products one at a
+    /// time in ascending `k`, matching the scalar kernels exactly.
+    fn matmul_block(
+        &self,
+        other: &Tensor,
+        transpose_other: bool,
+        r0: usize,
+        r1: usize,
+    ) -> Vec<f32> {
+        let out_cols = if transpose_other {
+            other.rows
+        } else {
+            other.cols
+        };
+        let mut out = vec![0.0f32; (r1 - r0) * out_cols];
+        for kb in (0..self.cols).step_by(TILE_K) {
+            let ke = (kb + TILE_K).min(self.cols);
+            for i in r0..r1 {
+                let a = &self.row(i)[kb..ke];
+                let orow = (i - r0) * out_cols;
+                if transpose_other {
+                    for j in 0..other.rows {
+                        let b = &other.row(j)[kb..ke];
+                        let o = &mut out[orow + j];
+                        for (&av, &bv) in a.iter().zip(b.iter()) {
+                            *o += av * bv;
+                        }
+                    }
+                } else {
+                    for (k, &av) in a.iter().enumerate() {
+                        let b = other.row(kb + k);
+                        let out_row = &mut out[orow..orow + out_cols];
+                        for (o, &bv) in out_row.iter_mut().zip(b.iter()) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// `self + other`, elementwise.
@@ -280,5 +374,84 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(4, 2);
         let _ = a.matmul(&b, false);
+    }
+
+    /// Deterministic pseudo-random fill (splitmix64) with zeros and negative
+    /// values mixed in, so the scalar kernel's zero-skip branch is exercised.
+    fn fill(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                if z % 5 == 0 {
+                    0.0
+                } else {
+                    ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn tiled_kernels_agree_exactly_with_scalar_on_shape_grid() {
+        // Shapes straddle the tile sizes (TILE_K = 64, ROW_BLOCK = 16) and
+        // include dims not divisible by either.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 64, 16),
+            (17, 65, 19),
+            (33, 130, 9),
+            (40, 200, 23),
+            (70, 96, 41),
+        ] {
+            let a = fill(m, k, 0xA5EED ^ (m * 1000 + k) as u64);
+            let b = fill(k, n, 0xB5EED ^ (k * 1000 + n) as u64);
+            let bt = fill(n, k, 0xC5EED ^ (n * 1000 + k) as u64);
+            for (tiled, scalar) in [
+                (a.matmul_block(&b, false, 0, m), a.matmul_scalar(&b, false)),
+                (a.matmul_block(&bt, true, 0, m), a.matmul_scalar(&bt, true)),
+            ] {
+                assert_eq!(tiled.len(), scalar.data.len());
+                for (i, (x, y)) in tiled.iter().zip(&scalar.data).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{m}x{k}x{n} elem {i}: tiled {x} vs scalar {y}"
+                    );
+                }
+            }
+            // The public entry point (whatever path it dispatches to,
+            // including the parallel one) matches the scalar kernel too.
+            let via_public = a.matmul(&b, false);
+            let scalar = a.matmul_scalar(&b, false);
+            assert!(via_public
+                .data
+                .iter()
+                .zip(&scalar.data)
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_across_thread_counts() {
+        // Big enough to cross PAR_MIN_WORK and fan out over row blocks.
+        let a = fill(96, 80, 1);
+        let b = fill(80, 64, 2);
+        vega_par::set_threads(1);
+        let one = a.matmul(&b, false);
+        vega_par::set_threads(4);
+        let four = a.matmul(&b, false);
+        vega_par::set_threads(0);
+        assert!(one
+            .data
+            .iter()
+            .zip(&four.data)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

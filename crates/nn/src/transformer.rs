@@ -327,6 +327,14 @@ impl Seq2Seq for Transformer {
         self.store.adam_step(lr);
     }
 
+    fn take_grads(&mut self) -> Vec<Tensor> {
+        self.store.take_grads()
+    }
+
+    fn merge_grads(&mut self, grads: &[Tensor]) {
+        self.store.merge_grads(grads);
+    }
+
     fn greedy(&mut self, src: &[usize], bos: usize, eos: usize, max_len: usize) -> Vec<usize> {
         let src = self.clamp_len(src).to_vec();
         let me = self.clone_shallow();

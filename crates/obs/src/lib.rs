@@ -6,7 +6,10 @@
 //! * **hierarchical spans** — RAII guards created with [`Obs::span`] (or the
 //!   [`span!`] macro against the global handle). Spans nest per thread, so a
 //!   span opened while another is active becomes its child; wall-clock time
-//!   is aggregated per dotted path (`stage.substage.detail`).
+//!   is aggregated per dotted path (`stage.substage.detail`). Work handed to
+//!   another thread keeps its nesting by capturing [`Obs::current_path`] on
+//!   the submitting thread and re-establishing it on the worker with
+//!   [`Obs::adopt_parent`] (this is what `vega-par` does for every task).
 //! * **metrics** — monotonic counters, gauges, and fixed-bucket histograms
 //!   with p50/p90/p99 quantile estimates ([`Obs::counter_add`],
 //!   [`Obs::gauge_set`], [`Obs::observe`]).
@@ -209,6 +212,35 @@ impl Obs {
         }
     }
 
+    /// The dotted path of the span currently open on this thread for this
+    /// handle, if any. Capture it before handing work to another thread and
+    /// re-establish it there with [`Obs::adopt_parent`] so worker-side spans
+    /// keep nesting under the submitting thread's span.
+    pub fn current_path(&self) -> Option<String> {
+        SPAN_STACK.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|(id, _)| *id == self.id)
+                .map(|(_, p)| p.clone())
+        })
+    }
+
+    /// Installs `path` as the parent for spans subsequently opened on this
+    /// thread (until the guard drops). The synthetic frame records no time
+    /// itself — it only re-parents. `None` is a no-op, so callers can pass
+    /// through [`Obs::current_path`] unconditionally.
+    pub fn adopt_parent(&self, path: Option<&str>) -> AdoptGuard {
+        if let Some(p) = path {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push((self.id, p.to_string())));
+        }
+        AdoptGuard {
+            obs: self.clone(),
+            path: path.map(String::from),
+        }
+    }
+
     fn record_span(&self, path: &str, start_us: u64, dur: Duration) {
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -367,6 +399,29 @@ impl Obs {
     }
 }
 
+/// RAII guard for an adopted parent frame (see [`Obs::adopt_parent`]);
+/// removes the synthetic frame on drop without recording anything.
+pub struct AdoptGuard {
+    obs: Obs,
+    path: Option<String>,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if let Some(path) = &self.path {
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(i) = stack
+                    .iter()
+                    .rposition(|(id, p)| *id == self.obs.id && p == path)
+                {
+                    stack.remove(i);
+                }
+            });
+        }
+    }
+}
+
 /// RAII guard for an open span; records wall-clock time on drop.
 pub struct SpanGuard {
     obs: Obs,
@@ -517,6 +572,43 @@ mod tests {
         // The span stack is per-thread, so the worker span is not a child
         // of `outer`.
         assert_eq!(path, "worker");
+    }
+
+    #[test]
+    fn adopt_parent_reparents_worker_spans() {
+        let obs = Obs::with_level(None);
+        let outer = obs.span("outer");
+        let parent = obs.current_path();
+        assert_eq!(parent.as_deref(), Some("outer"));
+        let obs2 = obs.clone();
+        let path = thread::spawn(move || {
+            let _adopt = obs2.adopt_parent(parent.as_deref());
+            let g = obs2.span("worker");
+            g.path().to_string()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(path, "outer.worker");
+        // Only the real span recorded time — the synthetic frame did not.
+        assert_eq!(obs.span_count("outer.worker"), 1);
+        assert_eq!(obs.span_count("outer"), 0);
+        drop(outer);
+    }
+
+    #[test]
+    fn adopt_parent_none_is_a_no_op_and_guard_restores_stack() {
+        let obs = Obs::with_level(None);
+        {
+            let _adopt = obs.adopt_parent(None);
+            assert_eq!(obs.current_path(), None);
+        }
+        {
+            let _adopt = obs.adopt_parent(Some("a.b"));
+            assert_eq!(obs.current_path().as_deref(), Some("a.b"));
+        }
+        // Guard dropped: new spans are roots again.
+        let g = obs.span("root");
+        assert_eq!(g.path(), "root");
     }
 
     #[test]

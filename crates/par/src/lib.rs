@@ -1,0 +1,234 @@
+//! `vega-par` — a zero-dependency deterministic parallel execution layer.
+//!
+//! The repo's strongest invariant is that two runs of any configuration are
+//! bit-identical, and parallelism must not weaken it. The one primitive this
+//! crate exports, [`par_map`], therefore makes a hard promise: work items may
+//! execute in any order on any worker thread, but results are always handed
+//! back **in input-index order**, so every reduction a caller performs over
+//! them has a thread-count-independent shape. Combined with callers that keep
+//! any floating-point accumulation structure fixed (e.g. gradient shards of a
+//! constant size), output is bit-identical for any `VEGA_THREADS`, including 1.
+//!
+//! Design points:
+//!
+//! * **Scoped std threads + channels.** Workers are spawned per call with
+//!   [`std::thread::scope`] and pull `(index, item)` tasks from a shared
+//!   channel; no `unsafe`, no external crates, and borrowed captures work
+//!   because the scope outlives the workers.
+//! * **Sizing.** The pool size comes from [`set_threads`] (in-process
+//!   override, used by tests and benches) or the `VEGA_THREADS` env var,
+//!   defaulting to the number of available cores.
+//! * **No nesting.** A `par_map` issued from inside a worker runs
+//!   sequentially inline — nested fan-out would oversubscribe the machine
+//!   and buys nothing, since the outer call already saturates the pool.
+//! * **Span re-parenting.** Each call captures the dotted span path active
+//!   on the submitting thread (via [`vega_obs::Obs::current_path`]) and
+//!   re-establishes it on every worker ([`vega_obs::Obs::adopt_parent`]), so
+//!   spans opened inside tasks aggregate under the same
+//!   `pipeline.stage3.generate.SEL`-style paths as in a sequential run.
+//! * **Panic transparency.** A panicking task propagates out of `par_map`
+//!   when the scope joins its workers, like the sequential loop would.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, OnceLock};
+use std::thread;
+
+/// In-process override; 0 means "not set, fall back to the environment".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// `VEGA_THREADS` (or the core count), read once per process.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads; makes nested `par_map` run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Overrides the pool size for this process, taking precedence over
+/// `VEGA_THREADS`. Passing 0 clears the override. Intended for tests and
+/// benches that compare thread counts within one process; results must be
+/// identical either way, so flipping this concurrently is safe if odd.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The configured pool size: the [`set_threads`] override if set, else
+/// `VEGA_THREADS` if set to a positive integer, else the number of available
+/// cores (1 if that cannot be determined).
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o != 0 {
+        return o;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("VEGA_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// True when called from inside a [`par_map`] worker (where further
+/// `par_map` calls run sequentially inline).
+pub fn is_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Applies `f` to every `(index, item)` on a scoped worker pool and returns
+/// the results **in input order**, regardless of which worker finished when.
+/// With one thread configured (or when already inside a worker) it degrades
+/// to a plain sequential loop over the same closure.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 || is_worker() {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+
+    let parent = vega_obs::global().current_path();
+    // All tasks are queued up front and the sender dropped, so workers never
+    // block inside the (mutex-guarded) receiver.
+    let (task_tx, task_rx) = mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        let _ = task_tx.send(pair);
+    }
+    drop(task_tx);
+    let task_rx = Mutex::new(task_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, R)>();
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let res_tx = res_tx.clone();
+            let task_rx = &task_rx;
+            let parent = parent.as_deref();
+            let f = &f;
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                let _adopt = vega_obs::global().adopt_parent(parent);
+                loop {
+                    let task = task_rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv();
+                    match task {
+                        Ok((i, item)) => {
+                            let r = f(i, item);
+                            let _ = res_tx.send((i, r));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        // Collect into index slots; arrival order is irrelevant.
+        for (i, r) in res_rx.iter() {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("par_map worker delivered every result"))
+        .collect()
+}
+
+/// Borrowing convenience over [`par_map`]: maps `f` over `&items` and
+/// returns results in input order.
+pub fn par_map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(items.iter().collect(), |i, x: &T| f(i, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        set_threads(4);
+        let items: Vec<usize> = (0..97).collect();
+        let out = par_map(items, |i, x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        set_threads(0);
+        assert_eq!(out, (0..97).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_thread_and_many_threads_agree() {
+        let work = |_, x: u64| {
+            // Deliberately order-sensitive f32 accumulation inside one item.
+            let mut s = 0.0f32;
+            for k in 0..200u64 {
+                s += ((x.wrapping_mul(k) % 101) as f32).sqrt();
+            }
+            s.to_bits()
+        };
+        set_threads(1);
+        let a = par_map((0..50).collect(), work);
+        set_threads(4);
+        let b = par_map((0..50).collect(), work);
+        set_threads(0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline() {
+        set_threads(4);
+        let out = par_map(vec![0usize; 8], |_, _| {
+            assert!(is_worker());
+            // The nested call must not spawn (and must still be correct).
+            par_map((0..5).collect::<Vec<usize>>(), |_, x| x + 1)
+        });
+        set_threads(0);
+        for inner in out {
+            assert_eq!(inner, vec![1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        set_threads(4);
+        let empty: Vec<u8> = par_map(Vec::new(), |_, x: u8| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(vec![7u8], |_, x| x + 1), vec![8]);
+        set_threads(0);
+    }
+
+    #[test]
+    fn worker_spans_reparent_under_submitting_span() {
+        set_threads(3);
+        let outer = vega_obs::global().span("par_test_outer");
+        let _ = par_map((0..6).collect::<Vec<usize>>(), |_, _| {
+            let g = vega_obs::global().span("task");
+            assert_eq!(g.path(), "par_test_outer.task");
+        });
+        drop(outer);
+        set_threads(0);
+        assert_eq!(vega_obs::global().span_count("par_test_outer.task"), 6);
+    }
+
+    #[test]
+    fn slice_variant_borrows() {
+        set_threads(2);
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens = par_map_slice(&words, |_, w| w.len());
+        set_threads(0);
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}

@@ -99,6 +99,45 @@ fn generation_uses_only_description_files() {
 }
 
 #[test]
+fn pipeline_is_bit_identical_across_thread_counts() {
+    // The full pipeline — corpus build, template folding, fine-tuning,
+    // generation — must produce byte-identical artifacts whether vega-par
+    // runs one worker or four.
+    let run = |threads: usize| -> (String, Vec<String>, Vec<u64>) {
+        vega_par::set_threads(threads);
+        let mut cfg = VegaConfig::tiny();
+        cfg.train.finetune_epochs = 1;
+        let mut vega = Vega::train(cfg);
+        let gen = vega.generate_backend("RISCV");
+        let model_json = vega.model_mut().save_json();
+        let mut lines = Vec::new();
+        let mut confs = Vec::new();
+        for (_, f) in &gen.functions {
+            confs.push(f.confidence.to_bits());
+            for s in &f.stmts {
+                lines.push(format!("{}|{}|{}|{}", f.name, s.node, s.score, s.line));
+            }
+            if let Some(func) = &f.function {
+                lines.push(vega_cpplite::render_function(func));
+            }
+        }
+        (model_json, lines, confs)
+    };
+    let one = run(1);
+    let four = run(4);
+    vega_par::set_threads(0);
+    assert_eq!(one.2, four.2, "confidences differ across thread counts");
+    assert_eq!(
+        one.1, four.1,
+        "generated backends differ across thread counts"
+    );
+    assert_eq!(
+        one.0, four.0,
+        "saved model JSON differs across thread counts"
+    );
+}
+
+#[test]
 fn verification_split_is_disjoint_and_scored() {
     let mut vega = tiny_vega();
     // No (group, node, target) triple may appear in both splits.
