@@ -19,4 +19,34 @@ VEGA_THREADS=1 cargo test -q --workspace
 echo "== test (VEGA_THREADS=4) =="
 VEGA_THREADS=4 cargo test -q --workspace
 
+# Serve smoke test: train a tiny checkpoint, serve it on an ephemeral port,
+# hammer it with the load generator (repeats must hit the cache and verify
+# byte-identical against direct generation), shut down cleanly, and check
+# the JSONL trace recorded the request spans.
+echo "== serve smoke =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+target/release/vega-experiments headline --scale tiny \
+  --save-model "$SMOKE_DIR/ckpt.json" > "$SMOKE_DIR/headline.txt"
+target/release/vega-serve --checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \
+  --port-file "$SMOKE_DIR/port" --trace-out "$SMOKE_DIR/trace.jsonl" \
+  > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do
+  [ -s "$SMOKE_DIR/port" ] && break
+  sleep 0.2
+done
+[ -s "$SMOKE_DIR/port" ] || { echo "vega-serve never wrote its port file"; exit 1; }
+target/release/vega-loadgen --addr "127.0.0.1:$(cat "$SMOKE_DIR/port")" \
+  --requests 24 --conns 4 --distinct 4 \
+  --verify-checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \
+  --shutdown | tee "$SMOKE_DIR/loadgen.txt"
+wait "$SERVE_PID"
+grep -q "loadgen: verify=ok" "$SMOKE_DIR/loadgen.txt"
+grep -q "loadgen: cache=ok" "$SMOKE_DIR/loadgen.txt"
+grep -q "loadgen: shutdown=ok" "$SMOKE_DIR/loadgen.txt"
+grep -q "^served requests=" "$SMOKE_DIR/serve.log"
+grep -q "serve.request" "$SMOKE_DIR/trace.jsonl"
+echo "serve smoke: ok"
+
 echo "ci: all checks passed"

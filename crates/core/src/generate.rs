@@ -244,6 +244,34 @@ fn generation_values(
     ResolvedValues { values }
 }
 
+/// The encoded feature-vector input for a function's *signature* on a new
+/// target — exactly the id sequence [`generate_function`] feeds the model
+/// first. Deterministic in its arguments and side-effect free, so it doubles
+/// as a content address for generation caching: two requests with equal
+/// signature inputs (same target description state, same template) replay the
+/// same generation.
+pub fn signature_feature_input(
+    vocab: &vega_model::Vocab,
+    target_ns: &str,
+    template: &FunctionTemplate,
+    feats: &TemplateFeatures,
+    ix: &TgtIndex,
+    catalog: &PropCatalog,
+    max_input_len: usize,
+) -> Vec<usize> {
+    // SIG_NODE resolution never touches slot state, so a fresh GenState is
+    // exactly what generate_function sees at this point.
+    let mut state = GenState::new(target_ns);
+    let norm = TargetNorm::new(target_ns);
+    let signals = global_signals(ix);
+    let sig_node = signature_node_for(template);
+    let mut sig_values = generation_values(template, feats, SIG_NODE, ix, catalog, &mut state);
+    crate::featvec::append_global_signals(&mut sig_values, &signals);
+    let mut sig_tline = Vec::new();
+    template_line_pieces(&sig_node, vocab, &mut sig_tline);
+    build_input(vocab, &norm, None, &sig_tline, &sig_values, max_input_len)
+}
+
 /// Generates one function for a new target.
 pub fn generate_function(
     model: &mut CodeBe,
@@ -267,17 +295,13 @@ pub fn generate_function(
     let mut prev_line_ids: Option<Vec<usize>> = None;
 
     // --- Signature -----------------------------------------------------------
-    let sig_node = signature_node_for(template);
-    let mut sig_values = generation_values(template, feats, SIG_NODE, ix, catalog, &mut state);
-    crate::featvec::append_global_signals(&mut sig_values, &signals);
-    let mut sig_tline = Vec::new();
-    template_line_pieces(&sig_node, &model.vocab, &mut sig_tline);
-    let input = build_input(
+    let input = signature_feature_input(
         &model.vocab,
-        &norm,
-        None,
-        &sig_tline,
-        &sig_values,
+        target_ns,
+        template,
+        feats,
+        ix,
+        catalog,
         max_input_len,
     );
     let out = model.generate(&input, DECODE_LEN);

@@ -90,6 +90,24 @@ impl VegaConfig {
     }
 }
 
+/// A loaded checkpoint that does not fit the pipeline it was asked to serve
+/// (vocabulary or sequence-length mismatch). Returned by
+/// [`Vega::with_model`] so callers surface a diagnostic instead of decoding
+/// garbage with silently re-indexed token ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelLoadError {
+    /// Human-readable mismatch description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ModelLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model load error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ModelLoadError {}
+
 /// A function template bundled with its module and discovered features.
 #[derive(Debug, Clone)]
 pub struct TemplateBundle {
@@ -175,6 +193,42 @@ impl Vega {
 
     /// As [`Vega::train`] but over a pre-built corpus.
     pub fn train_on(config: VegaConfig, corpus: Corpus) -> Self {
+        Self::assemble(config, corpus, None)
+            .expect("fresh training derives its model from the corpus and cannot mismatch")
+    }
+
+    /// Builds the full system around an already-trained CodeBE checkpoint:
+    /// Stage 1 (templates, features, samples) runs as in [`Vega::train`],
+    /// Stage 2 is replaced by the loaded model. This is how the serving
+    /// layer and `vega-experiments --load-model` reuse a checkpoint without
+    /// retraining.
+    ///
+    /// # Errors
+    /// Returns [`ModelLoadError`] when the checkpoint's vocabulary differs
+    /// from the one this corpus/config derives, or when the model was sized
+    /// for shorter inputs than this scale produces.
+    pub fn with_model(config: VegaConfig, model: CodeBe) -> Result<Self, ModelLoadError> {
+        let corpus = Corpus::build(&config.corpus);
+        Self::with_model_on(config, corpus, model)
+    }
+
+    /// As [`Vega::with_model`] but over a pre-built corpus.
+    ///
+    /// # Errors
+    /// See [`Vega::with_model`].
+    pub fn with_model_on(
+        config: VegaConfig,
+        corpus: Corpus,
+        model: CodeBe,
+    ) -> Result<Self, ModelLoadError> {
+        Self::assemble(config, corpus, Some(model))
+    }
+
+    fn assemble(
+        config: VegaConfig,
+        corpus: Corpus,
+        pretrained: Option<CodeBe>,
+    ) -> Result<Self, ModelLoadError> {
         let stage1 = vega_obs::global().span("pipeline.stage1.feature_mapping");
         let catalog = prop_catalog(corpus.llvm_fs());
 
@@ -254,60 +308,93 @@ impl Vega {
         );
         let code_feature_mapping = stage1.finish();
 
-        // Stage 2: model creation.
+        // Stage 2: model creation — or validation of a loaded checkpoint.
         let stage2 = vega_obs::global().span("pipeline.stage2.model_creation");
-        let mut model = match (config.model, config.scale) {
-            (ModelChoice::Transformer, Scale::Tiny) => {
-                CodeBe::transformer(vocab, |v| TransformerConfig {
-                    max_len: 48,
-                    ..TransformerConfig::tiny(v)
-                })
+        let model = match pretrained {
+            Some(model) => {
+                // The checkpoint must tokenize exactly like this corpus, or
+                // every sample/generation id would silently mean a different
+                // piece. Serialized piece lists compare the whole table.
+                if model.vocab.to_json_value().render() != vocab.to_json_value().render() {
+                    return Err(ModelLoadError {
+                        msg: format!(
+                            "checkpoint vocabulary ({} pieces) does not match the \
+                             corpus-derived vocabulary ({} pieces); was the checkpoint \
+                             trained with the same --scale/--synthetic/--seed?",
+                            model.vocab.len(),
+                            vocab.len()
+                        ),
+                    });
+                }
+                if model.max_len() < max_input_len {
+                    return Err(ModelLoadError {
+                        msg: format!(
+                            "checkpoint max input length {} is shorter than the {} this \
+                             scale produces; reload with the scale it was trained at",
+                            model.max_len(),
+                            max_input_len
+                        ),
+                    });
+                }
+                model
             }
-            (ModelChoice::Transformer, Scale::Small) => {
-                CodeBe::transformer(vocab, |v| TransformerConfig {
-                    max_len: 128,
-                    ..TransformerConfig::small(v)
-                })
+            None => {
+                let mut model = match (config.model, config.scale) {
+                    (ModelChoice::Transformer, Scale::Tiny) => {
+                        CodeBe::transformer(vocab, |v| TransformerConfig {
+                            max_len: 48,
+                            ..TransformerConfig::tiny(v)
+                        })
+                    }
+                    (ModelChoice::Transformer, Scale::Small) => {
+                        CodeBe::transformer(vocab, |v| TransformerConfig {
+                            max_len: 128,
+                            ..TransformerConfig::small(v)
+                        })
+                    }
+                    (ModelChoice::Gru, Scale::Tiny) => CodeBe::gru(vocab, |v| GruConfig {
+                        max_len: 48,
+                        ..GruConfig::tiny(v)
+                    }),
+                    (ModelChoice::Gru, Scale::Small) => CodeBe::gru(vocab, |v| GruConfig {
+                        max_len: 128,
+                        ..GruConfig::small(v)
+                    }),
+                };
+                if config.train.pretrain_steps > 0 {
+                    let sequences = pretrain_sequences(&corpus, &training_targets, &model.vocab);
+                    model.pretrain(
+                        &sequences,
+                        config.train.pretrain_steps,
+                        config.train.lr,
+                        config.seed,
+                    );
+                }
+                let mut dedup: HashSet<(Vec<usize>, Vec<usize>)> = HashSet::new();
+                let mut pairs: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+                let mut sig_pairs: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+                for s in &train_samples {
+                    if !dedup.insert((s.input.clone(), s.output.clone())) {
+                        continue;
+                    }
+                    if s.node == crate::featvec::SIG_NODE {
+                        sig_pairs.push((s.input.clone(), s.output.clone()));
+                    }
+                    pairs.push((s.input.clone(), s.output.clone()));
+                }
+                // Signatures are ~5% of samples but carry the whole-function
+                // confidence; oversample them so they train as reliably as
+                // bodies.
+                for _ in 0..3 {
+                    pairs.extend(sig_pairs.iter().cloned());
+                }
+                model.finetune(&pairs, &config.train);
+                model
             }
-            (ModelChoice::Gru, Scale::Tiny) => CodeBe::gru(vocab, |v| GruConfig {
-                max_len: 48,
-                ..GruConfig::tiny(v)
-            }),
-            (ModelChoice::Gru, Scale::Small) => CodeBe::gru(vocab, |v| GruConfig {
-                max_len: 128,
-                ..GruConfig::small(v)
-            }),
         };
-        if config.train.pretrain_steps > 0 {
-            let sequences = pretrain_sequences(&corpus, &training_targets, &model.vocab);
-            model.pretrain(
-                &sequences,
-                config.train.pretrain_steps,
-                config.train.lr,
-                config.seed,
-            );
-        }
-        let mut dedup: HashSet<(Vec<usize>, Vec<usize>)> = HashSet::new();
-        let mut pairs: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
-        let mut sig_pairs: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
-        for s in &train_samples {
-            if !dedup.insert((s.input.clone(), s.output.clone())) {
-                continue;
-            }
-            if s.node == crate::featvec::SIG_NODE {
-                sig_pairs.push((s.input.clone(), s.output.clone()));
-            }
-            pairs.push((s.input.clone(), s.output.clone()));
-        }
-        // Signatures are ~5% of samples but carry the whole-function
-        // confidence; oversample them so they train as reliably as bodies.
-        for _ in 0..3 {
-            pairs.extend(sig_pairs.iter().cloned());
-        }
-        model.finetune(&pairs, &config.train);
         let model_creation = stage2.finish();
 
-        Vega {
+        Ok(Vega {
             config,
             corpus,
             catalog,
@@ -321,7 +408,7 @@ impl Vega {
             model,
             max_input_len,
             tgt_ix,
-        }
+        })
     }
 
     /// The paper's proposed *software update mechanism* (§6): once a target's
@@ -495,6 +582,16 @@ impl Vega {
     /// Access to the trained model (ablations, persistence).
     pub fn model_mut(&mut self) -> &mut CodeBe {
         &mut self.model
+    }
+
+    /// Read access to the trained model (persistence, replica pooling).
+    pub fn model(&self) -> &CodeBe {
+        &self.model
+    }
+
+    /// The feature-vector truncation length this pipeline encodes at.
+    pub fn max_input_len(&self) -> usize {
+        self.max_input_len
     }
 }
 
@@ -741,6 +838,36 @@ mod tests {
                 assert_eq!(sa.line, sb.line);
             }
         }
+    }
+
+    #[test]
+    fn with_model_reuses_a_checkpoint_and_validates_fit() {
+        let mut trained = Vega::train(VegaConfig::tiny());
+        let json = trained.model_mut().save_json();
+        let a = trained.generate_backend("RI5CY");
+
+        // Same config + saved checkpoint → identical generations, no stage 2.
+        let checkpoint = vega_model::CodeBe::load_json(&json).unwrap();
+        let mut served = Vega::with_model(VegaConfig::tiny(), checkpoint).unwrap();
+        assert!(
+            served.timings.model_creation < trained.timings.model_creation,
+            "validation must be cheaper than training"
+        );
+        let b = served.generate_backend("RI5CY");
+        for ((_, fa), (_, fb)) in a.functions.iter().zip(&b.functions) {
+            assert_eq!(fa.confidence, fb.confidence, "{}", fa.name);
+            for (sa, sb) in fa.stmts.iter().zip(&fb.stmts) {
+                assert_eq!(sa.line, sb.line);
+            }
+        }
+
+        // A corpus with a different vocabulary must be rejected, not decoded
+        // against re-indexed token ids.
+        let mut other = VegaConfig::tiny();
+        other.corpus.synthetic_targets = 2;
+        let checkpoint = vega_model::CodeBe::load_json(&json).unwrap();
+        let err = Vega::with_model(other, checkpoint).unwrap_err();
+        assert!(err.msg.contains("vocabulary"), "{}", err.msg);
     }
 
     #[test]

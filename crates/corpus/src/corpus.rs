@@ -64,6 +64,29 @@ pub struct Corpus {
 /// Names of the three held-out evaluation targets.
 pub const EVAL_TARGET_NAMES: [&str; 3] = ["RISCV", "RI5CY", "XCore"];
 
+/// A target name that does not exist in the corpus, with the names that do —
+/// the error [`Corpus::try_target`] returns instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTarget {
+    /// The requested (missing) target name.
+    pub name: String,
+    /// Every target the corpus actually holds, in corpus order.
+    pub available: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown target `{}`; available targets: {}",
+            self.name,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownTarget {}
+
 impl Corpus {
     /// Builds the corpus: 12 hand-modelled training targets, the configured
     /// number of synthetic targets, and the 3 evaluation targets.
@@ -113,6 +136,19 @@ impl Corpus {
     /// Looks up a target by namespace name.
     pub fn target(&self, name: &str) -> Option<&TargetData> {
         self.targets.iter().find(|t| t.spec.name == name)
+    }
+
+    /// Looks up a target by namespace name, or reports which targets exist.
+    ///
+    /// # Errors
+    /// Returns [`UnknownTarget`] naming the missing target and listing every
+    /// available one — callers that face user input (probe binaries, the
+    /// serving layer) render this instead of panicking.
+    pub fn try_target(&self, name: &str) -> Result<&TargetData, UnknownTarget> {
+        self.target(name).ok_or_else(|| UnknownTarget {
+            name: name.to_string(),
+            available: self.targets.iter().map(|t| t.spec.name.clone()).collect(),
+        })
     }
 
     /// Training targets only (evaluation targets excluded).
@@ -211,6 +247,18 @@ mod tests {
             .1
             .iter()
             .all(|(t, _)| *t != "XCore"));
+    }
+
+    #[test]
+    fn try_target_names_the_missing_target_and_lists_available() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        assert!(c.try_target("RISCV").is_ok());
+        let err = c.try_target("Z80").unwrap_err();
+        assert_eq!(err.name, "Z80");
+        assert_eq!(err.available.len(), c.targets().len());
+        let msg = err.to_string();
+        assert!(msg.contains("unknown target `Z80`"), "{msg}");
+        assert!(msg.contains("RISCV"), "{msg}");
     }
 
     #[test]

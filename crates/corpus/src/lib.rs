@@ -45,7 +45,7 @@ pub use arch::{
     FIRST_TARGET_FIXUP_KIND, GENERIC_FIXUPS, ISD_OPCODES, VALUE_TYPES,
 };
 pub use backend::{Backend, Module};
-pub use corpus::{Corpus, CorpusConfig, TargetData, EVAL_TARGET_NAMES};
+pub use corpus::{Corpus, CorpusConfig, TargetData, UnknownTarget, EVAL_TARGET_NAMES};
 pub use interp_env::{ArchEnv, ObjData, INSTR_VALUE_BASE};
 pub use llvmdirs::{llvm_provided, tgt_dirs, LLVM_DIRS};
 pub use rng::Mix64;

@@ -88,7 +88,18 @@ fn main() {
 
     // Full generation transcript for one group on RISC-V.
     let backend = vega.generate_backend("RISCV");
-    let gf = backend.function(&group).expect("group generated");
+    let Some(gf) = backend.function(&group) else {
+        vega_obs::error!(
+            "unknown function group `{group}`; available groups: {}",
+            backend
+                .functions
+                .iter()
+                .map(|(_, f)| f.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
     println!(
         "\n=== generated {group} (confidence {:.2}) ===",
         gf.confidence
@@ -102,7 +113,13 @@ fn main() {
         );
     }
     // Whole-backend verdicts with first counterexamples.
-    let reference = vega.corpus.target("RISCV").unwrap();
+    let reference = match vega.corpus.try_target("RISCV") {
+        Ok(t) => t,
+        Err(e) => {
+            vega_obs::error!("{e}");
+            std::process::exit(2);
+        }
+    };
     println!("\n=== per-function verdicts (RISCV) ===");
     for (module, gf) in &backend.functions {
         let Some(rf) = reference.backend.function(&gf.name) else {

@@ -13,14 +13,20 @@ fn main() {
     let corpus = Corpus::build(&CorpusConfig::tiny());
     let catalog = prop_catalog(corpus.llvm_fs());
     let groups = corpus.function_groups(false);
-    let (_, members) = &groups[&group];
+    let Some((_, members)) = groups.get(&group) else {
+        vega_obs::error!(
+            "unknown function group `{group}`; available groups: {}",
+            groups.keys().cloned().collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    };
     let template = FunctionTemplate::build(&group, members);
     let mut ixs = BTreeMap::new();
     for t in &template.targets {
-        ixs.insert(
-            t.clone(),
-            TgtIndex::build(&corpus.target(t).unwrap().descriptions),
-        );
+        let data = corpus
+            .try_target(t)
+            .expect("template member targets come from the corpus");
+        ixs.insert(t.clone(), TgtIndex::build(&data.descriptions));
     }
     let feats = select_features(&template, &catalog, &ixs);
     println!("properties:");
@@ -30,7 +36,13 @@ fn main() {
             p.name, p.is_bool, p.source
         );
     }
-    let tix = TgtIndex::build(&corpus.target(&target).unwrap().descriptions);
+    let tix = match corpus.try_target(&target) {
+        Ok(data) => TgtIndex::build(&data.descriptions),
+        Err(e) => {
+            vega_obs::error!("{e}");
+            std::process::exit(2);
+        }
+    };
     for (node_id, node) in template.stmts.iter().enumerate() {
         for (slot_id, slot) in node.slots.iter().enumerate() {
             let prop = feats.slot_props.get(&(node_id, slot_id));

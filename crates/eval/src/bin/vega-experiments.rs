@@ -5,7 +5,7 @@
 //!                   fig10|verify|robustness|ablation-split|ablation-model]
 //!                  [--scale tiny|small] [--synthetic N] [--epochs E]
 //!                  [--pretrain STEPS] [--seed S] [--threads N]
-//!                  [--trace-out PATH]
+//!                  [--trace-out PATH] [--save-model PATH] [--load-model PATH]
 //! ```
 //!
 //! `all` trains once and renders every artifact off the same model; the
@@ -14,6 +14,11 @@
 //! writes the full span/metric/curve trace as JSON lines. `--threads`
 //! overrides the `vega-par` pool size (default: `VEGA_THREADS` or the core
 //! count); results are bit-identical for any value.
+//!
+//! `--save-model` writes the trained CodeBE checkpoint as JSON after stage 2;
+//! `--load-model` skips training and reuses such a checkpoint (it must have
+//! been produced with the same `--scale`/`--synthetic`/`--seed`, or loading
+//! fails with a vocabulary mismatch). `vega-serve` consumes the same files.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -31,6 +36,8 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     trace_out: Option<PathBuf>,
+    save_model: Option<PathBuf>,
+    load_model: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +50,8 @@ fn parse_args() -> Args {
         seed: 0,
         threads: None,
         trace_out: None,
+        save_model: None,
+        load_model: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -78,6 +87,14 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 i += 1;
                 args.trace_out = argv.get(i).map(PathBuf::from);
+            }
+            "--save-model" => {
+                i += 1;
+                args.save_model = argv.get(i).map(PathBuf::from);
+            }
+            "--load-model" => {
+                i += 1;
+                args.load_model = argv.get(i).map(PathBuf::from);
             }
             cmd if !cmd.starts_with("--") => args.command = cmd.to_string(),
             other => vega_obs::warn!("ignoring unknown flag {other}"),
@@ -202,8 +219,39 @@ fn run(args: &Args, cfg: &VegaConfig) {
         _ => {}
     }
 
-    vega_obs::info!("[vega-experiments] training (scale {:?}) …", cfg.scale);
-    let mut wb = Workbench::run(cfg.clone());
+    let checkpoint = args.load_model.as_ref().map(|path| {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            vega_obs::error!("cannot read checkpoint {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let model = vega_model::CodeBe::load_json(&json).unwrap_or_else(|e| {
+            vega_obs::error!("cannot parse checkpoint {}: {e:?}", path.display());
+            std::process::exit(2);
+        });
+        vega_obs::info!(
+            "[vega-experiments] loaded checkpoint {} ({}, {} pieces)",
+            path.display(),
+            model.arch_name(),
+            model.vocab.len()
+        );
+        model
+    });
+    if checkpoint.is_none() {
+        vega_obs::info!("[vega-experiments] training (scale {:?}) …", cfg.scale);
+    }
+    let mut wb = Workbench::run_with(cfg.clone(), checkpoint).unwrap_or_else(|e| {
+        vega_obs::error!("{e}");
+        std::process::exit(2);
+    });
+    if let Some(path) = &args.save_model {
+        match std::fs::write(path, wb.vega.model().save_json()) {
+            Ok(()) => vega_obs::info!("[vega-experiments] checkpoint saved to {}", path.display()),
+            Err(e) => {
+                vega_obs::error!("cannot write checkpoint {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
     vega_obs::info!(
         "[vega-experiments] trained in {:.1}s (stage1 {:.1}s, stage2 {:.1}s); {} templates, {} train samples",
         t0.elapsed().as_secs_f64(),

@@ -9,7 +9,7 @@ use crate::effort::DeveloperProfile;
 use crate::metrics::{corrected_backend, eval_generated_backend, eval_plain_backend, BackendEval};
 use crate::report::{pct, TextTable};
 use std::fmt::Write as _;
-use vega::{GeneratedBackend, Vega, VegaConfig};
+use vega::{GeneratedBackend, ModelLoadError, Vega, VegaConfig};
 use vega_corpus::{Module, EVAL_TARGET_NAMES};
 use vega_forkflow::forkflow_backend;
 use vega_minicc::{benchmark_suite, run_kernel, BackendVm, OptLevel};
@@ -29,7 +29,24 @@ pub struct Workbench {
 impl Workbench {
     /// Trains VEGA and generates + evaluates all three target backends.
     pub fn run(config: VegaConfig) -> Self {
-        let mut vega = Vega::train(config);
+        Self::run_with(config, None)
+            .expect("training from scratch cannot hit a checkpoint mismatch")
+    }
+
+    /// As [`Workbench::run`], but stage 2 can be replaced by a loaded
+    /// checkpoint (`--load-model`).
+    ///
+    /// # Errors
+    /// Returns [`ModelLoadError`] when the checkpoint does not fit the
+    /// configured corpus/scale.
+    pub fn run_with(
+        config: VegaConfig,
+        checkpoint: Option<vega_model::CodeBe>,
+    ) -> Result<Self, ModelLoadError> {
+        let mut vega = match checkpoint {
+            Some(model) => Vega::with_model(config, model)?,
+            None => Vega::train(config),
+        };
         let mut backends = Vec::new();
         let mut evals = Vec::new();
         let mut ff_evals = Vec::new();
@@ -40,12 +57,12 @@ impl Workbench {
             let ff = forkflow_backend(&vega.corpus, "Mips", target);
             ff_evals.push(eval_plain_backend(&vega.corpus, &ff, target));
         }
-        Workbench {
+        Ok(Workbench {
             vega,
             backends,
             evals,
             ff_evals,
-        }
+        })
     }
 }
 
@@ -59,8 +76,15 @@ pub fn fig6(wb: &Workbench) -> String {
         "Key traits",
         "Modules",
     ]);
+    let mut missing = Vec::new();
     for name in EVAL_TARGET_NAMES {
-        let spec = &wb.vega.corpus.target(name).unwrap().spec;
+        let spec = match wb.vega.corpus.try_target(name) {
+            Ok(t) => &t.spec,
+            Err(e) => {
+                missing.push(e.to_string());
+                continue;
+            }
+        };
         let tr = &spec.traits;
         let mut traits = Vec::new();
         for (flag, label) in [
@@ -94,10 +118,14 @@ pub fn fig6(wb: &Workbench) -> String {
             modules.join(","),
         ]);
     }
-    format!(
+    let mut out = format!(
         "Fig. 6 — evaluation targets and their function modules\n{}",
         t.render()
-    )
+    );
+    for e in missing {
+        let _ = writeln!(out, "skipped: {e}");
+    }
+    out
 }
 
 /// Fig. 7 — inference time per module per target.
@@ -343,7 +371,13 @@ pub fn fig10(wb: &Workbench) -> String {
         "Fig. 10 — -O3 speedup over -O0, VEGA^target vs base compiler"
     );
     for (ev, gen) in wb.evals.iter().zip(&wb.backends) {
-        let t = wb.vega.corpus.target(&ev.target).unwrap();
+        let t = match wb.vega.corpus.try_target(&ev.target) {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = writeln!(out, "\n[{}] skipped: {e}", ev.target);
+                continue;
+            }
+        };
         let corrected = corrected_backend(&wb.vega.corpus, ev, gen);
         let base_vm = BackendVm::new(&t.spec, &t.backend);
         let vega_vm = BackendVm::new(&t.spec, &corrected);
@@ -385,8 +419,15 @@ pub fn fig10(wb: &Workbench) -> String {
 /// §4.3 robustness — corrected compilers pass the full regression suite.
 pub fn robustness(wb: &Workbench) -> String {
     let mut t = TextTable::new(["Target", "Functions", "Regression pass", "Pass rate"]);
+    let mut missing = Vec::new();
     for (ev, gen) in wb.evals.iter().zip(&wb.backends) {
-        let target = wb.vega.corpus.target(&ev.target).unwrap();
+        let target = match wb.vega.corpus.try_target(&ev.target) {
+            Ok(t) => t,
+            Err(e) => {
+                missing.push(format!("[{}] skipped: {e}", ev.target));
+                continue;
+            }
+        };
         let corrected = corrected_backend(&wb.vega.corpus, ev, gen);
         let mut pass = 0usize;
         let mut total = 0usize;
@@ -406,10 +447,14 @@ pub fn robustness(wb: &Workbench) -> String {
             pct(pass as f64 / total.max(1) as f64),
         ]);
     }
-    format!(
+    let mut out = format!(
         "§4.3 robustness — corrected VEGA compilers vs regression tests\n{}",
         t.render()
-    )
+    );
+    for e in missing {
+        let _ = writeln!(out, "{e}");
+    }
+    out
 }
 
 /// §4.1.2 verification — exact match on the held-out 25% split.
@@ -428,7 +473,10 @@ pub fn verification(wb: &mut Workbench) -> String {
 pub fn update_mechanism(wb: &mut Workbench) -> String {
     let before = wb.evals[1].function_accuracy(); // RI5CY
     let (backend, desc) = {
-        let rv = wb.vega.corpus.target("RISCV").unwrap();
+        let rv = match wb.vega.corpus.try_target("RISCV") {
+            Ok(t) => t,
+            Err(e) => return format!("§6 extension — skipped: {e}\n"),
+        };
         // The corrected backend: generated-and-accurate functions plus
         // reference replacements — what developers would upstream.
         let corrected = corrected_backend(&wb.vega.corpus, &wb.evals[0], &wb.backends[0]);

@@ -133,6 +133,25 @@ impl CodeBe {
         &self.curve
     }
 
+    /// The maximum input sequence length the underlying architecture was
+    /// sized for — checkpoints trained at one scale must not silently serve
+    /// longer inputs, so loaders validate against this.
+    pub fn max_len(&self) -> usize {
+        match &self.model {
+            ModelKind::Transformer(t) => t.cfg.max_len,
+            ModelKind::Gru(g) => g.cfg.max_len,
+        }
+    }
+
+    /// Short architecture name (`"transformer"` or `"gru"`), for checkpoint
+    /// metadata and load-time diagnostics.
+    pub fn arch_name(&self) -> &'static str {
+        match &self.model {
+            ModelKind::Transformer(_) => "transformer",
+            ModelKind::Gru(_) => "gru",
+        }
+    }
+
     /// Denoising pre-training: mask ~30% of pieces, reconstruct the original.
     /// Returns the running loss at the end.
     pub fn pretrain(&mut self, sequences: &[Vec<usize>], steps: usize, lr: f32, seed: u64) -> f32 {
@@ -397,6 +416,10 @@ mod tests {
         let json = m.save_json();
         let mut m2 = CodeBe::load_json(&json).unwrap();
         assert_eq!(m.generate(&seqs[0], 8), m2.generate(&seqs[0], 8));
+        // Architecture metadata survives the round trip.
+        assert_eq!(m2.arch_name(), "transformer");
+        assert_eq!(m2.max_len(), m.max_len());
+        assert_eq!(m2.vocab.len(), m.vocab.len());
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Concurrent load generator and verifier for vega-serve.
+//!
+//! ```text
+//! vega-loadgen --addr HOST:PORT [--requests N] [--conns C] [--distinct D]
+//!              [--deadline-ms MS]
+//!              [--verify-checkpoint PATH [--scale tiny|small] [--synthetic N] [--seed S]]
+//!              [--overload-burst B] [--shutdown]
+//! ```
+//!
+//! Fires `--requests` generate requests over `--conns` connections, cycling
+//! through `--distinct` (target, group) pairs so repeats exercise the cache,
+//! and reports throughput and p50/p99 latency plus the server's cache
+//! statistics. Three checks, each printed as a greppable `loadgen:` line and
+//! reflected in the exit code:
+//!
+//! * **byte-identity** — every response for a pair must be byte-identical,
+//!   and with `--verify-checkpoint` also byte-identical to a direct
+//!   in-process `generate_function` call on the same checkpoint;
+//! * **cache** — repeated requests must produce a nonzero hit rate;
+//! * **overload** (with `--overload-burst`) — a burst of distinct requests
+//!   must receive explicit `overloaded` responses, not hang.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use vega::{Scale, VegaConfig};
+use vega_obs::json::Json;
+use vega_serve::{load_checkpoint, protocol, Client};
+
+struct Args {
+    addr: String,
+    requests: usize,
+    conns: usize,
+    distinct: usize,
+    deadline_ms: Option<u64>,
+    verify_checkpoint: Option<PathBuf>,
+    scale: Scale,
+    synthetic: Option<usize>,
+    seed: u64,
+    overload_burst: usize,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        requests: 40,
+        conns: 4,
+        distinct: 5,
+        deadline_ms: None,
+        verify_checkpoint: None,
+        scale: Scale::Tiny,
+        synthetic: None,
+        seed: 0,
+        overload_burst: 0,
+        shutdown: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| argv.get(i + 1).cloned().unwrap_or_default();
+        let mut used_value = true;
+        match argv[i].as_str() {
+            "--addr" => args.addr = take(i),
+            "--requests" => args.requests = take(i).parse().unwrap_or(40),
+            "--conns" => args.conns = take(i).parse().unwrap_or(4),
+            "--distinct" => args.distinct = take(i).parse().unwrap_or(5),
+            "--deadline-ms" => args.deadline_ms = take(i).parse().ok(),
+            "--verify-checkpoint" => args.verify_checkpoint = Some(PathBuf::from(take(i))),
+            "--scale" => {
+                args.scale = match take(i).as_str() {
+                    "small" => Scale::Small,
+                    _ => Scale::Tiny,
+                }
+            }
+            "--synthetic" => args.synthetic = take(i).parse().ok(),
+            "--seed" => args.seed = take(i).parse().unwrap_or(0),
+            "--overload-burst" => args.overload_burst = take(i).parse().unwrap_or(0),
+            "--shutdown" => {
+                args.shutdown = true;
+                used_value = false;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += if used_value { 2 } else { 1 };
+    }
+    if args.addr.is_empty() {
+        eprintln!("usage: vega-loadgen --addr HOST:PORT [--requests N] …");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let ix = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[ix.min(sorted.len() - 1)]
+}
+
+/// The canonical bytes of a generate response's `result` field.
+fn result_bytes(response: &Json) -> Result<String, String> {
+    match response.field("ok") {
+        Ok(Json::Bool(true)) => {}
+        _ => return Err(format!("server returned an error: {}", response.render())),
+    }
+    response
+        .field("result")
+        .map(Json::render)
+        .map_err(|e| format!("response has no result field: {e}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failed = false;
+
+    // Discover what the server can generate.
+    let mut control = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    let names = |resp: std::io::Result<Json>, field: &str| -> Vec<String> {
+        resp.ok()
+            .and_then(|v| v.field(field).ok().cloned())
+            .and_then(|v| match v {
+                Json::Arr(items) => Some(
+                    items
+                        .iter()
+                        .filter_map(|i| i.as_str().ok().map(str::to_string))
+                        .collect(),
+                ),
+                _ => None,
+            })
+            .unwrap_or_default()
+    };
+    let targets = names(control.op("targets"), "targets");
+    let groups = names(control.op("groups"), "groups");
+    if targets.is_empty() || groups.is_empty() {
+        eprintln!("server reported no targets/groups");
+        std::process::exit(2);
+    }
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    'outer: for g in &groups {
+        for t in &targets {
+            pairs.push((t.clone(), g.clone()));
+            if pairs.len() >= args.distinct.max(1) {
+                break 'outer;
+            }
+        }
+    }
+
+    // Fire the measured load across connections.
+    let t0 = Instant::now();
+    let per_conn = args.requests.div_ceil(args.conns.max(1));
+    let workers: Vec<_> = (0..args.conns.max(1))
+        .map(|c| {
+            let addr = args.addr.clone();
+            let pairs = pairs.clone();
+            let deadline = args.deadline_ms;
+            std::thread::spawn(move || -> Result<Vec<(usize, Duration, String)>, String> {
+                let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                let mut out = Vec::new();
+                for r in 0..per_conn {
+                    let pair_ix = (c + r * 7) % pairs.len();
+                    let (target, group) = &pairs[pair_ix];
+                    let q0 = Instant::now();
+                    let resp = client
+                        .generate(target, group, deadline)
+                        .map_err(|e| format!("request: {e}"))?;
+                    let bytes = result_bytes(&resp)?;
+                    out.push((pair_ix, q0.elapsed(), bytes));
+                }
+                Ok(out)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut by_pair: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for w in workers {
+        match w.join().expect("worker thread panicked") {
+            Ok(results) => {
+                for (pair_ix, lat, bytes) in results {
+                    latencies.push(lat);
+                    by_pair.entry(pair_ix).or_default().push(bytes);
+                }
+            }
+            Err(e) => {
+                println!("loadgen: worker=FAIL ({e})");
+                failed = true;
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    latencies.sort();
+    println!(
+        "loadgen: requests={} wall={:.2}s throughput={:.1}/s p50={:.1}ms p99={:.1}ms",
+        latencies.len(),
+        wall.as_secs_f64(),
+        latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        percentile(&latencies, 0.50).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e3,
+    );
+
+    // Byte-identity across responses for the same pair.
+    let mut mismatches = 0usize;
+    for (pair_ix, renders) in &by_pair {
+        if renders.windows(2).any(|w| w[0] != w[1]) {
+            let (t, g) = &pairs[*pair_ix];
+            println!("loadgen: identity=FAIL ({t}/{g} responses differ across requests)");
+            mismatches += 1;
+        }
+    }
+
+    // Byte-identity against direct in-process generation.
+    if let Some(ckpt) = &args.verify_checkpoint {
+        let mut cfg = match args.scale {
+            Scale::Tiny => VegaConfig::tiny(),
+            Scale::Small => VegaConfig::default(),
+        };
+        if let Some(n) = args.synthetic {
+            cfg.corpus.synthetic_targets = n;
+        }
+        cfg.seed = args.seed;
+        cfg.train.seed = args.seed ^ 1;
+        let engine = load_checkpoint(ckpt)
+            .and_then(|c| c.into_engine(cfg))
+            .map(|(_, e)| e);
+        match engine {
+            Ok(engine) => {
+                for (pair_ix, renders) in &by_pair {
+                    let (t, g) = &pairs[*pair_ix];
+                    let expect = match engine.generate(t, g) {
+                        Ok((module, gf)) => protocol::render_generated(t, g, module, &gf).render(),
+                        Err(e) => {
+                            println!("loadgen: verify=FAIL (local generate {t}/{g}: {})", e.msg);
+                            mismatches += 1;
+                            continue;
+                        }
+                    };
+                    if renders.iter().any(|r| r != &expect) {
+                        println!("loadgen: verify=FAIL ({t}/{g} differs from direct generation)");
+                        mismatches += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                println!("loadgen: verify=FAIL ({e})");
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches == 0 {
+        println!(
+            "loadgen: verify=ok ({} pairs byte-identical{})",
+            by_pair.len(),
+            if args.verify_checkpoint.is_some() {
+                ", matched direct generation"
+            } else {
+                ""
+            }
+        );
+    } else {
+        failed = true;
+    }
+
+    // Server-side cache statistics.
+    match control.op("stats") {
+        Ok(v) => {
+            let get = |k: &str| -> u64 {
+                v.field("stats")
+                    .and_then(|s| s.field(k))
+                    .and_then(|n| n.as_u64())
+                    .unwrap_or(0)
+            };
+            let hits = get("cache_hits");
+            let misses = get("cache_misses");
+            let rate = 100.0 * hits as f64 / (hits + misses).max(1) as f64;
+            println!(
+                "loadgen: cache_hits={hits} cache_misses={misses} hit_rate={rate:.1}% \
+                 coalesced={} shed={} generated={}",
+                get("coalesced"),
+                get("shed"),
+                get("generated"),
+            );
+            if args.requests > pairs.len() && hits == 0 {
+                println!("loadgen: cache=FAIL (repeats sent but zero cache hits)");
+                failed = true;
+            } else {
+                println!("loadgen: cache=ok");
+            }
+        }
+        Err(e) => {
+            println!("loadgen: cache=FAIL (stats op: {e})");
+            failed = true;
+        }
+    }
+
+    // Overload probe: burst distinct uncached pairs; expect explicit sheds.
+    if args.overload_burst > 0 {
+        let mut burst_pairs: Vec<(String, String)> = Vec::new();
+        'fill: for g in groups.iter().rev() {
+            for t in targets.iter().rev() {
+                burst_pairs.push((t.clone(), g.clone()));
+                if burst_pairs.len() >= args.overload_burst {
+                    break 'fill;
+                }
+            }
+        }
+        let probes: Vec<_> = burst_pairs
+            .into_iter()
+            .map(|(t, g)| {
+                let addr = args.addr.clone();
+                std::thread::spawn(move || -> Result<String, String> {
+                    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                    let resp = client
+                        .generate(&t, &g, Some(60_000))
+                        .map_err(|e| format!("request: {e}"))?;
+                    match resp.field("ok") {
+                        Ok(Json::Bool(true)) => Ok("ok".to_string()),
+                        _ => Ok(resp
+                            .field("error")
+                            .ok()
+                            .and_then(|e| e.as_str().ok().map(str::to_string))
+                            .unwrap_or_else(|| "unknown".to_string())),
+                    }
+                })
+            })
+            .collect();
+        let mut overloaded = 0usize;
+        let mut answered = 0usize;
+        for p in probes {
+            match p.join().expect("probe thread panicked") {
+                Ok(code) => {
+                    answered += 1;
+                    if code == "overloaded" {
+                        overloaded += 1;
+                    }
+                }
+                Err(e) => {
+                    println!("loadgen: overload=FAIL (probe error: {e})");
+                    failed = true;
+                }
+            }
+        }
+        if overloaded > 0 {
+            println!(
+                "loadgen: overload=ok ({overloaded}/{answered} probes shed with `overloaded`)"
+            );
+        } else {
+            println!("loadgen: overload=FAIL (no probe was shed; {answered} answered)");
+            failed = true;
+        }
+    }
+
+    if args.shutdown {
+        match control.op("shutdown") {
+            Ok(v) if matches!(v.field("ok"), Ok(Json::Bool(true))) => {
+                println!("loadgen: shutdown=ok");
+            }
+            other => {
+                println!("loadgen: shutdown=FAIL ({other:?})");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,171 @@
+//! The vega-serve daemon.
+//!
+//! ```text
+//! vega-serve --checkpoint PATH [--scale tiny|small] [--synthetic N] [--seed S]
+//!            [--addr HOST:PORT] [--port-file PATH]
+//!            [--cache-cap N] [--queue-cap N] [--batch N] [--threads N]
+//!            [--deadline-ms MS] [--slow-ms MS] [--trace-out PATH]
+//! ```
+//!
+//! Loads the checkpoint, rebuilds Stage-1 artifacts for the configured corpus
+//! (must match the checkpoint's training configuration), binds, and serves
+//! until a client sends `{"op":"shutdown"}` (or the process is killed).
+//! `--port-file` writes the resolved port for scripts binding port 0;
+//! `--slow-ms` injects per-generation latency so tests can provoke overload.
+
+use std::path::PathBuf;
+use vega::{Scale, VegaConfig};
+use vega_serve::{load_checkpoint, ServeConfig, Server};
+
+struct Args {
+    checkpoint: PathBuf,
+    scale: Scale,
+    synthetic: Option<usize>,
+    seed: u64,
+    port_file: Option<PathBuf>,
+    threads: Option<usize>,
+    deadline_ms: Option<u64>,
+    trace_out: Option<PathBuf>,
+    serve: ServeConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        checkpoint: PathBuf::new(),
+        scale: Scale::Tiny,
+        synthetic: None,
+        seed: 0,
+        port_file: None,
+        threads: None,
+        deadline_ms: None,
+        trace_out: None,
+        serve: ServeConfig::default(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: usize| argv.get(i + 1).cloned().unwrap_or_default();
+        match argv[i].as_str() {
+            "--checkpoint" => args.checkpoint = PathBuf::from(take(i)),
+            "--scale" => {
+                args.scale = match take(i).as_str() {
+                    "small" => Scale::Small,
+                    _ => Scale::Tiny,
+                }
+            }
+            "--synthetic" => args.synthetic = take(i).parse().ok(),
+            "--seed" => args.seed = take(i).parse().unwrap_or(0),
+            "--addr" => args.serve.addr = take(i),
+            "--port-file" => args.port_file = Some(PathBuf::from(take(i))),
+            "--cache-cap" => args.serve.cache_cap = take(i).parse().unwrap_or(512),
+            "--queue-cap" => args.serve.queue_cap = take(i).parse().unwrap_or(64),
+            "--batch" => args.serve.batch = take(i).parse().unwrap_or(0),
+            "--threads" => args.threads = take(i).parse().ok(),
+            "--deadline-ms" => args.deadline_ms = take(i).parse().ok(),
+            "--slow-ms" => args.serve.slow_ms = take(i).parse().unwrap_or(0),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(take(i))),
+            other => {
+                vega_obs::error!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if args.checkpoint.as_os_str().is_empty() {
+        vega_obs::error!(
+            "usage: vega-serve --checkpoint PATH [--scale tiny|small] [--addr HOST:PORT] …"
+        );
+        std::process::exit(2);
+    }
+    args
+}
+
+fn config_from(args: &Args) -> VegaConfig {
+    let mut cfg = match args.scale {
+        Scale::Tiny => VegaConfig::tiny(),
+        Scale::Small => VegaConfig::default(),
+    };
+    if let Some(n) = args.synthetic {
+        cfg.corpus.synthetic_targets = n;
+    }
+    cfg.seed = args.seed;
+    cfg.train.seed = args.seed ^ 1;
+    cfg
+}
+
+fn main() {
+    let mut args = parse_args();
+    if let Some(n) = args.threads {
+        vega_par::set_threads(n);
+    }
+    if let Some(d) = args.deadline_ms {
+        args.serve.default_deadline_ms = d;
+    }
+
+    let checkpoint = match load_checkpoint(&args.checkpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            vega_obs::error!("{e}");
+            std::process::exit(2);
+        }
+    };
+    vega_obs::info!(
+        "[vega-serve] checkpoint {} ({}, {} pieces, max_len {}, {} bytes)",
+        checkpoint.meta.path.display(),
+        checkpoint.meta.arch,
+        checkpoint.meta.vocab_pieces,
+        checkpoint.meta.max_len,
+        checkpoint.meta.bytes
+    );
+    let (_meta, engine) = match checkpoint.into_engine(config_from(&args)) {
+        Ok(v) => v,
+        Err(e) => {
+            vega_obs::error!("{e}");
+            std::process::exit(2);
+        }
+    };
+    vega_obs::info!(
+        "[vega-serve] engine ready: {} targets, {} groups",
+        engine.target_names().len(),
+        engine.group_names().len()
+    );
+
+    let server = match Server::start(engine, args.serve.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            vega_obs::error!("cannot bind {}: {e}", args.serve.addr);
+            std::process::exit(2);
+        }
+    };
+    let addr = server.local_addr();
+    // The listening line goes to stdout (scripts wait for it); everything
+    // else is on the obs event log.
+    println!("listening on {addr}");
+    if let Some(pf) = &args.port_file {
+        if let Err(e) = std::fs::write(pf, addr.port().to_string()) {
+            vega_obs::error!("cannot write port file {}: {e}", pf.display());
+            server.shutdown();
+            server.join();
+            std::process::exit(2);
+        }
+    }
+
+    let stats = server.join_with_stats();
+    println!(
+        "served requests={} cache_hits={} cache_misses={} coalesced={} shed={} \
+         deadline_exceeded={} generated={}",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.coalesced,
+        stats.shed,
+        stats.deadline_exceeded,
+        stats.generated
+    );
+    if let Some(path) = &args.trace_out {
+        match vega_obs::global().write_trace(path) {
+            Ok(()) => vega_obs::info!("trace written to {}", path.display()),
+            Err(e) => vega_obs::error!("failed to write trace {}: {e}", path.display()),
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! A minimal blocking client for the line-delimited JSON protocol, shared by
+//! `vega-loadgen` and the integration tests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use vega_obs::json::Json;
+
+/// One TCP connection speaking the vega-serve protocol.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects. Reads are capped at ten minutes so a dead server surfaces
+    /// as an error, never a hang.
+    ///
+    /// # Errors
+    /// Propagates connect/configure errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    /// Propagates socket errors; an EOF before a full line arrives is
+    /// reported as `UnexpectedEof`.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line_bytes: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line_bytes).trim().to_string());
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before a response line arrived",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+
+    /// Sends a request value and parses the response.
+    ///
+    /// # Errors
+    /// Socket errors, plus `InvalidData` when the response is not JSON.
+    pub fn request(&mut self, req: &Json) -> std::io::Result<Json> {
+        let line = self.request_raw(&req.render())?;
+        Json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response line: {e}"),
+            )
+        })
+    }
+
+    /// Convenience: a `generate` request.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn generate(
+        &mut self,
+        target: &str,
+        group: &str,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Json> {
+        let mut fields = vec![
+            ("op", Json::str("generate")),
+            ("target", Json::str(target)),
+            ("group", Json::str(group)),
+        ];
+        if let Some(d) = deadline_ms {
+            fields.push(("deadline_ms", Json::num_u64(d)));
+        }
+        self.request(&Json::obj(fields))
+    }
+
+    /// Convenience: a bare-`op` request (`ping`, `stats`, `shutdown`, …).
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn op(&mut self, op: &str) -> std::io::Result<Json> {
+        self.request(&Json::obj([("op", Json::str(op))]))
+    }
+}

@@ -1,0 +1,199 @@
+//! The generation engine: a trained [`Vega`] pipeline prepared for serving.
+//!
+//! Stage-1 artifacts (templates, features, the `PropList` catalog) and each
+//! target's description index are built once at startup; request handling
+//! only reads them. Cache keys are content addresses over everything a
+//! generation depends on: the model checkpoint, the target's description
+//! files, and the encoded signature feature vector — two requests with equal
+//! keys are guaranteed byte-identical generations, so the server may answer
+//! the second from cache.
+
+use crate::hash::StableHasher;
+use crate::protocol::ErrorKind;
+use std::collections::BTreeMap;
+use vega::{generate_function, signature_feature_input, GeneratedFunction, TgtIndex, Vega};
+use vega_corpus::Module;
+use vega_model::CodeBe;
+
+/// A serving-layer failure with its protocol error kind.
+#[derive(Debug, Clone)]
+pub struct EngineError {
+    /// Protocol error classification.
+    pub kind: ErrorKind,
+    /// Human-readable description (names the unknown target/group and lists
+    /// what exists).
+    pub msg: String,
+}
+
+/// Per-target serving state.
+#[derive(Debug)]
+struct TargetCtx {
+    /// The description-file index Stage 3 resolves values against.
+    ix: TgtIndex,
+    /// Content digest of the description files — part of every cache key, so
+    /// a corpus rebuilt with different descriptions can never alias an old
+    /// cache entry.
+    digest: String,
+}
+
+/// A trained pipeline plus precomputed per-target serving state.
+pub struct Engine {
+    vega: Vega,
+    targets: BTreeMap<String, TargetCtx>,
+    model_digest: String,
+}
+
+impl Engine {
+    /// Prepares `vega` for serving: indexes every corpus target and
+    /// fingerprints the model.
+    pub fn new(vega: Vega) -> Self {
+        let mut targets = BTreeMap::new();
+        for t in vega.corpus.targets() {
+            let mut h = StableHasher::new();
+            for (path, content) in t.descriptions.iter() {
+                h.write_str(path);
+                h.write_str(content);
+            }
+            targets.insert(
+                t.spec.name.clone(),
+                TargetCtx {
+                    ix: TgtIndex::build(&t.descriptions),
+                    digest: h.finish_hex(),
+                },
+            );
+        }
+        let model_digest = crate::hash::digest_str(&vega.model().save_json());
+        Engine {
+            vega,
+            targets,
+            model_digest,
+        }
+    }
+
+    /// The underlying pipeline.
+    pub fn vega(&self) -> &Vega {
+        &self.vega
+    }
+
+    /// Servable target names, in corpus order.
+    pub fn target_names(&self) -> Vec<String> {
+        self.vega
+            .corpus
+            .targets()
+            .iter()
+            .map(|t| t.spec.name.clone())
+            .collect()
+    }
+
+    /// Interface-function group names, in template order.
+    pub fn group_names(&self) -> Vec<String> {
+        self.vega.templates.keys().cloned().collect()
+    }
+
+    /// A fresh model replica for a dispatcher worker.
+    pub fn replica(&self) -> CodeBe {
+        self.vega.model().clone()
+    }
+
+    /// Checks that `target` is servable.
+    ///
+    /// # Errors
+    /// [`EngineError`] with [`ErrorKind::UnknownTarget`] listing the targets
+    /// that exist.
+    pub fn validate_target(&self, target: &str) -> Result<(), EngineError> {
+        self.target_ctx(target).map(|_| ())
+    }
+
+    fn target_ctx(&self, target: &str) -> Result<&TargetCtx, EngineError> {
+        match self.vega.corpus.try_target(target) {
+            Ok(_) => Ok(&self.targets[target]),
+            Err(e) => Err(EngineError {
+                kind: ErrorKind::UnknownTarget,
+                msg: e.to_string(),
+            }),
+        }
+    }
+
+    fn bundle(&self, group: &str) -> Result<&vega::TemplateBundle, EngineError> {
+        self.vega.templates.get(group).ok_or_else(|| EngineError {
+            kind: ErrorKind::UnknownGroup,
+            msg: format!(
+                "unknown function group `{group}`; available groups: {}",
+                self.group_names().join(", ")
+            ),
+        })
+    }
+
+    /// The content address of one `(target, group)` generation.
+    ///
+    /// The key covers the model digest, the target name and its description
+    /// digest, the group name, and the exact signature feature-vector ids
+    /// the model would be fed. Everything downstream of the signature input
+    /// (body feature vectors, candidate ranking) is a deterministic function
+    /// of the same description index, so equal keys imply byte-identical
+    /// generations.
+    ///
+    /// # Errors
+    /// [`EngineError`] with [`ErrorKind::UnknownTarget`] or
+    /// [`ErrorKind::UnknownGroup`].
+    pub fn cache_key(&self, target: &str, group: &str) -> Result<String, EngineError> {
+        let ctx = self.target_ctx(target)?;
+        let bundle = self.bundle(group)?;
+        let sig_input = signature_feature_input(
+            &self.vega.model().vocab,
+            target,
+            &bundle.template,
+            &bundle.features,
+            &ctx.ix,
+            &self.vega.catalog,
+            self.vega.max_input_len(),
+        );
+        let mut h = StableHasher::new();
+        h.write_str("vega-serve/v1");
+        h.write_str(&self.model_digest);
+        h.write_str(target);
+        h.write_str(&ctx.digest);
+        h.write_str(group);
+        h.write_ids(&sig_input);
+        Ok(h.finish_hex())
+    }
+
+    /// Generates one function on the given model replica.
+    ///
+    /// # Errors
+    /// [`EngineError`] with [`ErrorKind::UnknownTarget`] or
+    /// [`ErrorKind::UnknownGroup`].
+    pub fn generate_with(
+        &self,
+        model: &mut CodeBe,
+        target: &str,
+        group: &str,
+    ) -> Result<(Module, GeneratedFunction), EngineError> {
+        let ctx = self.target_ctx(target)?;
+        let bundle = self.bundle(group)?;
+        let gf = generate_function(
+            model,
+            target,
+            &bundle.template,
+            &bundle.features,
+            &ctx.ix,
+            &self.vega.catalog,
+            self.vega.max_input_len(),
+        );
+        Ok((bundle.module, gf))
+    }
+
+    /// Generates one function on a one-off replica (the reference path the
+    /// loadgen verifier compares server responses against).
+    ///
+    /// # Errors
+    /// See [`Engine::generate_with`].
+    pub fn generate(
+        &self,
+        target: &str,
+        group: &str,
+    ) -> Result<(Module, GeneratedFunction), EngineError> {
+        let mut replica = self.replica();
+        self.generate_with(&mut replica, target, group)
+    }
+}

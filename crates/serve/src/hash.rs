@@ -1,0 +1,111 @@
+//! Stable content hashing for cache keys.
+//!
+//! The generation cache is *content-addressed*: its key must be a pure
+//! function of everything that determines a generation's bytes, and it must
+//! be stable across runs, platforms and thread counts (the JSONL trace and
+//! the loadgen verifier both compare keys textually). `std`'s `DefaultHasher`
+//! is explicitly not stable across releases, so this module carries a
+//! fixed-constant FNV-1a over two independent 64-bit lanes — 128 bits keeps
+//! accidental collisions out of reach for any realistic cache size.
+
+/// Incremental 128-bit FNV-1a hasher (two independently-seeded 64-bit lanes).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    lo: u64,
+    hi: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Second-lane offset: the first lane's offset rehashed with a domain tag, so
+/// the lanes never agree by construction.
+const FNV_OFFSET_HI: u64 = 0xaf63_bd4c_8601_b7df;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        StableHasher {
+            lo: FNV_OFFSET,
+            hi: FNV_OFFSET_HI,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b ^ 0x5a)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a `usize` as 8 little-endian bytes.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+
+    /// Feeds a `usize` slice, length-prefixed.
+    pub fn write_ids(&mut self, ids: &[usize]) {
+        self.write_usize(ids.len());
+        for &id in ids {
+            self.write_usize(id);
+        }
+    }
+
+    /// The 128-bit digest as a fixed-width lowercase hex string.
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// One-shot digest of a string (used for target-description fingerprints).
+pub fn digest_str(s: &str) -> String {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_and_distinct() {
+        assert_eq!(digest_str("abc"), digest_str("abc"));
+        assert_ne!(digest_str("abc"), digest_str("abd"));
+        assert_ne!(digest_str(""), digest_str("\0"));
+        // Fixed-width hex: the key format is part of the trace contract.
+        assert_eq!(digest_str("x").len(), 32);
+        assert!(digest_str("x").chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish_hex(), b.finish_hex());
+
+        let mut c = StableHasher::new();
+        c.write_ids(&[1, 2]);
+        c.write_ids(&[3]);
+        let mut d = StableHasher::new();
+        d.write_ids(&[1, 2, 3]);
+        d.write_ids(&[]);
+        assert_ne!(c.finish_hex(), d.finish_hex());
+    }
+}

@@ -1,0 +1,239 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, over a plain TCP
+//! stream. Every request is a JSON object with an `op` field and an optional
+//! `id` the server echoes back verbatim, so clients may pipeline requests.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id":1,"op":"generate","target":"RISCV","group":"getRelocType","deadline_ms":2000}
+//! {"id":2,"op":"backend","target":"RI5CY"}
+//! {"op":"targets"}   {"op":"groups"}   {"op":"stats"}   {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are `{"id":…,"ok":true,…}` or
+//! `{"id":…,"ok":false,"error":"<kind>","message":"…"}`. Generation
+//! responses carry the rendered function in `result` plus `cached` /
+//! `coalesced` flags; `result` is
+//! rendered by [`render_generated`] on both the serving and the verifying
+//! side, which is what makes byte-identity checkable.
+
+use vega::{GeneratedFunction, SIG_NODE};
+use vega_corpus::Module;
+use vega_obs::json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Generate one interface function for a target.
+    Generate {
+        /// Target namespace (e.g. `RISCV`).
+        target: String,
+        /// Interface-function group (e.g. `getRelocType`).
+        group: String,
+        /// Per-request deadline; the server default applies when absent.
+        deadline_ms: Option<u64>,
+    },
+    /// Generate every interface function for a target.
+    Backend {
+        /// Target namespace.
+        target: String,
+        /// Per-request deadline over the whole backend.
+        deadline_ms: Option<u64>,
+    },
+    /// List the servable targets.
+    Targets,
+    /// List the interface-function groups.
+    Groups,
+    /// Server/cache/queue statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful shutdown.
+    Shutdown,
+}
+
+/// Machine-readable error kinds (`error` field of failure responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed request line.
+    BadRequest,
+    /// Target not in the corpus.
+    UnknownTarget,
+    /// Interface group not templated.
+    UnknownGroup,
+    /// Bounded queue full — request shed, retry later.
+    Overloaded,
+    /// Deadline elapsed before the request was dispatched.
+    DeadlineExceeded,
+    /// Server is draining; no new work accepted.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire spelling.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownTarget => "unknown_target",
+            ErrorKind::UnknownGroup => "unknown_group",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Parses one request line. On failure the caller still gets the request's
+/// `id` (when one could be extracted) for the error response.
+///
+/// # Errors
+/// Returns the extracted `id` and a description of what was malformed.
+pub fn parse_request(line: &str) -> Result<(Json, Request), (Json, String)> {
+    let v = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return Err((Json::Null, format!("unparseable request: {e}"))),
+    };
+    let id = v.field("id").cloned().unwrap_or(Json::Null);
+    let op = match v.field("op").and_then(|o| o.as_str()) {
+        Ok(op) => op.to_string(),
+        Err(_) => return Err((id, "missing string field `op`".to_string())),
+    };
+    let str_field = |name: &str| -> Result<String, (Json, String)> {
+        v.field(name)
+            .and_then(|f| f.as_str())
+            .map(str::to_string)
+            .map_err(|_| (id.clone(), format!("op `{op}` needs string field `{name}`")))
+    };
+    let deadline = v.field("deadline_ms").ok().and_then(|d| d.as_u64().ok());
+    let req = match op.as_str() {
+        "generate" => Request::Generate {
+            target: str_field("target")?,
+            group: str_field("group")?,
+            deadline_ms: deadline,
+        },
+        "backend" => Request::Backend {
+            target: str_field("target")?,
+            deadline_ms: deadline,
+        },
+        "targets" => Request::Targets,
+        "groups" => Request::Groups,
+        "stats" => Request::Stats,
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        other => return Err((id, format!("unknown op `{other}`"))),
+    };
+    Ok((id, req))
+}
+
+/// Renders a generation result as the canonical `result` payload. The server
+/// caches this rendering and `vega-loadgen` recomputes it locally from a
+/// direct [`vega::generate_function`] call, so its bytes must be a pure
+/// function of the generation — no timestamps, no server state.
+pub fn render_generated(target: &str, group: &str, module: Module, gf: &GeneratedFunction) -> Json {
+    let stmts: Vec<Json> = gf
+        .stmts
+        .iter()
+        .map(|s| {
+            Json::obj([
+                (
+                    "node",
+                    if s.node == SIG_NODE {
+                        Json::num_i64(-1)
+                    } else {
+                        Json::num_usize(s.node)
+                    },
+                ),
+                ("score", Json::num_f64(s.score)),
+                ("kept", Json::Bool(s.kept)),
+                ("line", Json::str(s.line.clone())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("target", Json::str(target)),
+        ("group", Json::str(group)),
+        ("module", Json::str(module.code())),
+        ("confidence", Json::num_f64(gf.confidence)),
+        ("multi_source", Json::Bool(gf.multi_source)),
+        (
+            "function",
+            match &gf.function {
+                Some(f) => Json::str(vega_cpplite::render_function(f)),
+                None => Json::Null,
+            },
+        ),
+        ("stmts", Json::Arr(stmts)),
+    ])
+}
+
+/// A success envelope around extra fields.
+pub fn ok_response(id: &Json, fields: impl IntoIterator<Item = (&'static str, Json)>) -> String {
+    let mut all = vec![
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Json::Bool(true)),
+    ];
+    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(all).render()
+}
+
+/// A failure envelope.
+pub fn err_response(id: &Json, kind: ErrorKind, message: &str) -> String {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(kind.code())),
+        ("message", Json::str(message)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_generate_and_preserves_id() {
+        let (id, req) =
+            parse_request(r#"{"id":42,"op":"generate","target":"RISCV","group":"getRelocType"}"#)
+                .unwrap();
+        assert_eq!(id, Json::Num("42".into()));
+        assert_eq!(
+            req,
+            Request::Generate {
+                target: "RISCV".into(),
+                group: "getRelocType".into(),
+                deadline_ms: None,
+            }
+        );
+        let (_, req) = parse_request(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(req, Request::Ping);
+    }
+
+    #[test]
+    fn malformed_requests_keep_the_id_for_the_error() {
+        let (id, msg) = parse_request(r#"{"id":"a","op":"generate"}"#).unwrap_err();
+        assert_eq!(id, Json::Str("a".into()));
+        assert!(msg.contains("target"), "{msg}");
+        let (id, _) = parse_request("not json").unwrap_err();
+        assert_eq!(id, Json::Null);
+        let (_, msg) = parse_request(r#"{"op":"frobnicate"}"#).unwrap_err();
+        assert!(msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn envelopes_roundtrip_through_the_parser() {
+        let ok = ok_response(&Json::num_i64(7), [("pong", Json::Bool(true))]);
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.field("ok").unwrap(), &Json::Bool(true));
+        assert_eq!(v.field("id").unwrap(), &Json::Num("7".into()));
+        let err = err_response(&Json::Null, ErrorKind::Overloaded, "queue full");
+        let v = Json::parse(&err).unwrap();
+        assert_eq!(v.field("error").unwrap().as_str().unwrap(), "overloaded");
+    }
+}

@@ -1,0 +1,651 @@
+//! The TCP service: bounded request queue, coalescing, batched dispatch.
+//!
+//! One thread accepts connections, one thread per connection parses requests,
+//! and a single dispatcher thread drains the bounded queue in micro-batches,
+//! fanning each batch across a fixed pool of model replicas via `vega-par`.
+//! The control rules, in order, for a `generate` request:
+//!
+//! 1. **Cache** — if the content address is cached, answer immediately.
+//! 2. **Coalesce** — if the same key is already queued or generating, attach
+//!    to it; coalesced requests consume no queue slot and all attached
+//!    requests receive the identical payload.
+//! 3. **Backpressure** — if the queue holds `queue_cap` jobs, shed with an
+//!    explicit `overloaded` response. The server never blocks an enqueue.
+//! 4. **Deadline** — a job dequeued after its deadline is answered with
+//!    `deadline_exceeded` instead of being generated.
+//! 5. **Shutdown** — after shutdown begins, new work is refused with
+//!    `shutting_down`, but everything already queued is generated and
+//!    answered before the dispatcher exits.
+
+use crate::engine::Engine;
+use crate::lru::LruCache;
+use crate::protocol::{self, ErrorKind, Request};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vega_model::CodeBe;
+use vega_obs::json::Json;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Generation-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Bounded queue capacity; a full queue sheds with `overloaded`.
+    pub queue_cap: usize,
+    /// Micro-batch size == model replica pool size (0 → `vega_par::threads()`).
+    pub batch: usize,
+    /// Deadline applied when a request carries none.
+    pub default_deadline_ms: u64,
+    /// Fault injection: sleep this long inside every fresh generation (used
+    /// by tests and CI to provoke queue overflow deterministically).
+    pub slow_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_cap: 512,
+            queue_cap: 64,
+            batch: 0,
+            default_deadline_ms: 120_000,
+            slow_ms: 0,
+        }
+    }
+}
+
+/// A queued generation job.
+struct Job {
+    key: String,
+    target: String,
+    group: String,
+    deadline: Instant,
+}
+
+/// What a waiter receives when its job resolves.
+#[derive(Debug, Clone)]
+enum Outcome {
+    Done { payload: Json },
+    Failed { kind: ErrorKind, msg: String },
+}
+
+/// Mutable server state, all under one lock (requests touch it for
+/// microseconds; generation happens outside it).
+struct State {
+    queue: VecDeque<Job>,
+    inflight: BTreeMap<String, Vec<Sender<Outcome>>>,
+    cache: LruCache<Json>,
+    shutting_down: bool,
+    requests: u64,
+    coalesced: u64,
+    shed: u64,
+    deadline_exceeded: u64,
+    generated: u64,
+}
+
+/// A point-in-time statistics snapshot (also the `stats` op payload).
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Generate submissions seen (including cache hits and shed requests).
+    pub requests: u64,
+    /// Cache lookups that answered immediately.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing.
+    pub cache_misses: u64,
+    /// Entries evicted to make room.
+    pub cache_evictions: u64,
+    /// Entries currently cached.
+    pub cache_len: u64,
+    /// Requests attached to an already-pending identical job.
+    pub coalesced: u64,
+    /// Requests shed with `overloaded`.
+    pub shed: u64,
+    /// Jobs answered with `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Fresh (non-cached) generations performed.
+    pub generated: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+}
+
+impl ServeStats {
+    /// Renders the snapshot as the `stats` payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::num_u64(self.requests)),
+            ("cache_hits", Json::num_u64(self.cache_hits)),
+            ("cache_misses", Json::num_u64(self.cache_misses)),
+            ("cache_evictions", Json::num_u64(self.cache_evictions)),
+            ("cache_len", Json::num_u64(self.cache_len)),
+            ("coalesced", Json::num_u64(self.coalesced)),
+            ("shed", Json::num_u64(self.shed)),
+            ("deadline_exceeded", Json::num_u64(self.deadline_exceeded)),
+            ("generated", Json::num_u64(self.generated)),
+            ("queue_depth", Json::num_u64(self.queue_depth)),
+        ])
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    replicas: Vec<Mutex<CodeBe>>,
+}
+
+/// A running vega-serve instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept and dispatcher threads, and returns.
+    ///
+    /// # Errors
+    /// Propagates socket bind errors.
+    pub fn start(engine: Engine, mut cfg: ServeConfig) -> std::io::Result<Server> {
+        if cfg.batch == 0 {
+            cfg.batch = vega_par::threads().max(1);
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let replicas = (0..cfg.batch)
+            .map(|_| Mutex::new(engine.replica()))
+            .collect();
+        let cache = LruCache::new(cfg.cache_cap);
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight: BTreeMap::new(),
+                cache,
+                shutting_down: false,
+                requests: 0,
+                coalesced: 0,
+                shed: 0,
+                deadline_exceeded: 0,
+                generated: 0,
+            }),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            replicas,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatcher_loop(&shared))
+        };
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(&shared, &listener, &conns))
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Begins graceful shutdown (idempotent): queued work is finished, new
+    /// work is refused, all threads exit.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        snapshot(&self.shared)
+    }
+
+    /// As [`Server::join`], returning the final statistics snapshot.
+    pub fn join_with_stats(self) -> ServeStats {
+        let shared = Arc::clone(&self.shared);
+        self.join();
+        snapshot(&shared)
+    }
+
+    /// Blocks until the server has fully stopped (call [`Server::shutdown`]
+    /// first, or have a client send the `shutdown` op).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+fn snapshot(shared: &Shared) -> ServeStats {
+    let st = shared.state.lock().unwrap();
+    ServeStats {
+        requests: st.requests,
+        cache_hits: st.cache.hits(),
+        cache_misses: st.cache.misses(),
+        cache_evictions: st.cache.evictions(),
+        cache_len: st.cache.len() as u64,
+        coalesced: st.coalesced,
+        shed: st.shed,
+        deadline_exceeded: st.deadline_exceeded,
+        generated: st.generated,
+        queue_depth: st.queue.len() as u64,
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    vega_obs::info!("[vega-serve] shutdown requested; draining queue");
+    shared.state.lock().unwrap().shutting_down = true;
+    shared.work_cv.notify_all();
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, conns: &Mutex<Vec<JoinHandle<()>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || handle_conn(&shared, stream));
+        conns.lock().unwrap().push(handle);
+    }
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    // Short read timeouts keep the thread responsive to shutdown without
+    // busy-waiting.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = handle_line(shared, line);
+            if stream.write_all(response.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(shared: &Shared, line: &str) -> String {
+    let (id, req) = match protocol::parse_request(line) {
+        Ok(parsed) => parsed,
+        Err((id, msg)) => return protocol::err_response(&id, ErrorKind::BadRequest, &msg),
+    };
+    match req {
+        Request::Ping => protocol::ok_response(&id, [("pong", Json::Bool(true))]),
+        Request::Targets => protocol::ok_response(
+            &id,
+            [(
+                "targets",
+                Json::Arr(
+                    shared
+                        .engine
+                        .target_names()
+                        .into_iter()
+                        .map(Json::str)
+                        .collect(),
+                ),
+            )],
+        ),
+        Request::Groups => protocol::ok_response(
+            &id,
+            [(
+                "groups",
+                Json::Arr(
+                    shared
+                        .engine
+                        .group_names()
+                        .into_iter()
+                        .map(Json::str)
+                        .collect(),
+                ),
+            )],
+        ),
+        Request::Stats => protocol::ok_response(&id, [("stats", snapshot(shared).to_json())]),
+        Request::Shutdown => {
+            trigger_shutdown(shared);
+            protocol::ok_response(&id, [("stopping", Json::Bool(true))])
+        }
+        Request::Generate {
+            target,
+            group,
+            deadline_ms,
+        } => handle_generate(shared, &id, &target, &group, deadline_ms),
+        Request::Backend {
+            target,
+            deadline_ms,
+        } => handle_backend(shared, &id, &target, deadline_ms),
+    }
+}
+
+fn handle_generate(
+    shared: &Shared,
+    id: &Json,
+    target: &str,
+    group: &str,
+    deadline_ms: Option<u64>,
+) -> String {
+    let obs = vega_obs::global();
+    let span = obs.span("serve.request");
+    let t0 = Instant::now();
+    let deadline_ms = deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
+    let deadline = t0 + Duration::from_millis(deadline_ms);
+    let response = match submit(shared, target, group, deadline) {
+        Submit::Cached(payload) => generate_ok(id, true, false, payload),
+        Submit::Wait { rx, coalesced } => wait_outcome(&rx, deadline_ms, id, coalesced),
+        Submit::Shed => protocol::err_response(
+            id,
+            ErrorKind::Overloaded,
+            &format!(
+                "queue full ({} jobs); request shed, retry later",
+                shared.cfg.queue_cap
+            ),
+        ),
+        Submit::ShuttingDown => {
+            protocol::err_response(id, ErrorKind::ShuttingDown, "server is draining")
+        }
+        Submit::Reject { kind, msg } => protocol::err_response(id, kind, &msg),
+    };
+    obs.observe("serve.request_seconds", t0.elapsed().as_secs_f64());
+    let _ = span.finish();
+    response
+}
+
+fn generate_ok(id: &Json, cached: bool, coalesced: bool, payload: Json) -> String {
+    protocol::ok_response(
+        id,
+        [
+            ("cached", Json::Bool(cached)),
+            ("coalesced", Json::Bool(coalesced)),
+            ("result", payload),
+        ],
+    )
+}
+
+/// Waits for a queued job's outcome. The wait is bounded (deadline plus a
+/// wide dispatch margin) so a lost job can never hang the connection.
+fn wait_outcome(rx: &Receiver<Outcome>, deadline_ms: u64, id: &Json, coalesced: bool) -> String {
+    let margin = Duration::from_millis(deadline_ms) + Duration::from_secs(300);
+    match rx.recv_timeout(margin) {
+        Ok(Outcome::Done { payload }) => generate_ok(id, false, coalesced, payload),
+        Ok(Outcome::Failed { kind, msg }) => protocol::err_response(id, kind, &msg),
+        Err(_) => protocol::err_response(
+            id,
+            ErrorKind::Internal,
+            "generation worker did not answer within the dispatch margin",
+        ),
+    }
+}
+
+fn handle_backend(shared: &Shared, id: &Json, target: &str, deadline_ms: Option<u64>) -> String {
+    let obs = vega_obs::global();
+    let span = obs.span("serve.request");
+    let t0 = Instant::now();
+    if let Err(e) = shared.engine.validate_target(target) {
+        let _ = span.finish();
+        return protocol::err_response(id, e.kind, &e.msg);
+    }
+    // Sub-requests run sequentially through the same cache/queue path, so a
+    // backend request holds at most one queue slot at a time and repeated
+    // backends are served from cache. The deadline spans the whole backend.
+    let overall_ms = deadline_ms.unwrap_or(
+        shared.cfg.default_deadline_ms * shared.engine.group_names().len().max(1) as u64,
+    );
+    let deadline = t0 + Duration::from_millis(overall_ms);
+    let mut functions = Vec::new();
+    let mut errors = Vec::new();
+    for group in shared.engine.group_names() {
+        let outcome = match submit(shared, target, &group, deadline) {
+            Submit::Cached(payload) => Ok(payload),
+            Submit::Wait { rx, .. } => match rx.recv_timeout(
+                deadline.saturating_duration_since(Instant::now()) + Duration::from_secs(300),
+            ) {
+                Ok(Outcome::Done { payload }) => Ok(payload),
+                Ok(Outcome::Failed { kind, msg }) => Err((kind, msg)),
+                Err(_) => Err((
+                    ErrorKind::Internal,
+                    "generation worker did not answer".to_string(),
+                )),
+            },
+            Submit::Shed => Err((ErrorKind::Overloaded, "queue full".to_string())),
+            Submit::ShuttingDown => {
+                Err((ErrorKind::ShuttingDown, "server is draining".to_string()))
+            }
+            Submit::Reject { kind, msg } => Err((kind, msg)),
+        };
+        match outcome {
+            Ok(payload) => functions.push(payload),
+            Err((kind, msg)) => errors.push(Json::obj([
+                ("group", Json::str(group.clone())),
+                ("error", Json::str(kind.code())),
+                ("message", Json::str(msg)),
+            ])),
+        }
+    }
+    let response = protocol::ok_response(
+        id,
+        [
+            ("target", Json::str(target)),
+            ("functions", Json::Arr(functions)),
+            ("errors", Json::Arr(errors)),
+        ],
+    );
+    obs.observe("serve.request_seconds", t0.elapsed().as_secs_f64());
+    let _ = span.finish();
+    response
+}
+
+enum Submit {
+    Cached(Json),
+    Wait {
+        rx: Receiver<Outcome>,
+        coalesced: bool,
+    },
+    Shed,
+    ShuttingDown,
+    Reject {
+        kind: ErrorKind,
+        msg: String,
+    },
+}
+
+fn submit(shared: &Shared, target: &str, group: &str, deadline: Instant) -> Submit {
+    let key = match shared.engine.cache_key(target, group) {
+        Ok(k) => k,
+        Err(e) => {
+            return Submit::Reject {
+                kind: e.kind,
+                msg: e.msg,
+            }
+        }
+    };
+    let obs = vega_obs::global();
+    let mut st = shared.state.lock().unwrap();
+    st.requests += 1;
+    obs.counter_add("serve.requests", 1);
+    if let Some(payload) = st.cache.get(&key) {
+        obs.counter_add("serve.cache.hits", 1);
+        return Submit::Cached(payload);
+    }
+    let (tx, rx) = channel();
+    if let Some(waiters) = st.inflight.get_mut(&key) {
+        waiters.push(tx);
+        st.coalesced += 1;
+        obs.counter_add("serve.coalesced", 1);
+        return Submit::Wait {
+            rx,
+            coalesced: true,
+        };
+    }
+    obs.counter_add("serve.cache.misses", 1);
+    if st.shutting_down {
+        return Submit::ShuttingDown;
+    }
+    if st.queue.len() >= shared.cfg.queue_cap {
+        st.shed += 1;
+        obs.counter_add("serve.shed", 1);
+        return Submit::Shed;
+    }
+    st.inflight.insert(key.clone(), vec![tx]);
+    st.queue.push_back(Job {
+        key,
+        target: target.to_string(),
+        group: group.to_string(),
+        deadline,
+    });
+    obs.gauge_set("serve.queue_depth", st.queue.len() as f64);
+    drop(st);
+    shared.work_cv.notify_all();
+    Submit::Wait {
+        rx,
+        coalesced: false,
+    }
+}
+
+fn finish(shared: &Shared, key: &str, outcome: &Outcome) {
+    let waiters = shared
+        .state
+        .lock()
+        .unwrap()
+        .inflight
+        .remove(key)
+        .unwrap_or_default();
+    for tx in waiters {
+        let _ = tx.send(outcome.clone());
+    }
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let obs = vega_obs::global();
+    loop {
+        let jobs: Vec<Job> = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+            let n = st.queue.len().min(shared.replicas.len());
+            let jobs = st.queue.drain(..n).collect();
+            obs.gauge_set("serve.queue_depth", st.queue.len() as f64);
+            jobs
+        };
+        let now = Instant::now();
+        let mut live = Vec::new();
+        for job in jobs {
+            if now > job.deadline {
+                shared.state.lock().unwrap().deadline_exceeded += 1;
+                obs.counter_add("serve.deadline_exceeded", 1);
+                finish(
+                    shared,
+                    &job.key,
+                    &Outcome::Failed {
+                        kind: ErrorKind::DeadlineExceeded,
+                        msg: format!(
+                            "deadline elapsed before `{}`/`{}` was dispatched",
+                            job.target, job.group
+                        ),
+                    },
+                );
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let span = obs.span("serve.batch");
+        // Each job in the batch gets its own replica slot (batch size ==
+        // pool size), so the locks below never contend; `par_map` returns
+        // results in job order.
+        let results = vega_par::par_map(live, |i, job| {
+            if shared.cfg.slow_ms > 0 {
+                std::thread::sleep(Duration::from_millis(shared.cfg.slow_ms));
+            }
+            let mut replica = shared.replicas[i].lock().unwrap();
+            let result = shared
+                .engine
+                .generate_with(&mut replica, &job.target, &job.group);
+            (job, result)
+        });
+        for (job, result) in results {
+            match result {
+                Ok((module, gf)) => {
+                    let payload = protocol::render_generated(&job.target, &job.group, module, &gf);
+                    {
+                        let mut st = shared.state.lock().unwrap();
+                        st.cache.insert(&job.key, payload.clone());
+                        st.generated += 1;
+                    }
+                    obs.counter_add("serve.generated", 1);
+                    finish(shared, &job.key, &Outcome::Done { payload });
+                }
+                Err(e) => finish(
+                    shared,
+                    &job.key,
+                    &Outcome::Failed {
+                        kind: e.kind,
+                        msg: e.msg,
+                    },
+                ),
+            }
+        }
+        let _ = span.finish();
+    }
+}

@@ -1,0 +1,251 @@
+//! End-to-end tests for the vega-serve service: one tiny pipeline is trained
+//! once, then reused as a checkpoint across several server instances to cover
+//! caching, coalescing, byte-identity across thread counts, backpressure,
+//! deadlines, error paths and graceful shutdown.
+//!
+//! Everything lives in a single `#[test]` because `vega_par::set_threads` is
+//! process-global and the scenarios deliberately flip it between 1 and 4.
+
+use std::time::Duration;
+use vega::{Vega, VegaConfig};
+use vega_model::CodeBe;
+use vega_obs::json::Json;
+use vega_serve::{protocol, Client, Engine, ServeConfig, Server};
+
+/// Rebuilds a serving engine from the checkpoint, exactly as the daemon does.
+fn engine_from(checkpoint: &str) -> Engine {
+    let model = CodeBe::load_json(checkpoint).expect("checkpoint parses");
+    let vega = Vega::with_model(VegaConfig::tiny(), model).expect("checkpoint fits the corpus");
+    Engine::new(vega)
+}
+
+fn start(checkpoint: &str, cfg: ServeConfig) -> (Server, String) {
+    let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn result_render(resp: &Json) -> String {
+    assert_eq!(
+        resp.field("ok").unwrap(),
+        &Json::Bool(true),
+        "expected success: {}",
+        resp.render()
+    );
+    resp.field("result").unwrap().render()
+}
+
+fn error_code(resp: &Json) -> String {
+    assert_eq!(
+        resp.field("ok").unwrap(),
+        &Json::Bool(false),
+        "expected failure: {}",
+        resp.render()
+    );
+    resp.field("error").unwrap().as_str().unwrap().to_string()
+}
+
+#[test]
+fn serve_end_to_end() {
+    vega_par::set_threads(4);
+    let trained = Vega::train(VegaConfig::tiny());
+    let checkpoint = trained.model().save_json();
+
+    // Direct in-process generations are the byte-identity reference.
+    let reference = Engine::new(trained);
+    let groups = reference.group_names();
+    let targets = reference.target_names();
+    assert!(groups.len() >= 2 && targets.len() >= 2);
+    let (t0, g0) = (targets[0].clone(), groups[0].clone());
+    let expect = |target: &str, group: &str| -> String {
+        let (module, gf) = reference
+            .generate(target, group)
+            .expect("direct generation");
+        protocol::render_generated(target, group, module, &gf).render()
+    };
+    let expected_t0g0 = expect(&t0, &g0);
+
+    sequential_cache_and_errors(&checkpoint, &t0, &targets[1], &g0, &expected_t0g0);
+    concurrent_coalescing(&checkpoint, &t0, &g0, &expected_t0g0);
+    backpressure_and_deadlines(&checkpoint, &targets, &groups);
+}
+
+/// threads=1: cache hits, byte-identity against direct generation, error
+/// responses, and shutdown-refuses-new-work.
+fn sequential_cache_and_errors(checkpoint: &str, t0: &str, t1: &str, g0: &str, expected: &str) {
+    vega_par::set_threads(1);
+    let (server, addr) = start(checkpoint, ServeConfig::default());
+    let mut c = Client::connect(&addr).unwrap();
+
+    let pong = c.op("ping").unwrap();
+    assert_eq!(pong.field("pong").unwrap(), &Json::Bool(true));
+
+    // First request is a miss, second a hit; both byte-identical to the
+    // direct generate_function call.
+    let first = c.generate(t0, g0, None).unwrap();
+    assert_eq!(first.field("cached").unwrap(), &Json::Bool(false));
+    assert_eq!(
+        result_render(&first),
+        expected,
+        "server response differs from direct generation"
+    );
+    let second = c.generate(t0, g0, None).unwrap();
+    assert_eq!(second.field("cached").unwrap(), &Json::Bool(true));
+    assert_eq!(
+        result_render(&second),
+        expected,
+        "cache hit is not byte-identical"
+    );
+
+    // Error paths name what exists.
+    let bad_target = c.generate("NoSuchTarget", g0, None).unwrap();
+    assert_eq!(error_code(&bad_target), "unknown_target");
+    let msg = bad_target
+        .field("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(msg.contains("NoSuchTarget") && msg.contains(t0), "{msg}");
+    let bad_group = c.generate(t0, "noSuchGroup", None).unwrap();
+    assert_eq!(error_code(&bad_group), "unknown_group");
+    assert!(
+        bad_group
+            .field("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains(g0),
+        "unknown-group message should list available groups"
+    );
+    let garbage = c.request_raw("this is not json").unwrap();
+    assert_eq!(error_code(&Json::parse(&garbage).unwrap()), "bad_request");
+
+    // Shutdown refuses fresh generate work (but the cache still answers
+    // during the drain), then the server joins cleanly with accurate
+    // counters.
+    let stopping = c.op("shutdown").unwrap();
+    assert_eq!(stopping.field("stopping").unwrap(), &Json::Bool(true));
+    let refused = c.generate(t1, g0, None).unwrap();
+    assert_eq!(error_code(&refused), "shutting_down");
+    let drained = c.generate(t0, g0, None).unwrap();
+    assert_eq!(drained.field("cached").unwrap(), &Json::Bool(true));
+    assert_eq!(result_render(&drained), expected);
+    let stats = server.join_with_stats();
+    assert_eq!(stats.cache_hits, 2, "exactly two cache hits expected");
+    assert_eq!(stats.generated, 1, "exactly one fresh generation expected");
+    assert!(stats.requests >= 4);
+}
+
+/// threads=4: concurrent identical requests are answered byte-identically to
+/// the sequential (threads=1) run, and the key is generated exactly once —
+/// every other request either coalesced onto it or hit the cache.
+fn concurrent_coalescing(checkpoint: &str, t0: &str, g0: &str, expected: &str) {
+    vega_par::set_threads(4);
+    let (server, addr) = start(checkpoint, ServeConfig::default());
+    let workers: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let (t0, g0) = (t0.to_string(), g0.to_string());
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.generate(&t0, &g0, None).unwrap()
+            })
+        })
+        .collect();
+    for w in workers {
+        let resp = w.join().expect("client thread");
+        assert_eq!(
+            result_render(&resp),
+            expected,
+            "concurrent response differs from the threads=1 sequential generation"
+        );
+    }
+    server.shutdown();
+    let stats = server.join_with_stats();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(
+        stats.generated, 1,
+        "8 identical concurrent requests must generate exactly once \
+         (coalesced={} cache_hits={})",
+        stats.coalesced, stats.cache_hits
+    );
+    assert_eq!(stats.coalesced + stats.cache_hits, 7);
+}
+
+/// A deliberately slow single-replica server with a one-slot queue: excess
+/// concurrent work is shed with `overloaded` (never hung), and a job whose
+/// deadline elapses while queued is answered with `deadline_exceeded`.
+fn backpressure_and_deadlines(checkpoint: &str, targets: &[String], groups: &[String]) {
+    vega_par::set_threads(1);
+    let cfg = ServeConfig {
+        cache_cap: 0, // every request is fresh work
+        queue_cap: 1,
+        batch: 1,
+        slow_ms: 400,
+        ..ServeConfig::default()
+    };
+    let (server, addr) = start(checkpoint, cfg);
+
+    // Deadline: occupy the single replica, then queue a job that cannot be
+    // dispatched before its 1 ms deadline.
+    let slow = {
+        let addr = addr.clone();
+        let (t, g) = (targets[0].clone(), groups[0].clone());
+        std::thread::spawn(move || {
+            Client::connect(&addr)
+                .unwrap()
+                .generate(&t, &g, None)
+                .unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(150));
+    let mut c = Client::connect(&addr).unwrap();
+    let late = c.generate(&targets[1], &groups[0], Some(1)).unwrap();
+    assert_eq!(error_code(&late), "deadline_exceeded");
+    assert_eq!(slow.join().unwrap().field("ok").unwrap(), &Json::Bool(true));
+
+    // Overload: burst six distinct fresh jobs at a server that can hold at
+    // most one running plus one queued. At least one must be shed, every
+    // probe must get an answer, and successes still verify.
+    let mut pairs = Vec::new();
+    'outer: for g in groups.iter().rev() {
+        for t in targets.iter().rev() {
+            pairs.push((t.clone(), g.clone()));
+            if pairs.len() == 6 {
+                break 'outer;
+            }
+        }
+    }
+    let probes: Vec<_> = pairs
+        .into_iter()
+        .map(|(t, g)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                Client::connect(&addr)
+                    .unwrap()
+                    .generate(&t, &g, Some(30_000))
+                    .unwrap()
+            })
+        })
+        .collect();
+    let mut shed = 0;
+    let mut answered = 0;
+    for p in probes {
+        let resp = p.join().expect("probe answered (never hangs)");
+        answered += 1;
+        if resp.field("ok").unwrap() == &Json::Bool(false) {
+            assert_eq!(error_code(&resp), "overloaded");
+            let msg = resp.field("message").unwrap().as_str().unwrap().to_string();
+            assert!(msg.contains("queue full"), "{msg}");
+            shed += 1;
+        }
+    }
+    assert_eq!(answered, 6);
+    assert!(shed >= 1, "a 6-request burst at queue_cap=1 must shed");
+
+    server.shutdown();
+    let stats = server.join_with_stats();
+    assert_eq!(stats.shed, shed);
+    assert_eq!(stats.deadline_exceeded, 1);
+}
