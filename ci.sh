@@ -49,4 +49,31 @@ grep -q "^served requests=" "$SMOKE_DIR/serve.log"
 grep -q "serve.request" "$SMOKE_DIR/trace.jsonl"
 echo "serve smoke: ok"
 
+# Chaos stage: the same checkpoint served under a deterministic fault plan
+# (connection drops, stalls, corrupt frames — server side only; the plan is
+# set on the daemon's environment, not exported). The retrying loadgen must
+# still verify byte-identical responses, and the trace must record the
+# injected faults.
+echo "== chaos =="
+VEGA_FAULT_PLAN="seed=11;serve.conn.drop=0.15;serve.conn.stall=0.1:25;serve.conn.corrupt=0.1" \
+  target/release/vega-serve --checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \
+  --port-file "$SMOKE_DIR/chaos-port" --trace-out "$SMOKE_DIR/chaos-trace.jsonl" \
+  > "$SMOKE_DIR/chaos-serve.log" &
+CHAOS_PID=$!
+for _ in $(seq 1 150); do
+  [ -s "$SMOKE_DIR/chaos-port" ] && break
+  sleep 0.2
+done
+[ -s "$SMOKE_DIR/chaos-port" ] || { echo "chaos vega-serve never wrote its port file"; exit 1; }
+target/release/vega-loadgen --addr "127.0.0.1:$(cat "$SMOKE_DIR/chaos-port")" \
+  --requests 24 --conns 4 --distinct 4 \
+  --verify-checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \
+  --shutdown | tee "$SMOKE_DIR/chaos-loadgen.txt"
+wait "$CHAOS_PID"
+grep -q "loadgen: verify=ok" "$SMOKE_DIR/chaos-loadgen.txt"
+grep -q "loadgen: cache=ok" "$SMOKE_DIR/chaos-loadgen.txt"
+grep -q "loadgen: shutdown=ok" "$SMOKE_DIR/chaos-loadgen.txt"
+grep -q "fault.injected.serve.conn" "$SMOKE_DIR/chaos-trace.jsonl"
+echo "chaos: ok"
+
 echo "ci: all checks passed"

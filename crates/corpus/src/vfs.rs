@@ -33,7 +33,20 @@ impl VirtualFs {
     }
 
     /// Reads a file's content.
+    ///
+    /// Instrumented with the `vfs.read` fault site: an injected transient
+    /// read failure is retried (bounded) until an attempt succeeds, so a
+    /// chaos plan exercises the retry path without ever changing what the
+    /// caller observes — the returned content is always the real one.
     pub fn read(&self, path: &str) -> Option<&str> {
+        let mut injected = 0u64;
+        while vega_fault::check(vega_fault::sites::VFS_READ).is_some() {
+            injected += 1;
+            if injected >= 16 {
+                break; // a rate=1 plan must not spin forever
+            }
+        }
+        vega_fault::recovered_n(vega_fault::sites::VFS_READ, injected);
         self.files.get(path).map(String::as_str)
     }
 

@@ -1,0 +1,53 @@
+//! The `vfs.read` fault site must be invisible to callers: injected
+//! transient read failures are retried, the returned content is always the
+//! real one, and every injection shows up as a recovered fault on the obs
+//! counters.
+
+use vega_corpus::VirtualFs;
+use vega_fault::{sites, FaultPlan};
+
+fn counter(kind: &str) -> u64 {
+    vega_obs::global().counter(&format!("fault.{kind}.{}", sites::VFS_READ))
+}
+
+#[test]
+fn injected_read_faults_are_retried_and_counted() {
+    let mut fs = VirtualFs::new();
+    for i in 0..8 {
+        fs.write(format!("lib/Target/T{i}/T{i}.td"), format!("def T{i};"));
+    }
+
+    // Half the reads hit an injected transient failure.
+    vega_fault::set_plan(Some(
+        FaultPlan::parse(&format!("seed=2;{}=0.5", sites::VFS_READ)).unwrap(),
+    ));
+    for round in 0..10 {
+        for i in 0..8 {
+            assert_eq!(
+                fs.read(&format!("lib/Target/T{i}/T{i}.td")),
+                Some(format!("def T{i};").as_str()),
+                "round {round}: content must be the real one despite faults"
+            );
+        }
+        assert_eq!(fs.read("lib/Target/missing.td"), None);
+    }
+    vega_fault::set_plan(None);
+    let (inj, rec) = (counter("injected"), counter("recovered"));
+    assert!(inj > 0, "a 0.5 rate over 90 reads should have fired");
+    assert_eq!(inj, rec, "every injected vfs.read fault must be recovered");
+
+    // Even a rate=1 plan terminates: the retry loop is bounded.
+    vega_fault::set_plan(Some(
+        FaultPlan::parse(&format!("{}=1.0", sites::VFS_READ)).unwrap(),
+    ));
+    assert_eq!(fs.read("lib/Target/T0/T0.td"), Some("def T0;"));
+    vega_fault::set_plan(None);
+    assert_eq!(counter("injected"), counter("recovered"));
+
+    // With the plan cleared the site costs one atomic load and nothing fires.
+    let before = counter("injected");
+    for _ in 0..100 {
+        fs.read("lib/Target/T1/T1.td");
+    }
+    assert_eq!(counter("injected"), before);
+}

@@ -220,12 +220,8 @@ fn run(args: &Args, cfg: &VegaConfig) {
     }
 
     let checkpoint = args.load_model.as_ref().map(|path| {
-        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            vega_obs::error!("cannot read checkpoint {}: {e}", path.display());
-            std::process::exit(2);
-        });
-        let model = vega_model::CodeBe::load_json(&json).unwrap_or_else(|e| {
-            vega_obs::error!("cannot parse checkpoint {}: {e:?}", path.display());
+        let model = vega_model::CodeBe::load_file(path).unwrap_or_else(|e| {
+            vega_obs::error!("cannot load checkpoint {}: {e}", path.display());
             std::process::exit(2);
         });
         vega_obs::info!(
@@ -244,7 +240,9 @@ fn run(args: &Args, cfg: &VegaConfig) {
         std::process::exit(2);
     });
     if let Some(path) = &args.save_model {
-        match std::fs::write(path, wb.vega.model().save_json()) {
+        // Crash-safe write: digest-stamped envelope to a temp file, then an
+        // atomic rename, so a crash mid-save never clobbers an old checkpoint.
+        match wb.vega.model().save_file(path) {
             Ok(()) => vega_obs::info!("[vega-experiments] checkpoint saved to {}", path.display()),
             Err(e) => {
                 vega_obs::error!("cannot write checkpoint {}: {e}", path.display());

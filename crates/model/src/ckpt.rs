@@ -1,0 +1,179 @@
+//! Crash-safe checkpoint files.
+//!
+//! `CodeBe::save_json` / `load_json` move JSON strings; this module moves
+//! *files*, and assumes the disk can fail at any byte. A checkpoint file is
+//! an envelope around the model payload:
+//!
+//! ```text
+//! {"format":"vega-ckpt/v1","digest":"<fnv1a-64 hex of payload>","payload":{…}}
+//! ```
+//!
+//! [`save_file`] writes the envelope to `<path>.tmp` and renames it over
+//! `<path>` only once every byte is flushed, so a crash mid-save (simulated
+//! by the `ckpt.save.crash` fault site) leaves the previous checkpoint
+//! intact. [`load_file`] verifies the digest before handing bytes to the
+//! weight decoder, so truncated or bit-flipped checkpoints are rejected with
+//! a named [`CkptError`] instead of being decoded into garbage weights.
+//! Pre-envelope checkpoints (a bare `CodeBe::save_json` object) still load,
+//! so old files keep working.
+
+use crate::codebe::CodeBe;
+use std::io::Write;
+use std::path::Path;
+use vega_obs::json::Json;
+
+/// The envelope format tag; bump on incompatible envelope changes.
+pub const CKPT_FORMAT: &str = "vega-ckpt/v1";
+
+/// Why a checkpoint file could not be saved or loaded. Each variant names a
+/// distinct failure so callers (and tests) can tell corruption from version
+/// skew from plain I/O trouble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The file could not be read or written.
+    Io(String),
+    /// The file is not parseable JSON at all (e.g. truncated mid-write).
+    Corrupt(String),
+    /// The envelope digest does not match the payload (bit flip, partial
+    /// overwrite).
+    DigestMismatch {
+        /// Digest recorded in the envelope.
+        expected: String,
+        /// Digest recomputed over the payload actually present.
+        found: String,
+    },
+    /// The envelope is from a different format version.
+    VersionMismatch {
+        /// The `format` value found in the file.
+        found: String,
+    },
+    /// The payload passed its digest check but does not decode as a CodeBE
+    /// model.
+    Payload(String),
+    /// The `ckpt.save.crash` fault site fired mid-save; the temp file was
+    /// abandoned and the original checkpoint (if any) is untouched.
+    InjectedCrash,
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(msg) => write!(f, "checkpoint io: {msg}"),
+            CkptError::Corrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+            CkptError::DigestMismatch { expected, found } => write!(
+                f,
+                "checkpoint digest mismatch: envelope says {expected}, payload hashes to {found}"
+            ),
+            CkptError::VersionMismatch { found } => write!(
+                f,
+                "checkpoint version mismatch: found `{found}`, expected `{CKPT_FORMAT}`"
+            ),
+            CkptError::Payload(msg) => write!(f, "checkpoint payload: {msg}"),
+            CkptError::InjectedCrash => write!(
+                f,
+                "checkpoint save crashed (injected at fault site `ckpt.save.crash`); \
+                 previous checkpoint left intact"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Renders the envelope bytes for a payload produced by `CodeBe::save_json`.
+/// Assembled textually so the payload bytes are embedded exactly as hashed.
+fn envelope(payload: &str) -> String {
+    format!(
+        "{{\"format\":\"{CKPT_FORMAT}\",\"digest\":\"{}\",\"payload\":{payload}}}",
+        vega_fault::fnv1a_64_hex(payload.as_bytes())
+    )
+}
+
+impl CodeBe {
+    /// Writes this model to `path` crash-safely: envelope with an embedded
+    /// FNV-1a digest, written to `<path>.tmp`, flushed, then renamed over
+    /// `path`. A failure at any point — including an injected
+    /// `ckpt.save.crash` — leaves whatever was at `path` before untouched.
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] for filesystem failures, [`CkptError::InjectedCrash`]
+    /// when the fault site fires.
+    pub fn save_file(&self, path: &Path) -> Result<(), CkptError> {
+        let bytes = envelope(&self.save_json());
+        let tmp = tmp_path(path);
+        let io_err =
+            |what: &str, e: std::io::Error| CkptError::Io(format!("{what} {}: {e}", tmp.display()));
+        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
+        // Write in two halves with the crash site between them: a fired
+        // fault abandons a deliberately truncated temp file, exactly the
+        // state a real mid-write crash leaves behind.
+        let mid = bytes.len() / 2;
+        f.write_all(&bytes.as_bytes()[..mid])
+            .map_err(|e| io_err("write", e))?;
+        if vega_fault::check(vega_fault::sites::CKPT_SAVE_CRASH).is_some() {
+            let _ = f.sync_all();
+            return Err(CkptError::InjectedCrash);
+        }
+        f.write_all(&bytes.as_bytes()[mid..])
+            .map_err(|e| io_err("write", e))?;
+        f.sync_all().map_err(|e| io_err("sync", e))?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(|e| {
+            CkptError::Io(format!(
+                "rename {} -> {}: {e}",
+                tmp.display(),
+                path.display()
+            ))
+        })
+    }
+
+    /// Loads a checkpoint written by [`CodeBe::save_file`] (or a legacy bare
+    /// `save_json` file), verifying the embedded digest before decoding.
+    ///
+    /// # Errors
+    /// A named [`CkptError`] variant: unreadable file, unparseable JSON,
+    /// digest mismatch, version mismatch, or undecodable payload.
+    pub fn load_file(path: &Path) -> Result<CodeBe, CkptError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CkptError::Io(format!("read {}: {e}", path.display())))?;
+        Self::load_envelope(&text)
+    }
+
+    /// As [`CodeBe::load_file`], from bytes already in memory.
+    ///
+    /// # Errors
+    /// See [`CodeBe::load_file`].
+    pub fn load_envelope(text: &str) -> Result<CodeBe, CkptError> {
+        let v = Json::parse(text).map_err(|e| CkptError::Corrupt(e.to_string()))?;
+        let Ok(format) = v.field("format").and_then(Json::as_str) else {
+            // No format tag: a legacy bare save_json checkpoint.
+            return CodeBe::load_json(text).map_err(|e| CkptError::Payload(e.to_string()));
+        };
+        if format != CKPT_FORMAT {
+            return Err(CkptError::VersionMismatch {
+                found: format.to_string(),
+            });
+        }
+        let expected = v
+            .field("digest")
+            .and_then(Json::as_str)
+            .map_err(|e| CkptError::Corrupt(format!("envelope has no digest: {e}")))?
+            .to_string();
+        let payload = v
+            .field("payload")
+            .map_err(|e| CkptError::Corrupt(format!("envelope has no payload: {e}")))?
+            .render();
+        let found = vega_fault::fnv1a_64_hex(payload.as_bytes());
+        if found != expected {
+            return Err(CkptError::DigestMismatch { expected, found });
+        }
+        CodeBe::load_json(&payload).map_err(|e| CkptError::Payload(e.to_string()))
+    }
+}
+
+/// The temp file a save writes before the atomic rename.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}

@@ -14,10 +14,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod ckpt;
 mod codebe;
 mod subtok;
 mod vocab;
 
+pub use ckpt::{tmp_path, CkptError, CKPT_FORMAT};
 pub use codebe::{CodeBe, ModelChoice, TrainConfig};
 pub use subtok::{
     pieces_to_spellings, spellings_to_source, split_ident, string_to_pieces, token_to_pieces,

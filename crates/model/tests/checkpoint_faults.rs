@@ -1,0 +1,165 @@
+//! Crash-safety tests for the checkpoint file layer: round-trip identity,
+//! named rejection of truncated / bit-flipped / version-mismatched files,
+//! and a `FaultPlan`-injected crash mid-save that must leave the previous
+//! checkpoint intact.
+//!
+//! Everything runs in one `#[test]` because the fault plan is process-global
+//! and the scenarios install and clear plans.
+
+use std::path::Path;
+use vega_cpplite::lex;
+use vega_fault::FaultPlan;
+use vega_model::{tmp_path, tokens_to_pieces, CkptError, CodeBe, Vocab, CKPT_FORMAT};
+use vega_nn::TransformerConfig;
+
+/// A tiny transformer CodeBE over the pieces of `samples`, plus the encoded
+/// sequences (mirrors the model crate's own unit-test helper).
+fn tiny_model(samples: &[&str]) -> (CodeBe, Vec<Vec<usize>>) {
+    let mut all_pieces: Vec<String> = Vec::new();
+    for s in samples {
+        all_pieces.extend(tokens_to_pieces(&lex(s).unwrap()));
+    }
+    let vocab = Vocab::build(all_pieces.iter().map(String::as_str));
+    let seqs = samples
+        .iter()
+        .map(|s| vocab.encode_pieces(&tokens_to_pieces(&lex(s).unwrap())))
+        .collect();
+    (CodeBe::transformer(vocab, TransformerConfig::tiny), seqs)
+}
+
+fn generation(m: &mut CodeBe, input: &[usize]) -> Vec<usize> {
+    m.generate(input, 8)
+}
+
+#[test]
+fn checkpoint_files_are_crash_safe_and_validated() {
+    let dir = std::env::temp_dir().join("vega-model-ckpt-faults");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.json");
+    let (mut model, seqs) = tiny_model(&["x = 1;", "return x;"]);
+
+    // --- save_json -> load_json is identity (string level and behaviour) --
+    let json = model.save_json();
+    let mut reloaded = CodeBe::load_json(&json).unwrap();
+    assert_eq!(
+        reloaded.save_json(),
+        json,
+        "load_json(save_json) must re-serialize to identical bytes"
+    );
+    assert_eq!(
+        generation(&mut model, &seqs[0]),
+        generation(&mut reloaded, &seqs[0])
+    );
+
+    // --- save_file -> load_file round trip ------------------------------
+    model.save_file(&path).unwrap();
+    assert!(
+        !tmp_path(&path).exists(),
+        "a successful save leaves no temp file behind"
+    );
+    let envelope = std::fs::read_to_string(&path).unwrap();
+    assert!(envelope.starts_with(&format!("{{\"format\":\"{CKPT_FORMAT}\"")));
+    let mut from_file = CodeBe::load_file(&path).unwrap();
+    assert_eq!(from_file.save_json(), json);
+    assert_eq!(
+        generation(&mut model, &seqs[1]),
+        generation(&mut from_file, &seqs[1])
+    );
+
+    // --- missing file: named Io error -----------------------------------
+    assert!(matches!(
+        CodeBe::load_file(Path::new("/nonexistent/ckpt.json")),
+        Err(CkptError::Io(_))
+    ));
+
+    // --- truncation: named Corrupt error --------------------------------
+    let cut = dir.join("truncated.json");
+    std::fs::write(&cut, &envelope[..envelope.len() / 2]).unwrap();
+    assert!(
+        matches!(CodeBe::load_file(&cut), Err(CkptError::Corrupt(_))),
+        "a half-written checkpoint must be rejected as corrupt"
+    );
+
+    // --- bit flip inside the payload: named DigestMismatch --------------
+    let payload_at = envelope.find("\"payload\":").unwrap() + "\"payload\":".len();
+    let flip_at = payload_at
+        + envelope[payload_at..]
+            .find(|c: char| c.is_ascii_digit())
+            .expect("payload contains a digit");
+    let mut flipped = envelope.clone().into_bytes();
+    flipped[flip_at] = if flipped[flip_at] == b'9' { b'8' } else { b'9' };
+    let bad = dir.join("bitflip.json");
+    std::fs::write(&bad, &flipped).unwrap();
+    match CodeBe::load_file(&bad) {
+        Err(CkptError::DigestMismatch { expected, found }) => {
+            assert_ne!(expected, found);
+            assert_eq!(expected.len(), 16);
+        }
+        other => panic!("bit flip must be a DigestMismatch, got {other:?}"),
+    }
+
+    // --- version mismatch: named error with the found version -----------
+    let versioned = envelope.replace(CKPT_FORMAT, "vega-ckpt/v999");
+    let vpath = dir.join("future.json");
+    std::fs::write(&vpath, &versioned).unwrap();
+    match CodeBe::load_file(&vpath) {
+        Err(CkptError::VersionMismatch { found }) => assert_eq!(found, "vega-ckpt/v999"),
+        other => panic!("future format must be a VersionMismatch, got {other:?}"),
+    }
+
+    // --- legacy bare save_json files still load -------------------------
+    let legacy = dir.join("legacy.json");
+    std::fs::write(&legacy, &json).unwrap();
+    let old = CodeBe::load_file(&legacy).unwrap();
+    assert_eq!(old.save_json(), json);
+
+    // --- injected crash mid-save leaves the previous checkpoint intact --
+    let (newer, _) = tiny_model(&["return Value & 255;", "y = 2;"]);
+    vega_fault::set_plan(Some(
+        FaultPlan::parse(&format!("{}=@0", vega_fault::sites::CKPT_SAVE_CRASH)).unwrap(),
+    ));
+    let crashed = newer.save_file(&path);
+    vega_fault::set_plan(None);
+    assert!(
+        matches!(crashed, Err(CkptError::InjectedCrash)),
+        "the fault site must surface as the named InjectedCrash error"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        envelope,
+        "a crash mid-save must not touch the previous checkpoint"
+    );
+    let tmp = tmp_path(&path);
+    assert!(
+        tmp.exists(),
+        "the crash leaves a truncated temp file behind"
+    );
+    assert!(
+        std::fs::metadata(&tmp).unwrap().len() < envelope.len() as u64,
+        "the temp file is the partial write, not a complete checkpoint"
+    );
+    assert!(
+        matches!(CodeBe::load_file(&tmp), Err(CkptError::Corrupt(_))),
+        "the partial temp file must never load as a checkpoint"
+    );
+    // The intact original still loads and behaves identically.
+    let mut survivor = CodeBe::load_file(&path).unwrap();
+    assert_eq!(
+        generation(&mut survivor, &seqs[0]),
+        generation(&mut model, &seqs[0])
+    );
+    // The injected crash showed up on the obs trace.
+    assert!(
+        vega_obs::global().counter(&format!(
+            "fault.injected.{}",
+            vega_fault::sites::CKPT_SAVE_CRASH
+        )) >= 1
+    );
+
+    // A clean re-save replaces the checkpoint normally afterwards.
+    newer.save_file(&path).unwrap();
+    assert_ne!(std::fs::read_to_string(&path).unwrap(), envelope);
+    CodeBe::load_file(&path).unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -26,16 +26,51 @@
 //!   re-establishes it on every worker ([`vega_obs::Obs::adopt_parent`]), so
 //!   spans opened inside tasks aggregate under the same
 //!   `pipeline.stage3.generate.SEL`-style paths as in a sequential run.
-//! * **Panic transparency.** A panicking task propagates out of `par_map`
-//!   when the scope joins its workers, like the sequential loop would.
+//! * **Panic containment.** Every task runs under `catch_unwind`. The first
+//!   panic stops the pool from taking further tasks and its original payload
+//!   is re-raised from the `par_map` call site (`resume_unwind`), exactly as
+//!   the sequential loop would have panicked — workers never die silently
+//!   and the scope never reports a bare "a scoped thread panicked".
+//! * **Fault injection.** Each task consults the `par.task` fault site
+//!   (`vega-fault`) before running. An injected panic is retried in place —
+//!   bounded and deterministic, [`MAX_INJECTED_RETRIES`] attempts — and
+//!   counted as recovered; exhausting the budget propagates a clean panic
+//!   naming the site. With no fault plan installed the check is one atomic
+//!   load.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, OnceLock};
 use std::thread;
+
+/// How many consecutive injected `par.task` panics are retried before the
+/// task is declared dead and a clean panic propagates.
+pub const MAX_INJECTED_RETRIES: u64 = 4;
+
+/// Runs one task under `catch_unwind`, first consulting the `par.task`
+/// fault site (with bounded retry of injected panics).
+fn run_task<T, R, F>(f: &F, i: usize, item: T) -> Result<R, Box<dyn Any + Send>>
+where
+    F: Fn(usize, T) -> R,
+{
+    let mut injected = 0u64;
+    while vega_fault::check(vega_fault::sites::PAR_TASK).is_some() {
+        injected += 1;
+        if injected > MAX_INJECTED_RETRIES {
+            return Err(Box::new(format!(
+                "par.task fault site fired {injected} consecutive times for task {i}; \
+                 retry budget ({MAX_INJECTED_RETRIES}) exhausted"
+            )));
+        }
+    }
+    vega_fault::recovered_n(vega_fault::sites::PAR_TASK, injected);
+    catch_unwind(AssertUnwindSafe(|| f(i, item)))
+}
 
 /// In-process override; 0 means "not set, fall back to the environment".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -94,7 +129,10 @@ where
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, x)| f(i, x))
+            .map(|(i, x)| match run_task(&f, i, x) {
+                Ok(r) => r,
+                Err(payload) => resume_unwind(payload),
+            })
             .collect();
     }
 
@@ -110,22 +148,34 @@ where
     let (res_tx, res_rx) = mpsc::channel::<(usize, R)>();
 
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // First panic payload (real or injected-and-exhausted); re-raised below.
+    let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     thread::scope(|s| {
         for _ in 0..workers {
             let res_tx = res_tx.clone();
             let task_rx = &task_rx;
             let parent = parent.as_deref();
             let f = &f;
+            let panicked = &panicked;
             s.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
                 let _adopt = vega_obs::global().adopt_parent(parent);
                 loop {
+                    if panicked.lock().unwrap_or_else(|e| e.into_inner()).is_some() {
+                        break; // another task already failed; stop drawing work
+                    }
                     let task = task_rx.lock().unwrap_or_else(|e| e.into_inner()).try_recv();
                     match task {
-                        Ok((i, item)) => {
-                            let r = f(i, item);
-                            let _ = res_tx.send((i, r));
-                        }
+                        Ok((i, item)) => match run_task(f, i, item) {
+                            Ok(r) => {
+                                let _ = res_tx.send((i, r));
+                            }
+                            Err(payload) => {
+                                let mut slot = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                                slot.get_or_insert(payload);
+                                break;
+                            }
+                        },
                         Err(_) => break,
                     }
                 }
@@ -137,6 +187,9 @@ where
             out[i] = Some(r);
         }
     });
+    if let Some(payload) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
     out.into_iter()
         .map(|r| r.expect("par_map worker delivered every result"))
         .collect()

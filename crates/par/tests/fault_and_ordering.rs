@@ -1,0 +1,139 @@
+//! Adversarial tests for the deterministic pool: result ordering under
+//! skewed task durations, panic containment (real panics propagate with
+//! their original payload; other workers stop drawing work), and bounded
+//! retry of `par.task` injected faults.
+//!
+//! One `#[test]` — the fault plan, the thread override, and the obs
+//! counters are process-global, so scenarios must run sequentially.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+use vega_fault::{sites, FaultPlan};
+use vega_par::{par_map, set_threads, MAX_INJECTED_RETRIES};
+
+fn injected() -> u64 {
+    vega_obs::global().counter(&format!("fault.injected.{}", sites::PAR_TASK))
+}
+
+fn recovered() -> u64 {
+    vega_obs::global().counter(&format!("fault.recovered.{}", sites::PAR_TASK))
+}
+
+/// Runs `f` with the default panic hook silenced, so expected panics do not
+/// spam the test output.
+fn quietly<R>(f: impl FnOnce() -> R) -> R {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn pool_contains_panics_and_retries_injected_faults() {
+    // --- ordering under adversarial durations ---------------------------
+    // Early tasks sleep longest, so a pool that collected results in
+    // completion order (rather than by index) would return them reversed.
+    for threads in [1usize, 4] {
+        set_threads(threads);
+        let out = par_map((0..24u64).collect(), |i, x| {
+            std::thread::sleep(Duration::from_millis((23 - x) % 6));
+            (i, x * x)
+        });
+        assert_eq!(
+            out,
+            (0..24u64).map(|x| (x as usize, x * x)).collect::<Vec<_>>(),
+            "results must come back in input order at {threads} thread(s)"
+        );
+    }
+
+    // --- real panics propagate with their original payload --------------
+    for threads in [1usize, 4] {
+        set_threads(threads);
+        let err = quietly(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                par_map((0..16u32).collect(), |_, x| {
+                    if x == 5 {
+                        panic!("boom-{x}");
+                    }
+                    x
+                })
+            }))
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload should be a string");
+        assert_eq!(
+            msg, "boom-5",
+            "the first panic's payload must survive the pool unchanged"
+        );
+    }
+
+    // --- a single injected fault is retried and recovered ----------------
+    set_threads(4);
+    let (inj0, rec0) = (injected(), recovered());
+    vega_fault::set_plan(Some(
+        FaultPlan::parse(&format!("{}=@2", sites::PAR_TASK)).unwrap(),
+    ));
+    let out = par_map((0..12u32).collect(), |_, x| x + 1);
+    vega_fault::set_plan(None);
+    assert_eq!(out, (1..=12).collect::<Vec<_>>());
+    assert_eq!(injected() - inj0, 1, "the @2 trigger fires exactly once");
+    assert_eq!(
+        recovered() - rec0,
+        1,
+        "every injected par.task fault must be recovered by a retry"
+    );
+
+    // --- a modest fault rate never corrupts results ----------------------
+    // Fire decisions are a pure function of (seed, hit index), so this run
+    // is reproducible; a rate of 0.1 stays far below the consecutive-fire
+    // retry budget.
+    for threads in [1usize, 4] {
+        set_threads(threads);
+        let (inj0, rec0) = (injected(), recovered());
+        vega_fault::set_plan(Some(
+            FaultPlan::parse(&format!("seed=5;{}=0.1", sites::PAR_TASK)).unwrap(),
+        ));
+        let out = par_map((0..40u64).collect(), |i, x| (i as u64) * 100 + x);
+        vega_fault::set_plan(None);
+        assert_eq!(
+            out,
+            (0..40u64).map(|x| x * 101).collect::<Vec<_>>(),
+            "injected faults must never change results at {threads} thread(s)"
+        );
+        let inj = injected() - inj0;
+        assert!(
+            inj > 0,
+            "a 0.1 rate over 40+ hits should fire at least once"
+        );
+        assert_eq!(
+            recovered() - rec0,
+            inj,
+            "injected and recovered counts must match at {threads} thread(s)"
+        );
+    }
+
+    // --- retry-budget exhaustion propagates as a clean panic --------------
+    for threads in [1usize, 4] {
+        set_threads(threads);
+        vega_fault::set_plan(Some(
+            FaultPlan::parse(&format!("{}=1.0", sites::PAR_TASK)).unwrap(),
+        ));
+        let err = quietly(|| catch_unwind(AssertUnwindSafe(|| par_map(vec![1u8, 2, 3], |_, x| x))))
+            .unwrap_err();
+        vega_fault::set_plan(None);
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("exhaustion panics carry a String payload");
+        assert!(
+            msg.contains(sites::PAR_TASK) && msg.contains(&MAX_INJECTED_RETRIES.to_string()),
+            "exhaustion message must name the site and the budget, got: {msg}"
+        );
+    }
+
+    set_threads(0);
+}

@@ -25,7 +25,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use vega::{Scale, VegaConfig};
 use vega_obs::json::Json;
-use vega_serve::{load_checkpoint, protocol, Client};
+use vega_serve::{load_checkpoint, protocol, Client, RetryPolicy};
 
 struct Args {
     addr: String,
@@ -118,8 +118,13 @@ fn main() {
     let args = parse_args();
     let mut failed = false;
 
+    // Transport retry policy: absorbs the startup race where the first
+    // connect lands before the listener is up (ECONNREFUSED), and recovers
+    // dropped/corrupted connections under chaos plans.
+    let retry = RetryPolicy::default();
+
     // Discover what the server can generate.
-    let mut control = match Client::connect(&args.addr) {
+    let mut control = match Client::connect_with_retry(&args.addr, &retry) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot connect to {}: {e}", args.addr);
@@ -140,8 +145,8 @@ fn main() {
             })
             .unwrap_or_default()
     };
-    let targets = names(control.op("targets"), "targets");
-    let groups = names(control.op("groups"), "groups");
+    let targets = names(control.op_with_retry("targets", &retry), "targets");
+    let groups = names(control.op_with_retry("groups", &retry), "groups");
     if targets.is_empty() || groups.is_empty() {
         eprintln!("server reported no targets/groups");
         std::process::exit(2);
@@ -164,15 +169,20 @@ fn main() {
             let addr = args.addr.clone();
             let pairs = pairs.clone();
             let deadline = args.deadline_ms;
+            let retry = RetryPolicy {
+                seed: c as u64,
+                ..RetryPolicy::default()
+            };
             std::thread::spawn(move || -> Result<Vec<(usize, Duration, String)>, String> {
-                let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                let mut client = Client::connect_with_retry(&addr, &retry)
+                    .map_err(|e| format!("connect: {e}"))?;
                 let mut out = Vec::new();
                 for r in 0..per_conn {
                     let pair_ix = (c + r * 7) % pairs.len();
                     let (target, group) = &pairs[pair_ix];
                     let q0 = Instant::now();
                     let resp = client
-                        .generate(target, group, deadline)
+                        .generate_with_retry(target, group, deadline, &retry)
                         .map_err(|e| format!("request: {e}"))?;
                     let bytes = result_bytes(&resp)?;
                     out.push((pair_ix, q0.elapsed(), bytes));
@@ -271,7 +281,7 @@ fn main() {
     }
 
     // Server-side cache statistics.
-    match control.op("stats") {
+    match control.op_with_retry("stats", &retry) {
         Ok(v) => {
             let get = |k: &str| -> u64 {
                 v.field("stats")
@@ -318,7 +328,9 @@ fn main() {
             .map(|(t, g)| {
                 let addr = args.addr.clone();
                 std::thread::spawn(move || -> Result<String, String> {
-                    let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                    let retry = RetryPolicy::default();
+                    let mut client = Client::connect_with_retry(&addr, &retry)
+                        .map_err(|e| format!("connect: {e}"))?;
                     let resp = client
                         .generate(&t, &g, Some(60_000))
                         .map_err(|e| format!("request: {e}"))?;
@@ -360,7 +372,7 @@ fn main() {
     }
 
     if args.shutdown {
-        match control.op("shutdown") {
+        match control.op_with_retry("shutdown", &retry) {
             Ok(v) if matches!(v.field("ok"), Ok(Json::Bool(true))) => {
                 println!("loadgen: shutdown=ok");
             }

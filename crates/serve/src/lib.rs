@@ -17,7 +17,13 @@
 //! * a bounded request queue with coalescing, per-request deadlines,
 //!   `overloaded` shedding and graceful drain ([`server`]);
 //! * full `vega-obs` integration: `serve.request` spans, cache hit/miss
-//!   counters and request-latency histograms in the JSONL trace.
+//!   counters and request-latency histograms in the JSONL trace;
+//! * deterministic chaos hooks (`vega-fault`): the connection path carries
+//!   `serve.conn.drop` / `serve.conn.stall` / `serve.conn.corrupt` fault
+//!   sites, the server closes idle connections, and the [`client`] recovers
+//!   from drops and malformed frames with deterministic exponential backoff
+//!   ([`client::RetryPolicy`]) — so `VEGA_FAULT_PLAN` chaos runs complete
+//!   with byte-identical successful responses.
 //!
 //! Binaries: `vega-serve` (the daemon) and `vega-loadgen` (a concurrent load
 //! generator that measures throughput/p50/p99 and verifies responses against
@@ -34,7 +40,7 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{Engine, EngineError};
 pub use lru::LruCache;
 pub use protocol::{ErrorKind, Request};

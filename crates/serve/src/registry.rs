@@ -50,22 +50,26 @@ pub struct Checkpoint {
     model: CodeBe,
 }
 
-/// Reads and parses a checkpoint file.
+/// Reads, verifies, and parses a checkpoint file.
+///
+/// Accepts both the crash-safe `vega-ckpt/v1` envelope (digest-verified, so
+/// truncated or bit-flipped files are rejected before any weight decodes)
+/// and legacy bare `CodeBe::save_json` files.
 ///
 /// # Errors
-/// [`RegistryError`] naming the path when the file cannot be read or does
-/// not parse as a `CodeBe` checkpoint.
+/// [`RegistryError`] naming the path and the named [`vega_model::CkptError`]
+/// when the file cannot be read, fails its digest, or does not parse.
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, RegistryError> {
-    let json = std::fs::read_to_string(path).map_err(|e| RegistryError {
-        msg: format!("cannot read {}: {e}", path.display()),
-    })?;
-    let model = CodeBe::load_json(&json).map_err(|e| RegistryError {
-        msg: format!("{} is not a CodeBE checkpoint: {e}", path.display()),
+    let bytes = std::fs::metadata(path)
+        .map(|m| m.len() as usize)
+        .unwrap_or(0);
+    let model = CodeBe::load_file(path).map_err(|e| RegistryError {
+        msg: format!("{}: {e}", path.display()),
     })?;
     Ok(Checkpoint {
         meta: CheckpointMeta {
             path: path.to_path_buf(),
-            bytes: json.len(),
+            bytes,
             arch: model.arch_name().to_string(),
             vocab_pieces: model.vocab.len(),
             max_len: model.max_len(),
@@ -109,6 +113,6 @@ mod tests {
         std::fs::write(&garbage, "{\"vocab\": 12").unwrap();
         let err = load_checkpoint(&garbage).unwrap_err();
         assert!(err.msg.contains("garbage.json"), "{}", err.msg);
-        assert!(err.msg.contains("not a CodeBE checkpoint"), "{}", err.msg);
+        assert!(err.msg.contains("checkpoint corrupt"), "{}", err.msg);
     }
 }

@@ -47,6 +47,10 @@ pub struct ServeConfig {
     /// Fault injection: sleep this long inside every fresh generation (used
     /// by tests and CI to provoke queue overflow deterministically).
     pub slow_ms: u64,
+    /// Per-connection idle read timeout: a connection that completes no
+    /// request line for this long is closed (0 disables). Protects the
+    /// server from half-open or stalled peers.
+    pub conn_idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +62,7 @@ impl Default for ServeConfig {
             batch: 0,
             default_deadline_ms: 120_000,
             slow_ms: 0,
+            conn_idle_timeout_ms: 300_000,
         }
     }
 }
@@ -284,9 +289,12 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, conns: &Mutex<Vec<J
 
 fn handle_conn(shared: &Shared, mut stream: TcpStream) {
     // Short read timeouts keep the thread responsive to shutdown without
-    // busy-waiting.
+    // busy-waiting; the per-connection idle timeout is tracked on top.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let _ = stream.set_nodelay(true);
+    let obs = vega_obs::global();
+    let idle_cap = Duration::from_millis(shared.cfg.conn_idle_timeout_ms);
+    let mut last_line = Instant::now();
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -297,7 +305,40 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
             if line.is_empty() {
                 continue;
             }
+            last_line = Instant::now();
+            // Connection chaos sites. The drain path is excluded: once
+            // shutdown has begun the listener no longer accepts, so a
+            // dropped client could not reconnect to resend — injecting
+            // there would turn a graceful drain into a spurious failure.
+            let chaos = !shared.shutdown.load(Ordering::SeqCst);
+            // Chaos site: a connection dropped mid-request — the client sees
+            // EOF instead of a response and must reconnect and resend.
+            if chaos && vega_fault::check(vega_fault::sites::SERVE_CONN_DROP).is_some() {
+                return;
+            }
             let response = handle_line(shared, line);
+            // Chaos site: a stalled response (argument = milliseconds).
+            if chaos {
+                if let Some(f) = vega_fault::check(vega_fault::sites::SERVE_CONN_STALL) {
+                    std::thread::sleep(Duration::from_millis(f.arg));
+                    vega_fault::recovered(vega_fault::sites::SERVE_CONN_STALL);
+                }
+            }
+            // Chaos site: a malformed frame written instead of the response;
+            // the client must reject it and resend the request. The shutdown
+            // op itself is never corrupted (its handling flips the shutdown
+            // flag above, so `chaos` was computed before, but a corrupted
+            // shutdown ack would strand the client against a dead listener) —
+            // re-check the flag here.
+            if chaos
+                && !shared.shutdown.load(Ordering::SeqCst)
+                && vega_fault::check(vega_fault::sites::SERVE_CONN_CORRUPT).is_some()
+            {
+                if stream.write_all(b"!corrupt-frame!\n").is_err() {
+                    return;
+                }
+                continue;
+            }
             if stream.write_all(response.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
                 return;
             }
@@ -310,6 +351,11 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !idle_cap.is_zero() && last_line.elapsed() > idle_cap {
+                    obs.counter_add("serve.conn.idle_timeouts", 1);
+                    vega_obs::debug!("[vega-serve] closing idle connection");
                     return;
                 }
             }

@@ -1,0 +1,70 @@
+//! Golden vectors pinning the serve hash and cache-key formats.
+//!
+//! The cache key and the target/model digests are part of the trace
+//! contract: loadgen, the JSONL trace, and cross-run determinism checks all
+//! compare them textually. These constants were computed once from the
+//! two-lane FNV-1a definition in `serve::hash`; if any of them changes, the
+//! on-the-wire key format changed and every cached/traced digest in the
+//! wild is invalidated — that must be a deliberate, versioned decision
+//! (bump the `vega-serve/v1` domain string), never an accident.
+
+use vega_serve::hash::{digest_str, StableHasher};
+
+#[test]
+fn digest_str_golden_vectors() {
+    assert_eq!(digest_str(""), "559814a3c99499dfa8c7f832281a39c5");
+    assert_eq!(digest_str("abc"), "529ecc3a0fdfe6eac11ab6d2519bc2b2");
+    assert_eq!(
+        digest_str("vega-serve/v1"),
+        "ddeb43d8fefe8eb5172ac9838de85c7d"
+    );
+    assert_eq!(
+        digest_str("getRelocType"),
+        "691c4651214229c2d2216287e01a8e94"
+    );
+    assert_eq!(digest_str("RISCV"), "ddfa6a5971f390c7c3645c37b6362717");
+}
+
+#[test]
+fn cache_key_format_golden_vector() {
+    // The exact field sequence Engine::cache_key feeds: domain string, model
+    // digest, target name, target-description digest, function group, then
+    // the signature feature ids. Synthetic stand-ins keep the vector
+    // independent of any trained model.
+    let mut h = StableHasher::new();
+    h.write_str("vega-serve/v1");
+    h.write_str("0123456789abcdef0123456789abcdef");
+    h.write_str("RISCV");
+    h.write_str("fedcba9876543210fedcba9876543210");
+    h.write_str("getRelocType");
+    h.write_ids(&[1, 2, 3, 40, 500]);
+    assert_eq!(h.finish_hex(), "1f2f2c3610d8591a99a4e696d6e77cbc");
+}
+
+#[test]
+fn key_shape_is_stable() {
+    // 32 lowercase hex chars, pure function of input, order-sensitive.
+    let k = digest_str("anything");
+    assert_eq!(k.len(), 32);
+    assert!(k
+        .chars()
+        .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    assert_eq!(digest_str("anything"), k);
+
+    let mut a = StableHasher::new();
+    a.write_str("x");
+    a.write_str("y");
+    let mut b = StableHasher::new();
+    b.write_str("y");
+    b.write_str("x");
+    assert_ne!(a.finish_hex(), b.finish_hex(), "field order must matter");
+}
+
+#[test]
+fn fault_layer_fnv_golden_vectors() {
+    // The checkpoint envelope digest and the fault-plan site hashing share
+    // this single-lane FNV-1a; pin the canonical test vectors.
+    assert_eq!(vega_fault::fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(vega_fault::fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(vega_fault::fnv1a_64_hex(b"abc"), "e71fa2190541574b");
+}

@@ -1,0 +1,111 @@
+//! Property tests for the LCS kernel: `lcs_indices` is checked against a
+//! naive O(n·m) length-only reference on seeded random inputs, and its
+//! output is validated structurally (a genuine common subsequence in
+//! strictly increasing position order).
+
+use vega_treediff::{lcs_indices, lcs_similarity};
+
+/// Deterministic splitmix64 so the "random" cases are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Textbook forward DP computing only the LCS *length*.
+fn naive_lcs_len(a: &[u8], b: &[u8]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[n][m]
+}
+
+/// The matched pairs must be strictly increasing in both coordinates and
+/// must pair equal elements — i.e. describe an actual common subsequence.
+fn assert_valid_subsequence(a: &[u8], b: &[u8], pairs: &[(usize, usize)]) {
+    for w in pairs.windows(2) {
+        assert!(
+            w[0].0 < w[1].0,
+            "a-indices must strictly increase: {pairs:?}"
+        );
+        assert!(
+            w[0].1 < w[1].1,
+            "b-indices must strictly increase: {pairs:?}"
+        );
+    }
+    for &(i, j) in pairs {
+        assert_eq!(a[i], b[j], "pair ({i},{j}) must match equal elements");
+    }
+}
+
+#[test]
+fn lcs_matches_naive_reference_on_random_inputs() {
+    let mut rng = Rng(0x5EED);
+    for case in 0..300 {
+        // Small alphabets force long, ambiguous common subsequences.
+        let alphabet = 2 + rng.below(5) as u8;
+        let n = rng.below(33) as usize;
+        let m = rng.below(33) as usize;
+        let a: Vec<u8> = (0..n).map(|_| (rng.below(alphabet as u64)) as u8).collect();
+        let b: Vec<u8> = (0..m).map(|_| (rng.below(alphabet as u64)) as u8).collect();
+
+        let pairs = lcs_indices(&a, &b, |x, y| x == y);
+        assert_valid_subsequence(&a, &b, &pairs);
+        assert_eq!(
+            pairs.len(),
+            naive_lcs_len(&a, &b),
+            "case {case}: lcs_indices length disagrees with the naive DP\n  a={a:?}\n  b={b:?}"
+        );
+
+        let sim = lcs_similarity(&a, &b, |x, y| x == y);
+        if n + m == 0 {
+            assert_eq!(sim, 1.0, "empty-vs-empty similarity is defined as 1");
+        } else {
+            let expect = 2.0 * pairs.len() as f64 / (n + m) as f64;
+            assert!(
+                (sim - expect).abs() < 1e-12,
+                "case {case}: similarity formula"
+            );
+            assert!((0.0..=1.0).contains(&sim));
+        }
+    }
+}
+
+#[test]
+fn lcs_known_edges() {
+    // Identical sequences: everything matches, in order.
+    let a = [7u8, 7, 7, 7];
+    let pairs = lcs_indices(&a, &a, |x, y| x == y);
+    assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+
+    // Disjoint alphabets: nothing matches.
+    assert!(lcs_indices(&[1u8, 2, 3], &[4, 5, 6], |x, y| x == y).is_empty());
+    assert_eq!(lcs_similarity(&[1u8, 2, 3], &[4, 5, 6], |x, y| x == y), 0.0);
+
+    // One side empty.
+    assert!(lcs_indices::<u8, _>(&[], &[1, 2], |x, y| x == y).is_empty());
+
+    // Reversal: LCS of s and reverse(s) on distinct elements has length 1.
+    let s = [1u8, 2, 3, 4, 5];
+    let r = [5u8, 4, 3, 2, 1];
+    assert_eq!(lcs_indices(&s, &r, |x, y| x == y).len(), 1);
+    assert_eq!(naive_lcs_len(&s, &r), 1);
+}
