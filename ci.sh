@@ -19,13 +19,28 @@ VEGA_THREADS=1 cargo test -q --workspace
 echo "== test (VEGA_THREADS=4) =="
 VEGA_THREADS=4 cargo test -q --workspace
 
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# Decode fast path: the incremental KV-cached decoder must be bit-identical
+# to the autograd-graph reference at both pool sizes (the full workspace runs
+# above include this suite too; the explicit stage keeps the contract visible
+# and greppable), and the bench smoke asserts it is not slower than the graph
+# path on the small config.
+echo "== decode equivalence =="
+VEGA_THREADS=1 cargo test -q -p vega-nn --test decode_equivalence
+VEGA_THREADS=4 cargo test -q -p vega-nn --test decode_equivalence
+
+echo "== decode bench smoke =="
+VEGA_DECODE_BENCH_FAST=1 VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_decode.json" \
+  cargo bench -p vega-bench --bench decode | tee "$SMOKE_DIR/decode-bench.txt"
+grep -q "decode: smoke=ok" "$SMOKE_DIR/decode-bench.txt"
+
 # Serve smoke test: train a tiny checkpoint, serve it on an ephemeral port,
 # hammer it with the load generator (repeats must hit the cache and verify
 # byte-identical against direct generation), shut down cleanly, and check
 # the JSONL trace recorded the request spans.
 echo "== serve smoke =="
-SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"' EXIT
 target/release/vega-experiments headline --scale tiny \
   --save-model "$SMOKE_DIR/ckpt.json" > "$SMOKE_DIR/headline.txt"
 target/release/vega-serve --checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \

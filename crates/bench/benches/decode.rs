@@ -1,0 +1,125 @@
+//! Graph-path vs incremental (KV-cached) decode throughput.
+//!
+//! Runs teacher-forced decodes of controlled length (prefix 8/32/96) through
+//! both paths on the small transformer config at 1 and 4 threads, reports
+//! tokens/sec, and writes a machine-readable baseline to `BENCH_decode.json`
+//! (override the path with `VEGA_BENCH_OUT`; `VEGA_DECODE_BENCH_FAST=1`
+//! shrinks the sample count for the CI smoke run). The two paths are
+//! asserted to produce identical token streams while being timed, and the
+//! run prints `decode: smoke=ok` only if the incremental path is at least as
+//! fast as the graph path at prefix 96.
+
+use std::time::Instant;
+use vega_bench::fmt_secs;
+use vega_nn::{Transformer, TransformerConfig};
+use vega_obs::json::Json;
+
+/// Deterministic pseudo-random token ids (splitmix64).
+fn tokens(seed: u64, n: usize, lo: usize, hi: usize) -> Vec<usize> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            lo + (z as usize) % (hi - lo)
+        })
+        .collect()
+}
+
+/// Median seconds per call over `samples` timed calls (after one warm-up).
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    const VOCAB: usize = 512;
+    const SRC_LEN: usize = 48;
+    let fast_mode = std::env::var("VEGA_DECODE_BENCH_FAST").is_ok();
+    let samples = if fast_mode { 2 } else { 5 };
+    let mut model = Transformer::new(TransformerConfig::small(VOCAB));
+    let src = tokens(101, SRC_LEN, 2, VOCAB);
+    let feed = tokens(102, 96, 2, VOCAB);
+
+    let mut rows = Vec::new();
+    let mut speedup_p96_t1 = 0.0f64;
+    let mut smoke_ok = true;
+    println!("== decode (small config, vocab {VOCAB}, src len {SRC_LEN}) ==");
+    for &threads in &[1usize, 4] {
+        vega_par::set_threads(threads);
+        for &prefix in &[8usize, 32, 96] {
+            let feed = &feed[..prefix];
+            // The timed workloads are also an equivalence check.
+            let reference = model.forced_steps(&src, feed);
+            assert_eq!(
+                reference,
+                model.forced_steps_graph(&src, feed),
+                "incremental and graph decode diverged (prefix {prefix}, {threads} threads)"
+            );
+            let inc_secs = median_secs(samples, || {
+                std::hint::black_box(model.forced_steps(&src, feed));
+            });
+            let graph_secs = median_secs(samples, || {
+                std::hint::black_box(model.forced_steps_graph(&src, feed));
+            });
+            let inc_tps = prefix as f64 / inc_secs;
+            let graph_tps = prefix as f64 / graph_secs;
+            let speedup = graph_secs / inc_secs;
+            println!(
+                "prefix {prefix:>2}, {threads} thread(s): incremental {:>9}/decode ({inc_tps:>9.0} tok/s) | graph {:>9}/decode ({graph_tps:>8.0} tok/s) | speedup {speedup:.1}x",
+                fmt_secs(inc_secs),
+                fmt_secs(graph_secs),
+            );
+            for (path, secs, tps) in [
+                ("incremental", inc_secs, inc_tps),
+                ("graph", graph_secs, graph_tps),
+            ] {
+                rows.push(Json::obj([
+                    ("prefix", Json::num_usize(prefix)),
+                    ("threads", Json::num_usize(threads)),
+                    ("path", Json::str(path)),
+                    ("seconds_per_decode", Json::num_f64(secs)),
+                    ("tokens_per_sec", Json::num_f64(tps)),
+                ]));
+            }
+            if prefix == 96 {
+                if threads == 1 {
+                    speedup_p96_t1 = speedup;
+                }
+                smoke_ok &= inc_tps >= graph_tps;
+            }
+        }
+    }
+    vega_par::set_threads(0);
+
+    let out_path =
+        std::env::var("VEGA_BENCH_OUT").unwrap_or_else(|_| "BENCH_decode.json".to_string());
+    let doc = Json::obj([
+        ("bench", Json::str("decode")),
+        ("config", Json::str("small")),
+        ("vocab", Json::num_usize(VOCAB)),
+        ("src_len", Json::num_usize(SRC_LEN)),
+        ("samples_per_point", Json::num_usize(samples)),
+        ("results", Json::Arr(rows)),
+        ("speedup_prefix96_threads1", Json::num_f64(speedup_p96_t1)),
+    ]);
+    std::fs::write(&out_path, doc.render()).expect("write bench json");
+    println!("wrote {out_path} (speedup at prefix 96, 1 thread: {speedup_p96_t1:.1}x)");
+    if smoke_ok {
+        println!("decode: smoke=ok");
+    } else {
+        println!("decode: smoke=FAIL (incremental slower than graph at prefix 96)");
+        std::process::exit(1);
+    }
+}

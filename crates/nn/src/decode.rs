@@ -1,0 +1,596 @@
+//! Forward-only incremental inference (the generation fast path).
+//!
+//! Training builds an autograd [`Graph`](crate::Graph) per forward pass; the
+//! graph-based `greedy` additionally re-runs the whole decoder over the full
+//! prefix for every emitted token — O(T²) layer passes plus per-step tape and
+//! parameter-clone allocation for work that is pure inference. This module is
+//! the O(T)-per-token replacement: a [`DecodeState`] holds
+//!
+//! * the encoder output, computed **once** per decode,
+//! * per-decoder-layer **cross-attention K/V**, projected once from the
+//!   encoder output,
+//! * per-layer **self-attention K/V caches** that grow by one row per emitted
+//!   token, and
+//! * reusable scratch buffers, so the steady-state decode loop performs no
+//!   heap allocation (cache rows land in pre-reserved vectors).
+//!
+//! [`GruDecodeState`] is the analogous path for the GRU baseline: the
+//! recurrent hidden state is carried across steps instead of being rebuilt
+//! from scratch on a fresh graph at every token.
+//!
+//! # Bit-identity
+//!
+//! Every kernel here replays the *same f32 operations in the same order* as
+//! the graph path, so decoded token streams and logits are bit-identical to
+//! the graph implementations (`greedy_graph`, `forced_logprob_graph`) at
+//! every configuration and thread count. That identity is load-bearing: the
+//! determinism and chaos suites, the serve cache (equal keys must imply
+//! byte-identical payloads), and the golden vectors all assume generation is
+//! a pure function of (weights, input). The specific invariants:
+//!
+//! * Row kernels accumulate each output element one product at a time in
+//!   ascending `k`, exactly like [`Tensor::matmul`]'s kernels (whose scalar /
+//!   tiled / parallel paths are themselves verified bit-identical, including
+//!   the zero-skip in the scalar kernel).
+//! * The causal mask adds `-1e9` before softmax in the graph path; `exp`
+//!   underflows those lanes to exactly `0.0`, so softmax over the unmasked
+//!   prefix — what the cache computes — yields the identical row, and the
+//!   masked zeros are exact no-ops in the attention-value product.
+//! * Layer norm, softmax, and the activations copy the graph ops' expression
+//!   shapes verbatim (same reduction order, same `(x - mean) / std * g + b`
+//!   association).
+
+use crate::gru::{GruCell, GruSeq2Seq};
+use crate::tensor::Tensor;
+use crate::transformer::{AttnParams, FfParams, LnParams, Transformer};
+
+// ---------------------------------------------------------------------------
+// Row kernels (shared by the transformer and GRU fast paths)
+// ---------------------------------------------------------------------------
+
+/// `out = a · b` for a single row `a` (len `b.rows`), accumulating in
+/// ascending `k` with the scalar kernel's exact zero-skip semantics.
+pub(crate) fn row_matmul_into(a: &[f32], b: &Tensor, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.rows, "row matmul inner dim");
+    debug_assert_eq!(out.len(), b.cols, "row matmul out dim");
+    out.fill(0.0);
+    for (k, &av) in a.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = b.row(k);
+        for (o, &bv) in out.iter_mut().zip(brow.iter()) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Dot product in ascending index order (the transposed-matmul kernel's
+/// per-element accumulation).
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot length");
+    let mut s = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        s += x * y;
+    }
+    s
+}
+
+/// In-place softmax over one row, replicating [`Tensor::softmax_rows`]: max
+/// fold, exponentiate accumulating the sum in index order, divide.
+pub(crate) fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Row-wise layer norm replicating `Graph::layer_norm` bit for bit.
+pub(crate) fn layer_norm_row(x: &[f32], gain: &[f32], bias: &[f32], out: &mut [f32]) {
+    const EPS: f32 = 1e-5;
+    let d = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / d;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+    let std = (var + EPS).sqrt();
+    for c in 0..x.len() {
+        out[c] = (x[c] - mean) / std * gain[c] + bias[c];
+    }
+}
+
+/// `x += y` elementwise (`Graph::add` on one row).
+pub(crate) fn add_assign(x: &mut [f32], y: &[f32]) {
+    for (a, b) in x.iter_mut().zip(y.iter()) {
+        *a += *b;
+    }
+}
+
+/// Attention-weighted sum of cached value rows: `out = a · v_rows` with the
+/// scalar kernel's zero-skip (softmax lanes that underflowed to zero are
+/// skipped, exactly as the graph path's matmul skips them).
+fn attend_into(a: &[f32], v_rows: &Tensor, out: &mut [f32]) {
+    out.fill(0.0);
+    for (j, &av) in a.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let vrow = v_rows.row(j);
+        for (o, &vv) in out.iter_mut().zip(vrow.iter()) {
+            *o += av * vv;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forward-only matrix helpers (encoder; runs once per decode)
+// ---------------------------------------------------------------------------
+
+/// Row-wise layer norm over a matrix, replicating `Graph::layer_norm`.
+fn layer_norm_rows(x: &Tensor, gain: &Tensor, bias: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(x.rows, x.cols);
+    for r in 0..x.rows {
+        layer_norm_row(x.row(r), &gain.data, &bias.data, out.row_mut(r));
+    }
+    out
+}
+
+/// Column concatenation, replicating `Graph::concat_cols`.
+fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
+    debug_assert_eq!(a.rows, b.rows, "concat rows");
+    let mut out = Tensor::zeros(a.rows, a.cols + b.cols);
+    for r in 0..a.rows {
+        out.row_mut(r)[..a.cols].copy_from_slice(a.row(r));
+        out.row_mut(r)[a.cols..].copy_from_slice(b.row(r));
+    }
+    out
+}
+
+/// Elementwise ReLU, replicating `Graph::relu`.
+fn relu(x: &Tensor) -> Tensor {
+    Tensor {
+        rows: x.rows,
+        cols: x.cols,
+        data: x.data.iter().map(|v| v.max(0.0)).collect(),
+    }
+}
+
+impl Transformer {
+    fn embed_with_pos_fwd(&self, ids: &[usize]) -> Tensor {
+        let tok = self.store.value(self.tok_emb);
+        let pos = self.store.value(self.pos_emb);
+        let mut te = Tensor::zeros(ids.len(), tok.cols);
+        let mut pe = Tensor::zeros(ids.len(), pos.cols);
+        for (r, &id) in ids.iter().enumerate() {
+            te.row_mut(r).copy_from_slice(tok.row(id));
+            pe.row_mut(r)
+                .copy_from_slice(pos.row(r.min(self.cfg.max_len - 1)));
+        }
+        te.add(&pe)
+    }
+
+    /// Unmasked multi-head attention on plain tensors (encoder self-attention
+    /// uses `q_in == kv`), replaying the graph op sequence exactly.
+    fn attention_fwd(&self, q_in: &Tensor, kv: &Tensor, p: &AttnParams) -> Tensor {
+        let dh = self.cfg.d_model / self.cfg.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut concat: Option<Tensor> = None;
+        for h in 0..self.cfg.n_heads {
+            let q = q_in.matmul(self.store.value(p.wq[h]), false);
+            let k = kv.matmul(self.store.value(p.wk[h]), false);
+            let v = kv.matmul(self.store.value(p.wv[h]), false);
+            let scores = q.matmul(&k, true).scale(scale);
+            let a = scores.softmax_rows();
+            let head = a.matmul(&v, false);
+            concat = Some(match concat {
+                None => head,
+                Some(c) => concat_cols(&c, &head),
+            });
+        }
+        concat
+            .expect("at least one attention head")
+            .matmul(self.store.value(p.wo), false)
+    }
+
+    fn feed_forward_fwd(&self, x: &Tensor, p: &FfParams) -> Tensor {
+        let h = x
+            .matmul(self.store.value(p.w1), false)
+            .add_row_broadcast(self.store.value(p.b1));
+        relu(&h)
+            .matmul(self.store.value(p.w2), false)
+            .add_row_broadcast(self.store.value(p.b2))
+    }
+
+    fn ln_fwd(&self, x: &Tensor, p: &LnParams) -> Tensor {
+        layer_norm_rows(x, self.store.value(p.gain), self.store.value(p.bias))
+    }
+
+    /// Forward-only encoder pass (no autograd tape); bit-identical to the
+    /// graph path's `encode`.
+    pub(crate) fn encode_fwd(&self, src: &[usize]) -> Tensor {
+        let mut x = self.embed_with_pos_fwd(src);
+        for layer in &self.enc_layers {
+            let xn = self.ln_fwd(&x, &layer.ln1);
+            let att = self.attention_fwd(&xn, &xn, &layer.attn);
+            x = x.add(&att);
+            let xn = self.ln_fwd(&x, &layer.ln2);
+            let ffo = self.feed_forward_fwd(&xn, &layer.ff);
+            x = x.add(&ffo);
+        }
+        x
+    }
+
+    /// Starts an incremental decode session over `src` (clamped to
+    /// `max_len`): encodes once, projects every decoder layer's
+    /// cross-attention K/V once, and allocates the self-attention caches and
+    /// scratch buffers. Subsequent [`DecodeState::step`] calls cost one
+    /// token-row pass through the decoder instead of a full-prefix re-run.
+    pub fn begin_decode(&self, src: &[usize]) -> DecodeState<'_> {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let enc = self.encode_fwd(src);
+        let d = self.cfg.d_model;
+        let dh = d / self.cfg.n_heads;
+        let mut cross_k = Vec::with_capacity(self.dec_layers.len());
+        let mut cross_v = Vec::with_capacity(self.dec_layers.len());
+        let mut self_k = Vec::with_capacity(self.dec_layers.len());
+        let mut self_v = Vec::with_capacity(self.dec_layers.len());
+        for layer in &self.dec_layers {
+            let mut lk = Vec::with_capacity(self.cfg.n_heads);
+            let mut lv = Vec::with_capacity(self.cfg.n_heads);
+            let mut sk = Vec::with_capacity(self.cfg.n_heads);
+            let mut sv = Vec::with_capacity(self.cfg.n_heads);
+            for h in 0..self.cfg.n_heads {
+                lk.push(enc.matmul(self.store.value(layer.cross_attn.wk[h]), false));
+                lv.push(enc.matmul(self.store.value(layer.cross_attn.wv[h]), false));
+                let empty = || Tensor {
+                    rows: 0,
+                    cols: dh,
+                    data: Vec::with_capacity(self.cfg.max_len * dh),
+                };
+                sk.push(empty());
+                sv.push(empty());
+            }
+            cross_k.push(lk);
+            cross_v.push(lv);
+            self_k.push(sk);
+            self_v.push(sv);
+        }
+        DecodeState {
+            model: self,
+            cross_k,
+            cross_v,
+            self_k,
+            self_v,
+            len: 0,
+            x: vec![0.0; d],
+            xn: vec![0.0; d],
+            q: vec![0.0; dh],
+            kv_row: vec![0.0; dh],
+            scores: vec![0.0; self.cfg.max_len.max(enc.rows)],
+            heads: vec![0.0; d],
+            tmp_d: vec![0.0; d],
+            ff: vec![0.0; self.cfg.d_ff],
+            logits: vec![0.0; self.cfg.vocab],
+        }
+    }
+
+    /// Incremental forced decode: feeds each token of `feed` through a fresh
+    /// [`DecodeState`] and returns the argmax token id after every step — the
+    /// fast-path twin of [`Transformer::forced_steps_graph`] for equivalence
+    /// tests and benches that need decodes of a controlled length.
+    pub fn forced_steps(&self, src: &[usize], feed: &[usize]) -> Vec<usize> {
+        let feed = &feed[..feed.len().min(self.cfg.max_len)];
+        let mut st = self.begin_decode(src);
+        feed.iter()
+            .map(|&t| crate::seq2seq::argmax(st.step(t)).unwrap_or(0))
+            .collect()
+    }
+}
+
+/// Incremental decoder state for a [`Transformer`]: encoder-derived
+/// cross-attention K/V (computed once), growing per-layer self-attention K/V
+/// caches, and reusable scratch rows. Create with
+/// [`Transformer::begin_decode`], advance with [`DecodeState::step`].
+pub struct DecodeState<'m> {
+    model: &'m Transformer,
+    /// `[layer][head]`: encoder keys/values (`enc_len × d_head`), fixed.
+    cross_k: Vec<Vec<Tensor>>,
+    cross_v: Vec<Vec<Tensor>>,
+    /// `[layer][head]`: cached self-attention keys/values, one row per
+    /// decoded position (pre-reserved to `max_len` rows).
+    self_k: Vec<Vec<Tensor>>,
+    self_v: Vec<Vec<Tensor>>,
+    len: usize,
+    // Scratch rows, reused every step.
+    x: Vec<f32>,
+    xn: Vec<f32>,
+    q: Vec<f32>,
+    kv_row: Vec<f32>,
+    scores: Vec<f32>,
+    heads: Vec<f32>,
+    tmp_d: Vec<f32>,
+    ff: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl DecodeState<'_> {
+    /// Number of tokens fed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first [`DecodeState::step`].
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Feeds `token` at the next position and returns the logits row for it —
+    /// bit-identical to the last row of the graph path's full-prefix decode,
+    /// at one token-row of work per layer instead of a full-prefix re-run.
+    ///
+    /// # Panics
+    /// Panics if more than `max_len` tokens are fed (the graph path would
+    /// index the positional table out of range at the same point).
+    pub fn step(&mut self, token: usize) -> &[f32] {
+        let m = self.model;
+        let d = m.cfg.d_model;
+        let n_heads = m.cfg.n_heads;
+        let dh = d / n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        assert!(self.len < m.cfg.max_len, "decode past max_len");
+        let pos = self.len.min(m.cfg.max_len - 1);
+        // Token + positional embedding for this row.
+        let te = m.store.value(m.tok_emb).row(token);
+        let pe = m.store.value(m.pos_emb).row(pos);
+        for c in 0..d {
+            self.x[c] = te[c] + pe[c];
+        }
+        for (l, layer) in m.dec_layers.iter().enumerate() {
+            // Self-attention over the cached prefix plus this row.
+            layer_norm_row(
+                &self.x,
+                &m.store.value(layer.ln1.gain).data,
+                &m.store.value(layer.ln1.bias).data,
+                &mut self.xn,
+            );
+            for h in 0..n_heads {
+                row_matmul_into(&self.xn, m.store.value(layer.self_attn.wq[h]), &mut self.q);
+                let (sk, sv) = (&mut self.self_k[l][h], &mut self.self_v[l][h]);
+                row_matmul_into(
+                    &self.xn,
+                    m.store.value(layer.self_attn.wk[h]),
+                    &mut self.kv_row,
+                );
+                sk.data.extend_from_slice(&self.kv_row);
+                sk.rows += 1;
+                row_matmul_into(
+                    &self.xn,
+                    m.store.value(layer.self_attn.wv[h]),
+                    &mut self.kv_row,
+                );
+                sv.data.extend_from_slice(&self.kv_row);
+                sv.rows += 1;
+                let t1 = sk.rows;
+                for j in 0..t1 {
+                    self.scores[j] = dot(&self.q, sk.row(j)) * scale;
+                }
+                softmax_row(&mut self.scores[..t1]);
+                attend_into(
+                    &self.scores[..t1],
+                    sv,
+                    &mut self.heads[h * dh..(h + 1) * dh],
+                );
+            }
+            row_matmul_into(
+                &self.heads,
+                m.store.value(layer.self_attn.wo),
+                &mut self.tmp_d,
+            );
+            add_assign(&mut self.x, &self.tmp_d);
+            // Cross-attention against the fixed encoder K/V.
+            layer_norm_row(
+                &self.x,
+                &m.store.value(layer.ln2.gain).data,
+                &m.store.value(layer.ln2.bias).data,
+                &mut self.xn,
+            );
+            for h in 0..n_heads {
+                row_matmul_into(&self.xn, m.store.value(layer.cross_attn.wq[h]), &mut self.q);
+                let (ck, cv) = (&self.cross_k[l][h], &self.cross_v[l][h]);
+                for j in 0..ck.rows {
+                    self.scores[j] = dot(&self.q, ck.row(j)) * scale;
+                }
+                softmax_row(&mut self.scores[..ck.rows]);
+                attend_into(
+                    &self.scores[..ck.rows],
+                    cv,
+                    &mut self.heads[h * dh..(h + 1) * dh],
+                );
+            }
+            row_matmul_into(
+                &self.heads,
+                m.store.value(layer.cross_attn.wo),
+                &mut self.tmp_d,
+            );
+            add_assign(&mut self.x, &self.tmp_d);
+            // Feed-forward.
+            layer_norm_row(
+                &self.x,
+                &m.store.value(layer.ln3.gain).data,
+                &m.store.value(layer.ln3.bias).data,
+                &mut self.xn,
+            );
+            row_matmul_into(&self.xn, m.store.value(layer.ff.w1), &mut self.ff);
+            add_assign(&mut self.ff, &m.store.value(layer.ff.b1).data);
+            for v in self.ff.iter_mut() {
+                *v = v.max(0.0);
+            }
+            row_matmul_into(&self.ff, m.store.value(layer.ff.w2), &mut self.tmp_d);
+            add_assign(&mut self.tmp_d, &m.store.value(layer.ff.b2).data);
+            add_assign(&mut self.x, &self.tmp_d);
+        }
+        layer_norm_row(
+            &self.x,
+            &m.store.value(m.final_ln.gain).data,
+            &m.store.value(m.final_ln.bias).data,
+            &mut self.xn,
+        );
+        row_matmul_into(&self.xn, m.store.value(m.w_out), &mut self.logits);
+        add_assign(&mut self.logits, &m.store.value(m.b_out).data);
+        self.len += 1;
+        &self.logits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GRU fast path
+// ---------------------------------------------------------------------------
+
+impl GruSeq2Seq {
+    /// Starts an incremental GRU decode over `src` (clamped to `max_len`):
+    /// runs the encoder once and seeds the decoder hidden state, which is
+    /// then carried across [`GruDecodeState::step`] calls instead of being
+    /// recomputed from scratch per token on a fresh graph.
+    pub fn begin_decode(&self, src: &[usize]) -> GruDecodeState<'_> {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let d = self.cfg.d_model;
+        let mut st = GruDecodeState {
+            model: self,
+            h: vec![0.0; d],
+            xin: vec![0.0; 2 * d],
+            z: vec![0.0; d],
+            r: vec![0.0; d],
+            hcand: vec![0.0; d],
+            rh: vec![0.0; d],
+            logits: vec![0.0; self.cfg.vocab],
+        };
+        let emb = self.store.value(self.emb);
+        for &id in src {
+            st.cell_fwd(&self.enc, emb.row(id));
+        }
+        st
+    }
+
+    /// Incremental forced decode for the GRU (see
+    /// [`Transformer::forced_steps`]).
+    pub fn forced_steps(&self, src: &[usize], feed: &[usize]) -> Vec<usize> {
+        let feed = &feed[..feed.len().min(self.cfg.max_len)];
+        let mut st = self.begin_decode(src);
+        feed.iter()
+            .map(|&t| crate::seq2seq::argmax(st.step(t)).unwrap_or(0))
+            .collect()
+    }
+}
+
+/// Incremental decoder state for a [`GruSeq2Seq`]: the recurrent hidden
+/// state plus reusable gate scratch. Create with
+/// [`GruSeq2Seq::begin_decode`], advance with [`GruDecodeState::step`].
+pub struct GruDecodeState<'m> {
+    model: &'m GruSeq2Seq,
+    h: Vec<f32>,
+    xin: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    hcand: Vec<f32>,
+    rh: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl GruDecodeState<'_> {
+    /// One GRU cell update `h ← cell(x, h)`, replaying the graph path's
+    /// `cell_step` op sequence bit for bit.
+    fn cell_fwd(&mut self, cell: &GruCell, x: &[f32]) {
+        let m = self.model;
+        let d = m.cfg.d_model;
+        self.xin[..d].copy_from_slice(x);
+        self.xin[d..].copy_from_slice(&self.h);
+        row_matmul_into(&self.xin, m.store.value(cell.wz), &mut self.z);
+        add_assign(&mut self.z, &m.store.value(cell.bz).data);
+        for v in self.z.iter_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        row_matmul_into(&self.xin, m.store.value(cell.wr), &mut self.r);
+        add_assign(&mut self.r, &m.store.value(cell.br).data);
+        for v in self.r.iter_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        for i in 0..d {
+            self.rh[i] = self.r[i] * self.h[i];
+        }
+        self.xin[..d].copy_from_slice(x);
+        self.xin[d..].copy_from_slice(&self.rh);
+        row_matmul_into(&self.xin, m.store.value(cell.wh), &mut self.hcand);
+        add_assign(&mut self.hcand, &m.store.value(cell.bh).data);
+        for v in self.hcand.iter_mut() {
+            *v = v.tanh();
+        }
+        // h' = (1 - z) ⊙ h + z ⊙ ĥ, associated exactly as the graph ops are:
+        // keep = (−z + 1) ⊙ h, new = z ⊙ ĥ, h' = keep + new.
+        for i in 0..d {
+            let keep = (self.z[i] * -1.0 + 1.0) * self.h[i];
+            let new = self.z[i] * self.hcand[i];
+            self.h[i] = keep + new;
+        }
+    }
+
+    /// Feeds `token` through the decoder cell and returns its logits row —
+    /// bit-identical to the last row of the graph path's full-prefix decode.
+    pub fn step(&mut self, token: usize) -> &[f32] {
+        let m = self.model;
+        let emb = m.store.value(m.emb);
+        let x: Vec<f32> = emb.row(token).to_vec();
+        self.cell_fwd(&m.dec, &x);
+        row_matmul_into(&self.h, m.store.value(m.w_out), &mut self.logits);
+        add_assign(&mut self.logits, &m.store.value(m.b_out).data);
+        &self.logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_matmul_matches_tensor_matmul_bitwise() {
+        let a = Tensor::from_vec(1, 4, vec![0.5, 0.0, -1.25, 2.0]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let full = a.matmul(&b, false);
+        let mut out = vec![0.0f32; 3];
+        row_matmul_into(a.row(0), &b, &mut out);
+        for (x, y) in out.iter().zip(&full.data) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn softmax_row_matches_tensor_softmax_bitwise() {
+        let t = Tensor::from_vec(1, 5, vec![0.1, -2.0, 3.5, 0.0, 1.0]);
+        let full = t.softmax_rows();
+        let mut row = t.data.clone();
+        softmax_row(&mut row);
+        for (x, y) in row.iter().zip(&full.data) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_softmax_prefix_is_exact() {
+        // The graph path softmaxes the full row with -1e9 added to masked
+        // lanes; the fast path softmaxes only the prefix. The masked lanes
+        // must underflow to exactly zero for the two to agree.
+        let scores = [0.3f32, -1.2, 0.9];
+        let mut masked: Vec<f32> = scores.to_vec();
+        masked.extend([0.4f32 + -1e9, -0.7 + -1e9]);
+        softmax_row(&mut masked);
+        let mut prefix = scores.to_vec();
+        softmax_row(&mut prefix);
+        for (x, y) in prefix.iter().zip(&masked) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(masked[3], 0.0);
+        assert_eq!(masked[4], 0.0);
+    }
+}

@@ -46,13 +46,13 @@ impl GruConfig {
 }
 
 #[derive(Debug, Clone)]
-struct GruCell {
-    wz: ParamId,
-    bz: ParamId,
-    wr: ParamId,
-    br: ParamId,
-    wh: ParamId,
-    bh: ParamId,
+pub(crate) struct GruCell {
+    pub(crate) wz: ParamId,
+    pub(crate) bz: ParamId,
+    pub(crate) wr: ParamId,
+    pub(crate) br: ParamId,
+    pub(crate) wh: ParamId,
+    pub(crate) bh: ParamId,
 }
 
 fn pid_json(p: ParamId) -> Json {
@@ -92,12 +92,12 @@ impl GruCell {
 pub struct GruSeq2Seq {
     /// Hyperparameters.
     pub cfg: GruConfig,
-    store: ParamStore,
-    emb: ParamId,
-    enc: GruCell,
-    dec: GruCell,
-    w_out: ParamId,
-    b_out: ParamId,
+    pub(crate) store: ParamStore,
+    pub(crate) emb: ParamId,
+    pub(crate) enc: GruCell,
+    pub(crate) dec: GruCell,
+    pub(crate) w_out: ParamId,
+    pub(crate) b_out: ParamId,
 }
 
 fn make_cell(store: &mut ParamStore, init: &mut Init, name: &str, d: usize) -> GruCell {
@@ -251,22 +251,16 @@ impl Seq2Seq for GruSeq2Seq {
     }
 
     fn greedy(&mut self, src: &[usize], bos: usize, eos: usize, max_len: usize) -> Vec<usize> {
-        let src = src[..src.len().min(self.cfg.max_len)].to_vec();
-        let me = self.clone_descriptors();
         let cap = max_len.min(self.cfg.max_len);
+        let mut st = self.begin_decode(src);
         let mut out = vec![bos];
+        let obs = vega_obs::global();
         while out.len() < cap {
-            let mut g = Graph::new(&mut self.store);
-            let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
-            let logits = me.3.decode_logits_ref(&mut g, h, &out);
-            let v = g.value(logits);
-            let last = v.row(v.rows - 1);
-            let next = last
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap_or(eos);
+            let t0 = std::time::Instant::now();
+            let last = *out.last().expect("out starts with bos");
+            let next = crate::seq2seq::argmax(st.step(last)).unwrap_or(eos);
+            obs.observe("decode.step_seconds", t0.elapsed().as_secs_f64());
+            obs.counter_add("decode.tokens", 1);
             if next == eos {
                 break;
             }
@@ -287,6 +281,65 @@ impl Seq2Seq for GruSeq2Seq {
         let src = &src[..src.len().min(self.cfg.max_len)];
         let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
         let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
+        let mut probs = vec![0.0f32; self.cfg.vocab];
+        let mut st = self.begin_decode(src);
+        let mut lp = 0.0f32;
+        for (&ti, &to) in tgt_in.iter().zip(tgt_out.iter()) {
+            probs.copy_from_slice(st.step(ti));
+            crate::decode::softmax_row(&mut probs);
+            lp += probs[to].max(1e-12).ln();
+        }
+        vega_obs::global().counter_add("decode.scored_tokens", n as u64);
+        lp
+    }
+}
+
+impl GruSeq2Seq {
+    /// The pre-fast-path greedy decode: re-encodes `src` and re-runs the
+    /// decoder over the whole prefix on a fresh autograd [`Graph`] for every
+    /// emitted token. Kept as the reference implementation the equivalence
+    /// suite compares the incremental [`Seq2Seq::greedy`] against.
+    pub fn greedy_graph(
+        &mut self,
+        src: &[usize],
+        bos: usize,
+        eos: usize,
+        max_len: usize,
+    ) -> Vec<usize> {
+        let src = src[..src.len().min(self.cfg.max_len)].to_vec();
+        let me = self.clone_descriptors();
+        let cap = max_len.min(self.cfg.max_len);
+        let mut out = vec![bos];
+        while out.len() < cap {
+            let mut g = Graph::new(&mut self.store);
+            let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
+            let logits = me.3.decode_logits_ref(&mut g, h, &out);
+            let v = g.value(logits);
+            let next = crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(eos);
+            vega_obs::global().counter_add("decode.graph_tokens", 1);
+            if next == eos {
+                break;
+            }
+            out.push(next);
+            if crate::seq2seq::looks_degenerate(&out) {
+                break;
+            }
+        }
+        out.remove(0);
+        out
+    }
+
+    /// Graph-path teacher-forced log-probability (reference twin of the
+    /// incremental [`Seq2Seq::forced_logprob`]; the two must agree bitwise).
+    pub fn forced_logprob_graph(
+        &mut self,
+        src: &[usize],
+        tgt_in: &[usize],
+        tgt_out: &[usize],
+    ) -> f32 {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
+        let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
         let me = self.clone_descriptors();
         let mut g = Graph::new(&mut self.store);
         let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
@@ -297,6 +350,37 @@ impl Seq2Seq for GruSeq2Seq {
             lp += probs.at(r, t).max(1e-12).ln();
         }
         lp
+    }
+
+    /// Graph-path logits for a full teacher-forced decode (see
+    /// [`Transformer::logits_rows_graph`](crate::Transformer::logits_rows_graph)).
+    pub fn logits_rows_graph(&mut self, src: &[usize], tgt_in: &[usize]) -> Tensor {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let tgt_in = &tgt_in[..tgt_in.len().min(self.cfg.max_len)];
+        let me = self.clone_descriptors();
+        let mut g = Graph::new(&mut self.store);
+        let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
+        let logits = me.3.decode_logits_ref(&mut g, h, tgt_in);
+        g.value(logits).clone()
+    }
+
+    /// Graph-path forced decode twin of [`GruSeq2Seq::forced_steps`],
+    /// re-running encoder and decoder from scratch per step exactly as the
+    /// old greedy loop did.
+    pub fn forced_steps_graph(&mut self, src: &[usize], feed: &[usize]) -> Vec<usize> {
+        let src = src[..src.len().min(self.cfg.max_len)].to_vec();
+        let feed = &feed[..feed.len().min(self.cfg.max_len)];
+        let me = self.clone_descriptors();
+        let mut out = Vec::with_capacity(feed.len());
+        for i in 1..=feed.len() {
+            let mut g = Graph::new(&mut self.store);
+            let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
+            let logits = me.3.decode_logits_ref(&mut g, h, &feed[..i]);
+            let v = g.value(logits);
+            out.push(crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(0));
+            vega_obs::global().counter_add("decode.graph_tokens", 1);
+        }
+        out
     }
 }
 

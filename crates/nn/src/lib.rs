@@ -8,6 +8,11 @@
 //! [`GruSeq2Seq`] baseline for the RNN ablation. Both models implement
 //! [`Seq2Seq`] and serialize to JSON.
 //!
+//! Generation runs on a forward-only fast path ([`DecodeState`] /
+//! [`GruDecodeState`], see the [`mod@decode`] module docs) that caches
+//! per-layer attention K/V and is bit-identical to the autograd-graph
+//! reference decode.
+//!
 //! # Examples
 //! ```
 //! use vega_nn::{Seq2Seq, Transformer, TransformerConfig};
@@ -24,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod decode;
 mod graph;
 mod gru;
 mod params;
@@ -31,9 +37,10 @@ mod seq2seq;
 mod tensor;
 mod transformer;
 
+pub use decode::{DecodeState, GruDecodeState};
 pub use graph::{Graph, NodeId};
 pub use gru::{GruConfig, GruSeq2Seq};
 pub use params::{Init, ParamId, ParamStore};
-pub use seq2seq::{looks_degenerate, train_until, Seq2Seq};
+pub use seq2seq::{argmax, looks_degenerate, train_until, Seq2Seq};
 pub use tensor::Tensor;
 pub use transformer::{Transformer, TransformerConfig};

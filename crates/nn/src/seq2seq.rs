@@ -52,6 +52,28 @@ pub trait Seq2Seq {
     }
 }
 
+/// NaN-safe argmax over a logits row, tie-breaking to the **lowest** token
+/// id. Returns `None` for an empty or all-NaN row.
+///
+/// Both greedy decoders route through this one helper: the previous
+/// per-model `max_by(partial_cmp().unwrap())` panicked on NaN logits and
+/// tie-broke to the *last* index, which made token choice depend on vocab
+/// order in a surprising way. Lowest-id tie-breaking is deterministic and
+/// identical across the graph and incremental decode paths.
+pub fn argmax(row: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in row.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
 /// Detects degenerate greedy decodes: the tail repeats a short cycle
 /// (period 1–4) at least three times. Decoders break out early when this
 /// fires instead of filling the budget with the loop.
@@ -101,6 +123,27 @@ pub fn train_until<M: Seq2Seq>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn argmax_ties_break_to_lowest_index() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[5.0, 5.0, 5.0]), Some(0));
+        assert_eq!(argmax(&[-1.0, -0.5]), Some(1));
+    }
+
+    #[test]
+    fn argmax_skips_nans_instead_of_panicking() {
+        assert_eq!(argmax(&[f32::NAN, 2.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[1.0, f32::NAN, 9.0]), Some(2));
+        assert_eq!(argmax(&[f32::NAN, f32::NAN]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_handles_infinities() {
+        assert_eq!(argmax(&[f32::NEG_INFINITY, 0.0]), Some(1));
+        assert_eq!(argmax(&[f32::INFINITY, f32::INFINITY]), Some(0));
+    }
 
     #[test]
     fn degenerate_detects_short_cycles() {

@@ -80,11 +80,11 @@ fn pids_from(v: &Json) -> Result<Vec<ParamId>, JsonError> {
 }
 
 #[derive(Debug, Clone)]
-struct AttnParams {
-    wq: Vec<ParamId>,
-    wk: Vec<ParamId>,
-    wv: Vec<ParamId>,
-    wo: ParamId,
+pub(crate) struct AttnParams {
+    pub(crate) wq: Vec<ParamId>,
+    pub(crate) wk: Vec<ParamId>,
+    pub(crate) wv: Vec<ParamId>,
+    pub(crate) wo: ParamId,
 }
 
 impl AttnParams {
@@ -108,9 +108,9 @@ impl AttnParams {
 }
 
 #[derive(Debug, Clone)]
-struct LnParams {
-    gain: ParamId,
-    bias: ParamId,
+pub(crate) struct LnParams {
+    pub(crate) gain: ParamId,
+    pub(crate) bias: ParamId,
 }
 
 impl LnParams {
@@ -127,11 +127,11 @@ impl LnParams {
 }
 
 #[derive(Debug, Clone)]
-struct FfParams {
-    w1: ParamId,
-    b1: ParamId,
-    w2: ParamId,
-    b2: ParamId,
+pub(crate) struct FfParams {
+    pub(crate) w1: ParamId,
+    pub(crate) b1: ParamId,
+    pub(crate) w2: ParamId,
+    pub(crate) b2: ParamId,
 }
 
 impl FfParams {
@@ -155,11 +155,11 @@ impl FfParams {
 }
 
 #[derive(Debug, Clone)]
-struct EncLayer {
-    ln1: LnParams,
-    attn: AttnParams,
-    ln2: LnParams,
-    ff: FfParams,
+pub(crate) struct EncLayer {
+    pub(crate) ln1: LnParams,
+    pub(crate) attn: AttnParams,
+    pub(crate) ln2: LnParams,
+    pub(crate) ff: FfParams,
 }
 
 impl EncLayer {
@@ -183,13 +183,13 @@ impl EncLayer {
 }
 
 #[derive(Debug, Clone)]
-struct DecLayer {
-    ln1: LnParams,
-    self_attn: AttnParams,
-    ln2: LnParams,
-    cross_attn: AttnParams,
-    ln3: LnParams,
-    ff: FfParams,
+pub(crate) struct DecLayer {
+    pub(crate) ln1: LnParams,
+    pub(crate) self_attn: AttnParams,
+    pub(crate) ln2: LnParams,
+    pub(crate) cross_attn: AttnParams,
+    pub(crate) ln3: LnParams,
+    pub(crate) ff: FfParams,
 }
 
 impl DecLayer {
@@ -221,14 +221,14 @@ impl DecLayer {
 pub struct Transformer {
     /// Hyperparameters.
     pub cfg: TransformerConfig,
-    store: ParamStore,
-    tok_emb: ParamId,
-    pos_emb: ParamId,
-    enc_layers: Vec<EncLayer>,
-    dec_layers: Vec<DecLayer>,
-    final_ln: LnParams,
-    w_out: ParamId,
-    b_out: ParamId,
+    pub(crate) store: ParamStore,
+    pub(crate) tok_emb: ParamId,
+    pub(crate) pos_emb: ParamId,
+    pub(crate) enc_layers: Vec<EncLayer>,
+    pub(crate) dec_layers: Vec<DecLayer>,
+    pub(crate) final_ln: LnParams,
+    pub(crate) w_out: ParamId,
+    pub(crate) b_out: ParamId,
 }
 
 impl Transformer {
@@ -336,28 +336,16 @@ impl Seq2Seq for Transformer {
     }
 
     fn greedy(&mut self, src: &[usize], bos: usize, eos: usize, max_len: usize) -> Vec<usize> {
-        let src = self.clamp_len(src).to_vec();
-        let me = self.clone_shallow();
-        let mut out: Vec<usize> = vec![bos];
         let cap = max_len.min(self.cfg.max_len);
-        // Encode once; reuse the encoder output tensor as a constant.
-        let enc_value = {
-            let mut g = Graph::new(&mut self.store);
-            let enc = me.encode(&mut g, &src);
-            g.value(enc).clone()
-        };
+        let mut st = self.begin_decode(src);
+        let mut out: Vec<usize> = vec![bos];
+        let obs = vega_obs::global();
         while out.len() < cap {
-            let mut g = Graph::new(&mut self.store);
-            let enc = g.constant(enc_value.clone());
-            let logits = me.decode(&mut g, &out, enc);
-            let v = g.value(logits);
-            let last = v.row(v.rows - 1);
-            let next = last
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i)
-                .unwrap_or(eos);
+            let t0 = std::time::Instant::now();
+            let last = *out.last().expect("out starts with bos");
+            let next = crate::seq2seq::argmax(st.step(last)).unwrap_or(eos);
+            obs.observe("decode.step_seconds", t0.elapsed().as_secs_f64());
+            obs.counter_add("decode.tokens", 1);
             if next == eos {
                 break;
             }
@@ -378,6 +366,73 @@ impl Seq2Seq for Transformer {
         let src = &src[..src.len().min(self.cfg.max_len)];
         let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
         let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
+        let mut probs = vec![0.0f32; self.cfg.vocab];
+        let mut st = self.begin_decode(src);
+        let mut lp = 0.0f32;
+        for (&ti, &to) in tgt_in.iter().zip(tgt_out.iter()) {
+            probs.copy_from_slice(st.step(ti));
+            crate::decode::softmax_row(&mut probs);
+            lp += probs[to].max(1e-12).ln();
+        }
+        vega_obs::global().counter_add("decode.scored_tokens", n as u64);
+        lp
+    }
+}
+
+impl Transformer {
+    /// The pre-fast-path greedy decode: re-runs the full decoder over the
+    /// whole prefix through an autograd [`Graph`] for every emitted token
+    /// (O(T²) layer passes). Kept as the reference implementation the
+    /// equivalence suite and `vega-bench decode` compare the incremental
+    /// [`Seq2Seq::greedy`] against — the two must produce bit-identical
+    /// token streams.
+    pub fn greedy_graph(
+        &mut self,
+        src: &[usize],
+        bos: usize,
+        eos: usize,
+        max_len: usize,
+    ) -> Vec<usize> {
+        let src = self.clamp_len(src).to_vec();
+        let me = self.clone_shallow();
+        let mut out: Vec<usize> = vec![bos];
+        let cap = max_len.min(self.cfg.max_len);
+        // Encode once; reuse the encoder output tensor as a constant.
+        let enc_value = {
+            let mut g = Graph::new(&mut self.store);
+            let enc = me.encode(&mut g, &src);
+            g.value(enc).clone()
+        };
+        while out.len() < cap {
+            let mut g = Graph::new(&mut self.store);
+            let enc = g.constant(enc_value.clone());
+            let logits = me.decode(&mut g, &out, enc);
+            let v = g.value(logits);
+            let next = crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(eos);
+            vega_obs::global().counter_add("decode.graph_tokens", 1);
+            if next == eos {
+                break;
+            }
+            out.push(next);
+            if crate::seq2seq::looks_degenerate(&out) {
+                break;
+            }
+        }
+        out.remove(0);
+        out
+    }
+
+    /// Graph-path teacher-forced log-probability (reference twin of the
+    /// incremental [`Seq2Seq::forced_logprob`]; the two must agree bitwise).
+    pub fn forced_logprob_graph(
+        &mut self,
+        src: &[usize],
+        tgt_in: &[usize],
+        tgt_out: &[usize],
+    ) -> f32 {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
+        let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
         let me = self.clone_shallow();
         let mut g = Graph::new(&mut self.store);
         let enc = me.encode(&mut g, src);
@@ -388,6 +443,45 @@ impl Seq2Seq for Transformer {
             lp += probs.at(r, t).max(1e-12).ln();
         }
         lp
+    }
+
+    /// Graph-path logits for a full teacher-forced decode (`tgt_in.len()`
+    /// rows, clamped to `max_len`). Exposed so the equivalence suite can
+    /// compare raw logits bits against [`crate::DecodeState::step`].
+    pub fn logits_rows_graph(&mut self, src: &[usize], tgt_in: &[usize]) -> Tensor {
+        let src = &src[..src.len().min(self.cfg.max_len)];
+        let tgt_in = &tgt_in[..tgt_in.len().min(self.cfg.max_len)];
+        let me = self.clone_shallow();
+        let mut g = Graph::new(&mut self.store);
+        let enc = me.encode(&mut g, src);
+        let logits = me.decode(&mut g, tgt_in, enc);
+        g.value(logits).clone()
+    }
+
+    /// Graph-path forced decode: feeds each token of `feed` (clamped to
+    /// `max_len`) and returns the argmax id after every step, re-running the
+    /// decoder over the growing prefix each time — the O(T²) twin of
+    /// [`Transformer::forced_steps`], used by the decode bench for
+    /// controlled-length comparisons.
+    pub fn forced_steps_graph(&mut self, src: &[usize], feed: &[usize]) -> Vec<usize> {
+        let src = self.clamp_len(src).to_vec();
+        let feed = &feed[..feed.len().min(self.cfg.max_len)];
+        let me = self.clone_shallow();
+        let enc_value = {
+            let mut g = Graph::new(&mut self.store);
+            let enc = me.encode(&mut g, &src);
+            g.value(enc).clone()
+        };
+        let mut out = Vec::with_capacity(feed.len());
+        for i in 1..=feed.len() {
+            let mut g = Graph::new(&mut self.store);
+            let enc = g.constant(enc_value.clone());
+            let logits = me.decode(&mut g, &feed[..i], enc);
+            let v = g.value(logits);
+            out.push(crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(0));
+            vega_obs::global().counter_add("decode.graph_tokens", 1);
+        }
+        out
     }
 }
 

@@ -102,6 +102,19 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[ix.min(sorted.len() - 1)]
 }
 
+/// Reads one numeric field out of a `stats` response (0 on any error).
+fn stat_u64(resp: &std::io::Result<Json>, key: &str) -> u64 {
+    resp.as_ref()
+        .ok()
+        .and_then(|v| {
+            v.field("stats")
+                .and_then(|s| s.field(key))
+                .and_then(Json::as_u64)
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
 /// The canonical bytes of a generate response's `result` field.
 fn result_bytes(response: &Json) -> Result<String, String> {
     match response.field("ok") {
@@ -161,6 +174,10 @@ fn main() {
         }
     }
 
+    // Decode-token counter before the measured load, so the wall-clock
+    // window yields serving-level tokens/sec for the fast decode path.
+    let tokens_before = stat_u64(&control.op_with_retry("stats", &retry), "decode_tokens");
+
     // Fire the measured load across connections.
     let t0 = Instant::now();
     let per_conn = args.requests.div_ceil(args.conns.max(1));
@@ -208,12 +225,16 @@ fn main() {
         }
     }
     let wall = t0.elapsed();
+    let decode_tokens = stat_u64(&control.op_with_retry("stats", &retry), "decode_tokens")
+        .saturating_sub(tokens_before);
     latencies.sort();
     println!(
-        "loadgen: requests={} wall={:.2}s throughput={:.1}/s p50={:.1}ms p99={:.1}ms",
+        "loadgen: requests={} wall={:.2}s throughput={:.1}/s tokens/s={:.1} \
+         decode_tokens={decode_tokens} p50={:.1}ms p99={:.1}ms",
         latencies.len(),
         wall.as_secs_f64(),
         latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+        decode_tokens as f64 / wall.as_secs_f64().max(1e-9),
         percentile(&latencies, 0.50).as_secs_f64() * 1e3,
         percentile(&latencies, 0.99).as_secs_f64() * 1e3,
     );

@@ -119,6 +119,13 @@ pub struct ServeStats {
     pub generated: u64,
     /// Jobs currently queued.
     pub queue_depth: u64,
+    /// Tokens emitted by the incremental greedy decoder (process-wide
+    /// `decode.tokens` obs counter) — with wall-clock deltas this yields the
+    /// serving-level tokens/sec that `vega-loadgen` reports.
+    pub decode_tokens: u64,
+    /// Tokens scored through the incremental `forced_logprob` path
+    /// (process-wide `decode.scored_tokens` obs counter).
+    pub decode_scored_tokens: u64,
 }
 
 impl ServeStats {
@@ -135,6 +142,11 @@ impl ServeStats {
             ("deadline_exceeded", Json::num_u64(self.deadline_exceeded)),
             ("generated", Json::num_u64(self.generated)),
             ("queue_depth", Json::num_u64(self.queue_depth)),
+            ("decode_tokens", Json::num_u64(self.decode_tokens)),
+            (
+                "decode_scored_tokens",
+                Json::num_u64(self.decode_scored_tokens),
+            ),
         ])
     }
 }
@@ -249,6 +261,7 @@ impl Server {
 }
 
 fn snapshot(shared: &Shared) -> ServeStats {
+    let obs = vega_obs::global();
     let st = shared.state.lock().unwrap();
     ServeStats {
         requests: st.requests,
@@ -261,6 +274,8 @@ fn snapshot(shared: &Shared) -> ServeStats {
         deadline_exceeded: st.deadline_exceeded,
         generated: st.generated,
         queue_depth: st.queue.len() as u64,
+        decode_tokens: obs.counter("decode.tokens"),
+        decode_scored_tokens: obs.counter("decode.scored_tokens"),
     }
 }
 
