@@ -36,6 +36,15 @@ VEGA_DECODE_BENCH_FAST=1 VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_decode.json" \
   cargo bench -p vega-bench --bench decode | tee "$SMOKE_DIR/decode-bench.txt"
 grep -q "decode: smoke=ok" "$SMOKE_DIR/decode-bench.txt"
 
+# Observability overhead: the disabled flight-recorder record path must stay
+# one relaxed atomic load — the bench fails if it costs more than the ns
+# budget, so instrumentation can never silently tax the serve hot path.
+echo "== obs overhead smoke =="
+VEGA_OBS_BENCH_FAST=1 VEGA_OBS_BUDGET_NS=250 \
+  VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_obs.json" \
+  cargo bench -p vega-bench --bench obs | tee "$SMOKE_DIR/obs-bench.txt"
+grep -q "obs: smoke=ok" "$SMOKE_DIR/obs-bench.txt"
+
 # Serve smoke test: train a tiny checkpoint, serve it on an ephemeral port,
 # hammer it with the load generator (repeats must hit the cache and verify
 # byte-identical against direct generation), shut down cleanly, and check
@@ -55,11 +64,21 @@ done
 target/release/vega-loadgen --addr "127.0.0.1:$(cat "$SMOKE_DIR/port")" \
   --requests 24 --conns 4 --distinct 4 \
   --verify-checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \
-  --shutdown | tee "$SMOKE_DIR/loadgen.txt"
-wait "$SERVE_PID"
+  | tee "$SMOKE_DIR/loadgen.txt"
 grep -q "loadgen: verify=ok" "$SMOKE_DIR/loadgen.txt"
 grep -q "loadgen: cache=ok" "$SMOKE_DIR/loadgen.txt"
-grep -q "loadgen: shutdown=ok" "$SMOKE_DIR/loadgen.txt"
+grep -q "loadgen: trace=ok" "$SMOKE_DIR/loadgen.txt"
+grep -q "loadgen: timing " "$SMOKE_DIR/loadgen.txt"
+# vega-top mode: the live dashboard polls the metrics op on the same daemon.
+target/release/vega-loadgen --addr "127.0.0.1:$(cat "$SMOKE_DIR/port")" \
+  --top 3 --top-interval-ms 100 | tee "$SMOKE_DIR/top.txt"
+grep -q "vega-top: rps=" "$SMOKE_DIR/top.txt"
+# A second loadgen pass shuts the daemon down (repeats all hit the cache).
+target/release/vega-loadgen --addr "127.0.0.1:$(cat "$SMOKE_DIR/port")" \
+  --requests 8 --conns 2 --distinct 4 \
+  --shutdown | tee "$SMOKE_DIR/loadgen2.txt"
+wait "$SERVE_PID"
+grep -q "loadgen: shutdown=ok" "$SMOKE_DIR/loadgen2.txt"
 grep -q "^served requests=" "$SMOKE_DIR/serve.log"
 grep -q "serve.request" "$SMOKE_DIR/trace.jsonl"
 echo "serve smoke: ok"
@@ -87,6 +106,7 @@ target/release/vega-loadgen --addr "127.0.0.1:$(cat "$SMOKE_DIR/chaos-port")" \
 wait "$CHAOS_PID"
 grep -q "loadgen: verify=ok" "$SMOKE_DIR/chaos-loadgen.txt"
 grep -q "loadgen: cache=ok" "$SMOKE_DIR/chaos-loadgen.txt"
+grep -q "loadgen: trace=ok" "$SMOKE_DIR/chaos-loadgen.txt"
 grep -q "loadgen: shutdown=ok" "$SMOKE_DIR/chaos-loadgen.txt"
 grep -q "fault.injected.serve.conn" "$SMOKE_DIR/chaos-trace.jsonl"
 echo "chaos: ok"

@@ -1,0 +1,115 @@
+//! Observability overhead: what a span, a counter bump, and a flight-recorder
+//! append cost — and, above all, what *disabled* instrumentation costs.
+//!
+//! The vega-obs flight recorder promises the vega-fault discipline: when the
+//! recorder is off, a record call is one relaxed atomic load and an immediate
+//! return. This bench pins that promise with a hard nanosecond budget
+//! (`VEGA_OBS_BUDGET_NS`, default 250) on the disabled record path, reports
+//! the enabled-append, span, traced-span, and counter costs alongside, and
+//! writes a machine-readable baseline to `BENCH_obs.json` (override the path
+//! with `VEGA_BENCH_OUT`; `VEGA_OBS_BENCH_FAST=1` shrinks iteration counts
+//! for the CI smoke run). Prints `obs: smoke=ok` only when the disabled path
+//! is inside the budget.
+
+use std::time::Instant;
+use vega_obs::flight;
+use vega_obs::json::Json;
+use vega_obs::TraceIdGen;
+
+/// Median ns/iteration over `samples` timed batches of `iters` calls each
+/// (after one warm-up batch).
+fn median_ns_per_iter(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let batch = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t.elapsed().as_secs_f64() * 1e9 / iters as f64
+    };
+    batch(&mut f);
+    let mut times: Vec<f64> = (0..samples).map(|_| batch(&mut f)).collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let fast_mode = std::env::var("VEGA_OBS_BENCH_FAST").is_ok();
+    let samples = if fast_mode { 3 } else { 7 };
+    let scale = if fast_mode { 1 } else { 10 };
+    let budget_ns: f64 = std::env::var("VEGA_OBS_BUDGET_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250.0);
+
+    let obs = vega_obs::global();
+    let mut gen = TraceIdGen::new(42);
+    let ctx = gen.mint();
+    let mut rows = Vec::new();
+    let mut push = |op: &str, ns: f64| {
+        println!("{op:<24} {ns:>8.1} ns/call");
+        rows.push(Json::obj([
+            ("op", Json::str(op)),
+            ("ns_per_call", Json::num_f64(ns)),
+        ]));
+    };
+
+    println!("== obs overhead (median of {samples} batches) ==");
+
+    // The headline number: a record call with the recorder off must cost one
+    // relaxed atomic load — this is what every request pays in production
+    // when nobody asked for a black box.
+    flight::configure(0);
+    let disabled_ns = median_ns_per_iter(samples, 500_000 * scale, || {
+        flight::record_span_close(std::hint::black_box("serve.request"), 1, None);
+    });
+    push("flight.record/disabled", disabled_ns);
+
+    // Enabled: one short mutex hold and a ring push (overwriting when full).
+    flight::configure(1024);
+    let enabled_ns = median_ns_per_iter(samples, 50_000 * scale, || {
+        flight::record_span_close(std::hint::black_box("serve.request"), 1, Some(ctx));
+    });
+    push("flight.record/enabled", enabled_ns);
+    flight::configure(0);
+
+    // A full span open/close with the recorder off (timer + histogram).
+    let span_ns = median_ns_per_iter(samples, 20_000 * scale, || {
+        let span = obs.span("bench.span");
+        let _ = std::hint::black_box(span.finish());
+    });
+    push("span.open_close", span_ns);
+
+    // The same span under an adopted trace with the recorder retaining it.
+    flight::configure(1024);
+    let traced_span_ns = median_ns_per_iter(samples, 20_000 * scale, || {
+        let _guard = obs.adopt_trace(Some(ctx));
+        let span = obs.span("bench.traced_span");
+        let _ = std::hint::black_box(span.finish());
+    });
+    push("span.traced_recorded", traced_span_ns);
+    flight::configure(0);
+
+    let counter_ns = median_ns_per_iter(samples, 100_000 * scale, || {
+        obs.counter_add(std::hint::black_box("bench.counter"), 1);
+    });
+    push("counter.add", counter_ns);
+
+    let out_path = std::env::var("VEGA_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+    let doc = Json::obj([
+        ("bench", Json::str("obs")),
+        ("samples_per_point", Json::num_usize(samples)),
+        ("budget_ns", Json::num_f64(budget_ns)),
+        ("disabled_record_ns", Json::num_f64(disabled_ns)),
+        ("results", Json::Arr(rows)),
+    ]);
+    std::fs::write(&out_path, doc.render()).expect("write bench json");
+    println!(
+        "wrote {out_path} (disabled record path: {disabled_ns:.1} ns, budget {budget_ns:.0} ns)"
+    );
+    if disabled_ns <= budget_ns {
+        println!("obs: smoke=ok");
+    } else {
+        println!("obs: smoke=FAIL (disabled record path {disabled_ns:.1} ns exceeds {budget_ns:.0} ns budget)");
+        std::process::exit(1);
+    }
+}

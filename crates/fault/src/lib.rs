@@ -21,7 +21,9 @@
 //!   the site's configured rate (or `i` equals an explicit `@index`
 //!   trigger). No wall clocks, no OS randomness.
 //! * **Observable.** Every fired fault bumps the `fault.injected.<site>`
-//!   counter on the global [`vega_obs`] handle (plus a debug event), and
+//!   counter on the global [`vega_obs`] handle (plus a debug event), leaves
+//!   a `site#hit` record in the [`vega_obs::flight`] recorder stamped with
+//!   the active trace context when the recorder is enabled, and
 //!   recovery paths report [`recovered`] into `fault.recovered.<site>`, so a
 //!   JSONL trace shows exactly what was injected and what was survived —
 //!   recovery behaviour is itself assertable.
@@ -316,6 +318,11 @@ pub fn check(site: &str) -> Option<Fault> {
     let fault = plan.check(site)?;
     let obs = vega_obs::global();
     obs.counter_add(&format!("fault.injected.{site}"), 1);
+    vega_obs::flight::record_event(
+        vega_obs::flight::FlightKind::Fault,
+        &format!("{site}#{}", fault.hit),
+        obs.current_trace(),
+    );
     if obs.enabled(vega_obs::Level::Debug) {
         obs.event(
             vega_obs::Level::Debug,

@@ -44,6 +44,44 @@ use crate::gru::{GruCell, GruSeq2Seq};
 use crate::tensor::Tensor;
 use crate::transformer::{AttnParams, FfParams, LnParams, Transformer};
 
+/// Per-thread decode attribution: how many tokens the *current thread* has
+/// decoded, and how long the decode steps took, since the last [`reset`].
+///
+/// The global obs registry aggregates `decode.tokens` /
+/// `decode.step_seconds` across every thread in the process, which is right
+/// for fleet-level dashboards but useless for answering "how much decode
+/// work did *this request* do". Generation runs single-threaded on whichever
+/// worker picked the job up, so a thread-local tally that the serve engine
+/// resets before calling `generate_function` and snapshots after is an exact
+/// per-request attribution — no locks, no ids threaded through the model
+/// layer. Both greedy decode loops (transformer and GRU) bump it alongside
+/// the global counters.
+pub mod tally {
+    use std::cell::Cell;
+
+    thread_local! {
+        static TOKENS: Cell<u64> = const { Cell::new(0) };
+        static SECONDS: Cell<f64> = const { Cell::new(0.0) };
+    }
+
+    /// Zeroes the calling thread's tally (call before a generation).
+    pub fn reset() {
+        TOKENS.with(|t| t.set(0));
+        SECONDS.with(|s| s.set(0.0));
+    }
+
+    /// Records one decoded token that took `seconds` on this thread.
+    pub fn bump(seconds: f64) {
+        TOKENS.with(|t| t.set(t.get() + 1));
+        SECONDS.with(|s| s.set(s.get() + seconds));
+    }
+
+    /// The calling thread's `(tokens, seconds)` since the last [`reset`].
+    pub fn snapshot() -> (u64, f64) {
+        (TOKENS.with(Cell::get), SECONDS.with(Cell::get))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Row kernels (shared by the transformer and GRU fast paths)
 // ---------------------------------------------------------------------------

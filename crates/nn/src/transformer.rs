@@ -344,8 +344,10 @@ impl Seq2Seq for Transformer {
             let t0 = std::time::Instant::now();
             let last = *out.last().expect("out starts with bos");
             let next = crate::seq2seq::argmax(st.step(last)).unwrap_or(eos);
-            obs.observe("decode.step_seconds", t0.elapsed().as_secs_f64());
+            let dt = t0.elapsed().as_secs_f64();
+            obs.observe("decode.step_seconds", dt);
             obs.counter_add("decode.tokens", 1);
+            crate::decode::tally::bump(dt);
             if next == eos {
                 break;
             }

@@ -1,0 +1,190 @@
+//! Live metrics export: a full JSON snapshot and a Prometheus-style text
+//! exposition, rendered from the same locked [`State`] so the two forms can
+//! never disagree with each other.
+//!
+//! The JSON snapshot is the `{"op":"metrics"}` payload `vega-top` polls;
+//! the text exposition is the conventional scrape format (counters,
+//! gauges, and cumulative histogram buckets with `le` labels), so the
+//! service can be wired into any Prometheus-compatible collector by
+//! writing the `text` field to a file or HTTP response verbatim.
+
+use crate::json::Json;
+use crate::State;
+
+/// Prometheus metric names are `[a-zA-Z_:][a-zA-Z0-9_:]*`; the obs registry
+/// uses dotted paths. Map every unsupported byte to `_` and prefix `vega_`
+/// so exported names are valid and collision-safe with other exporters.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("vega_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders an `f64` for the text exposition (finite shortest-roundtrip,
+/// `NaN`/`+Inf`/`-Inf` in Prometheus spelling).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// One histogram as a JSON summary object.
+fn hist_json(h: &crate::Histogram) -> Json {
+    Json::obj([
+        ("count", Json::num_u64(h.count())),
+        ("sum", Json::num_f64(h.sum())),
+        ("min", Json::num_f64(h.min())),
+        ("max", Json::num_f64(h.max())),
+        ("mean", Json::num_f64(h.mean())),
+        ("p50", Json::num_f64(h.quantile(0.5))),
+        ("p90", Json::num_f64(h.quantile(0.9))),
+        ("p99", Json::num_f64(h.quantile(0.99))),
+    ])
+}
+
+/// The full registry as one JSON object:
+/// `{"counters":{…},"gauges":{…},"hists":{name:{count,sum,…,p99}}}`.
+pub(crate) fn metrics_json(state: &State) -> Json {
+    let counters = Json::Obj(
+        state
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::num_u64(*v)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        state
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::num_f64(*v)))
+            .collect(),
+    );
+    let hists = Json::Obj(
+        state
+            .hists
+            .iter()
+            .map(|(k, h)| (k.clone(), hist_json(h)))
+            .collect(),
+    );
+    Json::obj([("counters", counters), ("gauges", gauges), ("hists", hists)])
+}
+
+/// The registry as Prometheus text exposition format.
+pub(crate) fn prometheus(state: &State) -> String {
+    let mut out = String::new();
+    for (name, v) in &state.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &state.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", prom_f64(*v)));
+    }
+    for (name, h) in &state.hists {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cum = 0u64;
+        for (i, &c) in h.counts().iter().enumerate() {
+            cum += c;
+            let le = match h.buckets().bounds().get(i) {
+                Some(&b) => prom_f64(b),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{n}_sum {}\n", prom_f64(h.sum())));
+        out.push_str(&format!("{n}_count {}\n", h.count()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::Json;
+    use crate::{Buckets, Obs};
+
+    #[test]
+    fn json_snapshot_mirrors_the_registry() {
+        let obs = Obs::with_level(None);
+        obs.counter_add("serve.requests", 3);
+        obs.gauge_set("serve.queue_depth", 2.0);
+        let buckets = Buckets::linear(0.0, 1.0, 4);
+        for i in 0..8 {
+            obs.observe_with("lat", &buckets, i as f64 / 8.0);
+        }
+        let m = obs.metrics_json();
+        assert_eq!(
+            m.field("counters")
+                .unwrap()
+                .field("serve.requests")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            3
+        );
+        assert_eq!(
+            m.field("gauges")
+                .unwrap()
+                .field("serve.queue_depth")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            2.0
+        );
+        let lat = m.field("hists").unwrap().field("lat").unwrap();
+        assert_eq!(lat.field("count").unwrap().as_u64().unwrap(), 8);
+        let p50 = lat.field("p50").unwrap().as_f64().unwrap();
+        let h = obs.histogram("lat").unwrap();
+        assert_eq!(p50, h.quantile(0.5), "snapshot and registry agree");
+        // The snapshot itself round-trips through the parser.
+        assert_eq!(Json::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn prometheus_text_has_valid_names_and_cumulative_buckets() {
+        let obs = Obs::with_level(None);
+        obs.counter_add("serve.cache.hits", 5);
+        obs.gauge_set("serve.inflight", 1.5);
+        let buckets = Buckets::linear(0.0, 2.0, 2);
+        for v in [0.5, 1.5, 99.0] {
+            obs.observe_with("decode.step_seconds", &buckets, v);
+        }
+        let text = obs.prometheus_text();
+        assert!(
+            text.contains("# TYPE vega_serve_cache_hits counter\nvega_serve_cache_hits 5\n"),
+            "{text}"
+        );
+        assert!(text.contains("vega_serve_inflight 1.5"), "{text}");
+        // Buckets are cumulative and end at +Inf == count.
+        assert!(
+            text.contains("vega_decode_step_seconds_bucket{le=\"1.0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vega_decode_step_seconds_bucket{le=\"2.0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vega_decode_step_seconds_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("vega_decode_step_seconds_count 3"), "{text}");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad exposition line: {line}");
+        }
+    }
+}

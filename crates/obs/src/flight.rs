@@ -1,0 +1,284 @@
+//! The flight recorder: a process-wide, fixed-capacity ring buffer that
+//! retains the last N span-close / event / fault records, each stamped with
+//! the trace context active on the recording thread.
+//!
+//! The point is a black box: when a serve process panics, wedges, or fails
+//! a chaos run, the recorder holds the immediate history — which requests'
+//! spans closed, in what order, carrying which trace ids — without anyone
+//! having asked for a trace file in advance. It follows the `vega-fault`
+//! cost discipline: **when disabled, a record call is one relaxed atomic
+//! load and an immediate return** (the obs-overhead bench pins this, and
+//! `ci.sh` enforces a budget). When enabled, an append takes one short
+//! mutex hold to push into the ring (overwriting the oldest record once
+//! full); there is no allocation beyond the record itself.
+//!
+//! Two dump forms:
+//!
+//! * [`dump_json`] — every retained record, oldest first, with sequence
+//!   numbers and microsecond timestamps (the debugging form; also what the
+//!   serve `flightdump` op returns).
+//! * [`dump_stable_json`] — only trace-carrying records, stripped of
+//!   timing and sequence numbers and sorted into a canonical order. Two
+//!   same-seed replays of the same workload produce *byte-identical*
+//!   stable dumps even though wall-clock timings differ — the form the
+//!   chaos determinism suite compares.
+
+use crate::json::Json;
+use crate::tracectx::TraceCtx;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// What kind of moment a [`FlightRecord`] captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlightKind {
+    /// A span closed (`what` is the dotted span path, `dur_us` its length).
+    Span,
+    /// A structured event was recorded (`what` is the message).
+    Event,
+    /// A `vega-fault` site fired (`what` is `site#hit`).
+    Fault,
+}
+
+impl FlightKind {
+    /// Short lowercase name (`"span"` etc.).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Span => "span",
+            FlightKind::Event => "event",
+            FlightKind::Fault => "fault",
+        }
+    }
+}
+
+/// One retained record.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// Monotonic sequence number (never reused; gaps mean overwritten
+    /// records).
+    pub seq: u64,
+    /// Microseconds since the recorder was configured.
+    pub t_us: u64,
+    /// Record kind.
+    pub kind: FlightKind,
+    /// Span path, event message, or fault `site#hit`.
+    pub what: String,
+    /// Span duration in microseconds (0 for events/faults).
+    pub dur_us: u64,
+    /// The trace context active on the recording thread, if any.
+    pub trace: Option<TraceCtx>,
+}
+
+impl FlightRecord {
+    /// The record as a JSON object (the `flightdump` wire form).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("seq".to_string(), Json::num_u64(self.seq)),
+            ("t_us".to_string(), Json::num_u64(self.t_us)),
+            ("kind".to_string(), Json::str(self.kind.name())),
+            ("what".to_string(), Json::str(&self.what)),
+            ("dur_us".to_string(), Json::num_u64(self.dur_us)),
+        ];
+        if let Some(t) = &self.trace {
+            fields.push(("trace".to_string(), Json::str(t.render())));
+        }
+        Json::Obj(fields)
+    }
+}
+
+struct Ring {
+    cap: usize,
+    next_seq: u64,
+    buf: VecDeque<FlightRecord>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Enables the recorder with room for `cap` records (clearing anything
+/// previously retained), or disables it with `cap == 0`. Configuration is
+/// process-wide; `vega-serve` enables it at startup.
+pub fn configure(cap: usize) {
+    let _ = epoch();
+    let mut slot = RING.lock().unwrap_or_else(|e| e.into_inner());
+    if cap == 0 {
+        ENABLED.store(false, Ordering::Release);
+        *slot = None;
+        return;
+    }
+    *slot = Some(Ring {
+        cap,
+        next_seq: 0,
+        buf: VecDeque::with_capacity(cap),
+    });
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether the recorder is currently retaining records.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn append(kind: FlightKind, what: &str, dur_us: u64, trace: Option<TraceCtx>) {
+    let t_us = epoch().elapsed().as_micros() as u64;
+    let mut slot = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(ring) = slot.as_mut() else { return };
+    if ring.buf.len() == ring.cap {
+        ring.buf.pop_front();
+    }
+    let seq = ring.next_seq;
+    ring.next_seq += 1;
+    ring.buf.push_back(FlightRecord {
+        seq,
+        t_us,
+        kind,
+        what: what.to_string(),
+        dur_us,
+        trace,
+    });
+}
+
+/// Records a span close. When the recorder is disabled this is one relaxed
+/// atomic load — the cost the obs-overhead bench budgets.
+pub fn record_span_close(path: &str, dur_us: u64, trace: Option<TraceCtx>) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    append(FlightKind::Span, path, dur_us, trace);
+}
+
+/// Records an event or fault moment (same disabled-path discipline as
+/// [`record_span_close`]).
+pub fn record_event(kind: FlightKind, what: &str, trace: Option<TraceCtx>) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    append(kind, what, 0, trace);
+}
+
+/// Every retained record, oldest first.
+pub fn dump() -> Vec<FlightRecord> {
+    let slot = RING.lock().unwrap_or_else(|e| e.into_inner());
+    match slot.as_ref() {
+        Some(ring) => ring.buf.iter().cloned().collect(),
+        None => Vec::new(),
+    }
+}
+
+/// [`dump`] as a JSON array (the `flightdump` op payload).
+pub fn dump_json() -> Json {
+    Json::Arr(dump().iter().map(FlightRecord::to_json).collect())
+}
+
+/// The canonical replay-comparison form: only records carrying a trace
+/// context, reduced to `(kind, what, trace)` and sorted. Wall-clock fields
+/// are dropped, so two same-seed runs of the same sequential workload —
+/// even at different pool sizes — render byte-identical stable dumps.
+pub fn dump_stable_json() -> Json {
+    let mut rows: Vec<(String, String, String)> = dump()
+        .into_iter()
+        .filter_map(|r| {
+            let trace = r.trace?;
+            Some((r.kind.name().to_string(), r.what, trace.render()))
+        })
+        .collect();
+    rows.sort();
+    Json::Arr(
+        rows.into_iter()
+            .map(|(kind, what, trace)| {
+                Json::obj([
+                    ("kind", Json::str(kind)),
+                    ("what", Json::str(what)),
+                    ("trace", Json::str(trace)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Installs (once) a panic hook that dumps the flight recorder to stderr
+/// before the previous hook runs, so a crashing serve process leaves its
+/// black box in the log. A disabled recorder dumps nothing.
+pub fn install_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if enabled() {
+                let records = dump();
+                eprintln!(
+                    "[vega-obs] flight recorder dump ({} records, newest last):",
+                    records.len()
+                );
+                for r in &records {
+                    eprintln!("[vega-obs]   {}", r.to_json().render());
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracectx::TraceIdGen;
+
+    /// One test: the ring, enable flag, and dumps are process-global.
+    #[test]
+    fn recorder_ring_semantics_and_stable_dump() {
+        // Disabled: record calls are dropped.
+        configure(0);
+        assert!(!enabled());
+        record_span_close("ignored", 1, None);
+        assert!(dump().is_empty());
+
+        // Enabled with capacity 4: oldest records are overwritten.
+        configure(4);
+        assert!(enabled());
+        let mut gen = TraceIdGen::new(3);
+        let ctx = gen.mint();
+        for i in 0..6 {
+            record_span_close(&format!("s{i}"), i, Some(ctx));
+        }
+        record_event(FlightKind::Fault, "serve.conn.drop#0", None);
+        let records = dump();
+        assert_eq!(records.len(), 4, "capacity bounds retention");
+        // 7 appends into cap 4 keep seqs 3..=6, oldest first.
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+        assert_eq!(records[0].what, "s3");
+        assert_eq!(records[3].kind, FlightKind::Fault);
+        assert_eq!(records[3].trace, None);
+
+        // Every dump line parses as JSON and carries the trace when present.
+        let json = dump_json();
+        let arr = json.as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(
+            arr[0].field("trace").unwrap().as_str().unwrap(),
+            ctx.render()
+        );
+
+        // The stable dump drops the untraced fault record and all timing.
+        let stable = dump_stable_json().render();
+        assert!(!stable.contains("seq"), "{stable}");
+        assert!(!stable.contains("t_us"), "{stable}");
+        assert!(!stable.contains("serve.conn.drop"), "{stable}");
+        assert!(stable.contains(&ctx.trace_hex()), "{stable}");
+
+        // Reconfiguring clears retained records.
+        configure(8);
+        assert!(dump().is_empty());
+        configure(0);
+    }
+}

@@ -17,8 +17,16 @@
 //!   `eprintln!`; verbosity is controlled by the `VEGA_LOG` env var
 //!   (`error|warn|info|debug|trace|off`, default `info`).
 //! * **exporters** — a flamegraph-style plain-text tree report
-//!   ([`Obs::text_report`]) and a JSON-lines trace file
-//!   ([`Obs::trace_jsonl`], [`Obs::write_trace`]) written without serde.
+//!   ([`Obs::text_report`]), a JSON-lines trace file ([`Obs::trace_jsonl`],
+//!   [`Obs::write_trace`]), a live metrics snapshot
+//!   ([`Obs::metrics_json`]), and a Prometheus-style text exposition
+//!   ([`Obs::prometheus_text`]) — all written without serde.
+//! * **distributed tracing** — a [`TraceCtx`] (128-bit trace id + span id,
+//!   minted deterministically by [`TraceIdGen`]) adopted per thread with
+//!   [`Obs::adopt_trace`]; spans and events recorded under an adopted
+//!   context are stamped with its trace id in the JSONL trace and the
+//!   process-wide [`flight`] recorder (a bounded ring of recent records,
+//!   dumpable on demand or on panic).
 //!
 //! Library code uses the process-wide handle via [`global()`]; tests that
 //! need isolation construct their own `Obs`.
@@ -26,15 +34,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod tracectx;
 
 mod curve;
+mod expo;
 mod report;
 mod trace;
 
 pub use curve::{CurvePoint, TrainingCurve};
 pub use metrics::{Buckets, Histogram};
+pub use tracectx::{TraceCtx, TraceIdGen};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -94,6 +106,7 @@ pub(crate) struct SpanRecord {
     pub(crate) path: String,
     pub(crate) start_us: u64,
     pub(crate) dur_us: u64,
+    pub(crate) trace: Option<TraceCtx>,
 }
 
 #[derive(Debug, Clone)]
@@ -139,6 +152,9 @@ thread_local! {
     /// thread — the tail entry with a matching id is the parent of the next
     /// span opened on that handle.
     static SPAN_STACK: RefCell<Vec<(usize, String)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of `(obs id, trace context)` adopted on this thread — the tail
+    /// entry with a matching id stamps spans/events recorded on that handle.
+    static TRACE_STACK: RefCell<Vec<(usize, TraceCtx)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The process-wide [`Obs`] handle. Its event verbosity comes from the
@@ -241,6 +257,37 @@ impl Obs {
         }
     }
 
+    // ---- trace contexts -------------------------------------------------
+
+    /// The trace context adopted on this thread for this handle, if any.
+    /// Spans and events recorded while a context is adopted are stamped
+    /// with its trace id (in the JSONL trace and the flight recorder).
+    pub fn current_trace(&self) -> Option<TraceCtx> {
+        TRACE_STACK.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|(id, _)| *id == self.id)
+                .map(|(_, t)| *t)
+        })
+    }
+
+    /// Installs `ctx` as the trace context for work subsequently recorded
+    /// on this thread (until the guard drops). `None` is a no-op, so
+    /// callers can pass a request's optional trace field through
+    /// unconditionally. Contexts nest like spans: the innermost adoption
+    /// wins, and dropping the guard restores the outer one.
+    pub fn adopt_trace(&self, ctx: Option<TraceCtx>) -> TraceAdoptGuard {
+        if let Some(c) = ctx {
+            TRACE_STACK.with(|stack| stack.borrow_mut().push((self.id, c)));
+        }
+        TraceAdoptGuard {
+            obs: self.clone(),
+            adopted: ctx.is_some(),
+        }
+    }
+
     fn record_span(&self, path: &str, start_us: u64, dur: Duration) {
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -251,6 +298,9 @@ impl Obs {
                 stack.remove(i);
             }
         });
+        let trace = self.current_trace();
+        let dur_us = dur.as_micros() as u64;
+        flight::record_span_close(path, dur_us, trace);
         let mut st = self.lock();
         let stat = st.spans.entry(path.to_string()).or_insert(SpanStat {
             count: 0,
@@ -261,7 +311,8 @@ impl Obs {
         st.span_records.push(SpanRecord {
             path: path.to_string(),
             start_us,
-            dur_us: dur.as_micros() as u64,
+            dur_us,
+            trace,
         });
     }
 
@@ -343,6 +394,7 @@ impl Obs {
         }
         let msg = msg.into();
         eprintln!("[{}] {}", level.name(), msg);
+        flight::record_event(flight::FlightKind::Event, &msg, self.current_trace());
         self.lock().events.push(EventRecord {
             t_us: self.now_us(),
             level,
@@ -384,6 +436,18 @@ impl Obs {
         trace::render(&self.lock())
     }
 
+    /// The full metrics registry (counters, gauges, histogram summaries)
+    /// as one JSON object — the `{"op":"metrics"}` payload.
+    pub fn metrics_json(&self) -> json::Json {
+        expo::metrics_json(&self.lock())
+    }
+
+    /// The metrics registry in Prometheus text exposition format, rendered
+    /// from the same snapshot as [`Obs::metrics_json`].
+    pub fn prometheus_text(&self) -> String {
+        expo::prometheus(&self.lock())
+    }
+
     /// Writes [`Obs::trace_jsonl`] to a file.
     ///
     /// # Errors
@@ -396,6 +460,26 @@ impl Obs {
     /// verbosity and epoch are kept). Intended for tests.
     pub fn reset(&self) {
         *self.lock() = State::default();
+    }
+}
+
+/// RAII guard for an adopted trace context (see [`Obs::adopt_trace`]);
+/// restores the previously adopted context on drop.
+pub struct TraceAdoptGuard {
+    obs: Obs,
+    adopted: bool,
+}
+
+impl Drop for TraceAdoptGuard {
+    fn drop(&mut self) {
+        if self.adopted {
+            TRACE_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(i) = stack.iter().rposition(|(id, _)| *id == self.obs.id) {
+                    stack.remove(i);
+                }
+            });
+        }
     }
 }
 
@@ -609,6 +693,45 @@ mod tests {
         // Guard dropped: new spans are roots again.
         let g = obs.span("root");
         assert_eq!(g.path(), "root");
+    }
+
+    #[test]
+    fn adopt_trace_stamps_spans_and_nests() {
+        let obs = Obs::with_level(None);
+        let ctx = TraceIdGen::new(5).mint();
+        assert_eq!(obs.current_trace(), None);
+        {
+            let _t = obs.adopt_trace(Some(ctx));
+            assert_eq!(obs.current_trace(), Some(ctx));
+            let inner = ctx.child(1);
+            {
+                let _t2 = obs.adopt_trace(Some(inner));
+                assert_eq!(obs.current_trace(), Some(inner), "innermost wins");
+            }
+            assert_eq!(obs.current_trace(), Some(ctx), "outer context restored");
+            let _ = obs.span("traced").finish();
+        }
+        assert_eq!(obs.current_trace(), None);
+        let _ = obs.span("untraced").finish();
+        // The JSONL trace carries the id only on the traced span.
+        let jsonl = obs.trace_jsonl();
+        let traced = jsonl.lines().find(|l| l.contains("\"traced\"")).unwrap();
+        assert!(traced.contains(&ctx.render()), "{traced}");
+        let untraced = jsonl.lines().find(|l| l.contains("\"untraced\"")).unwrap();
+        assert!(!untraced.contains("trace\":"), "{untraced}");
+        // None is a no-op and drops cleanly.
+        drop(obs.adopt_trace(None));
+        assert_eq!(obs.current_trace(), None);
+    }
+
+    #[test]
+    fn independent_handles_do_not_share_trace_contexts() {
+        let a = Obs::with_level(None);
+        let b = Obs::with_level(None);
+        let ctx = TraceIdGen::new(9).mint();
+        let _t = a.adopt_trace(Some(ctx));
+        assert_eq!(a.current_trace(), Some(ctx));
+        assert_eq!(b.current_trace(), None);
     }
 
     #[test]

@@ -159,18 +159,25 @@ impl Histogram {
             let next = cum + c;
             if (next as f64) >= rank {
                 // Interpolate within bucket i. The bucket spans
-                // (lower, upper], clamped to the observed min/max so the
-                // estimate never leaves the data range.
-                let lower = if i == 0 {
-                    self.min
+                // (lower, upper]; both edges are clamped into the observed
+                // [min, max] range unconditionally, so the estimate can
+                // never leave the data — in particular the overflow bucket
+                // (which has no finite upper bound) reports the max
+                // observed value, not a bucket bound, and a bucket whose
+                // nominal edges lie outside the data collapses toward the
+                // real observations.
+                let raw_lower = if i == 0 {
+                    f64::NEG_INFINITY
                 } else {
-                    self.buckets.bounds[i - 1].max(self.min)
+                    self.buckets.bounds[i - 1]
                 };
-                let upper = if i < self.buckets.bounds.len() {
-                    self.buckets.bounds[i].min(self.max)
+                let raw_upper = if i < self.buckets.bounds.len() {
+                    self.buckets.bounds[i]
                 } else {
-                    self.max
+                    f64::INFINITY
                 };
+                let lower = raw_lower.clamp(self.min, self.max);
+                let upper = raw_upper.clamp(self.min, self.max);
                 let within = (rank - cum as f64) / c as f64;
                 return lower + (upper - lower) * within.clamp(0.0, 1.0);
             }
@@ -248,6 +255,51 @@ mod tests {
         assert!(h.quantile(0.5).is_nan());
         assert!(h.min().is_nan());
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_nan_for_all_q() {
+        let h = Histogram::new(Buckets::linear(0.0, 1.0, 4));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(h.quantile(q).is_nan(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_on_single_sample_returns_that_sample() {
+        // A lone observation is both min and max, so every quantile must
+        // collapse to it — even when the bucket nominally spans (0.25, 0.5].
+        let mut h = Histogram::new(Buckets::linear(0.0, 1.0, 4));
+        h.observe(0.3);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.quantile(q), 0.3, "q={q}");
+        }
+        // Same for a single sample in the overflow bucket.
+        let mut h = Histogram::new(Buckets::linear(0.0, 1.0, 2));
+        h.observe(42.0);
+        assert_eq!(h.counts(), &[0, 0, 1]);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 42.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_with_all_samples_in_overflow_clamps_to_observed_range() {
+        // Every observation exceeds the largest bound, so the overflow
+        // bucket (no finite upper edge) holds everything. Quantiles must
+        // stay inside [min, max] rather than reporting a bucket bound or
+        // infinity.
+        let mut h = Histogram::new(Buckets::linear(0.0, 1.0, 2));
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[0, 0, 4]);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!(est.is_finite(), "q={q} est={est}");
+            assert!((10.0..=40.0).contains(&est), "q={q} est={est}");
+        }
+        assert_eq!(h.quantile(1.0), 40.0);
     }
 
     #[test]

@@ -3,22 +3,27 @@
 //! never contain a raw newline).
 
 use crate::json::Json;
+use crate::tracectx::TraceCtx;
 use crate::State;
 
-fn span_line(path: &str, start_us: u64, dur_us: u64) -> Json {
-    Json::obj([
-        ("type", Json::str("span")),
-        ("path", Json::str(path)),
-        ("start_us", Json::num_u64(start_us)),
-        ("dur_us", Json::num_u64(dur_us)),
-    ])
+fn span_line(path: &str, start_us: u64, dur_us: u64, trace: Option<TraceCtx>) -> Json {
+    let mut fields = vec![
+        ("type".to_string(), Json::str("span")),
+        ("path".to_string(), Json::str(path)),
+        ("start_us".to_string(), Json::num_u64(start_us)),
+        ("dur_us".to_string(), Json::num_u64(dur_us)),
+    ];
+    if let Some(t) = trace {
+        fields.push(("trace".to_string(), Json::str(t.render())));
+    }
+    Json::Obj(fields)
 }
 
 pub(crate) fn render(state: &State) -> String {
     let mut lines: Vec<Json> = Vec::new();
 
     for rec in &state.span_records {
-        lines.push(span_line(&rec.path, rec.start_us, rec.dur_us));
+        lines.push(span_line(&rec.path, rec.start_us, rec.dur_us, rec.trace));
     }
 
     for ev in &state.events {

@@ -1,0 +1,170 @@
+//! Request-scoped trace identity: a 128-bit trace id plus a 64-bit span id.
+//!
+//! A [`TraceCtx`] is minted once per logical request (by the serve client,
+//! via [`TraceIdGen`]) and travels with the request across process
+//! boundaries: the wire form is a single ASCII string
+//! (`<32 hex>/<16 hex>`), so any transport that can carry a string field
+//! can carry a trace. On the receiving side the context is re-established
+//! for the handling thread with [`crate::Obs::adopt_trace`], after which
+//! every span closed on that thread — queue wait, cache lookup, decode
+//! steps — is stamped with the caller's trace id in both the JSONL trace
+//! and the flight recorder.
+//!
+//! Ids come from a seeded [`splitmix64`] stream, never from clocks or OS
+//! randomness, so a replayed run (same seed, same request order) mints the
+//! identical id sequence — the property the chaos suite asserts.
+
+/// splitmix64 — the workspace's stock deterministic mixer (the same
+/// finalizer `vega-fault` and the retry-jitter policy use).
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A distributed-tracing context: 128-bit trace id (`trace_hi`/`trace_lo`)
+/// identifying the end-to-end request, plus a 64-bit span id identifying
+/// the sender's span within that trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceCtx {
+    /// High 64 bits of the trace id.
+    pub trace_hi: u64,
+    /// Low 64 bits of the trace id.
+    pub trace_lo: u64,
+    /// The sender's span id within the trace.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The wire form: 32 lowercase hex chars of trace id, `/`, 16 hex chars
+    /// of span id (e.g. `00c0ffee…/0badf00d…`).
+    pub fn render(&self) -> String {
+        format!(
+            "{:016x}{:016x}/{:016x}",
+            self.trace_hi, self.trace_lo, self.span_id
+        )
+    }
+
+    /// The 32-hex-char trace id alone (no span id).
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.trace_hi, self.trace_lo)
+    }
+
+    /// Parses the [`TraceCtx::render`] form. Returns `None` for anything
+    /// malformed (wrong length, non-hex, missing separator).
+    pub fn parse(s: &str) -> Option<TraceCtx> {
+        let (trace, span) = s.split_once('/')?;
+        if trace.len() != 32 || span.len() != 16 {
+            return None;
+        }
+        let hex = |h: &str| u64::from_str_radix(h, 16).ok();
+        Some(TraceCtx {
+            trace_hi: hex(&trace[..16])?,
+            trace_lo: hex(&trace[16..])?,
+            span_id: hex(span)?,
+        })
+    }
+
+    /// A child context: same trace id, a fresh span id derived
+    /// deterministically from this span id and a caller-chosen key (e.g. a
+    /// stage index). Two runs deriving the same child of the same parent
+    /// get the same id.
+    pub fn child(&self, key: u64) -> TraceCtx {
+        TraceCtx {
+            trace_hi: self.trace_hi,
+            trace_lo: self.trace_lo,
+            span_id: splitmix64(self.span_id ^ splitmix64(key ^ 0x5EED)),
+        }
+    }
+}
+
+/// A deterministic trace-id mint: a seeded splitmix64 stream yielding one
+/// fresh [`TraceCtx`] per call. Same seed, same sequence — which keeps
+/// trace ids stable under `VEGA_FAULT_PLAN` chaos replays (the client mints
+/// one context per *logical* request, before any retries).
+#[derive(Debug, Clone)]
+pub struct TraceIdGen {
+    state: u64,
+}
+
+impl TraceIdGen {
+    /// A mint seeded with `seed` (two mints with equal seeds yield equal
+    /// sequences).
+    pub fn new(seed: u64) -> TraceIdGen {
+        TraceIdGen {
+            state: splitmix64(seed ^ 0x7ACE_1D5E_ED00_0001),
+        }
+    }
+
+    /// Mints the next context in the stream.
+    pub fn mint(&mut self) -> TraceCtx {
+        let mut step = || {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(self.state)
+        };
+        TraceCtx {
+            trace_hi: step(),
+            trace_lo: step(),
+            span_id: step(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let ctx = TraceCtx {
+            trace_hi: 0x0123_4567_89ab_cdef,
+            trace_lo: 0xfedc_ba98_7654_3210,
+            span_id: 0x00ff_00ff_00ff_00ff,
+        };
+        let s = ctx.render();
+        assert_eq!(s.len(), 32 + 1 + 16);
+        assert_eq!(TraceCtx::parse(&s), Some(ctx));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "no-slash",
+            "0123/0123",
+            &("z".repeat(32) + "/" + &"0".repeat(16)),
+            &("0".repeat(32) + "/" + &"0".repeat(15)),
+            &("0".repeat(33) + "/" + &"0".repeat(16)),
+        ] {
+            assert_eq!(TraceCtx::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn mint_is_deterministic_per_seed() {
+        let mut a = TraceIdGen::new(7);
+        let mut b = TraceIdGen::new(7);
+        let seq_a: Vec<TraceCtx> = (0..16).map(|_| a.mint()).collect();
+        let seq_b: Vec<TraceCtx> = (0..16).map(|_| b.mint()).collect();
+        assert_eq!(seq_a, seq_b, "same seed must mint the same sequence");
+        let mut c = TraceIdGen::new(8);
+        assert_ne!(seq_a[0], c.mint(), "different seeds diverge");
+        // Trace ids within one stream are distinct.
+        let mut ids: Vec<String> = seq_a.iter().map(TraceCtx::trace_hex).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn child_keeps_trace_id_and_derives_span_deterministically() {
+        let parent = TraceIdGen::new(1).mint();
+        let c1 = parent.child(0);
+        let c2 = parent.child(1);
+        assert_eq!(c1.trace_hex(), parent.trace_hex());
+        assert_eq!(c1, parent.child(0), "child derivation is pure");
+        assert_ne!(c1.span_id, c2.span_id);
+        assert_ne!(c1.span_id, parent.span_id);
+    }
+}

@@ -5,26 +5,37 @@
 //!              [--deadline-ms MS]
 //!              [--verify-checkpoint PATH [--scale tiny|small] [--synthetic N] [--seed S]]
 //!              [--overload-burst B] [--shutdown]
+//! vega-loadgen --addr HOST:PORT --top TICKS [--top-interval-ms MS]
 //! ```
 //!
 //! Fires `--requests` generate requests over `--conns` connections, cycling
 //! through `--distinct` (target, group) pairs so repeats exercise the cache,
 //! and reports throughput and p50/p99 latency plus the server's cache
-//! statistics. Three checks, each printed as a greppable `loadgen:` line and
-//! reflected in the exit code:
+//! statistics. Every request is traced: each worker mints deterministic
+//! trace ids (seeded from `--seed` and the worker index), and the server
+//! must echo each one back with a `timing` breakdown, which is aggregated
+//! into a `loadgen: timing …` line. Four checks, each printed as a greppable
+//! `loadgen:` line and reflected in the exit code:
 //!
 //! * **byte-identity** — every response for a pair must be byte-identical,
 //!   and with `--verify-checkpoint` also byte-identical to a direct
 //!   in-process `generate_function` call on the same checkpoint;
+//! * **trace** — every generate response must echo the minted trace id;
 //! * **cache** — repeated requests must produce a nonzero hit rate;
 //! * **overload** (with `--overload-burst`) — a burst of distinct requests
 //!   must receive explicit `overloaded` responses, not hang.
+//!
+//! `--top` is a different mode entirely (vega-top): instead of generating
+//! load it polls `{"op":"metrics"}` every `--top-interval-ms` and renders a
+//! live one-line dashboard (rps, tokens/s, cache hit rate, request p50/p99,
+//! inflight, queued, shed) for `TICKS` ticks, then exits.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use vega::{Scale, VegaConfig};
 use vega_obs::json::Json;
+use vega_obs::TraceIdGen;
 use vega_serve::{load_checkpoint, protocol, Client, RetryPolicy};
 
 struct Args {
@@ -39,6 +50,53 @@ struct Args {
     seed: u64,
     overload_burst: usize,
     shutdown: bool,
+    top: usize,
+    top_interval_ms: u64,
+}
+
+/// Per-worker aggregation of the `timing`/`trace` response fields.
+#[derive(Default)]
+struct TimingTally {
+    queue_ms: u64,
+    decode_ms: f64,
+    tokens: u64,
+    cache_hit: u64,
+    cache_miss: u64,
+    coalesced: u64,
+    trace_ok: u64,
+    trace_bad: u64,
+}
+
+impl TimingTally {
+    fn absorb(&mut self, resp: &Json, expected_trace: &str) {
+        match resp.field("trace").ok().and_then(|t| t.as_str().ok()) {
+            Some(echoed) if echoed == expected_trace => self.trace_ok += 1,
+            _ => self.trace_bad += 1,
+        }
+        let Ok(timing) = resp.field("timing") else {
+            return;
+        };
+        let num = |k: &str| -> f64 { timing.field(k).and_then(|v| v.as_f64()).unwrap_or(0.0) };
+        self.queue_ms += num("queue_ms") as u64;
+        self.decode_ms += num("decode_ms");
+        self.tokens += num("tokens") as u64;
+        match timing.field("cache").ok().and_then(|c| c.as_str().ok()) {
+            Some("hit") => self.cache_hit += 1,
+            Some("coalesced") => self.coalesced += 1,
+            _ => self.cache_miss += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &TimingTally) {
+        self.queue_ms += other.queue_ms;
+        self.decode_ms += other.decode_ms;
+        self.tokens += other.tokens;
+        self.cache_hit += other.cache_hit;
+        self.cache_miss += other.cache_miss;
+        self.coalesced += other.coalesced;
+        self.trace_ok += other.trace_ok;
+        self.trace_bad += other.trace_bad;
+    }
 }
 
 fn parse_args() -> Args {
@@ -54,6 +112,8 @@ fn parse_args() -> Args {
         seed: 0,
         overload_burst: 0,
         shutdown: false,
+        top: 0,
+        top_interval_ms: 500,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,6 +136,8 @@ fn parse_args() -> Args {
             "--synthetic" => args.synthetic = take(i).parse().ok(),
             "--seed" => args.seed = take(i).parse().unwrap_or(0),
             "--overload-burst" => args.overload_burst = take(i).parse().unwrap_or(0),
+            "--top" => args.top = take(i).parse().unwrap_or(0),
+            "--top-interval-ms" => args.top_interval_ms = take(i).parse().unwrap_or(500),
             "--shutdown" => {
                 args.shutdown = true;
                 used_value = false;
@@ -115,6 +177,81 @@ fn stat_u64(resp: &std::io::Result<Json>, key: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// vega-top: polls `{"op":"metrics"}` and renders a live one-line dashboard
+/// per tick. Rates (rps, tokens/s) are deltas between consecutive ticks;
+/// percentiles and the hit rate are cumulative over the server's lifetime.
+/// Returns false when the server cannot be reached or answers garbage.
+fn run_top(addr: &str, ticks: usize, interval_ms: u64, retry: &RetryPolicy) -> bool {
+    let mut client = match Client::connect_with_retry(addr, retry) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return false;
+        }
+    };
+    let mut prev: Option<(Instant, f64, f64)> = None;
+    for tick in 0..ticks.max(1) {
+        let resp = match client.op_with_retry("metrics", retry) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("vega-top: FAIL (metrics op: {e})");
+                return false;
+            }
+        };
+        let counter = |name: &str| -> f64 {
+            resp.field("metrics")
+                .and_then(|m| m.field("counters"))
+                .and_then(|c| c.field(name))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        let gauge = |name: &str| -> f64 {
+            resp.field("metrics")
+                .and_then(|m| m.field("gauges"))
+                .and_then(|g| g.field(name))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        let hist_q = |name: &str, q: &str| -> f64 {
+            resp.field("metrics")
+                .and_then(|m| m.field("hists"))
+                .and_then(|h| h.field(name))
+                .and_then(|h| h.field(q))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN)
+        };
+        let hit_ratio = resp
+            .field("stats")
+            .and_then(|s| s.field("cache_hit_ratio"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let now = Instant::now();
+        let (requests, tokens) = (counter("serve.requests"), counter("decode.tokens"));
+        let (rps, tps) = match prev {
+            Some((t, r0, k0)) => {
+                let dt = now.duration_since(t).as_secs_f64().max(1e-9);
+                ((requests - r0) / dt, (tokens - k0) / dt)
+            }
+            None => (0.0, 0.0),
+        };
+        println!(
+            "vega-top: rps={rps:.1} tokens/s={tps:.1} cache_hit={:.1}% \
+             p50={:.1}ms p99={:.1}ms inflight={:.0} queued={:.0} shed={:.0}",
+            hit_ratio * 100.0,
+            hist_q("serve.request_seconds", "p50") * 1e3,
+            hist_q("serve.request_seconds", "p99") * 1e3,
+            gauge("serve.inflight"),
+            gauge("serve.queue_depth"),
+            counter("serve.shed"),
+        );
+        prev = Some((now, requests, tokens));
+        if tick + 1 < ticks {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+    }
+    true
+}
+
 /// The canonical bytes of a generate response's `result` field.
 fn result_bytes(response: &Json) -> Result<String, String> {
     match response.field("ok") {
@@ -135,6 +272,12 @@ fn main() {
     // connect lands before the listener is up (ECONNREFUSED), and recovers
     // dropped/corrupted connections under chaos plans.
     let retry = RetryPolicy::default();
+
+    // vega-top mode: live dashboard instead of load.
+    if args.top > 0 {
+        let ok = run_top(&args.addr, args.top, args.top_interval_ms, &retry);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     // Discover what the server can generate.
     let mut control = match Client::connect_with_retry(&args.addr, &retry) {
@@ -181,6 +324,7 @@ fn main() {
     // Fire the measured load across connections.
     let t0 = Instant::now();
     let per_conn = args.requests.div_ceil(args.conns.max(1));
+    type WorkerOut = (Vec<(usize, Duration, String)>, TimingTally);
     let workers: Vec<_> = (0..args.conns.max(1))
         .map(|c| {
             let addr = args.addr.clone();
@@ -190,29 +334,40 @@ fn main() {
                 seed: c as u64,
                 ..RetryPolicy::default()
             };
-            std::thread::spawn(move || -> Result<Vec<(usize, Duration, String)>, String> {
+            // Each worker mints deterministic trace ids; a twin generator
+            // with the same seed predicts the exact sequence, so the echoed
+            // `trace` field is checked without any side channel.
+            let trace_seed = args.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            std::thread::spawn(move || -> Result<WorkerOut, String> {
                 let mut client = Client::connect_with_retry(&addr, &retry)
                     .map_err(|e| format!("connect: {e}"))?;
+                client.set_tracer(trace_seed);
+                let mut expect = TraceIdGen::new(trace_seed);
                 let mut out = Vec::new();
+                let mut tally = TimingTally::default();
                 for r in 0..per_conn {
                     let pair_ix = (c + r * 7) % pairs.len();
                     let (target, group) = &pairs[pair_ix];
+                    let expected_trace = expect.mint().render();
                     let q0 = Instant::now();
                     let resp = client
                         .generate_with_retry(target, group, deadline, &retry)
                         .map_err(|e| format!("request: {e}"))?;
                     let bytes = result_bytes(&resp)?;
+                    tally.absorb(&resp, &expected_trace);
                     out.push((pair_ix, q0.elapsed(), bytes));
                 }
-                Ok(out)
+                Ok((out, tally))
             })
         })
         .collect();
     let mut latencies: Vec<Duration> = Vec::new();
     let mut by_pair: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut timing = TimingTally::default();
     for w in workers {
         match w.join().expect("worker thread panicked") {
-            Ok(results) => {
+            Ok((results, tally)) => {
+                timing.merge(&tally);
                 for (pair_ix, lat, bytes) in results {
                     latencies.push(lat);
                     by_pair.entry(pair_ix).or_default().push(bytes);
@@ -238,6 +393,31 @@ fn main() {
         percentile(&latencies, 0.50).as_secs_f64() * 1e3,
         percentile(&latencies, 0.99).as_secs_f64() * 1e3,
     );
+
+    // Server-reported per-request timing breakdown, aggregated.
+    println!(
+        "loadgen: timing queue_ms={} decode_ms={:.1} tokens={} \
+         cache_hit={} cache_miss={} coalesced={}",
+        timing.queue_ms,
+        timing.decode_ms,
+        timing.tokens,
+        timing.cache_hit,
+        timing.cache_miss,
+        timing.coalesced,
+    );
+    // Every response must echo the trace id the worker minted for it.
+    if timing.trace_bad == 0 && timing.trace_ok == latencies.len() as u64 {
+        println!(
+            "loadgen: trace=ok ({} responses echoed their trace)",
+            timing.trace_ok
+        );
+    } else {
+        println!(
+            "loadgen: trace=FAIL ({} echoed, {} missing/mismatched)",
+            timing.trace_ok, timing.trace_bad
+        );
+        failed = true;
+    }
 
     // Byte-identity across responses for the same pair.
     let mut mismatches = 0usize;

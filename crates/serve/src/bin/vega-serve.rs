@@ -5,13 +5,17 @@
 //!            [--addr HOST:PORT] [--port-file PATH]
 //!            [--cache-cap N] [--queue-cap N] [--batch N] [--threads N]
 //!            [--deadline-ms MS] [--slow-ms MS] [--trace-out PATH]
+//!            [--flight-cap N]
 //! ```
 //!
 //! Loads the checkpoint, rebuilds Stage-1 artifacts for the configured corpus
 //! (must match the checkpoint's training configuration), binds, and serves
 //! until a client sends `{"op":"shutdown"}` (or the process is killed).
 //! `--port-file` writes the resolved port for scripts binding port 0;
-//! `--slow-ms` injects per-generation latency so tests can provoke overload.
+//! `--slow-ms` injects per-generation latency so tests can provoke overload;
+//! `--flight-cap` sizes the flight recorder (default 256 records, 0
+//! disables). The recorder's retained records are served by the
+//! `{"op":"flightdump"}` protocol op and dumped to stderr on panic.
 
 use std::path::PathBuf;
 use vega::{Scale, VegaConfig};
@@ -39,7 +43,12 @@ fn parse_args() -> Args {
         threads: None,
         deadline_ms: None,
         trace_out: None,
-        serve: ServeConfig::default(),
+        serve: ServeConfig {
+            // The daemon keeps a black box by default; embedded test servers
+            // (ServeConfig::default) leave the process-global recorder alone.
+            flight_cap: 256,
+            ..ServeConfig::default()
+        },
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -64,6 +73,7 @@ fn parse_args() -> Args {
             "--deadline-ms" => args.deadline_ms = take(i).parse().ok(),
             "--slow-ms" => args.serve.slow_ms = take(i).parse().unwrap_or(0),
             "--trace-out" => args.trace_out = Some(PathBuf::from(take(i))),
+            "--flight-cap" => args.serve.flight_cap = take(i).parse().unwrap_or(256),
             other => {
                 vega_obs::error!("unknown flag {other}");
                 std::process::exit(2);
@@ -95,6 +105,8 @@ fn config_from(args: &Args) -> VegaConfig {
 
 fn main() {
     let mut args = parse_args();
+    // A panicking daemon leaves its flight-recorder black box on stderr.
+    vega_obs::flight::install_panic_hook();
     if let Some(n) = args.threads {
         vega_par::set_threads(n);
     }

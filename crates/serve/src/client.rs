@@ -11,11 +11,17 @@
 //! reproducible. Retrying a generate request is safe: generation is
 //! deterministic and cached, so a resend can only return the identical
 //! bytes.
+//!
+//! With [`Client::set_tracer`] the client also mints one deterministic
+//! [`TraceCtx`] per logical generate request and sends it on the wire; the
+//! server adopts it, stamps its spans and flight-recorder records with it,
+//! and echoes it back beside a per-stage `timing` breakdown.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 use vega_obs::json::Json;
+use vega_obs::{TraceCtx, TraceIdGen};
 
 /// Deterministic exponential backoff with capped jitter.
 #[derive(Debug, Clone)]
@@ -69,6 +75,7 @@ pub struct Client {
     stream: TcpStream,
     addr: String,
     buf: Vec<u8>,
+    tracer: Option<TraceIdGen>,
 }
 
 impl Client {
@@ -83,7 +90,27 @@ impl Client {
             stream,
             addr: addr.to_string(),
             buf: Vec::new(),
+            tracer: None,
         })
+    }
+
+    /// Enables end-to-end tracing: every subsequent `generate` request mints
+    /// one [`TraceCtx`] from a deterministic splitmix64 stream over `seed`
+    /// and sends it in the request's `trace` field. The server adopts it and
+    /// echoes it back, so the response's `trace` names the server-side spans
+    /// and flight-recorder records this request produced.
+    ///
+    /// Minting happens once per *logical* request — a transport retry
+    /// resends the identical line, trace included — and the stream is a pure
+    /// function of `(seed, mint count)`, so same-seed runs (chaos replays
+    /// under `VEGA_FAULT_PLAN` included) mint identical trace-id sequences.
+    pub fn set_tracer(&mut self, seed: u64) {
+        self.tracer = Some(TraceIdGen::new(seed));
+    }
+
+    /// Mints the next trace context when tracing is enabled.
+    fn mint_trace(&mut self) -> Option<TraceCtx> {
+        self.tracer.as_mut().map(TraceIdGen::mint)
     }
 
     /// As [`Client::connect`], retrying refused/failed connects under
@@ -203,7 +230,8 @@ impl Client {
         }
     }
 
-    /// Convenience: a `generate` request.
+    /// Convenience: a `generate` request (traced when
+    /// [`Client::set_tracer`] was called).
     ///
     /// # Errors
     /// See [`Client::request`].
@@ -213,10 +241,13 @@ impl Client {
         group: &str,
         deadline_ms: Option<u64>,
     ) -> std::io::Result<Json> {
-        self.request(&generate_request(target, group, deadline_ms))
+        let trace = self.mint_trace();
+        self.request(&generate_request(target, group, deadline_ms, trace))
     }
 
-    /// [`Client::generate`] with transport retry.
+    /// [`Client::generate`] with transport retry. The trace context is
+    /// minted once, before the retry loop: every resend of this logical
+    /// request carries the identical trace id.
     ///
     /// # Errors
     /// See [`Client::request_with_retry`].
@@ -227,7 +258,8 @@ impl Client {
         deadline_ms: Option<u64>,
         policy: &RetryPolicy,
     ) -> std::io::Result<Json> {
-        self.request_with_retry(&generate_request(target, group, deadline_ms), policy)
+        let trace = self.mint_trace();
+        self.request_with_retry(&generate_request(target, group, deadline_ms, trace), policy)
     }
 
     /// Convenience: a bare-`op` request (`ping`, `stats`, `shutdown`, …).
@@ -254,7 +286,12 @@ fn open(addr: &str) -> std::io::Result<TcpStream> {
     Ok(stream)
 }
 
-fn generate_request(target: &str, group: &str, deadline_ms: Option<u64>) -> Json {
+fn generate_request(
+    target: &str,
+    group: &str,
+    deadline_ms: Option<u64>,
+    trace: Option<TraceCtx>,
+) -> Json {
     let mut fields = vec![
         ("op", Json::str("generate")),
         ("target", Json::str(target)),
@@ -262,6 +299,9 @@ fn generate_request(target: &str, group: &str, deadline_ms: Option<u64>) -> Json
     ];
     if let Some(d) = deadline_ms {
         fields.push(("deadline_ms", Json::num_u64(d)));
+    }
+    if let Some(t) = trace {
+        fields.push(("trace", Json::str(t.render())));
     }
     Json::obj(fields)
 }

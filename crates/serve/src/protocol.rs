@@ -10,19 +10,35 @@
 //! {"id":1,"op":"generate","target":"RISCV","group":"getRelocType","deadline_ms":2000}
 //! {"id":2,"op":"backend","target":"RI5CY"}
 //! {"op":"targets"}   {"op":"groups"}   {"op":"stats"}   {"op":"ping"}
-//! {"op":"shutdown"}
+//! {"op":"metrics"}   {"op":"flightdump"}   {"op":"shutdown"}
 //! ```
+//!
+//! `generate` and `backend` additionally accept an optional `trace` field —
+//! a [`vega_obs::TraceCtx`] in its `render` form
+//! (`<32 hex trace id>/<16 hex span id>`). The server re-establishes the
+//! caller's trace context around everything it does for the request
+//! (queue wait, cache lookup, dispatch, decode), so server-side spans and
+//! flight-recorder records carry the client's trace id. A malformed `trace`
+//! is ignored rather than rejected: tracing is observability, and a client
+//! bug there must not turn into request failures.
 //!
 //! Responses are `{"id":…,"ok":true,…}` or
 //! `{"id":…,"ok":false,"error":"<kind>","message":"…"}`. Generation
 //! responses carry the rendered function in `result` plus `cached` /
-//! `coalesced` flags; `result` is
+//! `coalesced` flags, the echoed `trace` (when one was sent), and a `timing`
+//! breakdown (`queue_ms`, `cache`, `decode_ms`, `tokens`); `result` is
 //! rendered by [`render_generated`] on both the serving and the verifying
-//! side, which is what makes byte-identity checkable.
+//! side, which is what makes byte-identity checkable — which is exactly why
+//! `trace`/`timing` live in the envelope beside `result`, never inside it.
+//!
+//! `metrics` returns the live obs registry as both a JSON snapshot
+//! (`metrics`) and Prometheus text exposition (`text`); `flightdump`
+//! returns the flight recorder's retained records.
 
 use vega::{GeneratedFunction, SIG_NODE};
 use vega_corpus::Module;
 use vega_obs::json::Json;
+use vega_obs::TraceCtx;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +51,8 @@ pub enum Request {
         group: String,
         /// Per-request deadline; the server default applies when absent.
         deadline_ms: Option<u64>,
+        /// Caller trace context to adopt (malformed values parse to `None`).
+        trace: Option<TraceCtx>,
     },
     /// Generate every interface function for a target.
     Backend {
@@ -42,6 +60,8 @@ pub enum Request {
         target: String,
         /// Per-request deadline over the whole backend.
         deadline_ms: Option<u64>,
+        /// Caller trace context to adopt (malformed values parse to `None`).
+        trace: Option<TraceCtx>,
     },
     /// List the servable targets.
     Targets,
@@ -49,6 +69,10 @@ pub enum Request {
     Groups,
     /// Server/cache/queue statistics.
     Stats,
+    /// Live obs registry: JSON snapshot plus Prometheus text exposition.
+    Metrics,
+    /// The flight recorder's retained records.
+    FlightDump,
     /// Liveness probe.
     Ping,
     /// Begin graceful shutdown.
@@ -111,19 +135,28 @@ pub fn parse_request(line: &str) -> Result<(Json, Request), (Json, String)> {
             .map_err(|_| (id.clone(), format!("op `{op}` needs string field `{name}`")))
     };
     let deadline = v.field("deadline_ms").ok().and_then(|d| d.as_u64().ok());
+    let trace = v
+        .field("trace")
+        .ok()
+        .and_then(|t| t.as_str().ok())
+        .and_then(TraceCtx::parse);
     let req = match op.as_str() {
         "generate" => Request::Generate {
             target: str_field("target")?,
             group: str_field("group")?,
             deadline_ms: deadline,
+            trace,
         },
         "backend" => Request::Backend {
             target: str_field("target")?,
             deadline_ms: deadline,
+            trace,
         },
         "targets" => Request::Targets,
         "groups" => Request::Groups,
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
+        "flightdump" => Request::FlightDump,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         other => return Err((id, format!("unknown op `{other}`"))),
@@ -209,10 +242,36 @@ mod tests {
                 target: "RISCV".into(),
                 group: "getRelocType".into(),
                 deadline_ms: None,
+                trace: None,
             }
         );
         let (_, req) = parse_request(r#"{"op":"ping"}"#).unwrap();
         assert_eq!(req, Request::Ping);
+        let (_, req) = parse_request(r#"{"op":"metrics"}"#).unwrap();
+        assert_eq!(req, Request::Metrics);
+        let (_, req) = parse_request(r#"{"op":"flightdump"}"#).unwrap();
+        assert_eq!(req, Request::FlightDump);
+    }
+
+    #[test]
+    fn trace_field_parses_and_malformed_traces_are_ignored() {
+        let ctx = vega_obs::TraceIdGen::new(7).mint();
+        let line = format!(
+            r#"{{"op":"generate","target":"T","group":"G","trace":"{}"}}"#,
+            ctx.render()
+        );
+        let (_, req) = parse_request(&line).unwrap();
+        match req {
+            Request::Generate { trace, .. } => assert_eq!(trace, Some(ctx)),
+            other => panic!("parsed {other:?}"),
+        }
+        // A malformed trace must not fail the request.
+        let (_, req) =
+            parse_request(r#"{"op":"generate","target":"T","group":"G","trace":"zzz"}"#).unwrap();
+        match req {
+            Request::Generate { trace, .. } => assert_eq!(trace, None),
+            other => panic!("parsed {other:?}"),
+        }
     }
 
     #[test]

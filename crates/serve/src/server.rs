@@ -30,6 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vega_model::CodeBe;
 use vega_obs::json::Json;
+use vega_obs::TraceCtx;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -51,6 +52,12 @@ pub struct ServeConfig {
     /// request line for this long is closed (0 disables). Protects the
     /// server from half-open or stalled peers.
     pub conn_idle_timeout_ms: u64,
+    /// Flight-recorder capacity in records; `Server::start` configures the
+    /// process-wide recorder with it. 0 leaves the recorder untouched
+    /// (disabled unless something else enabled it) — the default, so
+    /// embedded servers in tests don't clobber each other's recorders. The
+    /// `vega-serve` daemon enables it (default 256, `--flight-cap`).
+    pub flight_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +70,7 @@ impl Default for ServeConfig {
             default_deadline_ms: 120_000,
             slow_ms: 0,
             conn_idle_timeout_ms: 300_000,
+            flight_cap: 0,
         }
     }
 }
@@ -73,13 +81,30 @@ struct Job {
     target: String,
     group: String,
     deadline: Instant,
+    /// The submitting request's trace context; the dispatch worker adopts
+    /// it so generation spans and flight records carry the caller's trace.
+    trace: Option<TraceCtx>,
+    /// When the job entered the queue (`timing.queue_ms` measures from
+    /// here to dispatch).
+    enqueued: Instant,
 }
 
 /// What a waiter receives when its job resolves.
 #[derive(Debug, Clone)]
 enum Outcome {
-    Done { payload: Json },
-    Failed { kind: ErrorKind, msg: String },
+    Done {
+        payload: Json,
+        /// Queue wait of the job that produced the payload, in ms.
+        queue_ms: u64,
+        /// Decode time attributed to the generation, in ms.
+        decode_ms: f64,
+        /// Tokens the greedy decoder emitted for the generation.
+        tokens: u64,
+    },
+    Failed {
+        kind: ErrorKind,
+        msg: String,
+    },
 }
 
 /// Mutable server state, all under one lock (requests touch it for
@@ -126,6 +151,16 @@ pub struct ServeStats {
     /// Tokens scored through the incremental `forced_logprob` path
     /// (process-wide `decode.scored_tokens` obs counter).
     pub decode_scored_tokens: u64,
+    /// Cache hits as a fraction of all lookups (`0.0` before any lookup) —
+    /// the same ratio the `metrics` op's counters imply, precomputed so
+    /// `stats` and dashboards agree without client-side arithmetic.
+    pub cache_hit_ratio: f64,
+    /// p50 of the `decode.step_seconds` obs histogram (NaN when empty).
+    pub decode_step_p50: f64,
+    /// p90 of the `decode.step_seconds` obs histogram (NaN when empty).
+    pub decode_step_p90: f64,
+    /// p99 of the `decode.step_seconds` obs histogram (NaN when empty).
+    pub decode_step_p99: f64,
 }
 
 impl ServeStats {
@@ -147,6 +182,10 @@ impl ServeStats {
                 "decode_scored_tokens",
                 Json::num_u64(self.decode_scored_tokens),
             ),
+            ("cache_hit_ratio", Json::num_f64(self.cache_hit_ratio)),
+            ("decode_step_p50", Json::num_f64(self.decode_step_p50)),
+            ("decode_step_p90", Json::num_f64(self.decode_step_p90)),
+            ("decode_step_p99", Json::num_f64(self.decode_step_p99)),
         ])
     }
 }
@@ -177,6 +216,9 @@ impl Server {
     pub fn start(engine: Engine, mut cfg: ServeConfig) -> std::io::Result<Server> {
         if cfg.batch == 0 {
             cfg.batch = vega_par::threads().max(1);
+        }
+        if cfg.flight_cap > 0 {
+            vega_obs::flight::configure(cfg.flight_cap);
         }
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -262,11 +304,14 @@ impl Server {
 
 fn snapshot(shared: &Shared) -> ServeStats {
     let obs = vega_obs::global();
+    let step_hist = obs.histogram("decode.step_seconds");
+    let step_q = |q: f64| step_hist.as_ref().map_or(f64::NAN, |h| h.quantile(q));
     let st = shared.state.lock().unwrap();
+    let (hits, misses) = (st.cache.hits(), st.cache.misses());
     ServeStats {
         requests: st.requests,
-        cache_hits: st.cache.hits(),
-        cache_misses: st.cache.misses(),
+        cache_hits: hits,
+        cache_misses: misses,
         cache_evictions: st.cache.evictions(),
         cache_len: st.cache.len() as u64,
         coalesced: st.coalesced,
@@ -276,6 +321,14 @@ fn snapshot(shared: &Shared) -> ServeStats {
         queue_depth: st.queue.len() as u64,
         decode_tokens: obs.counter("decode.tokens"),
         decode_scored_tokens: obs.counter("decode.scored_tokens"),
+        cache_hit_ratio: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        decode_step_p50: step_q(0.5),
+        decode_step_p90: step_q(0.9),
+        decode_step_p99: step_q(0.99),
     }
 }
 
@@ -415,6 +468,24 @@ fn handle_line(shared: &Shared, line: &str) -> String {
             )],
         ),
         Request::Stats => protocol::ok_response(&id, [("stats", snapshot(shared).to_json())]),
+        Request::Metrics => {
+            let obs = vega_obs::global();
+            protocol::ok_response(
+                &id,
+                [
+                    ("stats", snapshot(shared).to_json()),
+                    ("metrics", obs.metrics_json()),
+                    ("text", Json::str(obs.prometheus_text())),
+                ],
+            )
+        }
+        Request::FlightDump => protocol::ok_response(
+            &id,
+            [
+                ("enabled", Json::Bool(vega_obs::flight::enabled())),
+                ("records", vega_obs::flight::dump_json()),
+            ],
+        ),
         Request::Shutdown => {
             trigger_shutdown(shared);
             protocol::ok_response(&id, [("stopping", Json::Bool(true))])
@@ -423,12 +494,26 @@ fn handle_line(shared: &Shared, line: &str) -> String {
             target,
             group,
             deadline_ms,
-        } => handle_generate(shared, &id, &target, &group, deadline_ms),
+            trace,
+        } => handle_generate(shared, &id, &target, &group, deadline_ms, trace),
         Request::Backend {
             target,
             deadline_ms,
-        } => handle_backend(shared, &id, &target, deadline_ms),
+            trace,
+        } => handle_backend(shared, &id, &target, deadline_ms, trace),
     }
+}
+
+/// The `timing` breakdown of a generate response. `cache` is `"hit"`,
+/// `"miss"`, or `"coalesced"`; `queue_ms`/`decode_ms`/`tokens` describe the
+/// generation that produced the payload (zero for cache hits).
+fn timing_json(queue_ms: u64, cache: &str, decode_ms: f64, tokens: u64) -> Json {
+    Json::obj([
+        ("queue_ms", Json::num_u64(queue_ms)),
+        ("cache", Json::str(cache)),
+        ("decode_ms", Json::num_f64(decode_ms)),
+        ("tokens", Json::num_u64(tokens)),
+    ])
 }
 
 fn handle_generate(
@@ -437,15 +522,26 @@ fn handle_generate(
     target: &str,
     group: &str,
     deadline_ms: Option<u64>,
+    trace: Option<TraceCtx>,
 ) -> String {
     let obs = vega_obs::global();
+    // Adopt the caller's trace for everything this request does on this
+    // thread — the `serve.request` span below closes carrying it.
+    let _trace_guard = obs.adopt_trace(trace);
     let span = obs.span("serve.request");
     let t0 = Instant::now();
     let deadline_ms = deadline_ms.unwrap_or(shared.cfg.default_deadline_ms);
     let deadline = t0 + Duration::from_millis(deadline_ms);
-    let response = match submit(shared, target, group, deadline) {
-        Submit::Cached(payload) => generate_ok(id, true, false, payload),
-        Submit::Wait { rx, coalesced } => wait_outcome(&rx, deadline_ms, id, coalesced),
+    let response = match submit(shared, target, group, deadline, trace) {
+        Submit::Cached(payload) => generate_ok(
+            id,
+            true,
+            false,
+            payload,
+            trace,
+            timing_json(0, "hit", 0.0, 0),
+        ),
+        Submit::Wait { rx, coalesced } => wait_outcome(&rx, deadline_ms, id, coalesced, trace),
         Submit::Shed => protocol::err_response(
             id,
             ErrorKind::Overloaded,
@@ -464,23 +560,55 @@ fn handle_generate(
     response
 }
 
-fn generate_ok(id: &Json, cached: bool, coalesced: bool, payload: Json) -> String {
-    protocol::ok_response(
-        id,
-        [
-            ("cached", Json::Bool(cached)),
-            ("coalesced", Json::Bool(coalesced)),
-            ("result", payload),
-        ],
-    )
+fn generate_ok(
+    id: &Json,
+    cached: bool,
+    coalesced: bool,
+    payload: Json,
+    trace: Option<TraceCtx>,
+    timing: Json,
+) -> String {
+    let mut fields = vec![
+        ("cached", Json::Bool(cached)),
+        ("coalesced", Json::Bool(coalesced)),
+        ("result", payload),
+    ];
+    if let Some(t) = trace {
+        fields.push(("trace", Json::str(t.render())));
+    }
+    fields.push(("timing", timing));
+    protocol::ok_response(id, fields)
 }
 
 /// Waits for a queued job's outcome. The wait is bounded (deadline plus a
 /// wide dispatch margin) so a lost job can never hang the connection.
-fn wait_outcome(rx: &Receiver<Outcome>, deadline_ms: u64, id: &Json, coalesced: bool) -> String {
+fn wait_outcome(
+    rx: &Receiver<Outcome>,
+    deadline_ms: u64,
+    id: &Json,
+    coalesced: bool,
+    trace: Option<TraceCtx>,
+) -> String {
     let margin = Duration::from_millis(deadline_ms) + Duration::from_secs(300);
     match rx.recv_timeout(margin) {
-        Ok(Outcome::Done { payload }) => generate_ok(id, false, coalesced, payload),
+        Ok(Outcome::Done {
+            payload,
+            queue_ms,
+            decode_ms,
+            tokens,
+        }) => generate_ok(
+            id,
+            false,
+            coalesced,
+            payload,
+            trace,
+            timing_json(
+                queue_ms,
+                if coalesced { "coalesced" } else { "miss" },
+                decode_ms,
+                tokens,
+            ),
+        ),
         Ok(Outcome::Failed { kind, msg }) => protocol::err_response(id, kind, &msg),
         Err(_) => protocol::err_response(
             id,
@@ -490,8 +618,15 @@ fn wait_outcome(rx: &Receiver<Outcome>, deadline_ms: u64, id: &Json, coalesced: 
     }
 }
 
-fn handle_backend(shared: &Shared, id: &Json, target: &str, deadline_ms: Option<u64>) -> String {
+fn handle_backend(
+    shared: &Shared,
+    id: &Json,
+    target: &str,
+    deadline_ms: Option<u64>,
+    trace: Option<TraceCtx>,
+) -> String {
     let obs = vega_obs::global();
+    let _trace_guard = obs.adopt_trace(trace);
     let span = obs.span("serve.request");
     let t0 = Instant::now();
     if let Err(e) = shared.engine.validate_target(target) {
@@ -508,12 +643,12 @@ fn handle_backend(shared: &Shared, id: &Json, target: &str, deadline_ms: Option<
     let mut functions = Vec::new();
     let mut errors = Vec::new();
     for group in shared.engine.group_names() {
-        let outcome = match submit(shared, target, &group, deadline) {
+        let outcome = match submit(shared, target, &group, deadline, trace) {
             Submit::Cached(payload) => Ok(payload),
             Submit::Wait { rx, .. } => match rx.recv_timeout(
                 deadline.saturating_duration_since(Instant::now()) + Duration::from_secs(300),
             ) {
-                Ok(Outcome::Done { payload }) => Ok(payload),
+                Ok(Outcome::Done { payload, .. }) => Ok(payload),
                 Ok(Outcome::Failed { kind, msg }) => Err((kind, msg)),
                 Err(_) => Err((
                     ErrorKind::Internal,
@@ -535,14 +670,15 @@ fn handle_backend(shared: &Shared, id: &Json, target: &str, deadline_ms: Option<
             ])),
         }
     }
-    let response = protocol::ok_response(
-        id,
-        [
-            ("target", Json::str(target)),
-            ("functions", Json::Arr(functions)),
-            ("errors", Json::Arr(errors)),
-        ],
-    );
+    let mut fields = vec![
+        ("target", Json::str(target)),
+        ("functions", Json::Arr(functions)),
+        ("errors", Json::Arr(errors)),
+    ];
+    if let Some(t) = trace {
+        fields.push(("trace", Json::str(t.render())));
+    }
+    let response = protocol::ok_response(id, fields);
     obs.observe("serve.request_seconds", t0.elapsed().as_secs_f64());
     let _ = span.finish();
     response
@@ -562,7 +698,13 @@ enum Submit {
     },
 }
 
-fn submit(shared: &Shared, target: &str, group: &str, deadline: Instant) -> Submit {
+fn submit(
+    shared: &Shared,
+    target: &str,
+    group: &str,
+    deadline: Instant,
+    trace: Option<TraceCtx>,
+) -> Submit {
     let key = match shared.engine.cache_key(target, group) {
         Ok(k) => k,
         Err(e) => {
@@ -573,11 +715,17 @@ fn submit(shared: &Shared, target: &str, group: &str, deadline: Instant) -> Subm
         }
     };
     let obs = vega_obs::global();
+    // The cache-lookup span covers the cache/coalesce/enqueue decision; it
+    // runs on the connection thread, where the request's trace (if any) is
+    // already adopted, so its close record carries the caller's trace id.
+    let lookup_span = obs.span("serve.cache_lookup");
     let mut st = shared.state.lock().unwrap();
     st.requests += 1;
     obs.counter_add("serve.requests", 1);
     if let Some(payload) = st.cache.get(&key) {
         obs.counter_add("serve.cache.hits", 1);
+        drop(st);
+        let _ = lookup_span.finish();
         return Submit::Cached(payload);
     }
     let (tx, rx) = channel();
@@ -585,6 +733,8 @@ fn submit(shared: &Shared, target: &str, group: &str, deadline: Instant) -> Subm
         waiters.push(tx);
         st.coalesced += 1;
         obs.counter_add("serve.coalesced", 1);
+        drop(st);
+        let _ = lookup_span.finish();
         return Submit::Wait {
             rx,
             coalesced: true,
@@ -592,22 +742,30 @@ fn submit(shared: &Shared, target: &str, group: &str, deadline: Instant) -> Subm
     }
     obs.counter_add("serve.cache.misses", 1);
     if st.shutting_down {
+        drop(st);
+        let _ = lookup_span.finish();
         return Submit::ShuttingDown;
     }
     if st.queue.len() >= shared.cfg.queue_cap {
         st.shed += 1;
         obs.counter_add("serve.shed", 1);
+        drop(st);
+        let _ = lookup_span.finish();
         return Submit::Shed;
     }
     st.inflight.insert(key.clone(), vec![tx]);
+    obs.gauge_set("serve.inflight", st.inflight.len() as f64);
     st.queue.push_back(Job {
         key,
         target: target.to_string(),
         group: group.to_string(),
         deadline,
+        trace,
+        enqueued: Instant::now(),
     });
     obs.gauge_set("serve.queue_depth", st.queue.len() as f64);
     drop(st);
+    let _ = lookup_span.finish();
     shared.work_cv.notify_all();
     Submit::Wait {
         rx,
@@ -616,13 +774,12 @@ fn submit(shared: &Shared, target: &str, group: &str, deadline: Instant) -> Subm
 }
 
 fn finish(shared: &Shared, key: &str, outcome: &Outcome) {
-    let waiters = shared
-        .state
-        .lock()
-        .unwrap()
-        .inflight
-        .remove(key)
-        .unwrap_or_default();
+    let waiters = {
+        let mut st = shared.state.lock().unwrap();
+        let waiters = st.inflight.remove(key).unwrap_or_default();
+        vega_obs::global().gauge_set("serve.inflight", st.inflight.len() as f64);
+        waiters
+    };
     for tx in waiters {
         let _ = tx.send(outcome.clone());
     }
@@ -674,18 +831,30 @@ fn dispatcher_loop(shared: &Shared) {
         let span = obs.span("serve.batch");
         // Each job in the batch gets its own replica slot (batch size ==
         // pool size), so the locks below never contend; `par_map` returns
-        // results in job order.
+        // results in job order. Each worker adopts its job's trace (the
+        // batch as a whole has no single trace) so the `serve.generate`
+        // span and per-request decode attribution carry the caller's id.
         let results = vega_par::par_map(live, |i, job| {
+            let worker_obs = vega_obs::global();
+            let _trace_guard = worker_obs.adopt_trace(job.trace);
+            let gen_span = worker_obs.span("serve.generate");
+            let queue_ms = job.enqueued.elapsed().as_millis() as u64;
             if shared.cfg.slow_ms > 0 {
                 std::thread::sleep(Duration::from_millis(shared.cfg.slow_ms));
             }
+            // Generation runs single-threaded on this worker, so the
+            // thread-local tally is an exact per-job decode attribution.
+            vega_nn::decode::tally::reset();
             let mut replica = shared.replicas[i].lock().unwrap();
             let result = shared
                 .engine
                 .generate_with(&mut replica, &job.target, &job.group);
-            (job, result)
+            drop(replica);
+            let (tokens, decode_s) = vega_nn::decode::tally::snapshot();
+            let _ = gen_span.finish();
+            (job, result, queue_ms, tokens, decode_s * 1e3)
         });
-        for (job, result) in results {
+        for (job, result, queue_ms, tokens, decode_ms) in results {
             match result {
                 Ok((module, gf)) => {
                     let payload = protocol::render_generated(&job.target, &job.group, module, &gf);
@@ -695,7 +864,16 @@ fn dispatcher_loop(shared: &Shared) {
                         st.generated += 1;
                     }
                     obs.counter_add("serve.generated", 1);
-                    finish(shared, &job.key, &Outcome::Done { payload });
+                    finish(
+                        shared,
+                        &job.key,
+                        &Outcome::Done {
+                            payload,
+                            queue_ms,
+                            decode_ms,
+                            tokens,
+                        },
+                    );
                 }
                 Err(e) => finish(
                     shared,

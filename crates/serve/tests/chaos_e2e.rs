@@ -17,6 +17,7 @@ use vega::{Vega, VegaConfig};
 use vega_fault::{sites, FaultPlan};
 use vega_model::CodeBe;
 use vega_obs::json::Json;
+use vega_obs::TraceIdGen;
 use vega_serve::{protocol, Client, Engine, RetryPolicy, ServeConfig, Server};
 
 const PLAN: &str = "seed=7;serve.conn.drop=0.2;serve.conn.stall=0.15:15;serve.conn.corrupt=0.2";
@@ -183,6 +184,60 @@ fn chaos_sequential_run(
     (log, renders)
 }
 
+/// One traced sequential client under the chaos plan with the flight
+/// recorder on; returns the echoed trace ids (in request order) and the
+/// stable flight-dump render.
+fn chaos_traced_run(
+    checkpoint: &str,
+    pairs: &[(String, String)],
+    pool: usize,
+    reps: usize,
+    trace_seed: u64,
+) -> (Vec<String>, String) {
+    vega_par::set_threads(pool);
+    vega_fault::set_plan(Some(FaultPlan::parse(PLAN).unwrap()));
+    // Fresh recorder per run so the dump holds exactly this workload.
+    vega_obs::flight::configure(512);
+    let cfg = ServeConfig {
+        batch: pool,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+
+    let policy = RetryPolicy {
+        max_attempts: 16,
+        base_ms: 1,
+        cap_ms: 10,
+        seed: 99,
+    };
+    let mut client = Client::connect_with_retry(&addr, &policy).expect("chaos connect");
+    client.set_tracer(trace_seed);
+    let mut traces = Vec::new();
+    for rep in 0..reps {
+        let (t, g) = &pairs[rep % pairs.len()];
+        let resp = client
+            .generate_with_retry(t, g, None, &policy)
+            .expect("traced chaos request");
+        result_render(&resp);
+        traces.push(
+            resp.field("trace")
+                .expect("traced request must echo its trace")
+                .as_str()
+                .unwrap()
+                .to_string(),
+        );
+    }
+    drop(client);
+    server.shutdown();
+    server.join_with_stats();
+    vega_fault::set_plan(None);
+
+    let stable = vega_obs::flight::dump_stable_json().render();
+    vega_obs::flight::configure(0);
+    (traces, stable)
+}
+
 #[test]
 fn chaos_serve_end_to_end() {
     vega_par::set_threads(4);
@@ -233,6 +288,36 @@ fn chaos_serve_end_to_end() {
     for (i, r) in renders_a.iter().enumerate() {
         assert_eq!(r, &expected[&pairs[i % pairs.len()]]);
     }
+
+    // Trace determinism: the same seeded sequential workload at pool sizes
+    // 1 and 4 mints the identical trace-id sequence (predictable by a twin
+    // generator) and leaves byte-identical stable flight dumps — retries
+    // reuse their request's trace, and the stable form strips wall-clock.
+    let trace_seed = 0x51DE;
+    let (traces_1, dump_1) = chaos_traced_run(&checkpoint, &pairs, 1, 8, trace_seed);
+    let (traces_4, dump_4) = chaos_traced_run(&checkpoint, &pairs, 4, 8, trace_seed);
+    let mut twin = TraceIdGen::new(trace_seed);
+    let predicted: Vec<String> = (0..8).map(|_| twin.mint().render()).collect();
+    assert_eq!(
+        traces_1, predicted,
+        "echoed traces must follow the seeded mint sequence"
+    );
+    assert_eq!(
+        traces_1, traces_4,
+        "trace-id sequence must not depend on pool size"
+    );
+    assert!(
+        dump_1.contains("serve.generate"),
+        "the stable dump should retain traced generate spans: {dump_1}"
+    );
+    assert!(
+        dump_1.contains(&predicted[0]),
+        "the stable dump should carry the first request's trace: {dump_1}"
+    );
+    assert_eq!(
+        dump_1, dump_4,
+        "same-seed stable flight dumps must be byte-identical across pool sizes"
+    );
 
     vega_par::set_threads(0);
 }

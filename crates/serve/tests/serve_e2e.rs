@@ -10,6 +10,7 @@ use std::time::Duration;
 use vega::{Vega, VegaConfig};
 use vega_model::CodeBe;
 use vega_obs::json::Json;
+use vega_obs::TraceIdGen;
 use vega_serve::{protocol, Client, Engine, ServeConfig, Server};
 
 /// Rebuilds a serving engine from the checkpoint, exactly as the daemon does.
@@ -68,6 +69,7 @@ fn serve_end_to_end() {
     sequential_cache_and_errors(&checkpoint, &t0, &targets[1], &g0, &expected_t0g0);
     concurrent_coalescing(&checkpoint, &t0, &g0, &expected_t0g0);
     backpressure_and_deadlines(&checkpoint, &targets, &groups);
+    telemetry_and_flight(&checkpoint, &t0, &g0, &expected_t0g0);
 }
 
 /// threads=1: cache hits, byte-identity against direct generation, error
@@ -248,4 +250,154 @@ fn backpressure_and_deadlines(checkpoint: &str, targets: &[String], groups: &[St
     let stats = server.join_with_stats();
     assert_eq!(stats.shed, shed);
     assert_eq!(stats.deadline_exceeded, 1);
+}
+
+/// Traced requests echo the caller's trace id and a timing breakdown, the
+/// `stats`, `metrics` and Prometheus `text` views of the same process agree
+/// with each other, and the flight recorder retains trace-stamped spans
+/// served by the `flightdump` op — without perturbing the `result` bytes.
+fn telemetry_and_flight(checkpoint: &str, t0: &str, g0: &str, expected: &str) {
+    vega_par::set_threads(1);
+    let cfg = ServeConfig {
+        flight_cap: 128,
+        ..ServeConfig::default()
+    };
+    let (server, addr) = start(checkpoint, cfg);
+    let mut c = Client::connect(&addr).unwrap();
+    c.set_tracer(0xC0FFEE);
+    // A twin generator predicts every trace the client will mint.
+    let mut twin = TraceIdGen::new(0xC0FFEE);
+
+    // Fresh generation: trace echoed, timing says miss, result bytes
+    // untouched by the new envelope fields.
+    let miss = c.generate(t0, g0, None).unwrap();
+    let miss_trace = twin.mint().render();
+    assert_eq!(result_render(&miss), expected);
+    assert_eq!(
+        miss.field("trace").unwrap().as_str().unwrap(),
+        miss_trace,
+        "response must echo the caller's trace id"
+    );
+    let timing = miss.field("timing").unwrap();
+    assert_eq!(timing.field("cache").unwrap().as_str().unwrap(), "miss");
+    let tokens = timing.field("tokens").unwrap().as_u64().unwrap();
+    assert!(tokens > 0, "a fresh generation decodes at least one token");
+    assert!(timing.field("decode_ms").unwrap().as_f64().unwrap() >= 0.0);
+    timing.field("queue_ms").unwrap().as_u64().unwrap();
+
+    // Cache hit: new trace, timing says hit with zero decode work.
+    let hit = c.generate(t0, g0, None).unwrap();
+    let hit_trace = twin.mint().render();
+    assert_eq!(hit.field("trace").unwrap().as_str().unwrap(), hit_trace);
+    let hit_timing = hit.field("timing").unwrap();
+    assert_eq!(hit_timing.field("cache").unwrap().as_str().unwrap(), "hit");
+    assert_eq!(hit_timing.field("tokens").unwrap().as_u64().unwrap(), 0);
+
+    // The metrics op returns three views of the same instant; they must
+    // agree exactly (golden consistency, not approximate).
+    let m = c.op("metrics").unwrap();
+    assert_eq!(m.field("ok").unwrap(), &Json::Bool(true));
+    let stats = m.field("stats").unwrap();
+    let metrics = m.field("metrics").unwrap();
+    let stat_f64 = |name: &str| stats.field(name).unwrap().as_f64().unwrap();
+    let stat_u64 = |name: &str| stats.field(name).unwrap().as_u64().unwrap();
+
+    assert_eq!(stat_u64("cache_hits"), 1);
+    assert_eq!(stat_u64("cache_misses"), 1);
+    assert_eq!(
+        stat_f64("cache_hit_ratio"),
+        0.5,
+        "one hit + one miss must precompute to exactly 0.5"
+    );
+
+    // stats.decode_tokens mirrors the obs counter verbatim, and the
+    // decode.step_seconds histogram observed exactly one sample per token.
+    let counters = metrics.field("counters").unwrap();
+    let decode_tokens = counters.field("decode.tokens").unwrap().as_u64().unwrap();
+    assert_eq!(stat_u64("decode_tokens"), decode_tokens);
+    let step = metrics
+        .field("hists")
+        .unwrap()
+        .field("decode.step_seconds")
+        .unwrap();
+    assert_eq!(
+        step.field("count").unwrap().as_u64().unwrap(),
+        decode_tokens
+    );
+    for (stat_name, hist_q) in [
+        ("decode_step_p50", "p50"),
+        ("decode_step_p90", "p90"),
+        ("decode_step_p99", "p99"),
+    ] {
+        let from_stats = stat_f64(stat_name);
+        let from_hist = step.field(hist_q).unwrap().as_f64().unwrap();
+        assert_eq!(
+            from_stats, from_hist,
+            "stats.{stat_name} and hists.decode.step_seconds.{hist_q} disagree"
+        );
+    }
+
+    // The Prometheus exposition is well-formed `name value` text with the
+    // same sample count.
+    let text = m.field("text").unwrap().as_str().unwrap().to_string();
+    let mut prom_count = None;
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("metric name");
+        let value = parts.next().expect("metric value");
+        assert_eq!(
+            parts.next(),
+            None,
+            "exposition lines are `name value`: {line}"
+        );
+        assert!(name.starts_with("vega_"), "{line}");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad value in {line}"));
+        if name == "vega_decode_step_seconds_count" {
+            prom_count = Some(value.parse::<f64>().unwrap());
+        }
+    }
+    assert_eq!(
+        prom_count,
+        Some(decode_tokens as f64),
+        "Prometheus _count must match the JSON histogram count"
+    );
+    assert!(
+        text.contains("le=\"+Inf\""),
+        "cumulative buckets must end at +Inf:\n{text}"
+    );
+
+    // The flight recorder retained trace-stamped spans for both requests.
+    let fd = c.op("flightdump").unwrap();
+    assert_eq!(fd.field("enabled").unwrap(), &Json::Bool(true));
+    let records = fd.field("records").unwrap().as_array().unwrap();
+    // `what` is the dotted span path, so match on the leaf name.
+    let has = |leaf: &str, trace: &str| {
+        records.iter().any(|r| {
+            r.field("what")
+                .ok()
+                .and_then(|w| w.as_str().ok())
+                .is_some_and(|w| w.ends_with(leaf))
+                && r.field("trace").ok().and_then(|t| t.as_str().ok()) == Some(trace)
+        })
+    };
+    assert!(
+        has("serve.generate", &miss_trace),
+        "the miss's generate span must be in the flight dump: {}",
+        fd.render()
+    );
+    assert!(
+        has("serve.cache_lookup", &hit_trace),
+        "the hit's cache-lookup span must be in the flight dump: {}",
+        fd.render()
+    );
+
+    server.shutdown();
+    server.join_with_stats();
+    // The recorder is process-global; leave it off for whatever runs next.
+    vega_obs::flight::configure(0);
 }
