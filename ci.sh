@@ -111,4 +111,30 @@ grep -q "loadgen: shutdown=ok" "$SMOKE_DIR/chaos-loadgen.txt"
 grep -q "fault.injected.serve.conn" "$SMOKE_DIR/chaos-trace.jsonl"
 echo "chaos: ok"
 
+# Checkpoint v2 + hot swap: the binary mmap format's fault suite (truncation,
+# bit flips, version skew, a doctored tensor table, a crash mid-save), the
+# live-swap e2e with chaos injection at pool sizes 1 and 4, and v1↔v2
+# interop through the CLI (the serve smoke above already runs on a v2
+# checkpoint — `--save-model` defaults to `--ckpt-format v2`). The headline
+# artifact must be bit-identical whichever format the model reloads from.
+echo "== ckpt v2 =="
+cargo test -q -p vega-model --test ckpt_v2
+cargo test -q -p vega-serve --test swap_e2e
+target/release/vega-experiments headline --scale tiny \
+  --load-model "$SMOKE_DIR/ckpt.json" \
+  --save-model "$SMOKE_DIR/ckpt-v1.json" --ckpt-format v1 \
+  > "$SMOKE_DIR/headline-v2load.txt"
+target/release/vega-experiments headline --scale tiny \
+  --load-model "$SMOKE_DIR/ckpt-v1.json" > "$SMOKE_DIR/headline-v1load.txt"
+diff "$SMOKE_DIR/headline-v2load.txt" "$SMOKE_DIR/headline-v1load.txt"
+echo "ckpt v2: ok"
+
+# Checkpoint bench smoke: v2 replica spawn must stay O(header) — at least
+# 10x faster than a v1 deep copy — and both formats must decode
+# bit-identical weights.
+echo "== ckpt bench smoke =="
+VEGA_CKPT_BENCH_FAST=1 VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_ckpt.json" \
+  cargo bench -p vega-bench --bench ckpt | tee "$SMOKE_DIR/ckpt-bench.txt"
+grep -q "ckpt: smoke=ok" "$SMOKE_DIR/ckpt-bench.txt"
+
 echo "ci: all checks passed"

@@ -6,6 +6,7 @@
 //!                  [--scale tiny|small] [--synthetic N] [--epochs E]
 //!                  [--pretrain STEPS] [--seed S] [--threads N]
 //!                  [--trace-out PATH] [--save-model PATH] [--load-model PATH]
+//!                  [--ckpt-format v1|v2]
 //! ```
 //!
 //! `all` trains once and renders every artifact off the same model; the
@@ -15,10 +16,15 @@
 //! overrides the `vega-par` pool size (default: `VEGA_THREADS` or the core
 //! count); results are bit-identical for any value.
 //!
-//! `--save-model` writes the trained CodeBE checkpoint as JSON after stage 2;
-//! `--load-model` skips training and reuses such a checkpoint (it must have
-//! been produced with the same `--scale`/`--synthetic`/`--seed`, or loading
-//! fails with a vocabulary mismatch). `vega-serve` consumes the same files.
+//! `--save-model` writes the trained CodeBE checkpoint after stage 2;
+//! `--ckpt-format` picks the on-disk layout (`v2`, the default, is the
+//! binary mmap-shareable `vega-ckpt/v2`; `v1` is the JSON envelope).
+//! `--load-model` skips training and reuses such a checkpoint — the format
+//! is auto-detected from the file, and a malformed file is rejected with
+//! the detected format and the offending byte offset. The checkpoint must
+//! have been produced with the same `--scale`/`--synthetic`/`--seed`, or
+//! loading fails with a vocabulary mismatch. `vega-serve` consumes the
+//! same files.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -38,6 +44,7 @@ struct Args {
     trace_out: Option<PathBuf>,
     save_model: Option<PathBuf>,
     load_model: Option<PathBuf>,
+    ckpt_format: vega_model::CkptFormat,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +59,7 @@ fn parse_args() -> Args {
         trace_out: None,
         save_model: None,
         load_model: None,
+        ckpt_format: vega_model::CkptFormat::V2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -95,6 +103,14 @@ fn parse_args() -> Args {
             "--load-model" => {
                 i += 1;
                 args.load_model = argv.get(i).map(PathBuf::from);
+            }
+            "--ckpt-format" => {
+                i += 1;
+                let name = argv.get(i).map(String::as_str).unwrap_or("");
+                args.ckpt_format = vega_model::CkptFormat::parse(name).unwrap_or_else(|e| {
+                    vega_obs::error!("--ckpt-format: {e}");
+                    std::process::exit(2);
+                });
             }
             cmd if !cmd.starts_with("--") => args.command = cmd.to_string(),
             other => vega_obs::warn!("ignoring unknown flag {other}"),
@@ -220,13 +236,14 @@ fn run(args: &Args, cfg: &VegaConfig) {
     }
 
     let checkpoint = args.load_model.as_ref().map(|path| {
-        let model = vega_model::CodeBe::load_file(path).unwrap_or_else(|e| {
+        let (model, format) = vega_model::CodeBe::load_file_detect(path).unwrap_or_else(|e| {
             vega_obs::error!("cannot load checkpoint {}: {e}", path.display());
             std::process::exit(2);
         });
         vega_obs::info!(
-            "[vega-experiments] loaded checkpoint {} ({}, {} pieces)",
+            "[vega-experiments] loaded checkpoint {} ({}, {}, {} pieces)",
             path.display(),
+            format,
             model.arch_name(),
             model.vocab.len()
         );
@@ -240,10 +257,14 @@ fn run(args: &Args, cfg: &VegaConfig) {
         std::process::exit(2);
     });
     if let Some(path) = &args.save_model {
-        // Crash-safe write: digest-stamped envelope to a temp file, then an
+        // Crash-safe write: digest-stamped bytes to a temp file, then an
         // atomic rename, so a crash mid-save never clobbers an old checkpoint.
-        match wb.vega.model().save_file(path) {
-            Ok(()) => vega_obs::info!("[vega-experiments] checkpoint saved to {}", path.display()),
+        match wb.vega.model().save_file_as(path, args.ckpt_format) {
+            Ok(()) => vega_obs::info!(
+                "[vega-experiments] checkpoint saved to {} ({})",
+                path.display(),
+                args.ckpt_format
+            ),
             Err(e) => {
                 vega_obs::error!("cannot write checkpoint {}: {e}", path.display());
                 std::process::exit(2);

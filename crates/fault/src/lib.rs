@@ -76,6 +76,9 @@ pub mod sites {
     /// The client-side recovery counter shared by the drop and corrupt
     /// sites (one recovery per failed-then-retried attempt).
     pub const SERVE_CONN: &str = "serve.conn";
+    /// A vega-serve hot model swap failing after the new checkpoint was
+    /// loaded but before the flip; recovery = the old model keeps serving.
+    pub const SERVE_SWAP: &str = "serve.swap";
 }
 
 /// A fault [`check`] decided to fire.

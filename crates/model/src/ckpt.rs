@@ -53,6 +53,16 @@ pub enum CkptError {
     /// The `ckpt.save.crash` fault site fired mid-save; the temp file was
     /// abandoned and the original checkpoint (if any) is untouched.
     InjectedCrash,
+    /// A binary (`vega-ckpt/v2`) checkpoint failed structural validation at
+    /// a specific byte offset.
+    Binary {
+        /// The detected format tag (e.g. `vega-ckpt/v2`).
+        format: String,
+        /// Byte offset where validation failed.
+        offset: usize,
+        /// What was wrong there.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for CkptError {
@@ -66,13 +76,22 @@ impl std::fmt::Display for CkptError {
             ),
             CkptError::VersionMismatch { found } => write!(
                 f,
-                "checkpoint version mismatch: found `{found}`, expected `{CKPT_FORMAT}`"
+                "checkpoint version mismatch: found `{found}`, expected `{CKPT_FORMAT}` or `{}`",
+                crate::ckpt2::CKPT_FORMAT_V2
             ),
             CkptError::Payload(msg) => write!(f, "checkpoint payload: {msg}"),
             CkptError::InjectedCrash => write!(
                 f,
                 "checkpoint save crashed (injected at fault site `ckpt.save.crash`); \
                  previous checkpoint left intact"
+            ),
+            CkptError::Binary {
+                format,
+                offset,
+                msg,
+            } => write!(
+                f,
+                "checkpoint binary ({format}) invalid at byte {offset}: {msg}"
             ),
         }
     }
@@ -99,44 +118,19 @@ impl CodeBe {
     /// [`CkptError::Io`] for filesystem failures, [`CkptError::InjectedCrash`]
     /// when the fault site fires.
     pub fn save_file(&self, path: &Path) -> Result<(), CkptError> {
-        let bytes = envelope(&self.save_json());
-        let tmp = tmp_path(path);
-        let io_err =
-            |what: &str, e: std::io::Error| CkptError::Io(format!("{what} {}: {e}", tmp.display()));
-        let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
-        // Write in two halves with the crash site between them: a fired
-        // fault abandons a deliberately truncated temp file, exactly the
-        // state a real mid-write crash leaves behind.
-        let mid = bytes.len() / 2;
-        f.write_all(&bytes.as_bytes()[..mid])
-            .map_err(|e| io_err("write", e))?;
-        if vega_fault::check(vega_fault::sites::CKPT_SAVE_CRASH).is_some() {
-            let _ = f.sync_all();
-            return Err(CkptError::InjectedCrash);
-        }
-        f.write_all(&bytes.as_bytes()[mid..])
-            .map_err(|e| io_err("write", e))?;
-        f.sync_all().map_err(|e| io_err("sync", e))?;
-        drop(f);
-        std::fs::rename(&tmp, path).map_err(|e| {
-            CkptError::Io(format!(
-                "rename {} -> {}: {e}",
-                tmp.display(),
-                path.display()
-            ))
-        })
+        write_crash_safe(path, envelope(&self.save_json()).as_bytes())
     }
 
-    /// Loads a checkpoint written by [`CodeBe::save_file`] (or a legacy bare
-    /// `save_json` file), verifying the embedded digest before decoding.
+    /// Loads a checkpoint from `path`, auto-detecting the on-disk format:
+    /// `vega-ckpt/v2` binary, `vega-ckpt/v1` envelope JSON, or a legacy bare
+    /// `save_json` file. Digest verification happens before any weight
+    /// decoding in every format.
     ///
     /// # Errors
-    /// A named [`CkptError`] variant: unreadable file, unparseable JSON,
+    /// A named [`CkptError`] variant: unreadable file, unparseable bytes,
     /// digest mismatch, version mismatch, or undecodable payload.
     pub fn load_file(path: &Path) -> Result<CodeBe, CkptError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CkptError::Io(format!("read {}: {e}", path.display())))?;
-        Self::load_envelope(&text)
+        Self::load_file_detect(path).map(|(model, _)| model)
     }
 
     /// As [`CodeBe::load_file`], from bytes already in memory.
@@ -169,6 +163,36 @@ impl CodeBe {
         }
         CodeBe::load_json(&payload).map_err(|e| CkptError::Payload(e.to_string()))
     }
+}
+
+/// Writes `bytes` to `path` crash-safely: `<path>.tmp`, flushed, then
+/// renamed over `path`. Shared by the v1 (JSON envelope) and v2 (binary)
+/// save paths so both get the same atomicity and the same injectable
+/// mid-write crash.
+pub(crate) fn write_crash_safe(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    let tmp = tmp_path(path);
+    let io_err =
+        |what: &str, e: std::io::Error| CkptError::Io(format!("{what} {}: {e}", tmp.display()));
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
+    // Write in two halves with the crash site between them: a fired
+    // fault abandons a deliberately truncated temp file, exactly the
+    // state a real mid-write crash leaves behind.
+    let mid = bytes.len() / 2;
+    f.write_all(&bytes[..mid]).map_err(|e| io_err("write", e))?;
+    if vega_fault::check(vega_fault::sites::CKPT_SAVE_CRASH).is_some() {
+        let _ = f.sync_all();
+        return Err(CkptError::InjectedCrash);
+    }
+    f.write_all(&bytes[mid..]).map_err(|e| io_err("write", e))?;
+    f.sync_all().map_err(|e| io_err("sync", e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| {
+        CkptError::Io(format!(
+            "rename {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
 }
 
 /// The temp file a save writes before the atomic rename.

@@ -1,0 +1,206 @@
+//! The `vega-ckpt/v2` binary checkpoint format.
+//!
+//! v1 ([`crate::ckpt`]) stores weights as JSON text — robust and diffable,
+//! but loading re-parses every scalar and every replica owns a private copy
+//! of the model. v2 keeps the *header* as JSON (vocabulary, architecture,
+//! tensor shapes) and moves the weight data into a 64-byte-aligned
+//! little-endian `f32` region that can be memory-mapped read-only and used
+//! in place:
+//!
+//! ```text
+//! bytes 0..8    magic  b"VEGACKP2"
+//! bytes 8..16   u64 LE: header JSON length H
+//! bytes 16..24  u64 LE: FNV-1a digest over bytes[24..end]
+//! bytes 24..24+H   header JSON (save_json shape, tensors as {rows,cols,off})
+//! ..data_base      zero padding to the next 64-byte boundary
+//! data_base..end   tensor data region; each tensor 64-byte aligned,
+//!                  offsets in the header are relative to data_base
+//! ```
+//!
+//! [`CodeBe::load_file`] auto-detects v1 vs v2 by the magic. A v2 load maps
+//! the file once and hands every tensor a view into the mapping, so cloning
+//! the model for a serving replica copies descriptors, not weights, and
+//! training on a loaded model copies tensors out lazily (copy-on-write).
+//! Saving goes through the same crash-safe temp-file + rename envelope as
+//! v1, including the `ckpt.save.crash` fault site.
+
+use crate::ckpt::{write_crash_safe, CkptError, CKPT_FORMAT};
+use crate::codebe::CodeBe;
+use std::path::Path;
+use std::sync::Arc;
+use vega_nn::storage::DATA_ALIGN;
+use vega_nn::{ByteRegion, TensorTable};
+use vega_obs::json::Json;
+
+/// The v2 format tag, as reported in errors and checkpoint metadata.
+pub const CKPT_FORMAT_V2: &str = "vega-ckpt/v2";
+
+/// The 8-byte magic opening every v2 checkpoint file.
+pub const V2_MAGIC: [u8; 8] = *b"VEGACKP2";
+
+/// Bytes before the header JSON: magic + header length + digest.
+const PROLOGUE: usize = 24;
+
+/// Which on-disk checkpoint format a file was detected as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptFormat {
+    /// `vega-ckpt/v1`: JSON envelope (or a legacy bare `save_json` file).
+    V1,
+    /// `vega-ckpt/v2`: binary header + mappable weight region.
+    V2,
+}
+
+impl CkptFormat {
+    /// The format tag string (`vega-ckpt/v1` / `vega-ckpt/v2`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            CkptFormat::V1 => CKPT_FORMAT,
+            CkptFormat::V2 => CKPT_FORMAT_V2,
+        }
+    }
+
+    /// Parses a `--ckpt-format` style name (`"v1"` / `"v2"`).
+    ///
+    /// # Errors
+    /// Returns the unrecognized name.
+    pub fn parse(name: &str) -> Result<CkptFormat, String> {
+        match name {
+            "v1" => Ok(CkptFormat::V1),
+            "v2" => Ok(CkptFormat::V2),
+            other => Err(format!(
+                "unknown checkpoint format `{other}` (want v1 or v2)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CkptFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Renders a model as v2 checkpoint bytes (no I/O).
+pub fn encode_v2(model: &CodeBe) -> Vec<u8> {
+    let mut table = TensorTable::new();
+    let header = model.header_json_tabled(&mut table);
+    let data = table.into_bytes();
+    let data_base = (PROLOGUE + header.len()).next_multiple_of(DATA_ALIGN);
+    let mut out = Vec::with_capacity(data_base + data.len());
+    out.extend_from_slice(&V2_MAGIC);
+    out.extend_from_slice(&(header.len() as u64).to_le_bytes());
+    out.extend_from_slice(&[0u8; 8]); // digest, patched below
+    out.extend_from_slice(header.as_bytes());
+    out.resize(data_base, 0);
+    out.extend_from_slice(&data);
+    let digest = vega_fault::fnv1a_64(&out[PROLOGUE..]);
+    out[16..PROLOGUE].copy_from_slice(&digest.to_le_bytes());
+    out
+}
+
+impl CodeBe {
+    /// Writes this model to `path` in the v2 binary format, crash-safely
+    /// (temp file + rename; the `ckpt.save.crash` site can fire mid-write
+    /// and leaves any previous checkpoint intact).
+    ///
+    /// # Errors
+    /// [`CkptError::Io`] for filesystem failures, [`CkptError::InjectedCrash`]
+    /// when the fault site fires.
+    pub fn save_file_v2(&self, path: &Path) -> Result<(), CkptError> {
+        write_crash_safe(path, &encode_v2(self))
+    }
+
+    /// As [`CodeBe::save_file`] / [`CodeBe::save_file_v2`], selected by
+    /// `format`.
+    ///
+    /// # Errors
+    /// See [`CodeBe::save_file`].
+    pub fn save_file_as(&self, path: &Path, format: CkptFormat) -> Result<(), CkptError> {
+        match format {
+            CkptFormat::V1 => self.save_file(path),
+            CkptFormat::V2 => self.save_file_v2(path),
+        }
+    }
+
+    /// Loads a checkpoint and reports which format was detected. v2 files
+    /// are memory-mapped and the returned model borrows the mapping; v1
+    /// files decode into owned tensors.
+    ///
+    /// # Errors
+    /// A named [`CkptError`]; binary structural failures carry the detected
+    /// format and the byte offset of the problem.
+    pub fn load_file_detect(path: &Path) -> Result<(CodeBe, CkptFormat), CkptError> {
+        let region = ByteRegion::from_file(path)
+            .map_err(|e| CkptError::Io(format!("read {}: {e}", path.display())))?;
+        let b = region.bytes();
+        if b.len() >= 8 && b[..8] == V2_MAGIC {
+            return load_v2(Arc::new(region)).map(|m| (m, CkptFormat::V2));
+        }
+        if b.len() >= 7 && &b[..7] == b"VEGACKP" {
+            // Right family, wrong version byte — a future (or mangled) rev.
+            return Err(CkptError::VersionMismatch {
+                found: String::from_utf8_lossy(&b[..8.min(b.len())]).into_owned(),
+            });
+        }
+        let text = std::str::from_utf8(b).map_err(|e| {
+            CkptError::Corrupt(format!(
+                "{}: neither {CKPT_FORMAT_V2} magic nor UTF-8 JSON (bad byte at {})",
+                path.display(),
+                e.valid_up_to()
+            ))
+        })?;
+        Self::load_envelope(text).map(|m| (m, CkptFormat::V1))
+    }
+}
+
+/// Validates and decodes a mapped v2 checkpoint. The digest is verified
+/// over everything after the prologue before any parsing or weight
+/// decoding, so truncation and bit flips are caught up front.
+fn load_v2(region: Arc<ByteRegion>) -> Result<CodeBe, CkptError> {
+    let bin = |offset: usize, msg: String| CkptError::Binary {
+        format: CKPT_FORMAT_V2.to_string(),
+        offset,
+        msg,
+    };
+    let b = region.bytes();
+    if b.len() < PROLOGUE {
+        return Err(bin(
+            b.len(),
+            format!(
+                "file is {} bytes, shorter than the {PROLOGUE}-byte prologue",
+                b.len()
+            ),
+        ));
+    }
+    let header_len = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")) as usize;
+    let expected = u64::from_le_bytes(b[16..PROLOGUE].try_into().expect("8 bytes"));
+    let header_end = PROLOGUE
+        .checked_add(header_len)
+        .filter(|&end| end <= b.len())
+        .ok_or_else(|| {
+            bin(
+                8,
+                format!(
+                    "header length {header_len} overruns the {}-byte file",
+                    b.len()
+                ),
+            )
+        })?;
+    let found = vega_fault::fnv1a_64(&b[PROLOGUE..]);
+    if found != expected {
+        return Err(CkptError::DigestMismatch {
+            expected: format!("{expected:016x}"),
+            found: format!("{found:016x}"),
+        });
+    }
+    let header = std::str::from_utf8(&b[PROLOGUE..header_end]).map_err(|e| {
+        bin(
+            PROLOGUE + e.valid_up_to(),
+            "header is not UTF-8".to_string(),
+        )
+    })?;
+    let v = Json::parse(header).map_err(|e| CkptError::Corrupt(format!("v2 header: {e}")))?;
+    let data_base = header_end.next_multiple_of(DATA_ALIGN);
+    CodeBe::from_header_tabled(&v, &region, data_base)
+        .map_err(|e| CkptError::Payload(e.to_string()))
+}

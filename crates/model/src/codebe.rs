@@ -317,6 +317,54 @@ impl CodeBe {
         Json::obj([("vocab", self.vocab.to_json_value()), ("model", model)]).render()
     }
 
+    /// Scalars held in owned (heap) storage rather than borrowed from a
+    /// shared checkpoint mapping. Zero right after a v2 binary load; any
+    /// weight mutation (training) copies the touched tensors out.
+    pub fn owned_scalars(&self) -> usize {
+        match &self.model {
+            ModelKind::Transformer(t) => t.owned_scalars(),
+            ModelKind::Gru(g) => g.owned_scalars(),
+        }
+    }
+
+    /// Renders the `vega-ckpt/v2` header JSON: same shape as
+    /// [`CodeBe::save_json`], but every tensor is an `{rows, cols, off}`
+    /// descriptor whose data went into `table`.
+    pub(crate) fn header_json_tabled(&self, table: &mut vega_nn::TensorTable) -> String {
+        let model = match &self.model {
+            ModelKind::Transformer(t) => {
+                Json::obj([("Transformer", t.to_json_value_tabled(table))])
+            }
+            ModelKind::Gru(g) => Json::obj([("Gru", g.to_json_value_tabled(table))]),
+        };
+        Json::obj([("vocab", self.vocab.to_json_value()), ("model", model)]).render()
+    }
+
+    /// Rebuilds a model from a `vega-ckpt/v2` header, borrowing tensor data
+    /// from `region` (the mapped checkpoint) starting at `data_base`.
+    pub(crate) fn from_header_tabled(
+        v: &Json,
+        region: &std::sync::Arc<vega_nn::ByteRegion>,
+        data_base: usize,
+    ) -> Result<Self, JsonError> {
+        let vocab = Vocab::from_json_value(v.field("vocab")?)?;
+        let m = v.field("model")?;
+        let model = if let Ok(t) = m.field("Transformer") {
+            ModelKind::Transformer(Transformer::from_json_value_tabled(t, region, data_base)?)
+        } else if let Ok(g) = m.field("Gru") {
+            ModelKind::Gru(GruSeq2Seq::from_json_value_tabled(g, region, data_base)?)
+        } else {
+            return Err(JsonError {
+                msg: "unknown model kind".into(),
+            });
+        };
+        Ok(CodeBe {
+            vocab,
+            model,
+            curve: TrainingCurve::new(),
+        })
+    }
+
     /// Restores a model saved with [`CodeBe::save_json`].
     ///
     /// # Errors

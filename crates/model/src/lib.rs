@@ -15,11 +15,13 @@
 #![forbid(unsafe_code)]
 
 mod ckpt;
+mod ckpt2;
 mod codebe;
 mod subtok;
 mod vocab;
 
 pub use ckpt::{tmp_path, CkptError, CKPT_FORMAT};
+pub use ckpt2::{encode_v2, CkptFormat, CKPT_FORMAT_V2, V2_MAGIC};
 pub use codebe::{CodeBe, ModelChoice, TrainConfig};
 pub use subtok::{
     pieces_to_spellings, spellings_to_source, split_ident, string_to_pieces, token_to_pieces,

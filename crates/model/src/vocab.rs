@@ -49,14 +49,33 @@ const SPECIAL_NAMES: &[(&str, Special)] = &[
 ];
 
 /// A frozen subword vocabulary. Only the piece list is serialized; the
-/// lookup map is rebuilt on load.
+/// lookup map is rebuilt on load. The contents live behind an `Arc`, so
+/// cloning a vocabulary — and hence spawning a model replica — shares one
+/// frozen piece table instead of copying thousands of strings.
 #[derive(Debug, Clone)]
 pub struct Vocab {
+    inner: std::sync::Arc<VocabInner>,
+}
+
+#[derive(Debug)]
+struct VocabInner {
     pieces: Vec<String>,
     ids: HashMap<String, usize>,
 }
 
 impl Vocab {
+    /// Freezes a piece list, building the lookup index.
+    fn freeze(pieces: Vec<String>) -> Self {
+        let ids = pieces
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        Vocab {
+            inner: std::sync::Arc::new(VocabInner { pieces, ids }),
+        }
+    }
+
     /// Builds a vocabulary from the subword pieces observed in a corpus.
     /// Specials and score tokens come first, then a full single-character
     /// fallback (both ▁-marked and continuation forms), then observed pieces.
@@ -93,19 +112,14 @@ impl Vocab {
         }
         ordered.sort_unstable();
         pieces.extend(ordered);
-        let ids = pieces
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i))
-            .collect();
-        Vocab { pieces, ids }
+        Vocab::freeze(pieces)
     }
 
     /// Serializes to a JSON value (`{"pieces":[...]}`).
     pub fn to_json_value(&self) -> Json {
         Json::obj([(
             "pieces",
-            Json::Arr(self.pieces.iter().map(Json::str).collect()),
+            Json::Arr(self.inner.pieces.iter().map(Json::str).collect()),
         )])
     }
 
@@ -120,32 +134,17 @@ impl Vocab {
             .iter()
             .map(|p| Ok(p.as_str()?.to_string()))
             .collect::<Result<Vec<String>, JsonError>>()?;
-        let mut vocab = Vocab {
-            pieces,
-            ids: HashMap::new(),
-        };
-        vocab.rebuild_index();
-        Ok(vocab)
-    }
-
-    /// Rebuilds the lookup map after deserialization.
-    pub fn rebuild_index(&mut self) {
-        self.ids = self
-            .pieces
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i))
-            .collect();
+        Ok(Vocab::freeze(pieces))
     }
 
     /// Vocabulary size.
     pub fn len(&self) -> usize {
-        self.pieces.len()
+        self.inner.pieces.len()
     }
 
     /// Returns `true` if the vocabulary is empty (never, in practice).
     pub fn is_empty(&self) -> bool {
-        self.pieces.is_empty()
+        self.inner.pieces.is_empty()
     }
 
     /// Id of a special token.
@@ -155,25 +154,25 @@ impl Vocab {
             .find(|(_, sp)| *sp == s)
             .map(|(n, _)| *n)
             .expect("special registered");
-        self.ids[name]
+        self.inner.ids[name]
     }
 
     /// Id of the quantized score token for a confidence in `[0, 1]`.
     pub fn score_token(&self, confidence: f64) -> usize {
         let k = (confidence.clamp(0.0, 1.0) * (NUM_SCORE_TOKENS - 1) as f64).round() as usize;
-        self.ids[&format!("[CS_{k}]")]
+        self.inner.ids[&format!("[CS_{k}]")]
     }
 
     /// The confidence represented by an id, if it is a score token.
     pub fn score_of(&self, id: usize) -> Option<f64> {
-        let p = self.pieces.get(id)?;
+        let p = self.inner.pieces.get(id)?;
         let k: usize = p.strip_prefix("[CS_")?.strip_suffix(']')?.parse().ok()?;
         Some(k as f64 / (NUM_SCORE_TOKENS - 1) as f64)
     }
 
     /// Encodes one piece, falling back to characters for unknown pieces.
     pub fn encode_piece(&self, piece: &str, out: &mut Vec<usize>) {
-        if let Some(&id) = self.ids.get(piece) {
+        if let Some(&id) = self.inner.ids.get(piece) {
             out.push(id);
             return;
         }
@@ -188,7 +187,7 @@ impl Vocab {
             } else {
                 ch.to_string()
             };
-            if let Some(&id) = self.ids.get(&key) {
+            if let Some(&id) = self.inner.ids.get(&key) {
                 out.push(id);
             }
             // Non-ASCII chars outside the fallback are dropped.
@@ -207,7 +206,7 @@ impl Vocab {
     /// Decodes ids into pieces, skipping specials and score tokens.
     pub fn decode_pieces(&self, ids: &[usize]) -> Vec<String> {
         ids.iter()
-            .filter_map(|&id| self.pieces.get(id))
+            .filter_map(|&id| self.inner.pieces.get(id))
             .filter(|p| !(p.starts_with('[') && p.ends_with(']')))
             .cloned()
             .collect()

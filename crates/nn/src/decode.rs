@@ -171,7 +171,7 @@ fn attend_into(a: &[f32], v_rows: &Tensor, out: &mut [f32]) {
 fn layer_norm_rows(x: &Tensor, gain: &Tensor, bias: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(x.rows, x.cols);
     for r in 0..x.rows {
-        layer_norm_row(x.row(r), &gain.data, &bias.data, out.row_mut(r));
+        layer_norm_row(x.row(r), gain.as_slice(), bias.as_slice(), out.row_mut(r));
     }
     out
 }
@@ -189,11 +189,11 @@ fn concat_cols(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Elementwise ReLU, replicating `Graph::relu`.
 fn relu(x: &Tensor) -> Tensor {
-    Tensor {
-        rows: x.rows,
-        cols: x.cols,
-        data: x.data.iter().map(|v| v.max(0.0)).collect(),
-    }
+    Tensor::from_vec(
+        x.rows,
+        x.cols,
+        x.as_slice().iter().map(|v| v.max(0.0)).collect(),
+    )
 }
 
 impl Transformer {
@@ -283,11 +283,7 @@ impl Transformer {
             for h in 0..self.cfg.n_heads {
                 lk.push(enc.matmul(self.store.value(layer.cross_attn.wk[h]), false));
                 lv.push(enc.matmul(self.store.value(layer.cross_attn.wv[h]), false));
-                let empty = || Tensor {
-                    rows: 0,
-                    cols: dh,
-                    data: Vec::with_capacity(self.cfg.max_len * dh),
-                };
+                let empty = || Tensor::with_row_capacity(dh, self.cfg.max_len);
                 sk.push(empty());
                 sv.push(empty());
             }
@@ -390,8 +386,8 @@ impl DecodeState<'_> {
             // Self-attention over the cached prefix plus this row.
             layer_norm_row(
                 &self.x,
-                &m.store.value(layer.ln1.gain).data,
-                &m.store.value(layer.ln1.bias).data,
+                m.store.value(layer.ln1.gain).as_slice(),
+                m.store.value(layer.ln1.bias).as_slice(),
                 &mut self.xn,
             );
             for h in 0..n_heads {
@@ -402,15 +398,13 @@ impl DecodeState<'_> {
                     m.store.value(layer.self_attn.wk[h]),
                     &mut self.kv_row,
                 );
-                sk.data.extend_from_slice(&self.kv_row);
-                sk.rows += 1;
+                sk.push_row(&self.kv_row);
                 row_matmul_into(
                     &self.xn,
                     m.store.value(layer.self_attn.wv[h]),
                     &mut self.kv_row,
                 );
-                sv.data.extend_from_slice(&self.kv_row);
-                sv.rows += 1;
+                sv.push_row(&self.kv_row);
                 let t1 = sk.rows;
                 for j in 0..t1 {
                     self.scores[j] = dot(&self.q, sk.row(j)) * scale;
@@ -431,8 +425,8 @@ impl DecodeState<'_> {
             // Cross-attention against the fixed encoder K/V.
             layer_norm_row(
                 &self.x,
-                &m.store.value(layer.ln2.gain).data,
-                &m.store.value(layer.ln2.bias).data,
+                m.store.value(layer.ln2.gain).as_slice(),
+                m.store.value(layer.ln2.bias).as_slice(),
                 &mut self.xn,
             );
             for h in 0..n_heads {
@@ -457,27 +451,27 @@ impl DecodeState<'_> {
             // Feed-forward.
             layer_norm_row(
                 &self.x,
-                &m.store.value(layer.ln3.gain).data,
-                &m.store.value(layer.ln3.bias).data,
+                m.store.value(layer.ln3.gain).as_slice(),
+                m.store.value(layer.ln3.bias).as_slice(),
                 &mut self.xn,
             );
             row_matmul_into(&self.xn, m.store.value(layer.ff.w1), &mut self.ff);
-            add_assign(&mut self.ff, &m.store.value(layer.ff.b1).data);
+            add_assign(&mut self.ff, m.store.value(layer.ff.b1).as_slice());
             for v in self.ff.iter_mut() {
                 *v = v.max(0.0);
             }
             row_matmul_into(&self.ff, m.store.value(layer.ff.w2), &mut self.tmp_d);
-            add_assign(&mut self.tmp_d, &m.store.value(layer.ff.b2).data);
+            add_assign(&mut self.tmp_d, m.store.value(layer.ff.b2).as_slice());
             add_assign(&mut self.x, &self.tmp_d);
         }
         layer_norm_row(
             &self.x,
-            &m.store.value(m.final_ln.gain).data,
-            &m.store.value(m.final_ln.bias).data,
+            m.store.value(m.final_ln.gain).as_slice(),
+            m.store.value(m.final_ln.bias).as_slice(),
             &mut self.xn,
         );
         row_matmul_into(&self.xn, m.store.value(m.w_out), &mut self.logits);
-        add_assign(&mut self.logits, &m.store.value(m.b_out).data);
+        add_assign(&mut self.logits, m.store.value(m.b_out).as_slice());
         self.len += 1;
         &self.logits
     }
@@ -546,12 +540,12 @@ impl GruDecodeState<'_> {
         self.xin[..d].copy_from_slice(x);
         self.xin[d..].copy_from_slice(&self.h);
         row_matmul_into(&self.xin, m.store.value(cell.wz), &mut self.z);
-        add_assign(&mut self.z, &m.store.value(cell.bz).data);
+        add_assign(&mut self.z, m.store.value(cell.bz).as_slice());
         for v in self.z.iter_mut() {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
         row_matmul_into(&self.xin, m.store.value(cell.wr), &mut self.r);
-        add_assign(&mut self.r, &m.store.value(cell.br).data);
+        add_assign(&mut self.r, m.store.value(cell.br).as_slice());
         for v in self.r.iter_mut() {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
@@ -561,7 +555,7 @@ impl GruDecodeState<'_> {
         self.xin[..d].copy_from_slice(x);
         self.xin[d..].copy_from_slice(&self.rh);
         row_matmul_into(&self.xin, m.store.value(cell.wh), &mut self.hcand);
-        add_assign(&mut self.hcand, &m.store.value(cell.bh).data);
+        add_assign(&mut self.hcand, m.store.value(cell.bh).as_slice());
         for v in self.hcand.iter_mut() {
             *v = v.tanh();
         }
@@ -582,7 +576,7 @@ impl GruDecodeState<'_> {
         let x: Vec<f32> = emb.row(token).to_vec();
         self.cell_fwd(&m.dec, &x);
         row_matmul_into(&self.h, m.store.value(m.w_out), &mut self.logits);
-        add_assign(&mut self.logits, &m.store.value(m.b_out).data);
+        add_assign(&mut self.logits, m.store.value(m.b_out).as_slice());
         &self.logits
     }
 }
@@ -598,7 +592,7 @@ mod tests {
         let full = a.matmul(&b, false);
         let mut out = vec![0.0f32; 3];
         row_matmul_into(a.row(0), &b, &mut out);
-        for (x, y) in out.iter().zip(&full.data) {
+        for (x, y) in out.iter().zip(full.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
     }
@@ -607,9 +601,9 @@ mod tests {
     fn softmax_row_matches_tensor_softmax_bitwise() {
         let t = Tensor::from_vec(1, 5, vec![0.1, -2.0, 3.5, 0.0, 1.0]);
         let full = t.softmax_rows();
-        let mut row = t.data.clone();
+        let mut row = t.as_slice().to_vec();
         softmax_row(&mut row);
-        for (x, y) in row.iter().zip(&full.data) {
+        for (x, y) in row.iter().zip(full.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
     }

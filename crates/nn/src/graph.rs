@@ -173,44 +173,47 @@ impl<'p> Graph<'p> {
     /// `a + s` elementwise (scalar shift; used for `1 - z` as `-z + 1`).
     pub fn add_scalar(&mut self, a: NodeId, s: f32) -> NodeId {
         let src = &self.nodes[a.0].value;
-        let v = Tensor {
-            rows: src.rows,
-            cols: src.cols,
-            data: src.data.iter().map(|x| x + s).collect(),
-        };
+        let v = Tensor::from_vec(
+            src.rows,
+            src.cols,
+            src.as_slice().iter().map(|x| x + s).collect(),
+        );
         self.push(Op::AddScalar { a: a.0 }, v)
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
         let src = &self.nodes[a.0].value;
-        let v = Tensor {
-            rows: src.rows,
-            cols: src.cols,
-            data: src.data.iter().map(|x| x.max(0.0)).collect(),
-        };
+        let v = Tensor::from_vec(
+            src.rows,
+            src.cols,
+            src.as_slice().iter().map(|x| x.max(0.0)).collect(),
+        );
         self.push(Op::Relu { a: a.0 }, v)
     }
 
     /// tanh.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
         let src = &self.nodes[a.0].value;
-        let v = Tensor {
-            rows: src.rows,
-            cols: src.cols,
-            data: src.data.iter().map(|x| x.tanh()).collect(),
-        };
+        let v = Tensor::from_vec(
+            src.rows,
+            src.cols,
+            src.as_slice().iter().map(|x| x.tanh()).collect(),
+        );
         self.push(Op::Tanh { a: a.0 }, v)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
         let src = &self.nodes[a.0].value;
-        let v = Tensor {
-            rows: src.rows,
-            cols: src.cols,
-            data: src.data.iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect(),
-        };
+        let v = Tensor::from_vec(
+            src.rows,
+            src.cols,
+            src.as_slice()
+                .iter()
+                .map(|x| 1.0 / (1.0 + (-x).exp()))
+                .collect(),
+        );
         self.push(Op::Sigmoid { a: a.0 }, v)
     }
 
@@ -239,14 +242,16 @@ impl<'p> Graph<'p> {
         let mut out = Tensor::zeros(x.rows, x.cols);
         let mut cache = Vec::with_capacity(x.rows);
         let d = x.cols as f32;
+        let (gs, bs) = (g.as_slice(), b.as_slice());
         for r in 0..x.rows {
             let row = x.row(r);
             let mean = row.iter().sum::<f32>() / d;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
             let std = (var + EPS).sqrt();
             cache.push((mean, std));
-            for c in 0..x.cols {
-                out.data[r * x.cols + c] = (row[c] - mean) / std * g.data[c] + b.data[c];
+            let orow = out.row_mut(r);
+            for c in 0..row.len() {
+                orow[c] = (row[c] - mean) / std * gs[c] + bs[c];
             }
         }
         self.push(
@@ -321,16 +326,17 @@ impl<'p> Graph<'p> {
     /// Mean over rows, yielding a 1×cols tensor (sequence pooling).
     pub fn mean_rows(&mut self, a: NodeId) -> NodeId {
         let t = &self.nodes[a.0].value;
-        let mut out = Tensor::zeros(1, t.cols);
+        let mut out = vec![0.0f32; t.cols];
         for r in 0..t.rows {
             for c in 0..t.cols {
-                out.data[c] += t.at(r, c);
+                out[c] += t.at(r, c);
             }
         }
         let n = t.rows.max(1) as f32;
-        for v in &mut out.data {
+        for v in &mut out {
             *v /= n;
         }
+        let out = Tensor::from_vec(1, t.cols, out);
         self.push(Op::MeanRows { a: a.0 }, out)
     }
 
@@ -351,7 +357,7 @@ impl<'p> Graph<'p> {
             loss -= probs.at(r, t).max(1e-12).ln();
             *grad.at_mut(r, t) -= 1.0;
         }
-        for v in &mut grad.data {
+        for v in grad.as_mut_slice() {
             *v /= n;
         }
         self.backward(logits, grad);
@@ -372,7 +378,7 @@ impl<'p> Graph<'p> {
             // Re-insert for param extraction at the end.
             let acc = |slot: &mut Option<Tensor>, add: Tensor| match slot {
                 Some(t) => {
-                    for (a, b) in t.data.iter_mut().zip(&add.data) {
+                    for (a, b) in t.as_mut_slice().iter_mut().zip(add.as_slice()) {
                         *a += b;
                     }
                 }
@@ -409,9 +415,10 @@ impl<'p> Graph<'p> {
                 Op::AddRowBroadcast { a, row } => {
                     let (a, row) = (*a, *row);
                     let mut drow = Tensor::zeros(1, gy.cols);
+                    let ds = drow.as_mut_slice();
                     for r in 0..gy.rows {
                         for c in 0..gy.cols {
-                            drow.data[c] += gy.at(r, c);
+                            ds[c] += gy.at(r, c);
                         }
                     }
                     acc(&mut grads[a], gy);
@@ -435,7 +442,11 @@ impl<'p> Graph<'p> {
                 Op::Relu { a } => {
                     let a = *a;
                     let mut dx = gy;
-                    for (d, x) in dx.data.iter_mut().zip(&self.nodes[a].value.data) {
+                    for (d, x) in dx
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(self.nodes[a].value.as_slice())
+                    {
                         if *x <= 0.0 {
                             *d = 0.0;
                         }
@@ -446,7 +457,7 @@ impl<'p> Graph<'p> {
                     let a = *a;
                     let y = &self.nodes[i].value;
                     let mut dx = gy;
-                    for (d, yv) in dx.data.iter_mut().zip(&y.data) {
+                    for (d, yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
                         *d *= 1.0 - yv * yv;
                     }
                     acc(&mut grads[a], dx);
@@ -455,7 +466,7 @@ impl<'p> Graph<'p> {
                     let a = *a;
                     let y = &self.nodes[i].value;
                     let mut dx = gy;
-                    for (d, yv) in dx.data.iter_mut().zip(&y.data) {
+                    for (d, yv) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
                         *d *= yv * (1.0 - yv);
                     }
                     acc(&mut grads[a], dx);
@@ -464,10 +475,11 @@ impl<'p> Graph<'p> {
                     let a = *a;
                     let y = &self.nodes[i].value;
                     let mut dx = Tensor::zeros(y.rows, y.cols);
+                    let dxs = dx.as_mut_slice();
                     for r in 0..y.rows {
                         let dot: f32 = (0..y.cols).map(|c| gy.at(r, c) * y.at(r, c)).sum();
                         for c in 0..y.cols {
-                            dx.data[r * y.cols + c] = (gy.at(r, c) - dot) * y.at(r, c);
+                            dxs[r * y.cols + c] = (gy.at(r, c) - dot) * y.at(r, c);
                         }
                     }
                     acc(&mut grads[a], dx);
@@ -486,6 +498,10 @@ impl<'p> Graph<'p> {
                     let mut dx = Tensor::zeros(x.rows, x.cols);
                     let mut dg = Tensor::zeros(1, x.cols);
                     let mut db = Tensor::zeros(1, x.cols);
+                    let gs = g.as_slice();
+                    let dxs = dx.as_mut_slice();
+                    let dgs = dg.as_mut_slice();
+                    let dbs = db.as_mut_slice();
                     for r in 0..x.rows {
                         let (mean, std) = cache[r];
                         // xhat and row reductions.
@@ -494,15 +510,15 @@ impl<'p> Graph<'p> {
                         let mut xhat = vec![0.0f32; x.cols];
                         for c in 0..x.cols {
                             xhat[c] = (x.at(r, c) - mean) / std;
-                            let gdy = g.data[c] * gy.at(r, c);
+                            let gdy = gs[c] * gy.at(r, c);
                             sum_gdy += gdy;
                             sum_gdy_xhat += gdy * xhat[c];
-                            dg.data[c] += gy.at(r, c) * xhat[c];
-                            db.data[c] += gy.at(r, c);
+                            dgs[c] += gy.at(r, c) * xhat[c];
+                            dbs[c] += gy.at(r, c);
                         }
                         for c in 0..x.cols {
-                            let gdy = g.data[c] * gy.at(r, c);
-                            dx.data[r * x.cols + c] =
+                            let gdy = gs[c] * gy.at(r, c);
+                            dxs[r * x.cols + c] =
                                 (gdy - sum_gdy / d - xhat[c] * sum_gdy_xhat / d) / std;
                         }
                     }
@@ -516,9 +532,10 @@ impl<'p> Graph<'p> {
                     let cols = gy.cols;
                     let t_rows = self.nodes[table].value.rows;
                     let mut dt = Tensor::zeros(t_rows, cols);
+                    let dts = dt.as_mut_slice();
                     for (r, id) in ids.iter().enumerate() {
                         for c in 0..cols {
-                            dt.data[id * cols + c] += gy.at(r, c);
+                            dts[id * cols + c] += gy.at(r, c);
                         }
                     }
                     acc(&mut grads[table], dt);
@@ -554,9 +571,11 @@ impl<'p> Graph<'p> {
                     let rows = self.nodes[a].value.rows;
                     let n = rows.max(1) as f32;
                     let mut dx = Tensor::zeros(rows, gy.cols);
+                    let gys = gy.as_slice();
+                    let dxs = dx.as_mut_slice();
                     for r in 0..rows {
-                        for c in 0..gy.cols {
-                            dx.data[r * gy.cols + c] = gy.data[c] / n;
+                        for c in 0..gys.len() {
+                            dxs[r * gys.len() + c] = gys[c] / n;
                         }
                     }
                     acc(&mut grads[a], dx);
@@ -592,9 +611,9 @@ mod tests {
         // Numeric gradient at a few entries.
         let eps = 1e-3f32;
         for &idx in &[0usize, param_shape.1 / 2, param_shape.0 * param_shape.1 - 1] {
-            let orig = store.value(w).data[idx];
+            let orig = store.value(w).as_slice()[idx];
             let loss_at = |store: &mut ParamStore, v: f32| {
-                store.value_mut(w).data[idx] = v;
+                store.value_mut(w).as_mut_slice()[idx] = v;
                 let mut g = Graph::new(store);
                 let wp = g.param(w);
                 let (logits, targets) = build(&mut g, wp);
@@ -608,9 +627,9 @@ mod tests {
             };
             let lp = loss_at(&mut store, orig + eps);
             let lm = loss_at(&mut store, orig - eps);
-            store.value_mut(w).data[idx] = orig;
+            store.value_mut(w).as_mut_slice()[idx] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            let a = analytic.data[idx];
+            let a = analytic.as_slice()[idx];
             assert!(
                 (a - numeric).abs() < 2e-2 * (1.0 + a.abs().max(numeric.abs())),
                 "idx {idx}: analytic {a} vs numeric {numeric}"

@@ -173,8 +173,27 @@ impl GruSeq2Seq {
         Self::from_json_value(&Json::parse(s)?)
     }
 
+    /// Scalars held in owned (heap) storage, as opposed to borrowed from a
+    /// shared checkpoint mapping. Zero for a freshly mapped model; grows
+    /// only when weights are mutated (copy-on-write).
+    pub fn owned_scalars(&self) -> usize {
+        self.store.owned_scalars()
+    }
+
     /// Serializes to a JSON value for embedding in a larger document.
     pub fn to_json_value(&self) -> Json {
+        self.to_json_with(self.store.to_json_value())
+    }
+
+    /// Like [`GruSeq2Seq::to_json_value`], but tensor data goes into `table`
+    /// and the JSON holds only shapes and byte offsets (the `vega-ckpt/v2`
+    /// binary layout).
+    pub fn to_json_value_tabled(&self, table: &mut crate::storage::TensorTable) -> Json {
+        let store = self.store.to_json_value_tabled(table);
+        self.to_json_with(store)
+    }
+
+    fn to_json_with(&self, store: Json) -> Json {
         let cfg = Json::obj([
             ("vocab", Json::num_usize(self.cfg.vocab)),
             ("d_model", Json::num_usize(self.cfg.d_model)),
@@ -183,7 +202,7 @@ impl GruSeq2Seq {
         ]);
         Json::obj([
             ("cfg", cfg),
-            ("store", self.store.to_json_value()),
+            ("store", store),
             ("emb", pid_json(self.emb)),
             ("enc", self.enc.to_json_value()),
             ("dec", self.dec.to_json_value()),
@@ -197,6 +216,27 @@ impl GruSeq2Seq {
     /// # Errors
     /// Returns an error if the value does not describe a GRU model.
     pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let store = ParamStore::from_json_value(v.field("store")?)?;
+        Self::from_json_with(v, store)
+    }
+
+    /// Restores from [`GruSeq2Seq::to_json_value_tabled`] output, reading
+    /// tensor data straight out of `region` (shared, zero-copy where the
+    /// platform allows).
+    ///
+    /// # Errors
+    /// Returns an error if the value does not describe a tabled GRU model or
+    /// a tensor entry falls outside the region.
+    pub fn from_json_value_tabled(
+        v: &Json,
+        region: &std::sync::Arc<crate::storage::ByteRegion>,
+        data_base: usize,
+    ) -> Result<Self, JsonError> {
+        let store = ParamStore::from_json_value_tabled(v.field("store")?, region, data_base)?;
+        Self::from_json_with(v, store)
+    }
+
+    fn from_json_with(v: &Json, store: ParamStore) -> Result<Self, JsonError> {
         let c = v.field("cfg")?;
         let cfg = GruConfig {
             vocab: c.field("vocab")?.as_usize()?,
@@ -206,7 +246,7 @@ impl GruSeq2Seq {
         };
         Ok(GruSeq2Seq {
             cfg,
-            store: ParamStore::from_json_value(v.field("store")?)?,
+            store,
             emb: pid_from(v.field("emb")?)?,
             enc: GruCell::from_json_value(v.field("enc")?)?,
             dec: GruCell::from_json_value(v.field("dec")?)?,

@@ -27,13 +27,16 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the storage module opts back in for the
+// mmap/reinterpretation primitives (and nothing else does).
+#![deny(unsafe_code)]
 
 pub mod decode;
 mod graph;
 mod gru;
 mod params;
 mod seq2seq;
+pub mod storage;
 mod tensor;
 mod transformer;
 
@@ -42,5 +45,6 @@ pub use graph::{Graph, NodeId};
 pub use gru::{GruConfig, GruSeq2Seq};
 pub use params::{Init, ParamId, ParamStore};
 pub use seq2seq::{argmax, looks_degenerate, train_until, Seq2Seq};
+pub use storage::{ByteRegion, TensorTable};
 pub use tensor::Tensor;
 pub use transformer::{Transformer, TransformerConfig};

@@ -1,6 +1,17 @@
 //! Dense 2-D tensors (row-major `f32`) with the handful of kernels the
 //! sequence models need.
+//!
+//! Storage is abstracted behind [`Tensor`]: a tensor either owns its values
+//! (`Vec<f32>`, the default for anything freshly built or trained) or
+//! borrows a read-only slice of a shared [`ByteRegion`] — a mapped v2
+//! checkpoint. Every read path (kernels, autograd, the incremental decode
+//! engine) goes through [`Tensor::as_slice`] and works identically on both;
+//! mutation goes through [`Tensor::as_mut_slice`], which copies a shared
+//! tensor into owned storage first (copy-on-write), so fine-tuning a mapped
+//! model never writes through the mapping.
 
+use crate::storage::{ByteRegion, TensorTable};
+use std::sync::Arc;
 use vega_obs::json::{Json, JsonError};
 
 /// `k`-dimension block width for the cache-blocked matmul kernels.
@@ -14,15 +25,45 @@ const TILED_MIN_WORK: usize = 1 << 15;
 /// Multiply-adds below which even the tiled kernel stays on one thread.
 const PAR_MIN_WORK: usize = 1 << 18;
 
+/// Where a tensor's values live.
+#[derive(Clone)]
+enum TensorData {
+    /// Private, mutable values.
+    Owned(Vec<f32>),
+    /// A read-only window into a shared region (`len` f32 values starting at
+    /// byte `off`). Cloning is an `Arc` bump, not a copy.
+    Shared {
+        region: Arc<ByteRegion>,
+        off: usize,
+        len: usize,
+    },
+}
+
 /// A row-major 2-D tensor.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
     /// Number of rows.
     pub rows: usize,
     /// Number of columns.
     pub cols: usize,
-    /// Row-major data; `len == rows * cols`.
-    pub data: Vec<f32>,
+    data: TensorData,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tensor")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("shared", &self.is_shared())
+            .field("data", &self.as_slice())
+            .finish()
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Tensor {
@@ -31,7 +72,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: TensorData::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -41,7 +82,125 @@ impl Tensor {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
-        Tensor { rows, cols, data }
+        Tensor {
+            rows,
+            cols,
+            data: TensorData::Owned(data),
+        }
+    }
+
+    /// An owned tensor with zero rows and capacity for `rows_cap` more —
+    /// grown row-by-row with [`Tensor::push_row`] (the decode KV caches).
+    pub fn with_row_capacity(cols: usize, rows_cap: usize) -> Self {
+        Tensor {
+            rows: 0,
+            cols,
+            data: TensorData::Owned(Vec::with_capacity(rows_cap * cols)),
+        }
+    }
+
+    /// A read-only view of `rows × cols` values at byte offset `off` inside
+    /// `region`. The view shares the region (no copy); mutating accessors
+    /// copy on write.
+    ///
+    /// # Errors
+    /// Returns a message naming the problem if the shape overflows, the
+    /// range falls outside the region, or `off` is not 4-byte aligned.
+    pub fn from_region(
+        rows: usize,
+        cols: usize,
+        region: &Arc<ByteRegion>,
+        off: usize,
+    ) -> Result<Tensor, String> {
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| format!("tensor shape {rows}x{cols} overflows"))?;
+        let nbytes = len
+            .checked_mul(4)
+            .ok_or_else(|| format!("tensor byte size {len}x4 overflows"))?;
+        let end = off
+            .checked_add(nbytes)
+            .ok_or_else(|| format!("tensor end offset overflows (off {off} + {nbytes})"))?;
+        if end > region.len() {
+            return Err(format!(
+                "tensor range {off}..{end} exceeds region of {} bytes",
+                region.len()
+            ));
+        }
+        if off % 4 != 0 {
+            return Err(format!("tensor offset {off} is not 4-byte aligned"));
+        }
+        Ok(Tensor {
+            rows,
+            cols,
+            data: TensorData::Shared {
+                region: Arc::clone(region),
+                off,
+                len,
+            },
+        })
+    }
+
+    /// The values as a contiguous row-major slice (shared or owned alike).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        match &self.data {
+            TensorData::Owned(v) => v,
+            TensorData::Shared { region, off, len } => region.f32s(*off, *len),
+        }
+    }
+
+    /// Mutable access to the values, copying a shared tensor into owned
+    /// storage first (copy-on-write).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.make_owned();
+        match &mut self.data {
+            TensorData::Owned(v) => v,
+            TensorData::Shared { .. } => unreachable!("make_owned left shared storage"),
+        }
+    }
+
+    /// Converts shared storage into a private copy; owned tensors are
+    /// untouched. After this call the tensor no longer references its
+    /// region.
+    pub fn make_owned(&mut self) {
+        if let TensorData::Shared { region, off, len } = &self.data {
+            self.data = TensorData::Owned(region.f32s(*off, *len).to_vec());
+        }
+    }
+
+    /// True when the values are a view into a shared region.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, TensorData::Shared { .. })
+    }
+
+    /// Number of scalar values (`rows * cols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.data {
+            TensorData::Owned(v) => v.len(),
+            TensorData::Shared { len, .. } => *len,
+        }
+    }
+
+    /// True for a 0-element tensor.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one row (must be `cols` wide). Requires owned storage — the
+    /// KV caches that grow this way are always owned scratch.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.cols`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "push_row width");
+        self.make_owned();
+        if let TensorData::Owned(v) = &mut self.data {
+            v.extend_from_slice(row);
+        }
+        self.rows += 1;
     }
 
     /// Serializes to a JSON value (`{"rows":r,"cols":c,"data":[...]}`).
@@ -51,7 +210,7 @@ impl Tensor {
             ("cols", Json::num_usize(self.cols)),
             (
                 "data",
-                Json::Arr(self.data.iter().map(|&x| Json::num_f32(x)).collect()),
+                Json::Arr(self.as_slice().iter().map(|&x| Json::num_f32(x)).collect()),
             ),
         ])
     }
@@ -60,40 +219,100 @@ impl Tensor {
     pub(crate) fn from_json_value(v: &Json) -> Result<Tensor, JsonError> {
         let rows = v.field("rows")?.as_usize()?;
         let cols = v.field("cols")?.as_usize()?;
+        let n = rows.checked_mul(cols).ok_or_else(|| JsonError {
+            msg: format!("tensor shape {rows}x{cols} overflows"),
+        })?;
         let data = v
             .field("data")?
             .as_array()?
             .iter()
             .map(Json::as_f32)
             .collect::<Result<Vec<f32>, JsonError>>()?;
-        if data.len() != rows * cols {
+        if data.len() != n {
             return Err(JsonError {
                 msg: format!("tensor shape {rows}x{cols} != {}", data.len()),
             });
         }
-        Ok(Tensor { rows, cols, data })
+        Ok(Tensor::from_vec(rows, cols, data))
+    }
+
+    /// Appends the values to a v2 data region and returns the header entry
+    /// (`{"rows":r,"cols":c,"off":o}` with `off` relative to the region).
+    pub(crate) fn to_table_entry(&self, table: &mut TensorTable) -> Json {
+        let off = table.push_f32s(self.as_slice());
+        Json::obj([
+            ("rows", Json::num_usize(self.rows)),
+            ("cols", Json::num_usize(self.cols)),
+            ("off", Json::num_usize(off)),
+        ])
+    }
+
+    /// Restores a shared view from a [`Tensor::to_table_entry`] header entry
+    /// against `region`, whose data section starts at byte `data_base`.
+    /// Errors name the absolute byte offset of the offending tensor.
+    pub(crate) fn from_table_entry(
+        v: &Json,
+        region: &Arc<ByteRegion>,
+        data_base: usize,
+    ) -> Result<Tensor, JsonError> {
+        let rows = v.field("rows")?.as_usize()?;
+        let cols = v.field("cols")?.as_usize()?;
+        let off = v.field("off")?.as_usize()?;
+        let abs = data_base.checked_add(off).ok_or_else(|| JsonError {
+            msg: format!("tensor offset {off} overflows past data base {data_base}"),
+        })?;
+        #[cfg(target_endian = "little")]
+        {
+            Tensor::from_region(rows, cols, region, abs).map_err(|msg| JsonError {
+                msg: format!("tensor table entry at byte {abs}: {msg}"),
+            })
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            // Big-endian fallback: decode the little-endian payload into an
+            // owned tensor (no zero-copy sharing, but files stay portable).
+            let len = rows.checked_mul(cols).ok_or_else(|| JsonError {
+                msg: format!("tensor shape {rows}x{cols} overflows"),
+            })?;
+            let bytes = region.bytes();
+            let end = abs.checked_add(len * 4).ok_or_else(|| JsonError {
+                msg: format!("tensor end overflows at byte {abs}"),
+            })?;
+            if end > bytes.len() {
+                return Err(JsonError {
+                    msg: format!("tensor table entry at byte {abs}: range exceeds region"),
+                });
+            }
+            let data = bytes[abs..end]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(Tensor::from_vec(rows, cols, data))
+        }
     }
 
     /// Element accessor.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
-        self.data[r * self.cols + c]
+        self.as_slice()[r * self.cols + c]
     }
 
     /// Mutable element accessor.
     #[inline]
     pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
-        &mut self.data[r * self.cols + c]
+        let idx = r * self.cols + c;
+        &mut self.as_mut_slice()[idx]
     }
 
     /// One row as a slice.
     pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// One row as a mutable slice.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let (start, end) = (r * self.cols, (r + 1) * self.cols);
+        &mut self.as_mut_slice()[start..end]
     }
 
     /// Matrix product `self · other` (optionally with `other` transposed).
@@ -120,12 +339,11 @@ impl Tensor {
         if work < TILED_MIN_WORK {
             return self.matmul_scalar(other, transpose_other);
         }
-        let mut out = Tensor::zeros(self.rows, out_cols);
         if work < PAR_MIN_WORK || self.rows <= ROW_BLOCK {
             let block = self.matmul_block(other, transpose_other, 0, self.rows);
-            out.data = block;
-            return out;
+            return Tensor::from_vec(self.rows, out_cols, block);
         }
+        let mut out = Tensor::zeros(self.rows, out_cols);
         let ranges: Vec<(usize, usize)> = (0..self.rows)
             .step_by(ROW_BLOCK)
             .map(|r0| (r0, (r0 + ROW_BLOCK).min(self.rows)))
@@ -133,8 +351,9 @@ impl Tensor {
         let blocks = vega_par::par_map(ranges, |_, (r0, r1)| {
             (r0, self.matmul_block(other, transpose_other, r0, r1))
         });
+        let out_data = out.as_mut_slice();
         for (r0, block) in blocks {
-            out.data[r0 * out_cols..r0 * out_cols + block.len()].copy_from_slice(&block);
+            out_data[r0 * out_cols..r0 * out_cols + block.len()].copy_from_slice(&block);
         }
         out
     }
@@ -143,7 +362,7 @@ impl Tensor {
     /// as the reference the tiled kernels are tested against bit-for-bit).
     fn matmul_scalar(&self, other: &Tensor, transpose_other: bool) -> Tensor {
         if transpose_other {
-            let mut out = Tensor::zeros(self.rows, other.rows);
+            let mut out = vec![0.0f32; self.rows * other.rows];
             for i in 0..self.rows {
                 let a = self.row(i);
                 for j in 0..other.rows {
@@ -152,12 +371,12 @@ impl Tensor {
                     for k in 0..self.cols {
                         s += a[k] * b[k];
                     }
-                    out.data[i * other.rows + j] = s;
+                    out[i * other.rows + j] = s;
                 }
             }
-            out
+            Tensor::from_vec(self.rows, other.rows, out)
         } else {
-            let mut out = Tensor::zeros(self.rows, other.cols);
+            let mut out = vec![0.0f32; self.rows * other.cols];
             for i in 0..self.rows {
                 let a = self.row(i);
                 let orow = i * other.cols;
@@ -166,13 +385,13 @@ impl Tensor {
                         continue;
                     }
                     let b = other.row(k);
-                    let out_row = &mut out.data[orow..orow + other.cols];
+                    let out_row = &mut out[orow..orow + other.cols];
                     for (o, &bv) in out_row.iter_mut().zip(b.iter()) {
                         *o += av * bv;
                     }
                 }
             }
-            out
+            Tensor::from_vec(self.rows, other.cols, out)
         }
     }
 
@@ -231,16 +450,12 @@ impl Tensor {
             "add shape"
         );
         let data = self
-            .data
+            .as_slice()
             .iter()
-            .zip(&other.data)
+            .zip(other.as_slice())
             .map(|(a, b)| a + b)
             .collect();
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        Tensor::from_vec(self.rows, self.cols, data)
     }
 
     /// Adds `row` (a 1×cols tensor) to every row.
@@ -252,7 +467,7 @@ impl Tensor {
         assert_eq!(row.cols, self.cols, "broadcast width");
         let mut out = self.clone();
         for r in 0..out.rows {
-            for (o, b) in out.row_mut(r).iter_mut().zip(&row.data) {
+            for (o, b) in out.row_mut(r).iter_mut().zip(row.as_slice()) {
                 *o += b;
             }
         }
@@ -270,36 +485,33 @@ impl Tensor {
             "hadamard shape"
         );
         let data = self
-            .data
+            .as_slice()
             .iter()
-            .zip(&other.data)
+            .zip(other.as_slice())
             .map(|(a, b)| a * b)
             .collect();
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        }
+        Tensor::from_vec(self.rows, self.cols, data)
     }
 
     /// Scalar multiple.
     pub fn scale(&self, s: f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|v| v * s).collect(),
-        }
+        Tensor::from_vec(
+            self.rows,
+            self.cols,
+            self.as_slice().iter().map(|v| v * s).collect(),
+        )
     }
 
     /// Transposed copy.
     pub fn transposed(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        let src = self.as_slice();
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                out[c * self.rows + r] = src[r * self.cols + c];
             }
         }
-        out
+        Tensor::from_vec(self.cols, self.rows, out)
     }
 
     /// Row-wise softmax.
@@ -322,7 +534,7 @@ impl Tensor {
 
     /// Frobenius-norm squared (for tests/regularization diagnostics).
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum()
+        self.as_slice().iter().map(|v| v * v).sum()
     }
 }
 
@@ -335,7 +547,7 @@ mod tests {
         let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
         let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
         let c = a.matmul(&b, false);
-        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
     }
 
     #[test]
@@ -344,7 +556,7 @@ mod tests {
         let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.3).collect());
         let direct = a.matmul(&b, true);
         let explicit = a.matmul(&b.transposed(), false);
-        for (x, y) in direct.data.iter().zip(&explicit.data) {
+        for (x, y) in direct.as_slice().iter().zip(explicit.as_slice()) {
             assert!((x - y).abs() < 1e-5);
         }
     }
@@ -365,7 +577,7 @@ mod tests {
         let t = Tensor::zeros(2, 2);
         let row = Tensor::from_vec(1, 2, vec![1., 2.]);
         let out = t.add_row_broadcast(&row);
-        assert_eq!(out.data, vec![1., 2., 1., 2.]);
+        assert_eq!(out.as_slice(), &[1., 2., 1., 2.]);
     }
 
     #[test]
@@ -374,6 +586,86 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(4, 2);
         let _ = a.matmul(&b, false);
+    }
+
+    #[test]
+    fn from_json_rejects_shape_overflow() {
+        let big = usize::MAX / 2;
+        let v = Json::obj([
+            ("rows", Json::num_usize(big)),
+            ("cols", Json::num_usize(3)),
+            ("data", Json::Arr(vec![])),
+        ]);
+        let err = Tensor::from_json_value(&v).unwrap_err();
+        assert!(err.msg.contains("overflows"), "got: {}", err.msg);
+    }
+
+    /// A shared tensor over a heap-backed region holding `vals`.
+    fn shared(rows: usize, cols: usize, vals: &[f32]) -> (Tensor, Arc<ByteRegion>) {
+        let mut table = TensorTable::new();
+        let off = table.push_f32s(vals);
+        let region = Arc::new(ByteRegion::from_bytes(&table.into_bytes()));
+        let t = Tensor::from_region(rows, cols, &region, off).unwrap();
+        (t, region)
+    }
+
+    #[test]
+    fn shared_tensors_read_like_owned_and_copy_on_write() {
+        let vals = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (mut t, region) = shared(2, 3, &vals);
+        assert!(t.is_shared());
+        assert_eq!(t.as_slice(), &vals[..]);
+        assert_eq!(t.at(1, 2), 6.0);
+        assert_eq!(t.row(0), &vals[..3]);
+        // A clone shares the same region (no copy).
+        let twin = t.clone();
+        assert!(twin.is_shared());
+        // Mutation detaches: the region stays untouched.
+        *t.at_mut(0, 0) = 99.0;
+        assert!(!t.is_shared());
+        assert_eq!(t.at(0, 0), 99.0);
+        assert_eq!(twin.at(0, 0), 1.0, "the shared view must not see writes");
+        assert_eq!(region.f32s(0, 6), &vals[..], "the region is immutable");
+    }
+
+    #[test]
+    fn shared_and_owned_matmul_are_bit_identical() {
+        let av: Vec<f32> = (0..6).map(|i| i as f32 * 0.7 - 2.0).collect();
+        let bv: Vec<f32> = (0..12).map(|i| i as f32 * 0.3 + 0.1).collect();
+        let (a_shared, _r1) = shared(2, 3, &av);
+        let (b_shared, _r2) = shared(3, 4, &bv);
+        let a_owned = Tensor::from_vec(2, 3, av);
+        let b_owned = Tensor::from_vec(3, 4, bv);
+        let x = a_shared.matmul(&b_shared, false);
+        let y = a_owned.matmul(&b_owned, false);
+        assert!(x
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .all(|(p, q)| p.to_bits() == q.to_bits()));
+        assert_eq!(a_shared, a_owned, "PartialEq sees through storage");
+    }
+
+    #[test]
+    fn from_region_rejects_bad_ranges() {
+        let region = Arc::new(ByteRegion::from_bytes(&[0u8; 16]));
+        assert!(Tensor::from_region(2, 2, &region, 0).is_ok());
+        let err = Tensor::from_region(2, 3, &region, 0).unwrap_err();
+        assert!(err.contains("exceeds region"), "got: {err}");
+        let err = Tensor::from_region(1, 1, &region, 2).unwrap_err();
+        assert!(err.contains("aligned"), "got: {err}");
+        let err = Tensor::from_region(usize::MAX, 2, &region, 0).unwrap_err();
+        assert!(err.contains("overflows"), "got: {err}");
+    }
+
+    #[test]
+    fn push_row_grows_a_kv_cache_shape() {
+        let mut t = Tensor::with_row_capacity(3, 4);
+        assert_eq!((t.rows, t.cols), (0, 3));
+        t.push_row(&[1.0, 2.0, 3.0]);
+        t.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(t.rows, 2);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
     }
 
     /// Deterministic pseudo-random fill (splitmix64) with zeros and negative
@@ -417,8 +709,8 @@ mod tests {
                 (a.matmul_block(&b, false, 0, m), a.matmul_scalar(&b, false)),
                 (a.matmul_block(&bt, true, 0, m), a.matmul_scalar(&bt, true)),
             ] {
-                assert_eq!(tiled.len(), scalar.data.len());
-                for (i, (x, y)) in tiled.iter().zip(&scalar.data).enumerate() {
+                assert_eq!(tiled.len(), scalar.len());
+                for (i, (x, y)) in tiled.iter().zip(scalar.as_slice()).enumerate() {
                     assert_eq!(
                         x.to_bits(),
                         y.to_bits(),
@@ -431,9 +723,9 @@ mod tests {
             let via_public = a.matmul(&b, false);
             let scalar = a.matmul_scalar(&b, false);
             assert!(via_public
-                .data
+                .as_slice()
                 .iter()
-                .zip(&scalar.data)
+                .zip(scalar.as_slice())
                 .all(|(x, y)| x.to_bits() == y.to_bits()));
         }
     }
@@ -449,9 +741,9 @@ mod tests {
         let four = a.matmul(&b, false);
         vega_par::set_threads(0);
         assert!(one
-            .data
+            .as_slice()
             .iter()
-            .zip(&four.data)
+            .zip(four.as_slice())
             .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

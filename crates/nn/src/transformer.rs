@@ -504,6 +504,13 @@ impl Transformer {
         }
     }
 
+    /// Scalars held in owned (heap) storage, as opposed to borrowed from a
+    /// shared checkpoint mapping. Zero for a freshly mapped model; grows
+    /// only when weights are mutated (copy-on-write).
+    pub fn owned_scalars(&self) -> usize {
+        self.store.owned_scalars()
+    }
+
     /// Restores a transformer saved with [`Seq2Seq::save_json`].
     ///
     /// # Errors
@@ -514,6 +521,18 @@ impl Transformer {
 
     /// Serializes to a JSON value for embedding in a larger document.
     pub fn to_json_value(&self) -> Json {
+        self.to_json_with(self.store.to_json_value())
+    }
+
+    /// Like [`Transformer::to_json_value`], but tensor data goes into
+    /// `table` and the JSON holds only shapes and byte offsets (the
+    /// `vega-ckpt/v2` binary layout).
+    pub fn to_json_value_tabled(&self, table: &mut crate::storage::TensorTable) -> Json {
+        let store = self.store.to_json_value_tabled(table);
+        self.to_json_with(store)
+    }
+
+    fn to_json_with(&self, store: Json) -> Json {
         let cfg = Json::obj([
             ("vocab", Json::num_usize(self.cfg.vocab)),
             ("d_model", Json::num_usize(self.cfg.d_model)),
@@ -526,7 +545,7 @@ impl Transformer {
         ]);
         Json::obj([
             ("cfg", cfg),
-            ("store", self.store.to_json_value()),
+            ("store", store),
             ("tok_emb", pid_json(self.tok_emb)),
             ("pos_emb", pid_json(self.pos_emb)),
             (
@@ -558,6 +577,27 @@ impl Transformer {
     /// # Errors
     /// Returns an error if the value does not describe a transformer.
     pub fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let store = ParamStore::from_json_value(v.field("store")?)?;
+        Self::from_json_with(v, store)
+    }
+
+    /// Restores from [`Transformer::to_json_value_tabled`] output, reading
+    /// tensor data straight out of `region` (shared, zero-copy where the
+    /// platform allows).
+    ///
+    /// # Errors
+    /// Returns an error if the value does not describe a tabled transformer
+    /// or a tensor entry falls outside the region.
+    pub fn from_json_value_tabled(
+        v: &Json,
+        region: &std::sync::Arc<crate::storage::ByteRegion>,
+        data_base: usize,
+    ) -> Result<Self, JsonError> {
+        let store = ParamStore::from_json_value_tabled(v.field("store")?, region, data_base)?;
+        Self::from_json_with(v, store)
+    }
+
+    fn from_json_with(v: &Json, store: ParamStore) -> Result<Self, JsonError> {
         let c = v.field("cfg")?;
         let cfg = TransformerConfig {
             vocab: c.field("vocab")?.as_usize()?,
@@ -571,7 +611,7 @@ impl Transformer {
         };
         Ok(Transformer {
             cfg,
-            store: ParamStore::from_json_value(v.field("store")?)?,
+            store,
             tok_emb: pid_from(v.field("tok_emb")?)?,
             pos_emb: pid_from(v.field("pos_emb")?)?,
             enc_layers: v
@@ -687,9 +727,10 @@ impl ShallowRef {
     fn decode(&self, g: &mut Graph<'_>, tgt_in: &[usize], enc: NodeId) -> NodeId {
         let l = tgt_in.len();
         let mut mask = Tensor::zeros(l, l);
+        let ms = mask.as_mut_slice();
         for r in 0..l {
             for c in (r + 1)..l {
-                mask.data[r * l + c] = -1e9;
+                ms[r * l + c] = -1e9;
             }
         }
         let mut x = self.embed_with_pos(g, tgt_in);

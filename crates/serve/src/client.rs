@@ -262,6 +262,18 @@ impl Client {
         self.request_with_retry(&generate_request(target, group, deadline_ms, trace), policy)
     }
 
+    /// Convenience: a `swap` request — hot-reload the serving model from the
+    /// checkpoint at `path` (a path on the *server's* filesystem).
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn swap(&mut self, path: &str) -> std::io::Result<Json> {
+        self.request(&Json::obj([
+            ("op", Json::str("swap")),
+            ("path", Json::str(path)),
+        ]))
+    }
+
     /// Convenience: a bare-`op` request (`ping`, `stats`, `shutdown`, …).
     ///
     /// # Errors

@@ -75,6 +75,13 @@ impl Engine {
         &self.vega
     }
 
+    /// Stable digest of the model weights, as embedded in every cache key.
+    /// Two engines with equal digests generate byte-identical responses, so
+    /// a hot swap between them may keep the cache.
+    pub fn model_digest(&self) -> &str {
+        &self.model_digest
+    }
+
     /// Servable target names, in corpus order.
     pub fn target_names(&self) -> Vec<String> {
         self.vega

@@ -77,6 +77,14 @@ impl<V: Clone> LruCache<V> {
         self.order.insert(self.tick, key.to_string());
     }
 
+    /// Drops every entry (hit/miss/eviction counters are kept — they count
+    /// lifetime traffic, not current contents). Used when a model swap
+    /// invalidates everything the cache could hold.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -11,7 +11,13 @@
 //! {"id":2,"op":"backend","target":"RI5CY"}
 //! {"op":"targets"}   {"op":"groups"}   {"op":"stats"}   {"op":"ping"}
 //! {"op":"metrics"}   {"op":"flightdump"}   {"op":"shutdown"}
+//! {"id":3,"op":"swap","path":"/path/to/model.ckpt"}
 //! ```
+//!
+//! `swap` hot-reloads the model: the checkpoint at `path` is loaded and
+//! validated off to the side, the serving registry flips atomically, and
+//! requests already in flight finish on the model they were submitted
+//! against. A failed swap (`swap_failed`) leaves the old model serving.
 //!
 //! `generate` and `backend` additionally accept an optional `trace` field —
 //! a [`vega_obs::TraceCtx`] in its `render` form
@@ -75,6 +81,11 @@ pub enum Request {
     FlightDump,
     /// Liveness probe.
     Ping,
+    /// Hot-swap the serving model to the checkpoint at `path`.
+    Swap {
+        /// Filesystem path of the replacement checkpoint (v1 or v2).
+        path: String,
+    },
     /// Begin graceful shutdown.
     Shutdown,
 }
@@ -94,6 +105,8 @@ pub enum ErrorKind {
     DeadlineExceeded,
     /// Server is draining; no new work accepted.
     ShuttingDown,
+    /// A model hot swap could not be completed; the old model still serves.
+    SwapFailed,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -108,6 +121,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::SwapFailed => "swap_failed",
             ErrorKind::Internal => "internal",
         }
     }
@@ -158,6 +172,9 @@ pub fn parse_request(line: &str) -> Result<(Json, Request), (Json, String)> {
         "metrics" => Request::Metrics,
         "flightdump" => Request::FlightDump,
         "ping" => Request::Ping,
+        "swap" => Request::Swap {
+            path: str_field("path")?,
+        },
         "shutdown" => Request::Shutdown,
         other => return Err((id, format!("unknown op `{other}`"))),
     };
@@ -251,6 +268,15 @@ mod tests {
         assert_eq!(req, Request::Metrics);
         let (_, req) = parse_request(r#"{"op":"flightdump"}"#).unwrap();
         assert_eq!(req, Request::FlightDump);
+        let (_, req) = parse_request(r#"{"op":"swap","path":"/tmp/m.ckpt"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Swap {
+                path: "/tmp/m.ckpt".into()
+            }
+        );
+        let (_, msg) = parse_request(r#"{"op":"swap"}"#).unwrap_err();
+        assert!(msg.contains("path"), "{msg}");
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct CheckpointMeta {
     pub vocab_pieces: usize,
     /// Maximum sequence length the model was built for.
     pub max_len: usize,
+    /// On-disk format the file was detected as (`vega-ckpt/v1` /
+    /// `vega-ckpt/v2`).
+    pub format: String,
 }
 
 /// A checkpoint that could not be loaded or does not fit the corpus.
@@ -52,9 +55,11 @@ pub struct Checkpoint {
 
 /// Reads, verifies, and parses a checkpoint file.
 ///
-/// Accepts both the crash-safe `vega-ckpt/v1` envelope (digest-verified, so
-/// truncated or bit-flipped files are rejected before any weight decodes)
-/// and legacy bare `CodeBe::save_json` files.
+/// Auto-detects the format: the `vega-ckpt/v2` binary layout (memory-mapped,
+/// so the model borrows the file and replicas share its weights), the
+/// crash-safe `vega-ckpt/v1` envelope (digest-verified, so truncated or
+/// bit-flipped files are rejected before any weight decodes), and legacy
+/// bare `CodeBe::save_json` files.
 ///
 /// # Errors
 /// [`RegistryError`] naming the path and the named [`vega_model::CkptError`]
@@ -63,7 +68,7 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, RegistryError> {
     let bytes = std::fs::metadata(path)
         .map(|m| m.len() as usize)
         .unwrap_or(0);
-    let model = CodeBe::load_file(path).map_err(|e| RegistryError {
+    let (model, format) = CodeBe::load_file_detect(path).map_err(|e| RegistryError {
         msg: format!("{}: {e}", path.display()),
     })?;
     Ok(Checkpoint {
@@ -73,6 +78,7 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, RegistryError> {
             arch: model.arch_name().to_string(),
             vocab_pieces: model.vocab.len(),
             max_len: model.max_len(),
+            format: format.tag().to_string(),
         },
         model,
     })

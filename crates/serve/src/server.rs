@@ -25,7 +25,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vega_model::CodeBe;
@@ -87,6 +87,11 @@ struct Job {
     /// When the job entered the queue (`timing.queue_ms` measures from
     /// here to dispatch).
     enqueued: Instant,
+    /// The model set this job was keyed against, pinned at submit time. A
+    /// hot swap flips the registry for *new* submissions; jobs already
+    /// queued generate on the engine their cache key came from, so a swap
+    /// never mixes keys and weights and never loses in-flight work.
+    models: Arc<ModelSet>,
 }
 
 /// What a waiter receives when its job resolves.
@@ -190,14 +195,41 @@ impl ServeStats {
     }
 }
 
-struct Shared {
+/// An engine and its replica pool, swapped as one unit. Replicas share the
+/// engine's weights (checkpoint mapping or heap) — spawning one copies
+/// tensor descriptors, not weight data — so a pool costs O(pool size), not
+/// O(pool size × model size).
+struct ModelSet {
     engine: Engine,
+    replicas: Vec<Mutex<CodeBe>>,
+}
+
+impl ModelSet {
+    fn new(engine: Engine, pool: usize) -> Self {
+        let replicas = (0..pool).map(|_| Mutex::new(engine.replica())).collect();
+        ModelSet { engine, replicas }
+    }
+}
+
+struct Shared {
     cfg: ServeConfig,
     state: Mutex<State>,
     work_cv: Condvar,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
-    replicas: Vec<Mutex<CodeBe>>,
+    /// The live model set. Request paths take the read lock for just long
+    /// enough to clone the `Arc`; a hot swap takes the write lock for just
+    /// long enough to store a new one.
+    models: RwLock<Arc<ModelSet>>,
+    /// Serializes `swap` operations (loading a checkpoint is slow; two
+    /// concurrent swaps must not interleave their load/flip sequences).
+    swap_lock: Mutex<()>,
+}
+
+/// The current model set (pinning it keeps its engine and replicas alive
+/// across any concurrent swap).
+fn models(shared: &Shared) -> Arc<ModelSet> {
+    Arc::clone(&shared.models.read().unwrap())
 }
 
 /// A running vega-serve instance.
@@ -222,12 +254,9 @@ impl Server {
         }
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let replicas = (0..cfg.batch)
-            .map(|_| Mutex::new(engine.replica()))
-            .collect();
+        let model_set = Arc::new(ModelSet::new(engine, cfg.batch));
         let cache = LruCache::new(cfg.cache_cap);
         let shared = Arc::new(Shared {
-            engine,
             cfg,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -243,7 +272,8 @@ impl Server {
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             local_addr,
-            replicas,
+            models: RwLock::new(model_set),
+            swap_lock: Mutex::new(()),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -444,7 +474,7 @@ fn handle_line(shared: &Shared, line: &str) -> String {
             [(
                 "targets",
                 Json::Arr(
-                    shared
+                    models(shared)
                         .engine
                         .target_names()
                         .into_iter()
@@ -458,7 +488,7 @@ fn handle_line(shared: &Shared, line: &str) -> String {
             [(
                 "groups",
                 Json::Arr(
-                    shared
+                    models(shared)
                         .engine
                         .group_names()
                         .into_iter()
@@ -486,6 +516,7 @@ fn handle_line(shared: &Shared, line: &str) -> String {
                 ("records", vega_obs::flight::dump_json()),
             ],
         ),
+        Request::Swap { path } => handle_swap(shared, &id, &path),
         Request::Shutdown => {
             trigger_shutdown(shared);
             protocol::ok_response(&id, [("stopping", Json::Bool(true))])
@@ -629,20 +660,22 @@ fn handle_backend(
     let _trace_guard = obs.adopt_trace(trace);
     let span = obs.span("serve.request");
     let t0 = Instant::now();
-    if let Err(e) = shared.engine.validate_target(target) {
+    // Pin one model set for the whole backend: the group list and every
+    // sub-request stay mutually consistent even if a swap lands mid-way.
+    let set = models(shared);
+    if let Err(e) = set.engine.validate_target(target) {
         let _ = span.finish();
         return protocol::err_response(id, e.kind, &e.msg);
     }
     // Sub-requests run sequentially through the same cache/queue path, so a
     // backend request holds at most one queue slot at a time and repeated
     // backends are served from cache. The deadline spans the whole backend.
-    let overall_ms = deadline_ms.unwrap_or(
-        shared.cfg.default_deadline_ms * shared.engine.group_names().len().max(1) as u64,
-    );
+    let overall_ms = deadline_ms
+        .unwrap_or(shared.cfg.default_deadline_ms * set.engine.group_names().len().max(1) as u64);
     let deadline = t0 + Duration::from_millis(overall_ms);
     let mut functions = Vec::new();
     let mut errors = Vec::new();
-    for group in shared.engine.group_names() {
+    for group in set.engine.group_names() {
         let outcome = match submit(shared, target, &group, deadline, trace) {
             Submit::Cached(payload) => Ok(payload),
             Submit::Wait { rx, .. } => match rx.recv_timeout(
@@ -684,6 +717,86 @@ fn handle_backend(
     response
 }
 
+/// Handles the `swap` op: loads and validates the checkpoint at `path` off
+/// to the side, flips the live registry atomically, then waits (bounded)
+/// for requests pinned to the old model to drain. Any failure — unreadable
+/// file, digest mismatch, corpus mismatch, injected chaos — leaves the old
+/// model serving untouched.
+fn handle_swap(shared: &Shared, id: &Json, path: &str) -> String {
+    let obs = vega_obs::global();
+    let span = obs.span("serve.swap");
+    // One swap at a time; requests keep flowing under the read lock.
+    let _swap_guard = shared.swap_lock.lock().unwrap();
+    let fail = |msg: &str| {
+        vega_obs::global().counter_add("serve.swap.failed", 1);
+        protocol::err_response(id, ErrorKind::SwapFailed, msg)
+    };
+    // Chaos site: the swap dies after being accepted but before any state
+    // change — exactly the window a crashy checkpoint load would hit.
+    if vega_fault::check(vega_fault::sites::SERVE_SWAP).is_some() {
+        let _ = span.finish();
+        return fail(&format!(
+            "injected swap failure for `{path}` (fault site `{}`); old model still serving",
+            vega_fault::sites::SERVE_SWAP
+        ));
+    }
+    let old = models(shared);
+    let config = old.engine.vega().config.clone();
+    let loaded = crate::registry::load_checkpoint(std::path::Path::new(path))
+        .and_then(|c| c.into_engine(config));
+    let (meta, engine) = match loaded {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = span.finish();
+            return fail(&e.to_string());
+        }
+    };
+    let digest_changed = engine.model_digest() != old.engine.model_digest();
+    let new_set = Arc::new(ModelSet::new(engine, shared.cfg.batch));
+    *shared.models.write().unwrap() = Arc::clone(&new_set);
+    // Cache keys embed the model digest, so stale entries can never alias
+    // the new model's; clearing on a digest change only frees memory. An
+    // unchanged model keeps its cache — and its byte-identical hits.
+    if digest_changed {
+        shared.state.lock().unwrap().cache.clear();
+    }
+    // Jobs pin their model set, so in-flight work on the old model finishes
+    // on the old model. Wait (bounded) until every pin is gone: a successful
+    // swap response means the old weights are fully retired.
+    let drain_deadline = Instant::now() + Duration::from_secs(60);
+    let drained = loop {
+        if Arc::strong_count(&old) == 1 {
+            break true;
+        }
+        if Instant::now() > drain_deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    obs.counter_add("serve.swaps", 1);
+    vega_obs::info!(
+        "[vega-serve] swapped model to {} ({}, {}, digest_changed={digest_changed}, drained={drained})",
+        meta.path.display(),
+        meta.format,
+        meta.arch
+    );
+    let _ = span.finish();
+    protocol::ok_response(
+        id,
+        [
+            ("swapped", Json::Bool(true)),
+            ("path", Json::str(meta.path.display().to_string())),
+            ("format", Json::str(meta.format)),
+            ("arch", Json::str(meta.arch)),
+            ("vocab_pieces", Json::num_usize(meta.vocab_pieces)),
+            ("max_len", Json::num_usize(meta.max_len)),
+            ("digest_changed", Json::Bool(digest_changed)),
+            ("cache_cleared", Json::Bool(digest_changed)),
+            ("drained", Json::Bool(drained)),
+        ],
+    )
+}
+
 enum Submit {
     Cached(Json),
     Wait {
@@ -705,7 +818,11 @@ fn submit(
     deadline: Instant,
     trace: Option<TraceCtx>,
 ) -> Submit {
-    let key = match shared.engine.cache_key(target, group) {
+    // Pin the model set first: the cache key and the engine that will
+    // eventually generate must come from the same set, or a swap landing
+    // between the two would cache one model's output under another's key.
+    let set = models(shared);
+    let key = match set.engine.cache_key(target, group) {
         Ok(k) => k,
         Err(e) => {
             return Submit::Reject {
@@ -762,6 +879,7 @@ fn submit(
         deadline,
         trace,
         enqueued: Instant::now(),
+        models: set,
     });
     obs.gauge_set("serve.queue_depth", st.queue.len() as f64);
     drop(st);
@@ -799,7 +917,7 @@ fn dispatcher_loop(shared: &Shared) {
                 }
                 st = shared.work_cv.wait(st).unwrap();
             }
-            let n = st.queue.len().min(shared.replicas.len());
+            let n = st.queue.len().min(shared.cfg.batch);
             let jobs = st.queue.drain(..n).collect();
             obs.gauge_set("serve.queue_depth", st.queue.len() as f64);
             jobs
@@ -845,8 +963,12 @@ fn dispatcher_loop(shared: &Shared) {
             // Generation runs single-threaded on this worker, so the
             // thread-local tally is an exact per-job decode attribution.
             vega_nn::decode::tally::reset();
-            let mut replica = shared.replicas[i].lock().unwrap();
-            let result = shared
+            // The job's pinned set (not the live registry): key, engine and
+            // replica must all describe the same model even mid-swap. Batch
+            // size == pool size, so slot `i` is uncontended within the batch.
+            let mut replica = job.models.replicas[i].lock().unwrap();
+            let result = job
+                .models
                 .engine
                 .generate_with(&mut replica, &job.target, &job.group);
             drop(replica);
