@@ -137,4 +137,22 @@ VEGA_CKPT_BENCH_FAST=1 VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_ckpt.json" \
   cargo bench -p vega-bench --bench ckpt | tee "$SMOKE_DIR/ckpt-bench.txt"
 grep -q "ckpt: smoke=ok" "$SMOKE_DIR/ckpt-bench.txt"
 
+# Continuous batching: the batched lockstep decoder must be bit-identical
+# to single-slot decode at both pool sizes (nn level), and the serve-level
+# batch engine must be an invisible substitution for the replica pool
+# (byte-identical responses and score bits, chaos replays, drain).
+echo "== batch equivalence =="
+VEGA_THREADS=1 cargo test -q -p vega-nn --test batch_equivalence
+VEGA_THREADS=4 cargo test -q -p vega-nn --test batch_equivalence
+VEGA_THREADS=1 cargo test -q -p vega-serve --test batch_e2e
+VEGA_THREADS=4 cargo test -q -p vega-serve --test batch_e2e
+
+# Serve bench smoke: on the decode-dominated score workload with a
+# deploy-shaped model, the batch engine must clear 2x the replica baseline
+# in served tokens/sec at equal compute — the PR's headline claim, enforced.
+echo "== serve bench smoke =="
+VEGA_SERVE_BENCH_FAST=1 VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_serve.json" \
+  cargo bench -p vega-bench --bench serve | tee "$SMOKE_DIR/serve-bench.txt"
+grep -q "serve: smoke=ok" "$SMOKE_DIR/serve-bench.txt"
+
 echo "ci: all checks passed"

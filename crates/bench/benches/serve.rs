@@ -1,0 +1,269 @@
+//! Continuous batching vs replica fanout: served tokens/sec at equal
+//! compute budget, on a decode-dominated `score` workload.
+//!
+//! Generation on this corpus is prefill-dominated (one ~50-token encoder
+//! pass per request, then a couple of greedy tokens per statement), and
+//! prefill already amortizes weight reads internally — so batching cannot
+//! show its win there. The `score` op is the decode-dominated serving shape:
+//! each request forces many-token candidate sequences through the decoder
+//! one token at a time, which is exactly the memory-bound loop the broker's
+//! lockstep batching amortizes across requests.
+//!
+//! Setup: a deploy-shaped (untrained) transformer over the default corpus
+//! vocabulary — d_model 512, d_ff 2048, 1 encoder + 3 decoder layers, far
+//! larger than L2, so single-slot decode is weight-bandwidth-bound. Four
+//! concurrent clients each fire `score` requests (4 candidates x 88 tokens)
+//! against an in-process server in `replica` mode and again in `batch`
+//! mode. Every response is byte-checked against direct in-process scoring
+//! while being timed. Reports scored tokens/sec per mode and writes
+//! `BENCH_serve.json` (override with `VEGA_BENCH_OUT`;
+//! `VEGA_SERVE_BENCH_FAST=1` shrinks the rep count for the CI smoke run).
+//! Prints `serve: smoke=ok` only if the batch engine clears 2x the replica
+//! baseline.
+
+use std::time::Instant;
+use vega::{Vega, VegaConfig};
+use vega_model::CodeBe;
+use vega_nn::TransformerConfig;
+use vega_obs::json::Json;
+use vega_serve::{Client, Engine, EngineMode, ServeConfig, Server};
+
+const CLIENTS: usize = 4;
+const CANDS: usize = 4;
+const CAND_LEN: usize = 88;
+
+/// Small-scale pipeline config, zero training epochs: only the corpus
+/// artifacts (vocabulary, templates, catalog) matter here; the bench model's
+/// weights are freshly initialized below.
+fn bench_config() -> VegaConfig {
+    let mut cfg = VegaConfig::default();
+    cfg.train.pretrain_steps = 0;
+    cfg.train.finetune_epochs = 0;
+    cfg
+}
+
+/// A deploy-shaped engine: the corpus vocabulary under a transformer whose
+/// weight matrices dwarf the cache hierarchy. Construction is deterministic
+/// (seeded init), so every call yields a bit-identical model — the reference
+/// engine and both served engines score identically by construction.
+fn bench_engine(vocab: &vega_model::Vocab) -> Engine {
+    let model = CodeBe::transformer(vocab.clone(), |v| TransformerConfig {
+        vocab: v,
+        d_model: 512,
+        n_heads: 4,
+        d_ff: 2048,
+        n_enc_layers: 1,
+        n_dec_layers: 3,
+        max_len: 128,
+        seed: 0xC0DE,
+    });
+    let vega = Vega::with_model(bench_config(), model).expect("model fits the corpus");
+    Engine::new(vega)
+}
+
+/// splitmix64 — the workspace's stock deterministic mixer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic candidate sequences for one client, from low token ids
+/// every vocabulary contains.
+fn candidates_for(client: usize) -> Vec<Vec<usize>> {
+    (0..CANDS)
+        .map(|c| {
+            (0..CAND_LEN)
+                .map(|t| {
+                    4 + (splitmix((client as u64) << 32 | (c as u64) << 16 | t as u64) % 16)
+                        as usize
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct ModeRun {
+    tokens_per_sec: f64,
+    requests_per_sec: f64,
+    tokens: u64,
+    requests: u64,
+    seconds: f64,
+}
+
+/// One timed run: `reps` score requests per client. Each client's candidate
+/// set is fixed, so every response is byte-checked against the precomputed
+/// direct scores.
+fn run_mode(
+    vocab: &vega_model::Vocab,
+    mode: EngineMode,
+    pairs: &[(String, String)],
+    expected: &[String],
+    reps: usize,
+) -> ModeRun {
+    let cfg = ServeConfig {
+        engine: mode,
+        batch: CLIENTS,
+        // Room for every client's full candidate fan-out to batch at once.
+        batch_slots: CLIENTS * CANDS,
+        cache_cap: 0,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(bench_engine(vocab), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+
+    // Warm-up round: first decode per client pays one-time costs in both
+    // modes (page-in of freshly initialized weights, broker spin-up).
+    {
+        let mut c = Client::connect(&addr).unwrap();
+        let (t, g) = &pairs[0];
+        let resp = c.score(t, g, &candidates_for(0), None).unwrap();
+        assert_eq!(
+            resp.field("ok").unwrap(),
+            &Json::Bool(true),
+            "{}",
+            resp.render()
+        );
+    }
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let addr = addr.clone();
+            let (t, g) = pairs[i].clone();
+            let want = expected[i].clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let cands = candidates_for(i);
+                let mut tokens = 0u64;
+                for _ in 0..reps {
+                    let resp = c.score(&t, &g, &cands, None).unwrap();
+                    assert_eq!(
+                        resp.field("ok").unwrap(),
+                        &Json::Bool(true),
+                        "mode={mode:?}: {}",
+                        resp.render()
+                    );
+                    assert_eq!(
+                        resp.field("scores").unwrap().render(),
+                        want,
+                        "mode={mode:?}: served scores diverged from direct scoring"
+                    );
+                    tokens += resp
+                        .field("timing")
+                        .unwrap()
+                        .field("tokens")
+                        .unwrap()
+                        .as_u64()
+                        .unwrap();
+                }
+                tokens
+            })
+        })
+        .collect();
+    let tokens: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let seconds = start.elapsed().as_secs_f64();
+    server.shutdown();
+    server.join();
+
+    let requests = (CLIENTS * reps) as u64;
+    ModeRun {
+        tokens_per_sec: tokens as f64 / seconds,
+        requests_per_sec: requests as f64 / seconds,
+        tokens,
+        requests,
+        seconds,
+    }
+}
+
+fn main() {
+    let fast_mode = std::env::var("VEGA_SERVE_BENCH_FAST").is_ok();
+    let reps = if fast_mode { 1 } else { 4 };
+
+    // One compute thread: any win is batching, not parallelism (scoring runs
+    // on connection threads in both modes; they contend for the same core).
+    vega_par::set_threads(1);
+    let trained = Vega::train(bench_config());
+    let vocab = trained.model().vocab.clone();
+
+    let reference = bench_engine(&vocab);
+    let targets = reference.target_names();
+    let groups = reference.group_names();
+    assert!(targets.len() >= 2 && groups.len() >= 2, "corpus shrank");
+    let pairs: Vec<(String, String)> = (0..CLIENTS)
+        .map(|i| (targets[i % 2].clone(), groups[(i / 2) % 2].clone()))
+        .collect();
+    let expected: Vec<String> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (t, g))| {
+            let mut replica = reference.replica();
+            let scores = reference
+                .try_score_with(&mut replica, t, g, &candidates_for(i), None)
+                .expect("direct scoring");
+            Json::Arr(scores.into_iter().map(Json::num_f32).collect()).render()
+        })
+        .collect();
+    drop(reference);
+
+    println!(
+        "== serve ({CLIENTS} clients, score op, {CANDS}x{CAND_LEN}-token candidates, \
+         1 compute thread, {reps} reps/client) =="
+    );
+    let replica = run_mode(&vocab, EngineMode::Replica, &pairs, &expected, reps);
+    let batch = run_mode(&vocab, EngineMode::Batch, &pairs, &expected, reps);
+    vega_par::set_threads(0);
+
+    let speedup = batch.tokens_per_sec / replica.tokens_per_sec;
+    for (name, run) in [("replica", &replica), ("batch", &batch)] {
+        println!(
+            "{name:>7}: {:>8.0} tok/s | {:>6.1} req/s | {} tokens, {} requests in {:.2}s",
+            run.tokens_per_sec, run.requests_per_sec, run.tokens, run.requests, run.seconds
+        );
+    }
+    println!("batch/replica tokens/sec: {speedup:.2}x");
+
+    let out_path =
+        std::env::var("VEGA_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let doc = Json::obj([
+        ("bench", Json::str("serve")),
+        ("workload", Json::str("score")),
+        (
+            "model",
+            Json::str("transformer d512 ff2048 enc1 dec3 (untrained)"),
+        ),
+        ("clients", Json::num_usize(CLIENTS)),
+        ("candidates_per_request", Json::num_usize(CANDS)),
+        ("candidate_tokens", Json::num_usize(CAND_LEN)),
+        ("compute_threads", Json::num_usize(1)),
+        ("reps_per_client", Json::num_usize(reps)),
+        (
+            "results",
+            Json::Arr(
+                [("replica", &replica), ("batch", &batch)]
+                    .into_iter()
+                    .map(|(name, run)| {
+                        Json::obj([
+                            ("engine", Json::str(name)),
+                            ("tokens_per_sec", Json::num_f64(run.tokens_per_sec)),
+                            ("requests_per_sec", Json::num_f64(run.requests_per_sec)),
+                            ("tokens", Json::num_u64(run.tokens)),
+                            ("requests", Json::num_u64(run.requests)),
+                            ("seconds", Json::num_f64(run.seconds)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("speedup_tokens_per_sec", Json::num_f64(speedup)),
+    ]);
+    std::fs::write(&out_path, doc.render()).expect("write bench json");
+    println!("wrote {out_path} (batch speedup {speedup:.2}x)");
+    if speedup >= 2.0 {
+        println!("serve: smoke=ok");
+    } else {
+        println!("serve: smoke=FAIL (batch engine under 2x the replica baseline)");
+        std::process::exit(1);
+    }
+}

@@ -17,8 +17,9 @@ use crate::featvec::{
 };
 use crate::template::{FunctionTemplate, PatTok, StmtTemplate};
 use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
 use vega_cpplite::{lex, parse_function, Function, Stmt, StmtKind, Token};
-use vega_model::{split_ident, CodeBe, TargetNorm};
+use vega_model::{split_ident, CodeBe, DecodeAbort, TargetNorm};
 
 /// One generated statement with its confidence.
 #[derive(Debug, Clone)]
@@ -273,6 +274,13 @@ pub fn signature_feature_input(
 }
 
 /// Generates one function for a new target.
+///
+/// Infallible wrapper around [`try_generate_function`] for callers that set
+/// no deadline: without one, the decode chain never aborts (the local
+/// in-process path ignores deadlines, and backends only abort *at* one).
+///
+/// # Panics
+/// Panics if the model's decode backend aborts despite the absent deadline.
 pub fn generate_function(
     model: &mut CodeBe,
     target_ns: &str,
@@ -282,6 +290,38 @@ pub fn generate_function(
     catalog: &PropCatalog,
     max_input_len: usize,
 ) -> GeneratedFunction {
+    try_generate_function(
+        model,
+        target_ns,
+        template,
+        feats,
+        ix,
+        catalog,
+        max_input_len,
+        None,
+    )
+    .expect("decode aborted without a deadline")
+}
+
+/// Generates one function for a new target, honoring `deadline` at token
+/// boundaries when the model routes decode through a backend (see
+/// [`CodeBe::try_generate`]). On abort no partial result escapes — the
+/// caller gets the error and nothing cacheable.
+///
+/// # Errors
+/// Returns [`DecodeAbort::Expired`] when the deadline passed mid-decode,
+/// [`DecodeAbort::Broken`] when the backend failed.
+#[allow(clippy::too_many_arguments)]
+pub fn try_generate_function(
+    model: &mut CodeBe,
+    target_ns: &str,
+    template: &FunctionTemplate,
+    feats: &TemplateFeatures,
+    ix: &TgtIndex,
+    catalog: &PropCatalog,
+    max_input_len: usize,
+    deadline: Option<Instant>,
+) -> Result<GeneratedFunction, DecodeAbort> {
     let obs = vega_obs::global();
     // Per-function timing is a span (nested under the caller's module span,
     // e.g. `pipeline.stage3.generate.SEL.function`), mirrored into the
@@ -304,7 +344,7 @@ pub fn generate_function(
         catalog,
         max_input_len,
     );
-    let out = model.generate(&input, DECODE_LEN);
+    let out = model.try_generate(&input, DECODE_LEN, deadline)?;
     let (sig_score, sig_line) = split_output(model, &norm, &out);
     obs.observe_with("generate.confidence", &conf_buckets, sig_score);
     let sig_kept = sig_score >= 0.5;
@@ -351,7 +391,7 @@ pub fn generate_function(
             max_input_len,
         );
         // 1. Presence + confidence: the first decoded token is the score.
-        let head_decode = model.generate(&input, 2);
+        let head_decode = model.try_generate(&input, 2, deadline)?;
         let score = head_decode
             .first()
             .and_then(|&id| model.vocab.score_of(id))
@@ -381,8 +421,8 @@ pub fn generate_function(
         // each SV_k … heavily depends on the statement's context").
         let score_id = head_decode.first().copied();
         let (head, out_ids) = realize_statement(
-            model, &norm, &input, node, node_id, feats, ix, score_id, &mut state,
-        );
+            model, &norm, &input, node, node_id, feats, ix, score_id, &mut state, deadline,
+        )?;
         let line = Stmt::new(node.kind, head.clone(), Vec::new()).head_line();
         // A realization no candidate could make parseable is recorded but
         // cannot be assembled (it would corrupt the function AST).
@@ -405,13 +445,13 @@ pub fn generate_function(
     let multi_source = compute_multi_source(template, &kept_heads);
     obs.observe("generate.function_seconds", fn_span.finish().as_secs_f64());
     obs.counter_add("generate.functions", 1);
-    GeneratedFunction {
+    Ok(GeneratedFunction {
         name: template.name.clone(),
         function,
         confidence: sig_score,
         stmts,
         multi_source,
-    }
+    })
 }
 
 /// Candidate token runs for one slot of a node: discovered new-target values
@@ -477,7 +517,8 @@ fn slot_candidate_runs(
 
 /// Realizes a statement's head by filling each slot with the candidate the
 /// model scores highest (sequential left-to-right choice, remaining slots
-/// held at their prior-best).
+/// held at their prior-best). Fallible because candidate scoring runs the
+/// model, which can abort at `deadline` when routed through a backend.
 #[allow(clippy::too_many_arguments)]
 fn realize_statement(
     model: &mut CodeBe,
@@ -489,7 +530,8 @@ fn realize_statement(
     ix: &TgtIndex,
     score_id: Option<usize>,
     state: &mut GenState,
-) -> (Vec<Token>, Vec<usize>) {
+    deadline: Option<Instant>,
+) -> Result<(Vec<Token>, Vec<usize>), DecodeAbort> {
     // Collect per-slot candidates (pattern order).
     let slot_ids: Vec<usize> = node
         .pattern
@@ -553,7 +595,8 @@ fn realize_statement(
                     continue;
                 }
                 let ids = with_score(&realize_ids(model, &trial));
-                let lp = model.sequence_logprob(input, &ids) / ids.len().max(1) as f32;
+                let lp =
+                    model.try_sequence_logprob(input, &ids, deadline)? / ids.len().max(1) as f32;
                 if best.is_none() || lp > best.unwrap().0 {
                     best = Some((lp, ci));
                 }
@@ -591,7 +634,7 @@ fn realize_statement(
         ids.truncate(63);
         ids
     };
-    (head, out_ids)
+    Ok((head, out_ids))
 }
 
 /// Instantiates a node's pattern with a slot assignment.

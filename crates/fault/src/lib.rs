@@ -79,6 +79,10 @@ pub mod sites {
     /// A vega-serve hot model swap failing after the new checkpoint was
     /// loaded but before the flip; recovery = the old model keeps serving.
     pub const SERVE_SWAP: &str = "serve.swap";
+    /// A continuous-batching decode slot killed mid-generation; recovery =
+    /// the broker replays the session from scratch (generation is a pure
+    /// function of weights + input, so the replay is byte-identical).
+    pub const SERVE_BATCH: &str = "serve.batch";
 }
 
 /// A fault [`check`] decided to fire.

@@ -1,0 +1,94 @@
+//! Pluggable decode backends for [`CodeBe`](crate::CodeBe).
+//!
+//! A backend intercepts the two decode primitives — greedy generation and
+//! forced-sequence scoring — so generation can run somewhere other than the
+//! calling thread's own weights. The motivating implementation is
+//! `vega-serve`'s continuous-batching broker: many requester threads submit
+//! their decode work to one broker that steps all sessions in lockstep
+//! through a single shared weight traversal, then hands each requester its
+//! result. The backend contract demands bit-identity with the local path:
+//! installing or removing a backend must never change a single output bit,
+//! only where (and how fast) the arithmetic happens.
+//!
+//! Backend calls are *fallible*: a deadline can expire at a token boundary,
+//! or the remote engine can go away mid-call. The local in-process path
+//! never aborts (it ignores deadlines), so code that does not opt into
+//! deadlines keeps the original infallible API.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a backend decode call gave up before producing a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeAbort {
+    /// The per-call deadline passed; the backend stopped at a token
+    /// boundary. No partial output is returned — a partial generation must
+    /// never be cached or served.
+    Expired,
+    /// The backend itself failed (e.g. its broker thread is gone). Carries
+    /// a diagnostic message.
+    Broken(String),
+}
+
+impl fmt::Display for DecodeAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeAbort::Expired => write!(f, "decode deadline expired"),
+            DecodeAbort::Broken(msg) => write!(f, "decode backend broken: {msg}"),
+        }
+    }
+}
+
+/// An engine that can run CodeBE's decode primitives on behalf of a caller.
+///
+/// Implementations must be bit-identical to the single-threaded in-process
+/// path: same token streams, same logprob bits, for every input. `deadline`
+/// is a best-effort abort checked at token boundaries; `None` means run to
+/// completion.
+pub trait DecodeBackend: Send + Sync {
+    /// Greedy generation — the backend analog of
+    /// [`CodeBe::generate`](crate::CodeBe::generate).
+    fn generate(
+        &self,
+        input: &[usize],
+        max_len: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<usize>, DecodeAbort>;
+
+    /// Forced-sequence log-probability — the backend analog of
+    /// [`CodeBe::sequence_logprob`](crate::CodeBe::sequence_logprob).
+    fn sequence_logprob(
+        &self,
+        input: &[usize],
+        output: &[usize],
+        deadline: Option<Instant>,
+    ) -> Result<f32, DecodeAbort>;
+}
+
+/// A cloneable, debuggable handle to a shared [`DecodeBackend`].
+///
+/// `CodeBe` derives `Debug`/`Clone`; trait objects provide neither, so the
+/// handle wraps the `Arc` and fills both in. Cloning a model clones the
+/// handle — replicas of one serve pool intentionally share a backend.
+#[derive(Clone)]
+pub struct BackendHandle(Arc<dyn DecodeBackend>);
+
+impl BackendHandle {
+    /// Wraps a backend for installation via
+    /// [`CodeBe::set_decode_backend`](crate::CodeBe::set_decode_backend).
+    pub fn new(backend: impl DecodeBackend + 'static) -> Self {
+        BackendHandle(Arc::new(backend))
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &dyn DecodeBackend {
+        self.0.as_ref()
+    }
+}
+
+impl fmt::Debug for BackendHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BackendHandle(..)")
+    }
+}

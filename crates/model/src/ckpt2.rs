@@ -130,8 +130,27 @@ impl CodeBe {
     /// A named [`CkptError`]; binary structural failures carry the detected
     /// format and the byte offset of the problem.
     pub fn load_file_detect(path: &Path) -> Result<(CodeBe, CkptFormat), CkptError> {
+        Self::load_file_detect_opts(path, false)
+    }
+
+    /// As [`CodeBe::load_file_detect`], with an optional prefault pass: when
+    /// `prefault` is true the mapped (or freshly read) checkpoint region is
+    /// warm-touched page by page before anything decodes, so a served model
+    /// never pays major-fault latency on its first generations. The touched
+    /// byte count is recorded on the `ckpt.prefault_bytes` counter.
+    ///
+    /// # Errors
+    /// See [`CodeBe::load_file_detect`].
+    pub fn load_file_detect_opts(
+        path: &Path,
+        prefault: bool,
+    ) -> Result<(CodeBe, CkptFormat), CkptError> {
         let region = ByteRegion::from_file(path)
             .map_err(|e| CkptError::Io(format!("read {}: {e}", path.display())))?;
+        if prefault {
+            let touched = region.prefault();
+            vega_obs::global().counter_add("ckpt.prefault_bytes", touched as u64);
+        }
         let b = region.bytes();
         if b.len() >= 8 && b[..8] == V2_MAGIC {
             return load_v2(Arc::new(region)).map(|m| (m, CkptFormat::V2));

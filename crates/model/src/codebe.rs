@@ -6,8 +6,10 @@
 //! `(feature vector → statement)` pairs. A GRU variant and a no-pretraining
 //! variant support the paper's model ablation.
 
+use crate::backend::{BackendHandle, DecodeAbort};
 use crate::vocab::{Special, Vocab};
-use vega_nn::{GruConfig, GruSeq2Seq, Seq2Seq, Transformer, TransformerConfig};
+use std::time::Instant;
+use vega_nn::{BatchDecode, GruConfig, GruSeq2Seq, Seq2Seq, Transformer, TransformerConfig};
 use vega_obs::json::{Json, JsonError};
 use vega_obs::{CurvePoint, TrainingCurve};
 
@@ -81,6 +83,10 @@ pub struct CodeBe {
     /// Per-epoch telemetry from the most recent [`CodeBe::finetune`] call
     /// (not serialized).
     curve: TrainingCurve,
+    /// Optional decode backend: when set, [`CodeBe::try_generate`] and
+    /// [`CodeBe::try_sequence_logprob`] route through it instead of running
+    /// the in-process incremental path (not serialized; clones share it).
+    backend: Option<BackendHandle>,
 }
 
 /// Deterministic shuffling/masking RNG (splitmix64, private copy).
@@ -114,6 +120,7 @@ impl CodeBe {
             vocab,
             model: ModelKind::Transformer(Transformer::new(cfg)),
             curve: TrainingCurve::new(),
+            backend: None,
         }
     }
 
@@ -124,6 +131,7 @@ impl CodeBe {
             vocab,
             model: ModelKind::Gru(GruSeq2Seq::new(cfg)),
             curve: TrainingCurve::new(),
+            backend: None,
         }
     }
 
@@ -278,21 +286,102 @@ impl CodeBe {
         last_epoch_loss
     }
 
+    /// Installs (or with `None`, removes) a decode backend. See the
+    /// [`crate::backend`] module docs: backends must be bit-identical to the
+    /// local path; clones made after this call share the handle.
+    pub fn set_decode_backend(&mut self, backend: Option<BackendHandle>) {
+        self.backend = backend;
+    }
+
+    /// Whether a decode backend is installed.
+    pub fn has_decode_backend(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// A clone of the installed decode backend handle, if any. Callers that
+    /// want several decode calls in flight at once (the serve-side `score`
+    /// op fanning candidates into a batching broker) clone the handle and
+    /// call it from their own threads instead of serializing on `&mut self`.
+    pub fn backend_handle(&self) -> Option<BackendHandle> {
+        self.backend.clone()
+    }
+
     /// Greedy generation for an input id sequence.
+    ///
+    /// # Panics
+    /// Panics if an installed decode backend aborts; use
+    /// [`CodeBe::try_generate`] to observe deadline expiry.
     pub fn generate(&mut self, input: &[usize], max_len: usize) -> Vec<usize> {
+        self.try_generate(input, max_len, None)
+            .expect("decode backend aborted a deadline-free generate")
+    }
+
+    /// Greedy generation with an optional deadline, honored at token
+    /// boundaries when a decode backend is installed. Without a backend the
+    /// in-process path runs to completion and never aborts (generation of a
+    /// single function is short; deadlines are enforced by the callers that
+    /// install backends).
+    ///
+    /// # Errors
+    /// Returns [`DecodeAbort::Expired`] when the backend stopped at the
+    /// deadline, [`DecodeAbort::Broken`] when the backend itself failed.
+    pub fn try_generate(
+        &mut self,
+        input: &[usize],
+        max_len: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<usize>, DecodeAbort> {
+        if let Some(b) = &self.backend {
+            return b.backend().generate(input, max_len, deadline);
+        }
         let bos = self.vocab.special(Special::Bos);
         let eos = self.vocab.special(Special::Eos);
-        self.model.as_seq2seq().greedy(input, bos, eos, max_len)
+        Ok(self.model.as_seq2seq().greedy(input, bos, eos, max_len))
     }
 
     /// Log-probability of the model emitting `output` for `input` —
     /// the scoring primitive behind template-guided decoding.
+    ///
+    /// # Panics
+    /// Panics if an installed decode backend aborts; use
+    /// [`CodeBe::try_sequence_logprob`] to observe deadline expiry.
     pub fn sequence_logprob(&mut self, input: &[usize], output: &[usize]) -> f32 {
+        self.try_sequence_logprob(input, output, None)
+            .expect("decode backend aborted a deadline-free logprob")
+    }
+
+    /// Forced-sequence log-probability with an optional deadline; deadline
+    /// semantics match [`CodeBe::try_generate`].
+    ///
+    /// # Errors
+    /// Returns [`DecodeAbort`] only when a backend is installed and aborts.
+    pub fn try_sequence_logprob(
+        &mut self,
+        input: &[usize],
+        output: &[usize],
+        deadline: Option<Instant>,
+    ) -> Result<f32, DecodeAbort> {
+        if let Some(b) = &self.backend {
+            return b.backend().sequence_logprob(input, output, deadline);
+        }
         let bos = self.vocab.special(Special::Bos);
         let eos = self.vocab.special(Special::Eos);
-        self.model
+        Ok(self
+            .model
             .as_seq2seq()
-            .sequence_logprob(input, output, bos, eos)
+            .sequence_logprob(input, output, bos, eos))
+    }
+
+    /// Starts a batch of `capacity` incremental decode slots over this
+    /// model's weights (see [`vega_nn::BatchDecode`]): per-slot logits are
+    /// bit-identical to the single-session decode path at any batch
+    /// composition. The batch borrows the weights, so the model is
+    /// immutable while it lives.
+    pub fn begin_batch_decode(&self, capacity: usize) -> Box<dyn BatchDecode + '_> {
+        match &self.model {
+            ModelKind::Transformer(t) => Box::new(t.begin_batch_decode(capacity)),
+            ModelKind::Gru(g) => Box::new(g.begin_batch_decode(capacity)),
+        }
     }
 
     /// Exact-match rate over a verification set (the paper reports 99.03%).
@@ -362,6 +451,7 @@ impl CodeBe {
             vocab,
             model,
             curve: TrainingCurve::new(),
+            backend: None,
         })
     }
 
@@ -386,6 +476,7 @@ impl CodeBe {
             vocab,
             model,
             curve: TrainingCurve::new(),
+            backend: None,
         })
     }
 }

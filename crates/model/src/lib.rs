@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 mod ckpt;
 mod ckpt2;
 mod codebe;
 mod subtok;
 mod vocab;
 
+pub use backend::{BackendHandle, DecodeAbort, DecodeBackend};
 pub use ckpt::{tmp_path, CkptError, CKPT_FORMAT};
 pub use ckpt2::{encode_v2, CkptFormat, CKPT_FORMAT_V2, V2_MAGIC};
 pub use codebe::{CodeBe, ModelChoice, TrainConfig};

@@ -76,6 +76,18 @@ pub mod tally {
         SECONDS.with(|s| s.set(s.get() + seconds));
     }
 
+    /// Records `tokens` decoded tokens that took `seconds` in one call.
+    ///
+    /// Used when decode work happened *off* this thread — a continuous-
+    /// batching broker steps many sessions on its own thread and hands each
+    /// requester back its exact token count and its share of the batched
+    /// step time; the requester bumps its own thread-local so the
+    /// reset/snapshot attribution protocol keeps working unchanged.
+    pub fn bump_n(tokens: u64, seconds: f64) {
+        TOKENS.with(|t| t.set(t.get() + tokens));
+        SECONDS.with(|s| s.set(s.get() + seconds));
+    }
+
     /// The calling thread's `(tokens, seconds)` since the last [`reset`].
     pub fn snapshot() -> (u64, f64) {
         (TOKENS.with(Cell::get), SECONDS.with(Cell::get))
@@ -116,7 +128,11 @@ pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
 
 /// In-place softmax over one row, replicating [`Tensor::softmax_rows`]: max
 /// fold, exponentiate accumulating the sum in index order, divide.
-pub(crate) fn softmax_row(row: &mut [f32]) {
+///
+/// Public so external decode drivers (the serve-side continuous-batching
+/// broker scoring forced sequences) can replicate `forced_logprob`'s exact
+/// f32 sequence instead of reimplementing it.
+pub fn softmax_row(row: &mut [f32]) {
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0;
     for v in row.iter_mut() {
@@ -581,6 +597,569 @@ impl GruDecodeState<'_> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batched decode (N sessions in lockstep through shared weights)
+// ---------------------------------------------------------------------------
+
+/// Batched row matmul: for every slot `s` in `slots`,
+/// `out[s] = a[s] · b`, where `a` holds one row per slot at stride `b.rows`
+/// and `out` one row per slot at stride `b.cols`.
+///
+/// The loop nest is k-blocked: weight rows are streamed sequentially (so the
+/// hardware prefetcher sees one linear pass over the matrix per step) in
+/// blocks of [`K_TILE`], and inside a block every slot consumes all
+/// [`K_TILE`] rows while they are cache-hot — the weight bytes cross the
+/// cache hierarchy **once** per step for the whole batch instead of once
+/// per session, which is what amortizes weight reads N× over a batch. When
+/// a slot's [`K_TILE`] activations are all nonzero the fused path folds all
+/// eight rank-1 updates into one pass over the output row (eight FMAs per
+/// load/store instead of one); otherwise the per-k path applies exactly the
+/// nonzero terms.
+///
+/// Per slot, the accumulation into any output element is element-by-element
+/// in ascending `k` with the scalar kernel's exact zero-skip (the fused
+/// path's `+=` chain is the same rounding sequence), i.e. bit-identical to
+/// [`row_matmul_into`] on that slot's row alone; blocking only reorders
+/// work *across* slots, and no f32 op mixes slots.
+const K_TILE: usize = 8;
+
+fn batch_row_matmul_into(slots: &[usize], a: &[f32], b: &Tensor, out: &mut [f32]) {
+    let (kdim, odim) = (b.rows, b.cols);
+    for &s in slots {
+        out[s * odim..(s + 1) * odim].fill(0.0);
+    }
+    let mut kb = 0;
+    while kb + K_TILE <= kdim {
+        let rows: [&[f32]; K_TILE] = std::array::from_fn(|t| b.row(kb + t));
+        for &s in slots {
+            let avs: [f32; K_TILE] = std::array::from_fn(|t| a[s * kdim + kb + t]);
+            let orow = &mut out[s * odim..(s + 1) * odim];
+            if avs.iter().all(|&av| av != 0.0) {
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let mut v = *o;
+                    v += avs[0] * rows[0][j];
+                    v += avs[1] * rows[1][j];
+                    v += avs[2] * rows[2][j];
+                    v += avs[3] * rows[3][j];
+                    v += avs[4] * rows[4][j];
+                    v += avs[5] * rows[5][j];
+                    v += avs[6] * rows[6][j];
+                    v += avs[7] * rows[7][j];
+                    *o = v;
+                }
+            } else {
+                for (&av, row) in avs.iter().zip(rows.iter()) {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in orow.iter_mut().zip(row.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        kb += K_TILE;
+    }
+    // Tail rows (kdim % K_TILE), per-k like the scalar kernel.
+    for k in kb..kdim {
+        let brow = b.row(k);
+        for &s in slots {
+            let av = a[s * kdim + k];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[s * odim..(s + 1) * odim];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// A fixed-capacity batch of independent incremental decode sessions that
+/// step in lockstep through shared weights.
+///
+/// Sessions occupy *slots* (`0..capacity`). [`BatchDecode::join`] starts a
+/// session in a free slot, [`BatchDecode::step`] advances any subset of
+/// active slots by one token each (one shared pass over every weight
+/// matrix), and [`BatchDecode::retire`] frees a slot — immediately, at any
+/// point, so finished sessions leave the batch at a token boundary without
+/// barriers. Per-slot K/V state is private to the slot; ragged lengths need
+/// no masks because attention runs against each slot's own cache.
+///
+/// The contract shared by both implementations ([`BatchDecodeState`],
+/// [`GruBatchDecodeState`]): the logits produced for a slot are
+/// **bit-identical** to a single-session [`DecodeState`] /
+/// [`GruDecodeState`] fed the same source and token stream, at every batch
+/// size and join/retire order.
+pub trait BatchDecode {
+    /// Total slot count.
+    fn capacity(&self) -> usize;
+
+    /// Currently occupied slot count.
+    fn active(&self) -> usize;
+
+    /// Starts a session over `src` (clamped to the model's `max_len`) in a
+    /// free slot and returns its slot id; `None` when the batch is full.
+    fn join(&mut self, src: &[usize]) -> Option<usize>;
+
+    /// Frees `slot` (dropping its K/V state). No-op if already free.
+    fn retire(&mut self, slot: usize);
+
+    /// Advances each `(slot, token)` in `feeds` by one position in one
+    /// shared weight pass. Slots not listed do not advance.
+    ///
+    /// # Panics
+    /// Panics if a fed slot is free, is listed twice, or is at `max_len`.
+    fn step(&mut self, feeds: &[(usize, usize)]);
+
+    /// The logits row produced for `slot` by the most recent step that fed
+    /// it.
+    fn logits(&self, slot: usize) -> &[f32];
+
+    /// Tokens fed to `slot` so far.
+    fn slot_len(&self, slot: usize) -> usize;
+}
+
+/// Asserts `feeds` is a valid step: no duplicate slots (`seen` is a
+/// scratch bitmap of at least `capacity` bools, reset here).
+fn check_feeds(feeds: &[(usize, usize)], seen: &mut [bool]) {
+    seen.fill(false);
+    for &(s, _) in feeds {
+        assert!(!seen[s], "slot {s} fed twice in one step");
+        seen[s] = true;
+    }
+}
+
+/// Per-slot state of a transformer batch session: the same cross-attention
+/// projections and self-attention caches a [`DecodeState`] holds, minus the
+/// shared scratch (which lives once per batch, not per slot).
+struct TfSlot {
+    cross_k: Vec<Vec<Tensor>>,
+    cross_v: Vec<Vec<Tensor>>,
+    self_k: Vec<Vec<Tensor>>,
+    self_v: Vec<Vec<Tensor>>,
+    len: usize,
+}
+
+/// Batched incremental decoder for a [`Transformer`]: N sessions share one
+/// pass over every weight matrix per step (see [`batch_row_matmul_into`])
+/// while keeping per-slot K/V caches. Create with
+/// [`Transformer::begin_batch_decode`]; drive through the [`BatchDecode`]
+/// trait.
+pub struct BatchDecodeState<'m> {
+    model: &'m Transformer,
+    slots: Vec<Option<TfSlot>>,
+    occupied: usize,
+    // Shared scratch, one row per slot (flat, stride = row width).
+    x: Vec<f32>,
+    xn: Vec<f32>,
+    q: Vec<f32>,
+    kv_row: Vec<f32>,
+    scores: Vec<f32>,
+    heads: Vec<f32>,
+    tmp_d: Vec<f32>,
+    ff: Vec<f32>,
+    logits: Vec<f32>,
+    seen: Vec<bool>,
+}
+
+impl Transformer {
+    /// Starts an empty batch of `capacity` incremental decode slots. Scratch
+    /// is allocated once here; joins allocate only per-slot K/V state.
+    pub fn begin_batch_decode(&self, capacity: usize) -> BatchDecodeState<'_> {
+        let cap = capacity.max(1);
+        let d = self.cfg.d_model;
+        let dh = d / self.cfg.n_heads;
+        BatchDecodeState {
+            model: self,
+            slots: (0..cap).map(|_| None).collect(),
+            occupied: 0,
+            x: vec![0.0; cap * d],
+            xn: vec![0.0; cap * d],
+            q: vec![0.0; cap * dh],
+            kv_row: vec![0.0; cap * dh],
+            scores: vec![0.0; cap * self.cfg.max_len],
+            heads: vec![0.0; cap * d],
+            tmp_d: vec![0.0; cap * d],
+            ff: vec![0.0; cap * self.cfg.d_ff],
+            logits: vec![0.0; cap * self.cfg.vocab],
+            seen: vec![false; cap],
+        }
+    }
+}
+
+impl BatchDecode for BatchDecodeState<'_> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn active(&self) -> usize {
+        self.occupied
+    }
+
+    fn join(&mut self, src: &[usize]) -> Option<usize> {
+        let s = self.slots.iter().position(Option::is_none)?;
+        // `begin_decode` runs the encoder and projects cross K/V exactly as
+        // the single path does; the batch adopts its per-session state and
+        // discards the single-session scratch.
+        let st = self.model.begin_decode(src);
+        self.slots[s] = Some(TfSlot {
+            cross_k: st.cross_k,
+            cross_v: st.cross_v,
+            self_k: st.self_k,
+            self_v: st.self_v,
+            len: 0,
+        });
+        self.occupied += 1;
+        Some(s)
+    }
+
+    fn retire(&mut self, slot: usize) {
+        if self.slots[slot].take().is_some() {
+            self.occupied -= 1;
+        }
+    }
+
+    fn step(&mut self, feeds: &[(usize, usize)]) {
+        let m = self.model;
+        let d = m.cfg.d_model;
+        let n_heads = m.cfg.n_heads;
+        let dh = d / n_heads;
+        let max_len = m.cfg.max_len;
+        let scale = 1.0 / (dh as f32).sqrt();
+        check_feeds(feeds, &mut self.seen);
+        let ids: Vec<usize> = feeds.iter().map(|&(s, _)| s).collect();
+        // Token + positional embedding per slot.
+        let tok = m.store.value(m.tok_emb);
+        let pos_t = m.store.value(m.pos_emb);
+        for &(s, token) in feeds {
+            let slot = self.slots[s].as_ref().expect("step on a free slot");
+            assert!(slot.len < max_len, "decode past max_len");
+            let te = tok.row(token);
+            let pe = pos_t.row(slot.len.min(max_len - 1));
+            let x = &mut self.x[s * d..(s + 1) * d];
+            for c in 0..d {
+                x[c] = te[c] + pe[c];
+            }
+        }
+        for (l, layer) in m.dec_layers.iter().enumerate() {
+            // Self-attention over each slot's cached prefix plus this row.
+            for &s in &ids {
+                layer_norm_row(
+                    &self.x[s * d..(s + 1) * d],
+                    m.store.value(layer.ln1.gain).as_slice(),
+                    m.store.value(layer.ln1.bias).as_slice(),
+                    &mut self.xn[s * d..(s + 1) * d],
+                );
+            }
+            for h in 0..n_heads {
+                batch_row_matmul_into(
+                    &ids,
+                    &self.xn,
+                    m.store.value(layer.self_attn.wq[h]),
+                    &mut self.q,
+                );
+                batch_row_matmul_into(
+                    &ids,
+                    &self.xn,
+                    m.store.value(layer.self_attn.wk[h]),
+                    &mut self.kv_row,
+                );
+                for &s in &ids {
+                    let slot = self.slots[s].as_mut().expect("active slot");
+                    slot.self_k[l][h].push_row(&self.kv_row[s * dh..(s + 1) * dh]);
+                }
+                batch_row_matmul_into(
+                    &ids,
+                    &self.xn,
+                    m.store.value(layer.self_attn.wv[h]),
+                    &mut self.kv_row,
+                );
+                for &s in &ids {
+                    let slot = self.slots[s].as_mut().expect("active slot");
+                    slot.self_v[l][h].push_row(&self.kv_row[s * dh..(s + 1) * dh]);
+                }
+                for &s in &ids {
+                    let slot = self.slots[s].as_ref().expect("active slot");
+                    let (sk, sv) = (&slot.self_k[l][h], &slot.self_v[l][h]);
+                    let t1 = sk.rows;
+                    let scores = &mut self.scores[s * max_len..s * max_len + t1];
+                    let q = &self.q[s * dh..(s + 1) * dh];
+                    for (j, sc) in scores.iter_mut().enumerate() {
+                        *sc = dot(q, sk.row(j)) * scale;
+                    }
+                    softmax_row(scores);
+                    attend_into(
+                        scores,
+                        sv,
+                        &mut self.heads[s * d + h * dh..s * d + (h + 1) * dh],
+                    );
+                }
+            }
+            batch_row_matmul_into(
+                &ids,
+                &self.heads,
+                m.store.value(layer.self_attn.wo),
+                &mut self.tmp_d,
+            );
+            for &s in &ids {
+                add_assign(
+                    &mut self.x[s * d..(s + 1) * d],
+                    &self.tmp_d[s * d..(s + 1) * d],
+                );
+            }
+            // Cross-attention against each slot's fixed encoder K/V.
+            for &s in &ids {
+                layer_norm_row(
+                    &self.x[s * d..(s + 1) * d],
+                    m.store.value(layer.ln2.gain).as_slice(),
+                    m.store.value(layer.ln2.bias).as_slice(),
+                    &mut self.xn[s * d..(s + 1) * d],
+                );
+            }
+            for h in 0..n_heads {
+                batch_row_matmul_into(
+                    &ids,
+                    &self.xn,
+                    m.store.value(layer.cross_attn.wq[h]),
+                    &mut self.q,
+                );
+                for &s in &ids {
+                    let slot = self.slots[s].as_ref().expect("active slot");
+                    let (ck, cv) = (&slot.cross_k[l][h], &slot.cross_v[l][h]);
+                    let scores = &mut self.scores[s * max_len..s * max_len + ck.rows];
+                    let q = &self.q[s * dh..(s + 1) * dh];
+                    for (j, sc) in scores.iter_mut().enumerate() {
+                        *sc = dot(q, ck.row(j)) * scale;
+                    }
+                    softmax_row(scores);
+                    attend_into(
+                        scores,
+                        cv,
+                        &mut self.heads[s * d + h * dh..s * d + (h + 1) * dh],
+                    );
+                }
+            }
+            batch_row_matmul_into(
+                &ids,
+                &self.heads,
+                m.store.value(layer.cross_attn.wo),
+                &mut self.tmp_d,
+            );
+            for &s in &ids {
+                add_assign(
+                    &mut self.x[s * d..(s + 1) * d],
+                    &self.tmp_d[s * d..(s + 1) * d],
+                );
+            }
+            // Feed-forward.
+            for &s in &ids {
+                layer_norm_row(
+                    &self.x[s * d..(s + 1) * d],
+                    m.store.value(layer.ln3.gain).as_slice(),
+                    m.store.value(layer.ln3.bias).as_slice(),
+                    &mut self.xn[s * d..(s + 1) * d],
+                );
+            }
+            let d_ff = m.cfg.d_ff;
+            batch_row_matmul_into(&ids, &self.xn, m.store.value(layer.ff.w1), &mut self.ff);
+            for &s in &ids {
+                let ff = &mut self.ff[s * d_ff..(s + 1) * d_ff];
+                add_assign(ff, m.store.value(layer.ff.b1).as_slice());
+                for v in ff.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            batch_row_matmul_into(&ids, &self.ff, m.store.value(layer.ff.w2), &mut self.tmp_d);
+            for &s in &ids {
+                let tmp = &mut self.tmp_d[s * d..(s + 1) * d];
+                add_assign(tmp, m.store.value(layer.ff.b2).as_slice());
+            }
+            for &s in &ids {
+                add_assign(
+                    &mut self.x[s * d..(s + 1) * d],
+                    &self.tmp_d[s * d..(s + 1) * d],
+                );
+            }
+        }
+        for &s in &ids {
+            layer_norm_row(
+                &self.x[s * d..(s + 1) * d],
+                m.store.value(m.final_ln.gain).as_slice(),
+                m.store.value(m.final_ln.bias).as_slice(),
+                &mut self.xn[s * d..(s + 1) * d],
+            );
+        }
+        let vocab = m.cfg.vocab;
+        batch_row_matmul_into(&ids, &self.xn, m.store.value(m.w_out), &mut self.logits);
+        for &s in &ids {
+            let logits = &mut self.logits[s * vocab..(s + 1) * vocab];
+            add_assign(logits, m.store.value(m.b_out).as_slice());
+            self.slots[s].as_mut().expect("active slot").len += 1;
+        }
+    }
+
+    fn logits(&self, slot: usize) -> &[f32] {
+        assert!(self.slots[slot].is_some(), "logits of a free slot");
+        let vocab = self.model.cfg.vocab;
+        &self.logits[slot * vocab..(slot + 1) * vocab]
+    }
+
+    fn slot_len(&self, slot: usize) -> usize {
+        self.slots[slot].as_ref().map_or(0, |s| s.len)
+    }
+}
+
+/// Per-slot state of a GRU batch session: just the recurrent hidden vector
+/// (held in the batch's flat `h` buffer) and its length.
+struct GruSlot {
+    len: usize,
+}
+
+/// Batched incremental decoder for a [`GruSeq2Seq`]; the GRU analog of
+/// [`BatchDecodeState`]. Create with [`GruSeq2Seq::begin_batch_decode`].
+pub struct GruBatchDecodeState<'m> {
+    model: &'m GruSeq2Seq,
+    slots: Vec<Option<GruSlot>>,
+    occupied: usize,
+    /// Hidden states, one row of width `d_model` per slot.
+    h: Vec<f32>,
+    // Shared scratch, one row per slot.
+    x: Vec<f32>,
+    xin: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    hcand: Vec<f32>,
+    rh: Vec<f32>,
+    logits: Vec<f32>,
+    seen: Vec<bool>,
+}
+
+impl GruSeq2Seq {
+    /// Starts an empty batch of `capacity` incremental GRU decode slots.
+    pub fn begin_batch_decode(&self, capacity: usize) -> GruBatchDecodeState<'_> {
+        let cap = capacity.max(1);
+        let d = self.cfg.d_model;
+        GruBatchDecodeState {
+            model: self,
+            slots: (0..cap).map(|_| None).collect(),
+            occupied: 0,
+            h: vec![0.0; cap * d],
+            x: vec![0.0; cap * d],
+            xin: vec![0.0; cap * 2 * d],
+            z: vec![0.0; cap * d],
+            r: vec![0.0; cap * d],
+            hcand: vec![0.0; cap * d],
+            rh: vec![0.0; cap * d],
+            logits: vec![0.0; cap * self.cfg.vocab],
+            seen: vec![false; cap],
+        }
+    }
+}
+
+impl BatchDecode for GruBatchDecodeState<'_> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn active(&self) -> usize {
+        self.occupied
+    }
+
+    fn join(&mut self, src: &[usize]) -> Option<usize> {
+        let s = self.slots.iter().position(Option::is_none)?;
+        let d = self.model.cfg.d_model;
+        // The single-session path runs the encoder bit-for-bit; adopt its
+        // seeded hidden state.
+        let st = self.model.begin_decode(src);
+        self.h[s * d..(s + 1) * d].copy_from_slice(&st.h);
+        self.slots[s] = Some(GruSlot { len: 0 });
+        self.occupied += 1;
+        Some(s)
+    }
+
+    fn retire(&mut self, slot: usize) {
+        if self.slots[slot].take().is_some() {
+            self.occupied -= 1;
+        }
+    }
+
+    fn step(&mut self, feeds: &[(usize, usize)]) {
+        let m = self.model;
+        let d = m.cfg.d_model;
+        check_feeds(feeds, &mut self.seen);
+        let ids: Vec<usize> = feeds.iter().map(|&(s, _)| s).collect();
+        let emb = m.store.value(m.emb);
+        for &(s, token) in feeds {
+            assert!(self.slots[s].is_some(), "step on a free slot");
+            self.x[s * d..(s + 1) * d].copy_from_slice(emb.row(token));
+        }
+        // One decoder cell update per slot, phase-batched: each weight
+        // matrix is read once for all slots, each slot's f32 sequence is
+        // exactly `GruDecodeState::cell_fwd`.
+        let cell = &m.dec;
+        for &s in &ids {
+            self.xin[s * 2 * d..s * 2 * d + d].copy_from_slice(&self.x[s * d..(s + 1) * d]);
+            self.xin[s * 2 * d + d..(s + 1) * 2 * d].copy_from_slice(&self.h[s * d..(s + 1) * d]);
+        }
+        batch_row_matmul_into(&ids, &self.xin, m.store.value(cell.wz), &mut self.z);
+        for &s in &ids {
+            let z = &mut self.z[s * d..(s + 1) * d];
+            add_assign(z, m.store.value(cell.bz).as_slice());
+            for v in z.iter_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+        batch_row_matmul_into(&ids, &self.xin, m.store.value(cell.wr), &mut self.r);
+        for &s in &ids {
+            let r = &mut self.r[s * d..(s + 1) * d];
+            add_assign(r, m.store.value(cell.br).as_slice());
+            for v in r.iter_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+        for &s in &ids {
+            for i in 0..d {
+                self.rh[s * d + i] = self.r[s * d + i] * self.h[s * d + i];
+            }
+            self.xin[s * 2 * d + d..(s + 1) * 2 * d].copy_from_slice(&self.rh[s * d..(s + 1) * d]);
+        }
+        batch_row_matmul_into(&ids, &self.xin, m.store.value(cell.wh), &mut self.hcand);
+        for &s in &ids {
+            let hc = &mut self.hcand[s * d..(s + 1) * d];
+            add_assign(hc, m.store.value(cell.bh).as_slice());
+            for v in hc.iter_mut() {
+                *v = v.tanh();
+            }
+        }
+        for &s in &ids {
+            for i in 0..d {
+                let keep = (self.z[s * d + i] * -1.0 + 1.0) * self.h[s * d + i];
+                let new = self.z[s * d + i] * self.hcand[s * d + i];
+                self.h[s * d + i] = keep + new;
+            }
+        }
+        let vocab = m.cfg.vocab;
+        batch_row_matmul_into(&ids, &self.h, m.store.value(m.w_out), &mut self.logits);
+        for &s in &ids {
+            let logits = &mut self.logits[s * vocab..(s + 1) * vocab];
+            add_assign(logits, m.store.value(m.b_out).as_slice());
+            self.slots[s].as_mut().expect("active slot").len += 1;
+        }
+    }
+
+    fn logits(&self, slot: usize) -> &[f32] {
+        assert!(self.slots[slot].is_some(), "logits of a free slot");
+        let vocab = self.model.cfg.vocab;
+        &self.logits[slot * vocab..(slot + 1) * vocab]
+    }
+
+    fn slot_len(&self, slot: usize) -> usize {
+        self.slots[slot].as_ref().map_or(0, |s| s.len)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,5 +1203,75 @@ mod tests {
         }
         assert_eq!(masked[3], 0.0);
         assert_eq!(masked[4], 0.0);
+    }
+
+    #[test]
+    fn batch_row_matmul_matches_scalar_kernel_bitwise() {
+        let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.3 - 1.0).collect());
+        // Three slot rows at stride 4, one containing zeros (zero-skip path).
+        let a = vec![
+            0.5, 0.0, -1.25, 2.0, // slot 0
+            -0.1, 0.2, 0.3, -0.4, // slot 1
+            0.0, 0.0, 1.5, 0.0, // slot 2
+        ];
+        let mut batched = vec![7.0f32; 3 * 3];
+        batch_row_matmul_into(&[2, 0, 1], &a, &b, &mut batched);
+        for s in 0..3 {
+            let mut single = vec![0.0f32; 3];
+            row_matmul_into(&a[s * 4..(s + 1) * 4], &b, &mut single);
+            for (x, y) in batched[s * 3..(s + 1) * 3].iter().zip(&single) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transformer_batch_step_matches_single_bitwise() {
+        use crate::{Seq2Seq, Transformer, TransformerConfig};
+        let mut m = Transformer::new(TransformerConfig::tiny(10));
+        for _ in 0..5 {
+            m.train_example(&[2, 3, 4], &[3, 4], 0, 1);
+            m.step(3e-3);
+        }
+        let srcs: [&[usize]; 3] = [&[2, 3, 4], &[4, 2], &[3]];
+        let mut batch = m.begin_batch_decode(4);
+        let mut singles: Vec<DecodeState> = srcs.iter().map(|s| m.begin_decode(s)).collect();
+        let slots: Vec<usize> = srcs.iter().map(|s| batch.join(s).unwrap()).collect();
+        for step in 0..4 {
+            let feeds: Vec<(usize, usize)> = slots.iter().map(|&s| (s, step + 1)).collect();
+            batch.step(&feeds);
+            for (i, st) in singles.iter_mut().enumerate() {
+                let want = st.step(step + 1);
+                let got = batch.logits(slots[i]);
+                for (x, y) in got.iter().zip(want) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gru_batch_step_matches_single_bitwise() {
+        use crate::{GruConfig, GruSeq2Seq, Seq2Seq};
+        let mut m = GruSeq2Seq::new(GruConfig::tiny(8));
+        for _ in 0..5 {
+            m.train_example(&[2, 3], &[3, 2], 0, 1);
+            m.step(3e-3);
+        }
+        let srcs: [&[usize]; 2] = [&[2, 3], &[3]];
+        let mut batch = m.begin_batch_decode(2);
+        let mut singles: Vec<GruDecodeState> = srcs.iter().map(|s| m.begin_decode(s)).collect();
+        let slots: Vec<usize> = srcs.iter().map(|s| batch.join(s).unwrap()).collect();
+        for step in 0..3 {
+            let feeds: Vec<(usize, usize)> = slots.iter().map(|&s| (s, step + 2)).collect();
+            batch.step(&feeds);
+            for (i, st) in singles.iter_mut().enumerate() {
+                let want = st.step(step + 2);
+                let got = batch.logits(slots[i]);
+                for (x, y) in got.iter().zip(want) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
     }
 }

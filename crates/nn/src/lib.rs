@@ -40,7 +40,7 @@ pub mod storage;
 mod tensor;
 mod transformer;
 
-pub use decode::{DecodeState, GruDecodeState};
+pub use decode::{BatchDecode, BatchDecodeState, DecodeState, GruBatchDecodeState, GruDecodeState};
 pub use graph::{Graph, NodeId};
 pub use gru::{GruConfig, GruSeq2Seq};
 pub use params::{Init, ParamId, ParamStore};

@@ -1,0 +1,414 @@
+//! Batched-vs-single decode equivalence.
+//!
+//! The continuous-batching engine (`BatchDecodeState` / `GruBatchDecodeState`)
+//! must be **bit-identical** per slot to the single-session incremental path
+//! (`DecodeState` / `GruDecodeState`), independent of batch size and of which
+//! other sessions share the batch: the serve cache keys and the loadgen
+//! verifier assume generation is a pure function of (weights, input). Every
+//! test here runs a *mirror* single-session decode next to each batch slot
+//! and compares full logits rows by `to_bits` after every step — batch sizes
+//! 1/2/4/7, staggered join/leave with slot reuse, one-token sessions beside
+//! max-length sessions, both model families, plus a greedy lockstep
+//! simulation checked against `Seq2Seq::greedy` token streams.
+//! `ci.sh` runs this suite at `VEGA_THREADS=1` and `4`.
+
+use vega_nn::{
+    argmax, looks_degenerate, BatchDecode, DecodeState, GruConfig, GruDecodeState, GruSeq2Seq,
+    Seq2Seq, Transformer, TransformerConfig,
+};
+
+/// Deterministic pseudo-random token ids in `[lo, hi)` (splitmix64).
+fn tokens(seed: u64, n: usize, lo: usize, hi: usize) -> Vec<usize> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            lo + (z as usize) % (hi - lo)
+        })
+        .collect()
+}
+
+fn assert_rows_bitwise(batch_row: &[f32], mirror_row: &[f32], what: &str) {
+    assert_eq!(batch_row.len(), mirror_row.len(), "{what}: row length");
+    for (c, (&b, &m)) in batch_row.iter().zip(mirror_row.iter()).enumerate() {
+        assert_eq!(
+            b.to_bits(),
+            m.to_bits(),
+            "{what}: logit bits diverged at col {c} ({b} vs {m})"
+        );
+    }
+}
+
+/// One live session: its batch slot and a mirror single-session decode fed
+/// the identical token sequence.
+struct TfSession<'m> {
+    slot: usize,
+    mirror: DecodeState<'m>,
+    feed: Vec<usize>,
+    pos: usize,
+}
+
+struct GruSession<'m> {
+    slot: usize,
+    mirror: GruDecodeState<'m>,
+    feed: Vec<usize>,
+    pos: usize,
+}
+
+/// Steps every live transformer session once (batch + mirror) and compares
+/// each slot's logits row bitwise. Callers retire sessions whose feed ran
+/// out before the next round.
+fn tf_step_round(batch: &mut dyn BatchDecode, live: &mut [TfSession<'_>], round: usize) {
+    if live.is_empty() {
+        return;
+    }
+    let feeds: Vec<(usize, usize)> = live.iter().map(|s| (s.slot, s.feed[s.pos])).collect();
+    batch.step(&feeds);
+    for s in live.iter_mut() {
+        let row = s.mirror.step(s.feed[s.pos]);
+        assert_rows_bitwise(
+            batch.logits(s.slot),
+            row,
+            &format!("round {round}, slot {}", s.slot),
+        );
+        s.pos += 1;
+    }
+}
+
+fn gru_step_round(batch: &mut dyn BatchDecode, live: &mut [GruSession<'_>], round: usize) {
+    if live.is_empty() {
+        return;
+    }
+    let feeds: Vec<(usize, usize)> = live.iter().map(|s| (s.slot, s.feed[s.pos])).collect();
+    batch.step(&feeds);
+    for s in live.iter_mut() {
+        let row = s.mirror.step(s.feed[s.pos]);
+        assert_rows_bitwise(
+            batch.logits(s.slot),
+            row,
+            &format!("gru round {round}, slot {}", s.slot),
+        );
+        s.pos += 1;
+    }
+}
+
+#[test]
+fn transformer_lockstep_matches_single_at_batch_sizes_1_2_4_7() {
+    let model = Transformer::new(TransformerConfig::small(64));
+    for n in [1usize, 2, 4, 7] {
+        let mut batch = model.begin_batch_decode(n);
+        let mut live: Vec<TfSession<'_>> = (0..n)
+            .map(|i| {
+                // Varying source lengths: every slot sees different
+                // cross-attention shapes in the same batch.
+                let src = tokens(100 + i as u64, 5 + 3 * i, 2, 64);
+                let slot = batch.join(&src).expect("capacity holds all sessions");
+                TfSession {
+                    slot,
+                    mirror: model.begin_decode(&src),
+                    feed: tokens(200 + i as u64, 20, 2, 64),
+                    pos: 0,
+                }
+            })
+            .collect();
+        assert_eq!(batch.active(), n);
+        assert_eq!(batch.join(&[2, 3]), None, "batch of {n} must be full");
+        for round in 0..20 {
+            tf_step_round(&mut batch, &mut live, round);
+        }
+    }
+}
+
+#[test]
+fn gru_lockstep_matches_single_at_batch_sizes_1_2_4_7() {
+    let model = GruSeq2Seq::new(GruConfig::small(64));
+    for n in [1usize, 2, 4, 7] {
+        let mut batch = model.begin_batch_decode(n);
+        let mut live: Vec<GruSession<'_>> = (0..n)
+            .map(|i| {
+                let src = tokens(300 + i as u64, 4 + 2 * i, 2, 64);
+                let slot = batch.join(&src).expect("capacity holds all sessions");
+                GruSession {
+                    slot,
+                    mirror: model.begin_decode(&src),
+                    feed: tokens(400 + i as u64, 20, 2, 64),
+                    pos: 0,
+                }
+            })
+            .collect();
+        for round in 0..20 {
+            gru_step_round(&mut batch, &mut live, round);
+        }
+    }
+}
+
+/// Sessions join and leave mid-flight, slots are reused by later sessions,
+/// and every row still matches the session's own single-path decode — the
+/// bits of one slot must not depend on who else is in the batch.
+fn tf_join<'m>(
+    model: &'m Transformer,
+    batch: &mut dyn BatchDecode,
+    live: &mut Vec<TfSession<'m>>,
+    seed: u64,
+    src_len: usize,
+    feed_len: usize,
+) {
+    let src = tokens(seed, src_len, 2, 64);
+    let slot = batch.join(&src).expect("a slot is free");
+    live.push(TfSession {
+        slot,
+        mirror: model.begin_decode(&src),
+        feed: tokens(seed ^ 0xFEED, feed_len, 2, 64),
+        pos: 0,
+    });
+}
+
+fn gru_join<'m>(
+    model: &'m GruSeq2Seq,
+    batch: &mut dyn BatchDecode,
+    live: &mut Vec<GruSession<'m>>,
+    seed: u64,
+    feed_len: usize,
+) {
+    let src = tokens(seed, 5, 2, 64);
+    let slot = batch.join(&src).expect("a slot is free");
+    live.push(GruSession {
+        slot,
+        mirror: model.begin_decode(&src),
+        feed: tokens(seed ^ 0xBEEF, feed_len, 2, 64),
+        pos: 0,
+    });
+}
+
+#[test]
+fn transformer_staggered_join_leave_reuses_slots_bit_identically() {
+    let model = Transformer::new(TransformerConfig::small(64));
+    let mut batch = model.begin_batch_decode(3);
+    let mut live: Vec<TfSession<'_>> = Vec::new();
+    let mut round = 0usize;
+
+    // A and B start; C joins two rounds in; B (short) retires and D takes
+    // its slot while A is still mid-stream; E replaces C later.
+    tf_join(&model, &mut batch, &mut live, 1, 6, 18);
+    tf_join(&model, &mut batch, &mut live, 2, 3, 6);
+    for _ in 0..2 {
+        tf_step_round(&mut batch, &mut live, round);
+        round += 1;
+    }
+    tf_join(&model, &mut batch, &mut live, 3, 9, 9);
+    for _ in 0..4 {
+        tf_step_round(&mut batch, &mut live, round);
+        round += 1;
+    }
+    // B's feed (6 tokens) is exhausted: retire it in the batch and reuse
+    // its slot for D.
+    let b_ix = live
+        .iter()
+        .position(|s| s.pos >= s.feed.len())
+        .expect("B ran out of feed");
+    let b_slot = live[b_ix].slot;
+    live.remove(b_ix);
+    batch.retire(b_slot);
+    tf_join(&model, &mut batch, &mut live, 4, 7, 12);
+    assert!(
+        live.iter().any(|s| s.slot == b_slot),
+        "D must reuse B's retired slot"
+    );
+    for _ in 0..5 {
+        tf_step_round(&mut batch, &mut live, round);
+        round += 1;
+    }
+    // C is done; E reuses its slot with a longer source.
+    let c_ix = live
+        .iter()
+        .position(|s| s.pos >= s.feed.len())
+        .expect("C ran out of feed");
+    let c_slot = live[c_ix].slot;
+    live.remove(c_ix);
+    batch.retire(c_slot);
+    tf_join(&model, &mut batch, &mut live, 5, 11, 8);
+    while !live.is_empty() {
+        tf_step_round(&mut batch, &mut live, round);
+        round += 1;
+        live.retain(|s| {
+            if s.pos < s.feed.len() {
+                true
+            } else {
+                batch.retire(s.slot);
+                false
+            }
+        });
+    }
+    assert_eq!(batch.active(), 0);
+}
+
+#[test]
+fn gru_staggered_join_leave_reuses_slots_bit_identically() {
+    let model = GruSeq2Seq::new(GruConfig::small(64));
+    let mut batch = model.begin_batch_decode(2);
+    let mut live: Vec<GruSession<'_>> = Vec::new();
+    gru_join(&model, &mut batch, &mut live, 10, 12);
+    gru_join(&model, &mut batch, &mut live, 11, 4);
+    let mut round = 0usize;
+    for _ in 0..4 {
+        gru_step_round(&mut batch, &mut live, round);
+        round += 1;
+    }
+    let done = live
+        .iter()
+        .position(|s| s.pos >= s.feed.len())
+        .expect("short session finished");
+    let freed = live[done].slot;
+    live.remove(done);
+    batch.retire(freed);
+    gru_join(&model, &mut batch, &mut live, 12, 9);
+    assert!(live.iter().any(|s| s.slot == freed), "slot must be reused");
+    while !live.is_empty() {
+        gru_step_round(&mut batch, &mut live, round);
+        round += 1;
+        live.retain(|s| {
+            if s.pos < s.feed.len() {
+                true
+            } else {
+                batch.retire(s.slot);
+                false
+            }
+        });
+    }
+    assert_eq!(batch.active(), 0);
+}
+
+/// A one-token session (retired after a single step) shares a batch with a
+/// session stepped all the way to the model's max length; both stay
+/// bit-identical to their single-path mirrors.
+#[test]
+fn one_token_and_max_len_sessions_coexist() {
+    let cfg = TransformerConfig::tiny(16);
+    let max_len = cfg.max_len;
+    let model = Transformer::new(cfg);
+    let mut batch = model.begin_batch_decode(2);
+    let mut live: Vec<TfSession<'_>> = vec![
+        {
+            let src = tokens(50, 4, 2, 16);
+            TfSession {
+                slot: batch.join(&src).unwrap(),
+                mirror: model.begin_decode(&src),
+                // `greedy` feeds at most max_len - 1 tokens (the cap counts
+                // the BOS): run the long session to exactly that bound.
+                feed: tokens(51, max_len - 1, 2, 16),
+                pos: 0,
+            }
+        },
+        {
+            let src = tokens(52, 6, 2, 16);
+            TfSession {
+                slot: batch.join(&src).unwrap(),
+                mirror: model.begin_decode(&src),
+                feed: tokens(53, 1, 2, 16),
+                pos: 0,
+            }
+        },
+    ];
+    let mut round = 0usize;
+    while !live.is_empty() {
+        tf_step_round(&mut batch, &mut live, round);
+        round += 1;
+        live.retain(|s| {
+            if s.pos < s.feed.len() {
+                true
+            } else {
+                batch.retire(s.slot);
+                false
+            }
+        });
+    }
+    assert_eq!(round, max_len - 1, "long session ran to the length cap");
+}
+
+/// Drives greedy generation through a batch — argmax feedback, EOS and
+/// degenerate exits, length cap — and checks the token streams against the
+/// single-session `Seq2Seq::greedy` references.
+fn run_greedy_batch(
+    mut batch: Box<dyn BatchDecode + '_>,
+    srcs: &[Vec<usize>],
+    expect: &[Vec<usize>],
+    bos: usize,
+    eos: usize,
+    cap: usize,
+    label: &str,
+) {
+    // out[i] mirrors `greedy`'s running stream, BOS included.
+    let mut outs: Vec<Vec<usize>> = srcs.iter().map(|_| vec![bos]).collect();
+    let mut slots: Vec<Option<usize>> = srcs
+        .iter()
+        .map(|s| Some(batch.join(s).expect("capacity fits all")))
+        .collect();
+    while slots.iter().any(Option::is_some) {
+        let feeds: Vec<(usize, usize)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|slot| (slot, *outs[i].last().unwrap())))
+            .collect();
+        batch.step(&feeds);
+        for i in 0..srcs.len() {
+            let Some(slot) = slots[i] else { continue };
+            let next = argmax(batch.logits(slot)).unwrap_or(eos);
+            let done = if next == eos {
+                true
+            } else {
+                outs[i].push(next);
+                looks_degenerate(&outs[i]) || outs[i].len() >= cap
+            };
+            if done {
+                batch.retire(slot);
+                slots[i] = None;
+            }
+        }
+    }
+    for (i, out) in outs.iter_mut().enumerate() {
+        out.remove(0); // strip BOS, as `greedy` does
+        assert_eq!(
+            out, &expect[i],
+            "{label} greedy stream {i} diverged from the single path"
+        );
+    }
+}
+
+/// Greedy generation simulated through the batch produces exactly the token
+/// streams `Seq2Seq::greedy` produces one session at a time, for both
+/// model families.
+#[test]
+fn greedy_lockstep_matches_single_session_greedy() {
+    let (bos, eos) = (0usize, 1usize);
+    let srcs: Vec<Vec<usize>> = (0..4)
+        .map(|i| tokens(70 + i, 6 + i as usize, 2, 64))
+        .collect();
+
+    let mut tf = Transformer::new(TransformerConfig::small(64));
+    let expect: Vec<Vec<usize>> = srcs.iter().map(|s| tf.greedy(s, bos, eos, 96)).collect();
+    run_greedy_batch(
+        Box::new(tf.begin_batch_decode(srcs.len())),
+        &srcs,
+        &expect,
+        bos,
+        eos,
+        96,
+        "transformer",
+    );
+
+    let mut gru = GruSeq2Seq::new(GruConfig::small(64));
+    let expect: Vec<Vec<usize>> = srcs.iter().map(|s| gru.greedy(s, bos, eos, 96)).collect();
+    run_greedy_batch(
+        Box::new(gru.begin_batch_decode(srcs.len())),
+        &srcs,
+        &expect,
+        bos,
+        eos,
+        96,
+        "gru",
+    );
+}

@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! vega-loadgen --addr HOST:PORT [--requests N] [--conns C] [--distinct D]
-//!              [--deadline-ms MS]
+//!              [--deadline-ms MS] [--op generate|score] [--cands K] [--cand-len L]
 //!              [--verify-checkpoint PATH [--scale tiny|small] [--synthetic N] [--seed S]]
 //!              [--overload-burst B] [--shutdown]
 //! vega-loadgen --addr HOST:PORT --top TICKS [--top-interval-ms MS]
 //! ```
+//!
+//! `--op score` switches the workload from `generate` to `score` requests:
+//! each request carries `--cands` deterministic candidate token-id sequences
+//! of `--cand-len` tokens (a pure function of the pair index, so repeats are
+//! byte-checkable and `--verify-checkpoint` can recompute them locally).
+//! Scoring bypasses the server cache, so the cache check is skipped in this
+//! mode.
 //!
 //! Fires `--requests` generate requests over `--conns` connections, cycling
 //! through `--distinct` (target, group) pairs so repeats exercise the cache,
@@ -52,6 +59,34 @@ struct Args {
     shutdown: bool,
     top: usize,
     top_interval_ms: u64,
+    score: bool,
+    cands: usize,
+    cand_len: usize,
+}
+
+/// splitmix64 — the workspace's stock deterministic mixer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The candidate sequences for one pair index: a pure function of
+/// `(pair_ix, cands, cand_len)`, drawn from low token ids (4..20) that every
+/// vocabulary contains, so the server and a local verifier recompute the
+/// identical request without a side channel.
+fn score_candidates(pair_ix: usize, cands: usize, cand_len: usize) -> Vec<Vec<usize>> {
+    (0..cands)
+        .map(|c| {
+            (0..cand_len)
+                .map(|t| {
+                    4 + (splitmix((pair_ix as u64) << 32 | (c as u64) << 16 | t as u64) % 16)
+                        as usize
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Per-worker aggregation of the `timing`/`trace` response fields.
@@ -114,6 +149,9 @@ fn parse_args() -> Args {
         shutdown: false,
         top: 0,
         top_interval_ms: 500,
+        score: false,
+        cands: 4,
+        cand_len: 24,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -135,6 +173,18 @@ fn parse_args() -> Args {
             }
             "--synthetic" => args.synthetic = take(i).parse().ok(),
             "--seed" => args.seed = take(i).parse().unwrap_or(0),
+            "--op" => {
+                args.score = match take(i).as_str() {
+                    "score" => true,
+                    "generate" => false,
+                    other => {
+                        eprintln!("unknown op `{other}` (expected `generate` or `score`)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cands" => args.cands = take(i).parse().unwrap_or(4),
+            "--cand-len" => args.cand_len = take(i).parse().unwrap_or(24),
             "--overload-burst" => args.overload_burst = take(i).parse().unwrap_or(0),
             "--top" => args.top = take(i).parse().unwrap_or(0),
             "--top-interval-ms" => args.top_interval_ms = take(i).parse().unwrap_or(500),
@@ -236,13 +286,23 @@ fn run_top(addr: &str, ticks: usize, interval_ms: u64, retry: &RetryPolicy) -> b
         };
         println!(
             "vega-top: rps={rps:.1} tokens/s={tps:.1} cache_hit={:.1}% \
-             p50={:.1}ms p99={:.1}ms inflight={:.0} queued={:.0} shed={:.0}",
+             p50={:.1}ms p99={:.1}ms inflight={:.0} queued={:.0} shed={:.0} \
+             batch_active={:.0} batch_occ={:.1}",
             hit_ratio * 100.0,
             hist_q("serve.request_seconds", "p50") * 1e3,
             hist_q("serve.request_seconds", "p99") * 1e3,
             gauge("serve.inflight"),
             gauge("serve.queue_depth"),
             counter("serve.shed"),
+            gauge("serve.batch.active"),
+            {
+                let occ = hist_q("serve.batch.occupancy", "mean");
+                if occ.is_nan() {
+                    0.0
+                } else {
+                    occ
+                }
+            },
         );
         prev = Some((now, requests, tokens));
         if tick + 1 < ticks {
@@ -252,16 +312,17 @@ fn run_top(addr: &str, ticks: usize, interval_ms: u64, retry: &RetryPolicy) -> b
     true
 }
 
-/// The canonical bytes of a generate response's `result` field.
-fn result_bytes(response: &Json) -> Result<String, String> {
+/// The canonical bytes of a generate response's `result` field (or a score
+/// response's `scores` field).
+fn result_bytes(response: &Json, field: &str) -> Result<String, String> {
     match response.field("ok") {
         Ok(Json::Bool(true)) => {}
         _ => return Err(format!("server returned an error: {}", response.render())),
     }
     response
-        .field("result")
+        .field(field)
         .map(Json::render)
-        .map_err(|e| format!("response has no result field: {e}"))
+        .map_err(|e| format!("response has no {field} field: {e}"))
 }
 
 fn main() {
@@ -330,6 +391,7 @@ fn main() {
             let addr = args.addr.clone();
             let pairs = pairs.clone();
             let deadline = args.deadline_ms;
+            let (score, n_cands, cand_len) = (args.score, args.cands, args.cand_len);
             let retry = RetryPolicy {
                 seed: c as u64,
                 ..RetryPolicy::default()
@@ -350,10 +412,20 @@ fn main() {
                     let (target, group) = &pairs[pair_ix];
                     let expected_trace = expect.mint().render();
                     let q0 = Instant::now();
-                    let resp = client
-                        .generate_with_retry(target, group, deadline, &retry)
-                        .map_err(|e| format!("request: {e}"))?;
-                    let bytes = result_bytes(&resp)?;
+                    let (resp, field) = if score {
+                        let cands = score_candidates(pair_ix, n_cands, cand_len);
+                        (
+                            client.score_with_retry(target, group, &cands, deadline, &retry),
+                            "scores",
+                        )
+                    } else {
+                        (
+                            client.generate_with_retry(target, group, deadline, &retry),
+                            "result",
+                        )
+                    };
+                    let resp = resp.map_err(|e| format!("request: {e}"))?;
+                    let bytes = result_bytes(&resp, field)?;
                     tally.absorb(&resp, &expected_trace);
                     out.push((pair_ix, q0.elapsed(), bytes));
                 }
@@ -405,6 +477,45 @@ fn main() {
         timing.cache_miss,
         timing.coalesced,
     );
+    // Continuous-batching statistics (all zeros under the replica engine):
+    // mean/p99 batch occupancy per decode step and the queue-join wait a
+    // request saw before its session got a slot.
+    match control.op_with_retry("metrics", &retry) {
+        Ok(m) => {
+            let counter = |name: &str| -> u64 {
+                m.field("metrics")
+                    .and_then(|v| v.field("counters"))
+                    .and_then(|c| c.field(name))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            let hist_q = |name: &str, q: &str| -> f64 {
+                m.field("metrics")
+                    .and_then(|v| v.field("hists"))
+                    .and_then(|h| h.field(name))
+                    .and_then(|h| h.field(q))
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            };
+            println!(
+                "loadgen: batch steps={} joins={} replays={} \
+                 occupancy_mean={:.2} occupancy_p99={:.1} \
+                 join_wait_mean_ms={:.2} join_wait_p99_ms={:.2}",
+                counter("serve.batch.steps"),
+                counter("serve.batch.joins"),
+                counter("serve.batch.replays"),
+                hist_q("serve.batch.occupancy", "mean"),
+                hist_q("serve.batch.occupancy", "p99"),
+                hist_q("serve.batch.join_wait_ms", "mean"),
+                hist_q("serve.batch.join_wait_ms", "p99"),
+            );
+        }
+        Err(e) => {
+            println!("loadgen: batch=FAIL (metrics op: {e})");
+            failed = true;
+        }
+    }
+
     // Every response must echo the trace id the worker minted for it.
     if timing.trace_bad == 0 && timing.trace_ok == latencies.len() as u64 {
         println!(
@@ -447,12 +558,35 @@ fn main() {
             Ok(engine) => {
                 for (pair_ix, renders) in &by_pair {
                     let (t, g) = &pairs[*pair_ix];
-                    let expect = match engine.generate(t, g) {
-                        Ok((module, gf)) => protocol::render_generated(t, g, module, &gf).render(),
-                        Err(e) => {
-                            println!("loadgen: verify=FAIL (local generate {t}/{g}: {})", e.msg);
-                            mismatches += 1;
-                            continue;
+                    let expect = if args.score {
+                        // Recompute the worker's candidates (same pure
+                        // function of the pair index) and score them on a
+                        // backend-free local replica.
+                        let cands = score_candidates(*pair_ix, args.cands, args.cand_len);
+                        let mut replica = engine.replica();
+                        match engine.try_score_with(&mut replica, t, g, &cands, None) {
+                            Ok(scores) => {
+                                Json::Arr(scores.into_iter().map(Json::num_f32).collect()).render()
+                            }
+                            Err(e) => {
+                                println!("loadgen: verify=FAIL (local score {t}/{g}: {})", e.msg);
+                                mismatches += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        match engine.generate(t, g) {
+                            Ok((module, gf)) => {
+                                protocol::render_generated(t, g, module, &gf).render()
+                            }
+                            Err(e) => {
+                                println!(
+                                    "loadgen: verify=FAIL (local generate {t}/{g}: {})",
+                                    e.msg
+                                );
+                                mismatches += 1;
+                                continue;
+                            }
                         }
                     };
                     if renders.iter().any(|r| r != &expect) {
@@ -500,7 +634,10 @@ fn main() {
                 get("shed"),
                 get("generated"),
             );
-            if args.requests > pairs.len() && hits == 0 {
+            if args.score {
+                // Scoring bypasses the cache by design; nothing to check.
+                println!("loadgen: cache=skipped (score workload is uncached)");
+            } else if args.requests > pairs.len() && hits == 0 {
                 println!("loadgen: cache=FAIL (repeats sent but zero cache hits)");
                 failed = true;
             } else {

@@ -4,6 +4,7 @@
 //! vega-serve --checkpoint PATH [--scale tiny|small] [--synthetic N] [--seed S]
 //!            [--addr HOST:PORT] [--port-file PATH]
 //!            [--cache-cap N] [--queue-cap N] [--batch N] [--threads N]
+//!            [--engine replica|batch] [--batch-slots N] [--prefault 0|1]
 //!            [--deadline-ms MS] [--slow-ms MS] [--trace-out PATH]
 //!            [--flight-cap N]
 //! ```
@@ -19,7 +20,7 @@
 
 use std::path::PathBuf;
 use vega::{Scale, VegaConfig};
-use vega_serve::{load_checkpoint, ServeConfig, Server};
+use vega_serve::{load_checkpoint_prefault, ServeConfig, Server};
 
 struct Args {
     checkpoint: PathBuf,
@@ -69,6 +70,17 @@ fn parse_args() -> Args {
             "--cache-cap" => args.serve.cache_cap = take(i).parse().unwrap_or(512),
             "--queue-cap" => args.serve.queue_cap = take(i).parse().unwrap_or(64),
             "--batch" => args.serve.batch = take(i).parse().unwrap_or(0),
+            "--engine" => {
+                args.serve.engine = match vega_serve::EngineMode::parse(&take(i)) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        vega_obs::error!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--batch-slots" => args.serve.batch_slots = take(i).parse().unwrap_or(0),
+            "--prefault" => args.serve.prefault = matches!(take(i).as_str(), "1" | "true" | "on"),
             "--threads" => args.threads = take(i).parse().ok(),
             "--deadline-ms" => args.deadline_ms = take(i).parse().ok(),
             "--slow-ms" => args.serve.slow_ms = take(i).parse().unwrap_or(0),
@@ -114,7 +126,7 @@ fn main() {
         args.serve.default_deadline_ms = d;
     }
 
-    let checkpoint = match load_checkpoint(&args.checkpoint) {
+    let checkpoint = match load_checkpoint_prefault(&args.checkpoint, args.serve.prefault) {
         Ok(c) => c,
         Err(e) => {
             vega_obs::error!("{e}");

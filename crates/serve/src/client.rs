@@ -262,6 +262,50 @@ impl Client {
         self.request_with_retry(&generate_request(target, group, deadline_ms, trace), policy)
     }
 
+    /// Convenience: a `score` request (traced when [`Client::set_tracer`]
+    /// was called) — ranks candidate token-id sequences against one
+    /// `(target, group)` signature; the response's `scores` array holds one
+    /// logprob per candidate, in order.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn score(
+        &mut self,
+        target: &str,
+        group: &str,
+        candidates: &[Vec<usize>],
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Json> {
+        let trace = self.mint_trace();
+        self.request(&score_request(
+            target,
+            group,
+            candidates,
+            deadline_ms,
+            trace,
+        ))
+    }
+
+    /// [`Client::score`] with transport retry. Safe to resend: scoring is a
+    /// pure function of the request and the serving model.
+    ///
+    /// # Errors
+    /// See [`Client::request_with_retry`].
+    pub fn score_with_retry(
+        &mut self,
+        target: &str,
+        group: &str,
+        candidates: &[Vec<usize>],
+        deadline_ms: Option<u64>,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Json> {
+        let trace = self.mint_trace();
+        self.request_with_retry(
+            &score_request(target, group, candidates, deadline_ms, trace),
+            policy,
+        )
+    }
+
     /// Convenience: a `swap` request — hot-reload the serving model from the
     /// checkpoint at `path` (a path on the *server's* filesystem).
     ///
@@ -308,6 +352,32 @@ fn generate_request(
         ("op", Json::str("generate")),
         ("target", Json::str(target)),
         ("group", Json::str(group)),
+    ];
+    if let Some(d) = deadline_ms {
+        fields.push(("deadline_ms", Json::num_u64(d)));
+    }
+    if let Some(t) = trace {
+        fields.push(("trace", Json::str(t.render())));
+    }
+    Json::obj(fields)
+}
+
+fn score_request(
+    target: &str,
+    group: &str,
+    candidates: &[Vec<usize>],
+    deadline_ms: Option<u64>,
+    trace: Option<TraceCtx>,
+) -> Json {
+    let cands = candidates
+        .iter()
+        .map(|c| Json::Arr(c.iter().map(|&id| Json::num_usize(id)).collect()))
+        .collect();
+    let mut fields = vec![
+        ("op", Json::str("score")),
+        ("target", Json::str(target)),
+        ("group", Json::str(group)),
+        ("candidates", Json::Arr(cands)),
     ];
     if let Some(d) = deadline_ms {
         fields.push(("deadline_ms", Json::num_u64(d)));

@@ -11,9 +11,10 @@
 use crate::hash::StableHasher;
 use crate::protocol::ErrorKind;
 use std::collections::BTreeMap;
-use vega::{generate_function, signature_feature_input, GeneratedFunction, TgtIndex, Vega};
+use std::time::Instant;
+use vega::{signature_feature_input, try_generate_function, GeneratedFunction, TgtIndex, Vega};
 use vega_corpus::Module;
-use vega_model::CodeBe;
+use vega_model::{CodeBe, DecodeAbort};
 
 /// A serving-layer failure with its protocol error kind.
 #[derive(Debug, Clone)]
@@ -23,6 +24,20 @@ pub struct EngineError {
     /// Human-readable description (names the unknown target/group and lists
     /// what exists).
     pub msg: String,
+}
+
+/// Maps a decode-backend abort to its protocol error.
+fn abort_error(abort: DecodeAbort) -> EngineError {
+    match abort {
+        DecodeAbort::Expired => EngineError {
+            kind: ErrorKind::DeadlineExceeded,
+            msg: "deadline elapsed mid-generation at a token boundary".into(),
+        },
+        DecodeAbort::Broken(msg) => EngineError {
+            kind: ErrorKind::Internal,
+            msg: format!("decode backend failed: {msg}"),
+        },
+    }
 }
 
 /// Per-target serving state.
@@ -176,9 +191,30 @@ impl Engine {
         target: &str,
         group: &str,
     ) -> Result<(Module, GeneratedFunction), EngineError> {
+        self.try_generate_with(model, target, group, None)
+    }
+
+    /// Generates one function on the given model replica, honoring
+    /// `deadline` at token boundaries when the replica routes decode through
+    /// a batching backend. Without a backend the deadline is ignored and
+    /// generation runs to completion (replica mode enforces deadlines before
+    /// dispatch instead).
+    ///
+    /// # Errors
+    /// [`ErrorKind::UnknownTarget`] / [`ErrorKind::UnknownGroup`] as in
+    /// [`Engine::generate_with`]; [`ErrorKind::DeadlineExceeded`] when the
+    /// backend aborted at the deadline; [`ErrorKind::Internal`] when the
+    /// backend itself failed.
+    pub fn try_generate_with(
+        &self,
+        model: &mut CodeBe,
+        target: &str,
+        group: &str,
+        deadline: Option<Instant>,
+    ) -> Result<(Module, GeneratedFunction), EngineError> {
         let ctx = self.target_ctx(target)?;
         let bundle = self.bundle(group)?;
-        let gf = generate_function(
+        let gf = try_generate_function(
             model,
             target,
             &bundle.template,
@@ -186,8 +222,104 @@ impl Engine {
             &ctx.ix,
             &self.vega.catalog,
             self.vega.max_input_len(),
-        );
+            deadline,
+        )
+        .map_err(abort_error)?;
         Ok((bundle.module, gf))
+    }
+
+    /// Scores candidate token-id sequences for one `(target, group)`
+    /// signature: the model's log-probability of emitting each candidate
+    /// given the exact signature feature vector generation would decode
+    /// from (the same frame the cache key covers). Returns one logprob per
+    /// candidate, in order.
+    ///
+    /// When the replica routes decode through a batching backend, all
+    /// candidates are scored **concurrently** — each joins the running
+    /// batch at a token boundary, so one request's candidates amortize
+    /// weight reads against each other and against other requests. Without
+    /// a backend, candidates are scored sequentially on the replica with a
+    /// deadline check between candidates (matching replica-mode generate,
+    /// which enforces deadlines at dispatch boundaries).
+    ///
+    /// # Errors
+    /// [`ErrorKind::UnknownTarget`] / [`ErrorKind::UnknownGroup`] as in
+    /// [`Engine::generate_with`]; [`ErrorKind::BadRequest`] for an empty,
+    /// over-long, or out-of-vocabulary candidate;
+    /// [`ErrorKind::DeadlineExceeded`] / [`ErrorKind::Internal`] as in
+    /// [`Engine::try_generate_with`].
+    pub fn try_score_with(
+        &self,
+        model: &mut CodeBe,
+        target: &str,
+        group: &str,
+        candidates: &[Vec<usize>],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<f32>, EngineError> {
+        let ctx = self.target_ctx(target)?;
+        let bundle = self.bundle(group)?;
+        let vocab_len = self.vega.model().vocab.len();
+        let max_out = self.vega.model().max_len().saturating_sub(2);
+        for (i, cand) in candidates.iter().enumerate() {
+            if cand.is_empty() || cand.len() > max_out {
+                return Err(EngineError {
+                    kind: ErrorKind::BadRequest,
+                    msg: format!(
+                        "candidate {i}: length must be 1..={max_out} tokens, got {}",
+                        cand.len()
+                    ),
+                });
+            }
+            if let Some(&id) = cand.iter().find(|&&id| id >= vocab_len) {
+                return Err(EngineError {
+                    kind: ErrorKind::BadRequest,
+                    msg: format!(
+                        "candidate {i}: token id {id} out of vocabulary (size {vocab_len})"
+                    ),
+                });
+            }
+        }
+        let sig_input = signature_feature_input(
+            &self.vega.model().vocab,
+            target,
+            &bundle.template,
+            &bundle.features,
+            &ctx.ix,
+            &self.vega.catalog,
+            self.vega.max_input_len(),
+        );
+        if let Some(handle) = model.backend_handle() {
+            std::thread::scope(|scope| {
+                let joins: Vec<_> = candidates
+                    .iter()
+                    .map(|cand| {
+                        let handle = handle.clone();
+                        let sig = &sig_input;
+                        scope.spawn(move || handle.backend().sequence_logprob(sig, cand, deadline))
+                    })
+                    .collect();
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("score worker panicked"))
+                    .collect::<Result<Vec<f32>, DecodeAbort>>()
+            })
+            .map_err(abort_error)
+        } else {
+            let mut scores = Vec::with_capacity(candidates.len());
+            for cand in candidates {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(abort_error(DecodeAbort::Expired));
+                    }
+                }
+                scores.push(
+                    model
+                        .try_sequence_logprob(&sig_input, cand, deadline)
+                        .map_err(abort_error)?,
+                );
+            }
+            Ok(scores)
+        }
     }
 
     /// Generates one function on a one-off replica (the reference path the

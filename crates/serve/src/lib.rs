@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batcher;
 pub mod client;
 pub mod engine;
 pub mod hash;
@@ -44,5 +45,7 @@ pub use client::{Client, RetryPolicy};
 pub use engine::{Engine, EngineError};
 pub use lru::LruCache;
 pub use protocol::{ErrorKind, Request};
-pub use registry::{load_checkpoint, Checkpoint, CheckpointMeta, RegistryError};
-pub use server::{ServeConfig, ServeStats, Server};
+pub use registry::{
+    load_checkpoint, load_checkpoint_prefault, Checkpoint, CheckpointMeta, RegistryError,
+};
+pub use server::{EngineMode, ServeConfig, ServeStats, Server};

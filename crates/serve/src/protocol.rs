@@ -9,6 +9,7 @@
 //! ```text
 //! {"id":1,"op":"generate","target":"RISCV","group":"getRelocType","deadline_ms":2000}
 //! {"id":2,"op":"backend","target":"RI5CY"}
+//! {"id":4,"op":"score","target":"RISCV","group":"getRelocType","candidates":[[5,9,2],[5,7]]}
 //! {"op":"targets"}   {"op":"groups"}   {"op":"stats"}   {"op":"ping"}
 //! {"op":"metrics"}   {"op":"flightdump"}   {"op":"shutdown"}
 //! {"id":3,"op":"swap","path":"/path/to/model.ckpt"}
@@ -19,7 +20,16 @@
 //! requests already in flight finish on the model they were submitted
 //! against. A failed swap (`swap_failed`) leaves the old model serving.
 //!
-//! `generate` and `backend` additionally accept an optional `trace` field —
+//! `score` ranks caller-supplied candidate token-id sequences against one
+//! `(target, group)` signature: the response's `scores` array holds the
+//! model's log-probability of emitting each candidate from the exact
+//! signature frame generation would decode from, in candidate order. At most
+//! [`MAX_SCORE_CANDIDATES`] candidates per request, each a non-empty array
+//! of token ids. Under the batch engine all of a request's candidates join
+//! the running decode batch concurrently, so scoring is where continuous
+//! batching pays off hardest.
+//!
+//! `generate`, `backend`, and `score` additionally accept an optional `trace` field —
 //! a [`vega_obs::TraceCtx`] in its `render` form
 //! (`<32 hex trace id>/<16 hex span id>`). The server re-establishes the
 //! caller's trace context around everything it does for the request
@@ -69,6 +79,19 @@ pub enum Request {
         /// Caller trace context to adopt (malformed values parse to `None`).
         trace: Option<TraceCtx>,
     },
+    /// Score candidate token-id sequences against a target/group signature.
+    Score {
+        /// Target namespace.
+        target: String,
+        /// Interface-function group.
+        group: String,
+        /// Candidate output sequences, each a non-empty list of token ids.
+        candidates: Vec<Vec<usize>>,
+        /// Per-request deadline; the server default applies when absent.
+        deadline_ms: Option<u64>,
+        /// Caller trace context to adopt (malformed values parse to `None`).
+        trace: Option<TraceCtx>,
+    },
     /// List the servable targets.
     Targets,
     /// List the interface-function groups.
@@ -89,6 +112,11 @@ pub enum Request {
     /// Begin graceful shutdown.
     Shutdown,
 }
+
+/// The most candidates one `score` request may carry. Caps the fan-out a
+/// single connection can force on the decode broker (each candidate holds a
+/// batch slot for its whole forced decode).
+pub const MAX_SCORE_CANDIDATES: usize = 16;
 
 /// Machine-readable error kinds (`error` field of failure responses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +194,53 @@ pub fn parse_request(line: &str) -> Result<(Json, Request), (Json, String)> {
             deadline_ms: deadline,
             trace,
         },
+        "score" => {
+            let outer = v
+                .field("candidates")
+                .and_then(|c| c.as_array())
+                .map_err(|_| {
+                    (
+                        id.clone(),
+                        "op `score` needs array field `candidates`".to_string(),
+                    )
+                })?;
+            if outer.is_empty() || outer.len() > MAX_SCORE_CANDIDATES {
+                return Err((
+                    id,
+                    format!(
+                        "op `score` takes 1..={MAX_SCORE_CANDIDATES} candidates, got {}",
+                        outer.len()
+                    ),
+                ));
+            }
+            let mut candidates = Vec::with_capacity(outer.len());
+            for (i, cand) in outer.iter().enumerate() {
+                let ids = cand
+                    .as_array()
+                    .and_then(|a| {
+                        a.iter()
+                            .map(|t| t.as_usize())
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .map_err(|_| {
+                        (
+                            id.clone(),
+                            format!("candidate {i} must be an array of token ids"),
+                        )
+                    })?;
+                if ids.is_empty() {
+                    return Err((id, format!("candidate {i} is empty")));
+                }
+                candidates.push(ids);
+            }
+            Request::Score {
+                target: str_field("target")?,
+                group: str_field("group")?,
+                candidates,
+                deadline_ms: deadline,
+                trace,
+            }
+        }
         "targets" => Request::Targets,
         "groups" => Request::Groups,
         "stats" => Request::Stats,
@@ -298,6 +373,45 @@ mod tests {
             Request::Generate { trace, .. } => assert_eq!(trace, None),
             other => panic!("parsed {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_score_and_rejects_malformed_candidates() {
+        let (id, req) = parse_request(
+            r#"{"id":9,"op":"score","target":"RISCV","group":"getRelocType","candidates":[[5,9,2],[5,7]]}"#,
+        )
+        .unwrap();
+        assert_eq!(id, Json::Num("9".into()));
+        assert_eq!(
+            req,
+            Request::Score {
+                target: "RISCV".into(),
+                group: "getRelocType".into(),
+                candidates: vec![vec![5, 9, 2], vec![5, 7]],
+                deadline_ms: None,
+                trace: None,
+            }
+        );
+        // Missing / empty / oversized candidate lists fail to parse.
+        let (_, msg) = parse_request(r#"{"op":"score","target":"T","group":"G"}"#).unwrap_err();
+        assert!(msg.contains("candidates"), "{msg}");
+        let (_, msg) = parse_request(r#"{"op":"score","target":"T","group":"G","candidates":[]}"#)
+            .unwrap_err();
+        assert!(msg.contains("1..="), "{msg}");
+        let (_, msg) =
+            parse_request(r#"{"op":"score","target":"T","group":"G","candidates":[[1],[]]}"#)
+                .unwrap_err();
+        assert!(msg.contains("candidate 1 is empty"), "{msg}");
+        let (_, msg) =
+            parse_request(r#"{"op":"score","target":"T","group":"G","candidates":[[1],"x"]}"#)
+                .unwrap_err();
+        assert!(msg.contains("array of token ids"), "{msg}");
+        let too_many = format!(
+            r#"{{"op":"score","target":"T","group":"G","candidates":[{}]}}"#,
+            vec!["[1]"; MAX_SCORE_CANDIDATES + 1].join(",")
+        );
+        let (_, msg) = parse_request(&too_many).unwrap_err();
+        assert!(msg.contains("1..="), "{msg}");
     }
 
     #[test]

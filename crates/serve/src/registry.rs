@@ -65,12 +65,23 @@ pub struct Checkpoint {
 /// [`RegistryError`] naming the path and the named [`vega_model::CkptError`]
 /// when the file cannot be read, fails its digest, or does not parse.
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, RegistryError> {
+    load_checkpoint_prefault(path, false)
+}
+
+/// As [`load_checkpoint`], optionally prefaulting the checkpoint region
+/// (`MADV_WILLNEED` + a page-walk touch) so mapped weights are resident
+/// before the first request instead of being demand-paged mid-generation.
+///
+/// # Errors
+/// See [`load_checkpoint`].
+pub fn load_checkpoint_prefault(path: &Path, prefault: bool) -> Result<Checkpoint, RegistryError> {
     let bytes = std::fs::metadata(path)
         .map(|m| m.len() as usize)
         .unwrap_or(0);
-    let (model, format) = CodeBe::load_file_detect(path).map_err(|e| RegistryError {
-        msg: format!("{}: {e}", path.display()),
-    })?;
+    let (model, format) =
+        CodeBe::load_file_detect_opts(path, prefault).map_err(|e| RegistryError {
+            msg: format!("{}: {e}", path.display()),
+        })?;
     Ok(Checkpoint {
         meta: CheckpointMeta {
             path: path.to_path_buf(),

@@ -32,6 +32,45 @@ use vega_model::CodeBe;
 use vega_obs::json::Json;
 use vega_obs::TraceCtx;
 
+/// How the dispatcher turns queued jobs into decoded tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Replica fanout: micro-batches of jobs fan across a pool of model
+    /// replicas via `vega-par`; every job pays a full weight traversal.
+    #[default]
+    Replica,
+    /// Continuous batching: persistent workers route every decode call to
+    /// a single broker that steps all in-flight generations in lockstep
+    /// through shared weights (see the [`crate::batcher`] module docs).
+    /// Outputs are bit-identical to replica mode.
+    Batch,
+}
+
+impl EngineMode {
+    /// Stable lowercase name, as reported by the `stats` op and accepted by
+    /// the daemon's `--engine` flag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineMode::Replica => "replica",
+            EngineMode::Batch => "batch",
+        }
+    }
+
+    /// Parses a mode name.
+    ///
+    /// # Errors
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<EngineMode, String> {
+        match s {
+            "replica" => Ok(EngineMode::Replica),
+            "batch" => Ok(EngineMode::Batch),
+            other => Err(format!(
+                "unknown engine mode `{other}` (expected `replica` or `batch`)"
+            )),
+        }
+    }
+}
+
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -58,6 +97,18 @@ pub struct ServeConfig {
     /// embedded servers in tests don't clobber each other's recorders. The
     /// `vega-serve` daemon enables it (default 256, `--flight-cap`).
     pub flight_cap: usize,
+    /// Dispatch strategy (replica fanout vs continuous batching).
+    pub engine: EngineMode,
+    /// Continuous-batching broker capacity in lockstep slots (0 →
+    /// `max(batch, 8)`); ignored by the replica engine. Slots beyond the
+    /// pool size are what let a `score` request fan all its candidates into
+    /// the running batch at once instead of one-per-dispatch-worker.
+    pub batch_slots: usize,
+    /// Warm-touch (`madvise` + page-touch) checkpoint mappings on swap, so
+    /// the first post-swap generations don't pay major-fault latency. Only
+    /// affects v2 binary checkpoints loaded through the `swap` op; the
+    /// daemon's initial load has its own `--prefault` flag.
+    pub prefault: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +122,9 @@ impl Default for ServeConfig {
             slow_ms: 0,
             conn_idle_timeout_ms: 300_000,
             flight_cap: 0,
+            engine: EngineMode::Replica,
+            batch_slots: 0,
+            prefault: false,
         }
     }
 }
@@ -124,6 +178,7 @@ struct State {
     shed: u64,
     deadline_exceeded: u64,
     generated: u64,
+    score_requests: u64,
 }
 
 /// A point-in-time statistics snapshot (also the `stats` op payload).
@@ -147,6 +202,8 @@ pub struct ServeStats {
     pub deadline_exceeded: u64,
     /// Fresh (non-cached) generations performed.
     pub generated: u64,
+    /// `score` requests handled (they bypass cache, coalescing, and queue).
+    pub score_requests: u64,
     /// Jobs currently queued.
     pub queue_depth: u64,
     /// Tokens emitted by the incremental greedy decoder (process-wide
@@ -166,6 +223,19 @@ pub struct ServeStats {
     pub decode_step_p90: f64,
     /// p99 of the `decode.step_seconds` obs histogram (NaN when empty).
     pub decode_step_p99: f64,
+    /// Dispatch strategy of the live model set (`"replica"` or `"batch"`).
+    pub engine: &'static str,
+    /// Heap bytes each replica of the live set owns privately (weights not
+    /// borrowed from a shared checkpoint mapping). Zero after a v2 mmap
+    /// load — the ROADMAP's resident-bytes-per-replica telemetry.
+    pub resident_bytes_per_replica: u64,
+    /// Lockstep passes the continuous-batching broker has run (0 in
+    /// replica mode).
+    pub batch_steps: u64,
+    /// Sessions that joined the running batch (0 in replica mode).
+    pub batch_joins: u64,
+    /// Chaos-killed batch slots replayed from scratch (0 without faults).
+    pub batch_replays: u64,
 }
 
 impl ServeStats {
@@ -181,6 +251,7 @@ impl ServeStats {
             ("shed", Json::num_u64(self.shed)),
             ("deadline_exceeded", Json::num_u64(self.deadline_exceeded)),
             ("generated", Json::num_u64(self.generated)),
+            ("score_requests", Json::num_u64(self.score_requests)),
             ("queue_depth", Json::num_u64(self.queue_depth)),
             ("decode_tokens", Json::num_u64(self.decode_tokens)),
             (
@@ -191,6 +262,14 @@ impl ServeStats {
             ("decode_step_p50", Json::num_f64(self.decode_step_p50)),
             ("decode_step_p90", Json::num_f64(self.decode_step_p90)),
             ("decode_step_p99", Json::num_f64(self.decode_step_p99)),
+            ("engine", Json::str(self.engine)),
+            (
+                "resident_bytes_per_replica",
+                Json::num_u64(self.resident_bytes_per_replica),
+            ),
+            ("batch_steps", Json::num_u64(self.batch_steps)),
+            ("batch_joins", Json::num_u64(self.batch_joins)),
+            ("batch_replays", Json::num_u64(self.batch_replays)),
         ])
     }
 }
@@ -199,15 +278,61 @@ impl ServeStats {
 /// engine's weights (checkpoint mapping or heap) — spawning one copies
 /// tensor descriptors, not weight data — so a pool costs O(pool size), not
 /// O(pool size × model size).
+///
+/// In [`EngineMode::Batch`] the set also owns a continuous-batching broker;
+/// every pool replica carries a backend handle routing its decode calls to
+/// it. Field order matters for `Drop`: `replicas` (holding backend senders)
+/// must drop before `batcher` (whose drop joins the broker, which exits
+/// only once every sender is gone).
 struct ModelSet {
     engine: Engine,
+    mode: EngineMode,
+    /// Heap bytes a single replica owns privately (tensor data not borrowed
+    /// from a shared checkpoint mapping) — `owned_scalars × 4`. Zero right
+    /// after a v2 mmap load: replicas then cost descriptors only.
+    resident_bytes_per_replica: u64,
     replicas: Vec<Mutex<CodeBe>>,
+    /// The continuous-batching broker. `score` requests read it to route a
+    /// fresh replica's decode calls through it; its `Drop` joins the broker
+    /// thread.
+    batcher: Option<crate::batcher::BatcherHandle>,
 }
 
 impl ModelSet {
-    fn new(engine: Engine, pool: usize) -> Self {
-        let replicas = (0..pool).map(|_| Mutex::new(engine.replica())).collect();
-        ModelSet { engine, replicas }
+    fn new(engine: Engine, pool: usize, mode: EngineMode, batch_slots: usize) -> Self {
+        let mut replicas: Vec<Mutex<CodeBe>> =
+            (0..pool).map(|_| Mutex::new(engine.replica())).collect();
+        let resident_bytes_per_replica = replicas
+            .first()
+            .map_or(0, |r| r.lock().unwrap().owned_scalars() as u64 * 4);
+        let batcher = match mode {
+            EngineMode::Replica => None,
+            EngineMode::Batch => {
+                // The broker decodes on its own backend-free replica; the
+                // pool replicas forward to it. Capacity covers at least the
+                // pool (each dispatch worker has at most one decode call in
+                // flight) plus headroom for `score` candidate fan-out.
+                let slots = if batch_slots == 0 {
+                    pool.max(8)
+                } else {
+                    batch_slots
+                };
+                let handle = crate::batcher::BatcherHandle::spawn(engine.replica(), slots);
+                for r in &mut replicas {
+                    r.get_mut()
+                        .unwrap()
+                        .set_decode_backend(Some(handle.backend()));
+                }
+                Some(handle)
+            }
+        };
+        ModelSet {
+            engine,
+            mode,
+            resident_bytes_per_replica,
+            replicas,
+            batcher,
+        }
     }
 }
 
@@ -254,7 +379,12 @@ impl Server {
         }
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let model_set = Arc::new(ModelSet::new(engine, cfg.batch));
+        let model_set = Arc::new(ModelSet::new(
+            engine,
+            cfg.batch,
+            cfg.engine,
+            cfg.batch_slots,
+        ));
         let cache = LruCache::new(cfg.cache_cap);
         let shared = Arc::new(Shared {
             cfg,
@@ -268,6 +398,7 @@ impl Server {
                 shed: 0,
                 deadline_exceeded: 0,
                 generated: 0,
+                score_requests: 0,
             }),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -336,6 +467,7 @@ fn snapshot(shared: &Shared) -> ServeStats {
     let obs = vega_obs::global();
     let step_hist = obs.histogram("decode.step_seconds");
     let step_q = |q: f64| step_hist.as_ref().map_or(f64::NAN, |h| h.quantile(q));
+    let set = models(shared);
     let st = shared.state.lock().unwrap();
     let (hits, misses) = (st.cache.hits(), st.cache.misses());
     ServeStats {
@@ -348,6 +480,7 @@ fn snapshot(shared: &Shared) -> ServeStats {
         shed: st.shed,
         deadline_exceeded: st.deadline_exceeded,
         generated: st.generated,
+        score_requests: st.score_requests,
         queue_depth: st.queue.len() as u64,
         decode_tokens: obs.counter("decode.tokens"),
         decode_scored_tokens: obs.counter("decode.scored_tokens"),
@@ -359,6 +492,11 @@ fn snapshot(shared: &Shared) -> ServeStats {
         decode_step_p50: step_q(0.5),
         decode_step_p90: step_q(0.9),
         decode_step_p99: step_q(0.99),
+        engine: set.mode.as_str(),
+        resident_bytes_per_replica: set.resident_bytes_per_replica,
+        batch_steps: obs.counter("serve.batch.steps"),
+        batch_joins: obs.counter("serve.batch.joins"),
+        batch_replays: obs.counter("serve.batch.replays"),
     }
 }
 
@@ -532,12 +670,30 @@ fn handle_line(shared: &Shared, line: &str) -> String {
             deadline_ms,
             trace,
         } => handle_backend(shared, &id, &target, deadline_ms, trace),
+        Request::Score {
+            target,
+            group,
+            candidates,
+            deadline_ms,
+            trace,
+        } => handle_score(
+            shared,
+            &id,
+            &target,
+            &group,
+            &candidates,
+            deadline_ms,
+            trace,
+        ),
     }
 }
 
-/// The `timing` breakdown of a generate response. `cache` is `"hit"`,
-/// `"miss"`, or `"coalesced"`; `queue_ms`/`decode_ms`/`tokens` describe the
-/// generation that produced the payload (zero for cache hits).
+/// The `timing` breakdown of a generate or score response. `cache` is
+/// `"hit"`, `"miss"`, or `"coalesced"` (`"none"` for score, which bypasses
+/// the cache); `queue_ms`/`decode_ms`/`tokens` describe the work that
+/// produced the payload (zero for cache hits; for score, `tokens` is the
+/// summed candidate length and `decode_ms` the wall time of the scoring
+/// call).
 fn timing_json(queue_ms: u64, cache: &str, decode_ms: f64, tokens: u64) -> Json {
     Json::obj([
         ("queue_ms", Json::num_u64(queue_ms)),
@@ -717,6 +873,91 @@ fn handle_backend(
     response
 }
 
+/// Handles the `score` op: ranks candidate token-id sequences against one
+/// `(target, group)` signature. Scoring bypasses the cache, coalescing, and
+/// the job queue — the response is a pure function of the request, there is
+/// nothing to coalesce, and the work runs right here on the connection
+/// thread against a fresh replica of the pinned model set (replicas share
+/// weights, so the clone copies tensor descriptors, not weight data).
+///
+/// Under the batch engine the replica forwards decode calls to the broker
+/// and [`Engine::try_score_with`] fans all of the request's candidates out
+/// concurrently, so every candidate joins the running batch at a token
+/// boundary — concurrent `score` connections stack their candidates into the
+/// same lockstep passes. This is the decode-dominated workload continuous
+/// batching exists for.
+#[allow(clippy::too_many_arguments)]
+fn handle_score(
+    shared: &Shared,
+    id: &Json,
+    target: &str,
+    group: &str,
+    candidates: &[Vec<usize>],
+    deadline_ms: Option<u64>,
+    trace: Option<TraceCtx>,
+) -> String {
+    let obs = vega_obs::global();
+    let _trace_guard = obs.adopt_trace(trace);
+    let span = obs.span("serve.request");
+    let t0 = Instant::now();
+    // Pin one model set for the whole request (a concurrent swap must not
+    // change the weights mid-scoring).
+    let set = models(shared);
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.requests += 1;
+        st.score_requests += 1;
+        if st.shutting_down {
+            drop(st);
+            let _ = span.finish();
+            return protocol::err_response(id, ErrorKind::ShuttingDown, "server is draining");
+        }
+    }
+    obs.counter_add("serve.requests", 1);
+    obs.counter_add("serve.score.requests", 1);
+    obs.counter_add("serve.score.candidates", candidates.len() as u64);
+    let deadline =
+        t0 + Duration::from_millis(deadline_ms.unwrap_or(shared.cfg.default_deadline_ms));
+    let mut replica = set.engine.replica();
+    if let Some(b) = &set.batcher {
+        replica.set_decode_backend(Some(b.backend()));
+    }
+    let result = set
+        .engine
+        .try_score_with(&mut replica, target, group, candidates, Some(deadline));
+    let response = match result {
+        Ok(scores) => {
+            let tokens: u64 = candidates.iter().map(|c| c.len() as u64).sum();
+            let mut fields = vec![
+                ("target", Json::str(target)),
+                ("group", Json::str(group)),
+                (
+                    "scores",
+                    Json::Arr(scores.into_iter().map(Json::num_f32).collect()),
+                ),
+            ];
+            if let Some(t) = trace {
+                fields.push(("trace", Json::str(t.render())));
+            }
+            fields.push((
+                "timing",
+                timing_json(0, "none", t0.elapsed().as_secs_f64() * 1e3, tokens),
+            ));
+            protocol::ok_response(id, fields)
+        }
+        Err(e) => {
+            if e.kind == ErrorKind::DeadlineExceeded {
+                shared.state.lock().unwrap().deadline_exceeded += 1;
+                obs.counter_add("serve.deadline_exceeded", 1);
+            }
+            protocol::err_response(id, e.kind, &e.msg)
+        }
+    };
+    obs.observe("serve.request_seconds", t0.elapsed().as_secs_f64());
+    let _ = span.finish();
+    response
+}
+
 /// Handles the `swap` op: loads and validates the checkpoint at `path` off
 /// to the side, flips the live registry atomically, then waits (bounded)
 /// for requests pinned to the old model to drain. Any failure — unreadable
@@ -742,8 +983,9 @@ fn handle_swap(shared: &Shared, id: &Json, path: &str) -> String {
     }
     let old = models(shared);
     let config = old.engine.vega().config.clone();
-    let loaded = crate::registry::load_checkpoint(std::path::Path::new(path))
-        .and_then(|c| c.into_engine(config));
+    let loaded =
+        crate::registry::load_checkpoint_prefault(std::path::Path::new(path), shared.cfg.prefault)
+            .and_then(|c| c.into_engine(config));
     let (meta, engine) = match loaded {
         Ok(v) => v,
         Err(e) => {
@@ -752,7 +994,12 @@ fn handle_swap(shared: &Shared, id: &Json, path: &str) -> String {
         }
     };
     let digest_changed = engine.model_digest() != old.engine.model_digest();
-    let new_set = Arc::new(ModelSet::new(engine, shared.cfg.batch));
+    let new_set = Arc::new(ModelSet::new(
+        engine,
+        shared.cfg.batch,
+        shared.cfg.engine,
+        shared.cfg.batch_slots,
+    ));
     *shared.models.write().unwrap() = Arc::clone(&new_set);
     // Cache keys embed the model digest, so stale entries can never alias
     // the new model's; clearing on a digest change only frees memory. An
@@ -903,7 +1150,160 @@ fn finish(shared: &Shared, key: &str, outcome: &Outcome) {
     }
 }
 
+/// Answers a job whose deadline passed before it reached a model.
+fn fail_predispatch(shared: &Shared, job: &Job) {
+    shared.state.lock().unwrap().deadline_exceeded += 1;
+    vega_obs::global().counter_add("serve.deadline_exceeded", 1);
+    finish(
+        shared,
+        &job.key,
+        &Outcome::Failed {
+            kind: ErrorKind::DeadlineExceeded,
+            msg: format!(
+                "deadline elapsed before `{}`/`{}` was dispatched",
+                job.target, job.group
+            ),
+        },
+    );
+}
+
+/// Runs one job on replica slot `i` of its pinned model set. Shared by both
+/// dispatch modes: in replica mode the replica decodes locally; in batch
+/// mode it forwards every decode call to the broker (same call shape, same
+/// bits). Returns `(job, result, queue_ms, tokens, decode_ms)`.
+type JobRun = (
+    Job,
+    Result<(vega_corpus::Module, vega::GeneratedFunction), crate::engine::EngineError>,
+    u64,
+    u64,
+    f64,
+);
+
+fn run_job(shared: &Shared, i: usize, job: Job) -> JobRun {
+    let worker_obs = vega_obs::global();
+    let _trace_guard = worker_obs.adopt_trace(job.trace);
+    let gen_span = worker_obs.span("serve.generate");
+    let queue_ms = job.enqueued.elapsed().as_millis() as u64;
+    if shared.cfg.slow_ms > 0 {
+        std::thread::sleep(Duration::from_millis(shared.cfg.slow_ms));
+    }
+    // Generation runs single-threaded on this worker, so the thread-local
+    // tally is an exact per-job decode attribution. In batch mode the
+    // broker hands each session's token count and step-time share back to
+    // this thread, which bumps the same tally — the attribution protocol is
+    // identical in both modes.
+    vega_nn::decode::tally::reset();
+    // The job's pinned set (not the live registry): key, engine and replica
+    // must all describe the same model even mid-swap. Slot `i` is this
+    // worker's own (replica mode: batch size == pool size; batch mode: one
+    // persistent worker per slot), so the lock never contends.
+    let mut replica = job.models.replicas[i].lock().unwrap();
+    // The deadline reaches the decode path only through a batching backend,
+    // which aborts at token boundaries; the local path ignores it (replica
+    // mode enforces deadlines before dispatch instead).
+    let result = job.models.engine.try_generate_with(
+        &mut replica,
+        &job.target,
+        &job.group,
+        Some(job.deadline),
+    );
+    drop(replica);
+    let (tokens, decode_s) = vega_nn::decode::tally::snapshot();
+    let _ = gen_span.finish();
+    (job, result, queue_ms, tokens, decode_s * 1e3)
+}
+
+/// Publishes a finished job: cache + counters on success (a failed or
+/// expired generation is never cached — no partial output can poison the
+/// content-addressed cache), waiter notification either way.
+fn settle_job(shared: &Shared, run: JobRun) {
+    let obs = vega_obs::global();
+    let (job, result, queue_ms, tokens, decode_ms) = run;
+    match result {
+        Ok((module, gf)) => {
+            let payload = protocol::render_generated(&job.target, &job.group, module, &gf);
+            {
+                let mut st = shared.state.lock().unwrap();
+                st.cache.insert(&job.key, payload.clone());
+                st.generated += 1;
+            }
+            obs.counter_add("serve.generated", 1);
+            finish(
+                shared,
+                &job.key,
+                &Outcome::Done {
+                    payload,
+                    queue_ms,
+                    decode_ms,
+                    tokens,
+                },
+            );
+        }
+        Err(e) => {
+            if e.kind == ErrorKind::DeadlineExceeded {
+                shared.state.lock().unwrap().deadline_exceeded += 1;
+                obs.counter_add("serve.deadline_exceeded", 1);
+            }
+            finish(
+                shared,
+                &job.key,
+                &Outcome::Failed {
+                    kind: e.kind,
+                    msg: e.msg,
+                },
+            );
+        }
+    }
+}
+
 fn dispatcher_loop(shared: &Shared) {
+    match shared.cfg.engine {
+        EngineMode::Replica => replica_dispatch_loop(shared),
+        EngineMode::Batch => {
+            // One persistent worker per replica slot; each claims one job
+            // at a time, so queued requests flow into the broker's running
+            // batch continuously instead of waiting for micro-batch
+            // barriers. The scope joins all workers before returning, so
+            // drain semantics match replica mode: everything queued before
+            // shutdown is answered.
+            std::thread::scope(|scope| {
+                for i in 0..shared.cfg.batch {
+                    scope.spawn(move || batch_worker_loop(shared, i));
+                }
+            });
+        }
+    }
+}
+
+/// Continuous dispatch: pop one job, run it (decode interleaves with every
+/// other worker's inside the broker), settle, repeat. Exits once the queue
+/// is empty after shutdown began.
+fn batch_worker_loop(shared: &Shared, i: usize) {
+    let obs = vega_obs::global();
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    obs.gauge_set("serve.queue_depth", st.queue.len() as f64);
+                    break job;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        if Instant::now() > job.deadline {
+            fail_predispatch(shared, &job);
+            continue;
+        }
+        let run = run_job(shared, i, job);
+        settle_job(shared, run);
+    }
+}
+
+fn replica_dispatch_loop(shared: &Shared) {
     let obs = vega_obs::global();
     loop {
         let jobs: Vec<Job> = {
@@ -926,19 +1326,7 @@ fn dispatcher_loop(shared: &Shared) {
         let mut live = Vec::new();
         for job in jobs {
             if now > job.deadline {
-                shared.state.lock().unwrap().deadline_exceeded += 1;
-                obs.counter_add("serve.deadline_exceeded", 1);
-                finish(
-                    shared,
-                    &job.key,
-                    &Outcome::Failed {
-                        kind: ErrorKind::DeadlineExceeded,
-                        msg: format!(
-                            "deadline elapsed before `{}`/`{}` was dispatched",
-                            job.target, job.group
-                        ),
-                    },
-                );
+                fail_predispatch(shared, &job);
             } else {
                 live.push(job);
             }
@@ -948,64 +1336,16 @@ fn dispatcher_loop(shared: &Shared) {
         }
         let span = obs.span("serve.batch");
         // Each job in the batch gets its own replica slot (batch size ==
-        // pool size), so the locks below never contend; `par_map` returns
-        // results in job order. Each worker adopts its job's trace (the
-        // batch as a whole has no single trace) so the `serve.generate`
-        // span and per-request decode attribution carry the caller's id.
-        let results = vega_par::par_map(live, |i, job| {
-            let worker_obs = vega_obs::global();
-            let _trace_guard = worker_obs.adopt_trace(job.trace);
-            let gen_span = worker_obs.span("serve.generate");
-            let queue_ms = job.enqueued.elapsed().as_millis() as u64;
-            if shared.cfg.slow_ms > 0 {
-                std::thread::sleep(Duration::from_millis(shared.cfg.slow_ms));
-            }
-            // Generation runs single-threaded on this worker, so the
-            // thread-local tally is an exact per-job decode attribution.
-            vega_nn::decode::tally::reset();
-            // The job's pinned set (not the live registry): key, engine and
-            // replica must all describe the same model even mid-swap. Batch
-            // size == pool size, so slot `i` is uncontended within the batch.
-            let mut replica = job.models.replicas[i].lock().unwrap();
-            let result = job
-                .models
-                .engine
-                .generate_with(&mut replica, &job.target, &job.group);
-            drop(replica);
-            let (tokens, decode_s) = vega_nn::decode::tally::snapshot();
-            let _ = gen_span.finish();
-            (job, result, queue_ms, tokens, decode_s * 1e3)
-        });
-        for (job, result, queue_ms, tokens, decode_ms) in results {
-            match result {
-                Ok((module, gf)) => {
-                    let payload = protocol::render_generated(&job.target, &job.group, module, &gf);
-                    {
-                        let mut st = shared.state.lock().unwrap();
-                        st.cache.insert(&job.key, payload.clone());
-                        st.generated += 1;
-                    }
-                    obs.counter_add("serve.generated", 1);
-                    finish(
-                        shared,
-                        &job.key,
-                        &Outcome::Done {
-                            payload,
-                            queue_ms,
-                            decode_ms,
-                            tokens,
-                        },
-                    );
-                }
-                Err(e) => finish(
-                    shared,
-                    &job.key,
-                    &Outcome::Failed {
-                        kind: e.kind,
-                        msg: e.msg,
-                    },
-                ),
-            }
+        // pool size), so the replica locks never contend; `par_map` returns
+        // results in job order, and jobs settle in that order — cache
+        // insertion order (hence LRU eviction order) is independent of
+        // which worker finishes first. Each worker adopts its job's trace
+        // (the batch as a whole has no single trace) so the
+        // `serve.generate` span and decode attribution carry the caller's
+        // id.
+        let results = vega_par::par_map(live, |i, job| run_job(shared, i, job));
+        for run in results {
+            settle_job(shared, run);
         }
         let _ = span.finish();
     }

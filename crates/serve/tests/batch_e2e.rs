@@ -1,0 +1,535 @@
+//! Continuous-batching end-to-end tests: the `batch` engine mode must be an
+//! invisible substitution for the replica pool — byte-identical response
+//! bytes and identical per-request token attribution at thread counts 1 and
+//! 4 — while actually batching (nonzero step/join counters), honoring
+//! deadlines at token boundaries without poisoning the cache, surviving
+//! `serve.batch` chaos by replaying sessions, and draining a live batch on
+//! shutdown without losing a single queued request. The `score` op must be
+//! bit-identical across engines and against direct scoring, with malformed
+//! candidates rejected explicitly.
+//!
+//! One `#[test]`: `vega_par::set_threads`, the fault plan and the obs
+//! counters are all process-global.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use vega::{Vega, VegaConfig};
+use vega_fault::{sites, FaultPlan};
+use vega_model::CodeBe;
+use vega_obs::json::Json;
+use vega_serve::{protocol, Client, Engine, EngineMode, ServeConfig, Server};
+
+fn engine_from(checkpoint: &str) -> Engine {
+    let model = CodeBe::load_json(checkpoint).expect("checkpoint parses");
+    let vega = Vega::with_model(VegaConfig::tiny(), model).expect("checkpoint fits the corpus");
+    Engine::new(vega)
+}
+
+fn counter(name: &str) -> u64 {
+    vega_obs::global().counter(name)
+}
+
+fn result_render(resp: &Json) -> String {
+    assert_eq!(
+        resp.field("ok").unwrap(),
+        &Json::Bool(true),
+        "expected success: {}",
+        resp.render()
+    );
+    resp.field("result").unwrap().render()
+}
+
+fn error_code(resp: &Json) -> String {
+    assert_eq!(
+        resp.field("ok").unwrap(),
+        &Json::Bool(false),
+        "expected failure: {}",
+        resp.render()
+    );
+    resp.field("error").unwrap().as_str().unwrap().to_string()
+}
+
+fn stat_u64(stats: &Json, key: &str) -> u64 {
+    stats
+        .field("stats")
+        .and_then(|s| s.field(key))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|e| panic!("stats.{key}: {e}"))
+}
+
+/// Runs one server in `mode`: a concurrent round of fresh distinct requests
+/// (every decode in flight at once), then a sequential cached round. Checks
+/// byte-identity against `expected` in both rounds and returns each pair's
+/// fresh-generation `timing.tokens` — the cross-mode attribution fingerprint.
+fn identity_run(
+    checkpoint: &str,
+    mode: EngineMode,
+    threads: usize,
+    pairs: &[(String, String)],
+    expected: &BTreeMap<(String, String), String>,
+) -> BTreeMap<(String, String), u64> {
+    vega_par::set_threads(threads);
+    let cfg = ServeConfig {
+        engine: mode,
+        batch: pairs.len(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+
+    // Concurrent fresh round: distinct pairs, so nothing coalesces and (in
+    // batch mode) the broker holds several generations' sessions at once.
+    let workers: Vec<_> = pairs
+        .iter()
+        .cloned()
+        .map(|(t, g)| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let resp = c.generate(&t, &g, None).unwrap();
+                ((t, g), resp)
+            })
+        })
+        .collect();
+    let mut tokens = BTreeMap::new();
+    for w in workers {
+        let (pair, resp) = w.join().expect("client thread");
+        assert_eq!(
+            result_render(&resp),
+            expected[&pair],
+            "mode={mode:?} threads={threads}: fresh response differs from direct generation"
+        );
+        assert_eq!(resp.field("cached").unwrap(), &Json::Bool(false));
+        let t = resp
+            .field("timing")
+            .unwrap()
+            .field("tokens")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(t > 0, "a fresh generation must attribute decoded tokens");
+        tokens.insert(pair, t);
+    }
+
+    // Sequential cached round: byte-identical hits.
+    let mut c = Client::connect(&addr).unwrap();
+    for (t, g) in pairs {
+        let resp = c.generate(t, g, None).unwrap();
+        assert_eq!(resp.field("cached").unwrap(), &Json::Bool(true));
+        assert_eq!(result_render(&resp), expected[&(t.clone(), g.clone())]);
+    }
+
+    // The stats view names the live engine mode, reports replica residency,
+    // and — in batch mode — proves the broker actually ran.
+    let stats = c.op("stats").unwrap();
+    let engine_name = stats
+        .field("stats")
+        .unwrap()
+        .field("engine")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_eq!(engine_name, mode.as_str());
+    assert!(
+        stat_u64(&stats, "resident_bytes_per_replica") > 0,
+        "v1 checkpoints decode into owned weights, so replicas have resident bytes"
+    );
+    match mode {
+        EngineMode::Batch => {
+            assert!(stat_u64(&stats, "batch_steps") > 0, "broker must step");
+            assert!(stat_u64(&stats, "batch_joins") > 0, "sessions must join");
+        }
+        EngineMode::Replica => {}
+    }
+
+    server.shutdown();
+    let st = server.join_with_stats();
+    assert_eq!(st.generated, pairs.len() as u64);
+    tokens
+}
+
+/// A deadline that elapses *mid-generation* (after dispatch, at a token
+/// boundary inside the broker) fails with `deadline_exceeded` — and the
+/// aborted generation never reaches the cache: the next request for the
+/// same pair generates fresh, correct bytes.
+fn deadline_mid_generation_never_caches(checkpoint: &str, pair: &(String, String), expected: &str) {
+    vega_par::set_threads(1);
+    let cfg = ServeConfig {
+        engine: EngineMode::Batch,
+        batch: 1,
+        slow_ms: 120, // dispatch happens, then the deadline passes in-flight
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let (t, g) = pair;
+    let late = c.generate(t, g, Some(30)).unwrap();
+    assert_eq!(error_code(&late), "deadline_exceeded");
+    assert!(
+        late.field("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("mid-generation"),
+        "the abort must come from the broker's token-boundary check: {}",
+        late.render()
+    );
+
+    let retry = c.generate(t, g, None).unwrap();
+    assert_eq!(
+        retry.field("cached").unwrap(),
+        &Json::Bool(false),
+        "an expired generation must never have populated the cache"
+    );
+    assert_eq!(result_render(&retry), expected);
+
+    server.shutdown();
+    let st = server.join_with_stats();
+    assert_eq!(st.deadline_exceeded, 1);
+    assert_eq!(st.generated, 1);
+}
+
+/// Under a `serve.batch` chaos plan the broker kills live slots
+/// mid-generation; every request must still complete byte-identically (the
+/// session replays from scratch), and every injected fault must be matched
+/// by a replay and a recovery — no request is lost or cross-contaminated.
+fn chaos_replays_are_invisible(
+    checkpoint: &str,
+    pairs: &[(String, String)],
+    expected: &BTreeMap<(String, String), String>,
+) {
+    vega_par::set_threads(4);
+    vega_fault::set_plan(Some(FaultPlan::parse("seed=11;serve.batch=0.2").unwrap()));
+    let injected_before = counter(&format!("fault.injected.{}", sites::SERVE_BATCH));
+    let recovered_before = counter(&format!("fault.recovered.{}", sites::SERVE_BATCH));
+    let replays_before = counter("serve.batch.replays");
+
+    let cfg = ServeConfig {
+        engine: EngineMode::Batch,
+        batch: 4,
+        cache_cap: 0, // every request decodes through the broker
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+
+    let workers: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            let pairs = pairs.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut out = Vec::new();
+                for rep in 0..4 {
+                    let (t, g) = &pairs[(c + rep) % pairs.len()];
+                    let resp = client.generate(t, g, None).unwrap();
+                    out.push(((t.clone(), g.clone()), result_render(&resp)));
+                }
+                out
+            })
+        })
+        .collect();
+    for w in workers {
+        // Joining every worker is the no-lost-requests check.
+        for (pair, render) in w.join().expect("chaos client thread") {
+            assert_eq!(
+                &render, &expected[&pair],
+                "a replayed session must produce byte-identical output"
+            );
+        }
+    }
+
+    server.shutdown();
+    server.join_with_stats();
+    vega_fault::set_plan(None);
+
+    let injected = counter(&format!("fault.injected.{}", sites::SERVE_BATCH)) - injected_before;
+    let recovered = counter(&format!("fault.recovered.{}", sites::SERVE_BATCH)) - recovered_before;
+    let replays = counter("serve.batch.replays") - replays_before;
+    assert!(injected > 0, "the serve.batch plan should actually fire");
+    assert_eq!(
+        injected, replays,
+        "every injected slot kill must be answered by exactly one replay"
+    );
+    assert_eq!(
+        injected, recovered,
+        "every injected slot kill must be recovered"
+    );
+}
+
+/// Shutdown with a live batch: requests accepted before the shutdown drain
+/// to completion (byte-identical), later ones are refused explicitly, and
+/// the server (dispatcher workers + broker thread) joins cleanly.
+fn drain_answers_everything_queued(
+    checkpoint: &str,
+    pairs: &[(String, String)],
+    expected: &BTreeMap<(String, String), String>,
+) {
+    vega_par::set_threads(1);
+    let cfg = ServeConfig {
+        engine: EngineMode::Batch,
+        batch: 2,
+        cache_cap: 0,
+        slow_ms: 60, // keep the batch busy long enough for shutdown to land
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+
+    let workers: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            let (t, g) = pairs[i % pairs.len()].clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                ((t.clone(), g.clone()), c.generate(&t, &g, None).unwrap())
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    let stopping = Client::connect(&addr).unwrap().op("shutdown").unwrap();
+    assert_eq!(stopping.field("stopping").unwrap(), &Json::Bool(true));
+
+    let mut completed = 0usize;
+    for w in workers {
+        // Every request gets an answer — a drain that drops a queued job
+        // would hang this join.
+        let (pair, resp) = w.join().expect("request answered during drain");
+        if resp.field("ok").unwrap() == &Json::Bool(true) {
+            assert_eq!(
+                result_render(&resp),
+                expected[&pair],
+                "drained response must stay byte-identical"
+            );
+            completed += 1;
+        } else {
+            assert_eq!(
+                error_code(&resp),
+                "shutting_down",
+                "losers must be refused explicitly, never dropped"
+            );
+        }
+    }
+    assert!(
+        completed >= 1,
+        "at least the in-flight request must drain to completion"
+    );
+    server.join_with_stats();
+}
+
+/// A hot swap under the batch engine builds a fresh broker for the incoming
+/// model set and joins the old one (its senders die with the old replicas).
+/// Requests keep generating byte-identically across the flip, and a v2
+/// mmap-backed swap drops per-replica residency to zero.
+fn swap_rebuilds_broker(
+    checkpoint: &str,
+    pairs: &[(String, String)],
+    expected: &BTreeMap<(String, String), String>,
+) {
+    vega_par::set_threads(1);
+    let dir = std::env::temp_dir().join("vega-serve-batch-swap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.v2.ckpt");
+    CodeBe::load_json(checkpoint)
+        .expect("checkpoint parses")
+        .save_file_v2(&path)
+        .unwrap();
+
+    let cfg = ServeConfig {
+        engine: EngineMode::Batch,
+        batch: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let (t, g) = &pairs[0];
+
+    let before = c.generate(t, g, None).unwrap();
+    assert_eq!(result_render(&before), expected[&pairs[0]]);
+
+    // Same weights in v2 form: digest unchanged, cache kept — but the model
+    // set (replicas + broker) is rebuilt around the mapped checkpoint.
+    let swap = c.swap(&path.display().to_string()).unwrap();
+    assert_eq!(
+        swap.field("ok").unwrap(),
+        &Json::Bool(true),
+        "{}",
+        swap.render()
+    );
+    assert_eq!(
+        swap.field("digest_changed").unwrap(),
+        &Json::Bool(false),
+        "same weights must keep the digest: {}",
+        swap.render()
+    );
+
+    let hit = c.generate(t, g, None).unwrap();
+    assert_eq!(hit.field("cached").unwrap(), &Json::Bool(true));
+    assert_eq!(result_render(&hit), expected[&pairs[0]]);
+
+    let stats = c.op("stats").unwrap();
+    assert_eq!(
+        stat_u64(&stats, "resident_bytes_per_replica"),
+        0,
+        "v2 mmap replicas borrow the mapping and own no weight bytes"
+    );
+
+    // A pair not yet cached decodes fresh through the *new* broker, and the
+    // bits still match direct generation.
+    let (t1, g1) = &pairs[1];
+    let fresh = c.generate(t1, g1, None).unwrap();
+    assert_eq!(fresh.field("cached").unwrap(), &Json::Bool(false));
+    assert_eq!(result_render(&fresh), expected[&pairs[1]]);
+
+    server.shutdown();
+    server.join_with_stats();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `score` op across both engines: served scores must be bit-identical
+/// to direct in-process scoring on a backend-free replica (and therefore to
+/// each other), concurrent requests included — in batch mode every
+/// candidate of every connection fans into the broker's running batch.
+/// Malformed candidates (out-of-vocabulary ids, over-long sequences, empty
+/// lists) are rejected explicitly, never decoded.
+fn score_matches_across_engines(checkpoint: &str, pairs: &[(String, String)]) {
+    vega_par::set_threads(1);
+    let (t, g) = &pairs[0];
+    let candidates: Vec<Vec<usize>> = vec![vec![5, 9, 2], vec![5, 9], vec![7, 7, 7, 7]];
+    let cand_tokens: u64 = candidates.iter().map(|c| c.len() as u64).sum();
+
+    // Byte-identity reference: direct scoring, no server, no backend.
+    let reference = engine_from(checkpoint);
+    let mut replica = reference.replica();
+    let direct = reference
+        .try_score_with(&mut replica, t, g, &candidates, None)
+        .expect("direct scoring");
+    let direct_render = Json::Arr(direct.into_iter().map(Json::num_f32).collect()).render();
+
+    for mode in [EngineMode::Replica, EngineMode::Batch] {
+        let cfg = ServeConfig {
+            engine: mode,
+            batch: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
+        let addr = server.local_addr().to_string();
+
+        // Two concurrent score connections: in batch mode their candidates
+        // share lockstep passes inside the broker.
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                let (t, g) = (t.clone(), g.clone());
+                let cands = candidates.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(&addr).unwrap();
+                    c.score(&t, &g, &cands, None).unwrap()
+                })
+            })
+            .collect();
+        for w in workers {
+            let resp = w.join().expect("score client thread");
+            assert_eq!(
+                resp.field("ok").unwrap(),
+                &Json::Bool(true),
+                "mode={mode:?}: {}",
+                resp.render()
+            );
+            assert_eq!(
+                resp.field("scores").unwrap().render(),
+                direct_render,
+                "mode={mode:?}: served scores differ from direct scoring"
+            );
+            let tokens = resp
+                .field("timing")
+                .unwrap()
+                .field("tokens")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            assert_eq!(
+                tokens, cand_tokens,
+                "score attributes the summed candidate length"
+            );
+        }
+
+        let mut c = Client::connect(&addr).unwrap();
+        // Out-of-vocabulary token id: rejected before any decode.
+        let bad = c.score(t, g, &[vec![1_000_000]], None).unwrap();
+        assert_eq!(error_code(&bad), "bad_request");
+        // Candidate longer than the model can score (max_len - 2).
+        let bad = c.score(t, g, &[vec![5; 500]], None).unwrap();
+        assert_eq!(error_code(&bad), "bad_request");
+        // Unknown group.
+        let bad = c.score(t, "no-such-group", &candidates, None).unwrap();
+        assert_eq!(error_code(&bad), "unknown_group");
+        // Protocol-level rejection: an empty candidate list never parses.
+        let raw = c
+            .request_raw(&format!(
+                r#"{{"op":"score","target":"{t}","group":"{g}","candidates":[]}}"#
+            ))
+            .unwrap();
+        assert_eq!(error_code(&Json::parse(&raw).unwrap()), "bad_request");
+
+        // Every handled score request (errors included) is counted; the
+        // unparseable line is not.
+        let stats = c.op("stats").unwrap();
+        assert_eq!(stat_u64(&stats, "score_requests"), 5);
+
+        server.shutdown();
+        server.join_with_stats();
+    }
+}
+
+#[test]
+fn batch_engine_end_to_end() {
+    vega_par::set_threads(4);
+    let trained = Vega::train(VegaConfig::tiny());
+    let checkpoint = trained.model().save_json();
+
+    // Byte-identity reference: direct in-process generation.
+    let reference = Engine::new(trained);
+    let groups = reference.group_names();
+    let targets = reference.target_names();
+    let pairs: Vec<(String, String)> = targets
+        .iter()
+        .take(2)
+        .flat_map(|t| groups.iter().take(2).map(move |g| (t.clone(), g.clone())))
+        .collect();
+    assert_eq!(pairs.len(), 4);
+    let expected: BTreeMap<(String, String), String> = pairs
+        .iter()
+        .map(|(t, g)| {
+            let (module, gf) = reference.generate(t, g).expect("direct generation");
+            (
+                (t.clone(), g.clone()),
+                protocol::render_generated(t, g, module, &gf).render(),
+            )
+        })
+        .collect();
+
+    // The replica pool is the attribution baseline; batch mode must match
+    // its response bytes *and* its per-request token counts, at both thread
+    // settings (`ci.sh` runs the nn-level twin of this at VEGA_THREADS=1/4).
+    let baseline = identity_run(&checkpoint, EngineMode::Replica, 4, &pairs, &expected);
+    for threads in [1usize, 4] {
+        let batched = identity_run(&checkpoint, EngineMode::Batch, threads, &pairs, &expected);
+        assert_eq!(
+            batched, baseline,
+            "threads={threads}: batch-mode token attribution diverged from the replica pool"
+        );
+    }
+
+    deadline_mid_generation_never_caches(&checkpoint, &pairs[0], &expected[&pairs[0]]);
+    chaos_replays_are_invisible(&checkpoint, &pairs, &expected);
+    drain_answers_everything_queued(&checkpoint, &pairs, &expected);
+    swap_rebuilds_broker(&checkpoint, &pairs, &expected);
+    score_matches_across_engines(&checkpoint, &pairs);
+
+    vega_par::set_threads(0);
+}
