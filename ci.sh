@@ -31,6 +31,29 @@ echo "== decode equivalence =="
 VEGA_THREADS=1 cargo test -q -p vega-nn --test decode_equivalence
 VEGA_THREADS=4 cargo test -q -p vega-nn --test decode_equivalence
 
+# Kernel matrix: every kernel mode this CPU can run (scalar always; avx2
+# when the CPU reports it — a forced `VEGA_KERNEL=avx2` on a host without
+# AVX2 falls back to scalar with a logged notice, so the avx2 leg would be
+# vacuous there) must pass the kernel conformance property suite, the
+# per-mode determinism suite, and the decode/batch equivalence suites, at
+# pool sizes 1 and 4. The decode bench smoke below then pins the per-ISA
+# throughput rows and the AVX2-vs-scalar floors.
+echo "== kernel matrix =="
+KERNEL_MODES="scalar"
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  KERNEL_MODES="scalar avx2"
+else
+  echo "(CPU lacks AVX2; kernel matrix runs scalar only)"
+fi
+for km in $KERNEL_MODES; do
+  for vt in 1 4; do
+    echo "-- VEGA_KERNEL=$km VEGA_THREADS=$vt --"
+    VEGA_KERNEL=$km VEGA_THREADS=$vt cargo test -q -p vega-nn \
+      --test kernel_conformance --test kernel_determinism \
+      --test decode_equivalence --test batch_equivalence
+  done
+done
+
 echo "== decode bench smoke =="
 VEGA_DECODE_BENCH_FAST=1 VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_decode.json" \
   cargo bench -p vega-bench --bench decode | tee "$SMOKE_DIR/decode-bench.txt"

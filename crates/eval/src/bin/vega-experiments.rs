@@ -210,6 +210,14 @@ fn main() {
     if let Some(n) = args.threads {
         vega_par::set_threads(n);
     }
+    // Results are bit-identical at any thread count *within* a kernel mode,
+    // so surface the resolved mode next to the run's other reproducibility
+    // inputs (seed, scale) before any math runs.
+    vega_obs::info!(
+        "[vega-experiments] kernel={} threads={}",
+        vega_nn::kernel::active_name(),
+        vega_par::threads()
+    );
     let cfg = config_from(&args);
     run(&args, &cfg);
     if let Some(path) = &args.trace_out {

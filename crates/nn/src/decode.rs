@@ -23,15 +23,19 @@
 //! Every kernel here replays the *same f32 operations in the same order* as
 //! the graph path, so decoded token streams and logits are bit-identical to
 //! the graph implementations (`greedy_graph`, `forced_logprob_graph`) at
-//! every configuration and thread count. That identity is load-bearing: the
-//! determinism and chaos suites, the serve cache (equal keys must imply
-//! byte-identical payloads), and the golden vectors all assume generation is
-//! a pure function of (weights, input). The specific invariants:
+//! every configuration and thread count — *within a kernel mode* (see
+//! [`crate::kernel`]; changing `VEGA_KERNEL` changes reduction order and may
+//! move low bits). That identity is load-bearing: the determinism and chaos
+//! suites, the serve cache (equal keys must imply byte-identical payloads),
+//! and the golden vectors all assume generation is a pure function of
+//! (weights, input, kernel mode). The specific invariants:
 //!
-//! * Row kernels accumulate each output element one product at a time in
-//!   ascending `k`, exactly like [`Tensor::matmul`]'s kernels (whose scalar /
-//!   tiled / parallel paths are themselves verified bit-identical, including
-//!   the zero-skip in the scalar kernel).
+//! * Row kernels are the *same code* as [`Tensor::matmul`]'s inner loops —
+//!   both dispatch through the [`crate::kernel`] tier, which accumulates
+//!   each output element one rank-1 update at a time in ascending `k`
+//!   (with the exact zero-skip) and takes one full-length dot per
+//!   transposed-product element, so the decode and graph paths cannot
+//!   drift apart.
 //! * The causal mask adds `-1e9` before softmax in the graph path; `exp`
 //!   underflows those lanes to exactly `0.0`, so softmax over the unmasked
 //!   prefix — what the cache computes — yields the identical row, and the
@@ -41,6 +45,7 @@
 //!   association).
 
 use crate::gru::{GruCell, GruSeq2Seq};
+use crate::kernel::{with_kernel, Kernel, K_TILE};
 use crate::tensor::Tensor;
 use crate::transformer::{AttnParams, FfParams, LnParams, Transformer};
 
@@ -97,87 +102,23 @@ pub mod tally {
 // ---------------------------------------------------------------------------
 // Row kernels (shared by the transformer and GRU fast paths)
 // ---------------------------------------------------------------------------
+//
+// The hand-rolled per-row loops that used to live here are now the single
+// implementations in `crate::kernel`, dispatched by `VEGA_KERNEL`. The
+// decode fast paths and the tensor/graph path call the exact same code, so
+// within a kernel mode their f32 sequences cannot drift apart. Attention-
+// weighted sums over cached value rows (`out = scores · v_rows`) are
+// `row_matmul_into` too: its zero-skip drops exactly the softmax lanes that
+// underflowed to zero, as the graph path's matmul does.
+pub(crate) use crate::kernel::{add_assign, dot, layer_norm_row, row_matmul_into};
 
-/// `out = a · b` for a single row `a` (len `b.rows`), accumulating in
-/// ascending `k` with the scalar kernel's exact zero-skip semantics.
-pub(crate) fn row_matmul_into(a: &[f32], b: &Tensor, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), b.rows, "row matmul inner dim");
-    debug_assert_eq!(out.len(), b.cols, "row matmul out dim");
-    out.fill(0.0);
-    for (k, &av) in a.iter().enumerate() {
-        if av == 0.0 {
-            continue;
-        }
-        let brow = b.row(k);
-        for (o, &bv) in out.iter_mut().zip(brow.iter()) {
-            *o += av * bv;
-        }
-    }
-}
-
-/// Dot product in ascending index order (the transposed-matmul kernel's
-/// per-element accumulation).
-pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "dot length");
-    let mut s = 0.0f32;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        s += x * y;
-    }
-    s
-}
-
-/// In-place softmax over one row, replicating [`Tensor::softmax_rows`]: max
-/// fold, exponentiate accumulating the sum in index order, divide.
+/// In-place softmax over one row (re-exported from the kernel tier; see
+/// [`crate::kernel::softmax_row`] for the determinism contract).
 ///
 /// Public so external decode drivers (the serve-side continuous-batching
 /// broker scoring forced sequences) can replicate `forced_logprob`'s exact
 /// f32 sequence instead of reimplementing it.
-pub fn softmax_row(row: &mut [f32]) {
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0;
-    for v in row.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
-    }
-    for v in row.iter_mut() {
-        *v /= sum;
-    }
-}
-
-/// Row-wise layer norm replicating `Graph::layer_norm` bit for bit.
-pub(crate) fn layer_norm_row(x: &[f32], gain: &[f32], bias: &[f32], out: &mut [f32]) {
-    const EPS: f32 = 1e-5;
-    let d = x.len() as f32;
-    let mean = x.iter().sum::<f32>() / d;
-    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
-    let std = (var + EPS).sqrt();
-    for c in 0..x.len() {
-        out[c] = (x[c] - mean) / std * gain[c] + bias[c];
-    }
-}
-
-/// `x += y` elementwise (`Graph::add` on one row).
-pub(crate) fn add_assign(x: &mut [f32], y: &[f32]) {
-    for (a, b) in x.iter_mut().zip(y.iter()) {
-        *a += *b;
-    }
-}
-
-/// Attention-weighted sum of cached value rows: `out = a · v_rows` with the
-/// scalar kernel's zero-skip (softmax lanes that underflowed to zero are
-/// skipped, exactly as the graph path's matmul skips them).
-fn attend_into(a: &[f32], v_rows: &Tensor, out: &mut [f32]) {
-    out.fill(0.0);
-    for (j, &av) in a.iter().enumerate() {
-        if av == 0.0 {
-            continue;
-        }
-        let vrow = v_rows.row(j);
-        for (o, &vv) in out.iter_mut().zip(vrow.iter()) {
-            *o += av * vv;
-        }
-    }
-}
+pub use crate::kernel::softmax_row;
 
 // ---------------------------------------------------------------------------
 // Forward-only matrix helpers (encoder; runs once per decode)
@@ -426,7 +367,7 @@ impl DecodeState<'_> {
                     self.scores[j] = dot(&self.q, sk.row(j)) * scale;
                 }
                 softmax_row(&mut self.scores[..t1]);
-                attend_into(
+                row_matmul_into(
                     &self.scores[..t1],
                     sv,
                     &mut self.heads[h * dh..(h + 1) * dh],
@@ -452,7 +393,7 @@ impl DecodeState<'_> {
                     self.scores[j] = dot(&self.q, ck.row(j)) * scale;
                 }
                 softmax_row(&mut self.scores[..ck.rows]);
-                attend_into(
+                row_matmul_into(
                     &self.scores[..ck.rows],
                     cv,
                     &mut self.heads[h * dh..(h + 1) * dh],
@@ -617,63 +558,47 @@ impl GruDecodeState<'_> {
 /// nonzero terms.
 ///
 /// Per slot, the accumulation into any output element is element-by-element
-/// in ascending `k` with the scalar kernel's exact zero-skip (the fused
+/// in ascending `k` with the exact zero-skip (the fused [`Kernel::fma_tile`]
 /// path's `+=` chain is the same rounding sequence), i.e. bit-identical to
 /// [`row_matmul_into`] on that slot's row alone; blocking only reorders
 /// work *across* slots, and no f32 op mixes slots.
-const K_TILE: usize = 8;
-
 fn batch_row_matmul_into(slots: &[usize], a: &[f32], b: &Tensor, out: &mut [f32]) {
     let (kdim, odim) = (b.rows, b.cols);
     for &s in slots {
         out[s * odim..(s + 1) * odim].fill(0.0);
     }
-    let mut kb = 0;
-    while kb + K_TILE <= kdim {
-        let rows: [&[f32]; K_TILE] = std::array::from_fn(|t| b.row(kb + t));
-        for &s in slots {
-            let avs: [f32; K_TILE] = std::array::from_fn(|t| a[s * kdim + kb + t]);
-            let orow = &mut out[s * odim..(s + 1) * odim];
-            if avs.iter().all(|&av| av != 0.0) {
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let mut v = *o;
-                    v += avs[0] * rows[0][j];
-                    v += avs[1] * rows[1][j];
-                    v += avs[2] * rows[2][j];
-                    v += avs[3] * rows[3][j];
-                    v += avs[4] * rows[4][j];
-                    v += avs[5] * rows[5][j];
-                    v += avs[6] * rows[6][j];
-                    v += avs[7] * rows[7][j];
-                    *o = v;
-                }
-            } else {
-                for (&av, row) in avs.iter().zip(rows.iter()) {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    for (o, &bv) in orow.iter_mut().zip(row.iter()) {
-                        *o += av * bv;
+    with_kernel!(kr => {
+        let mut kb = 0;
+        while kb + K_TILE <= kdim {
+            let rows: [&[f32]; K_TILE] = std::array::from_fn(|t| b.row(kb + t));
+            for &s in slots {
+                let avs: [f32; K_TILE] = std::array::from_fn(|t| a[s * kdim + kb + t]);
+                let orow = &mut out[s * odim..(s + 1) * odim];
+                if avs.iter().all(|&av| av != 0.0) {
+                    kr.fma_tile(&avs, &rows, orow);
+                } else {
+                    for (&av, row) in avs.iter().zip(rows.iter()) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        kr.axpy(av, row, orow);
                     }
                 }
             }
+            kb += K_TILE;
         }
-        kb += K_TILE;
-    }
-    // Tail rows (kdim % K_TILE), per-k like the scalar kernel.
-    for k in kb..kdim {
-        let brow = b.row(k);
-        for &s in slots {
-            let av = a[s * kdim + k];
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[s * odim..(s + 1) * odim];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+        // Tail rows (kdim % K_TILE), per-k like the plain row kernel.
+        for k in kb..kdim {
+            let brow = b.row(k);
+            for &s in slots {
+                let av = a[s * kdim + k];
+                if av == 0.0 {
+                    continue;
+                }
+                kr.axpy(av, brow, &mut out[s * odim..(s + 1) * odim]);
             }
         }
-    }
+    });
 }
 
 /// A fixed-capacity batch of independent incremental decode sessions that
@@ -890,7 +815,7 @@ impl BatchDecode for BatchDecodeState<'_> {
                         *sc = dot(q, sk.row(j)) * scale;
                     }
                     softmax_row(scores);
-                    attend_into(
+                    row_matmul_into(
                         scores,
                         sv,
                         &mut self.heads[s * d + h * dh..s * d + (h + 1) * dh],
@@ -934,7 +859,7 @@ impl BatchDecode for BatchDecodeState<'_> {
                         *sc = dot(q, ck.row(j)) * scale;
                     }
                     softmax_row(scores);
-                    attend_into(
+                    row_matmul_into(
                         scores,
                         cv,
                         &mut self.heads[s * d + h * dh..s * d + (h + 1) * dh],

@@ -234,25 +234,20 @@ impl<'p> Graph<'p> {
     }
 
     /// Row-wise layer normalization with learned gain/bias (1×d each).
+    ///
+    /// The forward math is [`crate::kernel::layer_norm_row`] — the same code
+    /// the decode fast path runs — which hands back the per-row `(mean, std)`
+    /// this op caches for backward.
     pub fn layer_norm(&mut self, a: NodeId, gain: NodeId, bias: NodeId) -> NodeId {
-        const EPS: f32 = 1e-5;
         let x = &self.nodes[a.0].value;
         let g = &self.nodes[gain.0].value;
         let b = &self.nodes[bias.0].value;
         let mut out = Tensor::zeros(x.rows, x.cols);
         let mut cache = Vec::with_capacity(x.rows);
-        let d = x.cols as f32;
         let (gs, bs) = (g.as_slice(), b.as_slice());
         for r in 0..x.rows {
-            let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / d;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
-            let std = (var + EPS).sqrt();
-            cache.push((mean, std));
-            let orow = out.row_mut(r);
-            for c in 0..row.len() {
-                orow[c] = (row[c] - mean) / std * gs[c] + bs[c];
-            }
+            let stats = crate::kernel::layer_norm_row(x.row(r), gs, bs, out.row_mut(r));
+            cache.push(stats);
         }
         self.push(
             Op::LayerNorm {

@@ -13,6 +13,12 @@
 //! per-layer attention K/V and is bit-identical to the autograd-graph
 //! reference decode.
 //!
+//! Every hot inner loop dispatches through the [`mod@kernel`] tier: a
+//! [`Kernel`] trait with a scalar reference implementation and a
+//! runtime-detected AVX2 implementation, selected by `VEGA_KERNEL`
+//! (`auto` | `scalar` | `avx2`). Each mode is individually deterministic;
+//! see the module docs for the cross-mode tolerance contract.
+//!
 //! # Examples
 //! ```
 //! use vega_nn::{Seq2Seq, Transformer, TransformerConfig};
@@ -28,12 +34,14 @@
 
 #![warn(missing_docs)]
 // `deny` rather than `forbid`: the storage module opts back in for the
-// mmap/reinterpretation primitives (and nothing else does).
+// mmap/reinterpretation primitives, and the kernel module for its
+// `#[target_feature]` SIMD implementations (nothing else does).
 #![deny(unsafe_code)]
 
 pub mod decode;
 mod graph;
 mod gru;
+pub mod kernel;
 mod params;
 mod seq2seq;
 pub mod storage;
@@ -43,6 +51,7 @@ mod transformer;
 pub use decode::{BatchDecode, BatchDecodeState, DecodeState, GruBatchDecodeState, GruDecodeState};
 pub use graph::{Graph, NodeId};
 pub use gru::{GruConfig, GruSeq2Seq};
+pub use kernel::{Isa, Kernel, KernelMode};
 pub use params::{Init, ParamId, ParamStore};
 pub use seq2seq::{argmax, looks_degenerate, train_until, Seq2Seq};
 pub use storage::{ByteRegion, TensorTable};

@@ -10,6 +10,7 @@
 //! tensor into owned storage first (copy-on-write), so fine-tuning a mapped
 //! model never writes through the mapping.
 
+use crate::kernel::{self, with_kernel, Kernel};
 use crate::storage::{ByteRegion, TensorTable};
 use std::sync::Arc;
 use vega_obs::json::{Json, JsonError};
@@ -317,13 +318,16 @@ impl Tensor {
 
     /// Matrix product `self · other` (optionally with `other` transposed).
     ///
-    /// Small products use the scalar kernels; larger ones use cache-blocked
+    /// Small products use the plain kernels; larger ones use cache-blocked
     /// kernels, parallelized over row blocks through `vega-par` when big
-    /// enough. Every kernel accumulates each output element one product at a
-    /// time in ascending `k` order, so all paths — any tile size, any thread
-    /// count — produce bit-identical results (the scalar non-transposed
-    /// kernel's zero-skip is exact too: skipped terms are exact no-ops for
-    /// the finite values training produces).
+    /// enough. The inner loops dispatch through the [`crate::kernel`] tier
+    /// (`VEGA_KERNEL`): non-transposed products accumulate each output
+    /// element one rank-1 update at a time in ascending `k` order
+    /// ([`Kernel::axpy`], bit-identical in every mode, with the exact
+    /// zero-skip as a no-op for the finite values training produces);
+    /// transposed products take one full-length [`Kernel::dot`] per output
+    /// element. Within a mode all dispatch paths — any tile size, any
+    /// thread count — produce bit-identical results.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -358,20 +362,16 @@ impl Tensor {
         out
     }
 
-    /// The original scalar kernels (kept as the small-matrix fast path and
-    /// as the reference the tiled kernels are tested against bit-for-bit).
+    /// The plain (untiled) kernels, kept as the small-matrix fast path and
+    /// as the reference the tiled kernels are tested against bit-for-bit
+    /// within each kernel mode.
     fn matmul_scalar(&self, other: &Tensor, transpose_other: bool) -> Tensor {
-        if transpose_other {
+        with_kernel!(kr => if transpose_other {
             let mut out = vec![0.0f32; self.rows * other.rows];
             for i in 0..self.rows {
                 let a = self.row(i);
                 for j in 0..other.rows {
-                    let b = other.row(j);
-                    let mut s = 0.0f32;
-                    for k in 0..self.cols {
-                        s += a[k] * b[k];
-                    }
-                    out[i * other.rows + j] = s;
+                    out[i * other.rows + j] = kr.dot(a, other.row(j));
                 }
             }
             Tensor::from_vec(self.rows, other.rows, out)
@@ -380,25 +380,31 @@ impl Tensor {
             for i in 0..self.rows {
                 let a = self.row(i);
                 let orow = i * other.cols;
+                let out_row = &mut out[orow..orow + other.cols];
                 for (k, &av) in a.iter().enumerate() {
+                    // Exact no-op skip: for the finite values training
+                    // produces, `o += 0.0 * b` leaves every bit unchanged.
                     if av == 0.0 {
                         continue;
                     }
-                    let b = other.row(k);
-                    let out_row = &mut out[orow..orow + other.cols];
-                    for (o, &bv) in out_row.iter_mut().zip(b.iter()) {
-                        *o += av * bv;
-                    }
+                    kr.axpy(av, other.row(k), out_row);
                 }
             }
             Tensor::from_vec(self.rows, other.cols, out)
-        }
+        })
     }
 
     /// Cache-blocked kernel for output rows `r0..r1`; returns the dense
-    /// `(r1-r0) × out_cols` slab. Blocking over `k` only reorders the loop
-    /// traversal — each output element still receives its products one at a
-    /// time in ascending `k`, matching the scalar kernels exactly.
+    /// `(r1-r0) × out_cols` slab, matching [`Tensor::matmul_scalar`]
+    /// bit-for-bit within each kernel mode.
+    ///
+    /// The non-transposed branch blocks over `k`, which only reorders the
+    /// loop traversal — each output element still receives its rank-1
+    /// updates one at a time in ascending `k`. The transposed branch takes
+    /// one full-length [`Kernel::dot`] per output element instead of
+    /// accumulating per-tile partials: a tiled sum would split the kernel's
+    /// own reduction chains at tile boundaries and diverge from the untiled
+    /// path under AVX2.
     fn matmul_block(
         &self,
         other: &Tensor,
@@ -412,30 +418,27 @@ impl Tensor {
             other.cols
         };
         let mut out = vec![0.0f32; (r1 - r0) * out_cols];
-        for kb in (0..self.cols).step_by(TILE_K) {
-            let ke = (kb + TILE_K).min(self.cols);
+        with_kernel!(kr => if transpose_other {
             for i in r0..r1 {
-                let a = &self.row(i)[kb..ke];
+                let a = self.row(i);
                 let orow = (i - r0) * out_cols;
-                if transpose_other {
-                    for j in 0..other.rows {
-                        let b = &other.row(j)[kb..ke];
-                        let o = &mut out[orow + j];
-                        for (&av, &bv) in a.iter().zip(b.iter()) {
-                            *o += av * bv;
-                        }
-                    }
-                } else {
+                for j in 0..other.rows {
+                    out[orow + j] = kr.dot(a, other.row(j));
+                }
+            }
+        } else {
+            for kb in (0..self.cols).step_by(TILE_K) {
+                let ke = (kb + TILE_K).min(self.cols);
+                for i in r0..r1 {
+                    let a = &self.row(i)[kb..ke];
+                    let orow = (i - r0) * out_cols;
+                    let out_row = &mut out[orow..orow + out_cols];
                     for (k, &av) in a.iter().enumerate() {
-                        let b = other.row(kb + k);
-                        let out_row = &mut out[orow..orow + out_cols];
-                        for (o, &bv) in out_row.iter_mut().zip(b.iter()) {
-                            *o += av * bv;
-                        }
+                        kr.axpy(av, other.row(kb + k), out_row);
                     }
                 }
             }
-        }
+        });
         out
     }
 
@@ -514,20 +517,12 @@ impl Tensor {
         Tensor::from_vec(self.cols, self.rows, out)
     }
 
-    /// Row-wise softmax.
+    /// Row-wise softmax (see [`kernel::softmax_row`] for the determinism
+    /// contract shared with the decode fast path).
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
         for r in 0..out.rows {
-            let row = out.row_mut(r);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
+            kernel::softmax_row(out.row_mut(r));
         }
         out
     }

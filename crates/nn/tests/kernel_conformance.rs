@@ -1,0 +1,393 @@
+//! Kernel conformance: pins the scalar-vs-AVX2 contract from
+//! `crates/nn/src/kernel.rs`.
+//!
+//! Two classes of property, checked over Mix64-driven randomized vectors
+//! (lengths straddling 0 / 1 / K_TILE±1 / the 8- and 32-lane block widths /
+//! large, with exact-zero lanes and subnormal values mixed in):
+//!
+//! * **Exactness** where the per-element rounding sequence is fixed across
+//!   implementations: `axpy`, `fma_tile` (vectorized over the output
+//!   dimension only, separate mul + add), and `max` (returns an exact input
+//!   element on NaN-free data). These must agree *bit for bit*.
+//! * **Tolerance** where AVX2 reorders accumulation across lanes: `dot`,
+//!   `sum`, `sq_diff_sum`. Each implementation is compared against an f64
+//!   reference with a bound scaled by the magnitude sum of the terms, so
+//!   cancellation-heavy inputs don't produce a vacuous relative test.
+//!
+//! On machines without AVX2 the suite logs a notice and degenerates to
+//! checking the scalar kernel against the f64 reference (so it still runs,
+//! and still catches scalar regressions).
+//!
+//! The mode-level tests at the bottom flip the process-global kernel mode
+//! with `set_mode`; they serialize through `MODE_LOCK` because the global is
+//! shared by every test thread in this binary.
+
+use std::sync::{Mutex, MutexGuard};
+use vega_corpus::Mix64;
+use vega_nn::kernel::{self, avx2_available, Avx2Kernel, Kernel, KernelMode, ScalarKernel, K_TILE};
+
+/// Serializes tests that touch the process-global kernel mode.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Acquires the mode lock (poison-tolerant: a prior panic must not cascade)
+/// and returns a guard that restores `Auto` on drop.
+fn mode_guard() -> (MutexGuard<'static, ()>, ModeRestore) {
+    let guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    (guard, ModeRestore)
+}
+
+struct ModeRestore;
+
+impl Drop for ModeRestore {
+    fn drop(&mut self) {
+        kernel::set_mode(KernelMode::Auto);
+    }
+}
+
+/// The AVX2 kernel, or `None` (with one logged notice) when the CPU lacks
+/// AVX2 and the cross-ISA half of the suite degenerates.
+fn avx2_or_notice(test: &str) -> Option<Avx2Kernel> {
+    let k = Avx2Kernel::new();
+    if k.is_none() {
+        eprintln!("kernel_conformance::{test}: CPU lacks AVX2; cross-ISA checks skipped");
+    }
+    k
+}
+
+/// Vector lengths that straddle every structural boundary in the kernels:
+/// empty, single, the K_TILE (= 8-lane) edge, the 32-element 4-accumulator
+/// block edge, and sizes large enough to exercise all loops plus tails.
+const LENGTHS: &[usize] = &[
+    0,
+    1,
+    2,
+    K_TILE - 1,
+    K_TILE,
+    K_TILE + 1,
+    31,
+    32,
+    33,
+    63,
+    64,
+    65,
+    100,
+    1024,
+    1027,
+];
+
+/// A randomized f32 in roughly [-2, 2), with exact-zero lanes (the callers'
+/// zero-skip must see real zeros) and occasional subnormal magnitudes (the
+/// reductions must not trap or flush differently per ISA in ways the
+/// tolerance doesn't cover).
+fn gen_value(rng: &mut Mix64) -> f32 {
+    match rng.below(10) {
+        0 | 1 => 0.0,
+        2 => {
+            // Subnormal: tiny fixed scale times a small integer.
+            let m = rng.range(1, 255) as f32;
+            m * 1.0e-41
+        }
+        _ => {
+            let u = rng.next_u64() as f32 / u64::MAX as f32; // [0, 1)
+            (u - 0.5) * 4.0
+        }
+    }
+}
+
+fn gen_vec(rng: &mut Mix64, n: usize) -> Vec<f32> {
+    (0..n).map(|_| gen_value(rng)).collect()
+}
+
+/// `|got - want_f64| ≤ 1e-5 · Σ|termᵢ| + 1e-12`: absolute floor for
+/// near-zero results, magnitude-sum scaling so cancellation does not turn
+/// the bound vacuous.
+fn assert_close(got: f32, want: f64, mag: f64, what: &str) {
+    let bound = 1e-5 * mag + 1e-12;
+    let err = (f64::from(got) - want).abs();
+    assert!(
+        err <= bound,
+        "{what}: got {got}, f64 reference {want}, err {err:.3e} > bound {bound:.3e}"
+    );
+}
+
+#[test]
+fn dot_matches_f64_reference_within_tolerance() {
+    let avx2 = avx2_or_notice("dot");
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/dot");
+    for &n in LENGTHS {
+        for rep in 0..8 {
+            let a = gen_vec(&mut rng, n);
+            let b = gen_vec(&mut rng, n);
+            let mut want = 0.0f64;
+            let mut mag = 0.0f64;
+            for (&x, &y) in a.iter().zip(&b) {
+                let t = f64::from(x) * f64::from(y);
+                want += t;
+                mag += t.abs();
+            }
+            let s = ScalarKernel.dot(&a, &b);
+            assert_close(s, want, mag, &format!("scalar dot n={n} rep={rep}"));
+            if let Some(v) = &avx2 {
+                let av = v.dot(&a, &b);
+                assert_close(av, want, mag, &format!("avx2 dot n={n} rep={rep}"));
+            }
+        }
+    }
+    // Empty slices reduce to exactly zero in every implementation.
+    assert_eq!(ScalarKernel.dot(&[], &[]).to_bits(), 0.0f32.to_bits());
+    if let Some(v) = &avx2 {
+        assert_eq!(v.dot(&[], &[]).to_bits(), 0.0f32.to_bits());
+    }
+}
+
+#[test]
+fn sum_and_sq_diff_sum_match_f64_reference_within_tolerance() {
+    let avx2 = avx2_or_notice("sum");
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/sum");
+    for &n in LENGTHS {
+        for rep in 0..8 {
+            let x = gen_vec(&mut rng, n);
+            let want: f64 = x.iter().map(|&v| f64::from(v)).sum();
+            let mag: f64 = x.iter().map(|&v| f64::from(v).abs()).sum();
+            let s = ScalarKernel.sum(&x);
+            assert_close(s, want, mag, &format!("scalar sum n={n} rep={rep}"));
+            if let Some(v) = &avx2 {
+                assert_close(v.sum(&x), want, mag, &format!("avx2 sum n={n} rep={rep}"));
+            }
+
+            // Layer-norm variance numerator around the actual mean, the way
+            // layer_norm_row calls it.
+            if n > 0 {
+                let mean = s / n as f32;
+                let want_sq: f64 = x
+                    .iter()
+                    .map(|&v| {
+                        let d = f64::from(v) - f64::from(mean);
+                        d * d
+                    })
+                    .sum();
+                let sq_s = ScalarKernel.sq_diff_sum(&x, mean);
+                assert_close(
+                    sq_s,
+                    want_sq,
+                    want_sq,
+                    &format!("scalar sq_diff_sum n={n} rep={rep}"),
+                );
+                if let Some(v) = &avx2 {
+                    assert_close(
+                        v.sq_diff_sum(&x, mean),
+                        want_sq,
+                        want_sq,
+                        &format!("avx2 sq_diff_sum n={n} rep={rep}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn axpy_is_bit_identical_across_isas() {
+    let avx2 = avx2_or_notice("axpy");
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/axpy");
+    for &n in LENGTHS {
+        for _ in 0..8 {
+            let a = gen_value(&mut rng);
+            let x = gen_vec(&mut rng, n);
+            let base = gen_vec(&mut rng, n);
+            let mut s_out = base.clone();
+            ScalarKernel.axpy(a, &x, &mut s_out);
+            if let Some(v) = &avx2 {
+                let mut a_out = base.clone();
+                v.axpy(a, &x, &mut a_out);
+                for (i, (sv, av)) in s_out.iter().zip(&a_out).enumerate() {
+                    assert_eq!(
+                        sv.to_bits(),
+                        av.to_bits(),
+                        "axpy n={n} lane {i}: scalar {sv} vs avx2 {av}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fma_tile_is_bit_identical_across_isas_and_to_sequential_axpy() {
+    let avx2 = avx2_or_notice("fma_tile");
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/fma_tile");
+    for &n in LENGTHS {
+        for _ in 0..8 {
+            let avs: [f32; K_TILE] = std::array::from_fn(|_| gen_value(&mut rng));
+            let row_data: Vec<Vec<f32>> = (0..K_TILE).map(|_| gen_vec(&mut rng, n)).collect();
+            let rows: [&[f32]; K_TILE] = std::array::from_fn(|t| row_data[t].as_slice());
+            let base = gen_vec(&mut rng, n);
+
+            let mut s_out = base.clone();
+            ScalarKernel.fma_tile(&avs, &rows, &mut s_out);
+
+            // The fused step is defined as the same rounding sequence as
+            // K_TILE sequential axpy calls on finite data.
+            let mut seq_out = base.clone();
+            for (t, row) in rows.iter().enumerate() {
+                ScalarKernel.axpy(avs[t], row, &mut seq_out);
+            }
+            for (i, (f, q)) in s_out.iter().zip(&seq_out).enumerate() {
+                assert_eq!(
+                    f.to_bits(),
+                    q.to_bits(),
+                    "fma_tile n={n} lane {i}: fused {f} vs sequential axpy {q}"
+                );
+            }
+
+            if let Some(v) = &avx2 {
+                let mut a_out = base.clone();
+                v.fma_tile(&avs, &rows, &mut a_out);
+                for (i, (sv, av)) in s_out.iter().zip(&a_out).enumerate() {
+                    assert_eq!(
+                        sv.to_bits(),
+                        av.to_bits(),
+                        "fma_tile n={n} lane {i}: scalar {sv} vs avx2 {av}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn max_returns_an_exact_input_element_in_every_isa() {
+    let avx2 = avx2_or_notice("max");
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/max");
+    for &n in LENGTHS {
+        for _ in 0..8 {
+            let x = gen_vec(&mut rng, n);
+            let s = ScalarKernel.max(&x);
+            if n == 0 {
+                assert_eq!(s, f32::NEG_INFINITY);
+            } else {
+                assert!(
+                    x.iter().any(|&v| v.to_bits() == s.to_bits()),
+                    "scalar max {s} not an input element"
+                );
+            }
+            if let Some(v) = &avx2 {
+                let a = v.max(&x);
+                assert_eq!(
+                    s.to_bits(),
+                    a.to_bits(),
+                    "max n={n}: scalar {s} vs avx2 {a}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mode-level properties (process-global kernel mode; serialized)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn row_matmul_is_bit_identical_across_modes() {
+    let _guard = mode_guard();
+    if avx2_or_notice("row_matmul").is_none() {
+        return;
+    }
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/row_matmul");
+    for &(kdim, odim) in &[(1usize, 1usize), (7, 5), (8, 8), (33, 17), (64, 40)] {
+        let a = gen_vec(&mut rng, kdim);
+        let b = vega_nn::Tensor::from_vec(kdim, odim, gen_vec(&mut rng, kdim * odim));
+        let mut s_out = vec![0.0f32; odim];
+        kernel::set_mode(KernelMode::Scalar);
+        kernel::row_matmul_into(&a, &b, &mut s_out);
+        let mut a_out = vec![0.0f32; odim];
+        kernel::set_mode(KernelMode::Avx2);
+        kernel::row_matmul_into(&a, &b, &mut a_out);
+        for (i, (sv, av)) in s_out.iter().zip(&a_out).enumerate() {
+            assert_eq!(
+                sv.to_bits(),
+                av.to_bits(),
+                "row_matmul {kdim}x{odim} col {i}: scalar {sv} vs avx2 {av}"
+            );
+        }
+    }
+}
+
+#[test]
+fn masked_softmax_prefix_stays_exact_in_every_mode() {
+    let _guard = mode_guard();
+    let modes: &[KernelMode] = if avx2_available() {
+        &[KernelMode::Scalar, KernelMode::Avx2]
+    } else {
+        eprintln!("kernel_conformance::softmax: CPU lacks AVX2; checking scalar only");
+        &[KernelMode::Scalar]
+    };
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/softmax");
+    for &mode in modes {
+        kernel::set_mode(mode);
+        for &live in &[1usize, 3, 8, 9, 31, 40] {
+            let scores: Vec<f32> = (0..live).map(|_| gen_value(&mut rng)).collect();
+            // Graph path: full row, masked lanes pushed to -1e9 so exp
+            // underflows them to exact zero.
+            let masked_tail = rng.range(0, 16) as usize;
+            let mut masked = scores.clone();
+            masked.extend((0..masked_tail).map(|_| gen_value(&mut rng) + -1e9));
+            kernel::softmax_row(&mut masked);
+            // Decode path: live prefix only.
+            let mut prefix = scores.clone();
+            kernel::softmax_row(&mut prefix);
+            for (i, (p, m)) in prefix.iter().zip(&masked).enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    m.to_bits(),
+                    "mode {} live={live} tail={masked_tail} lane {i}: prefix {p} vs masked {m}",
+                    mode.name()
+                );
+            }
+            for (i, m) in masked[live..].iter().enumerate() {
+                assert_eq!(
+                    m.to_bits(),
+                    0.0f32.to_bits(),
+                    "mode {} masked lane {i} not exactly zero: {m}",
+                    mode.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn layer_norm_row_agrees_across_modes_within_tolerance() {
+    let _guard = mode_guard();
+    if avx2_or_notice("layer_norm").is_none() {
+        return;
+    }
+    let mut rng = Mix64::keyed(0xC0DE, "conformance/layer_norm");
+    for &d in &[1usize, 8, 16, 40, 64, 100] {
+        let x = gen_vec(&mut rng, d);
+        let gain = gen_vec(&mut rng, d);
+        let bias = gen_vec(&mut rng, d);
+        let mut s_out = vec![0.0f32; d];
+        kernel::set_mode(KernelMode::Scalar);
+        let (s_mean, s_std) = kernel::layer_norm_row(&x, &gain, &bias, &mut s_out);
+        let mut a_out = vec![0.0f32; d];
+        kernel::set_mode(KernelMode::Avx2);
+        let (a_mean, a_std) = kernel::layer_norm_row(&x, &gain, &bias, &mut a_out);
+        // std has the EPS floor, so relative-to-std bounds are never vacuous.
+        assert!(
+            (f64::from(s_mean) - f64::from(a_mean)).abs() <= 1e-5 * f64::from(s_std) + 1e-9,
+            "d={d} mean: scalar {s_mean} vs avx2 {a_mean}"
+        );
+        assert!(
+            (f64::from(s_std) - f64::from(a_std)).abs() <= 1e-4 * f64::from(s_std),
+            "d={d} std: scalar {s_std} vs avx2 {a_std}"
+        );
+        for (i, (sv, av)) in s_out.iter().zip(&a_out).enumerate() {
+            let scale = f64::from(gain[i]).abs() + f64::from(bias[i]).abs() + 1.0;
+            assert!(
+                (f64::from(*sv) - f64::from(*av)).abs() <= 1e-3 * scale,
+                "d={d} lane {i}: scalar {sv} vs avx2 {av}"
+            );
+        }
+    }
+}

@@ -225,6 +225,10 @@ pub struct ServeStats {
     pub decode_step_p99: f64,
     /// Dispatch strategy of the live model set (`"replica"` or `"batch"`).
     pub engine: &'static str,
+    /// Active SIMD kernel (`"scalar"` or `"avx2"`, from `VEGA_KERNEL` — see
+    /// `vega_nn::kernel`). Cache keys embed it, so operators can tell which
+    /// mode a node's cached payloads belong to.
+    pub kernel: &'static str,
     /// Heap bytes each replica of the live set owns privately (weights not
     /// borrowed from a shared checkpoint mapping). Zero after a v2 mmap
     /// load — the ROADMAP's resident-bytes-per-replica telemetry.
@@ -263,6 +267,7 @@ impl ServeStats {
             ("decode_step_p90", Json::num_f64(self.decode_step_p90)),
             ("decode_step_p99", Json::num_f64(self.decode_step_p99)),
             ("engine", Json::str(self.engine)),
+            ("kernel", Json::str(self.kernel)),
             (
                 "resident_bytes_per_replica",
                 Json::num_u64(self.resident_bytes_per_replica),
@@ -379,6 +384,18 @@ impl Server {
         }
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        vega_obs::info!(
+            "[vega-serve] listening on {local_addr} (kernel={})",
+            vega_nn::kernel::active_name()
+        );
+        vega_obs::global().gauge_set(
+            "serve.kernel.avx2",
+            if vega_nn::kernel::active() == vega_nn::Isa::Avx2 {
+                1.0
+            } else {
+                0.0
+            },
+        );
         let model_set = Arc::new(ModelSet::new(
             engine,
             cfg.batch,
@@ -493,6 +510,7 @@ fn snapshot(shared: &Shared) -> ServeStats {
         decode_step_p90: step_q(0.9),
         decode_step_p99: step_q(0.99),
         engine: set.mode.as_str(),
+        kernel: vega_nn::kernel::active_name(),
         resident_bytes_per_replica: set.resident_bytes_per_replica,
         batch_steps: obs.counter("serve.batch.steps"),
         batch_joins: obs.counter("serve.batch.joins"),

@@ -6,7 +6,10 @@
 //! two-lane FNV-1a definition in `serve::hash`; if any of them changes, the
 //! on-the-wire key format changed and every cached/traced digest in the
 //! wild is invalidated — that must be a deliberate, versioned decision
-//! (bump the `vega-serve/v1` domain string), never an accident.
+//! (bump the `vega-serve/v2` domain string), never an accident. One such
+//! decision has happened: v1 → v2 appended the kernel mode (`scalar` |
+//! `avx2`) as the final field, so cached payloads can never be served
+//! across kernel modes whose low bits differ.
 
 use vega_serve::hash::{digest_str, StableHasher};
 
@@ -19,6 +22,10 @@ fn digest_str_golden_vectors() {
         "ddeb43d8fefe8eb5172ac9838de85c7d"
     );
     assert_eq!(
+        digest_str("vega-serve/v2"),
+        "ddeb40d8fefe899c172ac6838de85764"
+    );
+    assert_eq!(
         digest_str("getRelocType"),
         "691c4651214229c2d2216287e01a8e94"
     );
@@ -28,17 +35,23 @@ fn digest_str_golden_vectors() {
 #[test]
 fn cache_key_format_golden_vector() {
     // The exact field sequence Engine::cache_key feeds: domain string, model
-    // digest, target name, target-description digest, function group, then
-    // the signature feature ids. Synthetic stand-ins keep the vector
-    // independent of any trained model.
-    let mut h = StableHasher::new();
-    h.write_str("vega-serve/v1");
-    h.write_str("0123456789abcdef0123456789abcdef");
-    h.write_str("RISCV");
-    h.write_str("fedcba9876543210fedcba9876543210");
-    h.write_str("getRelocType");
-    h.write_ids(&[1, 2, 3, 40, 500]);
-    assert_eq!(h.finish_hex(), "1f2f2c3610d8591a99a4e696d6e77cbc");
+    // digest, target name, target-description digest, function group, the
+    // signature feature ids, then the kernel-mode name. Synthetic stand-ins
+    // keep the vector independent of any trained model; both mode suffixes
+    // are pinned so a mode-string change cannot slip by unnoticed.
+    let key = |mode: &str| {
+        let mut h = StableHasher::new();
+        h.write_str("vega-serve/v2");
+        h.write_str("0123456789abcdef0123456789abcdef");
+        h.write_str("RISCV");
+        h.write_str("fedcba9876543210fedcba9876543210");
+        h.write_str("getRelocType");
+        h.write_ids(&[1, 2, 3, 40, 500]);
+        h.write_str(mode);
+        h.finish_hex()
+    };
+    assert_eq!(key("scalar"), "4200a8506c07a50b485b60e57a162b6d");
+    assert_eq!(key("avx2"), "f784463ba55cda781f6b9c4316b1a91a");
 }
 
 #[test]
