@@ -31,6 +31,17 @@ echo "== decode equivalence =="
 VEGA_THREADS=1 cargo test -q -p vega-nn --test decode_equivalence
 VEGA_THREADS=4 cargo test -q -p vega-nn --test decode_equivalence
 
+# Speculative decoding: the GRU-drafted, transformer-verified decoder must
+# be bit-identical to plain greedy at every speculation depth, and its
+# primitives (`step_many` multi-position advance, `truncate` rollback, the
+# dot-form logits projection on both sides of its switch) must be bitwise
+# sound. The kernel matrix below repeats the suite under each forced kernel
+# mode; the decode bench smoke enforces the ≥1.3x speculative throughput
+# floor and the dot-form trip-wire.
+echo "== speculative equivalence =="
+VEGA_THREADS=1 cargo test -q -p vega-nn --test spec_equivalence
+VEGA_THREADS=4 cargo test -q -p vega-nn --test spec_equivalence
+
 # Kernel matrix: every kernel mode this CPU can run (scalar always; avx2
 # when the CPU reports it — a forced `VEGA_KERNEL=avx2` on a host without
 # AVX2 falls back to scalar with a logged notice, so the avx2 leg would be
@@ -50,7 +61,8 @@ for km in $KERNEL_MODES; do
     echo "-- VEGA_KERNEL=$km VEGA_THREADS=$vt --"
     VEGA_KERNEL=$km VEGA_THREADS=$vt cargo test -q -p vega-nn \
       --test kernel_conformance --test kernel_determinism \
-      --test decode_equivalence --test batch_equivalence
+      --test decode_equivalence --test batch_equivalence \
+      --test spec_equivalence
   done
 done
 
@@ -105,6 +117,32 @@ grep -q "loadgen: shutdown=ok" "$SMOKE_DIR/loadgen2.txt"
 grep -q "^served requests=" "$SMOKE_DIR/serve.log"
 grep -q "serve.request" "$SMOKE_DIR/trace.jsonl"
 echo "serve smoke: ok"
+
+# Speculative serve smoke: train the GRU baseline as a draft checkpoint and
+# re-serve the transformer with --speculate 8. Responses must stay
+# byte-identical to direct generation (speculation is exact by
+# construction), and the loadgen window must show actual drafting.
+echo "== speculative serve smoke =="
+target/release/vega-experiments headline --scale tiny --model gru \
+  --save-model "$SMOKE_DIR/draft.ckpt" > "$SMOKE_DIR/headline-gru.txt"
+target/release/vega-serve --checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \
+  --speculate 8 --draft "$SMOKE_DIR/draft.ckpt" \
+  --port-file "$SMOKE_DIR/spec-port" > "$SMOKE_DIR/spec-serve.log" 2>&1 &
+SPEC_PID=$!
+for _ in $(seq 1 150); do
+  [ -s "$SMOKE_DIR/spec-port" ] && break
+  sleep 0.2
+done
+[ -s "$SMOKE_DIR/spec-port" ] || { echo "speculative vega-serve never wrote its port file"; exit 1; }
+target/release/vega-loadgen --addr "127.0.0.1:$(cat "$SMOKE_DIR/spec-port")" \
+  --requests 24 --conns 4 --distinct 4 \
+  --verify-checkpoint "$SMOKE_DIR/ckpt.json" --scale tiny \
+  --shutdown | tee "$SMOKE_DIR/spec-loadgen.txt"
+wait "$SPEC_PID"
+grep -q "speculative decoding on (depth 8)" "$SMOKE_DIR/spec-serve.log"
+grep -q "loadgen: verify=ok" "$SMOKE_DIR/spec-loadgen.txt"
+grep -Eq "spec_drafted=[1-9]" "$SMOKE_DIR/spec-loadgen.txt"
+echo "speculative serve smoke: ok"
 
 # Chaos stage: the same checkpoint served under a deterministic fault plan
 # (connection drops, stalls, corrupt frames — server side only; the plan is
@@ -170,9 +208,10 @@ VEGA_THREADS=4 cargo test -q -p vega-nn --test batch_equivalence
 VEGA_THREADS=1 cargo test -q -p vega-serve --test batch_e2e
 VEGA_THREADS=4 cargo test -q -p vega-serve --test batch_e2e
 
-# Serve bench smoke: on the decode-dominated score workload with a
-# deploy-shaped model, the batch engine must clear 2x the replica baseline
-# in served tokens/sec at equal compute — the PR's headline claim, enforced.
+# Serve bench smoke: on the score workload with a deploy-shaped model, the
+# one-pass prefill scorer must beat the token-stepped loop it replaced, and
+# the batch engine must serve score at parity with the replica engine (both
+# route scoring through the same multi-position prefill path).
 echo "== serve bench smoke =="
 VEGA_SERVE_BENCH_FAST=1 VEGA_BENCH_OUT="$SMOKE_DIR/BENCH_serve.json" \
   cargo bench -p vega-bench --bench serve | tee "$SMOKE_DIR/serve-bench.txt"

@@ -1,36 +1,58 @@
-//! Continuous batching vs replica fanout: served tokens/sec at equal
-//! compute budget, on a decode-dominated `score` workload.
+//! Serving-path throughput on the `score` workload: prefill routing vs the
+//! broker, and engine-mode parity.
 //!
-//! Generation on this corpus is prefill-dominated (one ~50-token encoder
-//! pass per request, then a couple of greedy tokens per statement), and
-//! prefill already amortizes weight reads internally — so batching cannot
-//! show its win there. The `score` op is the decode-dominated serving shape:
-//! each request forces many-token candidate sequences through the decoder
-//! one token at a time, which is exactly the memory-bound loop the broker's
-//! lockstep batching amortizes across requests.
+//! Every token of a `score` candidate is known up front, so
+//! `forced_logprob` scores the whole sequence in ONE multi-position
+//! `step_many` pass — each weight matrix streams from memory once per
+//! candidate instead of once per token. That amortization *within* a
+//! request beats the broker's cross-request lockstep batching (which still
+//! feeds one token per slot per pass), so `handle_score` bypasses the
+//! broker in both engine modes. Continuous batching keeps its win where it
+//! belongs — *generation*, where the next token is unknown until the
+//! previous one is decoded (the wide batch-8 rows in `BENCH_decode.json`
+//! pin that amortization).
 //!
 //! Setup: a deploy-shaped (untrained) transformer over the default corpus
 //! vocabulary — d_model 512, d_ff 2048, 1 encoder + 3 decoder layers, far
-//! larger than L2, so single-slot decode is weight-bandwidth-bound. Four
-//! concurrent clients each fire `score` requests (4 candidates x 88 tokens)
-//! against an in-process server in `replica` mode and again in `batch`
-//! mode. Every response is byte-checked against direct in-process scoring
-//! while being timed. Reports scored tokens/sec per mode and writes
-//! `BENCH_serve.json` (override with `VEGA_BENCH_OUT`;
+//! larger than L2, so single-stream decode is weight-bandwidth-bound. Two
+//! measurements, both byte-checked against direct in-process scoring:
+//!
+//! * **engine parity** — four concurrent clients fire `score` requests
+//!   (4 candidates x 88 tokens) at an in-process server in `replica` mode
+//!   and again in `batch` mode; both hit the same prefill path, so the
+//!   batch engine must not tax scoring (floor below);
+//! * **prefill vs stepped** — in-process, the one-pass `forced_logprob`
+//!   against the token-at-a-time `begin_decode`/`step` loop it replaced
+//!   (bit-identical logprob asserted first), interleaved round-robin with
+//!   per-path minima so a steal burst cannot land on one side of the ratio.
+//!
+//! Writes `BENCH_serve.json` (override with `VEGA_BENCH_OUT`;
 //! `VEGA_SERVE_BENCH_FAST=1` shrinks the rep count for the CI smoke run).
-//! Prints `serve: smoke=ok` only if the batch engine clears 2x the replica
-//! baseline.
+//! Prints `serve: smoke=ok` only if both floors hold.
 
 use std::time::Instant;
 use vega::{Vega, VegaConfig};
 use vega_model::CodeBe;
-use vega_nn::TransformerConfig;
+use vega_nn::kernel::softmax_row;
+use vega_nn::{Seq2Seq, Transformer, TransformerConfig};
 use vega_obs::json::Json;
 use vega_serve::{Client, Engine, EngineMode, ServeConfig, Server};
 
 const CLIENTS: usize = 4;
 const CANDS: usize = 4;
 const CAND_LEN: usize = 88;
+
+/// Engine-mode parity floor for served score tokens/sec (batch / replica).
+/// Score takes the identical prefill path in both modes, so this should sit
+/// at ~1.0; the floor leaves room for scheduler noise on a shared core while
+/// still catching the broker being (re-)inserted into the scoring path.
+const BATCH_PARITY_FLOOR: f64 = 0.75;
+
+/// Floor for the one-pass prefill scorer against the token-stepped loop it
+/// replaced, on the deploy-shaped model (measured ~3x here: 88 rows per
+/// weight-matrix stream vs 1). Falling toward 1x means `forced_logprob`
+/// stopped using `step_many`.
+const PREFILL_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Small-scale pipeline config, zero training epochs: only the corpus
 /// artifacts (vocabulary, templates, catalog) matter here; the bench model's
@@ -46,9 +68,9 @@ fn bench_config() -> VegaConfig {
 /// weight matrices dwarf the cache hierarchy. Construction is deterministic
 /// (seeded init), so every call yields a bit-identical model — the reference
 /// engine and both served engines score identically by construction.
-fn bench_engine(vocab: &vega_model::Vocab) -> Engine {
-    let model = CodeBe::transformer(vocab.clone(), |v| TransformerConfig {
-        vocab: v,
+fn deploy_cfg(vocab: usize) -> TransformerConfig {
+    TransformerConfig {
+        vocab,
         d_model: 512,
         n_heads: 4,
         d_ff: 2048,
@@ -56,7 +78,11 @@ fn bench_engine(vocab: &vega_model::Vocab) -> Engine {
         n_dec_layers: 3,
         max_len: 128,
         seed: 0xC0DE,
-    });
+    }
+}
+
+fn bench_engine(vocab: &vega_model::Vocab) -> Engine {
+    let model = CodeBe::transformer(vocab.clone(), deploy_cfg);
     let vega = Vega::with_model(bench_config(), model).expect("model fits the corpus");
     Engine::new(vega)
 }
@@ -213,16 +239,83 @@ fn main() {
     );
     let replica = run_mode(&vocab, EngineMode::Replica, &pairs, &expected, reps);
     let batch = run_mode(&vocab, EngineMode::Batch, &pairs, &expected, reps);
-    vega_par::set_threads(0);
 
-    let speedup = batch.tokens_per_sec / replica.tokens_per_sec;
+    let parity = batch.tokens_per_sec / replica.tokens_per_sec;
     for (name, run) in [("replica", &replica), ("batch", &batch)] {
         println!(
             "{name:>7}: {:>8.0} tok/s | {:>6.1} req/s | {} tokens, {} requests in {:.2}s",
             run.tokens_per_sec, run.requests_per_sec, run.tokens, run.requests, run.seconds
         );
     }
-    println!("batch/replica tokens/sec: {speedup:.2}x");
+    println!("batch/replica tokens/sec: {parity:.2}x (score takes the same prefill path in both engines)");
+
+    // In-process: the routing decision itself. One multi-position prefill
+    // pass per candidate vs the token-at-a-time loop `forced_logprob` used
+    // before `step_many` existed, on the same deploy-shaped model.
+    let vocab_n = vocab.len();
+    let mut model = Transformer::new(deploy_cfg(vocab_n));
+    let src: Vec<usize> = (0..48)
+        .map(|t| 4 + (splitmix(0xBEEF ^ t as u64) % 16) as usize)
+        .collect();
+    let nn_pairs: Vec<(Vec<usize>, Vec<usize>)> = candidates_for(0)
+        .into_iter()
+        .map(|c| {
+            let mut tin = vec![1usize];
+            tin.extend(&c[..c.len() - 1]);
+            (tin, c)
+        })
+        .collect();
+    let stepped_once = |m: &Transformer| -> f32 {
+        let mut total = 0.0f32;
+        let mut probs = vec![0.0f32; vocab_n];
+        for (tin, tout) in &nn_pairs {
+            let mut st = m.begin_decode(&src);
+            let mut lp = 0.0f32;
+            for (&ti, &to) in tin.iter().zip(tout.iter()) {
+                probs.copy_from_slice(st.step(ti));
+                softmax_row(&mut probs);
+                lp += probs[to].max(1e-12).ln();
+            }
+            total += lp;
+        }
+        total
+    };
+    let prefill_lp: f32 = nn_pairs
+        .iter()
+        .map(|(tin, tout)| model.forced_logprob(&src, tin, tout))
+        .sum();
+    let stepped_lp = stepped_once(&model);
+    assert_eq!(
+        prefill_lp.to_bits(),
+        stepped_lp.to_bits(),
+        "prefill scoring diverged from the token-stepped loop \
+         (prefill {prefill_lp}, stepped {stepped_lp})"
+    );
+    // Interleaved rounds, per-path minima; round 0 is warm-up.
+    let rounds = if reps == 1 { 2 } else { 4 };
+    let (mut prefill_secs, mut stepped_secs) = (f64::INFINITY, f64::INFINITY);
+    for round in 0..rounds + 1 {
+        let t0 = Instant::now();
+        for (tin, tout) in &nn_pairs {
+            std::hint::black_box(model.forced_logprob(&src, tin, tout));
+        }
+        let p = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        std::hint::black_box(stepped_once(&model));
+        let s = t0.elapsed().as_secs_f64();
+        if round > 0 {
+            prefill_secs = prefill_secs.min(p);
+            stepped_secs = stepped_secs.min(s);
+        }
+    }
+    vega_par::set_threads(0);
+    let score_tokens = (CANDS * CAND_LEN) as f64;
+    let prefill_speedup = stepped_secs / prefill_secs;
+    println!(
+        "prefill: {:>8.0} tok/s | stepped: {:>8.0} tok/s | prefill speedup {prefill_speedup:.2}x",
+        score_tokens / prefill_secs,
+        score_tokens / stepped_secs,
+    );
 
     let out_path =
         std::env::var("VEGA_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
@@ -256,14 +349,36 @@ fn main() {
                     .collect(),
             ),
         ),
-        ("speedup_tokens_per_sec", Json::num_f64(speedup)),
+        ("batch_parity_tokens_per_sec", Json::num_f64(parity)),
+        (
+            "scoring",
+            Json::Arr(
+                [("prefill", prefill_secs), ("stepped", stepped_secs)]
+                    .into_iter()
+                    .map(|(path, secs)| {
+                        Json::obj([
+                            ("path", Json::str(path)),
+                            ("seconds_per_request", Json::num_f64(secs)),
+                            ("tokens_per_sec", Json::num_f64(score_tokens / secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("prefill_scoring_speedup", Json::num_f64(prefill_speedup)),
     ]);
     std::fs::write(&out_path, doc.render()).expect("write bench json");
-    println!("wrote {out_path} (batch speedup {speedup:.2}x)");
-    if speedup >= 2.0 {
+    println!(
+        "wrote {out_path} (batch parity {parity:.2}x, prefill scoring speedup {prefill_speedup:.2}x)"
+    );
+    if parity >= BATCH_PARITY_FLOOR && prefill_speedup >= PREFILL_SPEEDUP_FLOOR {
         println!("serve: smoke=ok");
     } else {
-        println!("serve: smoke=FAIL (batch engine under 2x the replica baseline)");
+        println!(
+            "serve: smoke=FAIL (batch engine under {BATCH_PARITY_FLOOR}x parity with the replica \
+             engine on score, or prefill scoring under {PREFILL_SPEEDUP_FLOOR}x the token-stepped \
+             loop)"
+        );
         std::process::exit(1);
     }
 }

@@ -6,7 +6,7 @@
 //!                  [--scale tiny|small] [--synthetic N] [--epochs E]
 //!                  [--pretrain STEPS] [--seed S] [--threads N]
 //!                  [--trace-out PATH] [--save-model PATH] [--load-model PATH]
-//!                  [--ckpt-format v1|v2]
+//!                  [--ckpt-format v1|v2] [--model transformer|gru]
 //! ```
 //!
 //! `all` trains once and renders every artifact off the same model; the
@@ -25,6 +25,10 @@
 //! have been produced with the same `--scale`/`--synthetic`/`--seed`, or
 //! loading fails with a vocabulary mismatch. `vega-serve` consumes the
 //! same files.
+//!
+//! `--model gru` trains the GRU baseline instead of the transformer — the
+//! cheap way to produce a speculation draft checkpoint for
+//! `vega-serve --draft` (a draft must be GRU-backed).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -45,6 +49,7 @@ struct Args {
     save_model: Option<PathBuf>,
     load_model: Option<PathBuf>,
     ckpt_format: vega_model::CkptFormat,
+    model: ModelChoice,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +65,7 @@ fn parse_args() -> Args {
         save_model: None,
         load_model: None,
         ckpt_format: vega_model::CkptFormat::V2,
+        model: ModelChoice::Transformer,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -112,6 +118,19 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--model" => {
+                i += 1;
+                args.model = match argv.get(i).map(String::as_str) {
+                    Some("gru") => ModelChoice::Gru,
+                    Some("transformer") | None => ModelChoice::Transformer,
+                    Some(other) => {
+                        vega_obs::error!(
+                            "--model: unknown architecture `{other}` (transformer|gru)"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             cmd if !cmd.starts_with("--") => args.command = cmd.to_string(),
             other => vega_obs::warn!("ignoring unknown flag {other}"),
         }
@@ -136,6 +155,7 @@ fn config_from(args: &Args) -> VegaConfig {
     }
     cfg.seed = args.seed;
     cfg.train.seed = args.seed ^ 1;
+    cfg.model = args.model;
     cfg
 }
 

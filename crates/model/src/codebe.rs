@@ -8,6 +8,7 @@
 
 use crate::backend::{BackendHandle, DecodeAbort};
 use crate::vocab::{Special, Vocab};
+use std::sync::Arc;
 use std::time::Instant;
 use vega_nn::{BatchDecode, GruConfig, GruSeq2Seq, Seq2Seq, Transformer, TransformerConfig};
 use vega_obs::json::{Json, JsonError};
@@ -87,6 +88,13 @@ pub struct CodeBe {
     /// [`CodeBe::try_sequence_logprob`] route through it instead of running
     /// the in-process incremental path (not serialized; clones share it).
     backend: Option<BackendHandle>,
+    /// Optional speculative-decoding draft: a cheap GRU that proposes tokens
+    /// the transformer verifies in multi-position passes
+    /// ([`vega_nn::speculative_greedy`]). `None` or depth 0 means plain
+    /// greedy. Not serialized; clones share the draft weights via the `Arc`.
+    draft: Option<Arc<GruSeq2Seq>>,
+    /// Speculation depth k (tokens drafted per verifier pass).
+    spec_depth: usize,
 }
 
 /// Deterministic shuffling/masking RNG (splitmix64, private copy).
@@ -121,6 +129,8 @@ impl CodeBe {
             model: ModelKind::Transformer(Transformer::new(cfg)),
             curve: TrainingCurve::new(),
             backend: None,
+            draft: None,
+            spec_depth: 0,
         }
     }
 
@@ -132,6 +142,8 @@ impl CodeBe {
             model: ModelKind::Gru(GruSeq2Seq::new(cfg)),
             curve: TrainingCurve::new(),
             backend: None,
+            draft: None,
+            spec_depth: 0,
         }
     }
 
@@ -306,6 +318,47 @@ impl CodeBe {
         self.backend.clone()
     }
 
+    /// Installs (or with `None`, removes) a speculative-decoding draft model
+    /// with depth `k` tokens per verifier pass. The draft must share this
+    /// model's vocabulary (same subword table) — drafts are only consulted
+    /// for *proposals*, so a mismatched draft degrades throughput, never
+    /// correctness. Speculation applies to [`CodeBe::try_generate`] on a
+    /// transformer model without a decode backend; every other combination
+    /// degrades gracefully to plain greedy with a logged warning (mirroring
+    /// `VEGA_KERNEL=avx2` on a non-AVX2 CPU).
+    pub fn set_speculative(&mut self, draft: Option<Arc<GruSeq2Seq>>, k: usize) {
+        self.draft = draft;
+        self.spec_depth = k;
+    }
+
+    /// The configured speculation depth, or 0 when speculation is off
+    /// (no draft installed or depth 0).
+    pub fn speculation_depth(&self) -> usize {
+        if self.draft.is_some() {
+            self.spec_depth
+        } else {
+            0
+        }
+    }
+
+    /// The underlying GRU when this CodeBE is GRU-backed — how a serve
+    /// process turns a small GRU checkpoint into a speculation draft for a
+    /// transformer model.
+    pub fn gru_model(&self) -> Option<&GruSeq2Seq> {
+        match &self.model {
+            ModelKind::Gru(g) => Some(g),
+            ModelKind::Transformer(_) => None,
+        }
+    }
+
+    /// Consumes this CodeBE and returns its GRU, if GRU-backed.
+    pub fn into_gru(self) -> Option<GruSeq2Seq> {
+        match self.model {
+            ModelKind::Gru(g) => Some(g),
+            ModelKind::Transformer(_) => None,
+        }
+    }
+
     /// Greedy generation for an input id sequence.
     ///
     /// # Panics
@@ -336,6 +389,39 @@ impl CodeBe {
         }
         let bos = self.vocab.special(Special::Bos);
         let eos = self.vocab.special(Special::Eos);
+        if let Some(draft) = &self.draft {
+            if self.spec_depth > 0 {
+                match &self.model {
+                    ModelKind::Transformer(t) => {
+                        // Exact by construction: the stream is bit-identical
+                        // to the plain greedy branch below.
+                        let (out, _report) = vega_nn::speculative_greedy(
+                            t,
+                            draft,
+                            input,
+                            bos,
+                            eos,
+                            max_len,
+                            self.spec_depth,
+                        );
+                        return Ok(out);
+                    }
+                    ModelKind::Gru(_) => {
+                        // A GRU drafting for a GRU verifier has nothing to
+                        // amortize (no multi-position KV prefill); warn once
+                        // and serve plain greedy.
+                        static WARNED: std::sync::Once = std::sync::Once::new();
+                        WARNED.call_once(|| {
+                            vega_obs::global().event(
+                                vega_obs::Level::Warn,
+                                "speculative decoding requires a transformer verifier; \
+                                 GRU model falls back to plain greedy",
+                            );
+                        });
+                    }
+                }
+            }
+        }
         Ok(self.model.as_seq2seq().greedy(input, bos, eos, max_len))
     }
 
@@ -452,6 +538,8 @@ impl CodeBe {
             model,
             curve: TrainingCurve::new(),
             backend: None,
+            draft: None,
+            spec_depth: 0,
         })
     }
 
@@ -477,6 +565,8 @@ impl CodeBe {
             model,
             curve: TrainingCurve::new(),
             backend: None,
+            draft: None,
+            spec_depth: 0,
         })
     }
 }

@@ -48,6 +48,7 @@ use crate::gru::{GruCell, GruSeq2Seq};
 use crate::kernel::{with_kernel, Kernel, K_TILE};
 use crate::tensor::Tensor;
 use crate::transformer::{AttnParams, FfParams, LnParams, Transformer};
+use std::sync::Arc;
 
 /// Per-thread decode attribution: how many tokens the *current thread* has
 /// decoded, and how long the decode steps took, since the last [`reset`].
@@ -119,6 +120,55 @@ pub(crate) use crate::kernel::{add_assign, dot, layer_norm_row, row_matmul_into}
 /// broker scoring forced sequences) can replicate `forced_logprob`'s exact
 /// f32 sequence instead of reimplementing it.
 pub use crate::kernel::softmax_row;
+
+/// One logits row `out = xn · w + b`, branching on
+/// [`crate::kernel::dot_form_logits`]: dot-form reads the pre-transposed
+/// weight `wt` (`vocab × d`) one contiguous row per vocab id through the
+/// fixed-tree [`Kernel::dot`] (the AVX2 win the matmul bench measures);
+/// axpy-form is the classic [`row_matmul_into`] column sweep (faster in
+/// scalar mode, whose serial-chain `dot` loses ~4×). Every decode *and*
+/// graph-reference path funnels through this same branch, so within one
+/// (kernel mode, dot-form) setting the two sides stay bit-identical.
+pub(crate) fn project_logits_row(xn: &[f32], w: &Tensor, wt: &Tensor, b: &[f32], out: &mut [f32]) {
+    if crate::kernel::dot_form_logits() {
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = dot(xn, wt.row(v));
+        }
+    } else {
+        row_matmul_into(xn, w, out);
+    }
+    add_assign(out, b);
+}
+
+/// Batched [`project_logits_row`]: one logits row per listed slot (`xn` at
+/// stride `w.rows`, `out` at stride `w.cols`). The dot-form loop is
+/// weight-major — each transposed weight row crosses the cache hierarchy
+/// once for the whole batch, mirroring [`batch_row_matmul_into`]'s
+/// amortization — and per slot the f32 sequence is exactly the single-row
+/// helper's, so batch and single logits agree bitwise.
+pub(crate) fn project_logits_rows(
+    slots: &[usize],
+    xn: &[f32],
+    w: &Tensor,
+    wt: &Tensor,
+    b: &[f32],
+    out: &mut [f32],
+) {
+    let (d, vocab) = (w.rows, w.cols);
+    if crate::kernel::dot_form_logits() {
+        for v in 0..vocab {
+            let wr = wt.row(v);
+            for &s in slots {
+                out[s * vocab + v] = dot(&xn[s * d..(s + 1) * d], wr);
+            }
+        }
+    } else {
+        batch_row_matmul_into(slots, xn, w, out);
+    }
+    for &s in slots {
+        add_assign(&mut out[s * vocab..(s + 1) * vocab], b);
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Forward-only matrix helpers (encoder; runs once per decode)
@@ -251,6 +301,7 @@ impl Transformer {
         }
         DecodeState {
             model: self,
+            wt: self.out_proj_t(),
             cross_k,
             cross_v,
             self_k,
@@ -265,6 +316,7 @@ impl Transformer {
             tmp_d: vec![0.0; d],
             ff: vec![0.0; self.cfg.d_ff],
             logits: vec![0.0; self.cfg.vocab],
+            many: ManyScratch::default(),
         }
     }
 
@@ -287,6 +339,10 @@ impl Transformer {
 /// [`Transformer::begin_decode`], advance with [`DecodeState::step`].
 pub struct DecodeState<'m> {
     model: &'m Transformer,
+    /// The output projection pre-transposed to `vocab × d`, snapshotted from
+    /// the model's epoch-keyed cache once per session (weights are immutable
+    /// while the state borrows the model, so it cannot go stale mid-decode).
+    wt: Arc<Tensor>,
     /// `[layer][head]`: encoder keys/values (`enc_len × d_head`), fixed.
     cross_k: Vec<Vec<Tensor>>,
     cross_v: Vec<Vec<Tensor>>,
@@ -305,6 +361,46 @@ pub struct DecodeState<'m> {
     tmp_d: Vec<f32>,
     ff: Vec<f32>,
     logits: Vec<f32>,
+    /// Flat multi-position scratch for [`DecodeState::step_many`], grown
+    /// lazily to the largest chunk fed (plain `step` never touches it).
+    many: ManyScratch,
+}
+
+/// Flat per-position scratch for [`DecodeState::step_many`]: one row per
+/// chunk position at the natural stride for each buffer, mirroring
+/// [`BatchDecodeState`]'s layout with positions in place of slots.
+#[derive(Default)]
+struct ManyScratch {
+    ids: Vec<usize>,
+    x: Vec<f32>,
+    xn: Vec<f32>,
+    q: Vec<f32>,
+    kv_row: Vec<f32>,
+    heads: Vec<f32>,
+    tmp_d: Vec<f32>,
+    ff: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl ManyScratch {
+    fn ensure(&mut self, t: usize, d: usize, dh: usize, d_ff: usize, vocab: usize) {
+        fn grow(v: &mut Vec<f32>, n: usize) {
+            if v.len() < n {
+                v.resize(n, 0.0);
+            }
+        }
+        if self.ids.len() != t {
+            self.ids = (0..t).collect();
+        }
+        grow(&mut self.x, t * d);
+        grow(&mut self.xn, t * d);
+        grow(&mut self.q, t * dh);
+        grow(&mut self.kv_row, t * dh);
+        grow(&mut self.heads, t * d);
+        grow(&mut self.tmp_d, t * d);
+        grow(&mut self.ff, t * d_ff);
+        grow(&mut self.logits, t * vocab);
+    }
 }
 
 impl DecodeState<'_> {
@@ -427,10 +523,239 @@ impl DecodeState<'_> {
             m.store.value(m.final_ln.bias).as_slice(),
             &mut self.xn,
         );
-        row_matmul_into(&self.xn, m.store.value(m.w_out), &mut self.logits);
-        add_assign(&mut self.logits, m.store.value(m.b_out).as_slice());
+        project_logits_row(
+            &self.xn,
+            m.store.value(m.w_out),
+            &self.wt,
+            m.store.value(m.b_out).as_slice(),
+            &mut self.logits,
+        );
         self.len += 1;
         &self.logits
+    }
+
+    /// Feeds `tokens` at the next `tokens.len()` positions in **one**
+    /// causal-masked multi-position pass and returns their logits rows,
+    /// flattened (`tokens.len() × vocab`, row `i` for `tokens[i]`).
+    ///
+    /// Bit-identical to calling [`DecodeState::step`] once per token: the
+    /// batched projections reuse [`batch_row_matmul_into`] (per-row
+    /// bit-identical to the single-row kernel), K/V rows are appended in
+    /// position order, and each position attends only over its causal prefix
+    /// of the shared cache — later rows exist but are never read, exactly as
+    /// the graph path's `-1e9` mask zeroes them out. This is the verify pass
+    /// of speculative decoding and the one-pass prompt prefill for forced
+    /// scoring; per-position cost amortizes every weight read over the chunk.
+    ///
+    /// # Panics
+    /// Panics if the chunk would run past `max_len`.
+    pub fn step_many(&mut self, tokens: &[usize]) -> &[f32] {
+        let m = self.model;
+        let d = m.cfg.d_model;
+        let n_heads = m.cfg.n_heads;
+        let dh = d / n_heads;
+        let vocab = m.cfg.vocab;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let t = tokens.len();
+        assert!(self.len + t <= m.cfg.max_len, "decode past max_len");
+        self.many.ensure(t, d, dh, m.cfg.d_ff, vocab);
+        let len_before = self.len;
+        // Token + positional embedding per position.
+        let tok = m.store.value(m.tok_emb);
+        let pos_t = m.store.value(m.pos_emb);
+        for (i, &token) in tokens.iter().enumerate() {
+            let te = tok.row(token);
+            let pe = pos_t.row((len_before + i).min(m.cfg.max_len - 1));
+            let x = &mut self.many.x[i * d..(i + 1) * d];
+            for c in 0..d {
+                x[c] = te[c] + pe[c];
+            }
+        }
+        for (l, layer) in m.dec_layers.iter().enumerate() {
+            // Self-attention: project and append ALL chunk K/V rows first
+            // (row j depends only on its own input), then attend each
+            // position over its own causal prefix `len_before + i + 1`.
+            for &i in &self.many.ids {
+                layer_norm_row(
+                    &self.many.x[i * d..(i + 1) * d],
+                    m.store.value(layer.ln1.gain).as_slice(),
+                    m.store.value(layer.ln1.bias).as_slice(),
+                    &mut self.many.xn[i * d..(i + 1) * d],
+                );
+            }
+            for h in 0..n_heads {
+                batch_row_matmul_into(
+                    &self.many.ids,
+                    &self.many.xn,
+                    m.store.value(layer.self_attn.wq[h]),
+                    &mut self.many.q,
+                );
+                batch_row_matmul_into(
+                    &self.many.ids,
+                    &self.many.xn,
+                    m.store.value(layer.self_attn.wk[h]),
+                    &mut self.many.kv_row,
+                );
+                for &i in &self.many.ids {
+                    self.self_k[l][h].push_row(&self.many.kv_row[i * dh..(i + 1) * dh]);
+                }
+                batch_row_matmul_into(
+                    &self.many.ids,
+                    &self.many.xn,
+                    m.store.value(layer.self_attn.wv[h]),
+                    &mut self.many.kv_row,
+                );
+                for &i in &self.many.ids {
+                    self.self_v[l][h].push_row(&self.many.kv_row[i * dh..(i + 1) * dh]);
+                }
+                for &i in &self.many.ids {
+                    let (sk, sv) = (&self.self_k[l][h], &self.self_v[l][h]);
+                    let t1 = len_before + i + 1;
+                    let scores = &mut self.scores[..t1];
+                    let q = &self.many.q[i * dh..(i + 1) * dh];
+                    for (j, sc) in scores.iter_mut().enumerate() {
+                        *sc = dot(q, sk.row(j)) * scale;
+                    }
+                    softmax_row(scores);
+                    row_matmul_into(
+                        scores,
+                        sv,
+                        &mut self.many.heads[i * d + h * dh..i * d + (h + 1) * dh],
+                    );
+                }
+            }
+            batch_row_matmul_into(
+                &self.many.ids,
+                &self.many.heads,
+                m.store.value(layer.self_attn.wo),
+                &mut self.many.tmp_d,
+            );
+            for &i in &self.many.ids {
+                add_assign(
+                    &mut self.many.x[i * d..(i + 1) * d],
+                    &self.many.tmp_d[i * d..(i + 1) * d],
+                );
+            }
+            // Cross-attention against the fixed encoder K/V.
+            for &i in &self.many.ids {
+                layer_norm_row(
+                    &self.many.x[i * d..(i + 1) * d],
+                    m.store.value(layer.ln2.gain).as_slice(),
+                    m.store.value(layer.ln2.bias).as_slice(),
+                    &mut self.many.xn[i * d..(i + 1) * d],
+                );
+            }
+            for h in 0..n_heads {
+                batch_row_matmul_into(
+                    &self.many.ids,
+                    &self.many.xn,
+                    m.store.value(layer.cross_attn.wq[h]),
+                    &mut self.many.q,
+                );
+                for &i in &self.many.ids {
+                    let (ck, cv) = (&self.cross_k[l][h], &self.cross_v[l][h]);
+                    let scores = &mut self.scores[..ck.rows];
+                    let q = &self.many.q[i * dh..(i + 1) * dh];
+                    for (j, sc) in scores.iter_mut().enumerate() {
+                        *sc = dot(q, ck.row(j)) * scale;
+                    }
+                    softmax_row(scores);
+                    row_matmul_into(
+                        scores,
+                        cv,
+                        &mut self.many.heads[i * d + h * dh..i * d + (h + 1) * dh],
+                    );
+                }
+            }
+            batch_row_matmul_into(
+                &self.many.ids,
+                &self.many.heads,
+                m.store.value(layer.cross_attn.wo),
+                &mut self.many.tmp_d,
+            );
+            for &i in &self.many.ids {
+                add_assign(
+                    &mut self.many.x[i * d..(i + 1) * d],
+                    &self.many.tmp_d[i * d..(i + 1) * d],
+                );
+            }
+            // Feed-forward.
+            for &i in &self.many.ids {
+                layer_norm_row(
+                    &self.many.x[i * d..(i + 1) * d],
+                    m.store.value(layer.ln3.gain).as_slice(),
+                    m.store.value(layer.ln3.bias).as_slice(),
+                    &mut self.many.xn[i * d..(i + 1) * d],
+                );
+            }
+            let d_ff = m.cfg.d_ff;
+            batch_row_matmul_into(
+                &self.many.ids,
+                &self.many.xn,
+                m.store.value(layer.ff.w1),
+                &mut self.many.ff,
+            );
+            for &i in &self.many.ids {
+                let ff = &mut self.many.ff[i * d_ff..(i + 1) * d_ff];
+                add_assign(ff, m.store.value(layer.ff.b1).as_slice());
+                for v in ff.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            batch_row_matmul_into(
+                &self.many.ids,
+                &self.many.ff,
+                m.store.value(layer.ff.w2),
+                &mut self.many.tmp_d,
+            );
+            for &i in &self.many.ids {
+                let tmp = &mut self.many.tmp_d[i * d..(i + 1) * d];
+                add_assign(tmp, m.store.value(layer.ff.b2).as_slice());
+            }
+            for &i in &self.many.ids {
+                add_assign(
+                    &mut self.many.x[i * d..(i + 1) * d],
+                    &self.many.tmp_d[i * d..(i + 1) * d],
+                );
+            }
+        }
+        for &i in &self.many.ids {
+            layer_norm_row(
+                &self.many.x[i * d..(i + 1) * d],
+                m.store.value(m.final_ln.gain).as_slice(),
+                m.store.value(m.final_ln.bias).as_slice(),
+                &mut self.many.xn[i * d..(i + 1) * d],
+            );
+        }
+        project_logits_rows(
+            &self.many.ids,
+            &self.many.xn,
+            m.store.value(m.w_out),
+            &self.wt,
+            m.store.value(m.b_out).as_slice(),
+            &mut self.many.logits,
+        );
+        self.len += t;
+        &self.many.logits[..t * vocab]
+    }
+
+    /// Rolls the session back to `len` fed tokens, popping the newer
+    /// self-attention K/V rows in every layer and head — how speculative
+    /// decoding discards positions whose input tokens the verifier rejected.
+    /// Scratch and the fixed cross-attention K/V are untouched; re-feeding
+    /// over the popped rows reproduces the sequential path bit for bit (and
+    /// reuses the retained cache capacity).
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len, "truncate beyond current length");
+        for layer in self.self_k.iter_mut().chain(self.self_v.iter_mut()) {
+            for cache in layer.iter_mut() {
+                cache.truncate_rows(len);
+            }
+        }
+        self.len = len;
     }
 }
 
@@ -448,6 +773,7 @@ impl GruSeq2Seq {
         let d = self.cfg.d_model;
         let mut st = GruDecodeState {
             model: self,
+            wt: self.out_proj_t(),
             h: vec![0.0; d],
             xin: vec![0.0; 2 * d],
             z: vec![0.0; d],
@@ -479,6 +805,8 @@ impl GruSeq2Seq {
 /// [`GruSeq2Seq::begin_decode`], advance with [`GruDecodeState::step`].
 pub struct GruDecodeState<'m> {
     model: &'m GruSeq2Seq,
+    /// Pre-transposed output projection, snapshotted like `DecodeState`'s.
+    wt: Arc<Tensor>,
     h: Vec<f32>,
     xin: Vec<f32>,
     z: Vec<f32>,
@@ -532,9 +860,31 @@ impl GruDecodeState<'_> {
         let emb = m.store.value(m.emb);
         let x: Vec<f32> = emb.row(token).to_vec();
         self.cell_fwd(&m.dec, &x);
-        row_matmul_into(&self.h, m.store.value(m.w_out), &mut self.logits);
-        add_assign(&mut self.logits, m.store.value(m.b_out).as_slice());
+        project_logits_row(
+            &self.h,
+            m.store.value(m.w_out),
+            &self.wt,
+            m.store.value(m.b_out).as_slice(),
+            &mut self.logits,
+        );
         &self.logits
+    }
+
+    /// Snapshots the recurrent hidden state. With [`GruDecodeState::restore`]
+    /// this is the GRU's whole-state rollback: the speculative driver saves
+    /// before advancing the draft past unverified tokens and restores to the
+    /// last verified position on a mismatch (the recurrent analog of
+    /// [`DecodeState::truncate`]).
+    pub fn save(&self) -> Vec<f32> {
+        self.h.clone()
+    }
+
+    /// Restores a snapshot taken by [`GruDecodeState::save`].
+    ///
+    /// # Panics
+    /// Panics if `h` was saved from a different width.
+    pub fn restore(&mut self, h: &[f32]) {
+        self.h.copy_from_slice(h);
     }
 }
 
@@ -674,6 +1024,8 @@ struct TfSlot {
 /// trait.
 pub struct BatchDecodeState<'m> {
     model: &'m Transformer,
+    /// Pre-transposed output projection, snapshotted once per batch.
+    wt: Arc<Tensor>,
     slots: Vec<Option<TfSlot>>,
     occupied: usize,
     // Shared scratch, one row per slot (flat, stride = row width).
@@ -698,6 +1050,7 @@ impl Transformer {
         let dh = d / self.cfg.n_heads;
         BatchDecodeState {
             model: self,
+            wt: self.out_proj_t(),
             slots: (0..cap).map(|_| None).collect(),
             occupied: 0,
             x: vec![0.0; cap * d],
@@ -916,11 +1269,15 @@ impl BatchDecode for BatchDecodeState<'_> {
                 &mut self.xn[s * d..(s + 1) * d],
             );
         }
-        let vocab = m.cfg.vocab;
-        batch_row_matmul_into(&ids, &self.xn, m.store.value(m.w_out), &mut self.logits);
+        project_logits_rows(
+            &ids,
+            &self.xn,
+            m.store.value(m.w_out),
+            &self.wt,
+            m.store.value(m.b_out).as_slice(),
+            &mut self.logits,
+        );
         for &s in &ids {
-            let logits = &mut self.logits[s * vocab..(s + 1) * vocab];
-            add_assign(logits, m.store.value(m.b_out).as_slice());
             self.slots[s].as_mut().expect("active slot").len += 1;
         }
     }
@@ -946,6 +1303,8 @@ struct GruSlot {
 /// [`BatchDecodeState`]. Create with [`GruSeq2Seq::begin_batch_decode`].
 pub struct GruBatchDecodeState<'m> {
     model: &'m GruSeq2Seq,
+    /// Pre-transposed output projection, snapshotted once per batch.
+    wt: Arc<Tensor>,
     slots: Vec<Option<GruSlot>>,
     occupied: usize,
     /// Hidden states, one row of width `d_model` per slot.
@@ -968,6 +1327,7 @@ impl GruSeq2Seq {
         let d = self.cfg.d_model;
         GruBatchDecodeState {
             model: self,
+            wt: self.out_proj_t(),
             slots: (0..cap).map(|_| None).collect(),
             occupied: 0,
             h: vec![0.0; cap * d],
@@ -1065,11 +1425,15 @@ impl BatchDecode for GruBatchDecodeState<'_> {
                 self.h[s * d + i] = keep + new;
             }
         }
-        let vocab = m.cfg.vocab;
-        batch_row_matmul_into(&ids, &self.h, m.store.value(m.w_out), &mut self.logits);
+        project_logits_rows(
+            &ids,
+            &self.h,
+            m.store.value(m.w_out),
+            &self.wt,
+            m.store.value(m.b_out).as_slice(),
+            &mut self.logits,
+        );
         for &s in &ids {
-            let logits = &mut self.logits[s * vocab..(s + 1) * vocab];
-            add_assign(logits, m.store.value(m.b_out).as_slice());
             self.slots[s].as_mut().expect("active slot").len += 1;
         }
     }

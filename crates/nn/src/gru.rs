@@ -5,9 +5,10 @@
 //! VEGA" side of that ablation.
 
 use crate::graph::{Graph, NodeId};
-use crate::params::{Init, ParamId, ParamStore};
+use crate::params::{Init, OutProjCache, ParamId, ParamStore};
 use crate::seq2seq::Seq2Seq;
 use crate::tensor::Tensor;
+use std::sync::Arc;
 use vega_obs::json::{Json, JsonError};
 
 /// GRU hyperparameters.
@@ -98,6 +99,9 @@ pub struct GruSeq2Seq {
     pub(crate) dec: GruCell,
     pub(crate) w_out: ParamId,
     pub(crate) b_out: ParamId,
+    /// Cached `w_out` transpose for the dot-form logits path (see
+    /// [`crate::Transformer`]'s field of the same name).
+    pub(crate) out_t: OutProjCache,
 }
 
 fn make_cell(store: &mut ParamStore, init: &mut Init, name: &str, d: usize) -> GruCell {
@@ -157,12 +161,33 @@ impl GruSeq2Seq {
             dec,
             w_out,
             b_out,
+            out_t: OutProjCache::default(),
         }
     }
 
     /// Number of trainable scalars.
     pub fn num_params(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    /// The output projection pre-transposed to `vocab × d` (see
+    /// [`crate::Transformer::out_proj_t`]).
+    pub(crate) fn out_proj_t(&self) -> Arc<Tensor> {
+        self.out_t.get(&self.store, self.w_out)
+    }
+
+    /// Projects hidden rows to logits exactly as the incremental fast path
+    /// does, including the dot-form branch (see
+    /// [`crate::Transformer::project_rows`]).
+    fn project_rows(&self, hs: &Tensor) -> Tensor {
+        let w = self.store.value(self.w_out);
+        let b = self.store.value(self.b_out);
+        let wt = self.out_proj_t();
+        let mut out = Tensor::zeros(hs.rows, self.cfg.vocab);
+        for r in 0..hs.rows {
+            crate::decode::project_logits_row(hs.row(r), w, &wt, b.as_slice(), out.row_mut(r));
+        }
+        out
     }
 
     /// Restores a model saved with [`Seq2Seq::save_json`].
@@ -244,7 +269,7 @@ impl GruSeq2Seq {
             max_len: c.field("max_len")?.as_usize()?,
             seed: c.field("seed")?.as_u64()?,
         };
-        Ok(GruSeq2Seq {
+        let m = GruSeq2Seq {
             cfg,
             store,
             emb: pid_from(v.field("emb")?)?,
@@ -252,7 +277,11 @@ impl GruSeq2Seq {
             dec: GruCell::from_json_value(v.field("dec")?)?,
             w_out: pid_from(v.field("w_out")?)?,
             b_out: pid_from(v.field("b_out")?)?,
-        })
+            out_t: OutProjCache::default(),
+        };
+        // Pre-transpose the output projection once at checkpoint load.
+        let _ = m.out_proj_t();
+        Ok(m)
     }
 
     fn encode(cell: &GruCell, emb: ParamId, g: &mut Graph<'_>, src: &[usize], d: usize) -> NodeId {
@@ -353,10 +382,13 @@ impl GruSeq2Seq {
         let cap = max_len.min(self.cfg.max_len);
         let mut out = vec![bos];
         while out.len() < cap {
-            let mut g = Graph::new(&mut self.store);
-            let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
-            let logits = me.3.decode_logits_ref(&mut g, h, &out);
-            let v = g.value(logits);
+            let hs = {
+                let mut g = Graph::new(&mut self.store);
+                let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
+                let hs = me.3.decode_hidden_ref(&mut g, h, &out);
+                g.value(hs).clone()
+            };
+            let v = self.project_rows(&hs);
             let next = crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(eos);
             vega_obs::global().counter_add("decode.graph_tokens", 1);
             if next == eos {
@@ -383,10 +415,13 @@ impl GruSeq2Seq {
         let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
         let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
         let me = self.clone_descriptors();
-        let mut g = Graph::new(&mut self.store);
-        let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
-        let logits = me.3.decode_logits_ref(&mut g, h, tgt_in);
-        let probs = g.probs(logits);
+        let hs = {
+            let mut g = Graph::new(&mut self.store);
+            let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
+            let hs = me.3.decode_hidden_ref(&mut g, h, tgt_in);
+            g.value(hs).clone()
+        };
+        let probs = self.project_rows(&hs).softmax_rows();
         let mut lp = 0.0f32;
         for (r, &t) in tgt_out.iter().enumerate() {
             lp += probs.at(r, t).max(1e-12).ln();
@@ -400,10 +435,13 @@ impl GruSeq2Seq {
         let src = &src[..src.len().min(self.cfg.max_len)];
         let tgt_in = &tgt_in[..tgt_in.len().min(self.cfg.max_len)];
         let me = self.clone_descriptors();
-        let mut g = Graph::new(&mut self.store);
-        let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
-        let logits = me.3.decode_logits_ref(&mut g, h, tgt_in);
-        g.value(logits).clone()
+        let hs = {
+            let mut g = Graph::new(&mut self.store);
+            let h = Self::encode(&me.0, me.1, &mut g, src, me.2);
+            let hs = me.3.decode_hidden_ref(&mut g, h, tgt_in);
+            g.value(hs).clone()
+        };
+        self.project_rows(&hs)
     }
 
     /// Graph-path forced decode twin of [`GruSeq2Seq::forced_steps`],
@@ -415,10 +453,13 @@ impl GruSeq2Seq {
         let me = self.clone_descriptors();
         let mut out = Vec::with_capacity(feed.len());
         for i in 1..=feed.len() {
-            let mut g = Graph::new(&mut self.store);
-            let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
-            let logits = me.3.decode_logits_ref(&mut g, h, &feed[..i]);
-            let v = g.value(logits);
+            let hs = {
+                let mut g = Graph::new(&mut self.store);
+                let h = Self::encode(&me.0, me.1, &mut g, &src, me.2);
+                let hs = me.3.decode_hidden_ref(&mut g, h, &feed[..i]);
+                g.value(hs).clone()
+            };
+            let v = self.project_rows(&hs);
             out.push(crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(0));
             vega_obs::global().counter_add("decode.graph_tokens", 1);
         }
@@ -445,6 +486,23 @@ impl GruRef {
             h = cell_step(g, &self.dec, x, h);
             let logit = g.matmul(h, w_out, false);
             rows.push(g.add_row_broadcast(logit, b_out));
+        }
+        g.concat_rows(&rows)
+    }
+
+    /// The decoder hidden state after each fed token, *without* the output
+    /// projection — the twins take these rows out of the graph and project
+    /// them through [`GruSeq2Seq::project_rows`] so they branch on the same
+    /// dot-form predicate the incremental fast path uses. Training keeps
+    /// [`GruRef::decode_logits_ref`] (the projection must live on the tape
+    /// for backprop).
+    fn decode_hidden_ref(&self, g: &mut Graph<'_>, mut h: NodeId, tgt_in: &[usize]) -> NodeId {
+        let table = g.param(self.emb);
+        let mut rows = Vec::with_capacity(tgt_in.len());
+        for &id in tgt_in {
+            let x = g.embed(table, &[id]);
+            h = cell_step(g, &self.dec, x, h);
+            rows.push(h);
         }
         g.concat_rows(&rows)
     }

@@ -11,7 +11,10 @@
 //! Generation runs on a forward-only fast path ([`DecodeState`] /
 //! [`GruDecodeState`], see the [`mod@decode`] module docs) that caches
 //! per-layer attention K/V and is bit-identical to the autograd-graph
-//! reference decode.
+//! reference decode. [`speculative_greedy`] layers exact speculative
+//! decoding on top: a [`GruSeq2Seq`] drafts tokens and the transformer
+//! verifies them in one multi-position pass ([`DecodeState::step_many`]),
+//! emitting the same bit-identical stream in fewer forward passes.
 //!
 //! Every hot inner loop dispatches through the [`mod@kernel`] tier: a
 //! [`Kernel`] trait with a scalar reference implementation and a
@@ -44,6 +47,7 @@ mod gru;
 pub mod kernel;
 mod params;
 mod seq2seq;
+pub mod speculate;
 pub mod storage;
 mod tensor;
 mod transformer;
@@ -54,6 +58,7 @@ pub use gru::{GruConfig, GruSeq2Seq};
 pub use kernel::{Isa, Kernel, KernelMode};
 pub use params::{Init, ParamId, ParamStore};
 pub use seq2seq::{argmax, looks_degenerate, train_until, Seq2Seq};
+pub use speculate::{speculative_greedy, SpecReport};
 pub use storage::{ByteRegion, TensorTable};
 pub use tensor::Tensor;
 pub use transformer::{Transformer, TransformerConfig};

@@ -30,6 +30,13 @@ pub struct ParamStore {
     tensors: Vec<Tensor>,
     train: Option<Box<TrainState>>,
     step_count: u64,
+    /// Bumped on every value mutation ([`ParamStore::adam_step`],
+    /// [`ParamStore::value_mut`]). Derived-weight caches (the pre-transposed
+    /// decode output projection) key on this to know when to rebuild.
+    /// Transient: not serialized, and meaningful only within one store
+    /// instance — two stores can share an epoch number with different
+    /// values, which is why caches must never outlive their store.
+    epoch: u64,
 }
 
 impl Clone for ParamStore {
@@ -39,6 +46,7 @@ impl Clone for ParamStore {
             tensors: self.tensors.clone(),
             train: None,
             step_count: self.step_count,
+            epoch: self.epoch,
         }
     }
 }
@@ -57,7 +65,15 @@ impl ParamStore {
             tensors: Vec::new(),
             train: None,
             step_count: 0,
+            epoch: 0,
         }
+    }
+
+    /// The value-mutation epoch: bumped whenever parameter values may have
+    /// changed in place. Derived-weight caches compare this against the epoch
+    /// they were built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Registers a parameter tensor under `name`.
@@ -97,7 +113,10 @@ impl ParamStore {
 
     /// Mutable access (tests, manual surgery). Copy-on-write for shared
     /// weights happens inside the tensor's mutating accessors, not here.
+    /// Bumps the mutation epoch pessimistically — the caller holds a `&mut`
+    /// it can write through whether or not it actually does.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.epoch += 1;
         &mut self.tensors[id.0]
     }
 
@@ -180,6 +199,7 @@ impl ParamStore {
         vega_obs::global().counter_add("nn.train_steps", 1);
         self.ensure_train();
         self.step_count += 1;
+        self.epoch += 1;
         let t = self.step_count as f32;
         let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
         let tr = self.train.as_mut().expect("ensured above");
@@ -298,6 +318,7 @@ impl ParamStore {
             tensors,
             train: None,
             step_count,
+            epoch: 0,
         })
     }
 
@@ -330,6 +351,41 @@ impl ParamStore {
             .collect::<Result<Vec<Tensor>, JsonError>>()?;
         let step_count = v.field("step_count")?.as_u64()?;
         Self::assemble(names, tensors, step_count)
+    }
+}
+
+/// Lazily-built, epoch-keyed cache of a decode output projection
+/// pre-transposed to `vocab × d`, so the dot-form logits path reads one
+/// contiguous weight row per vocab id. Shared via `Arc` so a decode state
+/// snapshots it once for a whole generation. A clone starts empty: epochs
+/// are meaningful only within one store instance, so a cached tensor must
+/// never migrate to a different store (two independently trained clones can
+/// reach the same epoch number with different weights).
+#[derive(Debug, Default)]
+pub(crate) struct OutProjCache {
+    slot: std::sync::Mutex<Option<(u64, Arc<Tensor>)>>,
+}
+
+impl Clone for OutProjCache {
+    fn clone(&self) -> Self {
+        OutProjCache::default()
+    }
+}
+
+impl OutProjCache {
+    /// The transposed value of `id`, rebuilt if `store` has mutated since it
+    /// was last built.
+    pub(crate) fn get(&self, store: &ParamStore, id: ParamId) -> Arc<Tensor> {
+        let mut slot = self.slot.lock().expect("out-proj cache poisoned");
+        let epoch = store.epoch();
+        if let Some((e, t)) = slot.as_ref() {
+            if *e == epoch {
+                return Arc::clone(t);
+            }
+        }
+        let t = Arc::new(store.value(id).transposed());
+        *slot = Some((epoch, Arc::clone(&t)));
+        t
     }
 }
 

@@ -1,0 +1,184 @@
+//! Exact greedy speculative decoding: a cheap GRU drafts `k` tokens, the
+//! transformer verifies all of them in **one** multi-position forward pass
+//! ([`crate::DecodeState::step_many`]), and the longest matching prefix plus
+//! one corrected token is accepted per round.
+//!
+//! # Why this is *exact*
+//!
+//! Every emitted token is the argmax of a verifier logits row computed on a
+//! confirmed greedy prefix:
+//!
+//! * Round entry invariant: the verifier KV cache holds exactly the positions
+//!   plain greedy would hold after emitting `out[1..]` (the cache length is
+//!   `out.len() - 1`).
+//! * `step_many(&[last, d1..dj])` computes row `i` attending over the causal
+//!   prefix ending at its own position — bit-identical to `j + 1` sequential
+//!   [`crate::DecodeState::step`] calls (each row's matmuls batch through the
+//!   same kernels with the same per-row f32 operation order).
+//! * Row `i`'s argmax `g_i` is emitted with the *same* bookkeeping plain
+//!   greedy uses (EOS break, push, degenerate-tail break). If `g_i` disagrees
+//!   with the draft's guess `feed[i + 1]`, the rows after `i` were computed on
+//!   a prefix greedy would never visit, so they are discarded and the KV cache
+//!   is rolled back with [`crate::DecodeState::truncate`].
+//!
+//! By induction the emitted stream equals plain greedy token-for-token and
+//! bit-for-bit; the draft model only decides how much verifier work is wasted,
+//! never what is emitted.
+//!
+//! # Draft synchronisation
+//!
+//! The GRU draft is a running hidden state, not a KV cache, so rollback uses
+//! cheap `O(d_model)` snapshots ([`crate::GruDecodeState::save`] /
+//! [`crate::GruDecodeState::restore`]): while drafting we snapshot after every
+//! step, and on a mismatch at row `i` we restore the snapshot taken after the
+//! draft consumed `feed[0..=i]` — exactly the tokens `out[..len - 1]` of the
+//! corrected output. A fully-accepted round does one extra catch-up
+//! `dr.step(feed[j])` (logits discarded) to re-establish the invariant.
+
+use crate::gru::GruSeq2Seq;
+use crate::seq2seq::{argmax, looks_degenerate};
+use crate::transformer::Transformer;
+
+/// Counters from one [`speculative_greedy`] call.
+///
+/// `accepted / drafted` is the acceptance rate — how often the draft model
+/// predicted the verifier's next token. `tokens` counts emitted output tokens
+/// (BOS excluded), and `rounds` counts verifier forward passes; plain greedy
+/// would have used `tokens + 1` passes at most, so `tokens / rounds` is the
+/// effective per-pass speedup ceiling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecReport {
+    /// Tokens proposed by the draft model across all rounds.
+    pub drafted: u64,
+    /// Drafted tokens the verifier confirmed (emitted as-is).
+    pub accepted: u64,
+    /// Verifier forward passes (one `step_many` call per round).
+    pub rounds: u64,
+    /// Tokens emitted in the final output (BOS excluded).
+    pub tokens: u64,
+}
+
+impl SpecReport {
+    /// `accepted / drafted`, or 0.0 when nothing was drafted.
+    pub fn accept_ratio(&self) -> f64 {
+        if self.drafted == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.drafted as f64
+        }
+    }
+}
+
+/// Greedy decode of `src` with `target`, speculatively drafted by `draft`.
+///
+/// Produces a token stream **bit-identical** to
+/// `target.greedy(src, bos, eos, max_len)` (see the module docs for the
+/// argument), typically in far fewer verifier forward passes. `k` is the
+/// speculation depth — how many tokens the draft proposes per verifier pass;
+/// `k == 0` is treated as `k == 1` (callers that want plain greedy should
+/// call it directly). Returns the output tokens (BOS stripped, like
+/// [`crate::Seq2Seq::greedy`]) and a [`SpecReport`] of draft/accept counters.
+///
+/// Observability: emits `decode.tokens` / `decode.step_seconds` /
+/// [`crate::decode::tally`] exactly like plain greedy (one
+/// `step_seconds` observation per verify round), plus `spec.rounds`,
+/// `spec.draft_tokens` and `spec.accepted_tokens` counters.
+pub fn speculative_greedy(
+    target: &Transformer,
+    draft: &GruSeq2Seq,
+    src: &[usize],
+    bos: usize,
+    eos: usize,
+    max_len: usize,
+    k: usize,
+) -> (Vec<usize>, SpecReport) {
+    let k = k.max(1);
+    let cap = max_len.min(target.cfg.max_len);
+    let obs = vega_obs::global();
+    let mut st = target.begin_decode(src);
+    let mut dr = draft.begin_decode(src);
+    let mut out: Vec<usize> = vec![bos];
+    let mut report = SpecReport::default();
+    let vocab = target.cfg.vocab;
+
+    'decode: while out.len() < cap {
+        let t0 = std::time::Instant::now();
+        // remaining == plain greedy's remaining step budget; row i of the
+        // verify pass is greedy step `out.len() - 1 + i`, so j + 1 rows must
+        // not exceed it.
+        let remaining = cap - out.len();
+        let j = k.min(remaining - 1);
+
+        // Draft j tokens, snapshotting the hidden state after each step so a
+        // mismatch at row i can restore "draft has consumed feed[0..=i]".
+        let last = *out.last().expect("out starts with bos");
+        let mut feed: Vec<usize> = Vec::with_capacity(j + 1);
+        feed.push(last);
+        let mut snaps: Vec<Vec<f32>> = Vec::with_capacity(j);
+        for _ in 0..j {
+            let cur = *feed.last().expect("feed starts with last");
+            let guess = argmax(dr.step(cur)).unwrap_or(eos);
+            snaps.push(dr.save());
+            feed.push(guess);
+        }
+        report.drafted += j as u64;
+        report.rounds += 1;
+
+        // One multi-position verifier pass over all j + 1 candidates.
+        // `rows_used` counts the rows plain greedy would actually have
+        // executed as steps — rows after an EOS / degenerate break / draft
+        // mismatch are wasted speculative work and do not feed the
+        // `decode.tokens` accounting.
+        let len_before = st.len();
+        let rows = st.step_many(&feed);
+        let mut rows_used = 0u64;
+        let mut halt = false; // EOS or degenerate tail: decode is over
+        let mut matched_all = true;
+        for i in 0..feed.len() {
+            let g = argmax(&rows[i * vocab..(i + 1) * vocab]).unwrap_or(eos);
+            rows_used += 1;
+            if g == eos {
+                halt = true;
+                matched_all = false;
+                break;
+            }
+            out.push(g);
+            if looks_degenerate(&out) {
+                halt = true;
+                matched_all = false;
+                break;
+            }
+            if i < j {
+                if g == feed[i + 1] {
+                    report.accepted += 1;
+                } else {
+                    // Corrected token: rows after i were computed on a prefix
+                    // greedy never visits. Roll both models back.
+                    st.truncate(len_before + i + 1);
+                    dr.restore(&snaps[i]);
+                    matched_all = false;
+                    break;
+                }
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        obs.observe("decode.step_seconds", dt);
+        obs.counter_add("decode.tokens", rows_used);
+        crate::decode::tally::bump_n(rows_used, dt);
+        if halt {
+            // The KV caches are about to be dropped; no rollback needed.
+            break 'decode;
+        }
+        if matched_all && out.len() < cap {
+            // Draft consumed feed[0..j]; the next round's prefix is
+            // feed[0..=j], so replay the final accepted token into it.
+            let _ = dr.step(feed[j]);
+        }
+    }
+    out.remove(0);
+    report.tokens = out.len() as u64;
+    obs.counter_add("spec.rounds", report.rounds);
+    obs.counter_add("spec.draft_tokens", report.drafted);
+    obs.counter_add("spec.accepted_tokens", report.accepted);
+    (out, report)
+}

@@ -204,6 +204,22 @@ impl Tensor {
         self.rows += 1;
     }
 
+    /// Drops rows from the end, keeping the first `rows`. The inverse of
+    /// [`Tensor::push_row`] — speculative decoding uses it to roll a K/V
+    /// cache back past tokens the verifier rejected. Capacity is retained,
+    /// so re-growing over the popped rows does not reallocate.
+    ///
+    /// # Panics
+    /// Panics if `rows` exceeds the current row count.
+    pub fn truncate_rows(&mut self, rows: usize) {
+        assert!(rows <= self.rows, "truncate_rows beyond end");
+        self.make_owned();
+        if let TensorData::Owned(v) = &mut self.data {
+            v.truncate(rows * self.cols);
+        }
+        self.rows = rows;
+    }
+
     /// Serializes to a JSON value (`{"rows":r,"cols":c,"data":[...]}`).
     pub(crate) fn to_json_value(&self) -> Json {
         Json::obj([

@@ -7,9 +7,10 @@
 //! on one core.
 
 use crate::graph::{Graph, NodeId};
-use crate::params::{Init, ParamId, ParamStore};
+use crate::params::{Init, OutProjCache, ParamId, ParamStore};
 use crate::seq2seq::Seq2Seq;
 use crate::tensor::Tensor;
+use std::sync::Arc;
 use vega_obs::json::{Json, JsonError};
 
 /// Transformer hyperparameters.
@@ -229,6 +230,10 @@ pub struct Transformer {
     pub(crate) final_ln: LnParams,
     pub(crate) w_out: ParamId,
     pub(crate) b_out: ParamId,
+    /// Cached `w_out` transpose for the dot-form logits path. `Clone` resets
+    /// it (the clone's store has its own epoch sequence), so fine-tuned
+    /// replicas never read a stale projection.
+    pub(crate) out_t: OutProjCache,
 }
 
 impl Transformer {
@@ -297,6 +302,7 @@ impl Transformer {
             final_ln,
             w_out,
             b_out,
+            out_t: OutProjCache::default(),
         }
     }
 
@@ -307,6 +313,28 @@ impl Transformer {
 
     fn clamp_len<'a>(&self, ids: &'a [usize]) -> &'a [usize] {
         &ids[..ids.len().min(self.cfg.max_len)]
+    }
+
+    /// The output projection pre-transposed to `vocab × d` (one contiguous
+    /// weight row per vocab id), built lazily and cached until the weights
+    /// mutate. Decode states snapshot the `Arc` once per generation.
+    pub(crate) fn out_proj_t(&self) -> Arc<Tensor> {
+        self.out_t.get(&self.store, self.w_out)
+    }
+
+    /// Applies the decode output projection to each row of `xn` exactly as
+    /// the incremental fast path does — including the dot-form branch — so
+    /// the graph reference twins stay bit-identical to
+    /// [`crate::DecodeState::step`] in every kernel mode.
+    fn project_rows(&self, xn: &Tensor) -> Tensor {
+        let w = self.store.value(self.w_out);
+        let b = self.store.value(self.b_out);
+        let wt = self.out_proj_t();
+        let mut out = Tensor::zeros(xn.rows, self.cfg.vocab);
+        for r in 0..xn.rows {
+            crate::decode::project_logits_row(xn.row(r), w, &wt, b.as_slice(), out.row_mut(r));
+        }
+        out
     }
 }
 
@@ -368,11 +396,17 @@ impl Seq2Seq for Transformer {
         let src = &src[..src.len().min(self.cfg.max_len)];
         let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
         let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
-        let mut probs = vec![0.0f32; self.cfg.vocab];
+        let vocab = self.cfg.vocab;
+        let mut probs = vec![0.0f32; vocab];
+        // The whole forced prefix is known up front, so score it in one
+        // multi-position pass (prompt prefill) instead of n single steps.
+        // Bit-identical to the token-at-a-time loop: `step_many` is pinned
+        // against repeated `step` by the spec-equivalence suite.
         let mut st = self.begin_decode(src);
+        let rows = st.step_many(tgt_in);
         let mut lp = 0.0f32;
-        for (&ti, &to) in tgt_in.iter().zip(tgt_out.iter()) {
-            probs.copy_from_slice(st.step(ti));
+        for (r, &to) in tgt_out.iter().enumerate() {
+            probs.copy_from_slice(&rows[r * vocab..(r + 1) * vocab]);
             crate::decode::softmax_row(&mut probs);
             lp += probs[to].max(1e-12).ln();
         }
@@ -406,10 +440,13 @@ impl Transformer {
             g.value(enc).clone()
         };
         while out.len() < cap {
-            let mut g = Graph::new(&mut self.store);
-            let enc = g.constant(enc_value.clone());
-            let logits = me.decode(&mut g, &out, enc);
-            let v = g.value(logits);
+            let xn = {
+                let mut g = Graph::new(&mut self.store);
+                let enc = g.constant(enc_value.clone());
+                let xn = me.decode_xn(&mut g, &out, enc);
+                g.value(xn).clone()
+            };
+            let v = self.project_rows(&xn);
             let next = crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(eos);
             vega_obs::global().counter_add("decode.graph_tokens", 1);
             if next == eos {
@@ -436,10 +473,13 @@ impl Transformer {
         let n = tgt_in.len().min(tgt_out.len()).min(self.cfg.max_len);
         let (tgt_in, tgt_out) = (&tgt_in[..n], &tgt_out[..n]);
         let me = self.clone_shallow();
-        let mut g = Graph::new(&mut self.store);
-        let enc = me.encode(&mut g, src);
-        let logits = me.decode(&mut g, tgt_in, enc);
-        let probs = g.probs(logits);
+        let xn = {
+            let mut g = Graph::new(&mut self.store);
+            let enc = me.encode(&mut g, src);
+            let xn = me.decode_xn(&mut g, tgt_in, enc);
+            g.value(xn).clone()
+        };
+        let probs = self.project_rows(&xn).softmax_rows();
         let mut lp = 0.0f32;
         for (r, &t) in tgt_out.iter().enumerate() {
             lp += probs.at(r, t).max(1e-12).ln();
@@ -454,10 +494,13 @@ impl Transformer {
         let src = &src[..src.len().min(self.cfg.max_len)];
         let tgt_in = &tgt_in[..tgt_in.len().min(self.cfg.max_len)];
         let me = self.clone_shallow();
-        let mut g = Graph::new(&mut self.store);
-        let enc = me.encode(&mut g, src);
-        let logits = me.decode(&mut g, tgt_in, enc);
-        g.value(logits).clone()
+        let xn = {
+            let mut g = Graph::new(&mut self.store);
+            let enc = me.encode(&mut g, src);
+            let xn = me.decode_xn(&mut g, tgt_in, enc);
+            g.value(xn).clone()
+        };
+        self.project_rows(&xn)
     }
 
     /// Graph-path forced decode: feeds each token of `feed` (clamped to
@@ -476,10 +519,13 @@ impl Transformer {
         };
         let mut out = Vec::with_capacity(feed.len());
         for i in 1..=feed.len() {
-            let mut g = Graph::new(&mut self.store);
-            let enc = g.constant(enc_value.clone());
-            let logits = me.decode(&mut g, &feed[..i], enc);
-            let v = g.value(logits);
+            let xn = {
+                let mut g = Graph::new(&mut self.store);
+                let enc = g.constant(enc_value.clone());
+                let xn = me.decode_xn(&mut g, &feed[..i], enc);
+                g.value(xn).clone()
+            };
+            let v = self.project_rows(&xn);
             out.push(crate::seq2seq::argmax(v.row(v.rows - 1)).unwrap_or(0));
             vega_obs::global().counter_add("decode.graph_tokens", 1);
         }
@@ -609,7 +655,7 @@ impl Transformer {
             max_len: c.field("max_len")?.as_usize()?,
             seed: c.field("seed")?.as_u64()?,
         };
-        Ok(Transformer {
+        let t = Transformer {
             cfg,
             store,
             tok_emb: pid_from(v.field("tok_emb")?)?,
@@ -629,7 +675,13 @@ impl Transformer {
             final_ln: LnParams::from_json_value(v.field("final_ln")?)?,
             w_out: pid_from(v.field("w_out")?)?,
             b_out: pid_from(v.field("b_out")?)?,
-        })
+            out_t: OutProjCache::default(),
+        };
+        // Pre-transpose the output projection once at checkpoint load so the
+        // first decode doesn't pay for it (the cache is epoch-keyed, so a
+        // later fine-tune step just rebuilds it).
+        let _ = t.out_proj_t();
+        Ok(t)
     }
 }
 
@@ -724,7 +776,12 @@ impl ShallowRef {
         x
     }
 
-    fn decode(&self, g: &mut Graph<'_>, tgt_in: &[usize], enc: NodeId) -> NodeId {
+    /// The decoder stack through the final layer norm — everything *before*
+    /// the output projection. Reference twins that must match the
+    /// incremental fast path bitwise take these rows out of the graph and
+    /// project them through [`Transformer::project_rows`], which branches on
+    /// the same dot-form predicate the fast path uses.
+    fn decode_xn(&self, g: &mut Graph<'_>, tgt_in: &[usize], enc: NodeId) -> NodeId {
         let l = tgt_in.len();
         let mut mask = Tensor::zeros(l, l);
         let ms = mask.as_mut_slice();
@@ -745,7 +802,11 @@ impl ShallowRef {
             let ffo = self.feed_forward(g, xn, &layer.ff);
             x = g.add(x, ffo);
         }
-        let xn = self.ln(g, x, &self.final_ln);
+        self.ln(g, x, &self.final_ln)
+    }
+
+    fn decode(&self, g: &mut Graph<'_>, tgt_in: &[usize], enc: NodeId) -> NodeId {
+        let xn = self.decode_xn(g, tgt_in, enc);
         let w = g.param(self.w_out);
         let b = g.param(self.b_out);
         let logits = g.matmul(xn, w, false);

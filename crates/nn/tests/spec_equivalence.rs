@@ -1,0 +1,367 @@
+//! Speculative-decoding exactness suite.
+//!
+//! `speculative_greedy` promises a token stream **bit-identical** to plain
+//! `Seq2Seq::greedy` — the draft model only changes how much verifier work is
+//! wasted, never what is emitted. These tests pin that promise across
+//! speculation depths (k ∈ {1, 2, 4, 8}), trained (accept-heavy) and
+//! untrained (mismatch-heavy) model pairs, EOS / degenerate-tail / budget-cap
+//! exits, and every kernel mode this CPU can run. They also pin the two
+//! primitives speculation is built on: `DecodeState::step_many` must be
+//! bit-identical to the same tokens fed through sequential `step` calls, and
+//! `DecodeState::truncate` must roll the KV caches back to a state from which
+//! re-fed tokens produce the original bits. The dot-form logits projection
+//! (`VEGA_DOT_FORM`) is pinned on both sides of its switch.
+//!
+//! `ci.sh` runs this suite at `VEGA_THREADS=1` and `4` in the kernel matrix.
+//! Kernel mode and dot-form policy are process-global, so mode-switching
+//! tests serialize through `MODE_LOCK` and restore `Auto` on exit.
+
+use std::sync::Mutex;
+use vega_nn::kernel::{self, avx2_available, DotForm, KernelMode};
+use vega_nn::{speculative_greedy, GruConfig, GruSeq2Seq, Seq2Seq, Transformer, TransformerConfig};
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn available_modes() -> Vec<KernelMode> {
+    if avx2_available() {
+        vec![KernelMode::Scalar, KernelMode::Avx2]
+    } else {
+        eprintln!("spec_equivalence: CPU lacks AVX2; scalar mode only");
+        vec![KernelMode::Scalar]
+    }
+}
+
+/// Deterministic pseudo-random token ids in `[lo, hi)` (splitmix64).
+fn tokens(seed: u64, n: usize, lo: usize, hi: usize) -> Vec<usize> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            lo + (z as usize) % (hi - lo)
+        })
+        .collect()
+}
+
+fn copy_pairs() -> Vec<(Vec<usize>, Vec<usize>)> {
+    vec![
+        (vec![2, 3, 4], vec![2, 3, 4]),
+        (vec![5, 6], vec![5, 6]),
+        (vec![7, 8, 2], vec![7, 8, 2]),
+        (vec![4, 4, 5], vec![4, 4, 5]),
+    ]
+}
+
+fn trained_copy_transformer() -> Transformer {
+    let mut t = Transformer::new(TransformerConfig::tiny(10));
+    let loss = vega_nn::train_until(&mut t, &copy_pairs(), 0, 1, 300, 3e-3, 0.05);
+    assert!(loss < 0.3, "copy task did not converge: {loss}");
+    t
+}
+
+/// A GRU taught the same copy task, so drafts mostly match the verifier.
+fn trained_copy_draft() -> GruSeq2Seq {
+    let mut g = GruSeq2Seq::new(GruConfig::tiny(10));
+    let loss = vega_nn::train_until(&mut g, &copy_pairs(), 0, 1, 500, 5e-3, 0.05);
+    assert!(loss < 0.5, "draft copy task did not converge: {loss}");
+    g
+}
+
+/// Speculative output must equal plain greedy for every k, and the report
+/// counters must be internally consistent.
+fn assert_spec_matches(t: &mut Transformer, draft: &GruSeq2Seq, src: &[usize], max_len: usize) {
+    let plain = t.greedy(src, 0, 1, max_len);
+    for k in [1usize, 2, 4, 8] {
+        let (spec, report) = speculative_greedy(t, draft, src, 0, 1, max_len, k);
+        assert_eq!(
+            spec, plain,
+            "speculative (k={k}) diverged from plain greedy for src {src:?}"
+        );
+        assert_eq!(report.tokens as usize, spec.len(), "token count (k={k})");
+        assert!(
+            report.accepted <= report.drafted,
+            "accepted {} > drafted {} (k={k})",
+            report.accepted,
+            report.drafted
+        );
+        assert!(report.rounds >= 1 || plain.is_empty());
+        // Each round drafts at most k tokens.
+        assert!(report.drafted <= report.rounds * k as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// step_many / truncate primitives
+// ---------------------------------------------------------------------------
+
+#[test]
+fn step_many_matches_single_steps_bitwise() {
+    let t = Transformer::new(TransformerConfig::small(64));
+    let src = tokens(301, 24, 2, 64);
+    let feed = tokens(302, 64, 2, 64);
+    // Reference: one token at a time.
+    let mut single = t.begin_decode(&src);
+    let mut want: Vec<u32> = Vec::new();
+    for &tok in &feed {
+        want.extend(single.step(tok).iter().map(|v| v.to_bits()));
+    }
+    // Same tokens through step_many in assorted chunk sizes.
+    for chunks in [
+        vec![1usize; 64],
+        vec![2; 32],
+        vec![4; 16],
+        vec![8; 8],
+        vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 9],
+    ] {
+        assert_eq!(chunks.iter().sum::<usize>(), feed.len());
+        let mut st = t.begin_decode(&src);
+        let mut got: Vec<u32> = Vec::new();
+        let mut off = 0;
+        for &c in &chunks {
+            got.extend(
+                st.step_many(&feed[off..off + c])
+                    .iter()
+                    .map(|v| v.to_bits()),
+            );
+            off += c;
+        }
+        assert_eq!(st.len(), feed.len());
+        assert_eq!(got, want, "step_many diverged for chunking {chunks:?}");
+    }
+}
+
+#[test]
+fn truncate_then_refeed_is_bitwise_identical() {
+    let t = Transformer::new(TransformerConfig::small(64));
+    let src = tokens(311, 16, 2, 64);
+    let feed = tokens(312, 40, 2, 64);
+    let mut reference = t.begin_decode(&src);
+    let mut want: Vec<u32> = Vec::new();
+    for &tok in &feed {
+        want.extend(reference.step(tok).iter().map(|v| v.to_bits()));
+    }
+    // Speculate 8 tokens past position 16, roll back, then replay the real
+    // continuation — the replayed rows must carry the original bits.
+    let mut st = t.begin_decode(&src);
+    for &tok in &feed[..16] {
+        st.step(tok);
+    }
+    let bogus = tokens(999, 8, 2, 64);
+    st.step_many(&bogus);
+    assert_eq!(st.len(), 24);
+    st.truncate(16);
+    assert_eq!(st.len(), 16);
+    let vocab = 64;
+    let rows = st.step_many(&feed[16..]);
+    for (r, chunk) in rows.chunks(vocab).enumerate() {
+        for (c, &v) in chunk.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                want[(16 + r) * vocab + c],
+                "refed row {r} col {c} diverged after truncate"
+            );
+        }
+    }
+}
+
+#[test]
+fn gru_save_restore_roundtrips_bitwise() {
+    let g = GruSeq2Seq::new(GruConfig::small(48));
+    let src = tokens(321, 10, 2, 48);
+    let feed = tokens(322, 12, 2, 48);
+    let mut st = g.begin_decode(&src);
+    for &tok in &feed[..6] {
+        st.step(tok);
+    }
+    let snap = st.save();
+    let want: Vec<u32> = st.step(feed[6]).iter().map(|v| v.to_bits()).collect();
+    // Wander off, restore, and replay: bits must match.
+    st.step(feed[7]);
+    st.step(feed[8]);
+    st.restore(&snap);
+    let got: Vec<u32> = st.step(feed[6]).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want, "GRU restore did not roll the hidden state back");
+}
+
+// ---------------------------------------------------------------------------
+// speculative_greedy == greedy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn speculative_matches_greedy_trained_pair() {
+    let mut t = trained_copy_transformer();
+    let draft = trained_copy_draft();
+    for src in [vec![5usize, 6], vec![2, 3, 4], vec![7, 8, 2], vec![4, 4, 5]] {
+        assert_spec_matches(&mut t, &draft, &src, 10);
+    }
+    // A trained pair should actually accept drafts (the speedup exists).
+    let (_, report) = speculative_greedy(&t, &draft, &[2, 3, 4], 0, 1, 10, 4);
+    assert!(
+        report.accepted > 0,
+        "trained draft never matched the verifier: {report:?}"
+    );
+}
+
+#[test]
+fn speculative_matches_greedy_untrained_mismatch_heavy() {
+    // Untrained, differently-seeded models: drafts rarely match, so every
+    // round exercises the rollback path.
+    let mut t = Transformer::new(TransformerConfig::small(64));
+    let draft = GruSeq2Seq::new(GruConfig::small(64));
+    for seed in 0..4u64 {
+        let src = tokens(seed + 330, 17, 2, 64);
+        assert_spec_matches(&mut t, &draft, &src, 48);
+    }
+}
+
+#[test]
+fn speculative_matches_greedy_degenerate_exit() {
+    // The verifier emits an unbounded run of 3s; looks_degenerate must cut
+    // speculation at the same point plain greedy stops.
+    let mut t = Transformer::new(TransformerConfig::tiny(10));
+    let pairs = vec![(vec![2usize], vec![3usize; 10])];
+    let _ = vega_nn::train_until(&mut t, &pairs, 0, 1, 250, 3e-3, 0.05);
+    let draft = trained_copy_draft();
+    assert_spec_matches(&mut t, &draft, &[2], 20);
+}
+
+#[test]
+fn speculative_matches_greedy_tight_caps() {
+    // max_len at and below the speculation depth: the j = k.min(remaining-1)
+    // clamp must keep emissions inside the budget.
+    let mut t = Transformer::new(TransformerConfig::small(64));
+    let draft = GruSeq2Seq::new(GruConfig::small(64));
+    let src = tokens(350, 9, 2, 64);
+    for max_len in [1usize, 2, 3, 5, 9] {
+        let plain = t.greedy(&src, 0, 1, max_len);
+        for k in [1usize, 4, 8] {
+            let (spec, report) = speculative_greedy(&t, &draft, &src, 0, 1, max_len, k);
+            assert_eq!(spec, plain, "cap {max_len} k={k}");
+            assert!(
+                spec.len() < max_len.max(1),
+                "budget overrun at cap {max_len}"
+            );
+            assert_eq!(report.tokens as usize, spec.len());
+        }
+    }
+    // max_len beyond cfg.max_len clamps like plain greedy too.
+    let plain = t.greedy(&src, 0, 1, 10_000);
+    let (spec, _) = speculative_greedy(&t, &draft, &src, 0, 1, 10_000, 4);
+    assert_eq!(spec, plain);
+}
+
+#[test]
+fn speculative_k_zero_acts_like_k_one() {
+    let mut t = trained_copy_transformer();
+    let draft = trained_copy_draft();
+    let plain = t.greedy(&[5, 6], 0, 1, 10);
+    let (s0, r0) = speculative_greedy(&t, &draft, &[5, 6], 0, 1, 10, 0);
+    let (s1, r1) = speculative_greedy(&t, &draft, &[5, 6], 0, 1, 10, 1);
+    assert_eq!(s0, plain);
+    assert_eq!(s0, s1);
+    assert_eq!(r0, r1);
+}
+
+// ---------------------------------------------------------------------------
+// kernel modes and the dot-form switch
+// ---------------------------------------------------------------------------
+
+#[test]
+fn speculative_matches_greedy_in_every_kernel_mode() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for mode in available_modes() {
+        kernel::set_mode(mode);
+        let mut t = Transformer::new(TransformerConfig::small(48));
+        let draft = GruSeq2Seq::new(GruConfig::small(48));
+        for seed in 0..2u64 {
+            let src = tokens(seed + 360, 12, 2, 48);
+            let plain = t.greedy(&src, 0, 1, 32);
+            for k in [2usize, 4] {
+                let (spec, _) = speculative_greedy(&t, &draft, &src, 0, 1, 32, k);
+                assert_eq!(spec, plain, "mode {} k={k} seed {seed}", mode.name());
+            }
+        }
+    }
+    kernel::set_mode(KernelMode::Auto);
+}
+
+#[test]
+fn dot_form_on_and_off_both_match_graph_reference() {
+    // Both sides of the dot-form switch must keep fast-path == graph
+    // bit-identity: the fast decode and the graph twins branch on the same
+    // predicate, whichever way it points.
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for policy in [DotForm::On, DotForm::Off] {
+        kernel::set_dot_form(policy);
+        let mut t = Transformer::new(TransformerConfig::small(48));
+        let src = tokens(371, 14, 2, 48);
+        let feed = tokens(372, 24, 2, 48);
+        let graph = t.logits_rows_graph(&src, &feed);
+        let mut st = t.begin_decode(&src);
+        for (r, &tok) in feed.iter().enumerate() {
+            for (c, &v) in st.step(tok).iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    graph.at(r, c).to_bits(),
+                    "dot-form {policy:?}: logit bits diverged at row {r} col {c}"
+                );
+            }
+        }
+        let fast = t.greedy(&src, 0, 1, 24);
+        let reference = t.greedy_graph(&src, 0, 1, 24);
+        assert_eq!(fast, reference, "dot-form {policy:?}: greedy diverged");
+
+        let mut g = GruSeq2Seq::new(GruConfig::small(48));
+        assert_eq!(
+            g.greedy(&src, 0, 1, 24),
+            g.greedy_graph(&src, 0, 1, 24),
+            "dot-form {policy:?}: GRU greedy diverged"
+        );
+    }
+    kernel::set_dot_form(DotForm::Auto);
+}
+
+#[test]
+fn speculative_is_exact_under_both_dot_forms() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for policy in [DotForm::On, DotForm::Off] {
+        kernel::set_dot_form(policy);
+        let mut t = Transformer::new(TransformerConfig::small(48));
+        let draft = GruSeq2Seq::new(GruConfig::small(48));
+        let src = tokens(381, 11, 2, 48);
+        let plain = t.greedy(&src, 0, 1, 32);
+        let (spec, _) = speculative_greedy(&t, &draft, &src, 0, 1, 32, 4);
+        assert_eq!(spec, plain, "dot-form {policy:?}: speculative diverged");
+    }
+    kernel::set_dot_form(DotForm::Auto);
+}
+
+// ---------------------------------------------------------------------------
+// forced-scoring prefill (step_many replaces the token-at-a-time loop)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forced_logprob_prefill_matches_stepwise_loop_bitwise() {
+    let mut t = Transformer::new(TransformerConfig::small(64));
+    let src = tokens(391, 18, 2, 64);
+    let tgt_in = tokens(392, 30, 2, 64);
+    let tgt_out = tokens(393, 30, 2, 64);
+    let fast = t.forced_logprob(&src, &tgt_in, &tgt_out);
+    // Reference: the pre-prefill implementation, one step per target token.
+    let mut st = t.begin_decode(&src);
+    let mut lp = 0.0f32;
+    let mut probs = vec![0.0f32; 64];
+    for (&from, &to) in tgt_in.iter().zip(tgt_out.iter()) {
+        probs.copy_from_slice(st.step(from));
+        vega_nn::decode::softmax_row(&mut probs);
+        lp += probs[to].max(1e-12).ln();
+    }
+    assert_eq!(
+        fast.to_bits(),
+        lp.to_bits(),
+        "prefilled forced_logprob diverged from the stepwise loop"
+    );
+}

@@ -18,7 +18,10 @@
 //! Fires `--requests` generate requests over `--conns` connections, cycling
 //! through `--distinct` (target, group) pairs so repeats exercise the cache,
 //! and reports throughput and p50/p99 latency plus the server's cache
-//! statistics. Every request is traced: each worker mints deterministic
+//! statistics. When the server runs with `--speculate`/`--draft`, the main
+//! `loadgen:` line also reports the draft acceptance over the measured
+//! window (`accept_rate=`, `spec_drafted=`, `spec_accepted=`, computed as
+//! stats-counter deltas); without speculation all three read zero. Every request is traced: each worker mints deterministic
 //! trace ids (seeded from `--seed` and the worker index), and the server
 //! must echo each one back with a `timing` breakdown, which is aggregated
 //! into a `loadgen: timing …` line. Four checks, each printed as a greppable
@@ -35,7 +38,8 @@
 //! `--top` is a different mode entirely (vega-top): instead of generating
 //! load it polls `{"op":"metrics"}` every `--top-interval-ms` and renders a
 //! live one-line dashboard (rps, tokens/s, cache hit rate, request p50/p99,
-//! inflight, queued, shed) for `TICKS` ticks, then exits.
+//! inflight, queued, shed, speculation depth and acceptance rate) for
+//! `TICKS` ticks, then exits.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -284,10 +288,22 @@ fn run_top(addr: &str, ticks: usize, interval_ms: u64, retry: &RetryPolicy) -> b
             }
             None => (0.0, 0.0),
         };
+        // Speculation gauges: cumulative acceptance rate plus the live
+        // depth (0 = plain greedy, including degraded configurations).
+        let (spec_drafted, spec_accepted) = (
+            counter("spec.draft_tokens"),
+            counter("spec.accepted_tokens"),
+        );
+        let accept_rate = if spec_drafted > 0.0 {
+            100.0 * spec_accepted / spec_drafted
+        } else {
+            0.0
+        };
         println!(
             "vega-top: rps={rps:.1} tokens/s={tps:.1} cache_hit={:.1}% \
              p50={:.1}ms p99={:.1}ms inflight={:.0} queued={:.0} shed={:.0} \
-             batch_active={:.0} batch_occ={:.1}",
+             batch_active={:.0} batch_occ={:.1} \
+             spec_depth={:.0} accept_rate={accept_rate:.1}%",
             hit_ratio * 100.0,
             hist_q("serve.request_seconds", "p50") * 1e3,
             hist_q("serve.request_seconds", "p99") * 1e3,
@@ -303,6 +319,7 @@ fn run_top(addr: &str, ticks: usize, interval_ms: u64, retry: &RetryPolicy) -> b
                     occ
                 }
             },
+            gauge("serve.spec.depth"),
         );
         prev = Some((now, requests, tokens));
         if tick + 1 < ticks {
@@ -380,7 +397,12 @@ fn main() {
 
     // Decode-token counter before the measured load, so the wall-clock
     // window yields serving-level tokens/sec for the fast decode path.
-    let tokens_before = stat_u64(&control.op_with_retry("stats", &retry), "decode_tokens");
+    // Speculation counters ride the same stats snapshot: the deltas give
+    // the acceptance rate over exactly the measured window.
+    let stats_before = control.op_with_retry("stats", &retry);
+    let tokens_before = stat_u64(&stats_before, "decode_tokens");
+    let drafted_before = stat_u64(&stats_before, "spec_draft_tokens");
+    let accepted_before = stat_u64(&stats_before, "spec_accepted_tokens");
 
     // Fire the measured load across connections.
     let t0 = Instant::now();
@@ -452,12 +474,22 @@ fn main() {
         }
     }
     let wall = t0.elapsed();
-    let decode_tokens = stat_u64(&control.op_with_retry("stats", &retry), "decode_tokens")
-        .saturating_sub(tokens_before);
+    let stats_after = control.op_with_retry("stats", &retry);
+    let decode_tokens = stat_u64(&stats_after, "decode_tokens").saturating_sub(tokens_before);
+    let spec_drafted = stat_u64(&stats_after, "spec_draft_tokens").saturating_sub(drafted_before);
+    let spec_accepted =
+        stat_u64(&stats_after, "spec_accepted_tokens").saturating_sub(accepted_before);
+    let accept_rate = if spec_drafted > 0 {
+        100.0 * spec_accepted as f64 / spec_drafted as f64
+    } else {
+        0.0
+    };
     latencies.sort();
     println!(
         "loadgen: requests={} wall={:.2}s throughput={:.1}/s tokens/s={:.1} \
-         decode_tokens={decode_tokens} p50={:.1}ms p99={:.1}ms",
+         decode_tokens={decode_tokens} accept_rate={accept_rate:.1}% \
+         spec_drafted={spec_drafted} spec_accepted={spec_accepted} \
+         p50={:.1}ms p99={:.1}ms",
         latencies.len(),
         wall.as_secs_f64(),
         latencies.len() as f64 / wall.as_secs_f64().max(1e-9),

@@ -5,6 +5,7 @@
 //!            [--addr HOST:PORT] [--port-file PATH]
 //!            [--cache-cap N] [--queue-cap N] [--batch N] [--threads N]
 //!            [--engine replica|batch] [--batch-slots N] [--prefault 0|1]
+//!            [--speculate K] [--draft PATH]
 //!            [--deadline-ms MS] [--slow-ms MS] [--trace-out PATH]
 //!            [--flight-cap N]
 //! ```
@@ -17,6 +18,10 @@
 //! `--flight-cap` sizes the flight recorder (default 256 records, 0
 //! disables). The recorder's retained records are served by the
 //! `{"op":"flightdump"}` protocol op and dumped to stderr on panic.
+//! `--speculate K --draft PATH` turns on exact speculative decoding: the GRU
+//! checkpoint at PATH drafts K tokens per transformer verifier pass (output
+//! bytes are identical to plain greedy; only throughput changes). An
+//! incomplete speculation setup degrades to plain greedy with a warning.
 
 use std::path::PathBuf;
 use vega::{Scale, VegaConfig};
@@ -31,6 +36,7 @@ struct Args {
     threads: Option<usize>,
     deadline_ms: Option<u64>,
     trace_out: Option<PathBuf>,
+    draft: Option<PathBuf>,
     serve: ServeConfig,
 }
 
@@ -44,6 +50,7 @@ fn parse_args() -> Args {
         threads: None,
         deadline_ms: None,
         trace_out: None,
+        draft: None,
         serve: ServeConfig {
             // The daemon keeps a black box by default; embedded test servers
             // (ServeConfig::default) leave the process-global recorder alone.
@@ -81,6 +88,8 @@ fn parse_args() -> Args {
             }
             "--batch-slots" => args.serve.batch_slots = take(i).parse().unwrap_or(0),
             "--prefault" => args.serve.prefault = matches!(take(i).as_str(), "1" | "true" | "on"),
+            "--speculate" => args.serve.speculate = take(i).parse().unwrap_or(0),
+            "--draft" => args.draft = Some(PathBuf::from(take(i))),
             "--threads" => args.threads = take(i).parse().ok(),
             "--deadline-ms" => args.deadline_ms = take(i).parse().ok(),
             "--slow-ms" => args.serve.slow_ms = take(i).parse().unwrap_or(0),
@@ -148,6 +157,27 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // A bad draft path is a hard startup error (the operator asked for a
+    // specific file); an incomplete combination (--speculate without --draft,
+    // or vice versa) degrades inside the server with a warning.
+    if let Some(path) = &args.draft {
+        let draft = load_checkpoint_prefault(path, false).and_then(|c| c.into_draft());
+        match draft {
+            Ok(d) => {
+                vega_obs::info!(
+                    "[vega-serve] speculation draft {} (vocab {}, depth {})",
+                    path.display(),
+                    d.cfg.vocab,
+                    args.serve.speculate
+                );
+                args.serve.draft = Some(d);
+            }
+            Err(e) => {
+                vega_obs::error!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
     vega_obs::info!(
         "[vega-serve] engine ready: {} targets, {} groups",
         engine.target_names().len(),

@@ -100,15 +100,25 @@ pub struct ServeConfig {
     /// Dispatch strategy (replica fanout vs continuous batching).
     pub engine: EngineMode,
     /// Continuous-batching broker capacity in lockstep slots (0 →
-    /// `max(batch, 8)`); ignored by the replica engine. Slots beyond the
-    /// pool size are what let a `score` request fan all its candidates into
-    /// the running batch at once instead of one-per-dispatch-worker.
+    /// `max(batch, 8)`); ignored by the replica engine. Each dispatch
+    /// worker drives at most one generation through the broker at a time,
+    /// so the default headroom only matters if the pool is resized.
     pub batch_slots: usize,
     /// Warm-touch (`madvise` + page-touch) checkpoint mappings on swap, so
     /// the first post-swap generations don't pay major-fault latency. Only
     /// affects v2 binary checkpoints loaded through the `swap` op; the
     /// daemon's initial load has its own `--prefault` flag.
     pub prefault: bool,
+    /// Speculative-decoding depth: how many tokens the draft model proposes
+    /// per verifier pass (`--speculate`). 0 disables speculation. Depth
+    /// without a [`ServeConfig::draft`] degrades to plain greedy with a
+    /// logged warning (output is bit-identical either way — speculation is
+    /// exact, see `vega_nn::speculate`).
+    pub speculate: usize,
+    /// The GRU draft model speculation proposes tokens with, shared by all
+    /// replicas (`--draft`). Only consulted for proposals: a weak or
+    /// mismatched draft costs throughput, never changes output bytes.
+    pub draft: Option<Arc<vega_nn::GruSeq2Seq>>,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +135,8 @@ impl Default for ServeConfig {
             engine: EngineMode::Replica,
             batch_slots: 0,
             prefault: false,
+            speculate: 0,
+            draft: None,
         }
     }
 }
@@ -240,6 +252,18 @@ pub struct ServeStats {
     pub batch_joins: u64,
     /// Chaos-killed batch slots replayed from scratch (0 without faults).
     pub batch_replays: u64,
+    /// Tokens the speculative draft model proposed (process-wide
+    /// `spec.draft_tokens` obs counter; 0 with speculation off).
+    pub spec_draft_tokens: u64,
+    /// Drafted tokens the verifier accepted (`spec.accepted_tokens`).
+    pub spec_accepted_tokens: u64,
+    /// `spec_accepted_tokens / spec_draft_tokens` (`0.0` before any draft) —
+    /// how often the draft predicted the verifier, precomputed like
+    /// [`ServeStats::cache_hit_ratio`].
+    pub spec_accept_ratio: f64,
+    /// Active speculation depth of the live model set (0 = plain greedy,
+    /// including every degraded configuration).
+    pub spec_depth: u64,
 }
 
 impl ServeStats {
@@ -275,6 +299,13 @@ impl ServeStats {
             ("batch_steps", Json::num_u64(self.batch_steps)),
             ("batch_joins", Json::num_u64(self.batch_joins)),
             ("batch_replays", Json::num_u64(self.batch_replays)),
+            ("spec_draft_tokens", Json::num_u64(self.spec_draft_tokens)),
+            (
+                "spec_accepted_tokens",
+                Json::num_u64(self.spec_accepted_tokens),
+            ),
+            ("spec_accept_ratio", Json::num_f64(self.spec_accept_ratio)),
+            ("spec_depth", Json::num_u64(self.spec_depth)),
         ])
     }
 }
@@ -297,14 +328,20 @@ struct ModelSet {
     /// after a v2 mmap load: replicas then cost descriptors only.
     resident_bytes_per_replica: u64,
     replicas: Vec<Mutex<CodeBe>>,
-    /// The continuous-batching broker. `score` requests read it to route a
-    /// fresh replica's decode calls through it; its `Drop` joins the broker
-    /// thread.
+    /// The continuous-batching broker. Generation replicas route their
+    /// decode calls through it (`score` runs the multi-position prefill
+    /// path instead — see `handle_score`). Held only so its `Drop` joins
+    /// the broker thread when the set retires.
+    #[allow(dead_code)]
     batcher: Option<crate::batcher::BatcherHandle>,
+    /// Effective speculation depth after the degrade checks in
+    /// [`ModelSet::new`] (0 = plain greedy) — what the `stats` op reports.
+    spec_depth: usize,
 }
 
 impl ModelSet {
-    fn new(engine: Engine, pool: usize, mode: EngineMode, batch_slots: usize) -> Self {
+    fn new(engine: Engine, cfg: &ServeConfig) -> Self {
+        let (pool, mode, batch_slots) = (cfg.batch, cfg.engine, cfg.batch_slots);
         let mut replicas: Vec<Mutex<CodeBe>> =
             (0..pool).map(|_| Mutex::new(engine.replica())).collect();
         let resident_bytes_per_replica = replicas
@@ -316,7 +353,7 @@ impl ModelSet {
                 // The broker decodes on its own backend-free replica; the
                 // pool replicas forward to it. Capacity covers at least the
                 // pool (each dispatch worker has at most one decode call in
-                // flight) plus headroom for `score` candidate fan-out.
+                // flight) plus headroom so a resized pool never starves.
                 let slots = if batch_slots == 0 {
                     pool.max(8)
                 } else {
@@ -331,12 +368,59 @@ impl ModelSet {
                 Some(handle)
             }
         };
+        // Speculation degrades gracefully (plain greedy, logged warning) when
+        // the configuration can't support it — mirroring how
+        // `VEGA_KERNEL=avx2` falls back on a non-AVX2 CPU. Output bytes are
+        // identical either way; speculation is exact.
+        let spec_depth = match (&cfg.draft, cfg.speculate, mode) {
+            (_, 0, _) => 0,
+            (None, k, _) => {
+                vega_obs::warn!(
+                    "[vega-serve] --speculate {k} requested but no draft model \
+                     loaded (--draft); serving plain greedy"
+                );
+                0
+            }
+            (Some(_), k, EngineMode::Batch) => {
+                vega_obs::warn!(
+                    "[vega-serve] speculation (--speculate {k}) is per-session; \
+                     the batch engine amortizes across sessions instead — \
+                     serving plain greedy"
+                );
+                0
+            }
+            (Some(draft), k, EngineMode::Replica) => {
+                let model_vocab = replicas
+                    .first()
+                    .map_or(0, |r| r.lock().unwrap().vocab.len());
+                if draft.cfg.vocab < model_vocab {
+                    vega_obs::warn!(
+                        "[vega-serve] draft vocab ({}) smaller than model vocab \
+                         ({model_vocab}); serving plain greedy",
+                        draft.cfg.vocab
+                    );
+                    0
+                } else {
+                    for r in &mut replicas {
+                        r.get_mut()
+                            .unwrap()
+                            .set_speculative(Some(Arc::clone(draft)), k);
+                    }
+                    vega_obs::info!("[vega-serve] speculative decoding on (depth {k})");
+                    k
+                }
+            }
+        };
+        // Gauge (not counter): a hot swap re-runs the degrade checks, so the
+        // live depth can change.
+        vega_obs::global().gauge_set("serve.spec.depth", spec_depth as f64);
         ModelSet {
             engine,
             mode,
             resident_bytes_per_replica,
             replicas,
             batcher,
+            spec_depth,
         }
     }
 }
@@ -396,12 +480,7 @@ impl Server {
                 0.0
             },
         );
-        let model_set = Arc::new(ModelSet::new(
-            engine,
-            cfg.batch,
-            cfg.engine,
-            cfg.batch_slots,
-        ));
+        let model_set = Arc::new(ModelSet::new(engine, &cfg));
         let cache = LruCache::new(cfg.cache_cap);
         let shared = Arc::new(Shared {
             cfg,
@@ -485,6 +564,10 @@ fn snapshot(shared: &Shared) -> ServeStats {
     let step_hist = obs.histogram("decode.step_seconds");
     let step_q = |q: f64| step_hist.as_ref().map_or(f64::NAN, |h| h.quantile(q));
     let set = models(shared);
+    let (drafted, accepted) = (
+        obs.counter("spec.draft_tokens"),
+        obs.counter("spec.accepted_tokens"),
+    );
     let st = shared.state.lock().unwrap();
     let (hits, misses) = (st.cache.hits(), st.cache.misses());
     ServeStats {
@@ -515,6 +598,14 @@ fn snapshot(shared: &Shared) -> ServeStats {
         batch_steps: obs.counter("serve.batch.steps"),
         batch_joins: obs.counter("serve.batch.joins"),
         batch_replays: obs.counter("serve.batch.replays"),
+        spec_draft_tokens: drafted,
+        spec_accepted_tokens: accepted,
+        spec_accept_ratio: if drafted == 0 {
+            0.0
+        } else {
+            accepted as f64 / drafted as f64
+        },
+        spec_depth: set.spec_depth as u64,
     }
 }
 
@@ -898,12 +989,14 @@ fn handle_backend(
 /// thread against a fresh replica of the pinned model set (replicas share
 /// weights, so the clone copies tensor descriptors, not weight data).
 ///
-/// Under the batch engine the replica forwards decode calls to the broker
-/// and [`Engine::try_score_with`] fans all of the request's candidates out
-/// concurrently, so every candidate joins the running batch at a token
-/// boundary — concurrent `score` connections stack their candidates into the
-/// same lockstep passes. This is the decode-dominated workload continuous
-/// batching exists for.
+/// Scoring never routes through the batch broker, even under the batch
+/// engine: every candidate token is known up front, so `forced_logprob`
+/// scores the whole sequence in one multi-position `step_many` pass that
+/// amortizes weight reads *within* the request — feeding the broker's
+/// lockstep batch one token at a time instead measures ~1.5x slower on the
+/// deploy-shaped bench (see `benches/serve.rs`). The broker earns its keep
+/// on *generation*, where each next token is unknown until the previous one
+/// is decoded.
 #[allow(clippy::too_many_arguments)]
 fn handle_score(
     shared: &Shared,
@@ -937,9 +1030,6 @@ fn handle_score(
     let deadline =
         t0 + Duration::from_millis(deadline_ms.unwrap_or(shared.cfg.default_deadline_ms));
     let mut replica = set.engine.replica();
-    if let Some(b) = &set.batcher {
-        replica.set_decode_backend(Some(b.backend()));
-    }
     let result = set
         .engine
         .try_score_with(&mut replica, target, group, candidates, Some(deadline));
@@ -1012,12 +1102,7 @@ fn handle_swap(shared: &Shared, id: &Json, path: &str) -> String {
         }
     };
     let digest_changed = engine.model_digest() != old.engine.model_digest();
-    let new_set = Arc::new(ModelSet::new(
-        engine,
-        shared.cfg.batch,
-        shared.cfg.engine,
-        shared.cfg.batch_slots,
-    ));
+    let new_set = Arc::new(ModelSet::new(engine, &shared.cfg));
     *shared.models.write().unwrap() = Arc::clone(&new_set);
     // Cache keys embed the model digest, so stale entries can never alias
     // the new model's; clearing on a digest change only frees memory. An

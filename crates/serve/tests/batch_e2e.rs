@@ -392,10 +392,11 @@ fn swap_rebuilds_broker(
 
 /// The `score` op across both engines: served scores must be bit-identical
 /// to direct in-process scoring on a backend-free replica (and therefore to
-/// each other), concurrent requests included — in batch mode every
-/// candidate of every connection fans into the broker's running batch.
-/// Malformed candidates (out-of-vocabulary ids, over-long sequences, empty
-/// lists) are rejected explicitly, never decoded.
+/// each other), concurrent requests included — scoring takes the
+/// multi-position prefill path in both engine modes (it never routes
+/// through the broker), so the batch engine must be a pure pass-through
+/// here. Malformed candidates (out-of-vocabulary ids, over-long sequences,
+/// empty lists) are rejected explicitly, never decoded.
 fn score_matches_across_engines(checkpoint: &str, pairs: &[(String, String)]) {
     vega_par::set_threads(1);
     let (t, g) = &pairs[0];
@@ -419,8 +420,8 @@ fn score_matches_across_engines(checkpoint: &str, pairs: &[(String, String)]) {
         let server = Server::start(engine_from(checkpoint), cfg).expect("bind 127.0.0.1:0");
         let addr = server.local_addr().to_string();
 
-        // Two concurrent score connections: in batch mode their candidates
-        // share lockstep passes inside the broker.
+        // Two concurrent score connections: each scores its candidates in
+        // multi-position prefill passes on its own connection thread.
         let workers: Vec<_> = (0..2)
             .map(|_| {
                 let addr = addr.clone();

@@ -70,6 +70,9 @@ fn serve_end_to_end() {
     concurrent_coalescing(&checkpoint, &t0, &g0, &expected_t0g0);
     backpressure_and_deadlines(&checkpoint, &targets, &groups);
     telemetry_and_flight(&checkpoint, &t0, &g0, &expected_t0g0);
+    // Last: speculation bumps the process-global spec.* counters, which the
+    // telemetry scenario asserts are still zero.
+    speculative_serving(&checkpoint, &t0, &g0, &expected_t0g0);
 }
 
 /// threads=1: cache hits, byte-identity against direct generation, error
@@ -337,6 +340,22 @@ fn telemetry_and_flight(checkpoint: &str, t0: &str, g0: &str, expected: &str) {
         );
     }
 
+    // Without --speculate/--draft the speculation stats read zero (the
+    // speculative scenario below then proves they move): same golden
+    // consistency, just for the off state.
+    assert_eq!(stat_u64("spec_draft_tokens"), 0);
+    assert_eq!(stat_u64("spec_accepted_tokens"), 0);
+    assert_eq!(stat_f64("spec_accept_ratio"), 0.0);
+    assert_eq!(stat_u64("spec_depth"), 0);
+    let spec_depth_gauge = metrics
+        .field("gauges")
+        .unwrap()
+        .field("serve.spec.depth")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(spec_depth_gauge, 0.0, "depth gauge must read 0 when off");
+
     // The Prometheus exposition is well-formed `name value` text with the
     // same sample count.
     let text = m.field("text").unwrap().as_str().unwrap().to_string();
@@ -400,4 +419,70 @@ fn telemetry_and_flight(checkpoint: &str, t0: &str, g0: &str, expected: &str) {
     server.join_with_stats();
     // The recorder is process-global; leave it off for whatever runs next.
     vega_obs::flight::configure(0);
+}
+
+/// A replica server with a GRU draft installed (`--speculate 3 --draft …`):
+/// the response is byte-identical to plain greedy — speculation is exact by
+/// construction — and the `stats` speculation fields mirror the obs
+/// counters and the configured depth.
+fn speculative_serving(checkpoint: &str, t0: &str, g0: &str, expected: &str) {
+    vega_par::set_threads(1);
+    let model_vocab = CodeBe::load_json(checkpoint)
+        .expect("checkpoint parses")
+        .vocab
+        .len();
+    // An untrained draft: acceptance may be poor, but exactness (and the
+    // counter plumbing) is independent of draft quality.
+    let draft = vega_nn::GruSeq2Seq::new(vega_nn::GruConfig::tiny(model_vocab));
+    let cfg = ServeConfig {
+        speculate: 3,
+        draft: Some(std::sync::Arc::new(draft)),
+        ..ServeConfig::default()
+    };
+    let (server, addr) = start(checkpoint, cfg);
+    let mut c = Client::connect(&addr).unwrap();
+
+    let fresh = c.generate(t0, g0, None).unwrap();
+    assert_eq!(fresh.field("cached").unwrap(), &Json::Bool(false));
+    assert_eq!(
+        result_render(&fresh),
+        expected,
+        "speculative serving must be byte-identical to plain greedy"
+    );
+
+    let m = c.op("metrics").unwrap();
+    assert_eq!(m.field("ok").unwrap(), &Json::Bool(true));
+    let stats = m.field("stats").unwrap();
+    let stat_u64 = |name: &str| stats.field(name).unwrap().as_u64().unwrap();
+    assert_eq!(stat_u64("spec_depth"), 3);
+    let drafted = stat_u64("spec_draft_tokens");
+    let accepted = stat_u64("spec_accepted_tokens");
+    assert!(drafted > 0, "the draft must have proposed tokens");
+    assert!(accepted <= drafted);
+    let ratio = stats.field("spec_accept_ratio").unwrap().as_f64().unwrap();
+    assert_eq!(
+        ratio,
+        accepted as f64 / drafted as f64,
+        "spec_accept_ratio must be precomputed from the two counters"
+    );
+
+    // The stats fields mirror the obs counters verbatim, and the live depth
+    // gauge reads the configured (non-degraded) depth.
+    let metrics = m.field("metrics").unwrap();
+    let counters = metrics.field("counters").unwrap();
+    let counter_u64 = |name: &str| counters.field(name).unwrap().as_u64().unwrap();
+    assert_eq!(counter_u64("spec.draft_tokens"), drafted);
+    assert_eq!(counter_u64("spec.accepted_tokens"), accepted);
+    assert!(counter_u64("spec.rounds") >= 1);
+    let depth_gauge = metrics
+        .field("gauges")
+        .unwrap()
+        .field("serve.spec.depth")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(depth_gauge, 3.0);
+
+    server.shutdown();
+    server.join_with_stats();
 }
